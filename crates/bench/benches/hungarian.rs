@@ -1,0 +1,37 @@
+//! Kuhn–Munkres scaling: the O(n^3) optimal matching vs the naive
+//! factorial search the paper dismisses (Section 4.1).
+
+use bench::XorShift;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simdist::hungarian::{assignment, assignment_naive};
+use std::hint::black_box;
+
+fn random_matrix(n: usize, rng: &mut XorShift) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.next_f64()).collect())
+        .collect()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let mut rng = XorShift(0xfeed + n as u64);
+        let m = random_matrix(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("kuhn_munkres", n), &m, |b, m| {
+            b.iter(|| black_box(assignment(black_box(m))))
+        });
+    }
+    // The naive search is only feasible for tiny n — the comparison the
+    // paper makes when motivating Kuhn-Munkres.
+    for n in [4usize, 6, 8] {
+        let mut rng = XorShift(0xbeef + n as u64);
+        let m = random_matrix(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive_factorial", n), &m, |b, m| {
+            b.iter(|| black_box(assignment_naive(black_box(m))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian);
+criterion_main!(benches);

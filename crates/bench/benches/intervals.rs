@@ -1,0 +1,52 @@
+//! Interval-algebra micro-benchmarks: the `union_all`, `intersect_all`
+//! and `relative_complement_all` constructs at the heart of statically
+//! determined fluent evaluation.
+
+use bench::XorShift;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtec::{Interval, IntervalList};
+use std::hint::black_box;
+
+fn random_list(n: usize, rng: &mut XorShift) -> IntervalList {
+    let mut ivs = Vec::with_capacity(n);
+    let mut t = 0i64;
+    for _ in 0..n {
+        t += 1 + rng.next_usize(50) as i64;
+        let len = 1 + rng.next_usize(30) as i64;
+        ivs.push(Interval::new(t, t + len));
+        t += len;
+    }
+    IntervalList::from_intervals(ivs)
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intervals");
+    for n in [100usize, 1_000, 10_000] {
+        let mut rng = XorShift(7 + n as u64);
+        let a = random_list(n, &mut rng);
+        let b = random_list(n, &mut rng);
+        let c3 = random_list(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("union_all_3", n), &n, |bch, _| {
+            bch.iter(|| black_box(IntervalList::union_all(&[&a, &b, &c3])))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect_all_3", n), &n, |bch, _| {
+            bch.iter(|| black_box(IntervalList::intersect_all(&[&a, &b, &c3])))
+        });
+        group.bench_with_input(BenchmarkId::new("relative_complement", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.relative_complement_all(&[&b, &c3])))
+        });
+        group.bench_with_input(BenchmarkId::new("point_queries", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut hits = 0usize;
+                for t in (0..100_000).step_by(97) {
+                    hits += usize::from(a.contains(t));
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intervals);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Parsing and validation throughput over the gold maritime event
+//! description (the artefact every pipeline stage consumes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maritime::gold::GOLD_RULES;
+use rtec::EventDescription;
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(GOLD_RULES.len() as u64));
+    group.bench_function("parse_gold_rules", |b| {
+        b.iter(|| black_box(EventDescription::parse(black_box(GOLD_RULES)).unwrap()))
+    });
+    group.bench_function("parse_lenient_gold_rules", |b| {
+        b.iter(|| black_box(EventDescription::parse_lenient(black_box(GOLD_RULES))))
+    });
+    let desc = EventDescription::parse(GOLD_RULES).unwrap();
+    group.bench_function("compile_gold_rules", |b| {
+        b.iter(|| black_box(desc.compile().unwrap()))
+    });
+    group.bench_function("round_trip_render", |b| {
+        b.iter(|| black_box(desc.to_source()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Similarity-metric cost (Figures 2a/2b): scoring generated event
+//! descriptions against the gold standard, per activity and whole-KB.
+
+use adgen_core::evaluation::activity_similarities;
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmgen::{generate, MockLlm, Model};
+use maritime::thresholds::Thresholds;
+use simdist::compare_descriptions;
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let gold = maritime::gold_event_description();
+    let mut llm = MockLlm::new(Model::O1);
+    let generated = generate(&mut llm, Model::O1.best_scheme(), &Thresholds::default());
+    let generated_desc = generated.description();
+
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("fig2a_per_activity_o1", |b| {
+        b.iter(|| black_box(activity_similarities(black_box(&generated), &gold)))
+    });
+    group.bench_function("whole_description_o1_vs_gold", |b| {
+        b.iter(|| black_box(compare_descriptions(&gold, &generated_desc)))
+    });
+    group.bench_function("whole_description_gold_vs_gold", |b| {
+        b.iter(|| black_box(compare_descriptions(&gold, &gold)))
+    });
+    // The generation step itself (prompting pipeline + error model).
+    group.bench_function("generation_pipeline_o1", |b| {
+        b.iter(|| {
+            let mut m = MockLlm::new(Model::O1);
+            black_box(generate(
+                &mut m,
+                Model::O1.best_scheme(),
+                &Thresholds::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

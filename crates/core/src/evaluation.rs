@@ -1,0 +1,221 @@
+//! Scoring generated event descriptions: per-activity similarity
+//! (Figure 2a/2b) and predictive accuracy on the stream (Figure 2c).
+
+use llmgen::GeneratedDescription;
+use maritime::gold::{activities, clauses_for_fluents};
+use maritime::Dataset;
+use rtec::engine::RecognitionOutput;
+use rtec::{Engine, EngineConfig, EventDescription, IntervalList, SymbolTable, Timepoint};
+use serde::Serialize;
+
+/// A per-activity score (similarity or f1).
+#[derive(Clone, Debug, Serialize)]
+pub struct ActivityScore {
+    /// The activity key (`h`, `aM`, `tr`, `tu`, `p`, `l`, `s`, `d`).
+    pub key: String,
+    /// The score in `[0, 1]`.
+    pub value: f64,
+}
+
+/// Computes the similarity of each target activity's generated definition
+/// against the gold standard (Definition 4.14 applied per activity, as in
+/// Figure 2a).
+pub fn activity_similarities(
+    generated: &GeneratedDescription,
+    gold: &EventDescription,
+) -> Vec<ActivityScore> {
+    activities()
+        .iter()
+        .map(|a| {
+            let gold_clauses: Vec<rtec::ast::Clause> = clauses_for_fluents(gold, &[a.name])
+                .into_iter()
+                .cloned()
+                .collect();
+            let gold_side = EventDescription::from_clauses(gold.symbols.clone(), gold_clauses);
+            let gen_side = generated
+                .task_description(a.key)
+                .unwrap_or_else(|| EventDescription::parse_lenient(""));
+            let cmp = simdist::compare_descriptions(&gold_side, &gen_side);
+            ActivityScore {
+                key: a.key.to_owned(),
+                value: cmp.similarity.clamp(0.0, 1.0),
+            }
+        })
+        .collect()
+}
+
+/// The mean of a score list (the `all` bar of Figure 2).
+pub fn mean_similarity(scores: &[ActivityScore]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().map(|s| s.value).sum::<f64>() / scores.len() as f64
+}
+
+/// Runs an event description over a dataset's stream and returns the
+/// recognition output together with the engine's symbol table (needed to
+/// resolve fluent names in the output).
+pub fn recognize(
+    desc: &EventDescription,
+    dataset: &Dataset,
+    window: Option<Timepoint>,
+) -> (RecognitionOutput, SymbolTable) {
+    let compiled = desc
+        .compile()
+        .expect("descriptions fed to recognition must stratify");
+    let config = match window {
+        Some(w) => EngineConfig::windowed(w),
+        None => EngineConfig::default(),
+    };
+    let mut engine = Engine::new(&compiled, config);
+    dataset.stream.load_into(&mut engine);
+    engine.run_to(dataset.horizon() + 1);
+    let symbols = engine.symbols().clone();
+    (engine.into_output(), symbols)
+}
+
+/// Union of the maximal intervals of every recognised instance whose
+/// fluent functor is *named* `name` (any arity — generated definitions
+/// sometimes change an activity's arity).
+pub fn union_by_name(
+    output: &RecognitionOutput,
+    symbols: &SymbolTable,
+    name: &str,
+) -> IntervalList {
+    let lists: Vec<&IntervalList> = output
+        .iter()
+        .filter(|(fvp, _)| {
+            fvp.fluent
+                .functor()
+                .and_then(|f| symbols.try_name(f))
+                .is_some_and(|n| n == name)
+        })
+        .map(|(_, l)| l)
+        .collect();
+    IntervalList::union_all(&lists)
+}
+
+/// Predictive accuracy of one description against the gold recognition
+/// output, per activity (Figure 2c).
+///
+/// Following the paper: for each activity, the time-points at which both
+/// the generated and the hand-crafted definition recognise it are true
+/// positives; points recognised only by the generated (hand-crafted)
+/// definition are false positives (false negatives). Durations of the
+/// interval algebra stand in for point counts (time-points are seconds).
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyReport {
+    /// Per-activity f1 scores, Figure 2 order.
+    pub f1: Vec<ActivityScore>,
+    /// Per-activity precision.
+    pub precision: Vec<ActivityScore>,
+    /// Per-activity recall.
+    pub recall: Vec<ActivityScore>,
+}
+
+impl AccuracyReport {
+    /// Mean f1 across activities.
+    pub fn mean_f1(&self) -> f64 {
+        mean_similarity(&self.f1)
+    }
+}
+
+/// Compares two recognition outputs activity by activity.
+pub fn accuracy(
+    generated: (&RecognitionOutput, &SymbolTable),
+    gold: (&RecognitionOutput, &SymbolTable),
+    horizon: Timepoint,
+) -> AccuracyReport {
+    let mut f1 = Vec::new();
+    let mut precision = Vec::new();
+    let mut recall = Vec::new();
+    for a in activities() {
+        let gen_iv = union_by_name(generated.0, generated.1, a.name);
+        let gold_iv = union_by_name(gold.0, gold.1, a.name);
+        let tp = gen_iv.intersect(&gold_iv).duration_up_to(horizon) as f64;
+        let fp = gen_iv.difference(&gold_iv).duration_up_to(horizon) as f64;
+        let fneg = gold_iv.difference(&gen_iv).duration_up_to(horizon) as f64;
+        let p = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let r = if tp + fneg > 0.0 {
+            tp / (tp + fneg)
+        } else {
+            0.0
+        };
+        let f = if 2.0 * tp + fp + fneg > 0.0 {
+            2.0 * tp / (2.0 * tp + fp + fneg)
+        } else {
+            0.0
+        };
+        f1.push(ActivityScore {
+            key: a.key.to_owned(),
+            value: f,
+        });
+        precision.push(ActivityScore {
+            key: a.key.to_owned(),
+            value: p,
+        });
+        recall.push(ActivityScore {
+            key: a.key.to_owned(),
+            value: r,
+        });
+    }
+    AccuracyReport {
+        f1,
+        precision,
+        recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmgen::{generate, MockLlm, Model};
+    use maritime::thresholds::Thresholds;
+    use maritime::BrestScenario;
+
+    #[test]
+    fn o1_similarities_are_high() {
+        let gold = maritime::gold_event_description();
+        let mut m = MockLlm::new(Model::O1);
+        let g = generate(&mut m, Model::O1.best_scheme(), &Thresholds::default());
+        let sims = activity_similarities(&g, &gold);
+        assert_eq!(sims.len(), 8);
+        let avg = mean_similarity(&sims);
+        assert!(avg > 0.8, "o1 average similarity {avg}");
+        // Unmutated activities are identical to gold.
+        let am = sims.iter().find(|s| s.key == "aM").unwrap();
+        assert!((am.value - 1.0).abs() < 1e-9, "aM={}", am.value);
+    }
+
+    #[test]
+    fn gemma_trawling_similarity_is_zero() {
+        let gold = maritime::gold_event_description();
+        let mut m = MockLlm::new(Model::Gemma2);
+        let g = generate(&mut m, Model::Gemma2.best_scheme(), &Thresholds::default());
+        let sims = activity_similarities(&g, &gold);
+        let tr = sims.iter().find(|s| s.key == "tr").unwrap();
+        assert!(tr.value.abs() < 1e-9, "tr={}", tr.value);
+    }
+
+    #[test]
+    fn gold_against_itself_has_perfect_accuracy() {
+        let dataset = maritime::Dataset::generate(&BrestScenario::small());
+        let gold = dataset.gold_description();
+        let (out, sym) = recognize(&gold, &dataset, None);
+        let report = accuracy((&out, &sym), (&out, &sym), dataset.horizon() + 1);
+        for s in &report.f1 {
+            assert!((s.value - 1.0).abs() < 1e-9, "{}={}", s.key, s.value);
+        }
+    }
+
+    #[test]
+    fn union_by_name_spans_arities() {
+        let dataset = maritime::Dataset::generate(&BrestScenario::small());
+        let gold = dataset.gold_description();
+        let (out, sym) = recognize(&gold, &dataset, None);
+        let tu = union_by_name(&out, &sym, "tugging");
+        assert!(!tu.is_empty());
+        let ghost = union_by_name(&out, &sym, "noSuchActivity");
+        assert!(ghost.is_empty());
+    }
+}

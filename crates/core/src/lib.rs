@@ -1,0 +1,34 @@
+//! # adgen-core — the end-to-end activity-definition-generation system
+//!
+//! Ties the substrates together into the paper's full pipeline
+//! (*Generating Activity Definitions with Large Language Models*,
+//! EDBT 2025):
+//!
+//! 1. [`llmgen`] generates an RTEC event description per model and
+//!    prompting scheme;
+//! 2. [`evaluation`] scores each generated description against the gold
+//!    standard with the similarity metric of [`simdist`] (Figure 2a) and
+//!    measures predictive accuracy by running [`rtec`] over the maritime
+//!    stream of [`maritime`] (Figure 2c);
+//! 3. [`correction`] performs the minimal syntactic repair of Section 5.2
+//!    (the `▲`/`■` step, Figure 2b);
+//! 4. [`taxonomy`] classifies the errors of a generated description into
+//!    the paper's four qualitative categories;
+//! 5. [`figures`] orchestrates everything into the three figure datasets;
+//! 6. [`report`] renders them as the tables/series the paper plots.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod correction;
+pub mod evaluation;
+pub mod figures;
+pub mod report;
+pub mod taxonomy;
+
+pub use correction::{correct_description, CorrectionOutcome};
+pub use evaluation::{
+    activity_similarities, mean_similarity, recognize, AccuracyReport, ActivityScore,
+};
+pub use figures::{fig2a, fig2b, fig2c, Fig2a, Fig2b, Fig2c};

@@ -1,0 +1,149 @@
+//! Rendering experiment results as the rows/series the paper reports.
+
+use crate::evaluation::ActivityScore;
+use crate::figures::{Fig2a, Fig2b, Fig2c, ModelSeries};
+use serde::Serialize;
+
+/// The x-axis keys of Figure 2, plus the trailing `all` column.
+pub const COLUMNS: [&str; 9] = ["h", "aM", "tr", "tu", "p", "l", "s", "d", "all"];
+
+fn row(label: &str, scores: &[ActivityScore], mean: f64) -> String {
+    let mut cells: Vec<String> = vec![format!("{label:<12}")];
+    for key in &COLUMNS[..8] {
+        let v = scores
+            .iter()
+            .find(|s| s.key == *key)
+            .map(|s| s.value)
+            .unwrap_or(0.0);
+        cells.push(format!("{v:>6.3}"));
+    }
+    cells.push(format!("{mean:>6.3}"));
+    cells.join(" ")
+}
+
+fn header(title: &str) -> String {
+    let mut cells: Vec<String> = vec![format!("{:<12}", title)];
+    for key in COLUMNS {
+        cells.push(format!("{key:>6}"));
+    }
+    cells.join(" ")
+}
+
+/// Renders a series table (Figures 2a/2b).
+pub fn series_table(title: &str, series: &[ModelSeries]) -> String {
+    let mut out = vec![header(title)];
+    for s in series {
+        out.push(row(&s.label, &s.scores, s.mean));
+    }
+    out.join("\n")
+}
+
+/// Renders Figure 2a.
+pub fn fig2a_table(f: &Fig2a) -> String {
+    series_table("similarity", &f.series)
+}
+
+/// Renders Figure 2b.
+pub fn fig2b_table(f: &Fig2b) -> String {
+    series_table("similarity", &f.series)
+}
+
+/// Renders Figure 2c.
+pub fn fig2c_table(f: &Fig2c) -> String {
+    let mut out = vec![header("f1-score")];
+    for (label, report) in &f.series {
+        out.push(row(label, &report.f1, report.mean_f1()));
+    }
+    out.join("\n")
+}
+
+/// Serialisable snapshot of one figure, for machine-readable artefacts.
+#[derive(Serialize)]
+pub struct FigureJson<'a> {
+    /// Figure id, e.g. `"2a"`.
+    pub figure: &'a str,
+    /// The series.
+    pub series: Vec<SeriesJson>,
+}
+
+/// One serialised series.
+#[derive(Serialize)]
+pub struct SeriesJson {
+    /// Label, e.g. `o1□`.
+    pub label: String,
+    /// `(activity key, value)` pairs plus the mean.
+    pub values: Vec<(String, f64)>,
+    /// The `all` value.
+    pub mean: f64,
+}
+
+/// JSON artefact for Figures 2a/2b.
+pub fn series_json(figure: &str, series: &[ModelSeries]) -> String {
+    let s = FigureJson {
+        figure,
+        series: series
+            .iter()
+            .map(|s| SeriesJson {
+                label: s.label.clone(),
+                values: s.scores.iter().map(|x| (x.key.clone(), x.value)).collect(),
+                mean: s.mean,
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&s).expect("figure serialises")
+}
+
+/// JSON artefact for Figure 2c.
+pub fn fig2c_json(f: &Fig2c) -> String {
+    let s = FigureJson {
+        figure: "2c",
+        series: f
+            .series
+            .iter()
+            .map(|(label, report)| SeriesJson {
+                label: label.clone(),
+                values: report.f1.iter().map(|x| (x.key.clone(), x.value)).collect(),
+                mean: report.mean_f1(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&s).expect("figure serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_series() -> ModelSeries {
+        ModelSeries {
+            label: "o1□".into(),
+            scores: COLUMNS[..8]
+                .iter()
+                .map(|k| ActivityScore {
+                    key: (*k).to_owned(),
+                    value: 0.5,
+                })
+                .collect(),
+            mean: 0.5,
+        }
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let t = series_table("similarity", &[dummy_series()]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("aM"));
+        assert!(lines[1].starts_with("o1□"));
+        assert!(lines[1].contains("0.500"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let j = series_json("2a", &[dummy_series()]);
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["figure"], "2a");
+        assert_eq!(v["series"][0]["label"], "o1□");
+        assert_eq!(v["series"][0]["values"][0][0], "h");
+    }
+}

@@ -1,0 +1,56 @@
+//! Qualitative error assessment (Section 5.2): classifies the defects of
+//! every generated description into the paper's four categories.
+//!
+//! ```text
+//! cargo run -p experiments --bin error_taxonomy
+//! ```
+
+use adgen_core::taxonomy::classify;
+use llmgen::{generate, MockLlm, Model};
+use maritime::thresholds::Thresholds;
+
+fn main() {
+    let gold = maritime::gold_event_description();
+    println!("Qualitative error assessment (paper Section 5.2)\n");
+    for model in Model::ALL {
+        let mut llm = MockLlm::new(model);
+        let generated = generate(&mut llm, model.best_scheme(), &Thresholds::default());
+        let t = classify(&generated, &gold);
+        println!("=== {} ===", t.label);
+        println!("  syntax errors:            {}", t.syntax_errors);
+        println!("  validation errors:        {}", t.validation_errors);
+        println!(
+            "  naming divergences (1):   {}",
+            if t.naming_divergences.is_empty() {
+                "-".to_owned()
+            } else {
+                t.naming_divergences.join(", ")
+            }
+        );
+        println!(
+            "  wrong fluent kind (2):    {}",
+            if t.wrong_fluent_kind.is_empty() {
+                "-".to_owned()
+            } else {
+                t.wrong_fluent_kind.join(", ")
+            }
+        );
+        println!(
+            "  undefined activities (3): {}",
+            if t.undefined_dependencies.is_empty() {
+                "-".to_owned()
+            } else {
+                t.undefined_dependencies.join(", ")
+            }
+        );
+        println!(
+            "  operator confusion (4):   {}",
+            if t.operator_confusions.is_empty() {
+                "-".to_owned()
+            } else {
+                t.operator_confusions.join(", ")
+            }
+        );
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 2a: similarity values of LLM-generated definitions against the
+//! gold standard, per activity, best prompting scheme per model.
+//!
+//! ```text
+//! cargo run -p experiments --bin fig2a [--json]
+//! ```
+
+use adgen_core::figures::fig2a;
+use adgen_core::report;
+
+fn main() {
+    let f = fig2a();
+    println!("Figure 2a — similarity of LLM-generated definitions");
+    println!("(best prompting scheme per model: \u{25a1} few-shot, \u{25b3} chain-of-thought)\n");
+    println!("{}", report::fig2a_table(&f));
+    println!();
+    for s in &f.series {
+        println!("  {:<10} mean similarity {:.3}", s.label, s.mean);
+    }
+    if experiments::json_requested() {
+        let path = experiments::write_artifact("fig2a.json", &report::series_json("2a", &f.series));
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 2b: similarities after the minimal syntactic correction step,
+//! for the three best descriptions of Figure 2a.
+//!
+//! ```text
+//! cargo run -p experiments --bin fig2b [--json]
+//! ```
+
+use adgen_core::figures::{fig2a, fig2b};
+use adgen_core::report;
+
+fn main() {
+    let a = fig2a();
+    let b = fig2b(&a);
+    println!("Figure 2b — similarities after minimal syntactic changes");
+    println!(
+        "(top three descriptions; \u{25a0} few-shot corrected, \u{25b2} chain-of-thought corrected)\n"
+    );
+    println!("{}", report::fig2b_table(&b));
+    println!();
+    for (s, o) in b.series.iter().zip(&b.outcomes) {
+        let model_prefix: String = s
+            .label
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect();
+        let before = a
+            .series
+            .iter()
+            .find(|x| x.label.starts_with(&model_prefix))
+            .map(|x| x.mean)
+            .unwrap_or(0.0);
+        println!(
+            "  {:<10} mean {:.3} -> {:.3}  ({} rename(s), {} syntax repair(s))",
+            s.label, before, s.mean, o.renames, o.syntax_repairs
+        );
+        for change in &o.changes {
+            println!("      - {change}");
+        }
+    }
+    if experiments::json_requested() {
+        let path = experiments::write_artifact("fig2b.json", &report::series_json("2b", &b.series));
+        println!("\nwrote {}", path.display());
+    }
+}

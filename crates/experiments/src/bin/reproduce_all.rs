@@ -1,0 +1,71 @@
+//! One-shot reproduction of the paper's entire evaluation: Figures 2a,
+//! 2b and 2c plus the qualitative error assessment, printed in order.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin reproduce_all [--scale small|default|large] [--json]
+//! ```
+
+use adgen_core::figures::{fig2a, fig2b, fig2c};
+use adgen_core::report;
+use adgen_core::taxonomy::classify;
+use llmgen::{generate, MockLlm, Model};
+use maritime::thresholds::Thresholds;
+use maritime::Dataset;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+
+    println!("=== Figure 2a — similarity of LLM-generated definitions ===\n");
+    let a = fig2a();
+    println!("{}\n", report::fig2a_table(&a));
+
+    println!("=== Figure 2b — similarities after minimal syntactic changes ===\n");
+    let b = fig2b(&a);
+    println!("{}\n", report::fig2b_table(&b));
+    for o in &b.outcomes {
+        for change in &o.changes {
+            println!("  [{}] {change}", o.label);
+        }
+    }
+
+    println!("\n=== Figure 2c — predictive accuracy on the maritime stream ===\n");
+    let scenario = experiments::scenario_from_args();
+    let dataset = Dataset::generate(&scenario);
+    println!(
+        "dataset: {} vessels, {} AIS signals, {} critical events, horizon {} s\n",
+        dataset.vessels.len(),
+        dataset.signal_count(),
+        dataset.stream.len(),
+        dataset.horizon()
+    );
+    let c = fig2c(&b, &dataset);
+    println!("{}\n", report::fig2c_table(&c));
+
+    println!("=== Section 5.2 — qualitative error assessment ===\n");
+    let gold = maritime::gold_event_description();
+    for model in Model::ALL {
+        let mut llm = MockLlm::new(model);
+        let g = generate(&mut llm, model.best_scheme(), &Thresholds::default());
+        let t = classify(&g, &gold);
+        println!(
+            "{:<10} syntax {}, validation {}, naming {:?}, wrong-kind {:?}, undefined {:?}, \
+             operator {:?}",
+            t.label,
+            t.syntax_errors,
+            t.validation_errors,
+            t.naming_divergences,
+            t.wrong_fluent_kind,
+            t.undefined_dependencies,
+            t.operator_confusions
+        );
+    }
+
+    if experiments::json_requested() {
+        experiments::write_artifact("fig2a.json", &report::series_json("2a", &a.series));
+        experiments::write_artifact("fig2b.json", &report::series_json("2b", &b.series));
+        experiments::write_artifact("fig2c.json", &report::fig2c_json(&c));
+        println!("\nwrote target/figures/fig2{{a,b,c}}.json");
+    }
+    println!("\ntotal: {:.2?}", t0.elapsed());
+}

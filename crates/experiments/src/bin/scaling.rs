@@ -1,0 +1,79 @@
+//! Throughput scaling: recognition cost as the stream grows, single
+//! engine vs entity-partitioned parallel recognition.
+//!
+//! RTEC's selling point (Section 1) is efficient stream reasoning; this
+//! sweep measures events/second of the gold event description over
+//! progressively longer synthetic streams, and the speed-up obtained by
+//! sharding vessels across threads.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin scaling
+//! ```
+
+use maritime::{BrestScenario, Dataset};
+use rtec::parallel::{recognize_partitioned, FirstArgPartitioner, ParallelConfig};
+use rtec::{Engine, EngineConfig};
+use std::time::Instant;
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "available CPUs: {cpus}{}",
+        if cpus == 1 {
+            "  (parallel speed-up is not observable on a single core; the \
+             sweep still verifies exactness of the partitioned runs)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>12} {:>12} {:>12} {:>9}",
+        "repeats", "vessels", "events", "single", "4 threads", "8 threads", "speedup"
+    );
+    for repeats in [1usize, 2, 4, 8] {
+        let scenario = BrestScenario {
+            repeats,
+            ..BrestScenario::default()
+        };
+        let dataset = Dataset::generate(&scenario);
+        let gold = dataset.gold_description();
+        let compiled = gold.compile().expect("gold compiles");
+        let horizon = dataset.horizon() + 1;
+
+        let t = Instant::now();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        dataset.stream.load_into(&mut engine);
+        engine.run_to(horizon);
+        let single_out = engine.into_output().len();
+        let single = t.elapsed();
+
+        let mut timings = Vec::new();
+        for threads in [4usize, 8] {
+            let t = Instant::now();
+            let (out, _) = recognize_partitioned(
+                &compiled,
+                &dataset.stream,
+                horizon,
+                ParallelConfig {
+                    threads,
+                    engine: EngineConfig::default(),
+                },
+                &FirstArgPartitioner,
+            );
+            assert_eq!(out.len(), single_out, "parallel output diverged");
+            timings.push(t.elapsed());
+        }
+
+        let speedup = single.as_secs_f64() / timings[1].as_secs_f64();
+        println!(
+            "{repeats:>8} {:>9} {:>9} {:>12.2?} {:>12.2?} {:>12.2?} {speedup:>8.2}x",
+            dataset.vessels.len(),
+            dataset.stream.len(),
+            single,
+            timings[0],
+            timings[1],
+        );
+    }
+}

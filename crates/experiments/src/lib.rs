@@ -1,0 +1,39 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary regenerates one artefact of the paper's evaluation
+//! (Section 5) and prints the same series the corresponding figure plots;
+//! `--json` additionally writes a machine-readable artefact to
+//! `target/figures/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Writes a JSON artefact under `target/figures/` and returns its path.
+pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write figure artifact");
+    path
+}
+
+/// Whether `--json` was passed.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Scenario scale from `--scale small|default|large` (default: default).
+pub fn scenario_from_args() -> maritime::BrestScenario {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("default");
+    match scale {
+        "small" => maritime::BrestScenario::small(),
+        "large" => maritime::BrestScenario::large(),
+        _ => maritime::BrestScenario::default(),
+    }
+}

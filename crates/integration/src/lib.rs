@@ -1,0 +1,9 @@
+//! Cross-crate integration tests.
+//!
+//! The test files live in the repository-level `tests/` directory (wired
+//! in via `[[test]]` entries in this crate's manifest) and exercise the
+//! full pipeline across crate boundaries: dataset generation -> LLM
+//! generation -> similarity -> correction -> windowed recognition ->
+//! accuracy, plus semantic cross-checks of the RTEC engine against a
+//! brute-force reference evaluator and property-based tests of the
+//! similarity metric.

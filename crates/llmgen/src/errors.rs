@@ -1,0 +1,367 @@
+//! The error model: transformations that turn gold-standard rules into
+//! the kinds of flawed output LLMs produce.
+//!
+//! The paper's qualitative assessment (Section 5.2) groups the errors of
+//! LLM-generated event descriptions into four categories: (1) naming
+//! divergences for events, activities and background knowledge; (2) using
+//! the wrong kind of fluent (simple vs statically determined); (3)
+//! conditions referencing activities that are defined nowhere; and (4)
+//! confusing interval operations (e.g. `intersect_all` for `union_all`).
+//! On top of these come plain syntactic mistakes. [`Mutation`] expresses
+//! all of them as deterministic rewrites.
+
+use rtec::ast::Clause;
+use rtec::parser::{parse_program, parse_term};
+use rtec::{Symbol, SymbolTable, Term};
+
+/// A syntactic defect injected at render time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyntaxErrorKind {
+    /// The final period of the clause is missing.
+    MissingPeriod,
+    /// A closing parenthesis is dropped.
+    UnbalancedParen,
+    /// The `:-` operator is misspelt.
+    BadNeck,
+}
+
+/// One deterministic rewrite of a task's rules. Mutations are applied in
+/// order; rule indices refer to the clause list as it stands when the
+/// mutation is applied.
+#[derive(Clone, Debug)]
+pub enum Mutation {
+    /// Category 1: rename a functor or constant everywhere in the task's
+    /// rules (e.g. `entersArea` -> `inArea`, `fishing` -> `trawlingArea`).
+    RenameSymbol {
+        /// Name as in the gold standard.
+        from: String,
+        /// Name the model uses instead.
+        to: String,
+    },
+    /// Reverse the arguments of every binary occurrence of a predicate
+    /// (the paper's rule (7) error).
+    SwapArgs {
+        /// The affected functor.
+        functor: String,
+    },
+    /// Drop the rule at `index` (a missing initiation/termination).
+    DropRule {
+        /// 0-based index into the task's clause list.
+        index: usize,
+    },
+    /// Append a (typically redundant) condition to the body of one rule.
+    AddCondition {
+        /// 0-based index of the rule to extend.
+        rule_index: usize,
+        /// The literal, in concrete syntax.
+        literal: String,
+    },
+    /// Remove the `literal_index`-th body condition of one rule.
+    RemoveCondition {
+        /// 0-based index of the rule.
+        rule_index: usize,
+        /// 0-based index of the body literal.
+        literal_index: usize,
+    },
+    /// Categories 2 and 3: replace the task's entire definition with
+    /// different source text (wrong fluent kind, undefined dependencies,
+    /// structurally different conditions).
+    ReplaceDefinition {
+        /// The replacement rules, in concrete syntax.
+        src: String,
+    },
+    /// Swap `union_all` and `intersect_all` in every rule of the task
+    /// (category 4).
+    ConfuseUnionIntersect,
+    /// Inject a syntactic defect into the rendering of one rule.
+    InjectSyntaxError {
+        /// 0-based index of the rule.
+        rule_index: usize,
+        /// The defect.
+        kind: SyntaxErrorKind,
+    },
+}
+
+/// The outcome of applying a profile to a task's gold rules.
+#[derive(Clone, Debug)]
+pub struct MutatedRules {
+    /// The transformed clauses.
+    pub clauses: Vec<Clause>,
+    /// Render-time syntax defects, as `(rule index, kind)`.
+    pub syntax_errors: Vec<(usize, SyntaxErrorKind)>,
+}
+
+/// Applies `mutations` to `clauses` (interning any new names into
+/// `symbols`).
+pub fn apply_mutations(
+    mut clauses: Vec<Clause>,
+    symbols: &mut SymbolTable,
+    mutations: &[Mutation],
+) -> MutatedRules {
+    let mut syntax_errors = Vec::new();
+    for m in mutations {
+        match m {
+            Mutation::RenameSymbol { from, to } => {
+                if let Some(from_sym) = symbols.get(from) {
+                    let to_sym = symbols.intern(to);
+                    for c in &mut clauses {
+                        c.head = rename(&c.head, from_sym, to_sym);
+                        for b in &mut c.body {
+                            *b = rename(b, from_sym, to_sym);
+                        }
+                    }
+                }
+            }
+            Mutation::SwapArgs { functor } => {
+                if let Some(f) = symbols.get(functor) {
+                    for c in &mut clauses {
+                        c.head = swap_args(&c.head, f);
+                        for b in &mut c.body {
+                            *b = swap_args(b, f);
+                        }
+                    }
+                }
+            }
+            Mutation::DropRule { index } => {
+                if *index < clauses.len() {
+                    clauses.remove(*index);
+                }
+            }
+            Mutation::AddCondition {
+                rule_index,
+                literal,
+            } => {
+                if let Some(c) = clauses.get_mut(*rule_index) {
+                    let lit = parse_term(literal, symbols).expect("profile literal must parse");
+                    c.body.push(lit);
+                }
+            }
+            Mutation::RemoveCondition {
+                rule_index,
+                literal_index,
+            } => {
+                if let Some(c) = clauses.get_mut(*rule_index) {
+                    if *literal_index < c.body.len() {
+                        c.body.remove(*literal_index);
+                    }
+                }
+            }
+            Mutation::ReplaceDefinition { src } => {
+                clauses = parse_program(src, symbols).expect("profile replacement must parse");
+            }
+            Mutation::ConfuseUnionIntersect => {
+                let union = symbols.intern("union_all");
+                let intersect = symbols.intern("intersect_all");
+                for c in &mut clauses {
+                    for b in &mut c.body {
+                        *b = swap_functors(b, union, intersect);
+                    }
+                }
+            }
+            Mutation::InjectSyntaxError { rule_index, kind } => {
+                syntax_errors.push((*rule_index, *kind));
+            }
+        }
+    }
+    MutatedRules {
+        clauses,
+        syntax_errors,
+    }
+}
+
+/// Renders mutated clauses to concrete syntax, applying the recorded
+/// syntax defects.
+pub fn render(mutated: &MutatedRules, symbols: &SymbolTable) -> String {
+    let mut out = Vec::with_capacity(mutated.clauses.len());
+    for (i, c) in mutated.clauses.iter().enumerate() {
+        let mut text = c.display(symbols);
+        for (idx, kind) in &mutated.syntax_errors {
+            if *idx != i {
+                continue;
+            }
+            text = match kind {
+                SyntaxErrorKind::MissingPeriod => text.trim_end_matches('.').to_owned(),
+                SyntaxErrorKind::UnbalancedParen => match text.rfind(')') {
+                    Some(p) => {
+                        let mut t = text.clone();
+                        t.remove(p);
+                        t
+                    }
+                    None => text,
+                },
+                SyntaxErrorKind::BadNeck => text.replacen(":-", ":", 1),
+            };
+        }
+        out.push(text);
+    }
+    out.join("\n")
+}
+
+fn rename(t: &Term, from: Symbol, to: Symbol) -> Term {
+    match t {
+        Term::Atom(s) if *s == from => Term::Atom(to),
+        Term::Var(s) if *s == from => Term::Var(to),
+        Term::Compound(f, args) => {
+            let nf = if *f == from { to } else { *f };
+            Term::Compound(nf, args.iter().map(|a| rename(a, from, to)).collect())
+        }
+        Term::List(items) => Term::List(items.iter().map(|a| rename(a, from, to)).collect()),
+        _ => t.clone(),
+    }
+}
+
+fn swap_args(t: &Term, functor: Symbol) -> Term {
+    match t {
+        Term::Compound(f, args) => {
+            let mut new_args: Vec<Term> = args.iter().map(|a| swap_args(a, functor)).collect();
+            if *f == functor && new_args.len() == 2 {
+                new_args.swap(0, 1);
+            }
+            Term::Compound(*f, new_args)
+        }
+        Term::List(items) => Term::List(items.iter().map(|a| swap_args(a, functor)).collect()),
+        _ => t.clone(),
+    }
+}
+
+fn swap_functors(t: &Term, a: Symbol, b: Symbol) -> Term {
+    match t {
+        Term::Compound(f, args) => {
+            let nf = if *f == a {
+                b
+            } else if *f == b {
+                a
+            } else {
+                *f
+            };
+            Term::Compound(nf, args.iter().map(|x| swap_functors(x, a, b)).collect())
+        }
+        Term::List(items) => Term::List(items.iter().map(|x| swap_functors(x, a, b)).collect()),
+        _ => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::EventDescription;
+
+    fn setup(src: &str) -> (Vec<Clause>, SymbolTable) {
+        let desc = EventDescription::parse(src).unwrap();
+        (desc.clauses.clone(), desc.symbols.clone())
+    }
+
+    const SRC: &str = "initiatedAt(withinArea(V, AreaType)=true, T) :- \
+        happensAt(entersArea(V, A), T), areaType(A, AreaType).\n\
+        terminatedAt(withinArea(V, AreaType)=true, T) :- happensAt(gap_start(V), T).";
+
+    #[test]
+    fn rename_symbol_rewrites_functors() {
+        let (clauses, mut sym) = setup(SRC);
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[Mutation::RenameSymbol {
+                from: "entersArea".into(),
+                to: "inArea".into(),
+            }],
+        );
+        let text = render(&m, &sym);
+        assert!(text.contains("inArea(V, A)"));
+        assert!(!text.contains("entersArea"));
+    }
+
+    #[test]
+    fn swap_args_reverses_binary_predicate() {
+        let (clauses, mut sym) = setup(SRC);
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[Mutation::SwapArgs {
+                functor: "areaType".into(),
+            }],
+        );
+        let text = render(&m, &sym);
+        assert!(text.contains("areaType(AreaType, A)"));
+    }
+
+    #[test]
+    fn drop_and_add_condition() {
+        let (clauses, mut sym) = setup(SRC);
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[
+                Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsAt(underWay(V)=true, T)".into(),
+                },
+                Mutation::DropRule { index: 1 },
+            ],
+        );
+        assert_eq!(m.clauses.len(), 1);
+        assert_eq!(m.clauses[0].body.len(), 3);
+    }
+
+    #[test]
+    fn confuse_union_intersect_swaps_both_ways() {
+        let (clauses, mut sym) = setup(
+            "holdsFor(x(V)=true, I) :- holdsFor(a(V)=true, I1), \
+             holdsFor(b(V)=true, I2), union_all([I1, I2], I3), \
+             intersect_all([I3], I).",
+        );
+        let m = apply_mutations(clauses, &mut sym, &[Mutation::ConfuseUnionIntersect]);
+        let text = render(&m, &sym);
+        assert!(text.contains("intersect_all([I1, I2], I3)"));
+        assert!(text.contains("union_all([I3], I)"));
+    }
+
+    #[test]
+    fn syntax_errors_break_rendering() {
+        let (clauses, mut sym) = setup(SRC);
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[Mutation::InjectSyntaxError {
+                rule_index: 0,
+                kind: SyntaxErrorKind::MissingPeriod,
+            }],
+        );
+        let text = render(&m, &sym);
+        // Lenient parsing drops the broken clause but keeps the other.
+        let desc = EventDescription::parse_lenient(&text);
+        assert!(desc.clauses.len() < 2 || !desc.parse_errors.is_empty());
+    }
+
+    #[test]
+    fn replace_definition_swaps_everything() {
+        let (clauses, mut sym) = setup(SRC);
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[Mutation::ReplaceDefinition {
+                src: "holdsFor(withinArea(V, K)=true, I) :- \
+                      holdsFor(phantom(V)=true, I1), union_all([I1], I)."
+                    .into(),
+            }],
+        );
+        assert_eq!(m.clauses.len(), 1);
+        let text = render(&m, &sym);
+        assert!(text.contains("phantom"));
+    }
+
+    #[test]
+    fn rename_unknown_symbol_is_noop() {
+        let (clauses, mut sym) = setup(SRC);
+        let before = clauses.clone();
+        let m = apply_mutations(
+            clauses,
+            &mut sym,
+            &[Mutation::RenameSymbol {
+                from: "nonexistent".into(),
+                to: "whatever".into(),
+            }],
+        );
+        assert_eq!(m.clauses, before);
+    }
+}

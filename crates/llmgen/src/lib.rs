@@ -1,0 +1,42 @@
+//! # llmgen — LLM prompting pipeline for activity-definition generation
+//!
+//! Implements Section 3 of *Generating Activity Definitions with Large
+//! Language Models* (EDBT 2025): a staged prompting approach that teaches a
+//! language model the RTEC language (prompt R), the two kinds of fluent
+//! definitions via few-shot or chain-of-thought examples (prompts F*/F),
+//! the input events (prompt E) and domain thresholds (prompt T), and then
+//! requests one composite activity definition per generation prompt
+//! (prompt G), building a hierarchical event description bottom-up.
+//!
+//! ## Simulated models
+//!
+//! The paper evaluates GPT-4, GPT-4o, o1, Llama-3, Mistral and Gemma-2
+//! through the OpenAI and Groq APIs. Those APIs are unavailable here, so
+//! [`mock`] provides deterministic simulated models behind the same
+//! [`provider::LanguageModel`] trait: each model answers the G prompts
+//! with the gold-standard rules transformed by a per-model *error profile*
+//! ([`profiles`]) drawn from the paper's qualitative error taxonomy
+//! (Section 5.2) — naming divergences, wrong fluent kind, undefined
+//! dependencies, `union_all`/`intersect_all` confusion, dropped and
+//! redundant conditions, argument swaps and outright syntax errors. A
+//! real HTTP-backed provider can be dropped in without touching the
+//! pipeline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod errors;
+pub mod mock;
+pub mod pipeline;
+pub mod profiles;
+pub mod prompts;
+pub mod provider;
+pub mod replay;
+pub mod tasks;
+
+pub use mock::MockLlm;
+pub use pipeline::{extract_rules, generate, GeneratedDescription};
+pub use profiles::{Model, PromptScheme};
+pub use provider::LanguageModel;
+pub use replay::{RecordingModel, ReplayModel, Transcript};
+pub use tasks::{generation_tasks, GenerationTask};

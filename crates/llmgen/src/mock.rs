@@ -1,0 +1,181 @@
+//! Deterministic simulated language models.
+//!
+//! A [`MockLlm`] follows the same conversational protocol as a real model
+//! behind the OpenAI/Groq APIs: it acknowledges the teaching prompts (R,
+//! F*/F, E, T), detects which prompting scheme it is being taught with
+//! from the F prompt's content, and answers each G prompt with an activity
+//! definition — the gold rules passed through the model's error profile
+//! ([`crate::profiles`]), wrapped in model-typical prose and code fences.
+//! Everything downstream (extraction, lenient parsing, validation,
+//! similarity scoring, correction, recognition) therefore exercises the
+//! same code paths as it would with live API output.
+
+use crate::errors::{apply_mutations, render};
+use crate::profiles::{profile, Model, PromptScheme};
+use crate::provider::LanguageModel;
+use crate::tasks::{generation_tasks, GenerationTask};
+use maritime::gold::{clauses_for_fluents, gold_event_description};
+use rtec::EventDescription;
+
+/// A deterministic simulated LLM.
+pub struct MockLlm {
+    model: Model,
+    scheme: PromptScheme,
+    gold: EventDescription,
+    tasks: Vec<GenerationTask>,
+    prompts_seen: usize,
+}
+
+impl MockLlm {
+    /// Creates the simulated model. The prompting scheme defaults to
+    /// few-shot until an F prompt reveals which one the session uses.
+    pub fn new(model: Model) -> MockLlm {
+        MockLlm {
+            model,
+            scheme: PromptScheme::FewShot,
+            gold: gold_event_description(),
+            tasks: generation_tasks(),
+            prompts_seen: 0,
+        }
+    }
+
+    /// The underlying model id.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    fn answer_generation(&self, task: &GenerationTask) -> String {
+        let clauses: Vec<_> = clauses_for_fluents(&self.gold, &[&task.fluent])
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut symbols = self.gold.symbols.clone();
+        let profile = profile(self.model, self.scheme);
+        let empty = Vec::new();
+        let mutations = profile.get(&task.key).unwrap_or(&empty);
+        let mutated = apply_mutations(clauses, &mut symbols, mutations);
+        let rules = render(&mutated, &symbols);
+        self.wrap(task, &rules)
+    }
+
+    /// Wraps raw rules in model-typical prose so the pipeline's extraction
+    /// step has something realistic to strip.
+    fn wrap(&self, task: &GenerationTask, rules: &str) -> String {
+        match self.model {
+            Model::O1 => format!(
+                "The activity '{}' is formalised in RTEC as follows.\n\n{rules}\n",
+                task.fluent
+            ),
+            Model::Gpt4o | Model::Gpt4 => format!(
+                "Here is the RTEC formalisation of '{}'. We express the initiation and \
+                 termination conditions (or the interval combination) as discussed.\n\n\
+                 ```prolog\n{rules}\n```\n\nLet me know if you need further refinements.",
+                task.fluent
+            ),
+            Model::Llama3 => format!(
+                "Sure! Here are the rules for '{}':\n\n```\n{rules}\n```",
+                task.fluent
+            ),
+            Model::Mistral => format!(
+                "The composite activity '{}' can be defined as:\n\n{rules}",
+                task.fluent
+            ),
+            Model::Gemma2 => format!(
+                "Let's define '{}'.\n\n```prolog\n{rules}\n```\n\
+                 This captures the described behaviour.",
+                task.fluent
+            ),
+        }
+    }
+}
+
+impl LanguageModel for MockLlm {
+    fn name(&self) -> String {
+        self.model.display_name().to_owned()
+    }
+
+    fn complete(&mut self, prompt: &str) -> String {
+        self.prompts_seen += 1;
+        // Prompt F reveals the scheme: the chain-of-thought variant
+        // contains the worked "Answer:" explanations.
+        if prompt.contains("two ways in which a composite activity may be defined") {
+            self.scheme = if prompt.contains("Answer:") {
+                PromptScheme::ChainOfThought
+            } else {
+                PromptScheme::FewShot
+            };
+            return "Understood: composite activities are defined either as simple fluents \
+                    or as statically determined fluents."
+                .to_owned();
+        }
+        // Prompt G carries the activity marker.
+        if let Some(rest) = prompt
+            .split("Maritime Composite Activity Description - ")
+            .nth(1)
+        {
+            let fluent = rest.split(':').next().unwrap_or("").trim().to_owned();
+            if let Some(task) = self.tasks.iter().find(|t| t.fluent == fluent) {
+                let task = task.clone();
+                return self.answer_generation(&task);
+            }
+            return format!("I do not know the activity '{fluent}'.");
+        }
+        "Understood.".to_owned()
+    }
+
+    fn reset(&mut self) {
+        self.scheme = PromptScheme::FewShot;
+        self.prompts_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts;
+
+    #[test]
+    fn detects_scheme_from_prompt_f() {
+        let mut m = MockLlm::new(Model::O1);
+        m.complete(&prompts::prompt_f(PromptScheme::ChainOfThought));
+        assert_eq!(m.scheme, PromptScheme::ChainOfThought);
+        m.complete(&prompts::prompt_f(PromptScheme::FewShot));
+        assert_eq!(m.scheme, PromptScheme::FewShot);
+    }
+
+    #[test]
+    fn answers_generation_prompt_with_rules() {
+        let mut m = MockLlm::new(Model::O1);
+        let tasks = generation_tasks();
+        let g = prompts::prompt_g(&tasks[1]); // withinArea
+        let reply = m.complete(&g);
+        assert!(reply.contains("initiatedAt(withinArea"));
+    }
+
+    #[test]
+    fn o1_renames_fishing_constant_in_trawl_speed() {
+        let mut m = MockLlm::new(Model::O1);
+        let tasks = generation_tasks();
+        let trawl_speed = tasks.iter().find(|t| t.key == "trawlSpeed").unwrap();
+        let reply = m.complete(&prompts::prompt_g(trawl_speed));
+        assert!(reply.contains("trawlingArea"), "{reply}");
+    }
+
+    #[test]
+    fn gemma_produces_simple_fluent_trawling() {
+        let mut m = MockLlm::new(Model::Gemma2);
+        let tasks = generation_tasks();
+        let tr = tasks.iter().find(|t| t.key == "tr").unwrap();
+        let reply = m.complete(&prompts::prompt_g(tr));
+        assert!(reply.contains("initiatedAt(trawling"));
+        assert!(!reply.contains("holdsFor(trawling"));
+    }
+
+    #[test]
+    fn unknown_activity_is_declined() {
+        let mut m = MockLlm::new(Model::Mistral);
+        let reply =
+            m.complete("... Maritime Composite Activity Description - teleporting: beam up.");
+        assert!(reply.contains("do not know"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The end-to-end generation pipeline (Figure 1 of the paper).
+//!
+//! The pipeline replays the paper's prompt sequence against any
+//! [`LanguageModel`]: RTEC syntax (R), fluent kinds with few-shot or
+//! chain-of-thought examples (F*/F), input events and fluents (E),
+//! thresholds (T), and then one generation prompt (G) per composite
+//! activity, lower-level activities first. Each G reply is passed through
+//! [`extract_rules`] (models wrap their rules in prose and code fences)
+//! and parsed leniently, preserving per-task provenance for the
+//! per-activity similarity scores of Figure 2a.
+
+use crate::profiles::PromptScheme;
+use crate::prompts;
+use crate::provider::LanguageModel;
+use crate::tasks::{generation_tasks, GenerationTask};
+use maritime::thresholds::Thresholds;
+use rtec::EventDescription;
+
+/// The result of one generation session.
+#[derive(Clone, Debug)]
+pub struct GeneratedDescription {
+    /// The model's display name.
+    pub model_name: String,
+    /// The prompting scheme used.
+    pub scheme: PromptScheme,
+    /// `(task, extracted rules text)` per generation prompt, in order.
+    pub per_task: Vec<(GenerationTask, String)>,
+    /// Number of prompts sent.
+    pub prompts_sent: usize,
+}
+
+impl GeneratedDescription {
+    /// The complete generated event description text (all tasks).
+    pub fn full_text(&self) -> String {
+        self.per_task
+            .iter()
+            .map(|(t, src)| format!("% --- {} ---\n{src}", t.key))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Parses the full description leniently.
+    pub fn description(&self) -> EventDescription {
+        EventDescription::parse_lenient(&self.full_text())
+    }
+
+    /// The extracted rules of one task, if present.
+    pub fn task_text(&self, key: &str) -> Option<&str> {
+        self.per_task
+            .iter()
+            .find(|(t, _)| t.key == key)
+            .map(|(_, s)| s.as_str())
+    }
+
+    /// Parses one task's rules leniently.
+    pub fn task_description(&self, key: &str) -> Option<EventDescription> {
+        self.task_text(key).map(EventDescription::parse_lenient)
+    }
+
+    /// The paper's notation for this description, e.g. `o1□`.
+    pub fn label(&self) -> String {
+        format!("{}{}", self.model_name, self.scheme.marker())
+    }
+}
+
+/// Runs the full prompt sequence of Section 3 against `model`.
+pub fn generate(
+    model: &mut dyn LanguageModel,
+    scheme: PromptScheme,
+    thresholds: &Thresholds,
+) -> GeneratedDescription {
+    model.reset();
+    let mut prompts_sent = 0;
+    let mut send = |m: &mut dyn LanguageModel, p: String| -> String {
+        prompts_sent += 1;
+        m.complete(&p)
+    };
+
+    send(model, prompts::prompt_r());
+    send(model, prompts::prompt_f(scheme));
+    send(model, prompts::prompt_e());
+    send(model, prompts::prompt_t(thresholds));
+
+    let mut per_task = Vec::new();
+    for task in generation_tasks() {
+        let reply = send(model, prompts::prompt_g(&task));
+        let rules = extract_rules(&reply);
+        per_task.push((task, rules));
+    }
+
+    GeneratedDescription {
+        model_name: model.name(),
+        scheme,
+        per_task,
+        prompts_sent,
+    }
+}
+
+/// Extracts RTEC rule text from a chatty model reply.
+///
+/// Fenced code blocks win when present; otherwise a line-oriented
+/// heuristic keeps clause-shaped lines (starting with `initiatedAt`,
+/// `terminatedAt` or `holdsFor`) together with their continuation lines
+/// until the clause-terminating period.
+pub fn extract_rules(text: &str) -> String {
+    if text.contains("```") {
+        let mut out = String::new();
+        for (i, chunk) in text.split("```").enumerate() {
+            if i % 2 == 1 {
+                // Strip an optional language tag on the first line.
+                let chunk = match chunk.split_once('\n') {
+                    Some((first, rest))
+                        if !first.trim().is_empty()
+                            && first.trim().chars().all(|c| c.is_ascii_alphanumeric()) =>
+                    {
+                        rest
+                    }
+                    _ => chunk,
+                };
+                out.push_str(chunk.trim());
+                out.push('\n');
+            }
+        }
+        return out;
+    }
+
+    let mut out = String::new();
+    let mut in_clause = false;
+    for line in text.lines() {
+        let t = line.trim_start();
+        let starts_clause = t.starts_with("initiatedAt")
+            || t.starts_with("terminatedAt")
+            || t.starts_with("holdsFor");
+        if starts_clause || (in_clause && !t.is_empty()) {
+            out.push_str(line);
+            out.push('\n');
+            in_clause = !t.trim_end().ends_with('.');
+        } else if t.is_empty() {
+            in_clause = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockLlm;
+    use crate::profiles::Model;
+
+    fn run(model: Model, scheme: PromptScheme) -> GeneratedDescription {
+        let mut m = MockLlm::new(model);
+        generate(&mut m, scheme, &Thresholds::default())
+    }
+
+    #[test]
+    fn pipeline_sends_all_prompts() {
+        let g = run(Model::O1, PromptScheme::FewShot);
+        // 4 teaching prompts + 20 generation prompts.
+        assert_eq!(g.prompts_sent, 24);
+        assert_eq!(g.per_task.len(), 20);
+    }
+
+    #[test]
+    fn generated_description_parses() {
+        let g = run(Model::O1, PromptScheme::FewShot);
+        let desc = g.description();
+        assert!(
+            desc.clauses.len() > 30,
+            "only {} clauses",
+            desc.clauses.len()
+        );
+    }
+
+    #[test]
+    fn per_task_texts_are_nonempty() {
+        let g = run(Model::Gpt4o, PromptScheme::ChainOfThought);
+        for (task, text) in &g.per_task {
+            assert!(!text.trim().is_empty(), "empty rules for {}", task.key);
+        }
+    }
+
+    #[test]
+    fn syntax_errors_survive_into_text_and_are_reported() {
+        // Mistral injects a missing period into tugging (few-shot is not
+        // its best scheme, but the mutation is scheme-independent).
+        let g = run(Model::Mistral, PromptScheme::ChainOfThought);
+        let desc = g.description();
+        assert!(
+            !desc.parse_errors.is_empty(),
+            "expected at least one parse error"
+        );
+    }
+
+    #[test]
+    fn extract_rules_from_fences() {
+        let text = "Here you go:\n```prolog\nfoo(a).\nbar(b).\n```\nEnjoy!";
+        let r = extract_rules(text);
+        assert!(r.contains("foo(a)."));
+        assert!(r.contains("bar(b)."));
+        assert!(!r.contains("Enjoy"));
+    }
+
+    #[test]
+    fn extract_rules_heuristic_without_fences() {
+        let text = "The rules are:\n\
+            initiatedAt(f(V)=true, T) :-\n\
+            \x20   happensAt(e(V), T).\n\
+            \n\
+            Some trailing prose that must not be kept.";
+        let r = extract_rules(text);
+        assert!(r.contains("initiatedAt"));
+        assert!(r.contains("happensAt"));
+        assert!(!r.contains("prose"));
+    }
+
+    #[test]
+    fn labels_use_paper_markers() {
+        let g = run(Model::Llama3, PromptScheme::FewShot);
+        assert_eq!(g.label(), "Llama-3□");
+    }
+
+    #[test]
+    fn determinism_same_output_across_runs() {
+        let a = run(Model::Gemma2, PromptScheme::ChainOfThought);
+        let b = run(Model::Gemma2, PromptScheme::ChainOfThought);
+        assert_eq!(a.full_text(), b.full_text());
+    }
+}

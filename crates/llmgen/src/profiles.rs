@@ -1,0 +1,566 @@
+//! Per-model error profiles.
+//!
+//! Each simulated model applies a fixed, deterministic set of
+//! [`Mutation`]s to the gold rules of each generation task. The profiles
+//! are calibrated against the paper's Figure 2 and its qualitative error
+//! assessment (Section 5.2):
+//!
+//! * **o1 (few-shot best)** — near-gold output; constant naming
+//!   divergences (`trawlingArea` for `fishing`, as in the paper's
+//!   correction example) and one redundant condition in `trawling`;
+//! * **GPT-4o (chain-of-thought best)** — good output, but `movingSpeed`
+//!   expressed as a statically determined fluent over undefined helpers
+//!   (wrong fluent kind, the paper's explicit example), `loitering` with
+//!   `intersect_all` in place of `union_all` (operator confusion, again
+//!   the paper's example), and a weakened pilot-boarding definition;
+//! * **Llama-3 (few-shot best)** — operator confusion in `loitering`, a
+//!   dropped termination in `drifting`, a weaker `pilotOps`, naming
+//!   divergences;
+//! * **GPT-4 (few-shot best)** — mediocre: a `trawling` definition whose
+//!   conditions match none of the gold ones, missing branches, undefined
+//!   dependencies;
+//! * **Mistral (chain-of-thought best)** — mediocre-to-poor: mismatched
+//!   `trawling`, syntax errors, argument swaps;
+//! * **Gemma-2 (chain-of-thought best)** — poor: `trawling` expressed as
+//!   a *simple* fluent (similarity exactly 0 against the statically
+//!   determined gold definition, as reported), syntax errors, undefined
+//!   dependencies.
+//!
+//! The non-preferred prompting scheme of each model receives the same
+//! profile plus additional degradation, so the best-scheme selection of
+//! Figure 2a reproduces the paper's markers.
+
+use crate::errors::{Mutation, SyntaxErrorKind};
+use std::collections::HashMap;
+
+/// The six models of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// OpenAI GPT-4.
+    Gpt4,
+    /// OpenAI GPT-4o.
+    Gpt4o,
+    /// OpenAI o1.
+    O1,
+    /// Meta Llama-3 (via Groq).
+    Llama3,
+    /// Mistral (via Groq).
+    Mistral,
+    /// Google Gemma-2 (via Groq).
+    Gemma2,
+}
+
+impl Model {
+    /// All models, in the paper's legend order.
+    pub const ALL: [Model; 6] = [
+        Model::Gpt4,
+        Model::Gpt4o,
+        Model::O1,
+        Model::Llama3,
+        Model::Mistral,
+        Model::Gemma2,
+    ];
+
+    /// Display name as in the paper.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Model::Gpt4 => "GPT-4",
+            Model::Gpt4o => "GPT-4o",
+            Model::O1 => "o1",
+            Model::Llama3 => "Llama-3",
+            Model::Mistral => "Mistral",
+            Model::Gemma2 => "Gemma-2",
+        }
+    }
+
+    /// The prompting scheme that works best for this model (the marker
+    /// reported in Figure 2a).
+    pub fn best_scheme(self) -> PromptScheme {
+        match self {
+            Model::Gpt4 => PromptScheme::FewShot,
+            Model::Gpt4o => PromptScheme::ChainOfThought,
+            Model::O1 => PromptScheme::FewShot,
+            Model::Llama3 => PromptScheme::FewShot,
+            Model::Mistral => PromptScheme::ChainOfThought,
+            Model::Gemma2 => PromptScheme::ChainOfThought,
+        }
+    }
+}
+
+/// The two prompting schemes of Section 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PromptScheme {
+    /// Prompt F*: examples without explanations.
+    FewShot,
+    /// Prompt F: examples with step-by-step explanations.
+    ChainOfThought,
+}
+
+impl PromptScheme {
+    /// The paper's marker: `□` for few-shot, `△` for chain-of-thought.
+    pub fn marker(self) -> &'static str {
+        match self {
+            PromptScheme::FewShot => "\u{25a1}",
+            PromptScheme::ChainOfThought => "\u{25b3}",
+        }
+    }
+
+    /// The filled marker used after syntactic correction (`■`/`▲`).
+    pub fn filled_marker(self) -> &'static str {
+        match self {
+            PromptScheme::FewShot => "\u{25a0}",
+            PromptScheme::ChainOfThought => "\u{25b2}",
+        }
+    }
+}
+
+/// The error profile of one `(model, scheme)` pair: mutations per task
+/// key.
+pub type Profile = HashMap<String, Vec<Mutation>>;
+
+fn rename(from: &str, to: &str) -> Mutation {
+    Mutation::RenameSymbol {
+        from: from.into(),
+        to: to.into(),
+    }
+}
+
+fn replace(src: &str) -> Mutation {
+    Mutation::ReplaceDefinition { src: src.into() }
+}
+
+/// Builds the profile for a model/scheme pair.
+pub fn profile(model: Model, scheme: PromptScheme) -> Profile {
+    let mut p: Profile = HashMap::new();
+    let mut add = |key: &str, ms: Vec<Mutation>| {
+        p.entry(key.to_owned()).or_default().extend(ms);
+    };
+
+    match model {
+        Model::O1 => {
+            // Constant naming divergence, fixed during correction
+            // (the paper's example: rename 'trawlingArea' to 'fishing').
+            add("trawlSpeed", vec![rename("fishing", "trawlingArea")]);
+            add("trawlingMovement", vec![rename("fishing", "trawlingArea")]);
+            // Threshold naming divergence.
+            add("h", vec![rename("hcNearCoastMax", "maxCoastalSpeed")]);
+            // Redundant (but semantically harmless) conditions.
+            add(
+                "tr",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(underWay(Vessel)=true, Iu)".into(),
+                }],
+            );
+            add(
+                "s",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(underWay(Vessel)=true, Iu)".into(),
+                }],
+            );
+            add(
+                "d",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsAt(underWay(Vessel)=true, T)".into(),
+                }],
+            );
+        }
+        Model::Gpt4o => {
+            // Wrong fluent kind for movingSpeed (paper, Section 5.2):
+            // statically determined over undefined helper fluents.
+            add(
+                "movingSpeed",
+                vec![replace(
+                    "holdsFor(movingSpeed(Vessel)=below, I) :- \
+                       holdsFor(speedBelowService(Vessel)=true, I1), union_all([I1], I).\n\
+                     holdsFor(movingSpeed(Vessel)=normal, I) :- \
+                       holdsFor(speedWithinService(Vessel)=true, I1), union_all([I1], I).\n\
+                     holdsFor(movingSpeed(Vessel)=above, I) :- \
+                       holdsFor(speedAboveService(Vessel)=true, I1), union_all([I1], I).",
+                )],
+            );
+            // Operator confusion in loitering (paper, Section 5.2):
+            // conjunction of mutually exclusive activities.
+            add("l", vec![Mutation::ConfuseUnionIntersect]);
+            // Weakened pilot boarding: the boarded vessel must be at low
+            // speed (its stopped periods are ignored).
+            add(
+                "p",
+                vec![replace(
+                    "holdsFor(pilotOps(Vessel1, Vessel2)=true, I) :- \
+                       holdsFor(proximity(Vessel1, Vessel2)=true, Ip), \
+                       vesselType(Vessel1, pilotVessel), \
+                       holdsFor(lowSpeed(Vessel1)=true, Il1), \
+                       holdsFor(stopped(Vessel1)=farFromPorts, Is1), \
+                       union_all([Il1, Is1], Ia), \
+                       holdsFor(lowSpeed(Vessel2)=true, Il2), \
+                       intersect_all([Ip, Ia, Il2], I).",
+                )],
+            );
+            // One redundant condition in trawling (as the paper notes for
+            // the high-similarity trawling definitions).
+            add(
+                "tr",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(underWay(Vessel)=true, Iu)".into(),
+                }],
+            );
+            // A redundant condition in anchoredOrMoored.
+            add(
+                "aM",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(underWay(Vessel)=true, Iu)".into(),
+                }],
+            );
+            // Naming divergences, fixed during correction.
+            add("withinArea", vec![rename("entersArea", "inArea")]);
+            add("h", vec![rename("hcNearCoastMax", "coastMaxSpeed")]);
+            add(
+                "tuggingSpeed",
+                vec![
+                    rename("tuggingMin", "towingMin"),
+                    rename("tuggingMax", "towingMax"),
+                ],
+            );
+        }
+        Model::Llama3 => {
+            add("l", vec![Mutation::ConfuseUnionIntersect]);
+            // Dropped velocity-based termination: drifting over-extends.
+            add("d", vec![Mutation::DropRule { index: 1 }]);
+            // Pilot boarding against the wrong stopped value: the boarded
+            // vessel is required to be stopped near a port.
+            add(
+                "p",
+                vec![replace(
+                    "holdsFor(pilotOps(Vessel1, Vessel2)=true, I) :- \
+                       holdsFor(proximity(Vessel1, Vessel2)=true, Ip), \
+                       vesselType(Vessel1, pilotVessel), \
+                       holdsFor(lowSpeed(Vessel1)=true, Il1), \
+                       holdsFor(stopped(Vessel1)=farFromPorts, Is1), \
+                       union_all([Il1, Is1], Ia), \
+                       holdsFor(lowSpeed(Vessel2)=true, Il2), \
+                       holdsFor(stopped(Vessel2)=nearPorts, Is2), \
+                       union_all([Il2, Is2], Ib), \
+                       intersect_all([Ip, Ia, Ib], I).",
+                )],
+            );
+            // A redundant condition in trawling.
+            add(
+                "tr",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(underWay(Vessel)=true, Iu)".into(),
+                }],
+            );
+            // Event naming divergence, fixed during correction.
+            add(
+                "trawlingMovement",
+                vec![rename("change_in_heading", "changeInHeading")],
+            );
+            add(
+                "sarMovement",
+                vec![rename("change_in_heading", "changeInHeading")],
+            );
+        }
+        Model::Gpt4 => {
+            // Trawling with a different head arity, conditions matching
+            // none of the gold ones, and two spurious simple-fluent rules
+            // on top of the holdsFor definition (mixed fluent kind).
+            add(
+                "tr",
+                vec![replace(
+                    "holdsFor(trawling(Vessel, AreaId)=true, I) :- \
+                       holdsFor(withinArea(Vessel, fishing)=true, Iw), \
+                       holdsFor(changingSpeed(Vessel)=true, Ic), \
+                       holdsFor(fishingOperation(Vessel)=true, If), \
+                       holdsFor(underWay(Vessel)=true, Iu), \
+                       intersect_all([Iw, Ic, If, Iu], I).\n\
+                     initiatedAt(trawling(Vessel, AreaId)=true, T) :- \
+                       happensAt(entersArea(Vessel, AreaId), T), \
+                       areaType(AreaId, fishing).\n\
+                     terminatedAt(trawling(Vessel, AreaId)=true, T) :- \
+                       happensAt(leavesArea(Vessel, AreaId), T).",
+                )],
+            );
+            // anchoredOrMoored without the moored-near-port branch.
+            add(
+                "aM",
+                vec![replace(
+                    "holdsFor(anchoredOrMoored(Vessel)=true, I) :- \
+                       holdsFor(stopped(Vessel)=farFromPorts, Isf), \
+                       holdsFor(withinArea(Vessel, anchorage)=true, Ia), \
+                       intersect_all([Isf, Ia], I).",
+                )],
+            );
+            // Undefined dependency in pilot boarding.
+            add(
+                "p",
+                vec![replace(
+                    "holdsFor(pilotOps(Vessel1, Vessel2)=true, I) :- \
+                       holdsFor(proximity(Vessel1, Vessel2)=true, Ip), \
+                       holdsFor(pilotBoardingReady(Vessel2)=true, Ir), \
+                       intersect_all([Ip, Ir], I).",
+                )],
+            );
+            // Naming divergences and a dropped termination.
+            add(
+                "h",
+                vec![
+                    rename("hcNearCoastMax", "coastalSpeedLimit"),
+                    Mutation::DropRule { index: 2 },
+                ],
+            );
+            // A two-rule search-and-rescue definition over an undefined
+            // helper.
+            add(
+                "s",
+                vec![replace(
+                    "holdsFor(sar(Vessel)=true, I) :- \
+                       holdsFor(searchPattern(Vessel)=true, Isp), \
+                       union_all([Isp], I).\n\
+                     initiatedAt(searchPattern(Vessel)=true, T) :- \
+                       happensAt(change_in_heading(Vessel), T).",
+                )],
+            );
+            add("d", vec![rename("adriftAngThr", "driftAngle")]);
+            add(
+                "tu",
+                vec![
+                    rename("proximity", "closeTo"),
+                    Mutation::AddCondition {
+                        rule_index: 0,
+                        literal: "holdsFor(underWay(Vessel1)=true, Iu)".into(),
+                    },
+                ],
+            );
+            add(
+                "l",
+                vec![Mutation::AddCondition {
+                    rule_index: 0,
+                    literal: "holdsFor(changingSpeed(Vessel)=true, Ix)".into(),
+                }],
+            );
+        }
+        Model::Mistral => {
+            add(
+                "tr",
+                vec![replace(
+                    "holdsFor(trawling(Vessel, Area)=true, I) :- \
+                       holdsFor(fishingMovement(Vessel, Area)=true, If), \
+                       holdsFor(slowSailing(Vessel)=true, Isl), \
+                       intersect_all([If, Isl], I).\n\
+                     initiatedAt(fishingMode(Vessel)=true, T) :- \
+                       happensAt(change_in_speed_start(Vessel), T).",
+                )],
+            );
+            add(
+                "tu",
+                vec![
+                    rename("tuggingSpeed", "towSpeed"),
+                    Mutation::InjectSyntaxError {
+                        rule_index: 0,
+                        kind: SyntaxErrorKind::MissingPeriod,
+                    },
+                ],
+            );
+            add(
+                "sarSpeed",
+                vec![
+                    Mutation::SwapArgs {
+                        functor: "thresholds".into(),
+                    },
+                    Mutation::DropRule { index: 1 },
+                ],
+            );
+            add(
+                "s",
+                vec![replace(
+                    "holdsFor(sar(Vessel)=true, I) :- \
+                       holdsFor(rescueOperation(Vessel)=true, Ir), \
+                       union_all([Ir], I).\n\
+                     initiatedAt(rescuePhase(Vessel)=true, T) :- \
+                       happensAt(stop_end(Vessel), T).",
+                )],
+            );
+            add(
+                "d",
+                vec![replace(
+                    "initiatedAt(drifting(Vessel)=true, T) :- \
+                       happensAt(velocity(Vessel, Speed, Heading, Cog), T), \
+                       Heading \\= Cog.\n\
+                     terminatedAt(drifting(Vessel)=true, T) :- \
+                       happensAt(stop_start(Vessel), T).",
+                )],
+            );
+            add("aM", vec![Mutation::ConfuseUnionIntersect]);
+            add("l", vec![rename("lowSpeed", "slowSpeed")]);
+            add(
+                "h",
+                vec![
+                    rename("velocity", "speedReport"),
+                    Mutation::DropRule { index: 3 },
+                ],
+            );
+            add(
+                "p",
+                vec![Mutation::RemoveCondition {
+                    rule_index: 0,
+                    literal_index: 1,
+                }],
+            );
+        }
+        Model::Gemma2 => {
+            // Wrong fluent kind for trawling: similarity 0 against the
+            // statically determined gold definition (paper, Section 5.2).
+            add(
+                "tr",
+                vec![replace(
+                    "initiatedAt(trawling(Vessel)=true, T) :- \
+                       happensAt(change_in_heading(Vessel), T), \
+                       holdsAt(withinArea(Vessel, fishing)=true, T).\n\
+                     terminatedAt(trawling(Vessel)=true, T) :- \
+                       happensAt(leavesArea(Vessel, AreaId), T).\n\
+                     terminatedAt(trawling(Vessel)=true, T) :- \
+                       happensAt(gap_start(Vessel), T).",
+                )],
+            );
+            add(
+                "aM",
+                vec![replace(
+                    "holdsFor(anchoredOrMoored(Vessel)=true, I) :- \
+                       holdsFor(atAnchor(Vessel)=true, Ia), \
+                       holdsFor(moored(Vessel)=true, Im), \
+                       union_all([Ia, Im], I).",
+                )],
+            );
+            // A crude two-condition tugging definition over an undefined
+            // helper.
+            add(
+                "tu",
+                vec![replace(
+                    "holdsFor(tugging(Vessel1, Vessel2)=true, I) :- \
+                       holdsFor(closeTogether(Vessel1, Vessel2)=true, Ic), \
+                       union_all([Ic], I).",
+                )],
+            );
+            // The syntax error lands in the helper speed fluent.
+            add(
+                "tuggingSpeed",
+                vec![Mutation::InjectSyntaxError {
+                    rule_index: 0,
+                    kind: SyntaxErrorKind::UnbalancedParen,
+                }],
+            );
+            add(
+                "s",
+                vec![
+                    rename("sarSpeed", "rescueSpeed"),
+                    rename("sarMovement", "rescueMovement"),
+                    Mutation::InjectSyntaxError {
+                        rule_index: 0,
+                        kind: SyntaxErrorKind::BadNeck,
+                    },
+                ],
+            );
+            add(
+                "h",
+                vec![
+                    Mutation::DropRule { index: 3 },
+                    Mutation::DropRule { index: 1 },
+                ],
+            );
+            add(
+                "l",
+                vec![Mutation::ConfuseUnionIntersect, rename("stopped", "idle")],
+            );
+            add(
+                "d",
+                vec![replace(
+                    "holdsFor(drifting(Vessel)=true, I) :- \
+                       holdsFor(adrift(Vessel)=true, Ia), \
+                       union_all([Ia], I).",
+                )],
+            );
+            add(
+                "p",
+                vec![replace(
+                    "holdsFor(pilotOps(Vessel1, Vessel2)=true, I) :- \
+                       holdsFor(boarding(Vessel1, Vessel2)=true, Ib), \
+                       union_all([Ib], I).",
+                )],
+            );
+        }
+    }
+
+    // The non-preferred scheme degrades further: extra dropped rules and
+    // naming drift across several tasks.
+    if scheme != model.best_scheme() {
+        add("withinArea", vec![rename("areaType", "typeOfArea")]);
+        add("stopped", vec![Mutation::DropRule { index: 2 }]);
+        add("h", vec![Mutation::DropRule { index: 1 }]);
+        add("aM", vec![Mutation::ConfuseUnionIntersect]);
+        add("s", vec![Mutation::DropRule { index: 0 }]);
+        add("d", vec![rename("velocity", "kinematics")]);
+        add(
+            "tr",
+            vec![Mutation::AddCondition {
+                rule_index: 0,
+                literal: "holdsFor(changingSpeed(Vessel)=true, Ix)".into(),
+            }],
+        );
+    }
+
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_profile() {
+        for m in Model::ALL {
+            for s in [PromptScheme::FewShot, PromptScheme::ChainOfThought] {
+                let p = profile(m, s);
+                assert!(!p.is_empty(), "{m:?}/{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_preferred_scheme_is_strictly_more_mutated() {
+        for m in Model::ALL {
+            let best = profile(m, m.best_scheme());
+            let other_scheme = if m.best_scheme() == PromptScheme::FewShot {
+                PromptScheme::ChainOfThought
+            } else {
+                PromptScheme::FewShot
+            };
+            let other = profile(m, other_scheme);
+            let count = |p: &Profile| p.values().map(Vec::len).sum::<usize>();
+            assert!(count(&other) > count(&best), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn markers_match_paper_notation() {
+        assert_eq!(PromptScheme::FewShot.marker(), "□");
+        assert_eq!(PromptScheme::ChainOfThought.marker(), "△");
+        assert_eq!(PromptScheme::FewShot.filled_marker(), "■");
+        assert_eq!(PromptScheme::ChainOfThought.filled_marker(), "▲");
+    }
+
+    #[test]
+    fn best_schemes_match_figure_2a() {
+        assert_eq!(Model::Gpt4.best_scheme(), PromptScheme::FewShot);
+        assert_eq!(Model::Gpt4o.best_scheme(), PromptScheme::ChainOfThought);
+        assert_eq!(Model::O1.best_scheme(), PromptScheme::FewShot);
+        assert_eq!(Model::Llama3.best_scheme(), PromptScheme::FewShot);
+        assert_eq!(Model::Mistral.best_scheme(), PromptScheme::ChainOfThought);
+        assert_eq!(Model::Gemma2.best_scheme(), PromptScheme::ChainOfThought);
+    }
+}

@@ -1,0 +1,269 @@
+//! The prompt builders of Section 3 (prompts R, F*/F, E, T and G).
+
+use crate::profiles::PromptScheme;
+use crate::tasks::GenerationTask;
+use maritime::thresholds::Thresholds;
+
+/// Prompt R: the syntax of the RTEC language (based on the paper's
+/// Definitions 2.2 and 2.4).
+pub fn prompt_r() -> String {
+    "You will write composite activity definitions in the language of RTEC, the Run-Time \
+     Event Calculus. RTEC uses a linear time-line with non-negative integer time-points. \
+     happensAt(E, T) signifies that event E occurs at time-point T. \
+     initiatedAt(F=V, T) (respectively terminatedAt(F=V, T)) expresses that a time period \
+     during which fluent F has value V continuously is initiated (terminated) at T. \
+     holdsAt(F=V, T) states that F has value V at T, while holdsFor(F=V, I) expresses that \
+     F=V holds continuously in the maximal intervals included in list I.\n\n\
+     The body of a rule with initiatedAt(F=V, T) or terminatedAt(F=V, T) in its head starts \
+     with a positive happensAt predicate, followed by a possibly empty set of positive or \
+     negative happensAt and holdsAt predicates, evaluated at the same time-point T. \
+     Negative predicates are prefixed with 'not', which expresses negation-by-failure. \
+     Background knowledge predicates and arithmetic comparisons may also appear as \
+     conditions.\n\n\
+     The body of a rule with holdsFor(F=V, I) in its head starts with a holdsFor condition \
+     over a fluent-value pair other than F=V, followed by further holdsFor conditions and \
+     the interval manipulation constructs union_all, intersect_all and \
+     relative_complement_all. union_all([I1, ..., In], J) computes the union of interval \
+     lists, intersect_all([I1, ..., In], J) their intersection, and \
+     relative_complement_all(I, [I1, ..., In], J) the sub-intervals of I covered by none of \
+     I1, ..., In. Every rule ends with a period."
+        .to_owned()
+}
+
+/// Prompt F (chain-of-thought) or F* (few-shot): the two ways of defining
+/// a composite activity, with the `withinArea` and `underWay` worked
+/// examples. The chain-of-thought variant includes the explanatory
+/// "Answer" paragraphs; the few-shot variant presents the rules only.
+pub fn prompt_f(scheme: PromptScheme) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "There are two ways in which a composite activity may be defined in the language of \
+         RTEC. In the first case, a composite activity definition may be specified by means \
+         of rules with initiatedAt(F=V,T) or terminatedAt(F=V,T) in their head. This is \
+         called a simple fluent definition.\n\n",
+    );
+    s.push_str(
+        "Example 1: Given a composite maritime activity description, provide the rules in \
+         the language of RTEC. Composite Maritime Activity Description: 'withinArea'. This \
+         activity starts when a vessel enters an area of interest. The activity ends when \
+         the vessel leaves the area that it had entered. When there is a gap in signal \
+         transmissions, we can no longer assume that the vessel remains in the same area.\n\n",
+    );
+    if scheme == PromptScheme::ChainOfThought {
+        s.push_str(
+            "Answer: The activity 'withinArea' is expressed as a simple fluent. This \
+             activity starts when a vessel enters an area of interest. We use an \
+             'initiatedAt' rule to express this initiation condition. The output is a \
+             boolean fluent named 'withinArea' with two arguments, i.e., 'Vessel' and \
+             'AreaType'. We use one input event named 'entersArea' with two arguments \
+             'Vessel' and 'Area' and one background predicate named 'areaType' with two \
+             arguments 'Area' and 'AreaType'. This rule in the language of RTEC is the \
+             following:\n",
+        );
+    }
+    s.push_str(
+        "initiatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+         \x20   happensAt(entersArea(Vessel, AreaId), T),\n\
+         \x20   areaType(AreaId, AreaType).\n\n",
+    );
+    if scheme == PromptScheme::ChainOfThought {
+        s.push_str(
+            "The activity 'withinArea' ends when a vessel leaves the area that it had \
+             entered. We use a 'terminatedAt' rule to describe this termination condition:\n",
+        );
+    }
+    s.push_str(
+        "terminatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+         \x20   happensAt(leavesArea(Vessel, AreaId), T),\n\
+         \x20   areaType(AreaId, AreaType).\n\n",
+    );
+    if scheme == PromptScheme::ChainOfThought {
+        s.push_str(
+            "The activity 'withinArea' ends when a communication gap starts. We use a \
+             'terminatedAt' rule to express this termination condition:\n",
+        );
+    }
+    s.push_str(
+        "terminatedAt(withinArea(Vessel, AreaType)=true, T) :-\n\
+         \x20   happensAt(gap_start(Vessel), T).\n\n",
+    );
+    s.push_str(
+        "A composite activity definition may also be specified by means of one rule with \
+         holdsFor(F=V, I) in its head. This is called a statically determined fluent \
+         definition.\n\n\
+         Example 2: Given a composite maritime activity description, provide the rules in \
+         the language of RTEC. Composite Maritime Activity Description: 'underWay'. This \
+         activity lasts as long as a vessel is not stopped.\n\n",
+    );
+    if scheme == PromptScheme::ChainOfThought {
+        s.push_str(
+            "Answer: The activity 'underWay' is expressed as a statically determined \
+             fluent. Rules with 'holdsFor' in the head specify the conditions in which a \
+             fluent holds. We express 'underWay' as the disjunction of the three values of \
+             'movingSpeed', i.e. 'below', 'normal' and 'above'. Disjunction in 'holdsFor' \
+             rules is expressed by means of 'union_all'. This rule is expressed in the \
+             language of RTEC as follows:\n",
+        );
+    }
+    s.push_str(
+        "holdsFor(underWay(Vessel)=true, I) :-\n\
+         \x20   holdsFor(movingSpeed(Vessel)=below, I1),\n\
+         \x20   holdsFor(movingSpeed(Vessel)=normal, I2),\n\
+         \x20   holdsFor(movingSpeed(Vessel)=above, I3),\n\
+         \x20   union_all([I1, I2, I3], I).",
+    );
+    s
+}
+
+/// The input-event catalogue shown in prompt E: `(signature, meaning)`.
+pub fn input_event_catalogue() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "velocity(Vessel, Speed, Heading, CourseOverGround)",
+            "'Vessel' reported its speed (knots), heading and course over ground (degrees).",
+        ),
+        (
+            "change_in_speed_start(Vessel)",
+            "'Vessel' started changing its speed.",
+        ),
+        (
+            "change_in_speed_end(Vessel)",
+            "'Vessel' stopped changing its speed.",
+        ),
+        ("change_in_heading(Vessel)", "'Vessel' changed its heading."),
+        ("stop_start(Vessel)", "'Vessel' became idle."),
+        (
+            "stop_end(Vessel)",
+            "'Vessel' started moving after being idle.",
+        ),
+        (
+            "slow_motion_start(Vessel)",
+            "'Vessel' started sailing at low speed.",
+        ),
+        (
+            "slow_motion_end(Vessel)",
+            "'Vessel' stopped sailing at low speed.",
+        ),
+        (
+            "gap_start(Vessel)",
+            "We stopped receiving position messages from 'Vessel'.",
+        ),
+        (
+            "gap_end(Vessel)",
+            "We resumed receiving position messages from 'Vessel'.",
+        ),
+        ("entersArea(Vessel, Area)", "'Vessel' entered area 'Area'."),
+        ("leavesArea(Vessel, Area)", "'Vessel' left area 'Area'."),
+    ]
+}
+
+/// Prompt E: the items of the input stream.
+pub fn prompt_e() -> String {
+    let mut s = String::from("You may use the following input events:\n\n");
+    for (i, (sig, meaning)) in input_event_catalogue().iter().enumerate() {
+        s.push_str(&format!(
+            "Input Event {}: {sig}\nMeaning: {meaning}\n\n",
+            i + 1
+        ));
+    }
+    s.push_str(
+        "You may also use the input fluent proximity(Vessel1, Vessel2)=true, whose maximal \
+         intervals are provided with the stream: the two vessels are close to each other.\n\n\
+         You may use the following background predicates: areaType(Area, AreaType), where \
+         AreaType is one of fishing, anchorage, natura, nearCoast, nearPorts; \
+         vesselType(Vessel, Type), where Type is one of fishing, tug, pilotVessel, sar, \
+         cargo, tanker, passenger; and typeSpeed(Type, Min, Max), the service speed range \
+         of a vessel type.",
+    );
+    s
+}
+
+/// Prompt T: the threshold values of the maritime domain.
+pub fn prompt_t(thresholds: &Thresholds) -> String {
+    let mut s = String::from(
+        "You may use a predicate named 'thresholds' with two arguments. The first argument \
+         refers to the threshold type and the second one to the threshold value. Threshold \
+         values can be used to perform mathematical operations and comparisons.\n\n",
+    );
+    for (i, (name, value, meaning)) in thresholds.catalogue().iter().enumerate() {
+        s.push_str(&format!(
+            "Threshold {}: thresholds({name}, {value})\nMeaning: {meaning}\n\n",
+            i + 1
+        ));
+    }
+    s
+}
+
+/// Prompt G: one activity-generation request.
+pub fn prompt_g(task: &GenerationTask) -> String {
+    format!(
+        "Given a composite maritime activity description, provide the rules in RTEC \
+         formalization. You may use any of the aforementioned input events and fluents, \
+         and threshold values. You may use any of the output fluents that you have already \
+         learned.\n\n\
+         Maritime Composite Activity Description - {}: {}",
+        task.fluent, task.description
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::generation_tasks;
+
+    #[test]
+    fn chain_of_thought_is_longer_than_few_shot() {
+        let cot = prompt_f(PromptScheme::ChainOfThought);
+        let fs = prompt_f(PromptScheme::FewShot);
+        assert!(cot.len() > fs.len());
+        assert!(cot.contains("Answer:"));
+        assert!(!fs.contains("Answer:"));
+        // Both carry the example rules.
+        for p in [&cot, &fs] {
+            assert!(p.contains("initiatedAt(withinArea(Vessel, AreaType)=true, T)"));
+            assert!(p.contains("union_all([I1, I2, I3], I)"));
+        }
+    }
+
+    #[test]
+    fn example_rules_in_prompt_f_parse() {
+        // The rule text shown to the model must itself be valid RTEC.
+        let fs = prompt_f(PromptScheme::FewShot);
+        let mut rules = String::new();
+        for chunk in fs.split("\n\n") {
+            let c = chunk.trim();
+            if c.starts_with("initiatedAt")
+                || c.starts_with("terminatedAt")
+                || c.starts_with("holdsFor")
+            {
+                rules.push_str(c);
+                rules.push('\n');
+            }
+        }
+        let desc = rtec::EventDescription::parse(&rules).unwrap();
+        assert_eq!(desc.clauses.len(), 4);
+    }
+
+    #[test]
+    fn prompt_e_lists_all_events() {
+        let e = prompt_e();
+        for (sig, _) in input_event_catalogue() {
+            assert!(e.contains(sig), "missing {sig}");
+        }
+    }
+
+    #[test]
+    fn prompt_t_lists_all_thresholds() {
+        let t = prompt_t(&Thresholds::default());
+        assert!(t.contains("thresholds(hcNearCoastMax, 5)"));
+        assert!(t.contains("adriftAngThr"));
+    }
+
+    #[test]
+    fn prompt_g_embeds_task() {
+        let tasks = generation_tasks();
+        let g = prompt_g(&tasks[12]);
+        assert!(g.contains("highSpeedNearCoast"));
+        assert!(g.contains("coastal area"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The language-model abstraction.
+//!
+//! The generation pipeline talks to any model through [`LanguageModel`]:
+//! a stateful chat where each prompt of Section 3 (R, F*/F, E, T, G...) is
+//! sent in order and the reply to each G prompt is expected to contain an
+//! activity definition. Production deployments would implement this trait
+//! over the OpenAI/Groq HTTP APIs; this repository ships deterministic
+//! simulated models ([`crate::mock`]).
+
+/// A conversational language model.
+pub trait LanguageModel {
+    /// A short identifier, e.g. `"o1"` or `"GPT-4o"`.
+    fn name(&self) -> String;
+
+    /// Sends one prompt and returns the model's reply. Implementations are
+    /// stateful: earlier prompts of the session are context for later ones
+    /// (the pipeline always replays prompts in the paper's order).
+    fn complete(&mut self, prompt: &str) -> String;
+
+    /// Resets the conversation state.
+    fn reset(&mut self);
+}
+
+/// A trivial model for tests: echoes a canned reply for every prompt.
+#[derive(Debug, Clone)]
+pub struct CannedModel {
+    /// The reply returned for every prompt.
+    pub reply: String,
+    /// Number of prompts received.
+    pub prompts_seen: usize,
+}
+
+impl CannedModel {
+    /// Creates a canned model.
+    pub fn new(reply: impl Into<String>) -> CannedModel {
+        CannedModel {
+            reply: reply.into(),
+            prompts_seen: 0,
+        }
+    }
+}
+
+impl LanguageModel for CannedModel {
+    fn name(&self) -> String {
+        "canned".to_owned()
+    }
+
+    fn complete(&mut self, _prompt: &str) -> String {
+        self.prompts_seen += 1;
+        self.reply.clone()
+    }
+
+    fn reset(&mut self) {
+        self.prompts_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_model_counts_prompts() {
+        let mut m = CannedModel::new("ok");
+        assert_eq!(m.complete("a"), "ok");
+        assert_eq!(m.complete("b"), "ok");
+        assert_eq!(m.prompts_seen, 2);
+        m.reset();
+        assert_eq!(m.prompts_seen, 0);
+    }
+}

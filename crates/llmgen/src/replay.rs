@@ -1,0 +1,204 @@
+//! Recording and replaying generation sessions.
+//!
+//! Live LLM calls are slow, non-deterministic and cost money; a standard
+//! production pattern is to record each prompting session and re-run the
+//! downstream pipeline (extraction, scoring, correction, recognition)
+//! from the transcript. [`RecordingModel`] wraps any [`LanguageModel`]
+//! and captures the prompt/reply pairs; [`ReplayModel`] plays a saved
+//! transcript back as a model.
+
+use crate::provider::LanguageModel;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::path::Path;
+
+/// A recorded prompting session.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct Transcript {
+    /// The recorded model's name.
+    pub model: String,
+    /// `(prompt, reply)` pairs in session order.
+    pub turns: Vec<(String, String)>,
+}
+
+impl Transcript {
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("transcript serialises")
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(s: &str) -> Result<Transcript, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the transcript to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a transcript from a file.
+    pub fn load(path: &Path) -> std::io::Result<Transcript> {
+        let s = std::fs::read_to_string(path)?;
+        Transcript::from_json(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Wraps a model and records every prompt/reply pair.
+pub struct RecordingModel<M> {
+    inner: M,
+    transcript: Transcript,
+}
+
+impl<M: LanguageModel> RecordingModel<M> {
+    /// Starts recording `inner`.
+    pub fn new(inner: M) -> RecordingModel<M> {
+        let model = inner.name();
+        RecordingModel {
+            inner,
+            transcript: Transcript {
+                model,
+                turns: Vec::new(),
+            },
+        }
+    }
+
+    /// The transcript recorded so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// Stops recording, returning the inner model and the transcript.
+    pub fn finish(self) -> (M, Transcript) {
+        (self.inner, self.transcript)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for RecordingModel<M> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn complete(&mut self, prompt: &str) -> String {
+        let reply = self.inner.complete(prompt);
+        self.transcript
+            .turns
+            .push((prompt.to_owned(), reply.clone()));
+        reply
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.transcript.turns.clear();
+    }
+}
+
+/// Replays a transcript as a model: each prompt is answered with the next
+/// recorded reply. Prompts are not required to match the recorded ones
+/// (the pipeline may evolve); an exhausted transcript answers with an
+/// empty string.
+pub struct ReplayModel {
+    name: String,
+    all: Vec<String>,
+    remaining: VecDeque<String>,
+}
+
+impl ReplayModel {
+    /// Builds a replaying model from a transcript.
+    pub fn new(transcript: &Transcript) -> ReplayModel {
+        let all: Vec<String> = transcript.turns.iter().map(|(_, r)| r.clone()).collect();
+        ReplayModel {
+            name: transcript.model.clone(),
+            remaining: all.clone().into(),
+            all,
+        }
+    }
+}
+
+impl LanguageModel for ReplayModel {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn complete(&mut self, _prompt: &str) -> String {
+        self.remaining.pop_front().unwrap_or_default()
+    }
+
+    fn reset(&mut self) {
+        self.remaining = self.all.clone().into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockLlm;
+    use crate::pipeline::generate;
+    use crate::profiles::Model;
+    use maritime::thresholds::Thresholds;
+
+    #[test]
+    fn record_then_replay_reproduces_the_description() {
+        let mut recorder = RecordingModel::new(MockLlm::new(Model::O1));
+        let live = generate(
+            &mut recorder,
+            Model::O1.best_scheme(),
+            &Thresholds::default(),
+        );
+        let (_, transcript) = recorder.finish();
+        assert_eq!(transcript.turns.len(), live.prompts_sent);
+
+        let mut replay = ReplayModel::new(&transcript);
+        let replayed = generate(&mut replay, Model::O1.best_scheme(), &Thresholds::default());
+        assert_eq!(live.full_text(), replayed.full_text());
+    }
+
+    #[test]
+    fn transcript_json_round_trips() {
+        let t = Transcript {
+            model: "o1".into(),
+            turns: vec![("p1".into(), "r1".into()), ("p2".into(), "r2".into())],
+        };
+        let j = t.to_json();
+        let back = Transcript::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn transcript_file_round_trips() {
+        let t = Transcript {
+            model: "GPT-4o".into(),
+            turns: vec![("prompt".into(), "reply with\nnewlines".into())],
+        };
+        let dir = std::env::temp_dir().join("adgen_transcript_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        t.save(&path).unwrap();
+        let back = Transcript::load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exhausted_replay_returns_empty() {
+        let t = Transcript {
+            model: "x".into(),
+            turns: vec![("p".into(), "r".into())],
+        };
+        let mut m = ReplayModel::new(&t);
+        assert_eq!(m.complete("p"), "r");
+        assert_eq!(m.complete("q"), "");
+        m.reset();
+        assert_eq!(m.complete("p"), "r");
+    }
+
+    #[test]
+    fn recorder_reset_clears_turns() {
+        let mut r = RecordingModel::new(MockLlm::new(Model::Mistral));
+        r.complete("hello");
+        assert_eq!(r.transcript().turns.len(), 1);
+        r.reset();
+        assert!(r.transcript().turns.is_empty());
+    }
+}

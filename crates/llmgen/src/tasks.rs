@@ -1,0 +1,162 @@
+//! The sequence of generation tasks: one prompt G per composite activity,
+//! ordered bottom-up so that later definitions may reuse earlier ones
+//! (Section 3.3 — "we instruct the LLM to take into consideration any of
+//! the activities that has been formalised so far").
+
+use maritime::gold::{activities, Activity};
+
+/// One generation request: a natural-language activity description the
+/// model must formalise in RTEC.
+#[derive(Clone, Debug)]
+pub struct GenerationTask {
+    /// Stable key: the paper's activity keys (`h`, `aM`, ...) for the
+    /// eight targets, the fluent name for lower-level helpers.
+    pub key: String,
+    /// The main fluent the task defines.
+    pub fluent: String,
+    /// Natural-language description (the text of prompt G).
+    pub description: String,
+    /// Whether this is one of the eight activities of Figure 2.
+    pub is_target: bool,
+}
+
+fn helper(fluent: &str, description: &str) -> GenerationTask {
+    GenerationTask {
+        key: fluent.to_owned(),
+        fluent: fluent.to_owned(),
+        description: description.to_owned(),
+        is_target: false,
+    }
+}
+
+fn target(a: &Activity) -> GenerationTask {
+    GenerationTask {
+        key: a.key.to_owned(),
+        fluent: a.name.to_owned(),
+        description: a.description.to_owned(),
+        is_target: true,
+    }
+}
+
+/// The full task sequence: lower-level fluents first (communication gap,
+/// area membership, stop/low-speed/speed-change states, moving speed,
+/// under way, and the per-activity helper speeds/movements), then the
+/// eight target activities in Figure 2 order.
+pub fn generation_tasks() -> Vec<GenerationTask> {
+    let mut tasks = vec![
+        helper(
+            "gap",
+            "Communication gap: a communication gap starts when we stop receiving messages \
+             from a vessel. We would like to distinguish the cases where a communication gap \
+             starts (i) near some port and (ii) far from all ports. A communication gap ends \
+             when we resume receiving messages from a vessel.",
+        ),
+        helper(
+            "withinArea",
+            "Within area: this activity starts when a vessel enters an area of interest. The \
+             activity ends when the vessel leaves the area that it had entered. When there is \
+             a gap in signal transmissions, we can no longer assume that the vessel remains \
+             in the same area.",
+        ),
+        helper(
+            "stopped",
+            "Stopped: a vessel is stopped from the moment it becomes idle, distinguishing \
+             whether it stopped near some port or far from all ports. The activity ends when \
+             the vessel starts moving again or when there is a communication gap.",
+        ),
+        helper(
+            "lowSpeed",
+            "Low speed: a vessel sails at low speed from the moment its slow motion starts \
+             until its slow motion ends or there is a communication gap.",
+        ),
+        helper(
+            "changingSpeed",
+            "Changing speed: a vessel is changing its speed from the moment a change in \
+             speed starts until the change in speed ends or there is a communication gap.",
+        ),
+        helper(
+            "movingSpeed",
+            "Moving speed: while a vessel is moving, i.e. sailing at or above the minimum \
+             moving speed, classify its speed as below, normal or above the service speed \
+             range of its vessel type. The classification ends when the vessel's speed drops \
+             below the minimum moving speed or there is a communication gap.",
+        ),
+        helper(
+            "underWay",
+            "Under way: this activity lasts as long as a vessel is moving, i.e. sailing at \
+             any moving speed — below, normal or above its service speed.",
+        ),
+        helper(
+            "trawlSpeed",
+            "Trawling speed: a fishing vessel sails at trawling speed while its speed lies \
+             between the trawling speed thresholds and it is within a fishing area. The \
+             activity ends when the speed leaves the range or there is a communication gap.",
+        ),
+        helper(
+            "trawlingMovement",
+            "Trawling movement: a vessel exhibits trawling movement from its first change of \
+             heading within a fishing area; the activity ends when the vessel leaves the \
+             fishing area or there is a communication gap.",
+        ),
+        helper(
+            "tuggingSpeed",
+            "Towing speed: a vessel sails at towing speed while its speed lies between the \
+             tugging speed thresholds. The activity ends when the speed leaves the range or \
+             there is a communication gap.",
+        ),
+        helper(
+            "sarSpeed",
+            "Search-and-rescue speed: a search-and-rescue vessel sails at search-and-rescue \
+             speed while its speed is at or above the minimum search-and-rescue speed. The \
+             activity ends when the speed drops below the threshold or there is a \
+             communication gap.",
+        ),
+        helper(
+            "sarMovement",
+            "Search-and-rescue movement: a search-and-rescue vessel exhibits \
+             search-and-rescue movement from its first change of heading; the activity ends \
+             when the vessel stops or there is a communication gap.",
+        ),
+    ];
+    tasks.extend(activities().iter().map(target));
+    tasks
+}
+
+/// The eight target tasks only, in Figure 2 order.
+pub fn target_tasks() -> Vec<GenerationTask> {
+    generation_tasks()
+        .into_iter()
+        .filter(|t| t.is_target)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_tasks_targets_last() {
+        let tasks = generation_tasks();
+        assert_eq!(tasks.len(), 20);
+        assert!(tasks[..12].iter().all(|t| !t.is_target));
+        assert!(tasks[12..].iter().all(|t| t.is_target));
+    }
+
+    #[test]
+    fn target_keys_match_figure_2() {
+        let keys: Vec<String> = target_tasks().iter().map(|t| t.key.clone()).collect();
+        assert_eq!(keys, vec!["h", "aM", "tr", "tu", "p", "l", "s", "d"]);
+    }
+
+    #[test]
+    fn every_task_fluent_exists_in_gold() {
+        let gold = maritime::gold::gold_event_description();
+        for t in generation_tasks() {
+            assert!(
+                gold.symbols.get(&t.fluent).is_some(),
+                "fluent {} missing from gold",
+                t.fluent
+            );
+        }
+    }
+}

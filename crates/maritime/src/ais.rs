@@ -1,0 +1,116 @@
+//! AIS position signals.
+//!
+//! Each signal carries the kinematics the real Automatic Identification
+//! System transmits: position, speed over ground, heading and course over
+//! ground (paper, Section 5.1).
+
+use crate::geometry::Point;
+use crate::vessel::VesselId;
+use serde::{Deserialize, Serialize};
+
+/// One AIS position report.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AisPoint {
+    /// Reporting vessel.
+    pub vessel: VesselId,
+    /// Unix-style timestamp in seconds from scenario start.
+    pub t: i64,
+    /// Position (metres, local plane).
+    pub pos: Point,
+    /// Speed over ground, knots.
+    pub speed: f64,
+    /// Heading, degrees clockwise from north.
+    pub heading: f64,
+    /// Course over ground, degrees clockwise from north. Deviates from
+    /// heading when the vessel drifts.
+    pub cog: f64,
+}
+
+/// The time-ordered AIS track of one vessel.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// The signals, sorted by time.
+    pub points: Vec<AisPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Trajectory {
+        Trajectory::default()
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First signal time, if any.
+    pub fn start(&self) -> Option<i64> {
+        self.points.first().map(|p| p.t)
+    }
+
+    /// Last signal time, if any.
+    pub fn end(&self) -> Option<i64> {
+        self.points.last().map(|p| p.t)
+    }
+
+    /// Asserts the time-ordering invariant (strictly increasing).
+    pub fn check_sorted(&self) {
+        for w in self.points.windows(2) {
+            assert!(w[0].t < w[1].t, "trajectory not strictly time-ordered");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_bookkeeping() {
+        let mut tr = Trajectory::new();
+        assert!(tr.is_empty());
+        tr.points.push(AisPoint {
+            vessel: VesselId(1),
+            t: 0,
+            pos: Point::new(0.0, 0.0),
+            speed: 10.0,
+            heading: 90.0,
+            cog: 90.0,
+        });
+        tr.points.push(AisPoint {
+            vessel: VesselId(1),
+            t: 60,
+            pos: Point::new(300.0, 0.0),
+            speed: 10.0,
+            heading: 90.0,
+            cog: 90.0,
+        });
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.start(), Some(0));
+        assert_eq!(tr.end(), Some(60));
+        tr.check_sorted();
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unsorted_trajectory_panics_check() {
+        let p = AisPoint {
+            vessel: VesselId(1),
+            t: 60,
+            pos: Point::new(0.0, 0.0),
+            speed: 0.0,
+            heading: 0.0,
+            cog: 0.0,
+        };
+        let tr = Trajectory {
+            points: vec![p, AisPoint { t: 10, ..p }],
+        };
+        tr.check_sorted();
+    }
+}

@@ -1,0 +1,215 @@
+//! Areas of interest: the spatial background knowledge of the maritime
+//! domain (`areaType/2` facts), laid out as a Brest-like coastal region.
+
+use crate::geometry::{Point, Polygon};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area kinds referenced by the maritime activity definitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AreaKind {
+    /// Fishing grounds.
+    Fishing,
+    /// Designated anchorage.
+    Anchorage,
+    /// Environmentally protected (Natura 2000) area.
+    Natura,
+    /// Coastal band where speed is restricted.
+    NearCoast,
+    /// Vicinity of a port.
+    NearPorts,
+}
+
+impl AreaKind {
+    /// All kinds in a stable order.
+    pub const ALL: [AreaKind; 5] = [
+        AreaKind::Fishing,
+        AreaKind::Anchorage,
+        AreaKind::Natura,
+        AreaKind::NearCoast,
+        AreaKind::NearPorts,
+    ];
+
+    /// The RTEC constant naming this kind.
+    pub fn as_atom(self) -> &'static str {
+        match self {
+            AreaKind::Fishing => "fishing",
+            AreaKind::Anchorage => "anchorage",
+            AreaKind::Natura => "natura",
+            AreaKind::NearCoast => "nearCoast",
+            AreaKind::NearPorts => "nearPorts",
+        }
+    }
+}
+
+/// An area identifier; rendered as the RTEC constant `a<n>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AreaId(pub u32);
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An area of interest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Area {
+    /// Identifier.
+    pub id: AreaId,
+    /// Kind.
+    pub kind: AreaKind,
+    /// Geometry.
+    pub polygon: Polygon,
+}
+
+/// The set of areas of the synthetic world.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AreaMap {
+    areas: Vec<Area>,
+}
+
+impl AreaMap {
+    /// Creates an empty map.
+    pub fn new() -> AreaMap {
+        AreaMap::default()
+    }
+
+    /// Adds an area, returning its id.
+    pub fn add(&mut self, kind: AreaKind, polygon: Polygon) -> AreaId {
+        let id = AreaId(self.areas.len() as u32);
+        self.areas.push(Area { id, kind, polygon });
+        id
+    }
+
+    /// All areas.
+    pub fn areas(&self) -> &[Area] {
+        &self.areas
+    }
+
+    /// The areas containing `p`.
+    pub fn containing(&self, p: &Point) -> Vec<&Area> {
+        self.areas
+            .iter()
+            .filter(|a| a.polygon.contains(p))
+            .collect()
+    }
+
+    /// Whether `p` lies in some area of `kind`.
+    pub fn in_kind(&self, p: &Point, kind: AreaKind) -> bool {
+        self.areas
+            .iter()
+            .any(|a| a.kind == kind && a.polygon.contains(p))
+    }
+
+    /// The first area of `kind`, if any (scenario scripting helper).
+    pub fn first_of(&self, kind: AreaKind) -> Option<&Area> {
+        self.areas.iter().find(|a| a.kind == kind)
+    }
+
+    /// The `areaType/2` background facts in RTEC concrete syntax.
+    pub fn background_facts(&self) -> String {
+        let mut out = String::new();
+        for a in &self.areas {
+            out.push_str(&format!("areaType({}, {}).\n", a.id, a.kind.as_atom()));
+        }
+        out
+    }
+
+    /// The Brest-like layout used by the paper-scale scenario: a 60 km x
+    /// 40 km coastal region with the shore along `y = 0`, two ports, a
+    /// coastal band, an anchorage, two fishing grounds and a protected
+    /// area.
+    pub fn brest_like() -> AreaMap {
+        let mut m = AreaMap::new();
+        // Near-port boxes (3 km around each port).
+        m.add(
+            AreaKind::NearPorts,
+            Polygon::rect(3_500.0, 0.0, 9_500.0, 4_500.0),
+        );
+        m.add(
+            AreaKind::NearPorts,
+            Polygon::rect(38_000.0, 0.0, 44_000.0, 4_500.0),
+        );
+        // Coastal band.
+        m.add(
+            AreaKind::NearCoast,
+            Polygon::rect(0.0, 0.0, 60_000.0, 4_000.0),
+        );
+        // Anchorage off port 0.
+        m.add(
+            AreaKind::Anchorage,
+            Polygon::rect(10_000.0, 5_000.0, 14_000.0, 8_000.0),
+        );
+        // Fishing grounds offshore.
+        m.add(
+            AreaKind::Fishing,
+            Polygon::rect(15_000.0, 10_000.0, 25_000.0, 20_000.0),
+        );
+        m.add(
+            AreaKind::Fishing,
+            Polygon::rect(30_000.0, 12_000.0, 38_000.0, 22_000.0),
+        );
+        // Protected area.
+        m.add(
+            AreaKind::Natura,
+            Polygon::rect(26_000.0, 8_000.0, 30_000.0, 12_000.0),
+        );
+        m
+    }
+
+    /// The two port anchor points of the Brest-like layout.
+    pub fn ports() -> [Point; 2] {
+        [Point::new(6_500.0, 1_500.0), Point::new(41_000.0, 1_500.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brest_layout_covers_expected_kinds() {
+        let m = AreaMap::brest_like();
+        for kind in AreaKind::ALL {
+            assert!(m.first_of(kind).is_some(), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn ports_are_near_ports_and_near_coast() {
+        let m = AreaMap::brest_like();
+        for p in AreaMap::ports() {
+            assert!(m.in_kind(&p, AreaKind::NearPorts));
+            assert!(m.in_kind(&p, AreaKind::NearCoast));
+        }
+    }
+
+    #[test]
+    fn fishing_grounds_are_offshore() {
+        let m = AreaMap::brest_like();
+        let f = m.first_of(AreaKind::Fishing).unwrap();
+        let c = f.polygon.centroid();
+        assert!(!m.in_kind(&c, AreaKind::NearCoast));
+        assert!(!m.in_kind(&c, AreaKind::NearPorts));
+    }
+
+    #[test]
+    fn background_facts_render() {
+        let m = AreaMap::brest_like();
+        let facts = m.background_facts();
+        assert!(facts.contains("areaType(a0, nearPorts)."));
+        assert!(facts.contains("areaType(a4, fishing)."));
+        // Must parse as RTEC facts.
+        let desc = rtec::EventDescription::parse(&facts).unwrap();
+        assert_eq!(desc.clauses.len(), m.areas().len());
+    }
+
+    #[test]
+    fn containing_lists_overlaps() {
+        let m = AreaMap::brest_like();
+        let port = AreaMap::ports()[0];
+        let hits = m.containing(&port);
+        assert!(hits.len() >= 2); // nearPorts + nearCoast
+    }
+}

@@ -1,0 +1,549 @@
+//! End-to-end construction of the synthetic Brest-like dataset: fleet,
+//! scripted behaviours, AIS tracks, critical-event stream and the gold
+//! event description with its background knowledge.
+
+use crate::ais::Trajectory;
+use crate::areas::{AreaKind, AreaMap};
+use crate::geometry::Point;
+use crate::gold::GOLD_RULES;
+use crate::preprocess::{preprocess, PreprocessConfig};
+use crate::scenario::TrajectoryBuilder;
+use crate::thresholds::{fleet_background_facts, Thresholds};
+use crate::vessel::{Vessel, VesselId, VesselType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtec::stream::InputStream;
+use rtec::EventDescription;
+
+/// Configuration of the synthetic scenario. The defaults give a dataset
+/// that exercises all eight activities in a few seconds of processing;
+/// scale `repeats` and the fleet counts up for paper-scale streams.
+#[derive(Clone, Copy, Debug)]
+pub struct BrestScenario {
+    /// RNG seed; every run with the same configuration is identical.
+    pub seed: u64,
+    /// AIS reporting period, seconds.
+    pub sample_period: i64,
+    /// Number of trawler round-trips (each also a `withinArea` exercise).
+    pub trawlers: usize,
+    /// Cargo/tanker transits, half of which speed near the coast.
+    pub transits: usize,
+    /// Vessels that anchor in the anchorage or moor near a port.
+    pub anchored: usize,
+    /// Tug+tow pairs.
+    pub tug_pairs: usize,
+    /// Pilot-boarding pairs.
+    pub pilot_pairs: usize,
+    /// Loitering vessels.
+    pub loiterers: usize,
+    /// Search-and-rescue sweeps.
+    pub sar: usize,
+    /// Drifting vessels.
+    pub drifters: usize,
+    /// Ship-to-ship transfer (rendezvous) pairs — the extension activity
+    /// beyond Figure 2's eight.
+    pub rendezvous_pairs: usize,
+    /// How many times to repeat each behaviour block along the timeline
+    /// (scales the stream length linearly).
+    pub repeats: usize,
+}
+
+impl Default for BrestScenario {
+    fn default() -> Self {
+        BrestScenario {
+            seed: 42,
+            sample_period: 60,
+            trawlers: 2,
+            transits: 2,
+            anchored: 2,
+            tug_pairs: 1,
+            pilot_pairs: 1,
+            loiterers: 1,
+            sar: 1,
+            drifters: 1,
+            rendezvous_pairs: 1,
+            repeats: 1,
+        }
+    }
+}
+
+impl BrestScenario {
+    /// A smaller configuration for fast unit tests.
+    pub fn small() -> BrestScenario {
+        BrestScenario {
+            trawlers: 1,
+            transits: 1,
+            anchored: 1,
+            tug_pairs: 1,
+            pilot_pairs: 1,
+            loiterers: 1,
+            sar: 1,
+            drifters: 1,
+            ..BrestScenario::default()
+        }
+    }
+
+    /// A paper-shaped configuration (hours of traffic from a large fleet).
+    pub fn large() -> BrestScenario {
+        BrestScenario {
+            trawlers: 10,
+            transits: 12,
+            anchored: 8,
+            tug_pairs: 4,
+            pilot_pairs: 4,
+            loiterers: 4,
+            sar: 2,
+            drifters: 4,
+            repeats: 4,
+            ..BrestScenario::default()
+        }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The fleet.
+    pub vessels: Vec<Vessel>,
+    /// The areas of interest.
+    pub areas: AreaMap,
+    /// The raw AIS tracks.
+    pub trajectories: Vec<Trajectory>,
+    /// The derived critical-event stream (replayable against any event
+    /// description).
+    pub stream: InputStream,
+    /// Background knowledge (areaType, thresholds, vesselType, typeSpeed)
+    /// in RTEC concrete syntax.
+    pub background: String,
+    /// The preprocessing thresholds used.
+    pub preprocess: PreprocessConfig,
+    /// The domain thresholds used.
+    pub thresholds: Thresholds,
+}
+
+impl Dataset {
+    /// Generates the dataset for a scenario.
+    pub fn generate(config: &BrestScenario) -> Dataset {
+        Generator::new(config).run()
+    }
+
+    /// The gold event description: rules plus this dataset's background
+    /// knowledge.
+    pub fn gold_description(&self) -> EventDescription {
+        let src = format!("{}\n{}", GOLD_RULES, self.background);
+        EventDescription::parse(&src).expect("gold + background parse")
+    }
+
+    /// Attaches this dataset's background knowledge to an arbitrary rule
+    /// set (e.g. an LLM-generated one) so it can run over the stream.
+    pub fn with_background(&self, rules_src: &str) -> EventDescription {
+        EventDescription::parse_lenient(&format!("{rules_src}\n{}", self.background))
+    }
+
+    /// Total AIS signals.
+    pub fn signal_count(&self) -> usize {
+        self.trajectories.iter().map(Trajectory::len).sum()
+    }
+
+    /// Last event time.
+    pub fn horizon(&self) -> i64 {
+        self.stream.horizon()
+    }
+}
+
+struct Generator<'c> {
+    config: &'c BrestScenario,
+    rng: StdRng,
+    areas: AreaMap,
+    vessels: Vec<Vessel>,
+    trajectories: Vec<Trajectory>,
+    next_id: u32,
+}
+
+impl<'c> Generator<'c> {
+    fn new(config: &'c BrestScenario) -> Generator<'c> {
+        Generator {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            areas: AreaMap::brest_like(),
+            vessels: Vec::new(),
+            trajectories: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn vessel(&mut self, t: VesselType) -> VesselId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.vessels.push(Vessel::new(id, t));
+        VesselId(id)
+    }
+
+    fn offshore_point(&mut self) -> Point {
+        Point::new(
+            self.rng.gen_range(8_000.0..52_000.0),
+            self.rng.gen_range(24_000.0..34_000.0),
+        )
+    }
+
+    fn run(mut self) -> Dataset {
+        let period = self.config.sample_period;
+        let block = 6 * 3600; // each behaviour block spans ~6 simulated hours
+        for rep in 0..self.config.repeats.max(1) {
+            let t0 = (rep as i64) * block as i64;
+            for _ in 0..self.config.trawlers {
+                self.trawler(t0, period);
+            }
+            for i in 0..self.config.transits {
+                self.transit(t0, period, i % 2 == 0);
+            }
+            for i in 0..self.config.anchored {
+                self.anchored(t0, period, i % 2 == 0);
+            }
+            for _ in 0..self.config.tug_pairs {
+                self.tug_pair(t0, period);
+            }
+            for _ in 0..self.config.pilot_pairs {
+                self.pilot_pair(t0, period);
+            }
+            for _ in 0..self.config.loiterers {
+                self.loiterer(t0, period);
+            }
+            for _ in 0..self.config.sar {
+                self.sar(t0, period);
+            }
+            for _ in 0..self.config.drifters {
+                self.drifter(t0, period);
+            }
+            for _ in 0..self.config.rendezvous_pairs {
+                self.rendezvous_pair(t0, period);
+            }
+        }
+
+        let thresholds = Thresholds::default();
+        let pre = PreprocessConfig {
+            sample_period: period,
+            ..PreprocessConfig::default()
+        };
+        let stream = preprocess(&self.trajectories, &self.areas, &pre);
+        let background = format!(
+            "{}\n{}\n{}\n{}",
+            self.areas.background_facts(),
+            thresholds.background_facts(),
+            fleet_background_facts(&self.vessels),
+            crate::gold::input_declarations(),
+        );
+        Dataset {
+            vessels: self.vessels,
+            areas: self.areas,
+            trajectories: self.trajectories,
+            stream,
+            background,
+            preprocess: pre,
+            thresholds,
+        }
+    }
+
+    /// A fishing vessel sails from port into a fishing ground, trawls in a
+    /// zigzag for a few hours (sometimes with a mid-trawl AIS gap), then
+    /// returns.
+    fn trawler(&mut self, t0: i64, period: i64) {
+        let v = self.vessel(VesselType::Fishing);
+        let port = AreaMap::ports()[0];
+        let ground = self
+            .areas
+            .first_of(AreaKind::Fishing)
+            .unwrap()
+            .polygon
+            .centroid();
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..600), port, period);
+        b.sail_to(&mut self.rng, ground, 9.0)
+            .zigzag(&mut self.rng, 3 * 3600, 4.0, 90.0, 40.0, 420);
+        if self.rng.gen_bool(0.5) {
+            b.silence(2_400, 4.0)
+                .zigzag(&mut self.rng, 3600, 4.0, 90.0, 40.0, 420);
+        }
+        b.sail_to(&mut self.rng, port, 9.0);
+        self.trajectories.push(b.finish());
+    }
+
+    /// A cargo/tanker transit along the coast; `fast` transits cross the
+    /// coastal band above the speed limit (highSpeedNearCoast).
+    fn transit(&mut self, t0: i64, period: i64, fast: bool) {
+        let v = self.vessel(if fast {
+            VesselType::Cargo
+        } else {
+            VesselType::Tanker
+        });
+        let (y, speed) = if fast {
+            (2_500.0, 12.0)
+        } else {
+            (8_000.0, 11.0)
+        };
+        let start = Point::new(1_000.0, y);
+        let end = Point::new(58_000.0, y);
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..1200), start, period);
+        b.sail_to(&mut self.rng, end, speed);
+        self.trajectories.push(b.finish());
+    }
+
+    /// A vessel that anchors in the anchorage (far from ports) or moors
+    /// near a port.
+    fn anchored(&mut self, t0: i64, period: i64, in_anchorage: bool) {
+        let v = self.vessel(VesselType::Cargo);
+        let spot = if in_anchorage {
+            self.areas
+                .first_of(AreaKind::Anchorage)
+                .unwrap()
+                .polygon
+                .centroid()
+        } else {
+            AreaMap::ports()[1]
+        };
+        let approach = Point::new(spot.x, spot.y + 9_000.0);
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..1200), approach, period);
+        b.sail_to(&mut self.rng, spot, 8.0)
+            .hold(&mut self.rng, 3 * 3600)
+            .sail_to(&mut self.rng, approach, 8.0);
+        self.trajectories.push(b.finish());
+    }
+
+    /// A tug towing a cargo vessel: side by side at towing speed.
+    fn tug_pair(&mut self, t0: i64, period: i64) {
+        let tug = self.vessel(VesselType::Tug);
+        let tow = self.vessel(VesselType::Cargo);
+        let start = self.offshore_point();
+        let end = Point::new(start.x + 6_000.0, start.y - 1_000.0);
+        let mut lead = TrajectoryBuilder::new(tug, t0 + self.rng.gen_range(0..900), start, period);
+        lead.sail_to(&mut self.rng, end, 3.5);
+        let lead_tr = lead.finish();
+        let mut follow = TrajectoryBuilder::new(
+            tow,
+            lead_tr.start().unwrap_or(t0),
+            Point::new(start.x, start.y + 120.0),
+            period,
+        );
+        follow.shadow(
+            &lead_tr,
+            lead_tr.start().unwrap_or(t0),
+            i64::MAX / 4,
+            Point::new(0.0, 120.0),
+        );
+        self.trajectories.push(lead_tr);
+        self.trajectories.push(follow.finish());
+    }
+
+    /// A pilot boat meets a tanker offshore; both hold position together.
+    fn pilot_pair(&mut self, t0: i64, period: i64) {
+        let pilot = self.vessel(VesselType::PilotVessel);
+        let ship = self.vessel(VesselType::Tanker);
+        let meet = self.offshore_point();
+        let start = t0 + self.rng.gen_range(0..900);
+
+        let mut ship_b =
+            TrajectoryBuilder::new(ship, start, Point::new(meet.x - 8_000.0, meet.y), period);
+        // The second, slow leg tightens the stopping radius (sail_to halts
+        // within one reporting step of the target) so that the pair ends up
+        // well inside the proximity threshold.
+        ship_b
+            .sail_to(&mut self.rng, meet, 10.0)
+            .sail_to(&mut self.rng, meet, 2.0)
+            .hold(&mut self.rng, 2_400)
+            .sail_to(&mut self.rng, Point::new(meet.x + 8_000.0, meet.y), 10.0);
+        let ship_tr = ship_b.finish();
+
+        // The pilot arrives as the ship slows, holds alongside, departs.
+        let hold_from = start + 2_000; // roughly when the ship is stopped
+        let mut pilot_b =
+            TrajectoryBuilder::new(pilot, start, Point::new(meet.x, meet.y - 6_000.0), period);
+        let alongside = Point::new(meet.x + 60.0, meet.y - 60.0);
+        pilot_b
+            .sail_to(&mut self.rng, alongside, 12.0)
+            .sail_to(&mut self.rng, alongside, 2.0);
+        // Wait (stopped) next to the meeting point until the ship leaves.
+        let wait = (hold_from + 2_400 - pilot_b.now()).max(600);
+        pilot_b.hold(&mut self.rng, wait).sail_to(
+            &mut self.rng,
+            Point::new(meet.x, meet.y - 6_000.0),
+            12.0,
+        );
+        self.trajectories.push(ship_tr);
+        self.trajectories.push(pilot_b.finish());
+    }
+
+    /// A vessel loitering offshore (slow wandering + stops).
+    fn loiterer(&mut self, t0: i64, period: i64) {
+        let v = self.vessel(VesselType::Passenger);
+        let spot = self.offshore_point();
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..900), spot, period);
+        b.loiter(&mut self.rng, 3_600)
+            .hold(&mut self.rng, 1_800)
+            .loiter(&mut self.rng, 1_800);
+        self.trajectories.push(b.finish());
+    }
+
+    /// A search-and-rescue sweep: fast zigzag offshore.
+    fn sar(&mut self, t0: i64, period: i64) {
+        let v = self.vessel(VesselType::Sar);
+        let spot = self.offshore_point();
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..900), spot, period);
+        b.zigzag(&mut self.rng, 2 * 3600, 14.0, 0.0, 60.0, 420);
+        self.trajectories.push(b.finish());
+    }
+
+    /// Two cargo vessels meeting offshore for a possible ship-to-ship
+    /// transfer: they approach the same point, hold alongside, and part.
+    fn rendezvous_pair(&mut self, t0: i64, period: i64) {
+        let a = self.vessel(VesselType::Cargo);
+        let b = self.vessel(VesselType::Tanker);
+        let meet = self.offshore_point();
+        let start = t0 + self.rng.gen_range(0..900);
+
+        let mut a_b =
+            TrajectoryBuilder::new(a, start, Point::new(meet.x - 7_000.0, meet.y), period);
+        a_b.sail_to(&mut self.rng, meet, 9.0)
+            .sail_to(&mut self.rng, meet, 2.0)
+            .hold(&mut self.rng, 3_000)
+            .sail_to(&mut self.rng, Point::new(meet.x - 7_000.0, meet.y), 9.0);
+        self.trajectories.push(a_b.finish());
+
+        let b_spot = Point::new(meet.x + 80.0, meet.y + 80.0);
+        let mut b_b = TrajectoryBuilder::new(
+            b,
+            start,
+            Point::new(meet.x + 7_000.0, meet.y + 80.0),
+            period,
+        );
+        b_b.sail_to(&mut self.rng, b_spot, 9.0)
+            .sail_to(&mut self.rng, b_spot, 2.0)
+            .hold(&mut self.rng, 3_000)
+            .sail_to(
+                &mut self.rng,
+                Point::new(meet.x + 7_000.0, meet.y + 80.0),
+                9.0,
+            );
+        self.trajectories.push(b_b.finish());
+    }
+
+    /// A drifting vessel: under way slowly with course offset from heading.
+    fn drifter(&mut self, t0: i64, period: i64) {
+        let v = self.vessel(VesselType::Tanker);
+        let spot = self.offshore_point();
+        let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..900), spot, period);
+        b.sail_to(&mut self.rng, Point::new(spot.x + 2_000.0, spot.y), 9.0)
+            .drift(&mut self.rng, 3_600, 1.5, 45.0)
+            .sail_to(&mut self.rng, spot, 9.0);
+        self.trajectories.push(b.finish());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::{Engine, EngineConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(&BrestScenario::small());
+        let b = Dataset::generate(&BrestScenario::small());
+        assert_eq!(a.signal_count(), b.signal_count());
+        assert_eq!(a.stream.len(), b.stream.len());
+        assert_eq!(a.horizon(), b.horizon());
+    }
+
+    #[test]
+    fn gold_description_compiles_with_background() {
+        let d = Dataset::generate(&BrestScenario::small());
+        let desc = d.gold_description();
+        let compiled = desc.compile().unwrap();
+        assert!(
+            !compiled.report.has_errors(),
+            "{:?}",
+            compiled.report.errors().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gold_description_passes_schema_check() {
+        let d = Dataset::generate(&BrestScenario::small());
+        let desc = d.gold_description();
+        let compiled = desc.compile().unwrap();
+        let decls = rtec::declarations::Declarations::from_description(&compiled);
+        assert!(!decls.is_empty(), "background carries declarations");
+        let report = decls.check(&compiled);
+        assert!(
+            report.issues.is_empty(),
+            "gold violates its own schema: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn schema_check_flags_out_of_schema_llm_rules() {
+        let d = Dataset::generate(&BrestScenario::small());
+        // An LLM-style rule over an undeclared event and an undefined
+        // fluent.
+        let desc = d.with_background(
+            "initiatedAt(odd(V)=true, T) :- happensAt(sonarPing(V), T), \
+                 holdsAt(cloaked(V)=true, T).",
+        );
+        let compiled = desc.compile().unwrap();
+        let decls = rtec::declarations::Declarations::from_description(&compiled);
+        let report = decls.check(&compiled);
+        let msgs: Vec<&str> = report.issues.iter().map(|i| i.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("sonarPing")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("cloaked")), "{msgs:?}");
+    }
+
+    #[test]
+    fn all_eight_activities_are_recognised_on_the_stream() {
+        let d = Dataset::generate(&BrestScenario::small());
+        let desc = d.gold_description();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        d.stream.load_into(&mut engine);
+        let out = engine.run_to(d.horizon() + 1);
+        for a in crate::gold::activities() {
+            let sym = compiled
+                .symbols
+                .get(a.name)
+                .unwrap_or_else(|| panic!("{} missing", a.name));
+            let arity = if matches!(a.key, "tu" | "p") { 2 } else { 1 };
+            let union = out.union_of((sym, arity));
+            assert!(
+                !union.is_empty(),
+                "activity {} ({}) was never recognised; warnings: {:?}",
+                a.key,
+                a.name,
+                out.warnings
+            );
+        }
+    }
+
+    #[test]
+    fn extension_rendezvous_is_recognised() {
+        let d = Dataset::generate(&BrestScenario::small());
+        let desc = d.gold_description();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        d.stream.load_into(&mut engine);
+        let out = engine.run_to(d.horizon() + 1);
+        let rv = compiled
+            .symbols
+            .get("rendezVous")
+            .expect("rendezVous in gold");
+        assert!(
+            !out.union_of((rv, 2)).is_empty(),
+            "rendezvous never recognised; warnings: {:?}",
+            out.warnings
+        );
+    }
+
+    #[test]
+    fn stream_is_nonempty_and_time_bounded() {
+        let d = Dataset::generate(&BrestScenario::small());
+        assert!(d.stream.len() > 1_000);
+        assert!(d.horizon() > 3_600);
+        assert!(d.signal_count() > 1_000);
+    }
+}

@@ -1,0 +1,205 @@
+//! Planar geometry for the synthetic maritime world.
+//!
+//! The world is a flat plane in metres (a local tangent-plane approximation
+//! is entirely adequate for a ~100 km coastal region); headings and courses
+//! are degrees clockwise from north, speeds are knots.
+
+use serde::{Deserialize, Serialize};
+
+/// Metres per nautical mile.
+pub const METRES_PER_NM: f64 = 1852.0;
+
+/// Converts knots to metres per second.
+pub fn knots_to_mps(kn: f64) -> f64 {
+    kn * METRES_PER_NM / 3600.0
+}
+
+/// A point in the plane (metres).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// The point reached by moving `metres` along `heading_deg` (degrees
+    /// clockwise from north).
+    pub fn step(&self, heading_deg: f64, metres: f64) -> Point {
+        let rad = heading_deg.to_radians();
+        Point {
+            x: self.x + metres * rad.sin(),
+            y: self.y + metres * rad.cos(),
+        }
+    }
+
+    /// The heading (degrees clockwise from north, in `[0, 360)`) from this
+    /// point towards `other`.
+    pub fn heading_to(&self, other: &Point) -> f64 {
+        let deg = (other.x - self.x).atan2(other.y - self.y).to_degrees();
+        (deg + 360.0) % 360.0
+    }
+}
+
+/// Normalises an angle to `[0, 360)`.
+pub fn normalize_deg(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// The absolute angular difference between two headings, in `[0, 180]`.
+pub fn heading_diff(a: f64, b: f64) -> f64 {
+    let d = (normalize_deg(a) - normalize_deg(b)).abs();
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// A simple polygon (vertices in order, implicitly closed).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics with fewer than three vertices.
+    pub fn new(vertices: Vec<Point>) -> Polygon {
+        assert!(vertices.len() >= 3, "polygon needs >= 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// An axis-aligned rectangle `[x0, x1] x [y0, y1]`.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ])
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Even-odd (ray casting) point-in-polygon test. Points exactly on an
+    /// edge may fall on either side; the synthetic world never depends on
+    /// boundary cases.
+    pub fn contains(&self, p: &Point) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (vi, vj) = (&self.vertices[i], &self.vertices[j]);
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// The centroid of the vertices (adequate for convex scenario areas).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len() as f64;
+        let (sx, sy) = self
+            .vertices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), v| (sx + v.x, sy + v.y));
+        Point::new(sx / n, sy / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_step() {
+        let a = Point::new(0.0, 0.0);
+        let b = a.step(90.0, 100.0);
+        assert!((b.x - 100.0).abs() < 1e-9);
+        assert!(b.y.abs() < 1e-9);
+        assert!((a.distance(&b) - 100.0).abs() < 1e-9);
+        let c = a.step(0.0, 50.0);
+        assert!((c.y - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heading_to_cardinal_points() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.heading_to(&Point::new(0.0, 1.0)) - 0.0).abs() < 1e-9);
+        assert!((o.heading_to(&Point::new(1.0, 0.0)) - 90.0).abs() < 1e-9);
+        assert!((o.heading_to(&Point::new(0.0, -1.0)) - 180.0).abs() < 1e-9);
+        assert!((o.heading_to(&Point::new(-1.0, 0.0)) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heading_diff_wraps() {
+        assert!((heading_diff(350.0, 10.0) - 20.0).abs() < 1e-9);
+        assert!((heading_diff(10.0, 350.0) - 20.0).abs() < 1e-9);
+        assert!((heading_diff(0.0, 180.0) - 180.0).abs() < 1e-9);
+        assert!((heading_diff(-10.0, 10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Polygon::rect(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(&Point::new(5.0, 2.5)));
+        assert!(!r.contains(&Point::new(11.0, 2.5)));
+        assert!(!r.contains(&Point::new(5.0, 6.0)));
+        assert!(!r.contains(&Point::new(-1.0, -1.0)));
+    }
+
+    #[test]
+    fn non_convex_polygon_contains() {
+        // L-shape.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(l.contains(&Point::new(0.5, 3.0)));
+        assert!(l.contains(&Point::new(3.0, 0.5)));
+        assert!(!l.contains(&Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn knots_conversion() {
+        assert!((knots_to_mps(1.0) - 0.514444).abs() < 1e-4);
+    }
+
+    #[test]
+    fn centroid_of_rect() {
+        let r = Polygon::rect(0.0, 0.0, 10.0, 20.0);
+        let c = r.centroid();
+        assert!((c.x - 5.0).abs() < 1e-9);
+        assert!((c.y - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,540 @@
+//! The hand-crafted gold-standard event description and the catalogue of
+//! target activities.
+//!
+//! These are the maritime composite activity definitions the paper uses as
+//! its gold standard (after Pitsikalis et al., *Composite Event
+//! Recognition for Maritime Monitoring*, DEBS 2019): lower-level fluents
+//! (`gap`, `withinArea`, `stopped`, `lowSpeed`, `changingSpeed`,
+//! `movingSpeed`, `underWay`) and the eight target activities of
+//! Figure 2 — `highSpeedNearCoast` (h), `anchoredOrMoored` (aM),
+//! `trawling` (tr), `tugging` (tu), `pilotOps` (p), `loitering` (l),
+//! `sar` (s) and `drifting` (d).
+
+use rtec::ast::Clause;
+use rtec::EventDescription;
+
+/// The gold-standard rules (no background facts; those come from the
+/// scenario via [`crate::areas::AreaMap::background_facts`],
+/// [`crate::thresholds::Thresholds::background_facts`] and
+/// [`crate::thresholds::fleet_background_facts`]).
+pub const GOLD_RULES: &str = r#"
+% ===================== lower-level fluents =====================
+
+% --- communication gap, split by port vicinity (prompt G's example) ---
+initiatedAt(gap(Vessel)=nearPorts, T) :-
+    happensAt(gap_start(Vessel), T),
+    holdsAt(withinArea(Vessel, nearPorts)=true, T).
+initiatedAt(gap(Vessel)=farFromPorts, T) :-
+    happensAt(gap_start(Vessel), T),
+    not holdsAt(withinArea(Vessel, nearPorts)=true, T).
+terminatedAt(gap(Vessel)=nearPorts, T) :-
+    happensAt(gap_end(Vessel), T).
+terminatedAt(gap(Vessel)=farFromPorts, T) :-
+    happensAt(gap_end(Vessel), T).
+
+% --- within area of some type (paper rules (1)-(3)) ---
+initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(entersArea(Vessel, AreaId), T),
+    areaType(AreaId, AreaType).
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(leavesArea(Vessel, AreaId), T),
+    areaType(AreaId, AreaType).
+terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- stopped, split by port vicinity ---
+initiatedAt(stopped(Vessel)=nearPorts, T) :-
+    happensAt(stop_start(Vessel), T),
+    holdsAt(withinArea(Vessel, nearPorts)=true, T).
+initiatedAt(stopped(Vessel)=farFromPorts, T) :-
+    happensAt(stop_start(Vessel), T),
+    not holdsAt(withinArea(Vessel, nearPorts)=true, T).
+terminatedAt(stopped(Vessel)=Value, T) :-
+    happensAt(stop_end(Vessel), T).
+terminatedAt(stopped(Vessel)=Value, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- low speed ---
+initiatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(slow_motion_start(Vessel), T).
+terminatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(slow_motion_end(Vessel), T).
+terminatedAt(lowSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- changing speed ---
+initiatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(change_in_speed_start(Vessel), T).
+terminatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(change_in_speed_end(Vessel), T).
+terminatedAt(changingSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- moving speed relative to the service speed of the vessel type ---
+initiatedAt(movingSpeed(Vessel)=below, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(movingMin, MovingMin),
+    Speed >= MovingMin,
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max),
+    Speed < Min.
+initiatedAt(movingSpeed(Vessel)=normal, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max),
+    Speed >= Min,
+    Speed =< Max.
+initiatedAt(movingSpeed(Vessel)=above, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    vesselType(Vessel, Type),
+    typeSpeed(Type, Min, Max),
+    Speed > Max.
+terminatedAt(movingSpeed(Vessel)=Value, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(movingMin, MovingMin),
+    Speed < MovingMin.
+terminatedAt(movingSpeed(Vessel)=Value, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- under way: sailing at any moving speed ---
+holdsFor(underWay(Vessel)=true, I) :-
+    holdsFor(movingSpeed(Vessel)=below, I1),
+    holdsFor(movingSpeed(Vessel)=normal, I2),
+    holdsFor(movingSpeed(Vessel)=above, I3),
+    union_all([I1, I2, I3], I).
+
+% ===================== target activities =====================
+
+% --- (h) high speed near coast ---
+initiatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(hcNearCoastMax, HcNearCoastMax),
+    Speed > HcNearCoastMax,
+    holdsAt(withinArea(Vessel, nearCoast)=true, T).
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(hcNearCoastMax, HcNearCoastMax),
+    Speed =< HcNearCoastMax.
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, AreaId), T),
+    areaType(AreaId, nearCoast).
+terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+% --- (aM) anchored or moored (paper rule (4)) ---
+holdsFor(anchoredOrMoored(Vessel)=true, I) :-
+    holdsFor(stopped(Vessel)=farFromPorts, Isf),
+    holdsFor(withinArea(Vessel, anchorage)=true, Ia),
+    intersect_all([Isf, Ia], Isfa),
+    holdsFor(stopped(Vessel)=nearPorts, Isn),
+    union_all([Isfa, Isn], I).
+
+% --- (tr) trawling: trawling speed plus trawling movement in a fishing area ---
+initiatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    vesselType(Vessel, fishing),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed >= TrawlspeedMin,
+    Speed =< TrawlspeedMax,
+    holdsAt(withinArea(Vessel, fishing)=true, T).
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(trawlspeedMin, TrawlspeedMin),
+    Speed < TrawlspeedMin.
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(trawlspeedMax, TrawlspeedMax),
+    Speed > TrawlspeedMax.
+terminatedAt(trawlSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+initiatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(change_in_heading(Vessel), T),
+    holdsAt(withinArea(Vessel, fishing)=true, T).
+terminatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(leavesArea(Vessel, AreaId), T),
+    areaType(AreaId, fishing).
+terminatedAt(trawlingMovement(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+holdsFor(trawling(Vessel)=true, I) :-
+    holdsFor(trawlSpeed(Vessel)=true, Is),
+    holdsFor(trawlingMovement(Vessel)=true, Im),
+    intersect_all([Is, Im], I).
+
+% --- (tu) tugging: a tug and its tow in proximity at towing speed ---
+initiatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(tuggingMin, TuggingMin),
+    thresholds(tuggingMax, TuggingMax),
+    Speed >= TuggingMin,
+    Speed =< TuggingMax.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(tuggingMin, TuggingMin),
+    Speed < TuggingMin.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(tuggingMax, TuggingMax),
+    Speed > TuggingMax.
+terminatedAt(tuggingSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+holdsFor(tugging(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    vesselType(Vessel1, tug),
+    holdsFor(tuggingSpeed(Vessel1)=true, I1),
+    holdsFor(tuggingSpeed(Vessel2)=true, I2),
+    intersect_all([Ip, I1, I2], I).
+
+% --- (p) pilot boarding: a pilot boat alongside a slow/stopped vessel off the ports ---
+holdsFor(pilotOps(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    vesselType(Vessel1, pilotVessel),
+    holdsFor(lowSpeed(Vessel1)=true, Il1),
+    holdsFor(stopped(Vessel1)=farFromPorts, Is1),
+    union_all([Il1, Is1], Ia),
+    holdsFor(lowSpeed(Vessel2)=true, Il2),
+    holdsFor(stopped(Vessel2)=farFromPorts, Is2),
+    union_all([Il2, Is2], Ib),
+    intersect_all([Ip, Ia, Ib], I).
+
+% --- (l) loitering: slow or stopped away from coast and anchorages ---
+holdsFor(loitering(Vessel)=true, I) :-
+    holdsFor(lowSpeed(Vessel)=true, Il),
+    holdsFor(stopped(Vessel)=farFromPorts, Is),
+    union_all([Il, Is], Ils),
+    holdsFor(withinArea(Vessel, nearCoast)=true, Inc),
+    holdsFor(withinArea(Vessel, anchorage)=true, Ianc),
+    relative_complement_all(Ils, [Inc, Ianc], I).
+
+% --- (s) search and rescue: an SAR vessel sweeping at speed ---
+initiatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    vesselType(Vessel, sar),
+    thresholds(sarMinSpeed, SarMinSpeed),
+    Speed >= SarMinSpeed.
+terminatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(sarMinSpeed, SarMinSpeed),
+    Speed < SarMinSpeed.
+terminatedAt(sarSpeed(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+initiatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(change_in_heading(Vessel), T),
+    vesselType(Vessel, sar).
+terminatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(stop_start(Vessel), T).
+terminatedAt(sarMovement(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+
+holdsFor(sar(Vessel)=true, I) :-
+    holdsFor(sarSpeed(Vessel)=true, Is),
+    holdsFor(sarMovement(Vessel)=true, Im),
+    intersect_all([Is, Im], I).
+
+% --- (extension) ship-to-ship transfer / rendezvous ---
+% Mentioned in the paper's evaluation setup alongside trawling: two
+% vessels close to each other, each slow or stopped far from ports, away
+% from the coast. Not part of Figure 2's eight activities.
+holdsFor(rendezVous(Vessel1, Vessel2)=true, I) :-
+    holdsFor(proximity(Vessel1, Vessel2)=true, Ip),
+    holdsFor(lowSpeed(Vessel1)=true, Il1),
+    holdsFor(stopped(Vessel1)=farFromPorts, Is1),
+    union_all([Il1, Is1], Ia),
+    holdsFor(lowSpeed(Vessel2)=true, Il2),
+    holdsFor(stopped(Vessel2)=farFromPorts, Is2),
+    union_all([Il2, Is2], Ib),
+    intersect_all([Ip, Ia, Ib], Iab),
+    holdsFor(withinArea(Vessel1, nearCoast)=true, Inc),
+    relative_complement_all(Iab, [Inc], I).
+
+% --- (d) drifting: under way with course deviating from heading ---
+initiatedAt(drifting(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(adriftAngThr, AdriftAngThr),
+    min(abs(Heading - Cog), 360 - abs(Heading - Cog)) > AdriftAngThr,
+    holdsAt(underWay(Vessel)=true, T).
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    thresholds(adriftAngThr, AdriftAngThr),
+    min(abs(Heading - Cog), 360 - abs(Heading - Cog)) =< AdriftAngThr.
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(stop_start(Vessel), T).
+terminatedAt(drifting(Vessel)=true, T) :-
+    happensAt(gap_start(Vessel), T).
+"#;
+
+/// One of the eight target activities of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Activity {
+    /// The short key used on Figure 2's x-axis (`h`, `aM`, `tr`, ...).
+    pub key: &'static str,
+    /// The main fluent functor of the activity.
+    pub name: &'static str,
+    /// All fluent functors belonging to the activity's definition
+    /// (including dedicated helper fluents such as `trawlSpeed`).
+    pub fluents: &'static [&'static str],
+    /// Natural-language description, used verbatim in prompt G.
+    pub description: &'static str,
+}
+
+/// The eight activities, in the order of Figure 2.
+pub fn activities() -> Vec<Activity> {
+    vec![
+        Activity {
+            key: "h",
+            name: "highSpeedNearCoast",
+            fluents: &["highSpeedNearCoast"],
+            description: "High speed near coast: this activity starts when a vessel sails \
+                within a coastal area at a speed that exceeds the maximum safe sailing speed \
+                for coastal areas. It ends when the vessel slows down to a safe speed, leaves \
+                the coastal area, or stops transmitting its position.",
+        },
+        Activity {
+            key: "aM",
+            name: "anchoredOrMoored",
+            fluents: &["anchoredOrMoored"],
+            description: "Anchored or moored: this activity lasts as long as a vessel is \
+                stopped far from all ports inside an anchorage area, or is stopped near some \
+                port.",
+        },
+        Activity {
+            key: "tr",
+            name: "trawling",
+            fluents: &["trawlSpeed", "trawlingMovement", "trawling"],
+            description: "Trawling: a fishing vessel is trawling while it sails within a \
+                fishing area at trawling speed and, at the same time, exhibits trawling \
+                movement, i.e. repeated heading changes inside the fishing area. Trawling \
+                speed lies between the trawling speed thresholds. Both trawling speed and \
+                trawling movement end when the vessel leaves the speed range or the fishing \
+                area, and when there is a communication gap.",
+        },
+        Activity {
+            key: "tu",
+            name: "tugging",
+            fluents: &["tuggingSpeed", "tugging"],
+            description: "Tugging: a tug and another vessel are tugging while they are close \
+                to each other and both sail at towing speed, i.e. a speed between the tugging \
+                speed thresholds. Towing speed ends when the vessel leaves the speed range \
+                or there is a communication gap.",
+        },
+        Activity {
+            key: "p",
+            name: "pilotOps",
+            fluents: &["pilotOps"],
+            description: "Pilot boarding: a pilot vessel and another vessel perform a pilot \
+                boarding operation while they are close to each other and each of them is \
+                either sailing at low speed or stopped far from all ports.",
+        },
+        Activity {
+            key: "l",
+            name: "loitering",
+            fluents: &["loitering"],
+            description: "Loitering: a vessel loiters while it is sailing at low speed or is \
+                stopped far from all ports, provided that it is neither within a coastal \
+                area nor within an anchorage area.",
+        },
+        Activity {
+            key: "s",
+            name: "sar",
+            fluents: &["sarSpeed", "sarMovement", "sar"],
+            description: "Search and rescue: a search-and-rescue vessel performs a \
+                search-and-rescue operation while it sails at search-and-rescue speed, i.e. \
+                above the minimum search-and-rescue speed, and exhibits search-and-rescue \
+                movement, i.e. repeated heading changes. Search-and-rescue movement ends when \
+                the vessel stops or there is a communication gap.",
+        },
+        Activity {
+            key: "d",
+            name: "drifting",
+            fluents: &["drifting"],
+            description: "Drifting: a vessel is drifting while it is under way and the \
+                difference between its heading and its course over ground exceeds the drift \
+                angle threshold. Drifting ends when the deviation falls below the threshold, \
+                when the vessel stops, or when there is a communication gap.",
+        },
+    ]
+}
+
+/// Extension activities beyond Figure 2's eight: recognised by the gold
+/// event description and exercised by the dataset, but not part of the
+/// paper's reported series.
+pub fn extension_activities() -> Vec<Activity> {
+    vec![Activity {
+        key: "rv",
+        name: "rendezVous",
+        fluents: &["rendezVous"],
+        description: "Ship-to-ship transfer (rendezvous): two vessels perform a possible \
+            ship-to-ship transfer while they are close to each other, each of them is \
+            sailing at low speed or stopped far from all ports, and they are away from the \
+            coast.",
+    }]
+}
+
+/// The lower-level fluents shared by the activity definitions; taught to
+/// the LLM via prompt F's examples and reused across prompt G answers.
+pub fn lower_level_fluents() -> &'static [&'static str] {
+    &[
+        "gap",
+        "withinArea",
+        "stopped",
+        "lowSpeed",
+        "changingSpeed",
+        "movingSpeed",
+        "underWay",
+    ]
+}
+
+/// The input-schema declarations of the maritime application: the events
+/// produced by AIS preprocessing and the `proximity` input fluent.
+/// Shipping these alongside the background knowledge lets
+/// [`rtec::declarations::Declarations`] statically flag rules that
+/// reference out-of-schema events or fluents (the paper's third error
+/// category).
+pub fn input_declarations() -> String {
+    let events = [
+        "velocity/4",
+        "change_in_speed_start/1",
+        "change_in_speed_end/1",
+        "change_in_heading/1",
+        "stop_start/1",
+        "stop_end/1",
+        "slow_motion_start/1",
+        "slow_motion_end/1",
+        "gap_start/1",
+        "gap_end/1",
+        "entersArea/2",
+        "leavesArea/2",
+    ];
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("inputEvent({e}).\n"));
+    }
+    out.push_str("inputFluent(proximity/2).\n");
+    out
+}
+
+/// Parses the gold rules into an event description.
+pub fn gold_event_description() -> EventDescription {
+    EventDescription::parse(GOLD_RULES).expect("gold rules parse")
+}
+
+/// The clauses of `desc` whose head defines one of `activity`'s fluents —
+/// the per-activity rule subsets scored in Figure 2a.
+pub fn rules_for_activity<'d>(desc: &'d EventDescription, activity: &Activity) -> Vec<&'d Clause> {
+    clauses_for_fluents(desc, activity.fluents)
+}
+
+/// The clauses of `desc` whose head defines one of the given fluents.
+pub fn clauses_for_fluents<'d>(desc: &'d EventDescription, fluents: &[&str]) -> Vec<&'d Clause> {
+    desc.clauses
+        .iter()
+        .filter(|c| head_fluent_name(desc, c).is_some_and(|n| fluents.contains(&n)))
+        .collect()
+}
+
+/// The fluent functor name defined by a clause head
+/// (`initiatedAt`/`terminatedAt`/`holdsFor` over `F=V`), if any.
+pub fn head_fluent_name<'d>(desc: &'d EventDescription, clause: &Clause) -> Option<&'d str> {
+    let head = &clause.head;
+    let pred = desc.symbols.try_name(head.functor()?)?;
+    if !matches!(pred, "initiatedAt" | "terminatedAt" | "holdsFor") {
+        return None;
+    }
+    let fvp = head.args().first()?;
+    let eq = desc.symbols.get("=")?;
+    if fvp.functor()? != eq {
+        return None;
+    }
+    let fluent = fvp.args().first()?;
+    desc.symbols.try_name(fluent.functor()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_rules_parse_and_compile() {
+        let desc = gold_event_description();
+        let compiled = desc.compile().unwrap();
+        assert!(
+            !compiled.report.has_errors(),
+            "gold must be valid: {:?}",
+            compiled.report.errors().collect::<Vec<_>>()
+        );
+        // Simple + static fluents both present.
+        assert!(compiled.simple.len() > 20);
+        assert!(compiled.statics.len() >= 6);
+    }
+
+    #[test]
+    fn all_eight_activities_have_rules() {
+        let desc = gold_event_description();
+        for a in activities() {
+            let rules = rules_for_activity(&desc, &a);
+            assert!(!rules.is_empty(), "no rules for {}", a.key);
+        }
+    }
+
+    #[test]
+    fn activity_keys_match_figure_2() {
+        let keys: Vec<&str> = activities().iter().map(|a| a.key).collect();
+        assert_eq!(keys, vec!["h", "aM", "tr", "tu", "p", "l", "s", "d"]);
+    }
+
+    #[test]
+    fn hierarchy_strata_put_lower_level_first() {
+        let desc = gold_event_description();
+        let compiled = desc.compile().unwrap();
+        let pos = |name: &str| {
+            let s = compiled
+                .symbols
+                .get(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            compiled
+                .strata
+                .iter()
+                .position(|k| k.0 == s)
+                .unwrap_or_else(|| panic!("{name} not in strata"))
+        };
+        assert!(pos("withinArea") < pos("highSpeedNearCoast"));
+        assert!(pos("movingSpeed") < pos("underWay"));
+        assert!(pos("underWay") < pos("drifting"));
+        assert!(pos("stopped") < pos("anchoredOrMoored"));
+        assert!(pos("lowSpeed") < pos("loitering"));
+    }
+
+    #[test]
+    fn rule_subsets_are_disjoint_across_activities() {
+        let _desc = gold_event_description();
+        let acts = activities();
+        for (i, a) in acts.iter().enumerate() {
+            for b in &acts[i + 1..] {
+                for f in a.fluents {
+                    assert!(
+                        !b.fluents.contains(f),
+                        "{f} in both {} and {}",
+                        a.key,
+                        b.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn head_fluent_name_extracts() {
+        let desc = gold_event_description();
+        let names: Vec<_> = desc
+            .clauses
+            .iter()
+            .filter_map(|c| head_fluent_name(&desc, c))
+            .collect();
+        assert!(names.contains(&"withinArea"));
+        assert!(names.contains(&"trawling"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # maritime — maritime situational awareness substrate
+//!
+//! The paper evaluates activity-definition generation on maritime
+//! monitoring: AIS position signals from vessels around the port of Brest
+//! are preprocessed into *critical events* (area entries, stops, speed
+//! changes, communication gaps, ...) over which RTEC detects composite
+//! activities such as trawling and ship-to-ship transfer.
+//!
+//! The original Brest dataset (18M signals, 5K vessels, Oct 2015–Mar 2016)
+//! is not redistributable here, so this crate provides a faithful
+//! *synthetic* substitute (see `DESIGN.md`, "Substitutions"):
+//!
+//! * [`geometry`] — planar geometry (point-in-polygon, distances);
+//! * [`areas`] — a Brest-like map: port, near-port and coastal bands,
+//!   fishing grounds, anchorages, protected areas;
+//! * [`vessel`] — vessel identities, types and service speeds;
+//! * [`ais`] — AIS position signals and trajectory segments;
+//! * [`scenario`] — scripted vessel behaviours (trawling runs, tugging
+//!   pairs, pilot boarding, loitering, drifting, SAR sweeps, gaps);
+//! * [`preprocess`] — derivation of the critical-event stream and the
+//!   `proximity` input fluent from raw AIS, as in the maritime RTEC
+//!   pipeline;
+//! * [`thresholds`] — the domain's background knowledge (thresholds,
+//!   vessel-type service speeds) rendered as RTEC facts;
+//! * [`gold`] — the hand-crafted gold-standard event description (after
+//!   Pitsikalis et al., DEBS 2019) and the catalogue of the eight target
+//!   activities of the paper's evaluation;
+//! * [`dataset`] — end-to-end construction of a replayable
+//!   [`rtec::stream::InputStream`] plus the gold event description.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ais;
+pub mod areas;
+pub mod csv;
+pub mod dataset;
+pub mod geometry;
+pub mod gold;
+pub mod preprocess;
+pub mod scenario;
+pub mod stats;
+pub mod thresholds;
+pub mod vessel;
+
+pub use dataset::{BrestScenario, Dataset};
+pub use gold::{activities, gold_event_description, Activity};

@@ -1,0 +1,444 @@
+//! Critical-event derivation from raw AIS tracks.
+//!
+//! The maritime RTEC pipeline does not reason over raw position signals;
+//! an online preprocessing step compresses them into *critical events* —
+//! `entersArea`/`leavesArea`, `stop_start`/`stop_end`,
+//! `slow_motion_start`/`slow_motion_end`, `change_in_speed_start`/`end`,
+//! `change_in_heading`, `gap_start`/`gap_end` — plus a `velocity` event
+//! carrying the kinematics and a pairwise `proximity` input fluent
+//! (Pitsikalis et al., DEBS 2019; paper Sections 3.2 and 5.1). This module
+//! reproduces that derivation over the synthetic tracks.
+
+use crate::ais::Trajectory;
+use crate::areas::{AreaId, AreaMap};
+use crate::geometry::heading_diff;
+use crate::vessel::VesselId;
+use rtec::stream::InputStream;
+use rtec::{GroundFvp, Interval, IntervalList, Symbol, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Thresholds of the preprocessing step.
+#[derive(Clone, Copy, Debug)]
+pub struct PreprocessConfig {
+    /// Below this speed (knots) a vessel counts as stopped.
+    pub stop_speed: f64,
+    /// Below this speed (knots), and at or above `stop_speed`, a vessel is
+    /// in slow motion.
+    pub slow_speed: f64,
+    /// Speed delta (knots) between consecutive signals that counts as a
+    /// speed change.
+    pub speed_change: f64,
+    /// Heading delta (degrees) between consecutive signals that counts as
+    /// a heading change.
+    pub heading_change: f64,
+    /// Silence longer than this (seconds) is a communication gap.
+    pub gap_seconds: i64,
+    /// Vessels closer than this (metres) are in proximity.
+    pub proximity_metres: f64,
+    /// Nominal AIS reporting period (seconds); used to bucket the
+    /// proximity computation.
+    pub sample_period: i64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            stop_speed: 0.5,
+            slow_speed: 5.0,
+            speed_change: 1.5,
+            heading_change: 15.0,
+            gap_seconds: 1800,
+            proximity_metres: 300.0,
+            sample_period: 60,
+        }
+    }
+}
+
+/// Interned event vocabulary for fast term construction.
+struct Vocab {
+    velocity: Symbol,
+    enters_area: Symbol,
+    leaves_area: Symbol,
+    gap_start: Symbol,
+    gap_end: Symbol,
+    stop_start: Symbol,
+    stop_end: Symbol,
+    slow_start: Symbol,
+    slow_end: Symbol,
+    speed_ch_start: Symbol,
+    speed_ch_end: Symbol,
+    heading_ch: Symbol,
+    proximity: Symbol,
+    true_atom: Term,
+    vessels: HashMap<VesselId, Term>,
+    areas: HashMap<AreaId, Term>,
+}
+
+impl Vocab {
+    fn new(stream: &mut InputStream, trajectories: &[Trajectory], areas: &AreaMap) -> Vocab {
+        let s = &mut stream.symbols;
+        let mut vessels = HashMap::new();
+        for tr in trajectories {
+            if let Some(p) = tr.points.first() {
+                vessels
+                    .entry(p.vessel)
+                    .or_insert_with(|| Term::Atom(s.intern(&p.vessel.to_string())));
+            }
+        }
+        let mut area_terms = HashMap::new();
+        for a in areas.areas() {
+            area_terms.insert(a.id, Term::Atom(s.intern(&a.id.to_string())));
+        }
+        Vocab {
+            velocity: s.intern("velocity"),
+            enters_area: s.intern("entersArea"),
+            leaves_area: s.intern("leavesArea"),
+            gap_start: s.intern("gap_start"),
+            gap_end: s.intern("gap_end"),
+            stop_start: s.intern("stop_start"),
+            stop_end: s.intern("stop_end"),
+            slow_start: s.intern("slow_motion_start"),
+            slow_end: s.intern("slow_motion_end"),
+            speed_ch_start: s.intern("change_in_speed_start"),
+            speed_ch_end: s.intern("change_in_speed_end"),
+            heading_ch: s.intern("change_in_heading"),
+            proximity: s.intern("proximity"),
+            true_atom: Term::Atom(s.intern("true")),
+            vessels,
+            areas: area_terms,
+        }
+    }
+
+    fn unary(&self, f: Symbol, v: VesselId) -> Term {
+        Term::Compound(f, vec![self.vessels[&v].clone()])
+    }
+
+    fn area_event(&self, f: Symbol, v: VesselId, a: AreaId) -> Term {
+        Term::Compound(f, vec![self.vessels[&v].clone(), self.areas[&a].clone()])
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Derives the critical-event stream (and proximity intervals) from AIS
+/// tracks.
+pub fn preprocess(
+    trajectories: &[Trajectory],
+    areas: &AreaMap,
+    config: &PreprocessConfig,
+) -> InputStream {
+    let mut stream = InputStream::new();
+    let vocab = Vocab::new(&mut stream, trajectories, areas);
+
+    for tr in trajectories {
+        derive_vessel_events(tr, areas, config, &vocab, &mut stream);
+    }
+    derive_proximity(trajectories, config, &vocab, &mut stream);
+    stream
+}
+
+fn derive_vessel_events(
+    tr: &Trajectory,
+    areas: &AreaMap,
+    config: &PreprocessConfig,
+    vocab: &Vocab,
+    stream: &mut InputStream,
+) {
+    let Some(first) = tr.points.first() else {
+        return;
+    };
+    let vessel = first.vessel;
+
+    let mut inside: HashSet<AreaId> = HashSet::new();
+    let mut stopped = false;
+    let mut slow = false;
+    let mut changing_speed = false;
+    let mut prev: Option<&crate::ais::AisPoint> = None;
+
+    for p in &tr.points {
+        // Communication gaps reset every state machine: after the gap the
+        // vessel re-appears like a fresh contact.
+        if let Some(pr) = prev {
+            if p.t - pr.t > config.gap_seconds {
+                stream.push_event(vocab.unary(vocab.gap_start, vessel), pr.t);
+                stream.push_event(vocab.unary(vocab.gap_end, vessel), p.t);
+                inside.clear();
+                stopped = false;
+                slow = false;
+                changing_speed = false;
+                prev = None;
+            }
+        }
+
+        // Area membership.
+        let current: HashSet<AreaId> = areas.containing(&p.pos).iter().map(|a| a.id).collect();
+        for &a in current.difference(&inside) {
+            stream.push_event(vocab.area_event(vocab.enters_area, vessel, a), p.t);
+        }
+        if prev.is_some() {
+            for &a in inside.difference(&current) {
+                stream.push_event(vocab.area_event(vocab.leaves_area, vessel, a), p.t);
+            }
+        }
+        inside = current;
+
+        // Stop / slow-motion state machines.
+        let now_stopped = p.speed < config.stop_speed;
+        if now_stopped && !stopped {
+            stream.push_event(vocab.unary(vocab.stop_start, vessel), p.t);
+        } else if !now_stopped && stopped {
+            stream.push_event(vocab.unary(vocab.stop_end, vessel), p.t);
+        }
+        stopped = now_stopped;
+
+        let now_slow = p.speed >= config.stop_speed && p.speed < config.slow_speed;
+        if now_slow && !slow {
+            stream.push_event(vocab.unary(vocab.slow_start, vessel), p.t);
+        } else if !now_slow && slow {
+            stream.push_event(vocab.unary(vocab.slow_end, vessel), p.t);
+        }
+        slow = now_slow;
+
+        if let Some(pr) = prev {
+            // Speed-change state machine.
+            let delta = (p.speed - pr.speed).abs();
+            if delta > config.speed_change && !changing_speed {
+                stream.push_event(vocab.unary(vocab.speed_ch_start, vessel), p.t);
+                changing_speed = true;
+            } else if delta <= config.speed_change && changing_speed {
+                stream.push_event(vocab.unary(vocab.speed_ch_end, vessel), p.t);
+                changing_speed = false;
+            }
+            // Heading changes are instantaneous events.
+            if heading_diff(pr.heading, p.heading) > config.heading_change {
+                stream.push_event(vocab.unary(vocab.heading_ch, vessel), p.t);
+            }
+        }
+
+        // The kinematic report itself.
+        let velocity = Term::Compound(
+            vocab.velocity,
+            vec![
+                vocab.vessels[&vessel].clone(),
+                Term::Float(round1(p.speed)),
+                Term::Float(round1(p.heading)),
+                Term::Float(round1(p.cog)),
+            ],
+        );
+        stream.push_event(velocity, p.t);
+
+        prev = Some(p);
+    }
+
+    // Lost contact: when the track ends, an online preprocessor concludes
+    // after the gap timeout that the vessel stopped transmitting —
+    // otherwise every fluent of the vessel would persist (by inertia) to
+    // the end of the stream.
+    if let Some(last) = tr.points.last() {
+        stream.push_event(
+            vocab.unary(vocab.gap_start, vessel),
+            last.t + config.gap_seconds,
+        );
+    }
+}
+
+/// Grid-bucketed pairwise proximity: for every reporting interval, vessels
+/// within `proximity_metres` are paired; consecutive hits amalgamate into
+/// maximal intervals, emitted for both argument orders.
+fn derive_proximity(
+    trajectories: &[Trajectory],
+    config: &PreprocessConfig,
+    vocab: &Vocab,
+    stream: &mut InputStream,
+) {
+    let bucket = config.sample_period.max(1);
+    // bin -> vessel -> position (last report in the bin wins).
+    let mut bins: HashMap<i64, HashMap<VesselId, crate::geometry::Point>> = HashMap::new();
+    for tr in trajectories {
+        for p in &tr.points {
+            bins.entry(p.t.div_euclid(bucket))
+                .or_default()
+                .insert(p.vessel, p.pos);
+        }
+    }
+
+    let cell = config.proximity_metres.max(1.0);
+    let mut active: HashMap<(VesselId, VesselId), Vec<Interval>> = HashMap::new();
+    let mut bin_keys: Vec<i64> = bins.keys().copied().collect();
+    bin_keys.sort_unstable();
+
+    for bin in bin_keys {
+        let positions = &bins[&bin];
+        // Spatial hash for this instant.
+        let mut grid: HashMap<(i64, i64), Vec<(VesselId, crate::geometry::Point)>> = HashMap::new();
+        for (&v, &pos) in positions {
+            let key = ((pos.x / cell).floor() as i64, (pos.y / cell).floor() as i64);
+            grid.entry(key).or_default().push((v, pos));
+        }
+        let t0 = bin * bucket;
+        let piece = Interval::new(t0, t0 + bucket);
+        for (&(cx, cy), members) in &grid {
+            for dx in -1..=1_i64 {
+                for dy in -1..=1_i64 {
+                    let Some(others) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &(v1, p1) in members {
+                        for &(v2, p2) in others {
+                            if v1 >= v2 {
+                                continue;
+                            }
+                            if p1.distance(&p2) <= config.proximity_metres {
+                                active.entry((v1, v2)).or_default().push(piece);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<((VesselId, VesselId), Vec<Interval>)> = active.into_iter().collect();
+    pairs.sort_by_key(|(k, _)| *k);
+    for ((v1, v2), pieces) in pairs {
+        let list = IntervalList::from_intervals(pieces);
+        for (a, b) in [(v1, v2), (v2, v1)] {
+            let fluent = Term::Compound(
+                vocab.proximity,
+                vec![vocab.vessels[&a].clone(), vocab.vessels[&b].clone()],
+            );
+            let fvp = GroundFvp::new(fluent, vocab.true_atom.clone())
+                .expect("proximity terms are ground");
+            stream.push_intervals(fvp, list.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::AreaMap;
+    use crate::geometry::Point;
+    use crate::scenario::TrajectoryBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn events_named<'a>(stream: &'a InputStream, name: &str) -> Vec<&'a (Term, i64)> {
+        let sym = stream.symbols.get(name);
+        stream
+            .events()
+            .iter()
+            .filter(|(e, _)| e.functor() == sym)
+            .collect()
+    }
+
+    #[test]
+    fn area_transitions_are_detected() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Sail from open sea into the first fishing ground and back out.
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(20_000.0, 30_000.0), 60);
+        b.sail_to(&mut rng, Point::new(20_000.0, 15_000.0), 10.0) // into fishing a4
+            .sail_to(&mut rng, Point::new(20_000.0, 30_000.0), 10.0); // back out
+        let tr = b.finish();
+        let stream = preprocess(&[tr], &areas, &PreprocessConfig::default());
+        assert_eq!(events_named(&stream, "entersArea").len(), 1);
+        assert_eq!(events_named(&stream, "leavesArea").len(), 1);
+    }
+
+    #[test]
+    fn stop_and_resume() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(20_000.0, 30_000.0), 60);
+        b.sail_to(&mut rng, Point::new(22_000.0, 30_000.0), 8.0)
+            .hold(&mut rng, 1800)
+            .sail_to(&mut rng, Point::new(24_000.0, 30_000.0), 8.0);
+        let tr = b.finish();
+        let stream = preprocess(&[tr], &areas, &PreprocessConfig::default());
+        assert_eq!(events_named(&stream, "stop_start").len(), 1);
+        assert_eq!(events_named(&stream, "stop_end").len(), 1);
+        // The acceleration out of the stop triggers a speed change.
+        assert!(!events_named(&stream, "change_in_speed_start").is_empty());
+    }
+
+    #[test]
+    fn gaps_reset_and_reenter_areas() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Loiter inside the fishing ground, go silent for 2 h, come back
+        // still inside the ground.
+        let centre = Point::new(20_000.0, 15_000.0);
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, centre, 60);
+        b.loiter(&mut rng, 900)
+            .silence(7_200, 0.5)
+            .loiter(&mut rng, 900);
+        let tr = b.finish();
+        let stream = preprocess(&[tr], &areas, &PreprocessConfig::default());
+        // One mid-track gap plus the lost-contact gap at the end of the
+        // trajectory.
+        assert_eq!(events_named(&stream, "gap_start").len(), 2);
+        assert_eq!(events_named(&stream, "gap_end").len(), 1);
+        // Re-entry after the gap duplicates the entersArea event.
+        assert_eq!(events_named(&stream, "entersArea").len(), 2);
+    }
+
+    #[test]
+    fn heading_changes_fire_in_zigzag() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(17_000.0, 12_000.0), 60);
+        b.zigzag(&mut rng, 3_600, 4.0, 45.0, 40.0, 300);
+        let tr = b.finish();
+        let stream = preprocess(&[tr], &areas, &PreprocessConfig::default());
+        assert!(events_named(&stream, "change_in_heading").len() >= 5);
+    }
+
+    #[test]
+    fn velocity_emitted_per_signal() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 30_000.0), 60);
+        b.sail_to(&mut rng, Point::new(2_000.0, 30_000.0), 10.0);
+        let tr = b.finish();
+        let n = tr.len();
+        let stream = preprocess(&[tr], &areas, &PreprocessConfig::default());
+        assert_eq!(events_named(&stream, "velocity").len(), n);
+    }
+
+    #[test]
+    fn proximity_intervals_for_adjacent_vessels() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lead = TrajectoryBuilder::new(VesselId(1), 0, Point::new(20_000.0, 30_000.0), 60);
+        lead.sail_to(&mut rng, Point::new(24_000.0, 30_000.0), 4.0);
+        let lead_tr = lead.finish();
+        let mut follow = TrajectoryBuilder::new(VesselId(2), 0, Point::new(20_000.0, 30_100.0), 60);
+        follow.shadow(&lead_tr, 0, 1_000_000, Point::new(0.0, 100.0));
+        let follow_tr = follow.finish();
+        let stream = preprocess(&[lead_tr, follow_tr], &areas, &PreprocessConfig::default());
+        // Both orderings are emitted.
+        assert_eq!(stream.intervals().len(), 2);
+        let (fvp, list) = &stream.intervals()[0];
+        assert!(fvp.fluent.arity() == 2);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn distant_vessels_have_no_proximity() {
+        let areas = AreaMap::brest_like();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = TrajectoryBuilder::new(VesselId(1), 0, Point::new(10_000.0, 30_000.0), 60);
+        a.loiter(&mut rng, 1800);
+        let mut b = TrajectoryBuilder::new(VesselId(2), 0, Point::new(50_000.0, 30_000.0), 60);
+        b.loiter(&mut rng, 1800);
+        let stream = preprocess(
+            &[a.finish(), b.finish()],
+            &areas,
+            &PreprocessConfig::default(),
+        );
+        assert!(stream.intervals().is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Scripted vessel behaviours.
+//!
+//! [`TrajectoryBuilder`] composes behaviour segments — sailing legs,
+//! station keeping, trawling zigzags, drift, loitering, AIS silence — into
+//! an AIS track. The segments are designed so that the preprocessing of
+//! [`crate::preprocess`] derives exactly the critical events that the gold
+//! activity definitions react to (e.g. a trawling zigzag inside a fishing
+//! ground yields `change_in_heading` events at trawling speed, so
+//! `trawlSpeed` and `trawlingMovement` both hold).
+
+use crate::ais::{AisPoint, Trajectory};
+use crate::geometry::{knots_to_mps, normalize_deg, Point};
+use crate::vessel::VesselId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Incrementally builds one vessel's AIS track from behaviour segments.
+#[derive(Debug)]
+pub struct TrajectoryBuilder {
+    vessel: VesselId,
+    /// Seconds between consecutive AIS reports.
+    period: i64,
+    t: i64,
+    pos: Point,
+    heading: f64,
+    points: Vec<AisPoint>,
+}
+
+impl TrajectoryBuilder {
+    /// Starts a track for `vessel` at `start` seconds, position `pos`,
+    /// reporting every `period` seconds.
+    pub fn new(vessel: VesselId, start: i64, pos: Point, period: i64) -> TrajectoryBuilder {
+        assert!(period > 0);
+        TrajectoryBuilder {
+            vessel,
+            period,
+            t: start,
+            pos,
+            heading: 0.0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> i64 {
+        self.t
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    fn sample(&mut self, speed: f64, heading: f64, cog: f64) {
+        self.points.push(AisPoint {
+            vessel: self.vessel,
+            t: self.t,
+            pos: self.pos,
+            speed: speed.max(0.0),
+            heading: normalize_deg(heading),
+            cog: normalize_deg(cog),
+        });
+        self.t += self.period;
+    }
+
+    fn advance(&mut self, speed_kn: f64, heading: f64) {
+        let metres = knots_to_mps(speed_kn) * self.period as f64;
+        self.pos = self.pos.step(heading, metres);
+        self.heading = heading;
+    }
+
+    /// Sails in a straight line towards `target` at roughly `speed_kn`,
+    /// stopping when within one reporting step of it.
+    pub fn sail_to(&mut self, rng: &mut StdRng, target: Point, speed_kn: f64) -> &mut Self {
+        let step = knots_to_mps(speed_kn) * self.period as f64;
+        // Guard against zero-length legs.
+        let mut guard = 0;
+        while self.pos.distance(&target) > step && guard < 100_000 {
+            let heading = self.pos.heading_to(&target);
+            let speed = speed_kn + rng.gen_range(-0.3..0.3);
+            self.sample(speed, heading, heading);
+            self.advance(speed, heading);
+            guard += 1;
+        }
+        self
+    }
+
+    /// Stays (almost) put for `duration` seconds: speed jitters around
+    /// 0.1 kn, well below the stop threshold.
+    pub fn hold(&mut self, rng: &mut StdRng, duration: i64) -> &mut Self {
+        let end = self.t + duration;
+        while self.t < end {
+            let heading = self.heading + rng.gen_range(-3.0..3.0);
+            let speed = rng.gen_range(0.0..0.25);
+            self.sample(speed, heading, heading);
+            self.heading = heading;
+        }
+        self
+    }
+
+    /// Wanders slowly (1–3 kn, gently turning) for `duration` seconds —
+    /// the kinematics of loitering.
+    pub fn loiter(&mut self, rng: &mut StdRng, duration: i64) -> &mut Self {
+        let end = self.t + duration;
+        while self.t < end {
+            let heading = normalize_deg(self.heading + rng.gen_range(-8.0..8.0));
+            let speed = rng.gen_range(1.2..3.0);
+            self.sample(speed, heading, heading);
+            self.advance(speed, heading);
+        }
+        self
+    }
+
+    /// Trawling/search zigzag: legs of `leg_seconds` at `speed_kn`,
+    /// alternating heading by ±`turn_deg` around `base_heading`.
+    pub fn zigzag(
+        &mut self,
+        rng: &mut StdRng,
+        duration: i64,
+        speed_kn: f64,
+        base_heading: f64,
+        turn_deg: f64,
+        leg_seconds: i64,
+    ) -> &mut Self {
+        let end = self.t + duration;
+        let mut sign = 1.0;
+        let mut leg_end = self.t + leg_seconds;
+        while self.t < end {
+            if self.t >= leg_end {
+                sign = -sign;
+                leg_end = self.t + leg_seconds;
+            }
+            let heading = normalize_deg(base_heading + sign * turn_deg + rng.gen_range(-2.0..2.0));
+            let speed = speed_kn + rng.gen_range(-0.3..0.3);
+            self.sample(speed, heading, heading);
+            self.advance(speed, heading);
+        }
+        self
+    }
+
+    /// Drifts for `duration` seconds: low-but-moving speed with the course
+    /// over ground offset from the heading by `cog_offset_deg` (wind/
+    /// current pushing the hull sideways).
+    pub fn drift(
+        &mut self,
+        rng: &mut StdRng,
+        duration: i64,
+        speed_kn: f64,
+        cog_offset_deg: f64,
+    ) -> &mut Self {
+        let end = self.t + duration;
+        while self.t < end {
+            let heading = normalize_deg(self.heading + rng.gen_range(-1.5..1.5));
+            let cog = normalize_deg(heading + cog_offset_deg + rng.gen_range(-3.0..3.0));
+            let speed = speed_kn + rng.gen_range(-0.2..0.2);
+            self.sample(speed, heading, cog);
+            // The hull moves along the course over ground, not the heading.
+            let metres = knots_to_mps(speed) * self.period as f64;
+            self.pos = self.pos.step(cog, metres);
+            self.heading = heading;
+        }
+        self
+    }
+
+    /// AIS silence: no reports for `duration` seconds (the vessel keeps
+    /// sailing its current heading slowly). Produces a communication gap
+    /// when `duration` exceeds the preprocessing gap threshold.
+    pub fn silence(&mut self, duration: i64, speed_kn: f64) -> &mut Self {
+        let metres = knots_to_mps(speed_kn) * duration as f64;
+        self.pos = self.pos.step(self.heading, metres);
+        self.t += duration;
+        self
+    }
+
+    /// Keeps pace alongside a leader's track segment (for tugging and
+    /// pilot boarding): mirrors the leader's kinematics from `from_t`
+    /// onwards at a constant offset, for `duration` seconds.
+    pub fn shadow(
+        &mut self,
+        leader: &Trajectory,
+        from_t: i64,
+        duration: i64,
+        offset: Point,
+    ) -> &mut Self {
+        let end = from_t + duration;
+        for p in &leader.points {
+            if p.t < from_t.max(self.t) || p.t >= end {
+                continue;
+            }
+            self.t = p.t;
+            self.pos = Point::new(p.pos.x + offset.x, p.pos.y + offset.y);
+            self.heading = p.heading;
+            self.sample(p.speed, p.heading, p.cog);
+        }
+        self
+    }
+
+    /// Finishes the track.
+    pub fn finish(self) -> Trajectory {
+        let tr = Trajectory {
+            points: self.points,
+        };
+        tr.check_sorted();
+        tr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sail_to_reaches_target() {
+        let mut r = rng();
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 0.0), 60);
+        b.sail_to(&mut r, Point::new(5_000.0, 0.0), 10.0);
+        let tr = b.finish();
+        assert!(!tr.is_empty());
+        let last = tr.points.last().unwrap();
+        assert!(last.pos.distance(&Point::new(5_000.0, 0.0)) < 1_000.0);
+        // Speeds hover around 10 kn.
+        assert!(tr.points.iter().all(|p| (p.speed - 10.0).abs() < 1.0));
+    }
+
+    #[test]
+    fn hold_is_nearly_stationary() {
+        let mut r = rng();
+        let start = Point::new(100.0, 100.0);
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, start, 60);
+        b.hold(&mut r, 3600);
+        let tr = b.finish();
+        assert_eq!(tr.len(), 60);
+        assert!(tr.points.iter().all(|p| p.speed < 0.5));
+        assert!(tr.points.iter().all(|p| p.pos.distance(&start) < 1.0));
+    }
+
+    #[test]
+    fn zigzag_changes_heading_repeatedly() {
+        let mut r = rng();
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 0.0), 60);
+        b.zigzag(&mut r, 3600, 4.0, 90.0, 40.0, 300);
+        let tr = b.finish();
+        let big_turns = tr
+            .points
+            .windows(2)
+            .filter(|w| crate::geometry::heading_diff(w[0].heading, w[1].heading) > 15.0)
+            .count();
+        assert!(big_turns >= 5, "only {big_turns} large turns");
+    }
+
+    #[test]
+    fn drift_offsets_cog_from_heading() {
+        let mut r = rng();
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 0.0), 60);
+        b.drift(&mut r, 1800, 1.5, 40.0);
+        let tr = b.finish();
+        assert!(tr
+            .points
+            .iter()
+            .all(|p| crate::geometry::heading_diff(p.heading, p.cog) > 30.0));
+    }
+
+    #[test]
+    fn silence_creates_report_hole() {
+        let mut r = rng();
+        let mut b = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 0.0), 60);
+        b.loiter(&mut r, 600).silence(7200, 2.0).loiter(&mut r, 600);
+        let tr = b.finish();
+        let max_gap = tr.points.windows(2).map(|w| w[1].t - w[0].t).max().unwrap();
+        assert!(max_gap >= 7200);
+    }
+
+    #[test]
+    fn shadow_tracks_leader() {
+        let mut r = rng();
+        let mut lead = TrajectoryBuilder::new(VesselId(1), 0, Point::new(0.0, 0.0), 60);
+        lead.sail_to(&mut r, Point::new(3_000.0, 0.0), 4.0);
+        let lead = lead.finish();
+        let mut follow = TrajectoryBuilder::new(VesselId(2), 0, Point::new(0.0, 50.0), 60);
+        follow.shadow(&lead, 0, 100_000, Point::new(0.0, 80.0));
+        let follow = follow.finish();
+        assert_eq!(follow.len(), lead.len());
+        for (a, b) in lead.points.iter().zip(&follow.points) {
+            assert!(a.pos.distance(&b.pos) < 100.0);
+            assert_eq!(a.t, b.t);
+        }
+    }
+}

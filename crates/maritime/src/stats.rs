@@ -1,0 +1,113 @@
+//! Descriptive statistics over streams and datasets, for experiment
+//! reports and sanity checks.
+
+use rtec::stream::InputStream;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Event-type histogram and time bounds of a critical-event stream.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct StreamStats {
+    /// Total number of events.
+    pub events: usize,
+    /// Events per functor name, sorted by name.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Number of input-fluent interval entries (e.g. proximity pairs).
+    pub input_intervals: usize,
+    /// First event time.
+    pub first: i64,
+    /// Last event time.
+    pub last: i64,
+}
+
+impl StreamStats {
+    /// Computes the statistics of a stream.
+    pub fn of(stream: &InputStream) -> StreamStats {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut first = i64::MAX;
+        let mut last = i64::MIN;
+        for (ev, t) in stream.events() {
+            let name = ev
+                .functor()
+                .and_then(|f| stream.symbols.try_name(f))
+                .unwrap_or("?")
+                .to_owned();
+            *by_kind.entry(name).or_default() += 1;
+            first = first.min(*t);
+            last = last.max(*t);
+        }
+        if stream.is_empty() {
+            first = 0;
+            last = 0;
+        }
+        StreamStats {
+            events: stream.len(),
+            by_kind,
+            input_intervals: stream.intervals().len(),
+            first,
+            last,
+        }
+    }
+
+    /// Renders a compact text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} events over [{}, {}] s, {} input-fluent entries\n",
+            self.events, self.first, self.last, self.input_intervals
+        );
+        for (kind, n) in &self.by_kind {
+            out.push_str(&format!("  {kind:<24} {n}\n"));
+        }
+        out
+    }
+
+    /// The count for one event kind (0 if absent).
+    pub fn count(&self, kind: &str) -> usize {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{BrestScenario, Dataset};
+
+    #[test]
+    fn stats_cover_all_event_kinds() {
+        let d = Dataset::generate(&BrestScenario::small());
+        let s = StreamStats::of(&d.stream);
+        assert_eq!(s.events, d.stream.len());
+        // Every critical-event kind the preprocessing can emit occurs in
+        // the small scenario.
+        for kind in [
+            "velocity",
+            "entersArea",
+            "leavesArea",
+            "stop_start",
+            "stop_end",
+            "slow_motion_start",
+            "slow_motion_end",
+            "change_in_speed_start",
+            "change_in_heading",
+            "gap_start",
+            "gap_end",
+        ] {
+            assert!(s.count(kind) > 0, "missing {kind}\n{}", s.render());
+        }
+        // velocity dominates (one per signal).
+        assert_eq!(s.count("velocity"), d.signal_count());
+        assert!(s.input_intervals >= 2);
+        assert!(s.last > s.first);
+        let table = s.render();
+        assert!(table.contains("velocity"));
+    }
+
+    #[test]
+    fn empty_stream_stats() {
+        let s = StreamStats::of(&InputStream::new());
+        assert_eq!(s.events, 0);
+        assert_eq!(s.first, 0);
+        assert_eq!(s.last, 0);
+        assert_eq!(s.count("velocity"), 0);
+    }
+}

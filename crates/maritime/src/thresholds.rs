@@ -1,0 +1,170 @@
+//! Domain thresholds and vessel-type service speeds — the background
+//! knowledge presented to the LLM in prompt T and consulted by the
+//! activity definitions.
+
+use crate::vessel::VesselType;
+
+/// The maritime threshold table (values in knots and degrees), mirroring
+/// the thresholds of the maritime RTEC event description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// Maximum safe sailing speed in a coastal area (knots).
+    pub hc_near_coast_max: f64,
+    /// Minimum trawling speed (knots).
+    pub trawlspeed_min: f64,
+    /// Maximum trawling speed (knots).
+    pub trawlspeed_max: f64,
+    /// Minimum towing speed (knots).
+    pub tugging_min: f64,
+    /// Maximum towing speed (knots).
+    pub tugging_max: f64,
+    /// Minimum speed of a search-and-rescue sweep (knots).
+    pub sar_min_speed: f64,
+    /// Minimum speed at which a vessel counts as moving (knots).
+    pub moving_min: f64,
+    /// Heading/course deviation indicating drift (degrees).
+    pub adrift_ang_thr: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            hc_near_coast_max: 5.0,
+            trawlspeed_min: 2.0,
+            trawlspeed_max: 6.0,
+            tugging_min: 1.0,
+            tugging_max: 6.0,
+            sar_min_speed: 10.0,
+            moving_min: 0.5,
+            adrift_ang_thr: 30.0,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Renders the `thresholds/2` facts in RTEC concrete syntax.
+    pub fn background_facts(&self) -> String {
+        let rows = [
+            ("hcNearCoastMax", self.hc_near_coast_max),
+            ("trawlspeedMin", self.trawlspeed_min),
+            ("trawlspeedMax", self.trawlspeed_max),
+            ("tuggingMin", self.tugging_min),
+            ("tuggingMax", self.tugging_max),
+            ("sarMinSpeed", self.sar_min_speed),
+            ("movingMin", self.moving_min),
+            ("adriftAngThr", self.adrift_ang_thr),
+        ];
+        rows.iter()
+            .map(|(name, v)| format!("thresholds({name}, {v:.1}).\n"))
+            .collect()
+    }
+
+    /// The named threshold/value pairs with the one-line meanings used by
+    /// prompt T.
+    pub fn catalogue(&self) -> Vec<(&'static str, f64, &'static str)> {
+        vec![
+            (
+                "hcNearCoastMax",
+                self.hc_near_coast_max,
+                "The maximum sailing speed that is safe for a vessel to have in a coastal area.",
+            ),
+            (
+                "trawlspeedMin",
+                self.trawlspeed_min,
+                "The minimum speed at which a fishing vessel trawls.",
+            ),
+            (
+                "trawlspeedMax",
+                self.trawlspeed_max,
+                "The maximum speed at which a fishing vessel trawls.",
+            ),
+            (
+                "tuggingMin",
+                self.tugging_min,
+                "The minimum towing speed of a tug and its tow.",
+            ),
+            (
+                "tuggingMax",
+                self.tugging_max,
+                "The maximum towing speed of a tug and its tow.",
+            ),
+            (
+                "sarMinSpeed",
+                self.sar_min_speed,
+                "The minimum speed of a vessel engaged in a search-and-rescue sweep.",
+            ),
+            (
+                "movingMin",
+                self.moving_min,
+                "The minimum speed at which a vessel counts as moving.",
+            ),
+            (
+                "adriftAngThr",
+                self.adrift_ang_thr,
+                "The minimum deviation between heading and course over ground indicating drift.",
+            ),
+        ]
+    }
+}
+
+/// Renders the `vesselType/2` and `typeSpeed/3` facts for a fleet.
+pub fn fleet_background_facts(vessels: &[crate::vessel::Vessel]) -> String {
+    let mut out = String::new();
+    for v in vessels {
+        out.push_str(&format!(
+            "vesselType({}, {}).\n",
+            v.id,
+            v.vessel_type.as_atom()
+        ));
+    }
+    for t in VesselType::ALL {
+        let (min, max) = t.service_speed();
+        out.push_str(&format!(
+            "typeSpeed({}, {min:.1}, {max:.1}).\n",
+            t.as_atom()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vessel::Vessel;
+
+    #[test]
+    fn facts_parse_as_rtec() {
+        let t = Thresholds::default();
+        let vessels = vec![
+            Vessel::new(0, VesselType::Fishing),
+            Vessel::new(1, VesselType::Tug),
+        ];
+        let src = format!(
+            "{}{}",
+            t.background_facts(),
+            fleet_background_facts(&vessels)
+        );
+        let desc = rtec::EventDescription::parse(&src).unwrap();
+        // 8 thresholds + 2 vesselType + 7 typeSpeed.
+        assert_eq!(desc.clauses.len(), 8 + 2 + 7);
+        let compiled = desc.compile().unwrap();
+        assert!(!compiled.report.has_errors());
+        assert_eq!(compiled.facts.len(), 17);
+    }
+
+    #[test]
+    fn trawl_band_inside_fishing_service_gap() {
+        // Trawling speeds must be below the fishing service range so that
+        // movingSpeed=below coincides with trawling behaviour.
+        let t = Thresholds::default();
+        let (min, _) = VesselType::Fishing.service_speed();
+        assert!(t.trawlspeed_max < min);
+        assert!(t.moving_min < t.trawlspeed_min);
+    }
+
+    #[test]
+    fn catalogue_covers_all_thresholds() {
+        let t = Thresholds::default();
+        assert_eq!(t.catalogue().len(), 8);
+    }
+}

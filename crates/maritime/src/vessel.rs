@@ -1,0 +1,120 @@
+//! Vessel identities, types and service-speed profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vessel identifier; rendered as the RTEC constant `v<n>` (standing in
+/// for an MMSI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VesselId(pub u32);
+
+impl fmt::Display for VesselId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The vessel classes of the synthetic fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VesselType {
+    /// Fishing vessel (may trawl).
+    Fishing,
+    /// Harbour tug.
+    Tug,
+    /// Pilot boat.
+    PilotVessel,
+    /// Search-and-rescue vessel.
+    Sar,
+    /// Cargo ship.
+    Cargo,
+    /// Tanker.
+    Tanker,
+    /// Passenger ferry.
+    Passenger,
+}
+
+impl VesselType {
+    /// All types, in a stable order.
+    pub const ALL: [VesselType; 7] = [
+        VesselType::Fishing,
+        VesselType::Tug,
+        VesselType::PilotVessel,
+        VesselType::Sar,
+        VesselType::Cargo,
+        VesselType::Tanker,
+        VesselType::Passenger,
+    ];
+
+    /// The RTEC constant naming this type.
+    pub fn as_atom(self) -> &'static str {
+        match self {
+            VesselType::Fishing => "fishing",
+            VesselType::Tug => "tug",
+            VesselType::PilotVessel => "pilotVessel",
+            VesselType::Sar => "sar",
+            VesselType::Cargo => "cargo",
+            VesselType::Tanker => "tanker",
+            VesselType::Passenger => "passenger",
+        }
+    }
+
+    /// The service-speed range `(min, max)` in knots: the speeds at which
+    /// a vessel of this type normally sails (the `typeSpeed/3` background
+    /// predicate).
+    pub fn service_speed(self) -> (f64, f64) {
+        match self {
+            VesselType::Fishing => (7.0, 11.0),
+            VesselType::Tug => (6.0, 10.0),
+            VesselType::PilotVessel => (10.0, 20.0),
+            VesselType::Sar => (12.0, 25.0),
+            VesselType::Cargo => (10.0, 16.0),
+            VesselType::Tanker => (9.0, 14.0),
+            VesselType::Passenger => (14.0, 22.0),
+        }
+    }
+}
+
+/// A vessel of the synthetic fleet.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Vessel {
+    /// Identifier.
+    pub id: VesselId,
+    /// Class.
+    pub vessel_type: VesselType,
+}
+
+impl Vessel {
+    /// Creates a vessel.
+    pub fn new(id: u32, vessel_type: VesselType) -> Vessel {
+        Vessel {
+            id: VesselId(id),
+            vessel_type,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_renders_as_atom() {
+        assert_eq!(VesselId(42).to_string(), "v42");
+    }
+
+    #[test]
+    fn service_speeds_are_sane() {
+        for t in VesselType::ALL {
+            let (min, max) = t.service_speed();
+            assert!(min > 0.0 && min < max, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn atoms_are_lowercase_constants() {
+        for t in VesselType::ALL {
+            let a = t.as_atom();
+            assert!(a.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Acceptance tests of the gold-standard activity definitions: for each
+//! target activity, a minimal scenario that must trigger it and a
+//! near-miss variant that must not.
+
+use maritime::areas::AreaMap;
+use maritime::geometry::Point;
+use maritime::gold::GOLD_RULES;
+use maritime::preprocess::{preprocess, PreprocessConfig};
+use maritime::scenario::TrajectoryBuilder;
+use maritime::thresholds::{fleet_background_facts, Thresholds};
+use maritime::vessel::{Vessel, VesselId, VesselType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtec::{Engine, EngineConfig, IntervalList};
+
+struct World {
+    areas: AreaMap,
+    vessels: Vec<Vessel>,
+    trajectories: Vec<maritime::ais::Trajectory>,
+}
+
+impl World {
+    fn new() -> World {
+        World {
+            areas: AreaMap::brest_like(),
+            vessels: Vec::new(),
+            trajectories: Vec::new(),
+        }
+    }
+
+    fn vessel(&mut self, t: VesselType) -> VesselId {
+        let id = self.vessels.len() as u32;
+        self.vessels.push(Vessel::new(id, t));
+        VesselId(id)
+    }
+
+    /// Runs the gold rules over the world and returns the union of the
+    /// intervals of `fluent_name` (any arity).
+    fn recognise(&self, fluent_name: &str) -> IntervalList {
+        let stream = preprocess(
+            &self.trajectories,
+            &self.areas,
+            &PreprocessConfig::default(),
+        );
+        let src = format!(
+            "{GOLD_RULES}\n{}\n{}\n{}",
+            self.areas.background_facts(),
+            Thresholds::default().background_facts(),
+            fleet_background_facts(&self.vessels),
+        );
+        let desc = rtec::EventDescription::parse(&src).expect("gold parses");
+        let compiled = desc.compile().expect("gold compiles");
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        stream.load_into(&mut engine);
+        engine.run_to(stream.horizon() + 1);
+        let symbols = engine.symbols().clone();
+        let out = engine.into_output();
+        let lists: Vec<&IntervalList> = out
+            .iter()
+            .filter(|(fvp, _)| {
+                fvp.fluent
+                    .functor()
+                    .and_then(|f| symbols.try_name(f))
+                    .is_some_and(|n| n == fluent_name)
+            })
+            .map(|(_, l)| l)
+            .collect();
+        IntervalList::union_all(&lists)
+    }
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(99)
+}
+
+const FISHING_CENTRE: Point = Point {
+    x: 20_000.0,
+    y: 15_000.0,
+};
+const OPEN_SEA: Point = Point {
+    x: 20_000.0,
+    y: 30_000.0,
+};
+
+#[test]
+fn trawling_requires_the_fishing_area() {
+    // Zigzag at trawl speed inside the fishing ground: trawling.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Fishing);
+    let mut b = TrajectoryBuilder::new(v, 0, FISHING_CENTRE, 60);
+    b.zigzag(&mut rng(), 3600, 4.0, 90.0, 40.0, 300);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("trawling").is_empty());
+
+    // The same kinematics in open sea: no trawling.
+    let mut w2 = World::new();
+    let v2 = w2.vessel(VesselType::Fishing);
+    let mut b2 = TrajectoryBuilder::new(v2, 0, OPEN_SEA, 60);
+    b2.zigzag(&mut rng(), 3600, 4.0, 90.0, 40.0, 300);
+    w2.trajectories.push(b2.finish());
+    assert!(w2.recognise("trawling").is_empty());
+}
+
+#[test]
+fn trawling_requires_trawl_speed() {
+    // Zigzag inside the fishing ground but at service speed: movement
+    // without trawlSpeed, hence no trawling.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Fishing);
+    let mut b = TrajectoryBuilder::new(v, 0, FISHING_CENTRE, 60);
+    b.zigzag(&mut rng(), 3600, 9.0, 90.0, 40.0, 300);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("trawlingMovement").is_empty());
+    assert!(w.recognise("trawlSpeed").is_empty());
+    assert!(w.recognise("trawling").is_empty());
+}
+
+#[test]
+fn high_speed_near_coast_requires_both_parts() {
+    // Fast transit through the coastal band: detected.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Cargo);
+    let mut b = TrajectoryBuilder::new(v, 0, Point::new(5_000.0, 2_000.0), 60);
+    b.sail_to(&mut rng(), Point::new(30_000.0, 2_000.0), 12.0);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("highSpeedNearCoast").is_empty());
+
+    // Slow transit through the same band: not detected.
+    let mut w2 = World::new();
+    let v2 = w2.vessel(VesselType::Cargo);
+    let mut b2 = TrajectoryBuilder::new(v2, 0, Point::new(5_000.0, 2_000.0), 60);
+    b2.sail_to(&mut rng(), Point::new(12_000.0, 2_000.0), 4.0);
+    w2.trajectories.push(b2.finish());
+    assert!(w2.recognise("highSpeedNearCoast").is_empty());
+
+    // Fast sailing in open sea: not detected.
+    let mut w3 = World::new();
+    let v3 = w3.vessel(VesselType::Cargo);
+    let mut b3 = TrajectoryBuilder::new(v3, 0, OPEN_SEA, 60);
+    b3.sail_to(&mut rng(), Point::new(40_000.0, 30_000.0), 12.0);
+    w3.trajectories.push(b3.finish());
+    assert!(w3.recognise("highSpeedNearCoast").is_empty());
+}
+
+#[test]
+fn anchored_or_moored_vs_loitering() {
+    // Stopped inside the anchorage: anchoredOrMoored, not loitering.
+    let anchorage = Point::new(12_000.0, 6_500.0);
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Cargo);
+    let mut b = TrajectoryBuilder::new(v, 0, anchorage, 60);
+    b.hold(&mut rng(), 3600);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("anchoredOrMoored").is_empty());
+    assert!(w.recognise("loitering").is_empty());
+
+    // Stopped in open sea: loitering, not anchoredOrMoored.
+    let mut w2 = World::new();
+    let v2 = w2.vessel(VesselType::Cargo);
+    let mut b2 = TrajectoryBuilder::new(v2, 0, OPEN_SEA, 60);
+    b2.hold(&mut rng(), 3600);
+    w2.trajectories.push(b2.finish());
+    assert!(w2.recognise("anchoredOrMoored").is_empty());
+    assert!(!w2.recognise("loitering").is_empty());
+}
+
+#[test]
+fn drifting_requires_course_deviation_and_way() {
+    // Slow way with 45-degree course offset: drifting.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Tanker);
+    let mut b = TrajectoryBuilder::new(v, 0, OPEN_SEA, 60);
+    b.sail_to(&mut rng(), Point::new(22_000.0, 30_000.0), 9.0)
+        .drift(&mut rng(), 1800, 1.5, 45.0);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("drifting").is_empty());
+
+    // Same speeds, aligned course: no drifting.
+    let mut w2 = World::new();
+    let v2 = w2.vessel(VesselType::Tanker);
+    let mut b2 = TrajectoryBuilder::new(v2, 0, OPEN_SEA, 60);
+    b2.sail_to(&mut rng(), Point::new(22_000.0, 30_000.0), 9.0)
+        .drift(&mut rng(), 1800, 1.5, 0.0);
+    w2.trajectories.push(b2.finish());
+    assert!(w2.recognise("drifting").is_empty());
+}
+
+#[test]
+fn drifting_not_fooled_by_heading_wraparound() {
+    // Sailing due north, heading jitters across the 0/360 seam while the
+    // course stays aligned: the raw |Heading - Cog| can be ~358 degrees,
+    // but the true deviation is a couple of degrees — no drifting.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Tanker);
+    let mut b = TrajectoryBuilder::new(v, 0, OPEN_SEA, 60);
+    b.sail_to(&mut rng(), Point::new(20_000.0, 33_500.0), 9.0)
+        .drift(&mut rng(), 1800, 1.5, 0.0);
+    w.trajectories.push(b.finish());
+    assert!(w.recognise("drifting").is_empty());
+}
+
+#[test]
+fn sar_requires_the_vessel_type() {
+    let mut w = World::new();
+    let sar = w.vessel(VesselType::Sar);
+    let mut b = TrajectoryBuilder::new(sar, 0, OPEN_SEA, 60);
+    b.zigzag(&mut rng(), 3600, 14.0, 0.0, 60.0, 300);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("sar").is_empty());
+
+    // A cargo vessel with identical kinematics is not search-and-rescue.
+    let mut w2 = World::new();
+    let cargo = w2.vessel(VesselType::Cargo);
+    let mut b2 = TrajectoryBuilder::new(cargo, 0, OPEN_SEA, 60);
+    b2.zigzag(&mut rng(), 3600, 14.0, 0.0, 60.0, 300);
+    w2.trajectories.push(b2.finish());
+    assert!(w2.recognise("sar").is_empty());
+}
+
+#[test]
+fn tugging_requires_proximity_and_a_tug() {
+    // Tug and tow side by side at towing speed: tugging.
+    let mut w = World::new();
+    let tug = w.vessel(VesselType::Tug);
+    let tow = w.vessel(VesselType::Cargo);
+    let mut lead = TrajectoryBuilder::new(tug, 0, OPEN_SEA, 60);
+    lead.sail_to(&mut rng(), Point::new(26_000.0, 29_000.0), 3.5);
+    let lead_tr = lead.finish();
+    let mut follow = TrajectoryBuilder::new(tow, 0, Point::new(20_000.0, 30_120.0), 60);
+    follow.shadow(&lead_tr, 0, i64::MAX / 4, Point::new(0.0, 120.0));
+    w.trajectories.push(lead_tr.clone());
+    w.trajectories.push(follow.finish());
+    assert!(!w.recognise("tugging").is_empty());
+
+    // Two cargo vessels with the same geometry: no tug, no tugging.
+    let mut w2 = World::new();
+    let a = w2.vessel(VesselType::Cargo);
+    let bship = w2.vessel(VesselType::Cargo);
+    let mut lead2 = TrajectoryBuilder::new(a, 0, OPEN_SEA, 60);
+    lead2.sail_to(&mut rng(), Point::new(26_000.0, 29_000.0), 3.5);
+    let lead2_tr = lead2.finish();
+    let mut follow2 = TrajectoryBuilder::new(bship, 0, Point::new(20_000.0, 30_120.0), 60);
+    follow2.shadow(&lead2_tr, 0, i64::MAX / 4, Point::new(0.0, 120.0));
+    w2.trajectories.push(lead2_tr);
+    w2.trajectories.push(follow2.finish());
+    assert!(w2.recognise("tugging").is_empty());
+}
+
+#[test]
+fn communication_gap_splits_by_port_vicinity() {
+    // Gap starting far from ports.
+    let mut w = World::new();
+    let v = w.vessel(VesselType::Passenger);
+    let mut b = TrajectoryBuilder::new(v, 0, OPEN_SEA, 60);
+    b.loiter(&mut rng(), 600)
+        .silence(3600, 1.0)
+        .loiter(&mut rng(), 600);
+    w.trajectories.push(b.finish());
+    assert!(!w.recognise("gap").is_empty());
+
+    // The far-from-ports value is the one that holds.
+    let stream = preprocess(&w.trajectories, &w.areas, &PreprocessConfig::default());
+    let src = format!(
+        "{GOLD_RULES}\n{}\n{}\n{}",
+        w.areas.background_facts(),
+        Thresholds::default().background_facts(),
+        fleet_background_facts(&w.vessels),
+    );
+    let mut desc = rtec::EventDescription::parse(&src).unwrap();
+    let far = desc.fvp("gap(v0)=farFromPorts").unwrap();
+    let near = desc.fvp("gap(v0)=nearPorts").unwrap();
+    let compiled = desc.compile().unwrap();
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    stream.load_into(&mut engine);
+    let out = engine.run_to(stream.horizon() + 1);
+    assert!(out.intervals(&far).is_some());
+    assert!(out.intervals(&near).is_none());
+}

@@ -1,0 +1,385 @@
+//! Library backing the `rtec` command-line tool.
+//!
+//! Three subcommands, mirroring how RTEC deployments are operated:
+//!
+//! * `rtec check <description.rtec>` — parse, validate against the rule
+//!   syntax, stratify, and schema-check against any `inputEvent/1` /
+//!   `inputFluent/1` declarations;
+//! * `rtec run <description.rtec> <events.evt> [--window W] [--horizon H]`
+//!   — recognise composite activities over an event file and print the
+//!   maximal intervals of every detected fluent-value pair;
+//! * `rtec similarity <a.rtec> <b.rtec>` — the paper's event-description
+//!   similarity, with the per-rule matching report.
+//!
+//! The event-file format is one event per line: `TIME EVENT_TERM`, e.g.
+//!
+//! ```text
+//! 10 entersArea(v1, a1)
+//! 25 velocity(v1, 9.5, 91.0, 90.0)
+//! % comments and blank lines are skipped
+//! ```
+
+use rtec::declarations::Declarations;
+use rtec::stream::InputStream;
+use rtec::{Engine, EngineConfig, EventDescription, Timepoint};
+use std::fmt::Write as _;
+
+/// CLI failure: a message and a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>, code: i32) -> CliError {
+        CliError {
+            message: message.into(),
+            code,
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `check <desc>`
+    Check {
+        /// Path to the event description.
+        desc: String,
+    },
+    /// `run <desc> <events> [--window W] [--horizon H]`
+    Run {
+        /// Path to the event description.
+        desc: String,
+        /// Path to the event file.
+        events: String,
+        /// Optional window size.
+        window: Option<Timepoint>,
+        /// Optional horizon (defaults to the last event).
+        horizon: Option<Timepoint>,
+    },
+    /// `similarity <a> <b>`
+    Similarity {
+        /// First description.
+        a: String,
+        /// Second description.
+        b: String,
+    },
+    /// `--help` or no arguments.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rtec — Run-Time Event Calculus command line
+
+USAGE:
+    rtec check <description.rtec>
+    rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
+    rtec similarity <a.rtec> <b.rtec>
+
+Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
+";
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => Ok(Command::Help),
+        Some("check") => {
+            let desc = it
+                .next()
+                .ok_or_else(|| CliError::new("check: missing description path", 2))?;
+            Ok(Command::Check { desc: desc.clone() })
+        }
+        Some("run") => {
+            let desc = it
+                .next()
+                .ok_or_else(|| CliError::new("run: missing description path", 2))?
+                .clone();
+            let events = it
+                .next()
+                .ok_or_else(|| CliError::new("run: missing events path", 2))?
+                .clone();
+            let mut window = None;
+            let mut horizon = None;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
+                let parsed: Timepoint = value
+                    .parse()
+                    .map_err(|e| CliError::new(format!("{flag} {value}: {e}"), 2))?;
+                match flag.as_str() {
+                    "--window" => window = Some(parsed),
+                    "--horizon" => horizon = Some(parsed),
+                    other => return Err(CliError::new(format!("unknown flag {other}"), 2)),
+                }
+            }
+            Ok(Command::Run {
+                desc,
+                events,
+                window,
+                horizon,
+            })
+        }
+        Some("similarity") => {
+            let a = it
+                .next()
+                .ok_or_else(|| CliError::new("similarity: missing first path", 2))?
+                .clone();
+            let b = it
+                .next()
+                .ok_or_else(|| CliError::new("similarity: missing second path", 2))?
+                .clone();
+            Ok(Command::Similarity { a, b })
+        }
+        Some(other) => Err(CliError::new(format!("unknown command '{other}'"), 2)),
+    }
+}
+
+/// Parses an event file into a stream. Lines: `TIME TERM`, `%` comments.
+pub fn parse_event_file(text: &str) -> Result<InputStream, CliError> {
+    let mut stream = InputStream::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let (time_str, term_str) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| CliError::new(format!("line {}: expected 'TIME TERM'", i + 1), 3))?;
+        let t: Timepoint = time_str
+            .trim()
+            .parse()
+            .map_err(|e| CliError::new(format!("line {}: bad time '{time_str}': {e}", i + 1), 3))?;
+        stream
+            .push_event_src(term_str.trim().trim_end_matches('.'), t)
+            .map_err(|e| CliError::new(format!("line {}: {e}", i + 1), 3))?;
+    }
+    Ok(stream)
+}
+
+/// `check` subcommand over description source text. Returns the report;
+/// errors out (exit 1) when validation fails.
+pub fn check_source(src: &str) -> Result<String, CliError> {
+    let desc = EventDescription::parse_lenient(src);
+    let mut out = String::new();
+    let _ = writeln!(out, "clauses: {}", desc.clauses.len());
+    for e in &desc.parse_errors {
+        let _ = writeln!(out, "syntax error: {e}");
+    }
+    let compiled = desc
+        .compile()
+        .map_err(|e| CliError::new(format!("fatal: {e}"), 1))?;
+    let _ = writeln!(
+        out,
+        "rules: {} simple, {} holdsFor; background facts: {}",
+        compiled.simple.len(),
+        compiled.statics.len(),
+        compiled.facts.len()
+    );
+    for issue in &compiled.report.issues {
+        let _ = writeln!(out, "{issue}");
+    }
+    let decls = Declarations::from_description(&compiled);
+    if !decls.is_empty() {
+        let schema = decls.check(&compiled);
+        for issue in &schema.issues {
+            let _ = writeln!(out, "schema {issue}");
+        }
+        if schema.issues.is_empty() {
+            let _ = writeln!(out, "schema check: ok");
+        }
+    }
+    let strata: Vec<String> = compiled
+        .strata
+        .iter()
+        .map(|(f, a)| format!("{}/{}", compiled.symbols.try_name(*f).unwrap_or("?"), a))
+        .collect();
+    let _ = writeln!(out, "evaluation order: {}", strata.join(" -> "));
+    if !desc.parse_errors.is_empty() || compiled.report.has_errors() {
+        return Err(CliError::new(out, 1));
+    }
+    Ok(out)
+}
+
+/// `run` subcommand over in-memory inputs. Returns the rendered output.
+pub fn run_source(
+    desc_src: &str,
+    events_src: &str,
+    window: Option<Timepoint>,
+    horizon: Option<Timepoint>,
+) -> Result<String, CliError> {
+    let desc = EventDescription::parse_lenient(desc_src);
+    let compiled = desc
+        .compile()
+        .map_err(|e| CliError::new(format!("fatal: {e}"), 1))?;
+    let stream = parse_event_file(events_src)?;
+    let horizon = horizon.unwrap_or_else(|| stream.horizon() + 1);
+    let config = match window {
+        Some(w) => EngineConfig::windowed(w),
+        None => EngineConfig::default(),
+    };
+    let mut engine = Engine::new(&compiled, config);
+    stream.load_into(&mut engine);
+    engine.run_to(horizon);
+    let symbols = engine.symbols().clone();
+    let stats = engine.stats();
+    let output = engine.into_output();
+
+    let mut rows: Vec<String> = output
+        .iter()
+        .map(|(fvp, list)| format!("holdsFor({}) = {}", fvp.display(&symbols), list))
+        .collect();
+    rows.sort();
+    let mut out = rows.join("\n");
+    let _ = write!(
+        out,
+        "\n\n{} events in {} window(s); {} fluent-value pair(s) recognised",
+        stats.events_processed,
+        stats.windows,
+        output.len()
+    );
+    for w in &output.warnings {
+        let _ = write!(out, "\nwarning: {w}");
+    }
+    Ok(out)
+}
+
+/// `similarity` subcommand over two description sources.
+///
+/// Following the paper's Definition 4.14, the metric is defined over the
+/// *rules defining FVPs*; background facts and declarations are filtered
+/// out before comparison (otherwise a missing `areaType/2` fact would be
+/// penalised like a missing rule).
+pub fn similarity_sources(a_src: &str, b_src: &str) -> String {
+    let a = rules_only(EventDescription::parse_lenient(a_src));
+    let b = rules_only(EventDescription::parse_lenient(b_src));
+    let explanation = simdist::explain(&a, &b);
+    explanation.render()
+}
+
+/// Keeps only the clauses whose head is `initiatedAt`, `terminatedAt` or
+/// `holdsFor`.
+fn rules_only(mut desc: EventDescription) -> EventDescription {
+    let keep: Vec<rtec::Symbol> = ["initiatedAt", "terminatedAt", "holdsFor"]
+        .iter()
+        .filter_map(|n| desc.symbols.get(n))
+        .collect();
+    desc.clauses
+        .retain(|c| c.head.functor().is_some_and(|f| keep.contains(&f)));
+    desc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parsing_all_commands() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&s(&["check", "a.rtec"])).unwrap(),
+            Command::Check {
+                desc: "a.rtec".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["run", "a.rtec", "e.evt", "--window", "3600"])).unwrap(),
+            Command::Run {
+                desc: "a.rtec".into(),
+                events: "e.evt".into(),
+                window: Some(3600),
+                horizon: None
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["similarity", "a.rtec", "b.rtec"])).unwrap(),
+            Command::Similarity {
+                a: "a.rtec".into(),
+                b: "b.rtec".into()
+            }
+        );
+        assert!(parse_args(&s(&["bogus"])).is_err());
+        assert!(parse_args(&s(&["run", "a.rtec"])).is_err());
+        assert!(parse_args(&s(&["run", "a", "b", "--window"])).is_err());
+    }
+
+    #[test]
+    fn event_file_parsing() {
+        let stream = parse_event_file(
+            "% a comment\n\
+             10 entersArea(v1, a1)\n\
+             \n\
+             25 velocity(v1, 9.5, 91.0, 90.0).\n",
+        )
+        .unwrap();
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream.horizon(), 25);
+        assert!(parse_event_file("nonsense").is_err());
+        assert!(parse_event_file("abc entersArea(v1, a1)").is_err());
+    }
+
+    const DESC: &str = "
+        inputEvent(entersArea/2).
+        inputEvent(leavesArea/2).
+        initiatedAt(inside(V, A)=true, T) :- happensAt(entersArea(V, A), T).
+        terminatedAt(inside(V, A)=true, T) :- happensAt(leavesArea(V, A), T).
+    ";
+
+    #[test]
+    fn check_reports_structure_and_schema() {
+        let report = check_source(DESC).unwrap();
+        assert!(report.contains("rules: 2 simple, 0 holdsFor"));
+        assert!(report.contains("schema check: ok"));
+        assert!(report.contains("evaluation order: inside/2"));
+    }
+
+    #[test]
+    fn check_fails_on_bad_rules() {
+        let err = check_source("initiatedAt(f(V), T) :- happensAt(e(V), T).").unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("fluent-value pair"));
+    }
+
+    #[test]
+    fn run_end_to_end() {
+        let events = "10 entersArea(v1, a1)\n30 leavesArea(v1, a1)\n";
+        let out = run_source(DESC, events, None, None).unwrap();
+        assert!(
+            out.contains("holdsFor(inside(v1, a1)=true) = [[11, 31)]"),
+            "{out}"
+        );
+        assert!(out.contains("2 events in 1 window(s)"));
+        // Windowed run gives the same intervals.
+        let windowed = run_source(DESC, events, Some(7), None).unwrap();
+        assert!(windowed.contains("[[11, 31)]"));
+    }
+
+    #[test]
+    fn similarity_ignores_background_facts() {
+        let a = "inputEvent(e/1).\nareaType(a1, fishing).\n\
+                 initiatedAt(f(V)=true, T) :- happensAt(e(V), T).";
+        let b = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).";
+        let report = similarity_sources(a, b);
+        assert!(report.contains("similarity: 1.0000"), "{report}");
+        assert!(!report.contains("inputEvent"));
+    }
+
+    #[test]
+    fn similarity_renders_report() {
+        let a = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).";
+        let b = "initiatedAt(f(V)=true, T) :- happensAt(renamed(V), T).";
+        let report = similarity_sources(a, b);
+        assert!(report.contains("similarity:"));
+        assert!(report.contains("distance:"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The `rtec` command-line tool; see [`rtec_cli`] for the subcommands.
+
+use rtec_cli::{check_source, parse_args, run_source, similarity_sources, Command, USAGE};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Prints to stdout, exiting quietly when the consumer closed the pipe
+/// (e.g. `rtec-cli similarity a b | head`).
+fn emit(text: &str) {
+    let mut out = std::io::stdout().lock();
+    if writeln!(out, "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn read(path: &str) -> Result<String, rtec_cli::CliError> {
+    std::fs::read_to_string(path).map_err(|e| rtec_cli::CliError {
+        message: format!("cannot read {path}: {e}"),
+        code: 2,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}", e.message);
+            eprintln!("{USAGE}");
+            return ExitCode::from(e.code as u8);
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            emit(USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Command::Check { desc } => read(&desc).and_then(|src| check_source(&src)),
+        Command::Run {
+            desc,
+            events,
+            window,
+            horizon,
+        } => read(&desc)
+            .and_then(|d| read(&events).and_then(|e| run_source(&d, &e, window, horizon))),
+        Command::Similarity { a, b } => {
+            read(&a).and_then(|sa| read(&b).map(|sb| similarity_sources(&sa, &sb)))
+        }
+    };
+    match result {
+        Ok(out) => {
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code as u8)
+        }
+    }
+}

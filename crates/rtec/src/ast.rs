@@ -1,0 +1,345 @@
+//! Raw clauses and the typed rule IR produced by validation.
+//!
+//! A [`Clause`] is exactly what the parser saw: a head term and body terms.
+//! The similarity metric (paper Section 4) works on this purely syntactic
+//! level. Validation ([`crate::validate`]) refines clauses into
+//! [`SimpleRule`]s (Definition 2.2), [`StaticRule`]s (Definition 2.4) and
+//! ground background facts, which is what the engine executes.
+
+use crate::error::Pos;
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::Term;
+
+/// A parsed clause: `head.` or `head :- b1, ..., bn.`
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clause {
+    /// Head term.
+    pub head: Term,
+    /// Body terms, empty for facts. A negated literal is wrapped as
+    /// `not(L)`.
+    pub body: Vec<Term>,
+    /// Source position of the clause start.
+    pub pos: Pos,
+}
+
+impl Clause {
+    /// Renders the clause back to concrete syntax.
+    pub fn display(&self, symbols: &SymbolTable) -> String {
+        if self.body.is_empty() {
+            format!("{}.", self.head.display(symbols))
+        } else {
+            let body = self
+                .body
+                .iter()
+                .map(|b| {
+                    // Render `not(L)` as prefix `not L`, as in the paper.
+                    if let Term::Compound(f, args) = b {
+                        if symbols.name(*f) == "not" && args.len() == 1 {
+                            return format!("not {}", args[0].display(symbols));
+                        }
+                    }
+                    b.display(symbols).to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(",\n    ");
+            format!("{} :-\n    {}.", self.head.display(symbols), body)
+        }
+    }
+
+    /// The distinct variables of the clause in first-occurrence order
+    /// (head first, then body).
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut all = Vec::new();
+        self.head.variables_into(&mut all);
+        for b in &self.body {
+            b.variables_into(&mut all);
+        }
+        let mut seen = Vec::new();
+        for v in all {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+}
+
+/// A fluent-value pair `F=V`, possibly non-ground.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fvp {
+    /// The fluent term, e.g. `withinArea(Vl, AreaType)`.
+    pub fluent: Term,
+    /// The value term, e.g. `true` or `nearPorts`.
+    pub value: Term,
+}
+
+impl Fvp {
+    /// Destructures a term of the form `=(F, V)` into an FVP.
+    pub fn from_term(t: &Term, eq_sym: Symbol) -> Option<Fvp> {
+        match t {
+            Term::Compound(f, args) if *f == eq_sym && args.len() == 2 => Some(Fvp {
+                fluent: args[0].clone(),
+                value: args[1].clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// The `(functor, arity)` key of the fluent, used for dependency
+    /// analysis and caching.
+    pub fn key(&self) -> Option<FluentKey> {
+        self.fluent.signature()
+    }
+
+    /// Renders the FVP as `fluent=value`.
+    pub fn display(&self, symbols: &SymbolTable) -> String {
+        format!(
+            "{}={}",
+            self.fluent.display(symbols),
+            self.value.display(symbols)
+        )
+    }
+}
+
+/// Identifies a fluent by functor and arity, e.g. `(withinArea, 2)`.
+pub type FluentKey = (Symbol, usize);
+
+/// Comparison operators usable in rule bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` — arithmetic or structural equality.
+    Eq,
+    /// `\=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The concrete-syntax spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "\\=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "=<",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The complementary operator: `not (l op r)` is equivalent to
+    /// `l op.negate() r` for these total comparisons.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+        }
+    }
+
+    /// Parses an operator name.
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "=" => CmpOp::Eq,
+            "\\=" => CmpOp::Neq,
+            "<" => CmpOp::Lt,
+            ">" => CmpOp::Gt,
+            "=<" => CmpOp::Le,
+            ">=" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+/// A body literal of a simple-fluent rule (Definition 2.2, extended with
+/// background-knowledge conditions and arithmetic comparisons, which the
+/// paper's own example rules use).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BodyLiteral {
+    /// `[not] happensAt(E, T)` — all literals share the rule's time variable.
+    HappensAt {
+        /// Whether the literal is negated.
+        negated: bool,
+        /// The event pattern.
+        event: Term,
+    },
+    /// `[not] holdsAt(F=V, T)`.
+    HoldsAt {
+        /// Whether the literal is negated.
+        negated: bool,
+        /// The fluent-value pair queried.
+        fvp: Fvp,
+    },
+    /// `[not] p(args...)` — a background-knowledge lookup such as
+    /// `areaType(AreaId, AreaType)` or `thresholds(hcNearCoastMax, Max)`.
+    Atemporal {
+        /// Whether the literal is negated.
+        negated: bool,
+        /// The fact pattern.
+        pattern: Term,
+    },
+    /// An arithmetic comparison such as `Speed > Max`.
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand (arithmetic expression term).
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+}
+
+/// Whether a simple rule initiates or terminates its FVP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimpleKind {
+    /// `initiatedAt(F=V, T)` head.
+    Initiated,
+    /// `terminatedAt(F=V, T)` head.
+    Terminated,
+}
+
+/// A validated simple-fluent rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimpleRule {
+    /// Initiation or termination.
+    pub kind: SimpleKind,
+    /// The head FVP (typically non-ground).
+    pub fvp: Fvp,
+    /// The head's time variable.
+    pub time_var: Symbol,
+    /// Body literals in source order; the first is a positive `happensAt`.
+    pub body: Vec<BodyLiteral>,
+    /// Index of the originating clause in the event description.
+    pub clause: usize,
+}
+
+/// A body element of a statically-determined-fluent rule (Definition 2.4,
+/// extended with background conditions, which real RTEC event descriptions
+/// such as the maritime one rely on).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StaticLiteral {
+    /// `holdsFor(F=V, I)` — fetches the maximal intervals of `F=V` into the
+    /// interval variable `out`.
+    HoldsFor {
+        /// The fluent-value pair referenced.
+        fvp: Fvp,
+        /// The interval variable receiving the list.
+        out: Symbol,
+    },
+    /// `union_all([I1, ..., Ik], Out)`.
+    Union {
+        /// Input interval variables.
+        inputs: Vec<Symbol>,
+        /// Output interval variable.
+        out: Symbol,
+    },
+    /// `intersect_all([I1, ..., Ik], Out)`.
+    Intersect {
+        /// Input interval variables.
+        inputs: Vec<Symbol>,
+        /// Output interval variable.
+        out: Symbol,
+    },
+    /// `relative_complement_all(I, [I1, ..., Ik], Out)`.
+    RelComplement {
+        /// The base interval variable.
+        base: Symbol,
+        /// Interval variables whose union is subtracted from `base`.
+        subtract: Vec<Symbol>,
+        /// Output interval variable.
+        out: Symbol,
+    },
+    /// `[not] p(args...)` background lookup.
+    Atemporal {
+        /// Whether the literal is negated.
+        negated: bool,
+        /// The fact pattern.
+        pattern: Term,
+    },
+    /// Arithmetic comparison.
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+}
+
+/// A validated statically-determined-fluent rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticRule {
+    /// The head FVP.
+    pub fvp: Fvp,
+    /// The head's output interval variable.
+    pub out: Symbol,
+    /// Body elements in source order.
+    pub body: Vec<StaticLiteral>,
+    /// Index of the originating clause in the event description.
+    pub clause: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn clause_display_round_trips_structure() {
+        let mut sym = SymbolTable::new();
+        let src = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T), not holdsAt(g(V)=true, T).";
+        let clauses = parse_program(src, &mut sym).unwrap();
+        let printed = clauses[0].display(&sym);
+        // Reparse the printed form; it must be structurally identical.
+        let reparsed = parse_program(&printed, &mut sym).unwrap();
+        assert_eq!(clauses[0].head, reparsed[0].head);
+        assert_eq!(clauses[0].body, reparsed[0].body);
+    }
+
+    #[test]
+    fn fvp_from_term() {
+        let mut sym = SymbolTable::new();
+        let clauses = parse_program("holdsAt(f(V)=true, T).", &mut sym).unwrap();
+        let eq = sym.get("=").unwrap();
+        let inner = &clauses[0].head.args()[0];
+        let fvp = Fvp::from_term(inner, eq).unwrap();
+        assert_eq!(fvp.value, Term::Atom(sym.get("true").unwrap()));
+        assert_eq!(fvp.key().unwrap().1, 1);
+    }
+
+    #[test]
+    fn clause_variables_ordered() {
+        let mut sym = SymbolTable::new();
+        let src = "initiatedAt(f(B)=true, T) :- happensAt(e(A, B), T).";
+        let clauses = parse_program(src, &mut sym).unwrap();
+        let vars = clauses[0].variables();
+        let names: Vec<_> = vars.iter().map(|v| sym.name(*v)).collect();
+        assert_eq!(names, vec!["B", "T", "A"]);
+    }
+
+    #[test]
+    fn cmp_op_round_trip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(CmpOp::parse(op.as_str()), Some(op));
+        }
+        assert_eq!(CmpOp::parse("=="), None);
+    }
+}

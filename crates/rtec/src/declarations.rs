@@ -1,0 +1,249 @@
+//! Input-schema declarations.
+//!
+//! Real RTEC deployments ship a declarations file alongside the event
+//! description, naming the input events and input fluents of the
+//! application. Declarations enable *schema checking*: a rule body that
+//! refers to an event or fluent that is neither declared as input nor
+//! defined by the description is flagged — exactly the paper's third
+//! error category ("conditions include composite activities that are not
+//! defined"), caught statically instead of at run time.
+//!
+//! Declarations are written as ordinary facts using `/`-terms:
+//!
+//! ```text
+//! inputEvent(entersArea/2).
+//! inputEvent(gap_start/1).
+//! inputFluent(proximity/2).
+//! ```
+
+use crate::ast::FluentKey;
+use crate::description::CompiledDescription;
+use crate::error::{Severity, ValidationReport};
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::Term;
+use std::collections::HashSet;
+
+/// The declared input schema of an event description.
+#[derive(Clone, Debug, Default)]
+pub struct Declarations {
+    /// Declared input events, as `(functor, arity)`.
+    pub input_events: HashSet<(Symbol, usize)>,
+    /// Declared input fluents, as `(functor, arity)`.
+    pub input_fluents: HashSet<(Symbol, usize)>,
+}
+
+impl Declarations {
+    /// Whether any declaration exists (schema checking is opt-in: with no
+    /// declarations, nothing is checked).
+    pub fn is_empty(&self) -> bool {
+        self.input_events.is_empty() && self.input_fluents.is_empty()
+    }
+
+    /// Extracts declarations from a compiled description's background
+    /// facts (`inputEvent/1` and `inputFluent/1` over `Name/Arity`
+    /// terms).
+    pub fn from_description(desc: &CompiledDescription) -> Declarations {
+        let mut d = Declarations::default();
+        let Some(slash) = desc.symbols.get("/") else {
+            return d;
+        };
+        let parse_sig = |t: &Term| -> Option<(Symbol, usize)> {
+            match t {
+                Term::Compound(f, args) if *f == slash && args.len() == 2 => {
+                    let name = match &args[0] {
+                        Term::Atom(s) => *s,
+                        _ => return None,
+                    };
+                    let arity = match &args[1] {
+                        Term::Int(i) if *i >= 0 => *i as usize,
+                        _ => return None,
+                    };
+                    Some((name, arity))
+                }
+                _ => None,
+            }
+        };
+        for fact in desc.facts.iter() {
+            let Some((functor, _)) = fact.signature() else {
+                continue;
+            };
+            let name = desc.symbols.try_name(functor).unwrap_or("");
+            if fact.arity() != 1 {
+                continue;
+            }
+            if let Some(sig) = parse_sig(&fact.args()[0]) {
+                match name {
+                    "inputEvent" => {
+                        d.input_events.insert(sig);
+                    }
+                    "inputFluent" => {
+                        d.input_fluents.insert(sig);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        d
+    }
+
+    /// Schema-checks a compiled description against these declarations,
+    /// reporting each out-of-schema reference once as a warning.
+    ///
+    /// Checked: `happensAt` body events must be declared input events;
+    /// `holdsAt`/`holdsFor` body fluents must be declared input fluents or
+    /// defined by the description.
+    pub fn check(&self, desc: &CompiledDescription) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        if self.is_empty() {
+            return report;
+        }
+        let mut seen: HashSet<(bool, FluentKey)> = HashSet::new();
+        let mut flag = |is_event: bool,
+                        key: FluentKey,
+                        clause: usize,
+                        symbols: &SymbolTable,
+                        report: &mut ValidationReport| {
+            if !seen.insert((is_event, key)) {
+                return;
+            }
+            let kind = if is_event { "event" } else { "fluent" };
+            report.push(
+                Severity::Warning,
+                clause,
+                format!(
+                    "{kind} '{}/{}' is neither a declared input nor defined by the \
+                     description",
+                    symbols.try_name(key.0).unwrap_or("?"),
+                    key.1
+                ),
+            );
+        };
+
+        for rule in &desc.simple {
+            for lit in &rule.body {
+                match lit {
+                    crate::ast::BodyLiteral::HappensAt { event, .. } => {
+                        if let Some(sig) = event.signature() {
+                            if !self.input_events.contains(&sig) {
+                                flag(true, sig, rule.clause, &desc.symbols, &mut report);
+                            }
+                        }
+                    }
+                    crate::ast::BodyLiteral::HoldsAt { fvp, .. } => {
+                        if let Some(key) = fvp.key() {
+                            if !self.input_fluents.contains(&key) && !desc.defines(key) {
+                                flag(false, key, rule.clause, &desc.symbols, &mut report);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for rule in &desc.statics {
+            for lit in &rule.body {
+                if let crate::ast::StaticLiteral::HoldsFor { fvp, .. } = lit {
+                    if let Some(key) = fvp.key() {
+                        if !self.input_fluents.contains(&key) && !desc.defines(key) {
+                            flag(false, key, rule.clause, &desc.symbols, &mut report);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::EventDescription;
+
+    const SRC: &str = "
+        inputEvent(entersArea/2).
+        inputEvent(gap_start/1).
+        inputFluent(proximity/2).
+        initiatedAt(withinArea(V, K)=true, T) :-
+            happensAt(entersArea(V, A), T), areaType(A, K).
+        terminatedAt(withinArea(V, K)=true, T) :-
+            happensAt(gap_start(V), T).
+        holdsFor(together(V1, V2)=true, I) :-
+            holdsFor(proximity(V1, V2)=true, Ip), union_all([Ip], I).
+        areaType(a1, fishing).
+    ";
+
+    #[test]
+    fn declarations_are_extracted() {
+        let desc = EventDescription::parse(SRC).unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        assert_eq!(d.input_events.len(), 2);
+        assert_eq!(d.input_fluents.len(), 1);
+    }
+
+    #[test]
+    fn conforming_description_passes() {
+        let desc = EventDescription::parse(SRC).unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        let report = d.check(&compiled);
+        assert!(report.issues.is_empty(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn out_of_schema_references_are_flagged() {
+        let src = format!(
+            "{SRC}\n\
+             initiatedAt(odd(V)=true, T) :- happensAt(mysteryEvent(V), T).\n\
+             holdsFor(weird(V)=true, I) :- holdsFor(phantom(V)=true, Ip), union_all([Ip], I).",
+        );
+        let desc = EventDescription::parse(&src).unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        let report = d.check(&compiled);
+        let messages: Vec<&str> = report.issues.iter().map(|i| i.message.as_str()).collect();
+        assert_eq!(messages.len(), 2, "{messages:?}");
+        assert!(messages.iter().any(|m| m.contains("mysteryEvent")));
+        assert!(messages.iter().any(|m| m.contains("phantom")));
+    }
+
+    #[test]
+    fn defined_fluents_are_in_schema() {
+        // withinArea is defined by the description, so referencing it via
+        // holdsAt is fine even though it is not an input fluent.
+        let src = format!(
+            "{SRC}\n\
+             initiatedAt(alert(V)=true, T) :- happensAt(gap_start(V), T), \
+                 holdsAt(withinArea(V, fishing)=true, T).",
+        );
+        let desc = EventDescription::parse(&src).unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        assert!(d.check(&compiled).issues.is_empty());
+    }
+
+    #[test]
+    fn no_declarations_means_no_checking() {
+        let desc =
+            EventDescription::parse("initiatedAt(f(V)=true, T) :- happensAt(anything(V), T).")
+                .unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        assert!(d.is_empty());
+        assert!(d.check(&compiled).issues.is_empty());
+    }
+
+    #[test]
+    fn duplicate_references_reported_once() {
+        let src = format!(
+            "{SRC}\n\
+             initiatedAt(odd(V)=true, T) :- happensAt(mysteryEvent(V), T).\n\
+             terminatedAt(odd(V)=true, T) :- happensAt(mysteryEvent(V), T).",
+        );
+        let desc = EventDescription::parse(&src).unwrap();
+        let compiled = desc.compile().unwrap();
+        let d = Declarations::from_description(&compiled);
+        assert_eq!(d.check(&compiled).issues.len(), 1);
+    }
+}

@@ -1,0 +1,543 @@
+//! The windowed recognition engine.
+//!
+//! [`Engine`] consumes a stream of time-stamped input events (plus optional
+//! input-fluent interval lists, e.g. vessel `proximity` in the maritime
+//! domain) and computes, for every fluent-value pair defined by the event
+//! description, the maximal intervals during which it holds.
+//!
+//! # Windowing
+//!
+//! RTEC processes a stream at successive query times with a sliding window,
+//! "forgetting" older events so that the cost of reasoning depends on the
+//! window size rather than the stream length (paper, Section 2). This
+//! engine implements tumbling windows of size [`EngineConfig::window`] with
+//! exact inertia carry-over: the open intervals of simple fluents survive
+//! the window boundary, so the recognition output is *identical* to a
+//! whole-stream batch run (tested), while event retention stays bounded by
+//! the window.
+
+use crate::ast::FluentKey;
+use crate::description::CompiledDescription;
+use crate::eval::cache::FluentCache;
+use crate::eval::events::EventIndex;
+use crate::eval::simple::{evaluate_simple_fluent, InertiaState};
+use crate::eval::statics::evaluate_static_fluent;
+use crate::eval::WarningSink;
+use crate::interval::{IntervalList, Timepoint, INF};
+use crate::symbol::SymbolTable;
+use crate::term::{translate, GroundFvp, Term};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Window size in time-points: events are processed in chunks
+    /// `(q - window, q]`. The default (`INF`) processes the whole stream in
+    /// a single batch.
+    pub window: Timepoint,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { window: INF }
+    }
+}
+
+impl EngineConfig {
+    /// A windowed configuration.
+    pub fn windowed(window: Timepoint) -> EngineConfig {
+        assert!(window > 0, "window must be positive");
+        EngineConfig { window }
+    }
+}
+
+/// The accumulated recognition result: maximal intervals per ground FVP.
+///
+/// All intervals are closed; a fluent still holding at the end of the
+/// processed stream is reported up to `horizon + 1` (it holds *at* the
+/// horizon).
+#[derive(Clone, Debug, Default)]
+pub struct RecognitionOutput {
+    map: HashMap<GroundFvp, IntervalList>,
+    by_key: HashMap<FluentKey, Vec<GroundFvp>>,
+    /// Deduplicated evaluation warnings (undefined fluents, dropped rule
+    /// instances, arithmetic failures).
+    pub warnings: Vec<String>,
+}
+
+impl RecognitionOutput {
+    /// The maximal intervals of `fvp`, if it ever held.
+    pub fn intervals(&self, fvp: &GroundFvp) -> Option<&IntervalList> {
+        self.map.get(fvp)
+    }
+
+    /// Whether `fvp` holds at `t`.
+    pub fn holds_at(&self, fvp: &GroundFvp, t: Timepoint) -> bool {
+        self.intervals(fvp).is_some_and(|l| l.contains(t))
+    }
+
+    /// All ground instances recognised for a fluent `(functor, arity)` key.
+    pub fn instances_of(&self, key: FluentKey) -> &[GroundFvp] {
+        self.by_key.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over every `(fvp, intervals)` pair.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroundFvp, &IntervalList)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct FVPs recognised.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing was recognised.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges `list` into the entry of `fvp`.
+    pub(crate) fn insert_merge(&mut self, fvp: GroundFvp, list: IntervalList) {
+        if list.is_empty() {
+            return;
+        }
+        match self.map.get_mut(&fvp) {
+            Some(existing) => existing.merge(&list),
+            None => {
+                if let Some(key) = fvp.fluent.signature() {
+                    self.by_key.entry(key).or_default().push(fvp.clone());
+                }
+                self.map.insert(fvp, list);
+            }
+        }
+    }
+
+    /// Merges another recognition output into this one (used when
+    /// combining per-shard results of a partitioned run). Interval lists
+    /// of FVPs present in both are unioned; warnings are concatenated and
+    /// deduplicated.
+    pub fn absorb(&mut self, other: RecognitionOutput) {
+        for (fvp, list) in other.map {
+            self.insert_merge(fvp, list);
+        }
+        for w in other.warnings {
+            if !self.warnings.contains(&w) {
+                self.warnings.push(w);
+            }
+        }
+    }
+
+    /// Union of the interval lists of every instance of `key` (useful for
+    /// measuring how long *any* vessel performed an activity).
+    pub fn union_of(&self, key: FluentKey) -> IntervalList {
+        let lists: Vec<&IntervalList> = self
+            .instances_of(key)
+            .iter()
+            .filter_map(|f| self.intervals(f))
+            .collect();
+        IntervalList::union_all(&lists)
+    }
+}
+
+/// Run-time counters of an engine (windows processed, events consumed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of windows evaluated so far.
+    pub windows: usize,
+    /// Number of input events consumed so far.
+    pub events_processed: usize,
+    /// Number of stale (behind-the-frontier) events dropped.
+    pub events_dropped: usize,
+}
+
+/// The windowed RTEC recognition engine.
+///
+/// Build terms for [`Engine::add_event`] with the *same*
+/// [`crate::description::EventDescription`] the engine was compiled from
+/// (symbol identity matters); for streams built against a different
+/// description use [`Engine::add_event_from`], which re-interns symbols.
+pub struct Engine<'a> {
+    desc: &'a CompiledDescription,
+    config: EngineConfig,
+    /// Engine-local symbol table: a superset of the description's,
+    /// extended by translated stream constants.
+    symbols: SymbolTable,
+    pending: Vec<(Term, Timepoint)>,
+    inputs: HashMap<GroundFvp, IntervalList>,
+    inputs_by_key: HashMap<FluentKey, Vec<GroundFvp>>,
+    inertia: InertiaState,
+    processed_to: Timepoint,
+    output: RecognitionOutput,
+    warnings: WarningSink,
+    stats: EngineStats,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over a compiled event description.
+    pub fn new(desc: &'a CompiledDescription, config: EngineConfig) -> Engine<'a> {
+        Engine {
+            desc,
+            config,
+            symbols: desc.symbols.clone(),
+            pending: Vec::new(),
+            inputs: HashMap::new(),
+            inputs_by_key: HashMap::new(),
+            inertia: InertiaState::new(),
+            processed_to: -1,
+            output: RecognitionOutput::default(),
+            warnings: WarningSink::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Run-time counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine's symbol table (description symbols plus stream
+    /// constants).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the engine's symbol table, for bulk stream
+    /// translation (append-only: existing symbols never change).
+    pub(crate) fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Queues an input event occurring at `t`.
+    pub fn add_event(&mut self, event: Term, t: Timepoint) {
+        self.pending.push((event, t));
+    }
+
+    /// Queues many input events.
+    pub fn add_events(&mut self, events: impl IntoIterator<Item = (Term, Timepoint)>) {
+        self.pending.extend(events);
+    }
+
+    /// Queues an event built against a different symbol table, re-interning
+    /// its symbols.
+    pub fn add_event_from(&mut self, event: &Term, from: &SymbolTable, t: Timepoint) {
+        let ev = translate(event, from, &mut self.symbols);
+        self.pending.push((ev, t));
+    }
+
+    /// Registers the interval list of an input fluent (computed outside the
+    /// engine, e.g. spatial proximity between vessels).
+    pub fn add_input_intervals(&mut self, fvp: GroundFvp, list: IntervalList) {
+        if list.is_empty() {
+            return;
+        }
+        match self.inputs.get_mut(&fvp) {
+            Some(existing) => existing.merge(&list),
+            None => {
+                if let Some(key) = fvp.fluent.signature() {
+                    self.inputs_by_key.entry(key).or_default().push(fvp.clone());
+                }
+                self.inputs.insert(fvp, list);
+            }
+        }
+    }
+
+    /// Registers input-fluent intervals built against a different symbol
+    /// table.
+    pub fn add_input_intervals_from(
+        &mut self,
+        fvp: &GroundFvp,
+        from: &SymbolTable,
+        list: IntervalList,
+    ) {
+        let fluent = translate(&fvp.fluent, from, &mut self.symbols);
+        let value = translate(&fvp.value, from, &mut self.symbols);
+        self.add_input_intervals(GroundFvp { fluent, value }, list);
+    }
+
+    /// The time-point up to which the stream has been processed.
+    pub fn processed_to(&self) -> Timepoint {
+        self.processed_to
+    }
+
+    /// Processes all queued events with time-points `<= horizon`, window by
+    /// window, and returns the accumulated output.
+    pub fn run_to(&mut self, horizon: Timepoint) -> &RecognitionOutput {
+        // Stable sort keeps simultaneous events in arrival order.
+        self.pending.sort_by_key(|(_, t)| *t);
+        // Drop (with a warning) events at or before the processed frontier.
+        let stale = self
+            .pending
+            .iter()
+            .take_while(|(_, t)| *t <= self.processed_to)
+            .count();
+        if stale > 0 {
+            self.warnings.push(format!(
+                "{stale} event(s) at or before the processed frontier were dropped"
+            ));
+            self.pending.drain(..stale);
+            self.stats.events_dropped += stale;
+        }
+
+        while self.processed_to < horizon {
+            let q = if self.config.window == INF {
+                horizon
+            } else {
+                (self.processed_to.saturating_add(self.config.window)).min(horizon)
+            };
+            self.process_chunk(q);
+        }
+        self.output.warnings = self.warnings.messages().to_vec();
+        &self.output
+    }
+
+    /// Convenience: runs up to the last queued event's time-point.
+    pub fn run(&mut self) -> &RecognitionOutput {
+        let horizon = self
+            .pending
+            .iter()
+            .map(|(_, t)| *t)
+            .max()
+            .unwrap_or(self.processed_to.max(0));
+        self.run_to(horizon)
+    }
+
+    /// Consumes the engine, returning the output.
+    pub fn into_output(mut self) -> RecognitionOutput {
+        self.output.warnings = self.warnings.messages().to_vec();
+        self.output
+    }
+
+    /// The current accumulated output (without running).
+    pub fn output(&self) -> &RecognitionOutput {
+        &self.output
+    }
+
+    fn process_chunk(&mut self, q: Timepoint) {
+        // Take the chunk's events off the pending queue.
+        let upto = self.pending.partition_point(|(_, t)| *t <= q);
+        let chunk_events: Vec<(Term, Timepoint)> = self.pending.drain(..upto).collect();
+        self.stats.windows += 1;
+        self.stats.events_processed += chunk_events.len();
+        let index = EventIndex::build(chunk_events);
+
+        let mut cache = FluentCache::new(&self.inputs, &self.inputs_by_key);
+        for key in &self.desc.strata {
+            if self.desc.simple_by_fluent.contains_key(key) {
+                evaluate_simple_fluent(
+                    self.desc,
+                    *key,
+                    &index,
+                    &mut cache,
+                    &mut self.inertia,
+                    &mut self.warnings,
+                );
+            }
+            if self.desc.static_by_fluent.contains_key(key) {
+                evaluate_static_fluent(self.desc, *key, &mut cache, &mut self.warnings);
+            }
+        }
+
+        // Fold the window's results into the global output.
+        //
+        // Simple fluents: clip open intervals at the window end (they will
+        // be re-emitted, extended, by the next window thanks to the
+        // inertia carry); closed intervals are exact and may safely be
+        // re-asserted.
+        //
+        // Statically determined fluents: additionally clip at the window
+        // *start*. A later window re-derives them from the carried-open
+        // simple fluents only — the closed past intervals of a subtrahend
+        // are forgotten — so re-asserting time-points before this window
+        // could union away holes that `relative_complement_all` correctly
+        // carved in an earlier window. Every time-point `<= processed_to`
+        // was already folded by the window that owned it, with full
+        // knowledge.
+        let window_start = self.processed_to + 1;
+        for (fvp, list) in cache.into_computed() {
+            let is_static = fvp
+                .fluent
+                .signature()
+                .is_some_and(|key| self.desc.static_by_fluent.contains_key(&key));
+            let folded = if is_static {
+                list.clip(window_start, q + 1)
+            } else {
+                list.close_at(q + 1)
+            };
+            self.output.insert_merge(fvp, folded);
+        }
+        self.processed_to = q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::EventDescription;
+
+    /// withinArea example of the paper (rules (1)-(3)) plus background.
+    const WITHIN_AREA: &str = r#"
+        initiatedAt(withinArea(Vl, AreaType)=true, T) :-
+            happensAt(entersArea(Vl, AreaId), T),
+            areaType(AreaId, AreaType).
+        terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+            happensAt(leavesArea(Vl, AreaId), T),
+            areaType(AreaId, AreaType).
+        terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+            happensAt(gap_start(Vl), T).
+        areaType(a1, fishing).
+        areaType(a2, anchorage).
+    "#;
+
+    fn run_within_area(window: Timepoint) -> (RecognitionOutput, GroundFvp) {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let fvp = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+        let e_gap = desc.term("gap_start(v1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig { window });
+        engine.add_event(e_enter.clone(), 10);
+        engine.add_event(e_leave, 30);
+        engine.add_event(e_enter, 50);
+        engine.add_event(e_gap, 80);
+        engine.run_to(100);
+        (engine.into_output(), fvp)
+    }
+
+    #[test]
+    fn batch_recognition_matches_paper_semantics() {
+        let (out, fvp) = run_within_area(INF);
+        let l = out.intervals(&fvp).unwrap();
+        // (10, 30] and (50, 80] in paper notation.
+        assert_eq!(
+            l.as_slice(),
+            &[
+                crate::interval::Interval::new(11, 31),
+                crate::interval::Interval::new(51, 81)
+            ]
+        );
+    }
+
+    #[test]
+    fn windowed_equals_batch() {
+        let (batch, fvp) = run_within_area(INF);
+        for window in [1, 7, 13, 25, 100] {
+            let (windowed, _) = run_within_area(window);
+            assert_eq!(
+                batch.intervals(&fvp),
+                windowed.intervals(&fvp),
+                "window={window}"
+            );
+        }
+    }
+
+    /// Regression test for the windowed `relative_complement_all`
+    /// divergence found in review: a later window, having forgotten the
+    /// subtrahend's closed intervals, must not re-assert (and union away)
+    /// the hole an earlier window correctly carved.
+    #[test]
+    fn windowed_relative_complement_equals_batch() {
+        const SRC: &str = "
+            initiatedAt(base(V)=true, T) :- happensAt(bstart(V), T).
+            initiatedAt(sub(V)=true, T) :- happensAt(sstart(V), T).
+            terminatedAt(sub(V)=true, T) :- happensAt(send(V), T).
+            holdsFor(out(V)=true, I) :-
+                holdsFor(base(V)=true, Ib),
+                holdsFor(sub(V)=true, Is),
+                relative_complement_all(Ib, [Is], I).
+        ";
+        let run = |window: Timepoint| {
+            let mut desc = EventDescription::parse(SRC).unwrap();
+            let fvp = desc.fvp("out(v1)=true").unwrap();
+            let events = [
+                (desc.term("bstart(v1)").unwrap(), 0),
+                (desc.term("sstart(v1)").unwrap(), 2),
+                (desc.term("send(v1)").unwrap(), 5),
+            ];
+            let compiled = desc.compile().unwrap();
+            let config = if window == INF {
+                EngineConfig::default()
+            } else {
+                EngineConfig::windowed(window)
+            };
+            let mut engine = Engine::new(&compiled, config);
+            engine.add_events(events);
+            engine.run_to(30);
+            engine.into_output().intervals(&fvp).cloned()
+        };
+        let batch = run(INF).expect("recognised in batch");
+        assert_eq!(
+            batch.as_slice(),
+            &[
+                crate::interval::Interval::new(1, 3),
+                crate::interval::Interval::new(6, 31)
+            ]
+        );
+        for window in [3, 7, 10, 13] {
+            assert_eq!(Some(&batch), run(window).as_ref(), "window={window}");
+        }
+    }
+
+    #[test]
+    fn fluent_open_at_horizon_is_clipped_there() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let fvp = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        engine.add_event(e_enter, 10);
+        let out = engine.run_to(100);
+        let l = out.intervals(&fvp).unwrap();
+        assert_eq!(l.as_slice(), &[crate::interval::Interval::new(11, 101)]);
+        assert!(out.holds_at(&fvp, 100));
+    }
+
+    #[test]
+    fn incremental_runs_accumulate() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let fvp = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::windowed(10));
+        engine.add_event(e_enter, 5);
+        engine.run_to(20);
+        assert!(engine.output().holds_at(&fvp, 15));
+        engine.add_event(e_leave, 25);
+        engine.run_to(40);
+        let l = engine.output().intervals(&fvp).unwrap();
+        assert_eq!(l.as_slice(), &[crate::interval::Interval::new(6, 26)]);
+    }
+
+    #[test]
+    fn stale_events_are_dropped_with_warning() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        engine.run_to(50);
+        engine.add_event(e_enter, 10); // before the frontier
+        let out = engine.run_to(100);
+        assert!(out.is_empty());
+        assert!(out.warnings.iter().any(|w| w.contains("dropped")));
+    }
+
+    #[test]
+    fn multi_vessel_instances_are_separate() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let f1 = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+        let f2 = desc.fvp("withinArea(v2, anchorage)=true").unwrap();
+        let e1 = desc.term("entersArea(v1, a1)").unwrap();
+        let e2 = desc.term("entersArea(v2, a2)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::default());
+        engine.add_event(e1, 10);
+        engine.add_event(e2, 20);
+        let out = engine.run_to(50);
+        assert!(out.holds_at(&f1, 15));
+        assert!(!out.holds_at(&f2, 15));
+        assert!(out.holds_at(&f2, 25));
+        let wa = compiled.symbols.get("withinArea").unwrap();
+        assert_eq!(out.instances_of((wa, 2)).len(), 2);
+    }
+}

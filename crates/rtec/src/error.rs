@@ -1,0 +1,191 @@
+//! Error types for parsing, validation and evaluation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type RtecResult<T> = Result<T, RtecError>;
+
+/// A source location (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Top-level error type of the crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtecError {
+    /// A lexical error: unexpected character, malformed number, unterminated
+    /// quote or comment.
+    Lex {
+        /// Where the error occurred.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A grammatical error: the token stream does not form a clause.
+    Parse {
+        /// Where the error occurred.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The clause parsed but violates the rule syntax of the paper's
+    /// Definitions 2.2 / 2.4 (e.g. an `initiatedAt` rule whose first body
+    /// literal is not a positive `happensAt`).
+    Validation {
+        /// Index of the offending clause within the event description.
+        clause: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The event description cannot be stratified: its fluent dependency
+    /// graph has a cycle, so bottom-up hierarchical evaluation is undefined.
+    CyclicDependency {
+        /// A human-readable rendering of one cycle.
+        cycle: String,
+    },
+    /// A run-time evaluation error (e.g. an arithmetic comparison over an
+    /// unbound variable).
+    Eval {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl RtecError {
+    /// Convenience constructor for evaluation errors.
+    pub fn eval(message: impl Into<String>) -> RtecError {
+        RtecError::Eval {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RtecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtecError::Lex { pos, message } => write!(f, "lexical error at {pos}: {message}"),
+            RtecError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            RtecError::Validation { clause, message } => {
+                write!(f, "invalid rule (clause {clause}): {message}")
+            }
+            RtecError::CyclicDependency { cycle } => {
+                write!(f, "cyclic fluent dependency: {cycle}")
+            }
+            RtecError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RtecError {}
+
+/// Severity of a validation finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The clause cannot be executed and is excluded from compilation.
+    Error,
+    /// The clause deviates from the strict paper syntax but the engine
+    /// supports it (e.g. background-knowledge conditions inside a
+    /// `holdsFor` rule), or it references undefined activities which will
+    /// simply never hold.
+    Warning,
+}
+
+/// A single validation finding, tied to a clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Issue {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Index of the clause within the event description.
+    pub clause: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev} (clause {}): {}", self.clause, self.message)
+    }
+}
+
+/// The set of findings produced when validating an event description.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All findings, in clause order.
+    pub issues: Vec<Issue>,
+}
+
+impl ValidationReport {
+    /// Records a finding.
+    pub fn push(&mut self, severity: Severity, clause: usize, message: impl Into<String>) {
+        self.issues.push(Issue {
+            severity,
+            clause,
+            message: message.into(),
+        });
+    }
+
+    /// Iterates over error-level findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Issue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+
+    /// Iterates over warning-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Issue> {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
+    }
+
+    /// Whether any error-level finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Indices of clauses with error-level findings.
+    pub fn rejected_clauses(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.errors().map(|i| i.clause).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RtecError::Parse {
+            pos: Pos { line: 3, col: 7 },
+            message: "expected ')'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
+    }
+
+    #[test]
+    fn report_classifies_by_severity() {
+        let mut r = ValidationReport::default();
+        r.push(Severity::Warning, 0, "w");
+        r.push(Severity::Error, 2, "e");
+        r.push(Severity::Error, 2, "e2");
+        assert!(r.has_errors());
+        assert_eq!(r.errors().count(), 2);
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.rejected_clauses(), vec![2]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Arithmetic expression evaluation and comparisons.
+//!
+//! Rule bodies may compare arithmetic expressions over numbers bound from
+//! events and background knowledge, e.g. `Speed > Max * 1.1` or
+//! `abs(Heading - Cog) >= Thr`. Supported functions: `+`, `-`, `*`, `/`
+//! (binary), `abs`, `min`, `max`.
+
+use crate::ast::CmpOp;
+use crate::symbol::SymbolTable;
+use crate::term::{Bindings, Term};
+
+/// Why an arithmetic evaluation failed; surfaced as an engine warning.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArithIssue {
+    /// A variable in the expression is not bound at evaluation time.
+    Unbound(String),
+    /// A sub-term is not numeric and not a known function.
+    NotNumeric(String),
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl std::fmt::Display for ArithIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArithIssue::Unbound(v) => write!(f, "unbound variable '{v}' in arithmetic"),
+            ArithIssue::NotNumeric(t) => write!(f, "non-numeric term '{t}' in arithmetic"),
+            ArithIssue::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+/// Evaluates `term` to a number under `bindings`.
+pub fn eval_num(
+    term: &Term,
+    bindings: &Bindings,
+    symbols: &SymbolTable,
+) -> Result<f64, ArithIssue> {
+    match term {
+        Term::Int(i) => Ok(*i as f64),
+        Term::Float(f) => Ok(*f),
+        Term::Var(v) => match bindings.lookup(*v) {
+            Some(bound) => eval_num(&bound.clone(), bindings, symbols),
+            None => Err(ArithIssue::Unbound(symbols.name(*v).to_owned())),
+        },
+        Term::Compound(f, args) => {
+            let name = symbols.name(*f);
+            match (name, args.len()) {
+                ("+", 2) => {
+                    Ok(eval_num(&args[0], bindings, symbols)?
+                        + eval_num(&args[1], bindings, symbols)?)
+                }
+                ("-", 2) => {
+                    Ok(eval_num(&args[0], bindings, symbols)?
+                        - eval_num(&args[1], bindings, symbols)?)
+                }
+                ("*", 2) => {
+                    Ok(eval_num(&args[0], bindings, symbols)?
+                        * eval_num(&args[1], bindings, symbols)?)
+                }
+                ("/", 2) => {
+                    let d = eval_num(&args[1], bindings, symbols)?;
+                    if d == 0.0 {
+                        return Err(ArithIssue::DivisionByZero);
+                    }
+                    Ok(eval_num(&args[0], bindings, symbols)? / d)
+                }
+                ("abs", 1) => Ok(eval_num(&args[0], bindings, symbols)?.abs()),
+                ("min", 2) => Ok(eval_num(&args[0], bindings, symbols)?
+                    .min(eval_num(&args[1], bindings, symbols)?)),
+                ("max", 2) => Ok(eval_num(&args[0], bindings, symbols)?
+                    .max(eval_num(&args[1], bindings, symbols)?)),
+                _ => Err(ArithIssue::NotNumeric(term.display(symbols).to_string())),
+            }
+        }
+        _ => Err(ArithIssue::NotNumeric(term.display(symbols).to_string())),
+    }
+}
+
+/// Outcome of a comparison attempt.
+pub enum CompareOutcome {
+    /// The comparison evaluated to a boolean.
+    Decided(bool),
+    /// `=` acted as an assignment, binding a variable (already applied to
+    /// the bindings).
+    Bound,
+    /// The comparison could not be evaluated.
+    Failed(ArithIssue),
+}
+
+/// Evaluates `lhs op rhs` under `bindings`.
+///
+/// `=` additionally supports Prolog-style one-sided unification: when one
+/// operand is an unbound variable and the other is ground, the variable is
+/// bound (LLM-generated rules use this for intermediate values).
+pub fn compare(
+    op: CmpOp,
+    lhs: &Term,
+    rhs: &Term,
+    bindings: &mut Bindings,
+    symbols: &SymbolTable,
+) -> CompareOutcome {
+    // Numeric fast path.
+    let ln = eval_num(lhs, bindings, symbols);
+    let rn = eval_num(rhs, bindings, symbols);
+    if let (Ok(l), Ok(r)) = (&ln, &rn) {
+        let v = match op {
+            CmpOp::Eq => l == r,
+            CmpOp::Neq => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Gt => l > r,
+            CmpOp::Le => l <= r,
+            CmpOp::Ge => l >= r,
+        };
+        return CompareOutcome::Decided(v);
+    }
+    let la = lhs.apply(bindings);
+    let ra = rhs.apply(bindings);
+    // When `=` acts as an assignment of an arithmetic expression
+    // (`Diff = A - B`), bind the *evaluated* number, not the raw compound:
+    // the bound variable may later appear in structural-match positions
+    // (holdsAt values, event arguments), where `+(5, 1)` would never
+    // match the integer 6.
+    let as_value = |side: Term, num: Result<f64, ArithIssue>| -> Term {
+        match (&side, num) {
+            (Term::Compound(..), Ok(x)) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    Term::Int(x as i64)
+                } else {
+                    Term::Float(x)
+                }
+            }
+            _ => side,
+        }
+    };
+    match op {
+        CmpOp::Eq => {
+            if la.is_ground() && ra.is_ground() {
+                CompareOutcome::Decided(la == ra)
+            } else if let (Term::Var(v), true) = (&la, ra.is_ground()) {
+                let v = *v;
+                let value = as_value(ra, rn);
+                bindings.bind(v, value);
+                CompareOutcome::Bound
+            } else if let (true, Term::Var(v)) = (la.is_ground(), &ra) {
+                let v = *v;
+                let value = as_value(la, ln);
+                bindings.bind(v, value);
+                CompareOutcome::Bound
+            } else {
+                CompareOutcome::Failed(ArithIssue::Unbound(format!(
+                    "{} = {}",
+                    la.display(symbols),
+                    ra.display(symbols)
+                )))
+            }
+        }
+        CmpOp::Neq => {
+            if la.is_ground() && ra.is_ground() {
+                CompareOutcome::Decided(la != ra)
+            } else {
+                CompareOutcome::Failed(ArithIssue::Unbound(format!(
+                    "{} \\= {}",
+                    la.display(symbols),
+                    ra.display(symbols)
+                )))
+            }
+        }
+        _ => CompareOutcome::Failed(match (ln, rn) {
+            (Err(e), _) | (_, Err(e)) => e,
+            _ => unreachable!("numeric fast path handled Ok/Ok"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    fn setup(expr: &str) -> (Term, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let t = parse_term(expr, &mut sym).unwrap();
+        (t, sym)
+    }
+
+    #[test]
+    fn evaluates_nested_arithmetic() {
+        let (t, sym) = setup("abs(3 - 10) * 2 + 1");
+        let b = Bindings::new();
+        assert_eq!(eval_num(&t, &b, &sym).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn variables_resolve_through_bindings() {
+        let mut sym = SymbolTable::new();
+        let t = parse_term("X + 1", &mut sym).unwrap();
+        let x = sym.get("X").unwrap();
+        let mut b = Bindings::new();
+        b.bind(x, Term::Float(2.5));
+        assert_eq!(eval_num(&t, &b, &sym).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let (t, sym) = setup("Speed");
+        let b = Bindings::new();
+        assert!(matches!(
+            eval_num(&t, &b, &sym),
+            Err(ArithIssue::Unbound(v)) if v == "Speed"
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let (t, sym) = setup("1 / 0");
+        let b = Bindings::new();
+        assert_eq!(eval_num(&t, &b, &sym), Err(ArithIssue::DivisionByZero));
+    }
+
+    #[test]
+    fn min_max_functions() {
+        let (t, sym) = setup("min(3, 5) + max(3, 5)");
+        let b = Bindings::new();
+        assert_eq!(eval_num(&t, &b, &sym).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let mut sym = SymbolTable::new();
+        let l = parse_term("3.5", &mut sym).unwrap();
+        let r = parse_term("3", &mut sym).unwrap();
+        let mut b = Bindings::new();
+        assert!(matches!(
+            compare(CmpOp::Gt, &l, &r, &mut b, &sym),
+            CompareOutcome::Decided(true)
+        ));
+        assert!(matches!(
+            compare(CmpOp::Le, &l, &r, &mut b, &sym),
+            CompareOutcome::Decided(false)
+        ));
+    }
+
+    #[test]
+    fn structural_equality_on_atoms() {
+        let mut sym = SymbolTable::new();
+        let l = parse_term("fishing", &mut sym).unwrap();
+        let r = parse_term("fishing", &mut sym).unwrap();
+        let r2 = parse_term("anchorage", &mut sym).unwrap();
+        let mut b = Bindings::new();
+        assert!(matches!(
+            compare(CmpOp::Eq, &l, &r, &mut b, &sym),
+            CompareOutcome::Decided(true)
+        ));
+        assert!(matches!(
+            compare(CmpOp::Neq, &l, &r2, &mut b, &sym),
+            CompareOutcome::Decided(true)
+        ));
+    }
+
+    #[test]
+    fn eq_binds_evaluated_number_not_raw_expression() {
+        let mut sym = SymbolTable::new();
+        let lhs = parse_term("Diff", &mut sym).unwrap();
+        let rhs = parse_term("S + 1", &mut sym).unwrap();
+        let s = sym.get("S").unwrap();
+        let diff = sym.get("Diff").unwrap();
+        let mut b = Bindings::new();
+        b.bind(s, Term::Int(5));
+        assert!(matches!(
+            compare(CmpOp::Eq, &lhs, &rhs, &mut b, &sym),
+            CompareOutcome::Bound
+        ));
+        // The variable must hold 6, not the compound +(5, 1), so that it
+        // structurally matches integer values elsewhere.
+        assert_eq!(b.lookup(diff), Some(&Term::Int(6)));
+        // Non-numeric ground terms still bind structurally.
+        let lhs2 = parse_term("X", &mut sym).unwrap();
+        let rhs2 = parse_term("f(a)", &mut sym).unwrap();
+        let x = sym.get("X").unwrap();
+        assert!(matches!(
+            compare(CmpOp::Eq, &lhs2, &rhs2, &mut b, &sym),
+            CompareOutcome::Bound
+        ));
+        assert_eq!(b.lookup(x), Some(&rhs2));
+    }
+
+    #[test]
+    fn eq_binds_unbound_variable() {
+        let mut sym = SymbolTable::new();
+        let l = parse_term("X", &mut sym).unwrap();
+        let r = parse_term("fishing", &mut sym).unwrap();
+        let x = sym.get("X").unwrap();
+        let mut b = Bindings::new();
+        assert!(matches!(
+            compare(CmpOp::Eq, &l, &r, &mut b, &sym),
+            CompareOutcome::Bound
+        ));
+        assert_eq!(b.lookup(x), Some(&r));
+    }
+
+    #[test]
+    fn ordered_comparison_of_atoms_fails() {
+        let mut sym = SymbolTable::new();
+        let l = parse_term("fishing", &mut sym).unwrap();
+        let r = parse_term("anchorage", &mut sym).unwrap();
+        let mut b = Bindings::new();
+        assert!(matches!(
+            compare(CmpOp::Lt, &l, &r, &mut b, &sym),
+            CompareOutcome::Failed(_)
+        ));
+    }
+}

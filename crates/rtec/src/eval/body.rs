@@ -1,0 +1,213 @@
+//! Backtracking solver for simple-rule bodies (Definition 2.2).
+//!
+//! Given a candidate time-point `T` (fixed by the rule's leading
+//! `happensAt` literal), the solver threads a substitution through the
+//! remaining literals left-to-right, branching where a literal has several
+//! matches (additional events at `T`, background facts, fluent instances)
+//! and applying negation-by-failure for `not` literals.
+
+use crate::ast::{BodyLiteral, Fvp};
+use crate::description::CompiledDescription;
+use crate::eval::arith::{compare, CompareOutcome};
+use crate::eval::cache::FluentCache;
+use crate::eval::events::EventIndex;
+use crate::eval::WarningSink;
+use crate::interval::Timepoint;
+use crate::term::{match_term, Bindings, GroundFvp, Term};
+
+/// Evaluation context shared by all rules of one window.
+pub struct BodyCtx<'a> {
+    /// The compiled event description (rules, facts, symbols).
+    pub desc: &'a CompiledDescription,
+    /// This window's events.
+    pub events: &'a EventIndex,
+    /// Interval lists of lower-strata and input fluents.
+    pub cache: &'a FluentCache<'a>,
+}
+
+/// Solves `literals[idx..]` at time `t` under `bindings`, invoking
+/// `on_solution` for every complete solution. Bindings are restored on
+/// return.
+pub fn solve(
+    ctx: &BodyCtx<'_>,
+    literals: &[BodyLiteral],
+    idx: usize,
+    t: Timepoint,
+    bindings: &mut Bindings,
+    warnings: &mut WarningSink,
+    on_solution: &mut dyn FnMut(&mut Bindings),
+) {
+    let Some(lit) = literals.get(idx) else {
+        on_solution(bindings);
+        return;
+    };
+    let mark = bindings.len();
+    match lit {
+        BodyLiteral::HappensAt {
+            negated: false,
+            event,
+        } => {
+            if let Some(sig) = event.apply(bindings).signature() {
+                // Collect matches eagerly: recursion borrows bindings.
+                let hits: Vec<Term> = ctx
+                    .events
+                    .at(sig, t)
+                    .iter()
+                    .map(|(_, ev)| ev.clone())
+                    .collect();
+                for ev in hits {
+                    if match_term(event, &ev, bindings) {
+                        solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+                        bindings.truncate(mark);
+                    }
+                }
+            }
+        }
+        BodyLiteral::HappensAt {
+            negated: true,
+            event,
+        } => {
+            let pattern = event.apply(bindings);
+            let exists = pattern.signature().is_some_and(|sig| {
+                ctx.events
+                    .at(sig, t)
+                    .iter()
+                    .any(|(_, ev)| match_term(&pattern, ev, &mut Bindings::new()))
+            });
+            if !exists {
+                solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+                bindings.truncate(mark);
+            }
+        }
+        BodyLiteral::HoldsAt { negated, fvp } => {
+            solve_holds_at(
+                ctx,
+                literals,
+                idx,
+                t,
+                *negated,
+                fvp,
+                bindings,
+                warnings,
+                on_solution,
+            );
+        }
+        BodyLiteral::Atemporal {
+            negated: false,
+            pattern,
+        } => {
+            // Buffer solutions to avoid aliasing `bindings` in the closure.
+            let mut exts: Vec<Bindings> = Vec::new();
+            ctx.desc.facts.for_each_match(pattern, bindings, |b| {
+                exts.push(b.clone());
+            });
+            if !ctx.desc.facts.has_signature_of(pattern) {
+                warn_unknown_fact(ctx, pattern, warnings);
+            }
+            for mut ext in exts {
+                solve(ctx, literals, idx + 1, t, &mut ext, warnings, on_solution);
+            }
+        }
+        BodyLiteral::Atemporal {
+            negated: true,
+            pattern,
+        } => {
+            if !ctx.desc.facts.any_match(pattern, bindings) {
+                solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+                bindings.truncate(mark);
+            }
+        }
+        BodyLiteral::Compare { op, lhs, rhs } => {
+            match compare(*op, lhs, rhs, bindings, &ctx.desc.symbols) {
+                CompareOutcome::Decided(true) | CompareOutcome::Bound => {
+                    solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+                    bindings.truncate(mark);
+                }
+                CompareOutcome::Decided(false) => {}
+                CompareOutcome::Failed(issue) => {
+                    warnings.push(format!("comparison skipped: {issue}"));
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_holds_at(
+    ctx: &BodyCtx<'_>,
+    literals: &[BodyLiteral],
+    idx: usize,
+    t: Timepoint,
+    negated: bool,
+    fvp: &Fvp,
+    bindings: &mut Bindings,
+    warnings: &mut WarningSink,
+    on_solution: &mut dyn FnMut(&mut Bindings),
+) {
+    let mark = bindings.len();
+    let fluent = fvp.fluent.apply(bindings);
+    let value = fvp.value.apply(bindings);
+    let Some(key) = fluent.signature() else {
+        warnings.push("holdsAt over a non-predicate fluent".to_string());
+        return;
+    };
+    if !ctx.desc.defines(key) && !ctx.cache.knows_key(key) {
+        warnings.push(format!(
+            "undefined fluent '{}/{}' referenced in a rule body; it never holds",
+            ctx.desc.symbols.name(key.0),
+            key.1
+        ));
+        // Negation-by-failure: an undefined fluent never holds, so a
+        // negated literal succeeds.
+        if negated {
+            solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+            bindings.truncate(mark);
+        }
+        return;
+    }
+    if fluent.is_ground() && value.is_ground() {
+        let g = GroundFvp { fluent, value };
+        let holds = ctx.cache.holds_at(&g, t);
+        if holds != negated {
+            solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+            bindings.truncate(mark);
+        }
+        return;
+    }
+    // Non-ground FVP: positive literals enumerate matching instances that
+    // hold at t; negated literals succeed iff no instance matches & holds.
+    let eq = ctx.desc.sys.eq;
+    let pattern = Term::Compound(eq, vec![fluent, value]);
+    let mut matching: Vec<Bindings> = Vec::new();
+    for inst in ctx.cache.instances(key) {
+        if !ctx.cache.holds_at(inst, t) {
+            continue;
+        }
+        let inst_term = Term::Compound(eq, vec![inst.fluent.clone(), inst.value.clone()]);
+        let m = bindings.len();
+        if match_term(&pattern, &inst_term, bindings) {
+            matching.push(bindings.clone());
+            bindings.truncate(m);
+        }
+    }
+    if negated {
+        if matching.is_empty() {
+            solve(ctx, literals, idx + 1, t, bindings, warnings, on_solution);
+            bindings.truncate(mark);
+        }
+    } else {
+        for mut ext in matching {
+            solve(ctx, literals, idx + 1, t, &mut ext, warnings, on_solution);
+        }
+    }
+}
+
+fn warn_unknown_fact(ctx: &BodyCtx<'_>, pattern: &Term, warnings: &mut WarningSink) {
+    if let Some((f, a)) = pattern.signature() {
+        warnings.push(format!(
+            "no background facts for '{}/{}'",
+            ctx.desc.symbols.name(f),
+            a
+        ));
+    }
+}

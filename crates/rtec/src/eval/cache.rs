@@ -1,0 +1,152 @@
+//! The per-window fluent cache.
+//!
+//! RTEC evaluates hierarchical event descriptions bottom-up, caching the
+//! maximal intervals of every fluent-value pair so that higher-level
+//! definitions reuse them (the paper's "activity hierarchies that pave the
+//! way for caching"). The cache also fronts the *input* fluents — interval
+//! lists supplied with the stream, such as vessel `proximity` in the
+//! maritime domain.
+
+use crate::ast::FluentKey;
+use crate::interval::{IntervalList, Timepoint};
+use crate::term::GroundFvp;
+use std::collections::HashMap;
+
+/// Interval lists of ground FVPs known in the current window: computed
+/// (lower-strata) fluents plus input fluents.
+#[derive(Debug)]
+pub struct FluentCache<'a> {
+    chunk: HashMap<GroundFvp, IntervalList>,
+    chunk_by_key: HashMap<FluentKey, Vec<GroundFvp>>,
+    inputs: &'a HashMap<GroundFvp, IntervalList>,
+    inputs_by_key: &'a HashMap<FluentKey, Vec<GroundFvp>>,
+}
+
+impl<'a> FluentCache<'a> {
+    /// Creates a cache fronting the given input-fluent maps.
+    pub fn new(
+        inputs: &'a HashMap<GroundFvp, IntervalList>,
+        inputs_by_key: &'a HashMap<FluentKey, Vec<GroundFvp>>,
+    ) -> FluentCache<'a> {
+        FluentCache {
+            chunk: HashMap::new(),
+            chunk_by_key: HashMap::new(),
+            inputs,
+            inputs_by_key,
+        }
+    }
+
+    /// The interval list of `fvp`, if known (computed first, inputs second).
+    pub fn get(&self, fvp: &GroundFvp) -> Option<&IntervalList> {
+        self.chunk.get(fvp).or_else(|| self.inputs.get(fvp))
+    }
+
+    /// Whether `fvp` holds at `t` according to the cache.
+    pub fn holds_at(&self, fvp: &GroundFvp, t: Timepoint) -> bool {
+        self.get(fvp).is_some_and(|l| l.contains(t))
+    }
+
+    /// All ground instances with the given fluent key (computed plus
+    /// input), without duplicates.
+    pub fn instances(&self, key: FluentKey) -> Vec<&GroundFvp> {
+        let mut out: Vec<&GroundFvp> = Vec::new();
+        if let Some(v) = self.chunk_by_key.get(&key) {
+            out.extend(v.iter());
+        }
+        if let Some(v) = self.inputs_by_key.get(&key) {
+            for f in v {
+                if !self.chunk.contains_key(f) {
+                    out.push(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the cache knows any instance (computed or input) of `key`.
+    pub fn knows_key(&self, key: FluentKey) -> bool {
+        self.chunk_by_key.contains_key(&key) || self.inputs_by_key.contains_key(&key)
+    }
+
+    /// Records the interval list of a computed FVP, unioning with any list
+    /// already recorded for it. Empty lists are ignored.
+    pub fn insert(&mut self, fvp: GroundFvp, list: IntervalList) {
+        if list.is_empty() {
+            return;
+        }
+        match self.chunk.get_mut(&fvp) {
+            Some(existing) => existing.merge(&list),
+            None => {
+                if let Some(key) = fvp.fluent.signature() {
+                    self.chunk_by_key.entry(key).or_default().push(fvp.clone());
+                }
+                self.chunk.insert(fvp, list);
+            }
+        }
+    }
+
+    /// Drains the computed entries (called when folding a window's results
+    /// into the global recognition output).
+    pub fn into_computed(self) -> HashMap<GroundFvp, IntervalList> {
+        self.chunk
+    }
+
+    /// Iterates over the computed entries.
+    pub fn computed(&self) -> impl Iterator<Item = (&GroundFvp, &IntervalList)> {
+        self.chunk.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::symbol::SymbolTable;
+    use crate::term::Term;
+
+    fn gfvp(sym: &mut SymbolTable, fluent: &str, value: &str) -> GroundFvp {
+        let f = parse_term(fluent, sym).unwrap();
+        let v = parse_term(value, sym).unwrap();
+        GroundFvp::new(f, v).unwrap()
+    }
+
+    #[test]
+    fn inputs_are_visible_through_cache() {
+        let mut sym = SymbolTable::new();
+        let fvp = gfvp(&mut sym, "proximity(v1, v2)", "true");
+        let key = fvp.fluent.signature().unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(fvp.clone(), IntervalList::from_pairs(&[(0, 10)]));
+        let mut by_key = HashMap::new();
+        by_key.insert(key, vec![fvp.clone()]);
+        let cache = FluentCache::new(&inputs, &by_key);
+        assert!(cache.holds_at(&fvp, 5));
+        assert!(!cache.holds_at(&fvp, 10));
+        assert_eq!(cache.instances(key).len(), 1);
+    }
+
+    #[test]
+    fn insert_unions_duplicate_entries() {
+        let mut sym = SymbolTable::new();
+        let fvp = gfvp(&mut sym, "f(v1)", "true");
+        let inputs = HashMap::new();
+        let by_key = HashMap::new();
+        let mut cache = FluentCache::new(&inputs, &by_key);
+        cache.insert(fvp.clone(), IntervalList::from_pairs(&[(0, 5)]));
+        cache.insert(fvp.clone(), IntervalList::from_pairs(&[(5, 9)]));
+        assert_eq!(cache.get(&fvp).unwrap().len(), 1);
+        assert!(cache.holds_at(&fvp, 8));
+    }
+
+    #[test]
+    fn empty_insert_is_ignored() {
+        let mut sym = SymbolTable::new();
+        let fvp = gfvp(&mut sym, "f(v1)", "true");
+        let inputs = HashMap::new();
+        let by_key = HashMap::new();
+        let mut cache = FluentCache::new(&inputs, &by_key);
+        cache.insert(fvp.clone(), IntervalList::new());
+        assert!(cache.get(&fvp).is_none());
+        let _ = Term::Int(0); // silence unused import in some cfgs
+    }
+}

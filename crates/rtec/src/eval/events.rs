@@ -1,0 +1,105 @@
+//! Per-window index over input events.
+
+use crate::interval::Timepoint;
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// Events of one processing window, indexed by `(functor, arity)` and
+/// sorted by time within each bucket.
+#[derive(Debug, Default)]
+pub struct EventIndex {
+    by_sig: HashMap<(Symbol, usize), Vec<(Timepoint, Term)>>,
+    count: usize,
+}
+
+impl EventIndex {
+    /// Builds the index from `(event, time)` pairs. Events without a
+    /// functor (numbers, variables) are ignored.
+    pub fn build(events: impl IntoIterator<Item = (Term, Timepoint)>) -> EventIndex {
+        let mut idx = EventIndex::default();
+        for (ev, t) in events {
+            let Some(sig) = ev.signature() else { continue };
+            idx.by_sig.entry(sig).or_default().push((t, ev));
+            idx.count += 1;
+        }
+        for bucket in idx.by_sig.values_mut() {
+            bucket.sort_by_key(|(t, _)| *t);
+        }
+        idx
+    }
+
+    /// Total number of indexed events.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the index holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// All events with the given signature, time-ordered.
+    pub fn all(&self, sig: (Symbol, usize)) -> &[(Timepoint, Term)] {
+        self.by_sig.get(&sig).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The events with the given signature occurring exactly at `t`.
+    pub fn at(&self, sig: (Symbol, usize), t: Timepoint) -> &[(Timepoint, Term)] {
+        let bucket = self.all(sig);
+        let lo = bucket.partition_point(|(et, _)| *et < t);
+        let hi = bucket.partition_point(|(et, _)| *et <= t);
+        &bucket[lo..hi]
+    }
+
+    /// The signatures present in this window.
+    pub fn signatures(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.by_sig.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn index_and_point_lookup() {
+        let mut sym = SymbolTable::new();
+        let e1 = parse_term("e(v1)", &mut sym).unwrap();
+        let e2 = parse_term("e(v2)", &mut sym).unwrap();
+        let f1 = parse_term("f(v1)", &mut sym).unwrap();
+        let idx = EventIndex::build(vec![
+            (e1.clone(), 5),
+            (e2.clone(), 5),
+            (f1, 5),
+            (e1.clone(), 9),
+        ]);
+        assert_eq!(idx.len(), 4);
+        let e = sym.get("e").unwrap();
+        assert_eq!(idx.all((e, 1)).len(), 3);
+        assert_eq!(idx.at((e, 1), 5).len(), 2);
+        assert_eq!(idx.at((e, 1), 9).len(), 1);
+        assert!(idx.at((e, 1), 7).is_empty());
+    }
+
+    #[test]
+    fn unknown_signature_is_empty() {
+        let idx = EventIndex::build(Vec::new());
+        let mut sym = SymbolTable::new();
+        let g = sym.intern("g");
+        assert!(idx.all((g, 2)).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn buckets_are_time_sorted() {
+        let mut sym = SymbolTable::new();
+        let e = parse_term("e(v1)", &mut sym).unwrap();
+        let idx = EventIndex::build(vec![(e.clone(), 9), (e.clone(), 3), (e, 6)]);
+        let sig = (sym.get("e").unwrap(), 1);
+        let times: Vec<_> = idx.all(sig).iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![3, 6, 9]);
+    }
+}

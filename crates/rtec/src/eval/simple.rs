@@ -1,0 +1,402 @@
+//! Evaluation of simple fluents under the common-sense law of inertia.
+//!
+//! For each simple FVP, RTEC first computes its initiation and termination
+//! points by evaluating the `initiatedAt`/`terminatedAt` rules, then builds
+//! maximal intervals by matching each initiation `Ts` with the first
+//! termination `Te` *after* `Ts`, ignoring intermediate initiations
+//! (paper, Section 2 "Reasoning"). Initiating `F=V'` implicitly terminates
+//! `F=V` for `V != V'` — fluents are functions of time.
+//!
+//! State that survives across processing windows is the *open* value of
+//! each ground fluent: if `F=V` held at the end of the previous window and
+//! nothing terminated it, it keeps holding (inertia).
+
+use crate::ast::{BodyLiteral, FluentKey, SimpleKind};
+use crate::description::CompiledDescription;
+use crate::eval::body::{solve, BodyCtx};
+use crate::eval::cache::FluentCache;
+use crate::eval::events::EventIndex;
+use crate::eval::WarningSink;
+use crate::interval::{Interval, IntervalList, Timepoint};
+use crate::term::{match_term, Bindings, GroundFvp, Term};
+use std::collections::HashMap;
+
+/// Open FVPs carried across windows: ground fluent term -> open
+/// `(value, interval start)` pairs. A well-behaved fluent has at most one
+/// open value; the vector tolerates degenerate rule sets that initiate two
+/// values at the same time-point.
+pub type InertiaState = HashMap<Term, Vec<(Term, Timepoint)>>;
+
+/// Initiation/termination points collected for one ground fluent.
+#[derive(Debug, Default)]
+struct PointSets {
+    /// value -> (initiations, explicit terminations)
+    by_value: HashMap<Term, (Vec<Timepoint>, Vec<Timepoint>)>,
+}
+
+/// Evaluates all rules of the simple fluent `key` for the window
+/// `(window_start, window_end]`, inserting per-FVP interval lists into the
+/// cache and updating the inertia state.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_simple_fluent(
+    desc: &CompiledDescription,
+    key: FluentKey,
+    events: &EventIndex,
+    cache: &mut FluentCache<'_>,
+    inertia: &mut InertiaState,
+    warnings: &mut WarningSink,
+) {
+    let Some(rule_ids) = desc.simple_by_fluent.get(&key) else {
+        return;
+    };
+
+    // 1. Collect initiation and termination points per ground FVP.
+    let mut points: HashMap<Term, PointSets> = HashMap::new();
+    // Terminations whose head is not fully instantiated by the body apply
+    // universally: e.g. `terminatedAt(withinArea(Vl, AreaType)=true, T) :-
+    // happensAt(gap_start(Vl), T).` (paper rule (3)) terminates
+    // withinArea(v, *every* AreaType). They are expanded against the known
+    // ground instances after collection.
+    let mut pattern_terminations: Vec<(Term, Timepoint)> = Vec::new();
+    // Warnings raised inside the solution callback (which already borrows
+    // the main sink through `solve`) are buffered here.
+    let mut deferred_warnings: Vec<String> = Vec::new();
+    {
+        let ctx = BodyCtx {
+            desc,
+            events,
+            cache,
+        };
+        for &rid in rule_ids {
+            let rule = &desc.simple[rid];
+            let Some(BodyLiteral::HappensAt {
+                negated: false,
+                event,
+            }) = rule.body.first()
+            else {
+                // Validation guarantees this shape; defensive skip.
+                continue;
+            };
+            let Some(sig) = event.signature() else {
+                continue;
+            };
+            for (t, ev) in events.all(sig) {
+                let mut bindings = Bindings::new();
+                if !match_term(event, ev, &mut bindings) {
+                    continue;
+                }
+                // The head's time variable is visible to comparisons.
+                if bindings.lookup(rule.time_var).is_none() {
+                    bindings.bind(rule.time_var, Term::Int(*t));
+                }
+                let t = *t;
+                solve(
+                    &ctx,
+                    &rule.body,
+                    1,
+                    t,
+                    &mut bindings,
+                    warnings,
+                    &mut |b: &mut Bindings| {
+                        let fluent = rule.fvp.fluent.apply(b);
+                        let value = rule.fvp.value.apply(b);
+                        if !fluent.is_ground() || !value.is_ground() {
+                            if rule.kind == SimpleKind::Terminated {
+                                let pat = Term::Compound(desc.sys.eq, vec![fluent, value]);
+                                pattern_terminations.push((pat, t));
+                            } else {
+                                deferred_warnings.push(format!(
+                                    "initiatedAt head '{}' not fully instantiated; \
+                                     instance dropped",
+                                    rule.fvp.display(&desc.symbols)
+                                ));
+                            }
+                            return;
+                        }
+                        let entry = points
+                            .entry(fluent)
+                            .or_default()
+                            .by_value
+                            .entry(value)
+                            .or_insert_with(|| (Vec::new(), Vec::new()));
+                        match rule.kind {
+                            SimpleKind::Initiated => entry.0.push(t),
+                            SimpleKind::Terminated => entry.1.push(t),
+                        }
+                    },
+                );
+            }
+        }
+    }
+
+    for w in deferred_warnings {
+        warnings.push(w);
+    }
+
+    // 2. Fold in carried-open values of fluents with this key so that
+    //    cross-value initiations can terminate them.
+    let carried: Vec<Term> = inertia
+        .keys()
+        .filter(|fl| fl.signature() == Some(key))
+        .cloned()
+        .collect();
+    for fl in carried {
+        points.entry(fl).or_default();
+    }
+
+    // 2b. Expand pattern terminations against the known ground instances
+    //     (instances with rule firings this window plus carried-open
+    //     ones). The common shape — ground fluent, unbound value, e.g.
+    //     `terminatedAt(movingSpeed(v7)=Value, T)` — resolves with one
+    //     hash lookup; only patterns with a non-ground fluent scan.
+    if !pattern_terminations.is_empty() {
+        let mut candidates: HashMap<Term, Vec<Term>> = HashMap::new();
+        for (fluent, sets) in &points {
+            let bucket = candidates.entry(fluent.clone()).or_default();
+            for value in sets.by_value.keys() {
+                bucket.push(value.clone());
+            }
+            if let Some(open) = inertia.get(fluent) {
+                for (value, _) in open {
+                    if !sets.by_value.contains_key(value) {
+                        bucket.push(value.clone());
+                    }
+                }
+            }
+        }
+        let add_termination =
+            |points: &mut HashMap<Term, PointSets>, fluent: &Term, value: &Term, t: Timepoint| {
+                points
+                    .get_mut(fluent)
+                    .expect("candidate came from points")
+                    .by_value
+                    .entry(value.clone())
+                    .or_insert_with(|| (Vec::new(), Vec::new()))
+                    .1
+                    .push(t);
+            };
+        // Candidate pairs for the non-ground-fluent fallback, built once
+        // for all pattern terminations instead of per firing.
+        let needs_fallback = pattern_terminations.iter().any(|(pat, _)| {
+            !matches!(pat, Term::Compound(f, args)
+                if *f == desc.sys.eq && args.len() == 2 && args[0].is_ground())
+        });
+        let all_pairs: Vec<(Term, Term)> = if needs_fallback {
+            candidates
+                .iter()
+                .flat_map(|(fluent, values)| {
+                    values.iter().map(move |v| (fluent.clone(), v.clone()))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (pat, t) in &pattern_terminations {
+            let (pat_fluent, pat_value) = match pat {
+                Term::Compound(f, args) if *f == desc.sys.eq && args.len() == 2 => {
+                    (&args[0], &args[1])
+                }
+                _ => continue,
+            };
+            if pat_fluent.is_ground() {
+                let Some(values) = candidates.get(pat_fluent) else {
+                    continue;
+                };
+                for value in values {
+                    let mut b = Bindings::new();
+                    if match_term(pat_value, value, &mut b) {
+                        add_termination(&mut points, pat_fluent, value, *t);
+                    }
+                }
+            } else {
+                for (fluent, value) in &all_pairs {
+                    let mut b = Bindings::new();
+                    if match_term(pat_fluent, fluent, &mut b)
+                        && match_term(pat_value, value, &mut b)
+                    {
+                        add_termination(&mut points, fluent, value, *t);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Build maximal intervals per ground fluent.
+    for (fluent, sets) in points {
+        let open_values: Vec<(Term, Timepoint)> = inertia.get(&fluent).cloned().unwrap_or_default();
+        let mut new_open: Vec<(Term, Timepoint)> = Vec::new();
+
+        // Values to consider: those with rule firings plus carried ones.
+        let mut values: Vec<Term> = sets.by_value.keys().cloned().collect();
+        for (v, _) in &open_values {
+            if !values.contains(v) {
+                values.push(v.clone());
+            }
+        }
+
+        for value in values {
+            let (inits, terms) = sets.by_value.get(&value).cloned().unwrap_or_default();
+            // Initiations of *other* values terminate this one.
+            let mut all_terms = terms;
+            for (other_value, (other_inits, _)) in &sets.by_value {
+                if *other_value != value {
+                    all_terms.extend_from_slice(other_inits);
+                }
+            }
+            let carry = open_values
+                .iter()
+                .find(|(v, _)| *v == value)
+                .map(|(_, s)| *s);
+            let (list, open) = make_intervals(carry, inits, all_terms);
+            if let Some(start) = open {
+                new_open.push((value.clone(), start));
+            }
+            if !list.is_empty() {
+                let g = GroundFvp {
+                    fluent: fluent.clone(),
+                    value,
+                };
+                cache.insert(g, list);
+            }
+        }
+
+        if new_open.is_empty() {
+            inertia.remove(&fluent);
+        } else {
+            inertia.insert(fluent, new_open);
+        }
+    }
+}
+
+/// Matches initiations with the first strictly-later termination.
+///
+/// `carry` is the start (already on the interval scale, i.e. `Ts + 1`) of
+/// an interval open at the beginning of the window. Returns the maximal
+/// intervals plus the start of the interval still open at the end, if any.
+/// Open intervals are emitted with an infinite end; the engine clips them
+/// to the window when folding into the global output.
+pub fn make_intervals(
+    carry: Option<Timepoint>,
+    mut inits: Vec<Timepoint>,
+    mut terms: Vec<Timepoint>,
+) -> (IntervalList, Option<Timepoint>) {
+    inits.sort_unstable();
+    inits.dedup();
+    terms.sort_unstable();
+    terms.dedup();
+
+    let mut out = IntervalList::new();
+    let mut open: Option<Timepoint> = carry;
+    let (mut i, mut j) = (0, 0);
+    while i < inits.len() || j < terms.len() {
+        // Terminations are processed before initiations at the same
+        // time-point: a termination at T closes an interval initiated
+        // earlier, and an initiation at T re-opens from T + 1.
+        let take_term = match (inits.get(i), terms.get(j)) {
+            (Some(&ti), Some(&tj)) => tj <= ti,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_term {
+            let te = terms[j];
+            j += 1;
+            if let Some(s) = open {
+                // The first termination strictly after the initiation:
+                // interval [s, te + 1) is non-empty iff te >= s.
+                if te >= s {
+                    out.push(Interval::new(s, te + 1));
+                    open = None;
+                }
+            }
+        } else {
+            let ts = inits[i];
+            i += 1;
+            if open.is_none() {
+                open = Some(ts + 1);
+            }
+        }
+    }
+    if let Some(s) = open {
+        out.push(Interval::open(s));
+    }
+    (out, open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::INF;
+
+    fn closed(l: &IntervalList) -> Vec<(Timepoint, Timepoint)> {
+        l.iter().map(|iv| (iv.start, iv.end)).collect()
+    }
+
+    #[test]
+    fn basic_matching() {
+        let (l, open) = make_intervals(None, vec![10], vec![25]);
+        assert_eq!(closed(&l), vec![(11, 26)]);
+        assert!(open.is_none());
+    }
+
+    #[test]
+    fn intermediate_initiations_ignored() {
+        let (l, open) = make_intervals(None, vec![10, 15, 20], vec![25]);
+        assert_eq!(closed(&l), vec![(11, 26)]);
+        assert!(open.is_none());
+    }
+
+    #[test]
+    fn unterminated_initiation_stays_open() {
+        let (l, open) = make_intervals(None, vec![10], vec![]);
+        assert_eq!(closed(&l), vec![(11, INF)]);
+        assert_eq!(open, Some(11));
+    }
+
+    #[test]
+    fn termination_without_initiation_is_noop() {
+        let (l, open) = make_intervals(None, vec![], vec![5]);
+        assert!(l.is_empty());
+        assert!(open.is_none());
+    }
+
+    #[test]
+    fn same_point_termination_does_not_close_new_initiation() {
+        // Initiated at 10 and terminated at 10: the termination is not
+        // strictly after the initiation, so the fluent keeps holding.
+        let (l, open) = make_intervals(None, vec![10], vec![10]);
+        assert_eq!(closed(&l), vec![(11, INF)]);
+        assert_eq!(open, Some(11));
+    }
+
+    #[test]
+    fn same_point_termination_closes_earlier_interval_then_reopens() {
+        // Open since 3 (carry), terminated at 10, re-initiated at 10:
+        // continuous holding, single amalgamated open interval from 3.
+        // The carried start for the next window is the re-initiation (11);
+        // window merging amalgamates the seam.
+        let (l, open) = make_intervals(Some(3), vec![10], vec![10]);
+        assert_eq!(closed(&l), vec![(3, INF)]);
+        assert_eq!(open, Some(11));
+    }
+
+    #[test]
+    fn carry_closed_by_first_termination() {
+        let (l, open) = make_intervals(Some(3), vec![], vec![7, 20]);
+        assert_eq!(closed(&l), vec![(3, 8)]);
+        assert!(open.is_none());
+    }
+
+    #[test]
+    fn multiple_cycles() {
+        let (l, open) = make_intervals(None, vec![1, 10, 30], vec![5, 20]);
+        assert_eq!(closed(&l), vec![(2, 6), (11, 21), (31, INF)]);
+        assert_eq!(open, Some(31));
+    }
+
+    #[test]
+    fn unsorted_duplicated_input_points() {
+        let (l, open) = make_intervals(None, vec![10, 1, 10], vec![20, 5, 5]);
+        assert_eq!(closed(&l), vec![(2, 6), (11, 21)]);
+        assert!(open.is_none());
+    }
+}

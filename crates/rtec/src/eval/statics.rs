@@ -1,0 +1,253 @@
+//! Evaluation of statically-determined fluents (Definition 2.4).
+//!
+//! A `holdsFor` rule derives the maximal intervals of its head FVP by
+//! fetching the interval lists of lower-level FVPs and combining them with
+//! `union_all`, `intersect_all` and `relative_complement_all`.
+//!
+//! Evaluation is grounding-driven: candidate variable bindings are seeded
+//! from the cached ground instances matching *any* `holdsFor` condition of
+//! the rule (so `underWay(V)` is derived for a vessel that was only ever
+//! `movingSpeed(V)=above`, even though the rule's first condition mentions
+//! `movingSpeed(V)=below`, whose list is empty for that vessel). Each
+//! candidate is then evaluated left-to-right; `holdsFor` conditions over
+//! ground FVPs yield the cached list or the empty list, and conditions
+//! with remaining unbound variables branch over the cache.
+
+use crate::ast::{FluentKey, StaticLiteral, StaticRule};
+use crate::description::CompiledDescription;
+use crate::eval::arith::{compare, CompareOutcome};
+use crate::eval::cache::FluentCache;
+use crate::eval::WarningSink;
+use crate::interval::IntervalList;
+use crate::symbol::Symbol;
+use crate::term::{match_term, Bindings, GroundFvp, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Evaluates all `holdsFor` rules of fluent `key`, inserting derived
+/// interval lists into the cache.
+pub fn evaluate_static_fluent(
+    desc: &CompiledDescription,
+    key: FluentKey,
+    cache: &mut FluentCache<'_>,
+    warnings: &mut WarningSink,
+) {
+    let Some(rule_ids) = desc.static_by_fluent.get(&key) else {
+        return;
+    };
+    for &rid in rule_ids {
+        let rule = &desc.statics[rid];
+        let candidates = seed_candidates(desc, rule, cache, warnings);
+        let mut results: Vec<(GroundFvp, IntervalList)> = Vec::new();
+        for mut cand in candidates {
+            let mut env: HashMap<Symbol, IntervalList> = HashMap::new();
+            eval_literals(
+                desc,
+                rule,
+                0,
+                &mut cand,
+                &mut env,
+                cache,
+                warnings,
+                &mut results,
+            );
+        }
+        for (g, list) in results {
+            cache.insert(g, list);
+        }
+    }
+}
+
+/// Phase 1: bindings obtained by matching every `holdsFor` condition
+/// against the cached ground instances, deduplicated.
+fn seed_candidates(
+    desc: &CompiledDescription,
+    rule: &StaticRule,
+    cache: &FluentCache<'_>,
+    warnings: &mut WarningSink,
+) -> Vec<Bindings> {
+    let eq = desc.sys.eq;
+    let mut out: Vec<Bindings> = Vec::new();
+    let mut seen: HashSet<Vec<(Symbol, Term)>> = HashSet::new();
+    let push = |b: Bindings, seen: &mut HashSet<Vec<(Symbol, Term)>>, out: &mut Vec<Bindings>| {
+        let mut sig: Vec<(Symbol, Term)> = b.iter().map(|(v, t)| (v, t.clone())).collect();
+        sig.sort_by_key(|(v, _)| *v);
+        if seen.insert(sig) {
+            out.push(b);
+        }
+    };
+
+    for lit in &rule.body {
+        let StaticLiteral::HoldsFor { fvp, .. } = lit else {
+            continue;
+        };
+        let Some(k) = fvp.key() else { continue };
+        if !desc.defines(k) && !cache.knows_key(k) {
+            warnings.push(format!(
+                "undefined fluent '{}/{}' referenced in a holdsFor rule; it never holds",
+                desc.symbols.name(k.0),
+                k.1
+            ));
+            continue;
+        }
+        if fvp.fluent.is_ground() && fvp.value.is_ground() {
+            push(Bindings::new(), &mut seen, &mut out);
+            continue;
+        }
+        let pattern = Term::Compound(eq, vec![fvp.fluent.clone(), fvp.value.clone()]);
+        for inst in cache.instances(k) {
+            let inst_term = Term::Compound(eq, vec![inst.fluent.clone(), inst.value.clone()]);
+            let mut b = Bindings::new();
+            if match_term(&pattern, &inst_term, &mut b) {
+                push(b, &mut seen, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Phase 2: left-to-right evaluation with backtracking.
+#[allow(clippy::too_many_arguments)]
+fn eval_literals(
+    desc: &CompiledDescription,
+    rule: &StaticRule,
+    idx: usize,
+    bindings: &mut Bindings,
+    env: &mut HashMap<Symbol, IntervalList>,
+    cache: &FluentCache<'_>,
+    warnings: &mut WarningSink,
+    results: &mut Vec<(GroundFvp, IntervalList)>,
+) {
+    let Some(lit) = rule.body.get(idx) else {
+        // All conditions satisfied: emit the head instance.
+        let fluent = rule.fvp.fluent.apply(bindings);
+        let value = rule.fvp.value.apply(bindings);
+        if !fluent.is_ground() || !value.is_ground() {
+            warnings.push(format!(
+                "holdsFor head '{}' not fully instantiated; instance dropped",
+                rule.fvp.display(&desc.symbols)
+            ));
+            return;
+        }
+        let Some(list) = env.get(&rule.out) else {
+            return; // validation guarantees presence; defensive
+        };
+        if !list.is_empty() {
+            results.push((GroundFvp { fluent, value }, list.clone()));
+        }
+        return;
+    };
+
+    match lit {
+        StaticLiteral::HoldsFor { fvp, out } => {
+            let fluent = fvp.fluent.apply(bindings);
+            let value = fvp.value.apply(bindings);
+            if fluent.is_ground() && value.is_ground() {
+                let g = GroundFvp { fluent, value };
+                let list = cache.get(&g).cloned().unwrap_or_default();
+                env.insert(*out, list);
+                eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+                env.remove(out);
+            } else {
+                let Some(k) = fluent.signature() else { return };
+                let eq = desc.sys.eq;
+                let pattern = Term::Compound(eq, vec![fluent, value]);
+                // Branch over matching cached instances.
+                let matches: Vec<(Bindings, IntervalList)> = cache
+                    .instances(k)
+                    .into_iter()
+                    .filter_map(|inst| {
+                        let inst_term =
+                            Term::Compound(eq, vec![inst.fluent.clone(), inst.value.clone()]);
+                        let mut b = bindings.clone();
+                        match_term(&pattern, &inst_term, &mut b)
+                            .then(|| (b, cache.get(inst).cloned().unwrap_or_default()))
+                    })
+                    .collect();
+                for (mut b, list) in matches {
+                    env.insert(*out, list);
+                    eval_literals(desc, rule, idx + 1, &mut b, env, cache, warnings, results);
+                    env.remove(out);
+                }
+            }
+        }
+        StaticLiteral::Union { inputs, out } => {
+            let lists: Vec<&IntervalList> = inputs.iter().filter_map(|v| env.get(v)).collect();
+            if lists.len() != inputs.len() {
+                return; // undefined interval variable; validation rejects this
+            }
+            let u = IntervalList::union_all(&lists);
+            env.insert(*out, u);
+            eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+            env.remove(out);
+        }
+        StaticLiteral::Intersect { inputs, out } => {
+            let lists: Vec<&IntervalList> = inputs.iter().filter_map(|v| env.get(v)).collect();
+            if lists.len() != inputs.len() {
+                return;
+            }
+            let i = IntervalList::intersect_all(&lists);
+            env.insert(*out, i);
+            eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+            env.remove(out);
+        }
+        StaticLiteral::RelComplement {
+            base,
+            subtract,
+            out,
+        } => {
+            let Some(base_list) = env.get(base).cloned() else {
+                return;
+            };
+            let lists: Vec<&IntervalList> = subtract.iter().filter_map(|v| env.get(v)).collect();
+            if lists.len() != subtract.len() {
+                return;
+            }
+            let rc = base_list.relative_complement_all(&lists);
+            env.insert(*out, rc);
+            eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+            env.remove(out);
+        }
+        StaticLiteral::Atemporal {
+            negated: false,
+            pattern,
+        } => {
+            let mut exts: Vec<Bindings> = Vec::new();
+            desc.facts.for_each_match(pattern, bindings, |b| {
+                exts.push(b.clone());
+            });
+            if !desc.facts.has_signature_of(pattern) {
+                if let Some((f, a)) = pattern.signature() {
+                    warnings.push(format!(
+                        "no background facts for '{}/{}'",
+                        desc.symbols.name(f),
+                        a
+                    ));
+                }
+            }
+            for mut ext in exts {
+                eval_literals(desc, rule, idx + 1, &mut ext, env, cache, warnings, results);
+            }
+        }
+        StaticLiteral::Atemporal {
+            negated: true,
+            pattern,
+        } => {
+            if !desc.facts.any_match(pattern, bindings) {
+                eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+            }
+        }
+        StaticLiteral::Compare { op, lhs, rhs } => {
+            let mark = bindings.len();
+            match compare(*op, lhs, rhs, bindings, &desc.symbols) {
+                CompareOutcome::Decided(true) | CompareOutcome::Bound => {
+                    eval_literals(desc, rule, idx + 1, bindings, env, cache, warnings, results);
+                    bindings.truncate(mark);
+                }
+                CompareOutcome::Decided(false) => {}
+                CompareOutcome::Failed(issue) => {
+                    warnings.push(format!("comparison skipped: {issue}"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Maximal-interval algebra.
+//!
+//! RTEC reduces composite activity recognition to operations on lists of
+//! *maximal intervals*: the periods during which a fluent-value pair holds
+//! continuously. This module implements the interval representation and the
+//! three interval-manipulation constructs of the language —
+//! [`IntervalList::union_all`], [`IntervalList::intersect_all`] and
+//! [`IntervalList::relative_complement_all`] — plus helpers used by the
+//! evaluation harness (duration measures, clipping, point queries).
+//!
+//! # Semantics
+//!
+//! Time-points are non-negative integers ([`Timepoint`]). An interval is
+//! half-open: `[start, end)` contains every `T` with `start <= T < end`.
+//! Following the Event Calculus, an initiation at `Ts` makes the fluent hold
+//! *from `Ts + 1` onwards*, and a termination at `Te` makes it cease to hold
+//! *after* `Te`; the engine therefore emits `[Ts + 1, Te + 1)`, which equals
+//! the paper's `(Ts, Te]`. An interval that is still open at the end of the
+//! processed stream has `end == INF`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A time-point on RTEC's linear, integer timeline.
+pub type Timepoint = i64;
+
+/// Sentinel end-point of an interval that has not been terminated yet.
+pub const INF: Timepoint = i64::MAX;
+
+/// A non-empty half-open interval `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// First time-point included in the interval.
+    pub start: Timepoint,
+    /// First time-point *after* the interval; `INF` when still open.
+    pub end: Timepoint,
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start >= end` (empty and reversed intervals are
+    /// unrepresentable by construction).
+    pub fn new(start: Timepoint, end: Timepoint) -> Interval {
+        assert!(start < end, "empty interval [{start}, {end})");
+        Interval { start, end }
+    }
+
+    /// Creates the open-ended interval `[start, INF)`.
+    pub fn open(start: Timepoint) -> Interval {
+        Interval { start, end: INF }
+    }
+
+    /// Whether `t` lies inside the interval.
+    pub fn contains(&self, t: Timepoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the interval extends to infinity.
+    pub fn is_open(&self) -> bool {
+        self.end == INF
+    }
+
+    /// Number of time-points covered; `None` for open intervals.
+    pub fn duration(&self) -> Option<u64> {
+        if self.is_open() {
+            None
+        } else {
+            Some((self.end - self.start) as u64)
+        }
+    }
+
+    /// Intersection with another interval, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// Whether the two intervals overlap or are adjacent (share an
+    /// endpoint), i.e. whether their union is a single interval.
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_open() {
+            write!(f, "[{}, inf)", self.start)
+        } else {
+            write!(f, "[{}, {})", self.start, self.end)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A sorted list of disjoint, non-adjacent maximal intervals.
+///
+/// The invariant (checked in debug builds) is that for consecutive entries
+/// `a, b`: `a.end < b.start`. All set operations preserve it.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalList {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalList {
+    /// The empty list.
+    pub fn new() -> IntervalList {
+        IntervalList::default()
+    }
+
+    /// Builds a list from arbitrary intervals, sorting and amalgamating
+    /// overlapping or adjacent ones.
+    pub fn from_intervals(mut ivs: Vec<Interval>) -> IntervalList {
+        ivs.sort_by_key(|iv| (iv.start, iv.end));
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                Some(last) if last.touches(&iv) => last.end = last.end.max(iv.end),
+                _ => out.push(iv),
+            }
+        }
+        IntervalList { ivs: out }
+    }
+
+    /// Builds a list from `(start, end)` pairs (convenience for tests).
+    pub fn from_pairs(pairs: &[(Timepoint, Timepoint)]) -> IntervalList {
+        IntervalList::from_intervals(pairs.iter().map(|&(s, e)| Interval::new(s, e)).collect())
+    }
+
+    /// Appends an interval that must start strictly after the current last
+    /// interval ends; cheaper than [`IntervalList::from_intervals`] when the
+    /// caller produces intervals in order (the engine does).
+    pub fn push(&mut self, iv: Interval) {
+        if let Some(last) = self.ivs.last_mut() {
+            assert!(iv.start >= last.end, "push out of order: {iv} after {last}");
+            if iv.start == last.end {
+                last.end = iv.end;
+                return;
+            }
+        }
+        self.ivs.push(iv);
+    }
+
+    /// Number of maximal intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// The intervals, sorted and disjoint.
+    pub fn as_slice(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Iterates over the maximal intervals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.ivs.iter()
+    }
+
+    /// Point query: does some interval contain `t`? O(log n).
+    pub fn contains(&self, t: Timepoint) -> bool {
+        self.ivs
+            .binary_search_by(|iv| {
+                if t < iv.start {
+                    std::cmp::Ordering::Greater
+                } else if t >= iv.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Total covered duration in time-points; open intervals are measured up
+    /// to `horizon`.
+    pub fn duration_up_to(&self, horizon: Timepoint) -> u64 {
+        self.ivs
+            .iter()
+            .map(|iv| {
+                let end = iv.end.min(horizon);
+                if end > iv.start {
+                    (end - iv.start) as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Union of any number of interval lists (the `union_all` construct).
+    pub fn union_all(lists: &[&IntervalList]) -> IntervalList {
+        match lists.len() {
+            0 => IntervalList::new(),
+            1 => lists[0].clone(),
+            _ => {
+                // k-way merge; lists are individually sorted so a simple
+                // collect-and-normalise is O(n log n) worst case but linear
+                // in practice thanks to the sort's adaptivity.
+                let mut all: Vec<Interval> =
+                    Vec::with_capacity(lists.iter().map(|l| l.len()).sum());
+                for l in lists {
+                    all.extend_from_slice(&l.ivs);
+                }
+                IntervalList::from_intervals(all)
+            }
+        }
+    }
+
+    /// Intersection of any number of interval lists (the `intersect_all`
+    /// construct). The intersection of zero lists is empty.
+    pub fn intersect_all(lists: &[&IntervalList]) -> IntervalList {
+        let mut iter = lists.iter();
+        let Some(first) = iter.next() else {
+            return IntervalList::new();
+        };
+        let mut acc = (*first).clone();
+        for l in iter {
+            acc = acc.intersect(l);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Pairwise intersection with `other`, by linear merge.
+    pub fn intersect(&self, other: &IntervalList) -> IntervalList {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (a, b) = (&self.ivs[i], &other.ivs[j]);
+            if let Some(iv) = a.intersect(b) {
+                out.push(iv);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalList { ivs: out }
+    }
+
+    /// The `relative_complement_all` construct: the sub-intervals of `self`
+    /// that are covered by none of `subtract`.
+    pub fn relative_complement_all(&self, subtract: &[&IntervalList]) -> IntervalList {
+        let minus = IntervalList::union_all(subtract);
+        self.difference(&minus)
+    }
+
+    /// Pairwise set difference `self \ other`, by linear merge.
+    pub fn difference(&self, other: &IntervalList) -> IntervalList {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for a in &self.ivs {
+            let mut cur = *a;
+            // Skip subtrahend intervals entirely before cur.
+            while j < other.ivs.len() && other.ivs[j].end <= cur.start {
+                j += 1;
+            }
+            let mut k = j;
+            let mut alive = true;
+            while alive && k < other.ivs.len() && other.ivs[k].start < cur.end {
+                let b = &other.ivs[k];
+                if b.start > cur.start {
+                    out.push(Interval::new(cur.start, b.start));
+                }
+                if b.end < cur.end {
+                    cur = Interval::new(b.end, cur.end);
+                    k += 1;
+                } else {
+                    alive = false;
+                }
+            }
+            if alive {
+                out.push(cur);
+            }
+        }
+        IntervalList { ivs: out }
+    }
+
+    /// Restricts the list to `[from, to)`, dropping empty results.
+    pub fn clip(&self, from: Timepoint, to: Timepoint) -> IntervalList {
+        let window = IntervalList {
+            ivs: vec![Interval::new(from, to)],
+        };
+        self.intersect(&window)
+    }
+
+    /// Replaces an open final interval's end with `t` (used to close
+    /// still-open fluents at the end of the processed stream). Intervals
+    /// starting at or after `t` are dropped.
+    pub fn close_at(&self, t: Timepoint) -> IntervalList {
+        let mut out = Vec::with_capacity(self.ivs.len());
+        for iv in &self.ivs {
+            if iv.start >= t {
+                continue;
+            }
+            out.push(Interval {
+                start: iv.start,
+                end: iv.end.min(t),
+            });
+        }
+        IntervalList { ivs: out }
+    }
+
+    /// Merges another list into this one (amalgamating at the seams); used
+    /// when accumulating per-window results into a global output.
+    pub fn merge(&mut self, other: &IntervalList) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        *self = IntervalList::union_all(&[self, other]);
+    }
+
+    /// Asserts the sorted/disjoint/non-adjacent invariant (used by
+    /// property-based tests).
+    pub fn check_invariant(&self) {
+        for w in self.ivs.windows(2) {
+            assert!(w[0].end < w[1].start, "interval list invariant violated");
+        }
+    }
+}
+
+impl fmt::Debug for IntervalList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.ivs).finish()
+    }
+}
+
+impl fmt::Display for IntervalList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Interval> for IntervalList {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalList::from_intervals(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn il(pairs: &[(Timepoint, Timepoint)]) -> IntervalList {
+        IntervalList::from_pairs(pairs)
+    }
+
+    #[test]
+    fn from_intervals_amalgamates() {
+        let l = il(&[(5, 10), (1, 3), (9, 12), (12, 14)]);
+        assert_eq!(l.as_slice(), &[Interval::new(1, 3), Interval::new(5, 14)]);
+    }
+
+    #[test]
+    fn contains_point_queries() {
+        let l = il(&[(1, 3), (10, 20)]);
+        assert!(l.contains(1));
+        assert!(l.contains(2));
+        assert!(!l.contains(3));
+        assert!(l.contains(15));
+        assert!(!l.contains(5));
+        assert!(!l.contains(0));
+        assert!(!l.contains(20));
+    }
+
+    #[test]
+    fn union_of_overlapping_lists() {
+        let a = il(&[(1, 5), (10, 15)]);
+        let b = il(&[(3, 8), (14, 20)]);
+        let u = IntervalList::union_all(&[&a, &b]);
+        assert_eq!(u.as_slice(), &[Interval::new(1, 8), Interval::new(10, 20)]);
+    }
+
+    #[test]
+    fn union_of_empty_is_empty() {
+        assert!(IntervalList::union_all(&[]).is_empty());
+        let e = IntervalList::new();
+        assert!(IntervalList::union_all(&[&e, &e]).is_empty());
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = il(&[(1, 10), (20, 30)]);
+        let b = il(&[(5, 25)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.as_slice(), &[Interval::new(5, 10), Interval::new(20, 25)]);
+    }
+
+    #[test]
+    fn intersect_all_three_lists() {
+        let a = il(&[(0, 100)]);
+        let b = il(&[(10, 50), (60, 90)]);
+        let c = il(&[(40, 70)]);
+        let i = IntervalList::intersect_all(&[&a, &b, &c]);
+        assert_eq!(
+            i.as_slice(),
+            &[Interval::new(40, 50), Interval::new(60, 70)]
+        );
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = il(&[(1, 10)]);
+        let e = IntervalList::new();
+        assert!(a.intersect(&e).is_empty());
+        assert!(IntervalList::intersect_all(&[&a, &e]).is_empty());
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = il(&[(0, 100)]);
+        let b = il(&[(10, 20), (30, 40)]);
+        let d = a.difference(&b);
+        assert_eq!(
+            d.as_slice(),
+            &[
+                Interval::new(0, 10),
+                Interval::new(20, 30),
+                Interval::new(40, 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn difference_consumes_whole_intervals() {
+        let a = il(&[(5, 10), (20, 25)]);
+        let b = il(&[(0, 30)]);
+        assert!(a.difference(&b).is_empty());
+    }
+
+    #[test]
+    fn difference_with_shared_endpoints() {
+        let a = il(&[(0, 10)]);
+        let b = il(&[(0, 5)]);
+        assert_eq!(a.difference(&b).as_slice(), &[Interval::new(5, 10)]);
+        let c = il(&[(5, 10)]);
+        assert_eq!(a.difference(&c).as_slice(), &[Interval::new(0, 5)]);
+    }
+
+    #[test]
+    fn relative_complement_all_subtracts_union() {
+        let base = il(&[(0, 50)]);
+        let s1 = il(&[(5, 10)]);
+        let s2 = il(&[(8, 20)]);
+        let rc = base.relative_complement_all(&[&s1, &s2]);
+        assert_eq!(rc.as_slice(), &[Interval::new(0, 5), Interval::new(20, 50)]);
+    }
+
+    #[test]
+    fn open_intervals_in_operations() {
+        let a = IntervalList::from_intervals(vec![Interval::open(10)]);
+        let b = il(&[(0, 20)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.as_slice(), &[Interval::new(10, 20)]);
+        let u = IntervalList::union_all(&[&a, &b]);
+        assert_eq!(u.as_slice(), &[Interval::open(0)]);
+    }
+
+    #[test]
+    fn close_at_truncates_open_tail() {
+        let a = IntervalList::from_intervals(vec![Interval::new(0, 5), Interval::open(10)]);
+        let c = a.close_at(42);
+        assert_eq!(c.as_slice(), &[Interval::new(0, 5), Interval::new(10, 42)]);
+        // Closing before the open interval's start drops it.
+        let c2 = a.close_at(10);
+        assert_eq!(c2.as_slice(), &[Interval::new(0, 5)]);
+    }
+
+    #[test]
+    fn clip_restricts_to_window() {
+        let a = il(&[(0, 10), (20, 30), (40, 50)]);
+        let c = a.clip(5, 45);
+        assert_eq!(
+            c.as_slice(),
+            &[
+                Interval::new(5, 10),
+                Interval::new(20, 30),
+                Interval::new(40, 45)
+            ]
+        );
+    }
+
+    #[test]
+    fn duration_measures() {
+        let a = il(&[(0, 10), (20, 25)]);
+        assert_eq!(a.duration_up_to(100), 15);
+        assert_eq!(a.duration_up_to(22), 12);
+        let open = IntervalList::from_intervals(vec![Interval::open(90)]);
+        assert_eq!(open.duration_up_to(100), 10);
+    }
+
+    #[test]
+    fn merge_accumulates_across_windows() {
+        let mut acc = il(&[(0, 10)]);
+        acc.merge(&il(&[(10, 20)]));
+        assert_eq!(acc.as_slice(), &[Interval::new(0, 20)]);
+        acc.merge(&il(&[(30, 40)]));
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(5, 5);
+    }
+
+    #[test]
+    fn push_amalgamates_adjacent() {
+        let mut l = IntervalList::new();
+        l.push(Interval::new(0, 5));
+        l.push(Interval::new(5, 9));
+        l.push(Interval::new(12, 14));
+        assert_eq!(l.as_slice(), &[Interval::new(0, 9), Interval::new(12, 14)]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Tokeniser for the Prolog-style concrete syntax of RTEC event
+//! descriptions.
+//!
+//! Handles `%` line comments, `/* ... */` block comments, quoted atoms,
+//! integers, floats, and the operator set used by the paper's rules
+//! (`:-`, `=`, `\=`, `<`, `>`, `=<`, `>=`, `+`, `-`, `*`, `/`). The
+//! non-standard spelling `<=` is accepted as a synonym for `=<` because
+//! LLM-generated rules frequently use it.
+
+use crate::error::{Pos, RtecError, RtecResult};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Lower-case identifier or quoted atom, e.g. `happensAt`, `'a b'`.
+    Atom(String),
+    /// Variable: upper-case or `_`-prefixed identifier, e.g. `Vessel`.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.` ending a clause
+    Period,
+    /// `:-`
+    If,
+    /// `=`
+    Eq,
+    /// `\=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<` (also accepts `<=`)
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl Token {
+    /// Short human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Atom(a) => format!("atom '{a}'"),
+            Token::Var(v) => format!("variable '{v}'"),
+            Token::Int(i) => format!("integer {i}"),
+            Token::Float(f) => format!("float {f}"),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::LBracket => "'['".into(),
+            Token::RBracket => "']'".into(),
+            Token::Comma => "','".into(),
+            Token::Period => "'.'".into(),
+            Token::If => "':-'".into(),
+            Token::Eq => "'='".into(),
+            Token::Neq => "'\\='".into(),
+            Token::Lt => "'<'".into(),
+            Token::Gt => "'>'".into(),
+            Token::Le => "'=<'".into(),
+            Token::Ge => "'>='".into(),
+            Token::Plus => "'+'".into(),
+            Token::Minus => "'-'".into(),
+            Token::Star => "'*'".into(),
+            Token::Slash => "'/'".into(),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Tokenises `src` into a vector of positioned tokens.
+pub fn tokenize(src: &str) -> RtecResult<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn err(&self, message: impl Into<String>) -> RtecError {
+        RtecError::Lex {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> RtecResult<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else { break };
+            let token = match c {
+                '(' => {
+                    self.bump();
+                    Token::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Token::RParen
+                }
+                '[' => {
+                    self.bump();
+                    Token::LBracket
+                }
+                ']' => {
+                    self.bump();
+                    Token::RBracket
+                }
+                ',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                '+' => {
+                    self.bump();
+                    Token::Plus
+                }
+                '*' => {
+                    self.bump();
+                    Token::Star
+                }
+                '/' => {
+                    self.bump();
+                    Token::Slash
+                }
+                '-' => {
+                    self.bump();
+                    Token::Minus
+                }
+                '.' => {
+                    self.bump();
+                    Token::Period
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('-') {
+                        self.bump();
+                        Token::If
+                    } else {
+                        return Err(self.err("expected '-' after ':'"));
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('<') => {
+                            self.bump();
+                            Token::Le
+                        }
+                        _ => Token::Eq,
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        // Lenient: LLMs write '<=' for Prolog's '=<'.
+                        self.bump();
+                        Token::Le
+                    } else {
+                        Token::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Ge
+                    } else {
+                        Token::Gt
+                    }
+                }
+                '\\' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Neq
+                    } else {
+                        return Err(self.err("expected '=' after '\\'"));
+                    }
+                }
+                '\'' => self.quoted_atom()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => self.identifier(),
+                other => return Err(self.err(format!("unexpected character '{other}'"))),
+            };
+            out.push(Spanned { token, pos });
+        }
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> RtecResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') => {
+                    // Only a comment if followed by '*'; otherwise leave the
+                    // slash for the operator lexer.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'*') {
+                        self.bump();
+                        self.bump();
+                        let mut prev = ' ';
+                        loop {
+                            match self.bump() {
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => return Err(self.err("unterminated block comment")),
+                            }
+                        }
+                    } else {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn quoted_atom(&mut self) -> RtecResult<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::Atom(s));
+                    }
+                }
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated quoted atom")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> RtecResult<Token> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A '.' is part of the number only if followed by a digit; otherwise
+        // it is the clause-terminating period.
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            let mut clone = self.chars.clone();
+            clone.next();
+            if clone.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                s.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| self.err(format!("bad float literal '{s}': {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| self.err(format!("bad integer literal '{s}': {e}")))
+        }
+    }
+
+    fn identifier(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let first = s.chars().next().expect("identifier is non-empty");
+        if first.is_uppercase() || first == '_' {
+            Token::Var(s)
+        } else {
+            Token::Atom(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn simple_rule_tokens() {
+        let t = toks("initiatedAt(f(V)=true, T) :- happensAt(e(V), T).");
+        assert_eq!(t[0], Token::Atom("initiatedAt".into()));
+        assert_eq!(t[1], Token::LParen);
+        assert_eq!(t[2], Token::Atom("f".into()));
+        assert!(t.contains(&Token::If));
+        assert_eq!(*t.last().unwrap(), Token::Period);
+    }
+
+    #[test]
+    fn variables_vs_atoms() {
+        assert_eq!(
+            toks("Vessel vessel _anon"),
+            vec![
+                Token::Var("Vessel".into()),
+                Token::Atom("vessel".into()),
+                Token::Var("_anon".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_period_disambiguation() {
+        assert_eq!(
+            toks("f(3.5, 7)."),
+            vec![
+                Token::Atom("f".into()),
+                Token::LParen,
+                Token::Float(3.5),
+                Token::Comma,
+                Token::Int(7),
+                Token::RParen,
+                Token::Period
+            ]
+        );
+        // "7." at end of clause: integer then period.
+        assert_eq!(toks("7."), vec![Token::Int(7), Token::Period]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("A =< B, C >= D, E < F, G > H, I \\= J"),
+            vec![
+                Token::Var("A".into()),
+                Token::Le,
+                Token::Var("B".into()),
+                Token::Comma,
+                Token::Var("C".into()),
+                Token::Ge,
+                Token::Var("D".into()),
+                Token::Comma,
+                Token::Var("E".into()),
+                Token::Lt,
+                Token::Var("F".into()),
+                Token::Comma,
+                Token::Var("G".into()),
+                Token::Gt,
+                Token::Var("H".into()),
+                Token::Comma,
+                Token::Var("I".into()),
+                Token::Neq,
+                Token::Var("J".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lenient_le_spelling() {
+        assert_eq!(toks("A <= B")[1], Token::Le);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("% line comment\nfoo /* block\ncomment */ bar");
+        assert_eq!(
+            t,
+            vec![Token::Atom("foo".into()), Token::Atom("bar".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_atoms() {
+        assert_eq!(
+            toks("'hello world' 'it''s'"),
+            vec![
+                Token::Atom("hello world".into()),
+                Token::Atom("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(tokenize("'oops"), Err(RtecError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(matches!(tokenize("f(#)"), Err(RtecError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("foo\n  bar").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+}

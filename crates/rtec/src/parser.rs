@@ -1,0 +1,532 @@
+//! Recursive-descent parser producing raw clauses.
+//!
+//! The parser turns token streams into [`Clause`]s — a head [`Term`] plus a
+//! list of body [`Term`]s — without imposing RTEC's rule syntax; that is the
+//! job of [`crate::validate`]. Keeping the raw, purely syntactic form around
+//! matters for this project: the similarity metric of the paper (Section 4)
+//! operates on expressions as written, including rules that are *not* valid
+//! RTEC.
+//!
+//! Operator precedence (loosest to tightest): comparisons
+//! (`=`, `\=`, `<`, `>`, `=<`, `>=`), additive (`+`, `-`), multiplicative
+//! (`*`, `/`), unary minus, primary. `not` is recognised at literal
+//! position and wrapped as a unary `not/1` compound.
+
+use crate::ast::Clause;
+use crate::error::{Pos, RtecError, RtecResult};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::symbol::SymbolTable;
+use crate::term::Term;
+
+/// Parses a whole event-description source into clauses, stopping at the
+/// first error.
+pub fn parse_program(src: &str, symbols: &mut SymbolTable) -> RtecResult<Vec<Clause>> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(&tokens, symbols);
+    let mut clauses = Vec::new();
+    while !p.at_end() {
+        clauses.push(p.clause()?);
+    }
+    Ok(clauses)
+}
+
+/// Lenient variant: parses as many clauses as possible, collecting an error
+/// per unparseable clause and resynchronising at the next `.` token.
+///
+/// LLM-generated event descriptions routinely contain one or two malformed
+/// rules; the paper's pipeline must still score the rest.
+pub fn parse_program_lenient(
+    src: &str,
+    symbols: &mut SymbolTable,
+) -> (Vec<Clause>, Vec<RtecError>) {
+    let tokens = match tokenize(src) {
+        Ok(t) => t,
+        Err(e) => {
+            // Lexical failure: retry line-by-line so one bad line does not
+            // sink the whole description.
+            return parse_line_chunks(src, symbols, e);
+        }
+    };
+    let mut p = Parser::new(&tokens, symbols);
+    let mut clauses = Vec::new();
+    let mut errors = Vec::new();
+    while !p.at_end() {
+        match p.clause() {
+            Ok(c) => clauses.push(c),
+            Err(e) => {
+                errors.push(e);
+                p.synchronize();
+            }
+        }
+    }
+    (clauses, errors)
+}
+
+/// Fallback used when tokenisation itself fails: split the source into
+/// clause-sized chunks (at periods followed by line ends) and parse each
+/// independently.
+fn parse_line_chunks(
+    src: &str,
+    symbols: &mut SymbolTable,
+    first: RtecError,
+) -> (Vec<Clause>, Vec<RtecError>) {
+    let mut clauses = Vec::new();
+    let mut errors = vec![first];
+    for chunk in split_clause_chunks(src) {
+        match parse_program(&chunk, symbols) {
+            Ok(mut cs) => clauses.append(&mut cs),
+            Err(e) => errors.push(e),
+        }
+    }
+    (clauses, errors)
+}
+
+/// Splits source text at clause boundaries (a `.` at end of line or before
+/// blank space that is not part of a number). Purely textual; used only in
+/// the degraded path.
+pub fn split_clause_chunks(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        cur.push(c);
+        if c == '.' {
+            let next = chars.peek().copied();
+            let digit_before = prev.is_some_and(|p| p.is_ascii_digit());
+            let digit_after = next.is_some_and(|n| n.is_ascii_digit());
+            if !(digit_before && digit_after) {
+                let trimmed = cur.trim();
+                if !trimmed.is_empty() && trimmed != "." {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear();
+            }
+        }
+        prev = Some(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+/// Parses a single term (no `:-`, no final period), e.g. for constructing
+/// query patterns in tests and examples.
+pub fn parse_term(src: &str, symbols: &mut SymbolTable) -> RtecResult<Term> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(&tokens, symbols);
+    let t = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after term"));
+    }
+    Ok(t)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+    symbols: &'a mut SymbolTable,
+    /// Counter for freshening anonymous variables (`_`), which are
+    /// distinct per occurrence in Prolog.
+    anon: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Spanned], symbols: &'a mut SymbolTable) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            symbols,
+            anon: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|s| s.pos)
+            .unwrap_or_default()
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos).map(|s| &s.token);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> RtecError {
+        RtecError::Parse {
+            pos: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> RtecResult<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {}", t.describe()))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Skips tokens until just past the next `.`, for error recovery.
+    fn synchronize(&mut self) {
+        while let Some(t) = self.bump() {
+            if *t == Token::Period {
+                break;
+            }
+        }
+    }
+
+    fn clause(&mut self) -> RtecResult<Clause> {
+        let pos = self.here();
+        let head = self.expr()?;
+        let mut body = Vec::new();
+        if self.peek() == Some(&Token::If) {
+            self.pos += 1;
+            loop {
+                body.push(self.literal()?);
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::Period, "'.' at end of clause")?;
+        Ok(Clause { head, body, pos })
+    }
+
+    /// A body literal: an expression, optionally prefixed by `not`.
+    fn literal(&mut self) -> RtecResult<Term> {
+        if let Some(Token::Atom(a)) = self.peek() {
+            if a == "not" && !matches!(self.peek2(), Some(Token::LParen)) {
+                // `not X` prefix form (Prolog's `\+` analogue used by RTEC).
+                self.pos += 1;
+                let inner = self.literal()?;
+                let not_sym = self.symbols.intern("not");
+                return Ok(Term::Compound(not_sym, vec![inner]));
+            }
+            if a == "not" && matches!(self.peek2(), Some(Token::LParen)) {
+                // `not(X)` call form; normalise to the same shape.
+                self.pos += 1;
+                self.pos += 1; // '('
+                let inner = self.literal()?;
+                self.expect(&Token::RParen, "')'")?;
+                let not_sym = self.symbols.intern("not");
+                return Ok(Term::Compound(not_sym, vec![inner]));
+            }
+        }
+        self.expr()
+    }
+
+    /// Comparison-level expression.
+    fn expr(&mut self) -> RtecResult<Term> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => "=",
+            Some(Token::Neq) => "\\=",
+            Some(Token::Lt) => "<",
+            Some(Token::Gt) => ">",
+            Some(Token::Le) => "=<",
+            Some(Token::Ge) => ">=",
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        let sym = self.symbols.intern(op);
+        Ok(Term::Compound(sym, vec![lhs, rhs]))
+    }
+
+    fn additive(&mut self) -> RtecResult<Term> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => "+",
+                Some(Token::Minus) => "-",
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            let sym = self.symbols.intern(op);
+            lhs = Term::Compound(sym, vec![lhs, rhs]);
+        }
+    }
+
+    fn multiplicative(&mut self) -> RtecResult<Term> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => "*",
+                Some(Token::Slash) => "/",
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            let sym = self.symbols.intern(op);
+            lhs = Term::Compound(sym, vec![lhs, rhs]);
+        }
+    }
+
+    fn unary(&mut self) -> RtecResult<Term> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Term::Int(i) => Term::Int(-i),
+                Term::Float(f) => Term::Float(-f),
+                other => {
+                    let sym = self.symbols.intern("-");
+                    Term::Compound(sym, vec![Term::Int(0), other])
+                }
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> RtecResult<Term> {
+        match self.peek().cloned() {
+            Some(Token::Atom(name)) => {
+                self.pos += 1;
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Token::RParen) {
+                        return Err(self.error("empty argument list"));
+                    }
+                    loop {
+                        args.push(self.expr()?);
+                        match self.peek() {
+                            Some(Token::Comma) => {
+                                self.pos += 1;
+                            }
+                            Some(Token::RParen) => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(t) => {
+                                return Err(self.error(format!(
+                                    "expected ',' or ')' in argument list, found {}",
+                                    t.describe()
+                                )))
+                            }
+                            None => {
+                                return Err(self.error("unterminated argument list at end of input"))
+                            }
+                        }
+                    }
+                    let sym = self.symbols.intern(&name);
+                    Ok(Term::Compound(sym, args))
+                } else {
+                    Ok(Term::Atom(self.symbols.intern(&name)))
+                }
+            }
+            Some(Token::Var(name)) => {
+                self.pos += 1;
+                if name == "_" {
+                    // Each bare `_` is a fresh variable; naming them
+                    // `_G<n>` keeps occurrences from aliasing each other.
+                    let fresh = format!("_G{}", self.anon);
+                    self.anon += 1;
+                    return Ok(Term::Var(self.symbols.intern(&fresh)));
+                }
+                Ok(Term::Var(self.symbols.intern(&name)))
+            }
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Term::Int(i))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Term::Float(f))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::LBracket) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(&Token::RBracket) {
+                    self.pos += 1;
+                    return Ok(Term::List(items));
+                }
+                loop {
+                    items.push(self.expr()?);
+                    match self.peek() {
+                        Some(Token::Comma) => {
+                            self.pos += 1;
+                        }
+                        Some(Token::RBracket) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(t) => {
+                            return Err(self.error(format!(
+                                "expected ',' or ']' in list, found {}",
+                                t.describe()
+                            )))
+                        }
+                        None => return Err(self.error("unterminated list at end of input")),
+                    }
+                }
+                Ok(Term::List(items))
+            }
+            Some(t) => Err(self.error(format!("expected a term, found {}", t.describe()))),
+            None => Err(self.error("expected a term, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> (Clause, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let mut cs = parse_program(src, &mut sym).unwrap();
+        assert_eq!(cs.len(), 1, "expected one clause");
+        (cs.remove(0), sym)
+    }
+
+    #[test]
+    fn parses_fact() {
+        let (c, sym) = parse_one("areaType(a1, fishing).");
+        assert!(c.body.is_empty());
+        assert_eq!(c.head.display(&sym).to_string(), "areaType(a1, fishing)");
+    }
+
+    #[test]
+    fn parses_simple_rule() {
+        let (c, sym) = parse_one(
+            "initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+             happensAt(entersArea(Vl, AreaId), T), areaType(AreaId, AreaType).",
+        );
+        assert_eq!(c.body.len(), 2);
+        assert_eq!(
+            c.head.display(&sym).to_string(),
+            "initiatedAt(withinArea(Vl, AreaType)=true, T)"
+        );
+    }
+
+    #[test]
+    fn parses_negation_prefix() {
+        let (c, sym) = parse_one(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V), T), \
+             not holdsAt(g(V)=true, T).",
+        );
+        assert_eq!(
+            c.body[1].display(&sym).to_string(),
+            "not(holdsAt(g(V)=true, T))"
+        );
+    }
+
+    #[test]
+    fn parses_holdsfor_with_interval_ops() {
+        let (c, sym) = parse_one(
+            "holdsFor(underWay(V)=true, I) :- \
+             holdsFor(movingSpeed(V)=below, I1), \
+             holdsFor(movingSpeed(V)=normal, I2), \
+             union_all([I1, I2], I).",
+        );
+        assert_eq!(c.body.len(), 3);
+        assert_eq!(
+            c.body[2].display(&sym).to_string(),
+            "union_all([I1, I2], I)"
+        );
+    }
+
+    #[test]
+    fn parses_arithmetic_comparisons() {
+        let (c, sym) = parse_one(
+            "initiatedAt(f(V)=true, T) :- happensAt(velocity(V, S), T), \
+             thresholds(max, M), S > M * 1.5, abs(S - M) >= 2.",
+        );
+        assert_eq!(c.body.len(), 4);
+        assert_eq!(c.body[2].display(&sym).to_string(), "S > M * 1.5");
+        assert_eq!(c.body[3].display(&sym).to_string(), "abs(S - M) >= 2");
+    }
+
+    #[test]
+    fn unary_minus_folds_into_literals() {
+        let mut sym = SymbolTable::new();
+        assert_eq!(parse_term("-3", &mut sym).unwrap(), Term::Int(-3));
+        assert_eq!(parse_term("-2.5", &mut sym).unwrap(), Term::Float(-2.5));
+    }
+
+    #[test]
+    fn lenient_mode_recovers_per_clause() {
+        let src = "good(a). bad(((. another(b).";
+        let mut sym = SymbolTable::new();
+        let (clauses, errors) = parse_program_lenient(src, &mut sym);
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn missing_period_is_an_error() {
+        let mut sym = SymbolTable::new();
+        assert!(parse_program("f(a)", &mut sym).is_err());
+    }
+
+    #[test]
+    fn empty_list_parses() {
+        let mut sym = SymbolTable::new();
+        assert_eq!(parse_term("[]", &mut sym).unwrap(), Term::List(vec![]));
+    }
+
+    #[test]
+    fn nested_lists_and_parens() {
+        let mut sym = SymbolTable::new();
+        let t = parse_term("f([a, [b, c]], (X))", &mut sym).unwrap();
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn clause_chunk_splitting() {
+        let chunks = split_clause_chunks("a(1).\nb(2.5, x).\nc(3).");
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[1], "b(2.5, x).");
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh_per_occurrence() {
+        let mut sym = SymbolTable::new();
+        let t = parse_term("f(_, _)", &mut sym).unwrap();
+        let vars = t.variables();
+        assert_eq!(vars.len(), 2, "each _ must be a distinct variable");
+        assert_ne!(vars[0], vars[1]);
+    }
+
+    #[test]
+    fn not_call_form_normalised() {
+        let (c, sym) =
+            parse_one("initiatedAt(f=true, T) :- happensAt(e, T), not(holdsAt(g=true, T)).");
+        assert_eq!(
+            c.body[1].display(&sym).to_string(),
+            "not(holdsAt(g=true, T))"
+        );
+    }
+}

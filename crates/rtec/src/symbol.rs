@@ -1,0 +1,143 @@
+//! String interning for functor, constant and variable names.
+//!
+//! Every name that appears in an event description — predicate functors,
+//! constants, variables — is interned once in a [`SymbolTable`] and referred
+//! to by a copyable [`Symbol`] afterwards. This keeps [`crate::term::Term`]
+//! values small and makes equality checks O(1), which matters because the
+//! recognition engine compares terms in its inner loops.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name. Cheap to copy and compare; resolve back to a string
+/// with [`SymbolTable::name`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index of this symbol inside its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only interner mapping names to [`Symbol`]s and back.
+///
+/// A table belongs to one [`crate::description::EventDescription`]; symbols
+/// from different tables must not be mixed (doing so yields nonsense names,
+/// not undefined behaviour).
+#[derive(Default, Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym =
+            Symbol(u32::try_from(self.names.len()).expect("symbol table overflow (>4G symbols)"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a previously interned name without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its name.
+    ///
+    /// # Panics
+    /// Panics if `sym` does not belong to this table.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Resolves a symbol back to its name, or `None` if `sym` was interned
+    /// in a different (later-extended) table.
+    pub fn try_name(&self, sym: Symbol) -> Option<&str> {
+        self.names.get(sym.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("happensAt");
+        let b = t.intern("happensAt");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("initiatedAt");
+        let b = t.intern("terminatedAt");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "initiatedAt");
+        assert_eq!(t.name(b), "terminatedAt");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("holdsFor").is_none());
+        let s = t.intern("holdsFor");
+        assert_eq!(t.get("holdsFor"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn case_sensitive() {
+        let mut t = SymbolTable::new();
+        assert_ne!(t.intern("Vessel"), t.intern("vessel"));
+    }
+}

@@ -1,0 +1,836 @@
+//! Validation of raw clauses against RTEC's rule syntax.
+//!
+//! Implements the syntactic restrictions of the paper's Definition 2.2
+//! (simple-fluent rules) and Definition 2.4 (statically-determined-fluent
+//! rules), extended where the paper's own example rules go beyond the
+//! definitions (background-knowledge conditions such as `areaType/2` and
+//! arithmetic comparisons appear in rules (1), (2) and the maritime event
+//! description, so the engine supports them in both rule types).
+//!
+//! Clauses that violate the syntax are reported with [`Severity::Error`]
+//! and excluded from compilation — exactly the situation the paper
+//! describes for LLM-generated definitions that "cannot be supplied
+//! directly to RTEC". Deviations the engine can tolerate produce
+//! [`Severity::Warning`]s instead.
+
+use crate::ast::{
+    BodyLiteral, Clause, CmpOp, Fvp, SimpleKind, SimpleRule, StaticLiteral, StaticRule,
+};
+use crate::error::{Severity, ValidationReport};
+use crate::symbol::{Symbol, SymbolTable};
+use crate::term::Term;
+
+/// Interned names of the reserved predicates.
+#[derive(Clone, Copy, Debug)]
+pub struct SysSymbols {
+    /// `initiatedAt`
+    pub initiated_at: Symbol,
+    /// `terminatedAt`
+    pub terminated_at: Symbol,
+    /// `happensAt`
+    pub happens_at: Symbol,
+    /// `holdsAt`
+    pub holds_at: Symbol,
+    /// `holdsFor`
+    pub holds_for: Symbol,
+    /// `union_all`
+    pub union_all: Symbol,
+    /// `intersect_all`
+    pub intersect_all: Symbol,
+    /// `relative_complement_all`
+    pub relative_complement_all: Symbol,
+    /// `not`
+    pub not: Symbol,
+    /// `=`
+    pub eq: Symbol,
+    /// `\=`
+    pub neq: Symbol,
+    /// `<`
+    pub lt: Symbol,
+    /// `>`
+    pub gt: Symbol,
+    /// `=<`
+    pub le: Symbol,
+    /// `>=`
+    pub ge: Symbol,
+}
+
+impl SysSymbols {
+    /// Interns the reserved names into `symbols`.
+    pub fn intern(symbols: &mut SymbolTable) -> SysSymbols {
+        SysSymbols {
+            initiated_at: symbols.intern("initiatedAt"),
+            terminated_at: symbols.intern("terminatedAt"),
+            happens_at: symbols.intern("happensAt"),
+            holds_at: symbols.intern("holdsAt"),
+            holds_for: symbols.intern("holdsFor"),
+            union_all: symbols.intern("union_all"),
+            intersect_all: symbols.intern("intersect_all"),
+            relative_complement_all: symbols.intern("relative_complement_all"),
+            not: symbols.intern("not"),
+            eq: symbols.intern("="),
+            neq: symbols.intern("\\="),
+            lt: symbols.intern("<"),
+            gt: symbols.intern(">"),
+            le: symbols.intern("=<"),
+            ge: symbols.intern(">="),
+        }
+    }
+
+    /// The comparison operator denoted by `f`, if any.
+    pub fn cmp_op(&self, f: Symbol) -> Option<CmpOp> {
+        Some(match f {
+            _ if f == self.eq => CmpOp::Eq,
+            _ if f == self.neq => CmpOp::Neq,
+            _ if f == self.lt => CmpOp::Lt,
+            _ if f == self.gt => CmpOp::Gt,
+            _ if f == self.le => CmpOp::Le,
+            _ if f == self.ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Whether `f` is one of the temporal rule-head predicates.
+    pub fn is_rule_head(&self, f: Symbol) -> bool {
+        f == self.initiated_at || f == self.terminated_at || f == self.holds_for
+    }
+}
+
+/// The outcome of validating an event description's clauses.
+#[derive(Clone, Debug, Default)]
+pub struct ValidatedRules {
+    /// Simple-fluent rules (initiations and terminations).
+    pub simple: Vec<SimpleRule>,
+    /// Statically-determined-fluent rules.
+    pub statics: Vec<StaticRule>,
+    /// Ground background facts.
+    pub facts: Vec<Term>,
+    /// Findings, including which clauses were rejected.
+    pub report: ValidationReport,
+}
+
+/// Validates all clauses; rejected clauses are reported but the remainder
+/// is still compiled (lenient by design — see module docs).
+pub fn validate(clauses: &[Clause], symbols: &mut SymbolTable) -> ValidatedRules {
+    let sys = SysSymbols::intern(symbols);
+    let mut out = ValidatedRules::default();
+    for (idx, clause) in clauses.iter().enumerate() {
+        validate_clause(idx, clause, &sys, symbols, &mut out);
+    }
+    out
+}
+
+fn validate_clause(
+    idx: usize,
+    clause: &Clause,
+    sys: &SysSymbols,
+    symbols: &SymbolTable,
+    out: &mut ValidatedRules,
+) {
+    let head_functor = clause.head.functor();
+    if clause.body.is_empty() {
+        // A fact. Reserved heads make no sense as facts.
+        if let Some(f) = head_functor {
+            if sys.is_rule_head(f) || f == sys.happens_at || f == sys.holds_at {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    format!(
+                        "'{}' may not appear as a fact in an event description",
+                        symbols.name(f)
+                    ),
+                );
+                return;
+            }
+        }
+        if !clause.head.is_ground() {
+            out.report.push(
+                Severity::Error,
+                idx,
+                "background facts must be ground".to_string(),
+            );
+            return;
+        }
+        out.facts.push(clause.head.clone());
+        return;
+    }
+
+    match head_functor {
+        Some(f) if f == sys.initiated_at || f == sys.terminated_at => {
+            validate_simple(idx, clause, f == sys.initiated_at, sys, symbols, out)
+        }
+        Some(f) if f == sys.holds_for => validate_static(idx, clause, sys, symbols, out),
+        Some(f) => out.report.push(
+            Severity::Error,
+            idx,
+            format!(
+                "rule head must be initiatedAt, terminatedAt or holdsFor, found '{}'",
+                symbols.name(f)
+            ),
+        ),
+        None => out.report.push(
+            Severity::Error,
+            idx,
+            "rule head must be a predicate".to_string(),
+        ),
+    }
+}
+
+/// Destructures `head = pred(F=V, TimeArg)`; reports and returns `None` on
+/// shape violations.
+fn head_fvp_and_arg(
+    idx: usize,
+    clause: &Clause,
+    pred: &str,
+    sys: &SysSymbols,
+    out: &mut ValidatedRules,
+) -> Option<(Fvp, Term)> {
+    let args = clause.head.args();
+    if args.len() != 2 {
+        out.report.push(
+            Severity::Error,
+            idx,
+            format!("{pred} must have exactly two arguments (F=V and a time/interval variable)"),
+        );
+        return None;
+    }
+    let Some(fvp) = Fvp::from_term(&args[0], sys.eq) else {
+        out.report.push(
+            Severity::Error,
+            idx,
+            format!("the first argument of {pred} must be a fluent-value pair F=V"),
+        );
+        return None;
+    };
+    if fvp.fluent.functor().is_none() {
+        out.report.push(
+            Severity::Error,
+            idx,
+            "the fluent of the head FVP must be an atom or compound term".to_string(),
+        );
+        return None;
+    }
+    Some((fvp, args[1].clone()))
+}
+
+fn validate_simple(
+    idx: usize,
+    clause: &Clause,
+    initiated: bool,
+    sys: &SysSymbols,
+    symbols: &SymbolTable,
+    out: &mut ValidatedRules,
+) {
+    let pred = if initiated {
+        "initiatedAt"
+    } else {
+        "terminatedAt"
+    };
+    let Some((fvp, time_arg)) = head_fvp_and_arg(idx, clause, pred, sys, out) else {
+        return;
+    };
+    let Term::Var(time_var) = time_arg else {
+        out.report.push(
+            Severity::Error,
+            idx,
+            format!("the second argument of {pred} must be a time variable"),
+        );
+        return;
+    };
+
+    let mut body = Vec::with_capacity(clause.body.len());
+    for (li, lit) in clause.body.iter().enumerate() {
+        let (negated, inner) = strip_not(lit, sys);
+        match classify_literal(inner, sys) {
+            LiteralShape::HappensAt(event, time) => {
+                if time != Term::Var(time_var) {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!(
+                            "happensAt literal {} must be evaluated at the head's time variable",
+                            li + 1
+                        ),
+                    );
+                    return;
+                }
+                if li == 0 && negated {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "the first body literal must be a positive happensAt (Definition 2.2)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                if event.functor().is_none() {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "happensAt takes an event atom or compound term".to_string(),
+                    );
+                    return;
+                }
+                body.push(BodyLiteral::HappensAt { negated, event });
+            }
+            LiteralShape::HoldsAt(inner_fvp, time) => {
+                if li == 0 {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "the first body literal must be a positive happensAt (Definition 2.2)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                if time != Term::Var(time_var) {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!(
+                            "holdsAt literal {} must be evaluated at the head's time variable",
+                            li + 1
+                        ),
+                    );
+                    return;
+                }
+                body.push(BodyLiteral::HoldsAt {
+                    negated,
+                    fvp: inner_fvp,
+                });
+            }
+            LiteralShape::HoldsFor(..) => {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    format!("holdsFor may not appear in the body of an {pred} rule"),
+                );
+                return;
+            }
+            LiteralShape::IntervalConstruct => {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    format!("interval constructs may not appear in the body of an {pred} rule"),
+                );
+                return;
+            }
+            LiteralShape::Compare(op, lhs, rhs) => {
+                if li == 0 {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "the first body literal must be a positive happensAt (Definition 2.2)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                // `not (l op r)` compiles to the complementary operator:
+                // these comparisons are total, so the rewrite is exact.
+                let op = if negated { op.negate() } else { op };
+                body.push(BodyLiteral::Compare { op, lhs, rhs });
+            }
+            LiteralShape::Atemporal(pattern) => {
+                if li == 0 {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "the first body literal must be a positive happensAt (Definition 2.2)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                if pattern.functor().is_none() {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!("body literal {} is not a predicate", li + 1),
+                    );
+                    return;
+                }
+                // The strict Definition 2.2 admits only happensAt/holdsAt
+                // conditions; background lookups are an engine-supported
+                // extension used by the paper's own rules (1) and (2).
+                body.push(BodyLiteral::Atemporal { negated, pattern });
+            }
+            LiteralShape::Malformed(msg) => {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    format!("body literal {}: {msg}", li + 1),
+                );
+                return;
+            }
+        }
+    }
+
+    let _ = symbols;
+    out.simple.push(SimpleRule {
+        kind: if initiated {
+            SimpleKind::Initiated
+        } else {
+            SimpleKind::Terminated
+        },
+        fvp,
+        time_var,
+        body,
+        clause: idx,
+    });
+}
+
+fn validate_static(
+    idx: usize,
+    clause: &Clause,
+    sys: &SysSymbols,
+    symbols: &SymbolTable,
+    out: &mut ValidatedRules,
+) {
+    let Some((fvp, out_arg)) = head_fvp_and_arg(idx, clause, "holdsFor", sys, out) else {
+        return;
+    };
+    let Term::Var(out_var) = out_arg else {
+        out.report.push(
+            Severity::Error,
+            idx,
+            "the second argument of holdsFor must be an interval variable".to_string(),
+        );
+        return;
+    };
+
+    let mut body = Vec::with_capacity(clause.body.len());
+    let mut defined_vars: Vec<Symbol> = Vec::new();
+    for (li, lit) in clause.body.iter().enumerate() {
+        let (negated, inner) = strip_not(lit, sys);
+        match classify_literal(inner, sys) {
+            LiteralShape::HoldsFor(inner_fvp, ivar_term) => {
+                if negated {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "holdsFor conditions may not be negated (Definition 2.4)".to_string(),
+                    );
+                    return;
+                }
+                let Term::Var(ivar) = ivar_term else {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!(
+                            "the second argument of holdsFor in body literal {} must be a variable",
+                            li + 1
+                        ),
+                    );
+                    return;
+                };
+                if defined_vars.contains(&ivar) {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!(
+                            "interval variable '{}' is defined more than once",
+                            symbols.name(ivar)
+                        ),
+                    );
+                    return;
+                }
+                if inner_fvp == fvp {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        "a holdsFor rule may not reference its own head FVP (Definition 2.4)"
+                            .to_string(),
+                    );
+                    return;
+                }
+                defined_vars.push(ivar);
+                body.push(StaticLiteral::HoldsFor {
+                    fvp: inner_fvp,
+                    out: ivar,
+                });
+            }
+            LiteralShape::IntervalConstruct => {
+                match parse_interval_construct(inner, sys, &defined_vars, symbols) {
+                    Ok((lit, ivar)) => {
+                        if defined_vars.contains(&ivar) {
+                            out.report.push(
+                                Severity::Error,
+                                idx,
+                                format!(
+                                    "interval variable '{}' is defined more than once",
+                                    symbols.name(ivar)
+                                ),
+                            );
+                            return;
+                        }
+                        defined_vars.push(ivar);
+                        body.push(lit);
+                    }
+                    Err(msg) => {
+                        out.report.push(
+                            Severity::Error,
+                            idx,
+                            format!("body literal {}: {msg}", li + 1),
+                        );
+                        return;
+                    }
+                }
+            }
+            LiteralShape::HappensAt(..) | LiteralShape::HoldsAt(..) => {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    "happensAt/holdsAt may not appear in the body of a holdsFor rule \
+                     (Definition 2.4)"
+                        .to_string(),
+                );
+                return;
+            }
+            LiteralShape::Compare(op, lhs, rhs) => {
+                let op = if negated { op.negate() } else { op };
+                body.push(StaticLiteral::Compare { op, lhs, rhs });
+            }
+            LiteralShape::Atemporal(pattern) => {
+                if pattern.functor().is_none() {
+                    out.report.push(
+                        Severity::Error,
+                        idx,
+                        format!("body literal {} is not a predicate", li + 1),
+                    );
+                    return;
+                }
+                body.push(StaticLiteral::Atemporal { negated, pattern });
+            }
+            LiteralShape::Malformed(msg) => {
+                out.report.push(
+                    Severity::Error,
+                    idx,
+                    format!("body literal {}: {msg}", li + 1),
+                );
+                return;
+            }
+        }
+    }
+
+    if !matches!(body.first(), Some(StaticLiteral::HoldsFor { .. })) {
+        out.report.push(
+            Severity::Warning,
+            idx,
+            "the first body literal of a holdsFor rule should be a holdsFor condition \
+             (Definition 2.4)"
+                .to_string(),
+        );
+    }
+    if !defined_vars.contains(&out_var) {
+        out.report.push(
+            Severity::Error,
+            idx,
+            format!(
+                "the head's interval variable '{}' is never produced by the body",
+                symbols.name(out_var)
+            ),
+        );
+        return;
+    }
+
+    out.statics.push(StaticRule {
+        fvp,
+        out: out_var,
+        body,
+        clause: idx,
+    });
+}
+
+/// Peels a `not(...)` wrapper (possibly doubled) off a literal.
+fn strip_not<'a>(lit: &'a Term, sys: &SysSymbols) -> (bool, &'a Term) {
+    let mut negated = false;
+    let mut cur = lit;
+    while let Term::Compound(f, args) = cur {
+        if *f == sys.not && args.len() == 1 {
+            negated = !negated;
+            cur = &args[0];
+        } else {
+            break;
+        }
+    }
+    (negated, cur)
+}
+
+enum LiteralShape {
+    HappensAt(Term, Term),
+    HoldsAt(Fvp, Term),
+    HoldsFor(Fvp, Term),
+    IntervalConstruct,
+    Compare(CmpOp, Term, Term),
+    Atemporal(Term),
+    Malformed(String),
+}
+
+fn classify_literal(lit: &Term, sys: &SysSymbols) -> LiteralShape {
+    let Some(f) = lit.functor() else {
+        return LiteralShape::Malformed("not a predicate".to_string());
+    };
+    let args = lit.args();
+    if f == sys.happens_at {
+        if args.len() != 2 {
+            return LiteralShape::Malformed("happensAt must have two arguments".to_string());
+        }
+        return LiteralShape::HappensAt(args[0].clone(), args[1].clone());
+    }
+    if f == sys.holds_at {
+        if args.len() != 2 {
+            return LiteralShape::Malformed("holdsAt must have two arguments".to_string());
+        }
+        let Some(fvp) = Fvp::from_term(&args[0], sys.eq) else {
+            return LiteralShape::Malformed(
+                "the first argument of holdsAt must be a fluent-value pair F=V".to_string(),
+            );
+        };
+        return LiteralShape::HoldsAt(fvp, args[1].clone());
+    }
+    if f == sys.holds_for {
+        if args.len() != 2 {
+            return LiteralShape::Malformed("holdsFor must have two arguments".to_string());
+        }
+        let Some(fvp) = Fvp::from_term(&args[0], sys.eq) else {
+            return LiteralShape::Malformed(
+                "the first argument of holdsFor must be a fluent-value pair F=V".to_string(),
+            );
+        };
+        return LiteralShape::HoldsFor(fvp, args[1].clone());
+    }
+    if f == sys.union_all || f == sys.intersect_all || f == sys.relative_complement_all {
+        return LiteralShape::IntervalConstruct;
+    }
+    // `=` between two terms is a comparison; so are the arithmetic
+    // relations.
+    if args.len() == 2 {
+        if let Some(op) = sys.cmp_op(f) {
+            return LiteralShape::Compare(op, args[0].clone(), args[1].clone());
+        }
+    }
+    LiteralShape::Atemporal(lit.clone())
+}
+
+/// Parses `union_all/2`, `intersect_all/2` or `relative_complement_all/3`.
+fn parse_interval_construct(
+    lit: &Term,
+    sys: &SysSymbols,
+    defined: &[Symbol],
+    symbols: &SymbolTable,
+) -> Result<(StaticLiteral, Symbol), String> {
+    let f = lit.functor().expect("caller checked functor");
+    let args = lit.args();
+    let var_list = |t: &Term| -> Result<Vec<Symbol>, String> {
+        let Term::List(items) = t else {
+            return Err("expected a list of interval variables".to_string());
+        };
+        items
+            .iter()
+            .map(|i| match i {
+                Term::Var(v) if defined.contains(v) => Ok(*v),
+                Term::Var(v) => Err(format!(
+                    "interval variable '{}' is used before being defined",
+                    symbols.name(*v)
+                )),
+                _ => Err("list elements must be interval variables".to_string()),
+            })
+            .collect()
+    };
+    let out_var = |t: &Term| -> Result<Symbol, String> {
+        match t {
+            Term::Var(v) => Ok(*v),
+            _ => Err("the output argument must be a variable".to_string()),
+        }
+    };
+    if f == sys.union_all || f == sys.intersect_all {
+        if args.len() != 2 {
+            return Err(format!("{} must have two arguments", symbols.name(f)));
+        }
+        let inputs = var_list(&args[0])?;
+        let out = out_var(&args[1])?;
+        let lit = if f == sys.union_all {
+            StaticLiteral::Union { inputs, out }
+        } else {
+            StaticLiteral::Intersect { inputs, out }
+        };
+        Ok((lit, out))
+    } else {
+        if args.len() != 3 {
+            return Err("relative_complement_all must have three arguments".to_string());
+        }
+        let base = match &args[0] {
+            Term::Var(v) if defined.contains(v) => *v,
+            Term::Var(v) => {
+                return Err(format!(
+                    "interval variable '{}' is used before being defined",
+                    symbols.name(*v)
+                ))
+            }
+            _ => return Err("the first argument must be an interval variable".to_string()),
+        };
+        let subtract = var_list(&args[1])?;
+        let out = out_var(&args[2])?;
+        Ok((
+            StaticLiteral::RelComplement {
+                base,
+                subtract,
+                out,
+            },
+            out,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str) -> (ValidatedRules, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let clauses = parse_program(src, &mut sym).unwrap();
+        let v = validate(&clauses, &mut sym);
+        (v, sym)
+    }
+
+    #[test]
+    fn classifies_fact_simple_and_static() {
+        let (v, _) = run("areaType(a1, fishing).\n\
+             initiatedAt(f(V)=true, T) :- happensAt(e(V), T).\n\
+             holdsFor(g(V)=true, I) :- holdsFor(f(V)=true, I1), union_all([I1], I).");
+        assert_eq!(v.facts.len(), 1);
+        assert_eq!(v.simple.len(), 1);
+        assert_eq!(v.statics.len(), 1);
+        assert!(!v.report.has_errors());
+    }
+
+    #[test]
+    fn rejects_non_happensat_first_literal() {
+        let (v, _) = run("initiatedAt(f(V)=true, T) :- holdsAt(g(V)=true, T).");
+        assert!(v.report.has_errors());
+        assert!(v.simple.is_empty());
+    }
+
+    #[test]
+    fn rejects_negated_first_literal() {
+        let (v, _) = run("initiatedAt(f(V)=true, T) :- not happensAt(e(V), T).");
+        assert!(v.report.has_errors());
+    }
+
+    #[test]
+    fn rejects_missing_fvp_in_head() {
+        let (v, _) = run("initiatedAt(f(V), T) :- happensAt(e(V), T).");
+        assert!(v.report.has_errors());
+        assert!(v.simple.is_empty());
+    }
+
+    #[test]
+    fn accepts_background_conditions_in_simple_rule() {
+        let (v, _) = run("initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+             happensAt(entersArea(Vl, AreaId), T), areaType(AreaId, AreaType).");
+        assert!(!v.report.has_errors());
+        assert_eq!(v.simple.len(), 1);
+        assert_eq!(v.simple[0].body.len(), 2);
+        assert!(matches!(
+            v.simple[0].body[1],
+            BodyLiteral::Atemporal { negated: false, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_comparisons() {
+        let (v, _) = run("initiatedAt(fast(V)=true, T) :- \
+             happensAt(velocity(V, S), T), thresholds(max, M), S > M.");
+        assert!(!v.report.has_errors());
+        // S > M must become a Compare literal, not an atemporal lookup.
+        assert!(matches!(
+            v.simple[0].body[2],
+            BodyLiteral::Compare { op: CmpOp::Gt, .. }
+        ));
+    }
+
+    #[test]
+    fn negated_comparison_inverts_operator() {
+        let (v, _) = run("initiatedAt(slow(V)=true, T) :- \
+             happensAt(velocity(V, S), T), not S > 5.");
+        assert!(!v.report.has_errors());
+        assert!(matches!(
+            v.simple[0].body[1],
+            BodyLiteral::Compare { op: CmpOp::Le, .. }
+        ));
+        let (vs, _) = run("holdsFor(g(V)=true, I) :- \
+             holdsFor(f(V)=true, I1), vesselType(V, X), not X \\= tug, union_all([I1], I).");
+        assert!(!vs.report.has_errors());
+        assert!(matches!(
+            vs.statics[0].body[2],
+            StaticLiteral::Compare { op: CmpOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn static_rule_requires_defined_output() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- holdsFor(f(V)=true, I1).");
+        assert!(v.report.has_errors());
+        assert!(v.statics.is_empty());
+    }
+
+    #[test]
+    fn static_rule_rejects_use_before_definition() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- \
+             holdsFor(f(V)=true, I1), union_all([I1, I2], I).");
+        assert!(v.report.has_errors());
+    }
+
+    #[test]
+    fn static_rule_rejects_self_reference() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- holdsFor(g(V)=true, I1), union_all([I1], I).");
+        assert!(v.report.has_errors());
+    }
+
+    #[test]
+    fn static_rule_warns_on_non_holdsfor_first_literal() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- \
+             vesselType(V, tug), holdsFor(f(V)=true, I1), union_all([I1], I).");
+        assert!(!v.report.has_errors());
+        assert_eq!(v.report.warnings().count(), 1);
+        assert_eq!(v.statics.len(), 1);
+    }
+
+    #[test]
+    fn rejects_happensat_inside_holdsfor() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- \
+             happensAt(e(V), T), holdsFor(f(V)=true, I1), union_all([I1], I).");
+        assert!(v.report.has_errors());
+    }
+
+    #[test]
+    fn rejects_unknown_head() {
+        let (v, _) = run("definedBy(f(V), x) :- happensAt(e(V), T).");
+        assert!(v.report.has_errors());
+    }
+
+    #[test]
+    fn rejects_nonground_fact() {
+        let (v, _) = run("areaType(A, fishing).");
+        assert!(v.report.has_errors());
+        assert!(v.facts.is_empty());
+    }
+
+    #[test]
+    fn relative_complement_parses() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :- \
+             holdsFor(a(V)=true, I1), holdsFor(b(V)=true, I2), \
+             relative_complement_all(I1, [I2], I).");
+        assert!(!v.report.has_errors());
+        assert!(matches!(
+            v.statics[0].body[2],
+            StaticLiteral::RelComplement { .. }
+        ));
+    }
+
+    #[test]
+    fn time_variable_mismatch_rejected() {
+        let (v, _) = run("initiatedAt(f(V)=true, T) :- happensAt(e(V), T2).");
+        assert!(v.report.has_errors());
+    }
+}

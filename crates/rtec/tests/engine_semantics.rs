@@ -1,0 +1,328 @@
+//! Behavioural tests of the recognition engine: statically determined
+//! fluents, negation-by-failure, universal (pattern) terminations,
+//! arithmetic thresholds, deep hierarchies, undefined references and
+//! boundary conditions.
+
+use rtec::{Engine, EngineConfig, EventDescription, Interval, RecognitionOutput};
+
+fn run(src: &str, events: &[(&str, i64)], horizon: i64) -> (RecognitionOutput, EventDescription) {
+    let mut desc = EventDescription::parse(src).expect("parse");
+    let parsed: Vec<_> = events
+        .iter()
+        .map(|(e, t)| (desc.term(e).unwrap(), *t))
+        .collect();
+    let compiled = desc.compile().expect("compile");
+    assert!(
+        !compiled.report.has_errors(),
+        "{:?}",
+        compiled.report.errors().collect::<Vec<_>>()
+    );
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    engine.add_events(parsed);
+    engine.run_to(horizon);
+    (engine.into_output(), desc)
+}
+
+#[test]
+fn union_all_over_multi_valued_fluent() {
+    // The paper's underWay example: union of the three movingSpeed values.
+    let src = "
+        initiatedAt(speedBand(V)=low, T) :- happensAt(velocity(V, S), T), S >= 0.5, S < 5.
+        initiatedAt(speedBand(V)=high, T) :- happensAt(velocity(V, S), T), S >= 5.
+        terminatedAt(speedBand(V)=Any, T) :- happensAt(velocity(V, S), T), S < 0.5.
+        holdsFor(underWay(V)=true, I) :-
+            holdsFor(speedBand(V)=low, I1),
+            holdsFor(speedBand(V)=high, I2),
+            union_all([I1, I2], I).
+    ";
+    let events = [
+        ("velocity(v1, 2.0)", 10), // low
+        ("velocity(v1, 8.0)", 20), // high (low terminated by cross-value)
+        ("velocity(v1, 0.1)", 40), // stopped
+        ("velocity(v1, 6.0)", 60), // high again
+    ];
+    let (out, mut desc) = run(src, &events, 100);
+    let under_way = desc.fvp("underWay(v1)=true").unwrap();
+    let l = out.intervals(&under_way).unwrap();
+    // Holds (10, 40] and (60, 100]: the low/high switch at 20 is seamless.
+    assert_eq!(
+        l.as_slice(),
+        &[Interval::new(11, 41), Interval::new(61, 101)]
+    );
+    // The bands themselves do not overlap.
+    let low = desc.fvp("speedBand(v1)=low").unwrap();
+    let high = desc.fvp("speedBand(v1)=high").unwrap();
+    let overlap = out
+        .intervals(&low)
+        .unwrap()
+        .intersect(out.intervals(&high).unwrap());
+    assert!(overlap.is_empty(), "bands overlap: {overlap}");
+}
+
+#[test]
+fn relative_complement_in_static_rules() {
+    let src = "
+        initiatedAt(a(V)=true, T) :- happensAt(sa(V), T).
+        terminatedAt(a(V)=true, T) :- happensAt(ea(V), T).
+        initiatedAt(b(V)=true, T) :- happensAt(sb(V), T).
+        terminatedAt(b(V)=true, T) :- happensAt(eb(V), T).
+        holdsFor(onlyA(V)=true, I) :-
+            holdsFor(a(V)=true, Ia),
+            holdsFor(b(V)=true, Ib),
+            relative_complement_all(Ia, [Ib], I).
+    ";
+    let events = [
+        ("sa(v1)", 0),
+        ("sb(v1)", 20),
+        ("eb(v1)", 40),
+        ("ea(v1)", 60),
+    ];
+    let (out, mut desc) = run(src, &events, 100);
+    let only_a = desc.fvp("onlyA(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&only_a).unwrap().as_slice(),
+        &[Interval::new(1, 21), Interval::new(41, 61)]
+    );
+}
+
+#[test]
+fn negation_by_failure_in_bodies() {
+    let src = "
+        initiatedAt(quiet(V)=true, T) :-
+            happensAt(tick(V), T),
+            not happensAt(noise(V), T),
+            not holdsAt(muted(V)=true, T).
+        terminatedAt(quiet(V)=true, T) :- happensAt(noise(V), T).
+        initiatedAt(muted(V)=true, T) :- happensAt(mute(V), T).
+    ";
+    let events = [
+        ("tick(v1)", 5),   // initiates: no noise, not muted
+        ("noise(v1)", 10), // terminates
+        ("tick(v1)", 15),  // re-initiates
+        ("mute(v1)", 20),
+        ("noise(v1)", 25), // terminates again
+        ("tick(v1)", 30),  // blocked: muted holds at 30
+    ];
+    let (out, mut desc) = run(src, &events, 100);
+    let quiet = desc.fvp("quiet(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&quiet).unwrap().as_slice(),
+        &[Interval::new(6, 11), Interval::new(16, 26)]
+    );
+    // Simultaneous tick+noise never initiates.
+    let (out2, mut desc2) = run(src, &[("tick(v2)", 5), ("noise(v2)", 5)], 50);
+    let q2 = desc2.fvp("quiet(v2)=true").unwrap();
+    assert!(out2.intervals(&q2).is_none());
+}
+
+#[test]
+fn universal_termination_applies_to_all_instances() {
+    // Rule (3)-style: the reset event terminates every AreaType instance.
+    let src = "
+        initiatedAt(flag(V, Kind)=true, T) :- happensAt(raise(V, Kind), T).
+        terminatedAt(flag(V, Kind)=true, T) :- happensAt(reset(V), T).
+    ";
+    let events = [
+        ("raise(v1, red)", 10),
+        ("raise(v1, blue)", 20),
+        ("reset(v1)", 50),
+    ];
+    let (out, mut desc) = run(src, &events, 100);
+    for (kind, start) in [("red", 11), ("blue", 21)] {
+        let f = desc.fvp(&format!("flag(v1, {kind})=true")).unwrap();
+        assert_eq!(
+            out.intervals(&f).unwrap().as_slice(),
+            &[Interval::new(start, 51)],
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn arithmetic_thresholds_with_background_knowledge() {
+    let src = "
+        thresholds(limit, 5.0).
+        factor(v1, 2).
+        initiatedAt(over(V)=true, T) :-
+            happensAt(speed(V, S), T),
+            thresholds(limit, L),
+            factor(V, F),
+            S > L * F.
+        terminatedAt(over(V)=true, T) :-
+            happensAt(speed(V, S), T),
+            thresholds(limit, L),
+            factor(V, F),
+            S =< L * F.
+    ";
+    let events = [
+        ("speed(v1, 9.0)", 10),  // 9 <= 10: no
+        ("speed(v1, 11.0)", 20), // over
+        ("speed(v1, 10.0)", 30), // boundary: =< holds, terminate
+    ];
+    let (out, mut desc) = run(src, &events, 100);
+    let over = desc.fvp("over(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&over).unwrap().as_slice(),
+        &[Interval::new(21, 31)]
+    );
+}
+
+#[test]
+fn four_level_hierarchy_evaluates_bottom_up() {
+    let src = "
+        initiatedAt(l0(V)=true, T) :- happensAt(go(V), T).
+        terminatedAt(l0(V)=true, T) :- happensAt(halt(V), T).
+        holdsFor(l1(V)=true, I) :- holdsFor(l0(V)=true, I0), union_all([I0], I).
+        holdsFor(l2(V)=true, I) :- holdsFor(l1(V)=true, I1), union_all([I1], I).
+        initiatedAt(l3(V)=true, T) :- happensAt(check(V), T), holdsAt(l2(V)=true, T).
+        terminatedAt(l3(V)=true, T) :- happensAt(halt(V), T).
+    ";
+    let events = [("go(v1)", 0), ("check(v1)", 10), ("halt(v1)", 30)];
+    let (out, mut desc) = run(src, &events, 100);
+    let l3 = desc.fvp("l3(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&l3).unwrap().as_slice(),
+        &[Interval::new(11, 31)]
+    );
+}
+
+#[test]
+fn undefined_fluent_reference_warns_and_never_holds() {
+    let src = "
+        initiatedAt(x(V)=true, T) :- happensAt(e(V), T), holdsAt(phantom(V)=true, T).
+        initiatedAt(y(V)=true, T) :- happensAt(e(V), T), not holdsAt(phantom(V)=true, T).
+    ";
+    let events = [("e(v1)", 10)];
+    let (out, mut desc) = run(src, &events, 50);
+    let x = desc.fvp("x(v1)=true").unwrap();
+    let y = desc.fvp("y(v1)=true").unwrap();
+    assert!(out.intervals(&x).is_none());
+    assert!(
+        out.intervals(&y).is_some(),
+        "negated undefined must succeed"
+    );
+    assert!(
+        out.warnings.iter().any(|w| w.contains("phantom")),
+        "{:?}",
+        out.warnings
+    );
+}
+
+#[test]
+fn static_fluent_join_across_two_entities() {
+    let src = "
+        initiatedAt(ready(V)=true, T) :- happensAt(arm(V), T).
+        terminatedAt(ready(V)=true, T) :- happensAt(disarm(V), T).
+        holdsFor(bothReady(V1, V2)=true, I) :-
+            holdsFor(link(V1, V2)=true, Il),
+            holdsFor(ready(V1)=true, I1),
+            holdsFor(ready(V2)=true, I2),
+            intersect_all([Il, I1, I2], I).
+    ";
+    let mut desc = EventDescription::parse(src).unwrap();
+    let e = |d: &mut EventDescription, s: &str| d.term(s).unwrap();
+    let events = vec![
+        (e(&mut desc, "arm(v1)"), 5),
+        (e(&mut desc, "arm(v2)"), 10),
+        (e(&mut desc, "disarm(v1)"), 40),
+    ];
+    let link_f = desc.term("link(v1, v2)").unwrap();
+    let link_v = desc.term("true").unwrap();
+    let both = desc.fvp("bothReady(v1, v2)=true").unwrap();
+    let compiled = desc.compile().unwrap();
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    engine.add_events(events);
+    engine.add_input_intervals(
+        rtec::GroundFvp::new(link_f, link_v).unwrap(),
+        rtec::IntervalList::from_pairs(&[(0, 100)]),
+    );
+    engine.run_to(100);
+    let out = engine.into_output();
+    assert_eq!(
+        out.intervals(&both).unwrap().as_slice(),
+        &[Interval::new(11, 41)]
+    );
+}
+
+#[test]
+fn events_at_time_zero_and_horizon() {
+    let src = "
+        initiatedAt(f(V)=true, T) :- happensAt(s(V), T).
+        terminatedAt(f(V)=true, T) :- happensAt(e(V), T).
+    ";
+    let events = [("s(v1)", 0), ("e(v1)", 100)];
+    let (out, mut desc) = run(src, &events, 100);
+    let f = desc.fvp("f(v1)=true").unwrap();
+    // Initiated at 0 => holds from 1; terminated at 100 => holds at 100.
+    assert_eq!(
+        out.intervals(&f).unwrap().as_slice(),
+        &[Interval::new(1, 101)]
+    );
+}
+
+#[test]
+fn simultaneous_events_of_different_vessels_are_independent() {
+    let src = "
+        initiatedAt(f(V)=true, T) :- happensAt(s(V), T).
+        terminatedAt(f(V)=true, T) :- happensAt(e(V), T).
+    ";
+    let events = [("s(v1)", 10), ("s(v2)", 10), ("e(v1)", 20)];
+    let (out, mut desc) = run(src, &events, 50);
+    let f1 = desc.fvp("f(v1)=true").unwrap();
+    let f2 = desc.fvp("f(v2)=true").unwrap();
+    assert_eq!(
+        out.intervals(&f1).unwrap().as_slice(),
+        &[Interval::new(11, 21)]
+    );
+    assert_eq!(
+        out.intervals(&f2).unwrap().as_slice(),
+        &[Interval::new(11, 51)]
+    );
+}
+
+#[test]
+fn eq_comparison_binds_intermediate_values() {
+    let src = "
+        initiatedAt(d(V)=true, T) :-
+            happensAt(pair(V, A, B), T),
+            Diff = A - B,
+            abs(Diff) > 10.
+        terminatedAt(d(V)=true, T) :- happensAt(stop(V), T).
+    ";
+    let events = [
+        ("pair(v1, 30, 5)", 10),
+        ("stop(v1)", 20),
+        ("pair(v1, 8, 5)", 30),
+    ];
+    let (out, mut desc) = run(src, &events, 50);
+    let d = desc.fvp("d(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&d).unwrap().as_slice(),
+        &[Interval::new(11, 21)]
+    );
+}
+
+#[test]
+fn multiple_rules_for_same_static_fluent_union_their_results() {
+    // Not strict Definition 2.4, but LLMs emit this; the engine unions.
+    let src = "
+        initiatedAt(a(V)=true, T) :- happensAt(sa(V), T).
+        terminatedAt(a(V)=true, T) :- happensAt(ea(V), T).
+        initiatedAt(b(V)=true, T) :- happensAt(sb(V), T).
+        terminatedAt(b(V)=true, T) :- happensAt(eb(V), T).
+        holdsFor(c(V)=true, I) :- holdsFor(a(V)=true, Ia), union_all([Ia], I).
+        holdsFor(c(V)=true, I) :- holdsFor(b(V)=true, Ib), union_all([Ib], I).
+    ";
+    let events = [
+        ("sa(v1)", 0),
+        ("ea(v1)", 10),
+        ("sb(v1)", 20),
+        ("eb(v1)", 30),
+    ];
+    let (out, mut desc) = run(src, &events, 50);
+    let c = desc.fvp("c(v1)=true").unwrap();
+    assert_eq!(
+        out.intervals(&c).unwrap().as_slice(),
+        &[Interval::new(1, 11), Interval::new(21, 31)]
+    );
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the interval algebra and the inertia
+//! matching, checked against naive set-of-points models.
+
+use proptest::prelude::*;
+use rtec::eval::simple::make_intervals;
+use rtec::{Interval, IntervalList, Timepoint};
+use std::collections::BTreeSet;
+
+/// Strategy: a well-formed interval list within [0, 200).
+fn interval_list() -> impl Strategy<Value = IntervalList> {
+    prop::collection::vec((0i64..200, 1i64..30), 0..12).prop_map(|pairs| {
+        IntervalList::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(s, len)| Interval::new(s, s + len))
+                .collect(),
+        )
+    })
+}
+
+/// The set of points covered by a list (bounded world [0, 300)).
+fn points(l: &IntervalList) -> BTreeSet<Timepoint> {
+    (0..300).filter(|&t| l.contains(t)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalisation_invariant_holds(a in interval_list()) {
+        a.check_invariant();
+    }
+
+    #[test]
+    fn union_matches_point_semantics(a in interval_list(), b in interval_list()) {
+        let u = IntervalList::union_all(&[&a, &b]);
+        u.check_invariant();
+        let expected: BTreeSet<_> = points(&a).union(&points(&b)).copied().collect();
+        prop_assert_eq!(points(&u), expected);
+    }
+
+    #[test]
+    fn intersection_matches_point_semantics(a in interval_list(), b in interval_list()) {
+        let i = a.intersect(&b);
+        i.check_invariant();
+        let expected: BTreeSet<_> = points(&a).intersection(&points(&b)).copied().collect();
+        prop_assert_eq!(points(&i), expected);
+    }
+
+    #[test]
+    fn difference_matches_point_semantics(a in interval_list(), b in interval_list()) {
+        let d = a.difference(&b);
+        d.check_invariant();
+        let expected: BTreeSet<_> = points(&a).difference(&points(&b)).copied().collect();
+        prop_assert_eq!(points(&d), expected);
+    }
+
+    #[test]
+    fn relative_complement_is_difference_of_union(
+        a in interval_list(), b in interval_list(), c in interval_list()
+    ) {
+        let rc = a.relative_complement_all(&[&b, &c]);
+        let via_union = a.difference(&IntervalList::union_all(&[&b, &c]));
+        prop_assert_eq!(rc.as_slice(), via_union.as_slice());
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent(
+        a in interval_list(), b in interval_list(), c in interval_list()
+    ) {
+        let ab = IntervalList::union_all(&[&a, &b]);
+        let ba = IntervalList::union_all(&[&b, &a]);
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        let abc1 = IntervalList::union_all(&[&ab, &c]);
+        let bc = IntervalList::union_all(&[&b, &c]);
+        let abc2 = IntervalList::union_all(&[&a, &bc]);
+        prop_assert_eq!(abc1.as_slice(), abc2.as_slice());
+        let aa = IntervalList::union_all(&[&a, &a]);
+        prop_assert_eq!(aa.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in interval_list(), b in interval_list(), c in interval_list()
+    ) {
+        let lhs = a.intersect(&IntervalList::union_all(&[&b, &c]));
+        let rhs = IntervalList::union_all(&[&a.intersect(&b), &a.intersect(&c)]);
+        prop_assert_eq!(lhs.as_slice(), rhs.as_slice());
+    }
+
+    #[test]
+    fn clip_equals_intersection_with_window(a in interval_list(), s in 0i64..150, len in 1i64..100) {
+        let clipped = a.clip(s, s + len);
+        let window = IntervalList::from_pairs(&[(s, s + len)]);
+        let expected = a.intersect(&window);
+        prop_assert_eq!(clipped.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn duration_equals_point_count(a in interval_list()) {
+        prop_assert_eq!(a.duration_up_to(300), points(&a).len() as u64);
+    }
+
+    /// The inertia matcher agrees with a direct simulation of the law of
+    /// inertia over initiation/termination point sets.
+    #[test]
+    fn make_intervals_matches_simulation(
+        inits in prop::collection::btree_set(0i64..100, 0..12),
+        terms in prop::collection::btree_set(0i64..100, 0..12),
+    ) {
+        let (list, open) = make_intervals(
+            None,
+            inits.iter().copied().collect(),
+            terms.iter().copied().collect(),
+        );
+        list.check_invariant();
+        // Forward simulation of the law of inertia: terminations apply
+        // before initiations at the same time-point, and effects become
+        // visible at the next time-point.
+        let mut holding = false;
+        for t in 0..=105 {
+            // State transition at t-1's events (initiation at t-1 makes
+            // the fluent hold at t; termination at t-1 stops it).
+            if t > 0 {
+                let prev = t - 1;
+                if holding && terms.contains(&prev) {
+                    holding = false;
+                }
+                if !holding && inits.contains(&prev) {
+                    holding = true;
+                }
+            }
+            prop_assert_eq!(
+                list.contains(t),
+                holding,
+                "t={} inits={:?} terms={:?} list={}",
+                t, inits, terms, list
+            );
+        }
+        // The open flag agrees with the final state.
+        prop_assert_eq!(open.is_some(), holding);
+    }
+
+    #[test]
+    fn make_intervals_carry_extends_interval(
+        carry in 0i64..20,
+        terms in prop::collection::btree_set(21i64..80, 0..6),
+    ) {
+        let (list, open) = make_intervals(Some(carry), Vec::new(), terms.iter().copied().collect());
+        if let Some(&first) = terms.iter().next() {
+            prop_assert_eq!(list.as_slice(), &[Interval::new(carry, first + 1)]);
+            prop_assert!(open.is_none());
+        } else {
+            prop_assert_eq!(list.as_slice(), &[Interval::open(carry)]);
+            prop_assert_eq!(open, Some(carry));
+        }
+    }
+}
+
+/// Random clause sources for the parser round-trip property.
+fn clause_source() -> impl Strategy<Value = String> {
+    let term = {
+        let leaf = prop_oneof![
+            (0u8..4).prop_map(|i| format!("c{i}")),
+            (0u8..3).prop_map(|i| format!("X{i}")),
+            (0i64..50).prop_map(|i| i.to_string()),
+        ];
+        leaf.prop_recursive(2, 12, 3, |inner| {
+            (0u8..3, prop::collection::vec(inner, 1..3))
+                .prop_map(|(f, args)| format!("f{f}({})", args.join(", ")))
+        })
+    };
+    (term.clone(), prop::collection::vec(term, 0..3)).prop_map(|(h, body)| {
+        if body.is_empty() {
+            format!("fact({h}).")
+        } else {
+            let lits: Vec<String> = body.iter().map(|b| format!("cond({b})")).collect();
+            format!("head({h}) :- {}.", lits.join(", "))
+        }
+    })
+}
+
+proptest! {
+    /// display(parse(x)) parses back to a structurally identical clause.
+    #[test]
+    fn parser_display_round_trip(src in clause_source()) {
+        let mut sym = rtec::SymbolTable::new();
+        let parsed = rtec::parser::parse_program(&src, &mut sym).unwrap();
+        let printed = parsed[0].display(&sym);
+        let reparsed = rtec::parser::parse_program(&printed, &mut sym).unwrap();
+        prop_assert_eq!(&parsed[0].head, &reparsed[0].head, "{}", printed);
+        prop_assert_eq!(&parsed[0].body, &reparsed[0].body, "{}", printed);
+    }
+
+    /// Lenient parsing of clean sources loses nothing and reports nothing.
+    #[test]
+    fn lenient_equals_strict_on_clean_input(srcs in prop::collection::vec(clause_source(), 1..5)) {
+        let text = srcs.join("\n");
+        let mut sym_a = rtec::SymbolTable::new();
+        let strict = rtec::parser::parse_program(&text, &mut sym_a).unwrap();
+        let mut sym_b = rtec::SymbolTable::new();
+        let (lenient, errors) = rtec::parser::parse_program_lenient(&text, &mut sym_b);
+        prop_assert!(errors.is_empty());
+        prop_assert_eq!(strict.len(), lenient.len());
+    }
+}

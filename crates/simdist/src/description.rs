@@ -1,0 +1,260 @@
+//! Distance between event descriptions (Definition 4.14 of the paper),
+//! plus a convenience comparison that handles descriptions parsed into
+//! different symbol tables.
+
+use crate::hungarian::assignment;
+use crate::rule::rule_distance_with;
+use crate::tree::VarInstances;
+use rtec::ast::Clause;
+use rtec::term::translate;
+use rtec::{EventDescription, SymbolTable, Term};
+
+/// Distance between two event descriptions given as clause sets sharing a
+/// symbol table (Definition 4.14):
+///
+/// `D(KB1, KB2) = ((M - K) + min-matching-cost) / M`, `M >= K`,
+///
+/// where the matching minimises the summed rule distances
+/// (Definition 4.12) and each unmatched rule is penalised by 1.
+/// Symmetric; two empty descriptions have distance 0.
+pub fn description_distance(a: &[Clause], b: &[Clause]) -> f64 {
+    if a.len() < b.len() {
+        return description_distance(b, a);
+    }
+    let m = a.len();
+    let k = b.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let cost = rule_cost_matrix(a, b);
+    let (_, matched) = assignment(&cost);
+    ((m - k) as f64 + matched) / m as f64
+}
+
+/// Builds the padded rule-distance cost matrix with the variable-instance
+/// maps of every clause computed exactly once.
+fn rule_cost_matrix(rows: &[Clause], cols: &[Clause]) -> Vec<Vec<f64>> {
+    let vi_rows: Vec<VarInstances> = rows.iter().map(VarInstances::of_clause).collect();
+    let vi_cols: Vec<VarInstances> = cols.iter().map(VarInstances::of_clause).collect();
+    let m = rows.len();
+    let k = cols.len();
+    (0..m)
+        .map(|i| {
+            (0..m)
+                .map(|j| {
+                    if j < k {
+                        rule_distance_with(&rows[i], &vi_rows[i], &cols[j], &vi_cols[j])
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Similarity between two clause sets: `1 - distance`.
+pub fn description_similarity(a: &[Clause], b: &[Clause]) -> f64 {
+    1.0 - description_distance(a, b)
+}
+
+/// The result of comparing two event descriptions, including the optimal
+/// rule matching for error analysis.
+#[derive(Clone, Debug)]
+pub struct DescriptionComparison {
+    /// `D(KB1, KB2)` per Definition 4.14.
+    pub distance: f64,
+    /// `1 - distance`.
+    pub similarity: f64,
+    /// For each clause of the *first* description: the index of the clause
+    /// of the second it was matched to (with the pair's rule distance), or
+    /// `None` if it was left unmatched.
+    pub matching: Vec<(usize, Option<(usize, f64)>)>,
+    /// Indices of the second description's clauses left unmatched
+    /// (non-empty only when it has more clauses than the first).
+    pub unmatched_b: Vec<usize>,
+}
+
+/// Compares two event descriptions that may have been parsed separately
+/// (e.g. the gold standard and an LLM-generated one): the second
+/// description's clauses are re-interned into the first's symbol table and
+/// Definition 4.14 is applied.
+pub fn compare_descriptions(a: &EventDescription, b: &EventDescription) -> DescriptionComparison {
+    let mut symbols = a.symbols.clone();
+    let b_clauses: Vec<Clause> = b
+        .clauses
+        .iter()
+        .map(|c| translate_clause(c, &b.symbols, &mut symbols))
+        .collect();
+    compare_clause_sets(&a.clauses, &b_clauses)
+}
+
+/// Core comparison over clause sets sharing a symbol table.
+pub fn compare_clause_sets(a: &[Clause], b: &[Clause]) -> DescriptionComparison {
+    if a.is_empty() && b.is_empty() {
+        return DescriptionComparison {
+            distance: 0.0,
+            similarity: 1.0,
+            matching: Vec::new(),
+            unmatched_b: Vec::new(),
+        };
+    }
+    // Build the padded square matrix with the larger set on the rows.
+    let swapped = a.len() < b.len();
+    let (rows, cols): (&[Clause], &[Clause]) = if swapped { (b, a) } else { (a, b) };
+    let m = rows.len();
+    let k = cols.len();
+    let cost = rule_cost_matrix(rows, cols);
+    let (assign, matched_cost) = assignment(&cost);
+    let distance = ((m - k) as f64 + matched_cost) / m as f64;
+
+    // Recover the matching in terms of (a index, b index).
+    let mut matching: Vec<(usize, Option<(usize, f64)>)> = Vec::new();
+    let mut unmatched_b: Vec<usize> = Vec::new();
+    if !swapped {
+        for (i, &j) in assign.iter().enumerate() {
+            if j < k {
+                matching.push((i, Some((j, cost[i][j]))));
+            } else {
+                matching.push((i, None));
+            }
+        }
+    } else {
+        // rows = b, cols = a: invert.
+        let mut by_a: Vec<Option<(usize, f64)>> = vec![None; k];
+        for (bi, &j) in assign.iter().enumerate() {
+            if j < k {
+                by_a[j] = Some((bi, cost[bi][j]));
+            } else {
+                unmatched_b.push(bi);
+            }
+        }
+        for (ai, m) in by_a.into_iter().enumerate() {
+            matching.push((ai, m));
+        }
+    }
+    DescriptionComparison {
+        distance,
+        similarity: 1.0 - distance,
+        matching,
+        unmatched_b,
+    }
+}
+
+fn translate_clause(c: &Clause, from: &SymbolTable, to: &mut SymbolTable) -> Clause {
+    Clause {
+        head: translate(&c.head, from, to),
+        body: c
+            .body
+            .iter()
+            .map(|b| translate(b, from, to))
+            .collect::<Vec<Term>>(),
+        pos: c.pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(src: &str) -> EventDescription {
+        EventDescription::parse(src).unwrap()
+    }
+
+    const GOLD: &str = "\
+        initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+            happensAt(entersArea(Vl, AreaId), T), areaType(AreaId, AreaType).\n\
+        terminatedAt(withinArea(Vl, AreaType)=true, T) :- \
+            happensAt(leavesArea(Vl, AreaId), T), areaType(AreaId, AreaType).\n\
+        terminatedAt(withinArea(Vl, AreaType)=true, T) :- \
+            happensAt(gap_start(Vl), T).";
+
+    #[test]
+    fn identical_descriptions_have_similarity_one() {
+        let a = desc(GOLD);
+        let b = desc(GOLD);
+        let c = compare_descriptions(&a, &b);
+        assert!((c.similarity - 1.0).abs() < 1e-12);
+        assert!(c.matching.iter().all(|(_, m)| m.is_some()));
+    }
+
+    #[test]
+    fn renamed_variables_still_similarity_one() {
+        let a = desc(GOLD);
+        let b = desc(&GOLD.replace("Vl", "Vessel").replace("AreaId", "A"));
+        let c = compare_descriptions(&a, &b);
+        assert!((c.similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_rule_costs_one_over_m() {
+        let a = desc(GOLD);
+        // Drop the gap_start termination (one of three rules; GOLD is one
+        // line per rule thanks to the backslash continuations).
+        let partial: String = GOLD.lines().take(2).collect::<Vec<_>>().join("\n");
+        let b = desc(&partial);
+        let c = compare_descriptions(&a, &b);
+        assert!((c.distance - 1.0 / 3.0).abs() < 1e-12, "d={}", c.distance);
+        assert_eq!(c.matching.iter().filter(|(_, m)| m.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn renamed_event_costs_little() {
+        let a = desc(GOLD);
+        let b = desc(&GOLD.replace("entersArea", "inArea"));
+        let c = compare_descriptions(&a, &b);
+        assert!(c.similarity < 1.0);
+        assert!(c.similarity > 0.8, "sim={}", c.similarity);
+    }
+
+    #[test]
+    fn cross_table_comparison_matches_same_table() {
+        // Parsing separately (different tables) must give the same value
+        // as parsing from one source.
+        let a = desc(GOLD);
+        let b = desc(GOLD);
+        let cross = compare_descriptions(&a, &b);
+        assert!((cross.similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_sizes_are_symmetric_in_value() {
+        let a = desc(GOLD);
+        let partial: String = GOLD.lines().take(2).collect::<Vec<_>>().join("\n");
+        let b = desc(&partial);
+        let ab = compare_descriptions(&a, &b);
+        let ba = compare_descriptions(&b, &a);
+        assert!((ab.distance - ba.distance).abs() < 1e-12);
+        // a has 3 rules, b has 2: from a's perspective one a-rule is
+        // unmatched; from b's perspective one rule of the other side is.
+        assert!(ab.unmatched_b.is_empty());
+        assert_eq!(ba.unmatched_b.len(), 1);
+        assert_eq!(ab.matching.iter().filter(|(_, m)| m.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let a = desc(GOLD);
+        let b = desc("");
+        let c = compare_descriptions(&a, &b);
+        assert_eq!(c.similarity, 0.0);
+        let e = compare_descriptions(&b, &b);
+        assert_eq!(e.similarity, 1.0);
+    }
+
+    #[test]
+    fn completely_different_fluent_kind_scores_low() {
+        // Simple vs statically determined definition of the same activity:
+        // heads differ (initiatedAt vs holdsFor), body atoms differ.
+        let a = desc(
+            "holdsFor(trawling(V)=true, I) :- holdsFor(trawlSpeed(V)=true, I1), \
+             holdsFor(trawlingMovement(V)=true, I2), intersect_all([I1, I2], I).",
+        );
+        let b = desc(
+            "initiatedAt(trawling(V)=true, T) :- happensAt(change_in_heading(V), T).\n\
+             terminatedAt(trawling(V)=true, T) :- happensAt(stop_start(V), T).",
+        );
+        let c = compare_descriptions(&a, &b);
+        assert!(c.similarity < 0.35, "sim={}", c.similarity);
+    }
+}

@@ -1,0 +1,174 @@
+//! Human-readable explanations of a description comparison.
+//!
+//! The similarity metric is designed to estimate *human correction
+//! effort*; this module turns the optimal rule matching behind a score
+//! into the report a human corrector would actually read: which generated
+//! rule was matched to which gold rule, at what distance, and which rules
+//! of either side went unmatched.
+
+use crate::description::{compare_descriptions, DescriptionComparison};
+use rtec::EventDescription;
+use std::fmt::Write;
+
+/// One row of the explanation: a gold rule and its matched counterpart.
+#[derive(Clone, Debug)]
+pub struct MatchRow {
+    /// The gold rule in concrete syntax.
+    pub gold_rule: String,
+    /// The matched generated rule, if any.
+    pub matched_rule: Option<String>,
+    /// The pair's rule distance (1.0 for unmatched).
+    pub distance: f64,
+}
+
+/// A full comparison explanation.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Overall similarity.
+    pub similarity: f64,
+    /// One row per gold rule.
+    pub rows: Vec<MatchRow>,
+    /// Generated rules with no gold counterpart.
+    pub extra_rules: Vec<String>,
+}
+
+impl Explanation {
+    /// Renders the explanation as an indented text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "similarity: {:.4}", self.similarity);
+        for row in &self.rows {
+            let _ = writeln!(out, "\n  gold:    {}", row.gold_rule.replace('\n', " "));
+            match &row.matched_rule {
+                Some(m) => {
+                    let _ = writeln!(out, "  matched: {}", m.replace('\n', " "));
+                    let _ = writeln!(out, "  distance: {:.4}", row.distance);
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  matched: <none> (missing from the generated description)"
+                    );
+                }
+            }
+        }
+        for extra in &self.extra_rules {
+            let _ = writeln!(
+                out,
+                "\n  extra:   {} (no gold counterpart)",
+                extra.replace('\n', " ")
+            );
+        }
+        out
+    }
+
+    /// Rows with distance above `threshold` — the rules a human would
+    /// look at first.
+    pub fn worst_rows(&self, threshold: f64) -> Vec<&MatchRow> {
+        let mut rows: Vec<&MatchRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.distance > threshold)
+            .collect();
+        rows.sort_by(|a, b| b.distance.partial_cmp(&a.distance).expect("finite"));
+        rows
+    }
+}
+
+/// Explains the comparison of `gold` against `generated`.
+pub fn explain(gold: &EventDescription, generated: &EventDescription) -> Explanation {
+    let cmp: DescriptionComparison = compare_descriptions(gold, generated);
+    let rows = cmp
+        .matching
+        .iter()
+        .map(|(gi, m)| {
+            let gold_rule = gold.clauses[*gi].display(&gold.symbols);
+            match m {
+                Some((bi, d)) => MatchRow {
+                    gold_rule,
+                    matched_rule: Some(generated.clauses[*bi].display(&generated.symbols)),
+                    distance: *d,
+                },
+                None => MatchRow {
+                    gold_rule,
+                    matched_rule: None,
+                    distance: 1.0,
+                },
+            }
+        })
+        .collect();
+    let extra_rules = cmp
+        .unmatched_b
+        .iter()
+        .map(|bi| generated.clauses[*bi].display(&generated.symbols))
+        .collect();
+    Explanation {
+        similarity: cmp.similarity,
+        rows,
+        extra_rules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(src: &str) -> EventDescription {
+        EventDescription::parse(src).unwrap()
+    }
+
+    #[test]
+    fn identical_descriptions_explain_cleanly() {
+        let g = desc("initiatedAt(f(V)=true, T) :- happensAt(e(V), T).");
+        let e = explain(&g, &g);
+        assert!((e.similarity - 1.0).abs() < 1e-12);
+        assert_eq!(e.rows.len(), 1);
+        assert_eq!(e.rows[0].distance, 0.0);
+        assert!(e.extra_rules.is_empty());
+        assert!(e.worst_rows(0.01).is_empty());
+    }
+
+    #[test]
+    fn missing_rule_shows_as_unmatched() {
+        let gold = desc(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).\n\
+             terminatedAt(f(V)=true, T) :- happensAt(x(V), T).",
+        );
+        let gen = desc("initiatedAt(f(V)=true, T) :- happensAt(e(V), T).");
+        let e = explain(&gold, &gen);
+        assert_eq!(
+            e.rows.iter().filter(|r| r.matched_rule.is_none()).count(),
+            1
+        );
+        let report = e.render();
+        assert!(report.contains("<none>"));
+    }
+
+    #[test]
+    fn extra_rules_are_listed() {
+        let gold = desc("initiatedAt(f(V)=true, T) :- happensAt(e(V), T).");
+        let gen = desc(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).\n\
+             initiatedAt(bogus(V)=true, T) :- happensAt(e(V), T).",
+        );
+        let e = explain(&gold, &gen);
+        assert_eq!(e.extra_rules.len(), 1);
+        assert!(e.render().contains("no gold counterpart"));
+    }
+
+    #[test]
+    fn worst_rows_sorted_by_distance() {
+        let gold = desc(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).\n\
+             initiatedAt(g(V)=true, T) :- happensAt(e2(V), T).",
+        );
+        let gen = desc(
+            "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).\n\
+             initiatedAt(g(V)=true, T) :- happensAt(renamed(V), T).",
+        );
+        let e = explain(&gold, &gen);
+        let worst = e.worst_rows(0.0);
+        assert_eq!(worst.len(), 1);
+        assert!(worst[0].gold_rule.contains("g(V)"));
+    }
+}

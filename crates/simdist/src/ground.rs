@@ -1,0 +1,257 @@
+//! Distances between ground expressions and sets thereof
+//! (Definitions 4.1, 4.3 and 4.5 of the paper).
+
+use crate::hungarian::assignment;
+use rtec::Term;
+
+/// Distance between two ground expressions (Definition 4.1, after
+/// Nienhuys-Cheng):
+///
+/// * `0` if both are equal constants;
+/// * `1/(2k) * sum d(s_i, t_i)` if both are compounds with the same functor
+///   and the same arity `k`;
+/// * `1` otherwise (different functors or arities).
+///
+/// Numbers compare by value (so `23` and `23.0` are the same constant).
+/// Lists compare element-wise when of equal length, else distance `1`.
+/// Variables should not appear; if they do, they are treated as opaque
+/// constants equal only to themselves.
+pub fn ground_distance(a: &Term, b: &Term) -> f64 {
+    match (a, b) {
+        // Integers compare exactly (an i64 -> f64 cast is lossy above
+        // 2^53); mixed int/float pairs compare by value.
+        (Term::Int(x), Term::Int(y)) if x == y => 0.0,
+        (Term::Int(_), Term::Int(_)) => 1.0,
+        (Term::Int(_) | Term::Float(_), Term::Int(_) | Term::Float(_)) => {
+            let x = a.as_f64().expect("numeric");
+            let y = b.as_f64().expect("numeric");
+            if x == y {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        (Term::Atom(x), Term::Atom(y)) if x == y => 0.0,
+        (Term::Var(x), Term::Var(y)) if x == y => 0.0,
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+            if f != g || xs.len() != ys.len() {
+                1.0
+            } else {
+                let k = xs.len() as f64;
+                let sum: f64 = xs.iter().zip(ys).map(|(x, y)| ground_distance(x, y)).sum();
+                sum / (2.0 * k)
+            }
+        }
+        (Term::List(xs), Term::List(ys)) => {
+            if xs.len() != ys.len() {
+                1.0
+            } else if xs.is_empty() {
+                0.0
+            } else {
+                let k = xs.len() as f64;
+                let sum: f64 = xs.iter().zip(ys).map(|(x, y)| ground_distance(x, y)).sum();
+                sum / (2.0 * k)
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// The cost matrix of two expression sets (Definition 4.3): a square
+/// `M x M` matrix (`M >= K`) with `C[i][j] = d(a_i, b_j)` for `j < K` and
+/// `0` in the padding columns that model unmatched expressions.
+///
+/// The generic `dist` parameter lets rule bodies reuse the construction
+/// with the non-ground distance of Definition 4.11.
+pub fn cost_matrix<T, F>(a: &[T], b: &[T], mut dist: F) -> Vec<Vec<f64>>
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    debug_assert!(a.len() >= b.len(), "cost_matrix expects |a| >= |b|");
+    let m = a.len();
+    let k = b.len();
+    (0..m)
+        .map(|i| {
+            (0..m)
+                .map(|j| if j < k { dist(&a[i], &b[j]) } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Distance between two sets of expressions under a pluggable pairwise
+/// distance (Definition 4.5):
+///
+/// `d(A, B) = ((M - K) + min-matching-cost) / M` with `M = max(|A|, |B|)`.
+///
+/// Each unmatched expression is penalised by the maximal distance 1. The
+/// measure is symmetric; the sides are swapped internally when `|A| < |B|`.
+/// Two empty sets have distance 0.
+pub fn set_distance_with<T, F>(a: &[T], b: &[T], mut dist: F) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    // Put the larger set on the rows; the pairwise distance stays oriented
+    // as (a-element, b-element) regardless.
+    let swapped = a.len() < b.len();
+    let (rows, cols) = if swapped { (b, a) } else { (a, b) };
+    let m = rows.len();
+    let k = cols.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let cost = cost_matrix(
+        rows,
+        cols,
+        |x, y| if swapped { dist(y, x) } else { dist(x, y) },
+    );
+    let (_, matched) = assignment(&cost);
+    ((m - k) as f64 + matched) / m as f64
+}
+
+/// Distance between two sets of *ground* expressions (Definition 4.5
+/// instantiated with Definition 4.1).
+pub fn set_distance(a: &[Term], b: &[Term]) -> f64 {
+    set_distance_with(a, b, ground_distance)
+}
+
+/// Similarity between two sets of ground expressions: `1 - distance`.
+pub fn set_similarity(a: &[Term], b: &[Term]) -> f64 {
+    1.0 - set_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::parser::parse_term;
+    use rtec::SymbolTable;
+
+    fn terms(sym: &mut SymbolTable, srcs: &[&str]) -> Vec<Term> {
+        srcs.iter().map(|s| parse_term(s, sym).unwrap()).collect()
+    }
+
+    /// Example 4.2 of the paper: d = 0.25.
+    #[test]
+    fn paper_example_4_2() {
+        let mut sym = SymbolTable::new();
+        let e1 = parse_term("happensAt(entersArea(v42, a1), 23)", &mut sym).unwrap();
+        let e2 = parse_term("happensAt(inArea(v42, a1), 23)", &mut sym).unwrap();
+        assert!((ground_distance(&e1, &e2) - 0.25).abs() < 1e-12);
+    }
+
+    /// Example 4.4/4.6 of the paper: dE = 0.4167, similarity 0.5833.
+    #[test]
+    fn paper_example_4_6() {
+        let mut sym = SymbolTable::new();
+        let ea = terms(
+            &mut sym,
+            &[
+                "happensAt(entersArea(v42, a1), 23)",
+                "areaType(a1, fishing)",
+                "holdsAt(underway(v42)=true, 23)",
+            ],
+        );
+        let eb = terms(
+            &mut sym,
+            &["areaType(a1, fishing)", "happensAt(inArea(v42, a1), 23)"],
+        );
+        let d = set_distance(&ea, &eb);
+        assert!((d - (1.0 + 0.25) / 3.0).abs() < 1e-9, "d={d}");
+        assert!((set_similarity(&ea, &eb) - 0.5833).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identical_terms_have_zero_distance() {
+        let mut sym = SymbolTable::new();
+        let t = parse_term("f(g(a, 1), 2.5)", &mut sym).unwrap();
+        assert_eq!(ground_distance(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn different_functor_is_one() {
+        let mut sym = SymbolTable::new();
+        let a = parse_term("f(a)", &mut sym).unwrap();
+        let b = parse_term("g(a)", &mut sym).unwrap();
+        assert_eq!(ground_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn different_arity_is_one() {
+        let mut sym = SymbolTable::new();
+        let a = parse_term("f(a)", &mut sym).unwrap();
+        let b = parse_term("f(a, b)", &mut sym).unwrap();
+        assert_eq!(ground_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn nested_differences_attenuate() {
+        // A difference k levels deep contributes (1/2k)^depth-ish less.
+        let mut sym = SymbolTable::new();
+        let a = parse_term("f(g(a))", &mut sym).unwrap();
+        let b = parse_term("f(g(b))", &mut sym).unwrap();
+        // d = 1/2 * (1/2 * 1) = 0.25
+        assert!((ground_distance(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(ground_distance(&Term::Int(23), &Term::Float(23.0)), 0.0);
+        assert_eq!(ground_distance(&Term::Int(23), &Term::Float(24.0)), 1.0);
+    }
+
+    #[test]
+    fn large_integers_compare_exactly() {
+        // 2^53 and 2^53 + 1 collapse to the same f64; the metric must
+        // still tell them apart.
+        let a = Term::Int(9_007_199_254_740_992);
+        let b = Term::Int(9_007_199_254_740_993);
+        assert_eq!(ground_distance(&a, &b), 1.0);
+        assert_eq!(ground_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn atom_vs_compound_is_one() {
+        let mut sym = SymbolTable::new();
+        let a = parse_term("fishing", &mut sym).unwrap();
+        let b = parse_term("fishing(x)", &mut sym).unwrap();
+        assert_eq!(ground_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn set_distance_is_symmetric() {
+        let mut sym = SymbolTable::new();
+        let a = terms(&mut sym, &["f(a)", "g(b)", "h(c)"]);
+        let b = terms(&mut sym, &["f(a)"]);
+        assert!((set_distance(&a, &b) - set_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let mut sym = SymbolTable::new();
+        let a = terms(&mut sym, &["f(a)"]);
+        let empty: Vec<Term> = Vec::new();
+        assert_eq!(set_distance(&empty, &empty), 0.0);
+        assert_eq!(set_distance(&a, &empty), 1.0);
+        assert_eq!(set_similarity(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn identical_sets_have_distance_zero() {
+        let mut sym = SymbolTable::new();
+        let a = terms(&mut sym, &["f(a)", "g(b, c)"]);
+        assert_eq!(set_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn list_distances() {
+        let mut sym = SymbolTable::new();
+        let a = parse_term("[a, b]", &mut sym).unwrap();
+        let b = parse_term("[a, c]", &mut sym).unwrap();
+        let c = parse_term("[a]", &mut sym).unwrap();
+        assert!((ground_distance(&a, &b) - 0.25).abs() < 1e-12);
+        assert_eq!(ground_distance(&a, &c), 1.0);
+        let e1 = parse_term("[]", &mut sym).unwrap();
+        let e2 = parse_term("[]", &mut sym).unwrap();
+        assert_eq!(ground_distance(&e1, &e2), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Kuhn–Munkres ("Hungarian") algorithm for the assignment problem.
+//!
+//! The similarity metric needs, at three levels (sets of expressions, rule
+//! bodies, whole event descriptions), the mapping between two collections
+//! that minimises the sum of pairwise distances. A naive search over the
+//! `n!` mappings is hopeless; the paper (Section 4.1) uses Kuhn–Munkres,
+//! which solves the problem in `O(n^3)` [Kuhn 1955]. This is the classic
+//! potentials-and-augmenting-paths formulation, implemented from scratch.
+
+/// Solves the square assignment problem for `cost` (minimisation).
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`. Returns
+/// `(assignment, total)` where `assignment[i]` is the column matched to row
+/// `i` and `total` the minimal cost sum.
+///
+/// # Panics
+/// Panics if `cost` is empty or not square.
+pub fn assignment(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    assert!(n > 0, "assignment on an empty matrix");
+    assert!(
+        cost.iter().all(|row| row.len() == n),
+        "assignment requires a square matrix"
+    );
+
+    // 1-indexed potentials over rows (u) and columns (v); p[j] is the row
+    // assigned to column j (0 = unassigned), way[j] the previous column on
+    // the augmenting path.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            out[p[j] - 1] = j - 1;
+        }
+    }
+    let total = out.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+    (out, total)
+}
+
+/// Brute-force reference (exponential); exposed for tests and benchmarks.
+pub fn assignment_naive(cost: &[Vec<f64>]) -> f64 {
+    let n = cost.len();
+    let mut cols: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut cols, 0, cost, &mut best);
+    best
+}
+
+fn permute(cols: &mut Vec<usize>, k: usize, cost: &[Vec<f64>], best: &mut f64) {
+    let n = cols.len();
+    if k == n {
+        let total: f64 = (0..n).map(|i| cost[i][cols[i]]).sum();
+        if total < *best {
+            *best = total;
+        }
+        return;
+    }
+    for i in k..n {
+        cols.swap(k, i);
+        permute(cols, k + 1, cost, best);
+        cols.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_one_by_one() {
+        let (a, c) = assignment(&[vec![0.7]]);
+        assert_eq!(a, vec![0]);
+        assert!((c - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_three_by_three() {
+        // Classic example: optimal = 5 (1+3+1? -> rows 0,1,2 to cols ...)
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (a, c) = assignment(&cost);
+        assert!((c - 5.0).abs() < 1e-12, "got {c}");
+        // Assignment must be a permutation.
+        let mut seen = [false; 3];
+        for &j in &a {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn paper_example_matrix() {
+        // Example 4.4/4.6 of the paper: optimal matching cost 0.25.
+        let cost = vec![
+            vec![1.0, 0.25, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let (_, c) = assignment(&cost);
+        assert!((c - 0.25).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn matches_naive_on_random_matrices() {
+        // Deterministic pseudo-random matrices (no external RNG needed).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in 1..=6 {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let (_, fast) = assignment(&cost);
+                let slow = assignment_naive(&cost);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "n={n}: fast={fast} slow={slow} cost={cost:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_ties_and_zeros() {
+        let cost = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let (_, c) = assignment(&cost);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = assignment(&[vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Distance between rules (Definitions 4.11 and 4.12 of the paper).
+
+use crate::ground::cost_matrix;
+use crate::hungarian::assignment;
+use crate::tree::VarInstances;
+use rtec::ast::Clause;
+use rtec::Term;
+
+/// Distance between two possibly non-ground expressions, each taken from a
+/// rule whose variable-instance map is supplied (Definition 4.11):
+///
+/// * equal constants — 0;
+/// * two variables with equal instance lists — 0, otherwise 1;
+/// * compounds with equal functor and arity — scaled argument sum;
+/// * anything else — 1.
+pub fn expr_distance(a: &Term, b: &Term, via: &VarInstances, vib: &VarInstances) -> f64 {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) if via.same_concept(*x, vib, *y) => 0.0,
+        // Integers compare exactly (an i64 -> f64 cast is lossy above
+        // 2^53); mixed int/float pairs compare by value.
+        (Term::Int(x), Term::Int(y)) if x == y => 0.0,
+        (Term::Int(_), Term::Int(_)) => 1.0,
+        (Term::Int(_) | Term::Float(_), Term::Int(_) | Term::Float(_)) => {
+            let x = a.as_f64().expect("numeric");
+            let y = b.as_f64().expect("numeric");
+            if x == y {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        (Term::Atom(x), Term::Atom(y)) if x == y => 0.0,
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+            if f != g || xs.len() != ys.len() {
+                1.0
+            } else {
+                let k = xs.len() as f64;
+                let sum: f64 = xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(x, y)| expr_distance(x, y, via, vib))
+                    .sum();
+                sum / (2.0 * k)
+            }
+        }
+        (Term::List(xs), Term::List(ys)) => {
+            if xs.len() != ys.len() {
+                1.0
+            } else if xs.is_empty() {
+                0.0
+            } else {
+                let k = xs.len() as f64;
+                let sum: f64 = xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(x, y)| expr_distance(x, y, via, vib))
+                    .sum();
+                sum / (2.0 * k)
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// Distance between two rules (Definition 4.12):
+///
+/// ```text
+/// dr(r1, r2) = ( d(h1, h2) + (M - K) + min-matching(b1, b2) ) / (M + 1)
+/// ```
+///
+/// with `M = |b1| >= K = |b2|` (the sides are swapped internally
+/// otherwise). Heads are compared to each other only — a head is never
+/// matched against a body condition.
+pub fn rule_distance(r1: &Clause, r2: &Clause) -> f64 {
+    let via = VarInstances::of_clause(r1);
+    let vib = VarInstances::of_clause(r2);
+    rule_distance_with(r1, &via, r2, &vib)
+}
+
+/// [`rule_distance`] with caller-supplied variable-instance maps.
+///
+/// Event-description comparison evaluates the rule distance for every
+/// pair of an `M x K` cost matrix; precomputing `vi_r` once per rule
+/// (instead of once per pair) removes the dominant redundant work.
+pub fn rule_distance_with(r1: &Clause, via: &VarInstances, r2: &Clause, vib: &VarInstances) -> f64 {
+    if r1.body.len() < r2.body.len() {
+        return rule_distance_with(r2, vib, r1, via);
+    }
+    let head_d = expr_distance(&r1.head, &r2.head, via, vib);
+    let m = r1.body.len();
+    let k = r2.body.len();
+    let matched = if m == 0 {
+        0.0
+    } else {
+        let cost = cost_matrix(&r1.body, &r2.body, |a, b| expr_distance(a, b, via, vib));
+        assignment(&cost).1
+    };
+    (head_d + (m - k) as f64 + matched) / (m as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::parser::parse_program;
+    use rtec::SymbolTable;
+
+    fn clauses(srcs: &[&str]) -> (Vec<Clause>, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let all = srcs.join("\n");
+        let cs = parse_program(&all, &mut sym).unwrap();
+        (cs, sym)
+    }
+
+    const RULE_1: &str = "initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+        happensAt(entersArea(Vl, AreaID), T), areaType(AreaID, AreaType).";
+
+    /// Rule (6) of the paper: rule (1) with AreaID renamed to Area.
+    const RULE_6: &str = "initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+        happensAt(entersArea(Vl, Area), T), areaType(Area, AreaType).";
+
+    /// Rule (7) of the paper: rule (1) with areaType's arguments reversed.
+    const RULE_7: &str = "initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+        happensAt(entersArea(Vl, AreaID), T), areaType(AreaType, AreaID).";
+
+    /// Example 4.13, part 1: variable renaming gives distance 0.
+    #[test]
+    fn paper_example_4_13_renaming() {
+        let (cs, _) = clauses(&[RULE_1, RULE_6]);
+        assert!(rule_distance(&cs[0], &cs[1]).abs() < 1e-12);
+    }
+
+    /// Example 4.13, part 2: reversed argument order. The paper breaks the
+    /// sum down as (0.015625 + 0 + 0.0625 + 0.5) / 3; we reproduce each
+    /// component exactly. (The paper prints the total as "0.1667", which
+    /// does not match its own components — (0.578125)/3 = 0.1927; the
+    /// printed total is a typo, the component derivation is normative.)
+    #[test]
+    fn paper_example_4_13_reversed_arguments() {
+        let (cs, _) = clauses(&[RULE_1, RULE_7]);
+        let d = rule_distance(&cs[0], &cs[1]);
+        let expected = (0.015625 + 0.0 + 0.0625 + 0.5) / 3.0;
+        assert!((d - expected).abs() < 1e-9, "d={d}, expected {expected}");
+        assert!((d - 0.1927).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_rules_have_zero_distance() {
+        let (cs, _) = clauses(&[RULE_1, RULE_1]);
+        assert_eq!(rule_distance(&cs[0], &cs[1]), 0.0);
+    }
+
+    #[test]
+    fn missing_condition_penalised() {
+        let full = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T), holdsAt(g(V)=true, T).";
+        let short = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).";
+        let (cs, _) = clauses(&[full, short]);
+        let d = rule_distance(&cs[0], &cs[1]);
+        // Removing a condition changes every variable's instance list
+        // (Definition 4.9 collects instances over the whole rule), so the
+        // shared literals also drift apart:
+        //   head  = 1/4 * (1/4 * (1/2) * 2 ... ) — worked out:
+        //   d(V,V)=1 and d(T,T)=1 across the two rules, hence
+        //   head = 1/4 * (1/4*(1/2*1) ... ) = 0.28125,
+        //   happensAt pair = 1/4 * (1/2 + 1) = 0.375, unmatched = 1.
+        let expected = (0.28125 + 1.0 + 0.375) / 3.0;
+        assert!((d - expected).abs() < 1e-9, "d={d} expected={expected}");
+        // Symmetric.
+        assert!((rule_distance(&cs[1], &cs[0]) - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_head_fluent_name() {
+        let a = "initiatedAt(f(V)=true, T) :- happensAt(e(V), T).";
+        let b = "initiatedAt(h(V)=true, T) :- happensAt(e(V), T).";
+        let (cs, _) = clauses(&[a, b]);
+        let d = rule_distance(&cs[0], &cs[1]);
+        // Head: initiatedAt matches; inside the '=' node, f(V) vs h(V) is 1
+        // (different functor); true matches; T matches.
+        // d(head) = 1/4 * (1/4 * 1) = 0.0625.
+        // Body: happensAt(e(V), T) on both sides, but V's instance lists
+        // include the head occurrence (under f vs under h), so d(V,V)=1 and
+        // the body literal costs 1/4 * (1/2 * 1) = 0.125.
+        let head = 0.25 * 0.25;
+        let body = 0.25 * 0.5;
+        let expected = (head + body) / 2.0;
+        assert!((d - expected).abs() < 1e-9, "d={d} expected={expected}");
+    }
+
+    #[test]
+    fn facts_compare_by_head_only() {
+        let (cs, _) = clauses(&["areaType(a1, fishing).", "areaType(a1, natura)."]);
+        let d = rule_distance(&cs[0], &cs[1]);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapped_variable_roles_detected() {
+        // X and Y swap roles between head and body.
+        let a = "initiatedAt(f(X, Y)=true, T) :- happensAt(e(X, Y), T).";
+        let b = "initiatedAt(f(X, Y)=true, T) :- happensAt(e(Y, X), T).";
+        let (cs, _) = clauses(&[a, b]);
+        assert!(rule_distance(&cs[0], &cs[1]) > 0.0);
+    }
+}

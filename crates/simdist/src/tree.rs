@@ -1,0 +1,213 @@
+//! Tree representation of expressions and variable instances
+//! (Definitions 4.7–4.10 of the paper).
+//!
+//! Variables appearing in different rules may denote different concepts
+//! even when they share a name, and vice versa. The metric therefore
+//! identifies a variable by the *positions* at which it occurs in its
+//! rule: each occurrence is a path of `(parent functor, child index)` steps
+//! from the root of an expression to the variable's leaf (Definition 4.9).
+//! Two variables refer to the same concept iff their instance lists are
+//! equal (Definition 4.11, second and third branches).
+//!
+//! # Known limitation (inherited from the paper's definitions)
+//!
+//! Definition 4.9 identifies an occurrence by its path *within* an
+//! expression, and Definition 4.10 collects those paths over all of a
+//! rule's expressions without recording which literal each occurrence
+//! came from. Two variables that occupy mirrored positions in two
+//! same-functor literals (e.g. `p(X, Y), p(Y, X)` vs `p(X, X), p(Y, Y)`)
+//! therefore receive identical instance lists and compare as the same
+//! concept, even though the rules differ semantically. We implement the
+//! definitions as published; a literal-indexed path would be a (documented)
+//! deviation.
+
+use rtec::ast::Clause;
+use rtec::{Symbol, Term};
+use std::collections::HashMap;
+
+/// One step of a path: the functor of the parent node (or `None` for a
+/// Prolog list node) and the 1-based child index, as in the paper's
+/// `t[(p, i)]` notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathStep {
+    /// Parent functor; `None` when the parent is a list.
+    pub functor: Option<Symbol>,
+    /// 1-based index of the child within the parent.
+    pub index: usize,
+}
+
+/// An instance of a variable: the path from an expression root to one of
+/// its occurrences (Definition 4.9).
+pub type Path = Vec<PathStep>;
+
+/// Collects the instances of every variable in `expr` (depth-first,
+/// left-to-right), appending to `out`.
+pub fn variable_instances(expr: &Term, out: &mut HashMap<Symbol, Vec<Path>>) {
+    let mut prefix: Path = Vec::new();
+    walk(expr, &mut prefix, out);
+}
+
+fn walk(t: &Term, prefix: &mut Path, out: &mut HashMap<Symbol, Vec<Path>>) {
+    match t {
+        Term::Var(v) => out.entry(*v).or_default().push(prefix.clone()),
+        Term::Compound(f, args) => {
+            for (i, a) in args.iter().enumerate() {
+                prefix.push(PathStep {
+                    functor: Some(*f),
+                    index: i + 1,
+                });
+                walk(a, prefix, out);
+                prefix.pop();
+            }
+        }
+        Term::List(items) => {
+            for (i, a) in items.iter().enumerate() {
+                prefix.push(PathStep {
+                    functor: None,
+                    index: i + 1,
+                });
+                walk(a, prefix, out);
+                prefix.pop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The instance lists of every variable of a rule (the paper's
+/// `vi_r(V)`): instances collected from the head and then each body
+/// literal, canonically sorted so that lists compare as sets.
+#[derive(Clone, Debug, Default)]
+pub struct VarInstances {
+    map: HashMap<Symbol, Vec<Path>>,
+}
+
+impl VarInstances {
+    /// Computes `vi_r` for a clause.
+    pub fn of_clause(clause: &Clause) -> VarInstances {
+        let mut map = HashMap::new();
+        variable_instances(&clause.head, &mut map);
+        for b in &clause.body {
+            variable_instances(b, &mut map);
+        }
+        for paths in map.values_mut() {
+            paths.sort();
+        }
+        VarInstances { map }
+    }
+
+    /// The (sorted) instance list of `v`, empty if `v` does not occur.
+    pub fn get(&self, v: Symbol) -> &[Path] {
+        self.map.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether variable `v1` of this rule and `v2` of `other` refer to the
+    /// same concept: their instance lists are equal (Definition 4.11).
+    pub fn same_concept(&self, v1: Symbol, other: &VarInstances, v2: Symbol) -> bool {
+        let a = self.get(v1);
+        let b = other.get(v2);
+        !a.is_empty() && a == b
+    }
+
+    /// The number of distinct variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the rule has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::parser::parse_program;
+    use rtec::SymbolTable;
+
+    fn instances_of(src: &str, var: &str) -> (Vec<Path>, SymbolTable) {
+        let mut sym = SymbolTable::new();
+        let clauses = parse_program(src, &mut sym).unwrap();
+        let vi = VarInstances::of_clause(&clauses[0]);
+        let v = sym.get(var).unwrap();
+        (vi.get(v).to_vec(), sym)
+    }
+
+    /// Example 4.10 of the paper: the instances of Vl in rule (1).
+    #[test]
+    fn paper_example_4_10() {
+        let src = "initiatedAt(withinArea(Vl, AreaType)=true, T) :- \
+                   happensAt(entersArea(Vl, AreaId), T), areaType(AreaId, AreaType).";
+        let (paths, sym) = instances_of(src, "Vl");
+        assert_eq!(paths.len(), 2);
+        let step = |f: &str, i: usize| PathStep {
+            functor: Some(sym.get(f).unwrap()),
+            index: i,
+        };
+        // [(initiatedAt,1), (=,1), (withinArea,1)]
+        let head_path = vec![step("initiatedAt", 1), step("=", 1), step("withinArea", 1)];
+        // [(happensAt,1), (entersArea,1)]
+        let body_path = vec![step("happensAt", 1), step("entersArea", 1)];
+        assert!(paths.contains(&head_path));
+        assert!(paths.contains(&body_path));
+
+        let (area_id, _) = instances_of(src, "AreaId");
+        assert_eq!(area_id.len(), 2);
+        let (area_type, _) = instances_of(src, "AreaType");
+        assert_eq!(area_type.len(), 2);
+    }
+
+    #[test]
+    fn renaming_preserves_instances() {
+        let a = "initiatedAt(f(X)=true, T) :- happensAt(e(X), T).";
+        let b = "initiatedAt(f(Y)=true, T) :- happensAt(e(Y), T).";
+        let mut sym = SymbolTable::new();
+        let ca = parse_program(a, &mut sym).unwrap();
+        let cb = parse_program(b, &mut sym).unwrap();
+        let via = VarInstances::of_clause(&ca[0]);
+        let vib = VarInstances::of_clause(&cb[0]);
+        let x = sym.get("X").unwrap();
+        let y = sym.get("Y").unwrap();
+        assert!(via.same_concept(x, &vib, y));
+    }
+
+    #[test]
+    fn different_positions_differ() {
+        let a = "initiatedAt(f(X)=true, T) :- happensAt(e(X, Z), T).";
+        let b = "initiatedAt(f(X)=true, T) :- happensAt(e(Z, X), T).";
+        let mut sym = SymbolTable::new();
+        let ca = parse_program(a, &mut sym).unwrap();
+        let cb = parse_program(b, &mut sym).unwrap();
+        let via = VarInstances::of_clause(&ca[0]);
+        let vib = VarInstances::of_clause(&cb[0]);
+        let x = sym.get("X").unwrap();
+        assert!(!via.same_concept(x, &vib, x));
+    }
+
+    #[test]
+    fn absent_variable_never_matches() {
+        let a = "f(X).";
+        let mut sym = SymbolTable::new();
+        let ca = parse_program(a, &mut sym).unwrap();
+        let via = VarInstances::of_clause(&ca[0]);
+        let ghost = sym.intern("Ghost");
+        assert!(!via.same_concept(ghost, &via, ghost));
+    }
+
+    #[test]
+    fn list_positions_are_tracked() {
+        let mut sym = SymbolTable::new();
+        let clauses = parse_program(
+            "holdsFor(f(V)=true, I) :- union_all([I1, I2], I).",
+            &mut sym,
+        )
+        .unwrap();
+        let vi = VarInstances::of_clause(&clauses[0]);
+        let i1 = sym.get("I1").unwrap();
+        let paths = vi.get(i1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].last().unwrap().functor, None);
+        assert_eq!(paths[0].last().unwrap().index, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: write an RTEC activity definition, feed it a handful of
+//! events, and watch the composite activity being recognised.
+//!
+//! ```text
+//! cargo run -p adgen-core --example quickstart
+//! ```
+
+use rtec::{Engine, EngineConfig, EventDescription};
+
+fn main() {
+    // The paper's running example (rules (1)-(3)): a vessel is within an
+    // area of some type from the moment it enters it until it leaves it
+    // or stops transmitting.
+    let src = r#"
+        initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
+            happensAt(entersArea(Vessel, AreaId), T),
+            areaType(AreaId, AreaType).
+        terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+            happensAt(leavesArea(Vessel, AreaId), T),
+            areaType(AreaId, AreaType).
+        terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+            happensAt(gap_start(Vessel), T).
+
+        areaType(a1, fishing).
+        areaType(a2, anchorage).
+    "#;
+
+    let mut desc = EventDescription::parse(src).expect("valid RTEC");
+    println!("parsed {} clauses", desc.clauses.len());
+
+    // A tiny stream: vessel v1 enters the fishing area at t=10, leaves at
+    // t=60; vessel v2 enters the anchorage at t=20 and goes silent at 50.
+    let events = [
+        ("entersArea(v1, a1)", 10),
+        ("entersArea(v2, a2)", 20),
+        ("gap_start(v2)", 50),
+        ("leavesArea(v1, a1)", 60),
+    ];
+
+    let queries = [
+        ("withinArea(v1, fishing)=true", [15, 55, 70]),
+        ("withinArea(v2, anchorage)=true", [30, 49, 55]),
+    ];
+
+    // Parse query FVPs before compiling so symbols are shared.
+    let parsed_events: Vec<_> = events
+        .iter()
+        .map(|(src, t)| (desc.term(src).unwrap(), *t))
+        .collect();
+    let parsed_queries: Vec<_> = queries
+        .iter()
+        .map(|(src, ts)| (src, desc.fvp(src).unwrap(), ts))
+        .collect();
+
+    let compiled = desc.compile().expect("valid event description");
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    engine.add_events(parsed_events);
+    let output = engine.run_to(100);
+
+    for (src, fvp, ts) in parsed_queries {
+        let intervals = output
+            .intervals(&fvp)
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "[]".to_owned());
+        println!("\nholdsFor({src}) = {intervals}");
+        for t in *ts {
+            println!("  holdsAt(..., {t}) = {}", output.holds_at(&fvp, t));
+        }
+    }
+}

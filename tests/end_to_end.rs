@@ -1,0 +1,96 @@
+//! End-to-end reproduction of the paper's evaluation on a small dataset:
+//! generation (Fig 1 pipeline) -> similarity (Fig 2a) -> correction
+//! (Fig 2b) -> recognition accuracy (Fig 2c), with the qualitative shape
+//! assertions the paper reports.
+
+use adgen_core::figures::{fig2a, fig2b, fig2c};
+use adgen_core::report;
+use maritime::{BrestScenario, Dataset};
+
+#[test]
+fn full_pipeline_reproduces_figure_2() {
+    // --- Figure 2a ---
+    let a = fig2a();
+    assert_eq!(a.series.len(), 6);
+    let mean = |label: &str| {
+        a.series
+            .iter()
+            .find(|s| s.label.starts_with(label))
+            .unwrap_or_else(|| panic!("{label} missing"))
+            .mean
+    };
+    // Paper ordering: the three best are o1, GPT-4o and Llama-3.
+    let mut means: Vec<(String, f64)> =
+        a.series.iter().map(|s| (s.label.clone(), s.mean)).collect();
+    means.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+    let top3: Vec<&str> = means.iter().take(3).map(|(l, _)| l.as_str()).collect();
+    assert!(top3.iter().any(|l| l.starts_with("o1")), "{top3:?}");
+    assert!(top3.iter().any(|l| l.starts_with("GPT-4o")), "{top3:?}");
+    assert!(top3.iter().any(|l| l.starts_with("Llama-3")), "{top3:?}");
+    // Gemma-2 is the weakest.
+    assert!(means.last().unwrap().0.contains("Gemma"));
+    // Sanity of values.
+    for s in &a.series {
+        for score in &s.scores {
+            assert!(
+                (0.0..=1.0).contains(&score.value),
+                "{}:{} = {}",
+                s.label,
+                score.key,
+                score.value
+            );
+        }
+    }
+
+    // --- Figure 2b ---
+    let b = fig2b(&a);
+    assert_eq!(b.series.len(), 3);
+    for (s, o) in b.series.iter().zip(&b.outcomes) {
+        // Correction is "minor": a small increase in average similarity.
+        let model_prefix: String = s
+            .label
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect();
+        let before = mean(&model_prefix);
+        assert!(s.mean >= before - 1e-9);
+        assert!(
+            s.mean - before < 0.15,
+            "correction changed {} too much: {} -> {}",
+            s.label,
+            before,
+            s.mean
+        );
+        // The corrected descriptions parse cleanly.
+        assert!(o.corrected.description().parse_errors.is_empty());
+    }
+
+    // --- Figure 2c ---
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let c = fig2c(&b, &dataset);
+    assert_eq!(c.series.len(), 3);
+    let report_of = |label: &str| {
+        &c.series
+            .iter()
+            .find(|(l, _)| l.starts_with(label))
+            .unwrap()
+            .1
+    };
+    // o1 wins overall; all three recognise the simple-fluent activities
+    // comparably well.
+    let o1 = report_of("o1").mean_f1();
+    assert!(o1 > report_of("GPT-4o").mean_f1());
+    assert!(o1 > report_of("Llama-3").mean_f1());
+    assert!(o1 > 0.85, "o1 mean f1 = {o1}");
+
+    // Rendering works for all three artefacts.
+    let t_a = report::fig2a_table(&a);
+    let t_b = report::fig2b_table(&b);
+    let t_c = report::fig2c_table(&c);
+    for t in [&t_a, &t_b, &t_c] {
+        assert!(t.contains(" aM"));
+        assert!(t.lines().count() >= 4);
+    }
+    let json = report::fig2c_json(&c);
+    assert!(json.contains("\"figure\": \"2c\""));
+}

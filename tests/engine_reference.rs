@@ -1,0 +1,165 @@
+//! Cross-check of the RTEC engine against a brute-force reference
+//! evaluator of Event Calculus semantics.
+//!
+//! A small hierarchical event description (two multi-valued simple
+//! fluents, negation, a statically determined union) is evaluated both by
+//! the engine and by a point-by-point simulation of the law of inertia;
+//! every `holdsAt` answer must agree, for randomly generated event
+//! streams.
+
+use proptest::prelude::*;
+use rtec::{Engine, EngineConfig, EventDescription};
+use std::collections::BTreeMap;
+
+const DESC: &str = "
+    initiatedAt(f(V)=on, T) :- happensAt(a(V), T).
+    terminatedAt(f(V)=on, T) :- happensAt(b(V), T).
+    initiatedAt(f(V)=off, T) :- happensAt(b(V), T), holdsAt(g(V)=true, T).
+    initiatedAt(g(V)=true, T) :- happensAt(c(V), T).
+    terminatedAt(g(V)=true, T) :- happensAt(a(V), T), not happensAt(c(V), T).
+    holdsFor(h(V)=true, I) :-
+        holdsFor(f(V)=on, I1),
+        holdsFor(g(V)=true, I2),
+        union_all([I1, I2], I).
+";
+
+/// Event kinds of the reference world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Ev {
+    A,
+    B,
+    C,
+}
+
+/// Point-by-point reference evaluation: returns, per time-point `t` in
+/// `0..=horizon` and per vessel, the triple
+/// `(f(v) value, g(v) holds, h(v) holds)` *at* `t`.
+fn reference(
+    events: &BTreeMap<(u8, i64), Ev>,
+    vessels: &[u8],
+    horizon: i64,
+) -> BTreeMap<(u8, i64), (Option<&'static str>, bool, bool)> {
+    let mut out = BTreeMap::new();
+    // Current value of f(v) and g(v) — the state *after* processing all
+    // time-points < t equals holdsAt(·, t).
+    let mut f: BTreeMap<u8, Option<&'static str>> = vessels.iter().map(|v| (*v, None)).collect();
+    let mut g: BTreeMap<u8, bool> = vessels.iter().map(|v| (*v, false)).collect();
+
+    for t in 0..=horizon {
+        for &v in vessels {
+            out.insert((v, t), (f[&v], g[&v], f[&v] == Some("on") || g[&v]));
+        }
+        // Process the events at t; effects become visible at t + 1.
+        for &v in vessels {
+            let ev = events.get(&(v, t)).copied();
+            let g_now = g[&v];
+            // Simple fluent g.
+            match ev {
+                Some(Ev::C) => {
+                    g.insert(v, true);
+                }
+                Some(Ev::A) => {
+                    // terminated by a(V) when no c(V) at the same point;
+                    // the generator emits at most one event per (v, t).
+                    g.insert(v, false);
+                }
+                _ => {}
+            }
+            // Simple fluent f (multi-valued: initiating 'off' supersedes
+            // 'on' and vice versa).
+            match ev {
+                Some(Ev::A) => {
+                    f.insert(v, Some("on"));
+                }
+                Some(Ev::B) => {
+                    // Termination of 'on' plus conditional initiation of
+                    // 'off' (requires g at this time-point).
+                    if g_now {
+                        f.insert(v, Some("off"));
+                    } else if f[&v] == Some("on") {
+                        f.insert(v, None);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn engine_answers(
+    events: &BTreeMap<(u8, i64), Ev>,
+    vessels: &[u8],
+    horizon: i64,
+) -> BTreeMap<(u8, i64), (Option<&'static str>, bool, bool)> {
+    let mut desc = EventDescription::parse(DESC).unwrap();
+    let mut terms = Vec::new();
+    for (&(v, t), &kind) in events {
+        let name = match kind {
+            Ev::A => "a",
+            Ev::B => "b",
+            Ev::C => "c",
+        };
+        let ev = desc.term(&format!("{name}(v{v})")).unwrap();
+        terms.push((ev, t));
+    }
+    let mut fvps = BTreeMap::new();
+    for &v in vessels {
+        fvps.insert((v, "on"), desc.fvp(&format!("f(v{v})=on")).unwrap());
+        fvps.insert((v, "off"), desc.fvp(&format!("f(v{v})=off")).unwrap());
+        fvps.insert((v, "g"), desc.fvp(&format!("g(v{v})=true")).unwrap());
+        fvps.insert((v, "h"), desc.fvp(&format!("h(v{v})=true")).unwrap());
+    }
+    let compiled = desc.compile().unwrap();
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    engine.add_events(terms);
+    engine.run_to(horizon);
+    let out = engine.into_output();
+
+    let mut answers = BTreeMap::new();
+    for t in 0..=horizon {
+        for &v in vessels {
+            let on = out.holds_at(&fvps[&(v, "on")], t);
+            let off = out.holds_at(&fvps[&(v, "off")], t);
+            let fval = if on {
+                Some("on")
+            } else if off {
+                Some("off")
+            } else {
+                None
+            };
+            let gv = out.holds_at(&fvps[&(v, "g")], t);
+            let hv = out.holds_at(&fvps[&(v, "h")], t);
+            answers.insert((v, t), (fval, gv, hv));
+        }
+    }
+    answers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_agrees_with_reference(
+        raw in prop::collection::vec((0u8..2, 0i64..60, 0u8..3), 0..60)
+    ) {
+        // At most one event per (vessel, time-point): later entries win.
+        let mut events: BTreeMap<(u8, i64), Ev> = BTreeMap::new();
+        for (v, t, k) in raw {
+            let kind = match k { 0 => Ev::A, 1 => Ev::B, _ => Ev::C };
+            events.insert((v, t), kind);
+        }
+        let vessels = [0u8, 1];
+        let horizon = 62;
+        let expected = reference(&events, &vessels, horizon);
+        let actual = engine_answers(&events, &vessels, horizon);
+        for (key, exp) in &expected {
+            let act = &actual[key];
+            prop_assert_eq!(
+                exp, act,
+                "mismatch at vessel v{} time {}: events {:?}",
+                key.0, key.1, events
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests of the generation pipeline across crates: every
+//! model/scheme combination produces a parsable description, corrections
+//! make the top models runnable, and the whole path is deterministic.
+
+use adgen_core::correction::correct_description;
+use adgen_core::evaluation::{activity_similarities, mean_similarity};
+use llmgen::{generate, MockLlm, Model, PromptScheme};
+use maritime::thresholds::Thresholds;
+use maritime::{BrestScenario, Dataset};
+
+#[test]
+fn all_twelve_generations_parse_and_score() {
+    let gold = maritime::gold_event_description();
+    for model in Model::ALL {
+        for scheme in [PromptScheme::FewShot, PromptScheme::ChainOfThought] {
+            let mut llm = MockLlm::new(model);
+            let g = generate(&mut llm, scheme, &Thresholds::default());
+            assert_eq!(g.per_task.len(), 20, "{model:?}/{scheme:?}");
+            let desc = g.description();
+            assert!(
+                desc.clauses.len() >= 30,
+                "{model:?}/{scheme:?}: only {} clauses",
+                desc.clauses.len()
+            );
+            let scores = activity_similarities(&g, &gold);
+            let mean = mean_similarity(&scores);
+            assert!(
+                (0.0..=1.0).contains(&mean),
+                "{model:?}/{scheme:?}: mean {mean}"
+            );
+        }
+    }
+}
+
+#[test]
+fn best_scheme_always_at_least_as_good() {
+    let gold = maritime::gold_event_description();
+    for model in Model::ALL {
+        let mut means = std::collections::HashMap::new();
+        for scheme in [PromptScheme::FewShot, PromptScheme::ChainOfThought] {
+            let mut llm = MockLlm::new(model);
+            let g = generate(&mut llm, scheme, &Thresholds::default());
+            means.insert(scheme, mean_similarity(&activity_similarities(&g, &gold)));
+        }
+        let best = model.best_scheme();
+        let other = if best == PromptScheme::FewShot {
+            PromptScheme::ChainOfThought
+        } else {
+            PromptScheme::FewShot
+        };
+        assert!(
+            means[&best] >= means[&other],
+            "{model:?}: best scheme {:?} scored {} < {}",
+            best,
+            means[&best],
+            means[&other]
+        );
+    }
+}
+
+#[test]
+fn corrected_descriptions_run_on_the_stream() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    for model in [Model::O1, Model::Gpt4o, Model::Llama3] {
+        let mut llm = MockLlm::new(model);
+        let g = generate(&mut llm, model.best_scheme(), &Thresholds::default());
+        let outcome = correct_description(&g, adgen_core::figures::CORRECTION_ALIASES);
+        let desc = dataset.with_background(&outcome.corrected.full_text());
+        assert!(
+            desc.parse_errors.is_empty(),
+            "{model:?}: {:?}",
+            desc.parse_errors
+        );
+        let compiled = desc.compile().expect("corrected descriptions stratify");
+        let mut engine = rtec::Engine::new(&compiled, rtec::EngineConfig::default());
+        dataset.stream.load_into(&mut engine);
+        let out = engine.run_to(dataset.horizon() + 1);
+        assert!(
+            !out.is_empty(),
+            "{model:?}: corrected description recognised nothing"
+        );
+    }
+}
+
+#[test]
+fn generation_and_correction_are_deterministic() {
+    let run = || {
+        let mut llm = MockLlm::new(Model::Gpt4o);
+        let g = generate(&mut llm, Model::Gpt4o.best_scheme(), &Thresholds::default());
+        let c = correct_description(&g, adgen_core::figures::CORRECTION_ALIASES);
+        (g.full_text(), c.corrected.full_text(), c.changes)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn similarity_reflects_error_severity_across_models() {
+    // The model ranking must be stable: o1 at the top, Gemma-2 at the
+    // bottom, with a real gap between them.
+    let gold = maritime::gold_event_description();
+    let mean_for = |model: Model| {
+        let mut llm = MockLlm::new(model);
+        let g = generate(&mut llm, model.best_scheme(), &Thresholds::default());
+        mean_similarity(&activity_similarities(&g, &gold))
+    };
+    let o1 = mean_for(Model::O1);
+    let gemma = mean_for(Model::Gemma2);
+    let gpt4 = mean_for(Model::Gpt4);
+    assert!(o1 > 0.85, "o1 = {o1}");
+    assert!(gemma < 0.6, "gemma = {gemma}");
+    assert!(o1 - gemma > 0.3, "gap too small: {o1} vs {gemma}");
+    assert!(gpt4 < o1 && gpt4 > gemma, "gpt4 = {gpt4}");
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the similarity metric: bounds, identity and
+//! symmetry at every level (ground expressions, expression sets, rules,
+//! event descriptions), over randomly generated terms and clauses.
+
+use proptest::prelude::*;
+use rtec::parser::{parse_program, parse_term};
+use rtec::SymbolTable;
+use simdist::{description, ground, rule};
+
+/// Random ground-term source text, depth-bounded.
+fn ground_term_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(|i| format!("c{i}")),
+        (0i64..20).prop_map(|i| i.to_string()),
+        (0u8..3).prop_map(|i| format!("{}.5", i)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (0u8..3, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(f, args)| { format!("f{f}({})", args.join(", ")) }),
+            prop::collection::vec(inner, 0..3).prop_map(|items| format!("[{}]", items.join(", "))),
+        ]
+    })
+}
+
+/// Random possibly-non-ground term source (adds variables).
+fn term_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(|i| format!("c{i}")),
+        (0u8..4).prop_map(|i| format!("X{i}")),
+        (0i64..20).prop_map(|i| i.to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u8..3, prop::collection::vec(inner, 1..4))
+            .prop_map(|(f, args)| format!("f{f}({})", args.join(", ")))
+    })
+}
+
+/// Random clause source: a compound head and up to three body literals.
+fn clause_src() -> impl Strategy<Value = String> {
+    (term_src(), prop::collection::vec(term_src(), 0..4)).prop_map(|(h, body)| {
+        if body.is_empty() {
+            // Facts must be ground for compilation, but the metric works
+            // on raw clauses; wrap to guarantee a parsable head.
+            format!("p({h}).")
+        } else {
+            format!(
+                "p({h}) :- {}.",
+                body.iter()
+                    .map(|b| format!("q({b})"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ground_distance_bounds_identity_symmetry(a in ground_term_src(), b in ground_term_src()) {
+        let mut sym = SymbolTable::new();
+        let ta = parse_term(&a, &mut sym).unwrap();
+        let tb = parse_term(&b, &mut sym).unwrap();
+        let dab = ground::ground_distance(&ta, &tb);
+        let dba = ground::ground_distance(&tb, &ta);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert!((dab - dba).abs() < 1e-12, "not symmetric: {a} vs {b}");
+        prop_assert_eq!(ground::ground_distance(&ta, &ta), 0.0);
+        // Zero distance implies syntactic equality up to numeric type.
+        if dab == 0.0 {
+            prop_assert!((ground::set_distance(&[ta], &[tb])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn set_distance_bounds_and_symmetry(
+        xs in prop::collection::vec(ground_term_src(), 0..5),
+        ys in prop::collection::vec(ground_term_src(), 0..5),
+    ) {
+        let mut sym = SymbolTable::new();
+        let ta: Vec<_> = xs.iter().map(|s| parse_term(s, &mut sym).unwrap()).collect();
+        let tb: Vec<_> = ys.iter().map(|s| parse_term(s, &mut sym).unwrap()).collect();
+        let dab = ground::set_distance(&ta, &tb);
+        let dba = ground::set_distance(&tb, &ta);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(ground::set_distance(&ta, &ta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_distance_bounds_identity_symmetry(a in clause_src(), b in clause_src()) {
+        let mut sym = SymbolTable::new();
+        let ca = parse_program(&a, &mut sym).unwrap().remove(0);
+        let cb = parse_program(&b, &mut sym).unwrap().remove(0);
+        let dab = rule::rule_distance(&ca, &cb);
+        let dba = rule::rule_distance(&cb, &ca);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab), "out of range: {dab}");
+        prop_assert!((dab - dba).abs() < 1e-9, "not symmetric: {a} vs {b}");
+        prop_assert!(rule::rule_distance(&ca, &ca).abs() < 1e-12, "identity failed: {a}");
+    }
+
+    #[test]
+    fn description_distance_bounds_identity_symmetry(
+        xs in prop::collection::vec(clause_src(), 0..4),
+        ys in prop::collection::vec(clause_src(), 0..4),
+    ) {
+        let mut sym = SymbolTable::new();
+        let ca: Vec<_> = xs
+            .iter()
+            .flat_map(|s| parse_program(s, &mut sym).unwrap())
+            .collect();
+        let cb: Vec<_> = ys
+            .iter()
+            .flat_map(|s| parse_program(s, &mut sym).unwrap())
+            .collect();
+        let dab = description::description_distance(&ca, &cb);
+        let dba = description::description_distance(&cb, &ca);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(description::description_distance(&ca, &ca).abs() < 1e-12);
+        // Variable renaming never changes the distance.
+        let renamed: Vec<_> = xs
+            .iter()
+            .map(|s| s.replace("X0", "Y9").replace("X1", "Z8"))
+            .flat_map(|s| parse_program(&s, &mut sym).unwrap())
+            .collect();
+        prop_assert!(
+            description::description_distance(&ca, &renamed).abs() < 1e-9,
+            "renaming changed the distance"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Entity-partitioned parallel recognition must agree exactly with the
+//! single-engine run on the full maritime dataset — including the pair
+//! activities (tugging, pilot boarding, rendezvous) whose vessels must be
+//! co-located in a shard by the proximity-based union-find.
+
+use maritime::{BrestScenario, Dataset};
+use rtec::parallel::{recognize_partitioned, FirstArgPartitioner, ParallelConfig};
+use rtec::{Engine, EngineConfig};
+use std::collections::BTreeMap;
+
+fn snapshot(
+    out: &rtec::engine::RecognitionOutput,
+    sym: &rtec::SymbolTable,
+) -> BTreeMap<String, String> {
+    out.iter()
+        .map(|(fvp, list)| (fvp.display(sym), list.to_string()))
+        .collect()
+}
+
+#[test]
+fn partitioned_maritime_recognition_equals_single_engine() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().unwrap();
+    let horizon = dataset.horizon() + 1;
+
+    let mut single = Engine::new(&compiled, EngineConfig::default());
+    dataset.stream.load_into(&mut single);
+    single.run_to(horizon);
+    let single_sym = single.symbols().clone();
+    let reference = snapshot(&single.into_output(), &single_sym);
+    assert!(!reference.is_empty());
+
+    for threads in [2, 4, 8] {
+        let (out, sym) = recognize_partitioned(
+            &compiled,
+            &dataset.stream,
+            horizon,
+            ParallelConfig {
+                threads,
+                engine: EngineConfig::default(),
+            },
+            &FirstArgPartitioner,
+        );
+        let parallel = snapshot(&out, &sym);
+        assert_eq!(
+            reference.len(),
+            parallel.len(),
+            "threads={threads}: FVP counts differ"
+        );
+        for (fvp, intervals) in &reference {
+            assert_eq!(
+                parallel.get(fvp),
+                Some(intervals),
+                "threads={threads}: {fvp} differs"
+            );
+        }
+        // The pair activities survived partitioning.
+        assert!(
+            parallel.keys().any(|k| k.starts_with("tugging(")),
+            "threads={threads}: tugging lost"
+        );
+        assert!(
+            parallel.keys().any(|k| k.starts_with("pilotOps(")),
+            "threads={threads}: pilotOps lost"
+        );
+    }
+}
+
+#[test]
+fn partitioned_windowed_also_agrees() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().unwrap();
+    let horizon = dataset.horizon() + 1;
+
+    let (batch, bsym) = recognize_partitioned(
+        &compiled,
+        &dataset.stream,
+        horizon,
+        ParallelConfig {
+            threads: 4,
+            engine: EngineConfig::default(),
+        },
+        &FirstArgPartitioner,
+    );
+    let (windowed, wsym) = recognize_partitioned(
+        &compiled,
+        &dataset.stream,
+        horizon,
+        ParallelConfig {
+            threads: 4,
+            engine: EngineConfig::windowed(3600),
+        },
+        &FirstArgPartitioner,
+    );
+    assert_eq!(snapshot(&batch, &bsym), snapshot(&windowed, &wsym));
+}

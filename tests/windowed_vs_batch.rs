@@ -1,0 +1,98 @@
+//! The engine's windowed evaluation must be *exact*: for every window
+//! size, the recognition output over the full maritime stream equals the
+//! single-batch run, interval for interval.
+
+use maritime::{BrestScenario, Dataset};
+use rtec::{Engine, EngineConfig};
+use std::collections::HashMap;
+
+fn run(dataset: &Dataset, window: i64) -> HashMap<String, String> {
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().expect("gold compiles");
+    let config = if window == 0 {
+        EngineConfig::default()
+    } else {
+        EngineConfig::windowed(window)
+    };
+    let mut engine = Engine::new(&compiled, config);
+    dataset.stream.load_into(&mut engine);
+    engine.run_to(dataset.horizon() + 1);
+    let symbols = engine.symbols().clone();
+    let out = engine.into_output();
+    out.iter()
+        .map(|(fvp, list)| (fvp.display(&symbols), format!("{list}")))
+        .collect()
+}
+
+#[test]
+fn windowed_recognition_equals_batch_for_all_window_sizes() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let batch = run(&dataset, 0);
+    assert!(!batch.is_empty());
+    for window in [311, 900, 3_600, 7_200, 50_000] {
+        let windowed = run(&dataset, window);
+        assert_eq!(
+            batch.len(),
+            windowed.len(),
+            "window {window}: different FVP counts"
+        );
+        for (fvp, intervals) in &batch {
+            let w = windowed
+                .get(fvp)
+                .unwrap_or_else(|| panic!("window {window}: {fvp} missing"));
+            assert_eq!(w, intervals, "window {window}: {fvp} differs");
+        }
+    }
+}
+
+#[test]
+fn incremental_feeding_matches_one_shot() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().unwrap();
+
+    // One shot.
+    let mut all = Engine::new(&compiled, EngineConfig::default());
+    dataset.stream.load_into(&mut all);
+    all.run_to(dataset.horizon() + 1);
+    let reference = all.into_output();
+
+    // Fed in three chronological chunks with a query after each.
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    let horizon = dataset.horizon() + 1;
+    let cut1 = horizon / 3;
+    let cut2 = 2 * horizon / 3;
+    let mut events: Vec<_> = dataset.stream.events().to_vec();
+    events.sort_by_key(|(_, t)| *t);
+    for (fvp, list) in dataset.stream.intervals() {
+        engine.add_input_intervals_from(fvp, &dataset.stream.symbols, list.clone());
+    }
+    for (ev, t) in &events {
+        if *t <= cut1 {
+            engine.add_event_from(ev, &dataset.stream.symbols, *t);
+        }
+    }
+    engine.run_to(cut1);
+    for (ev, t) in &events {
+        if *t > cut1 && *t <= cut2 {
+            engine.add_event_from(ev, &dataset.stream.symbols, *t);
+        }
+    }
+    engine.run_to(cut2);
+    for (ev, t) in &events {
+        if *t > cut2 {
+            engine.add_event_from(ev, &dataset.stream.symbols, *t);
+        }
+    }
+    engine.run_to(horizon);
+    let incremental = engine.into_output();
+
+    assert_eq!(reference.len(), incremental.len());
+    for (fvp, list) in reference.iter() {
+        assert_eq!(
+            Some(list),
+            incremental.intervals(fvp),
+            "FVP intervals differ between one-shot and incremental runs"
+        );
+    }
+}
