@@ -1,0 +1,96 @@
+//! Streaming-service throughput: the maritime critical-event stream
+//! replayed through an in-process rtec-service session (ingest → tick →
+//! query), at several shard counts, measured in events per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maritime::{BrestScenario, Dataset};
+use rtec_service::{Session, SessionConfig};
+use std::hint::black_box;
+
+struct Workload {
+    gold: String,
+    events: Vec<(i64, String)>,
+    intervals: Vec<rtec_service::client::IntervalDecl>,
+    horizon: i64,
+}
+
+fn workload() -> Workload {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let symbols = &dataset.stream.symbols;
+    let mut events: Vec<(i64, String)> = dataset
+        .stream
+        .events()
+        .iter()
+        .map(|(ev, t)| (*t, ev.display(symbols).to_string()))
+        .collect();
+    events.sort_by_key(|&(t, _)| t);
+    let intervals = dataset
+        .stream
+        .intervals()
+        .iter()
+        .map(|(fvp, list)| {
+            (
+                fvp.fluent.display(symbols).to_string(),
+                fvp.value.display(symbols).to_string(),
+                list.iter().map(|iv| (iv.start, iv.end)).collect(),
+            )
+        })
+        .collect();
+    Workload {
+        gold: format!("{}\n{}", maritime::gold::GOLD_RULES, dataset.background),
+        events,
+        intervals,
+        horizon: dataset.horizon() + 1,
+    }
+}
+
+fn replay(w: &Workload, shards: usize, ticks: i64) -> usize {
+    let mut session = Session::open(
+        "bench",
+        &w.gold,
+        SessionConfig {
+            window: None,
+            shards,
+            queue_capacity: 1024,
+        },
+    )
+    .expect("open");
+    for (fluent, value, pairs) in &w.intervals {
+        session
+            .ingest_intervals(fluent, value, pairs)
+            .expect("intervals");
+    }
+    let step = (w.horizon / ticks).max(1);
+    let mut next_tick = step;
+    for &(t, ref ev) in &w.events {
+        if t >= next_tick {
+            session.tick(next_tick - 1).expect("tick");
+            next_tick += ((t - next_tick) / step + 1) * step;
+        }
+        session.ingest_event(ev, t).expect("event");
+    }
+    session.tick(w.horizon).expect("final tick");
+    let (out, _) = session.query().expect("query");
+    let n = out.len();
+    session.close().expect("close");
+    n
+}
+
+fn bench_service(c: &mut Criterion) {
+    let w = workload();
+    let n_events = w.events.len() as u64;
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_events));
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("replay_maritime", shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(replay(&w, shards, 12))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -191,8 +191,11 @@ impl<'c> Generator<'c> {
         let block = 6 * 3600; // each behaviour block spans ~6 simulated hours
         for rep in 0..self.config.repeats.max(1) {
             let t0 = (rep as i64) * block as i64;
-            for _ in 0..self.config.trawlers {
-                self.trawler(t0, period);
+            for i in 0..self.config.trawlers {
+                // The first trawler of each repeat always has the
+                // mid-trawl AIS gap, so every scenario (including the
+                // small test one) exercises gap_start/gap_end pairs.
+                self.trawler(t0, period, i == 0);
             }
             for i in 0..self.config.transits {
                 self.transit(t0, period, i % 2 == 0);
@@ -245,9 +248,9 @@ impl<'c> Generator<'c> {
     }
 
     /// A fishing vessel sails from port into a fishing ground, trawls in a
-    /// zigzag for a few hours (sometimes with a mid-trawl AIS gap), then
-    /// returns.
-    fn trawler(&mut self, t0: i64, period: i64) {
+    /// zigzag for a few hours (sometimes with a mid-trawl AIS gap, always
+    /// when `force_gap`), then returns.
+    fn trawler(&mut self, t0: i64, period: i64, force_gap: bool) {
         let v = self.vessel(VesselType::Fishing);
         let port = AreaMap::ports()[0];
         let ground = self
@@ -259,7 +262,7 @@ impl<'c> Generator<'c> {
         let mut b = TrajectoryBuilder::new(v, t0 + self.rng.gen_range(0..600), port, period);
         b.sail_to(&mut self.rng, ground, 9.0)
             .zigzag(&mut self.rng, 3 * 3600, 4.0, 90.0, 40.0, 420);
-        if self.rng.gen_bool(0.5) {
+        if force_gap || self.rng.gen_bool(0.5) {
             b.silence(2_400, 4.0)
                 .zigzag(&mut self.rng, 3600, 4.0, 90.0, 40.0, 420);
         }

@@ -68,6 +68,26 @@ pub enum Command {
         /// Second description.
         b: String,
     },
+    /// `serve [--addr A] [--threads N] [--stdio]`
+    Serve {
+        /// Listen address (ignored with `--stdio`).
+        addr: String,
+        /// Handler threads.
+        threads: usize,
+        /// Serve the protocol on stdin/stdout instead of TCP.
+        stdio: bool,
+    },
+    /// `stream <desc> <events> [--addr A] [options]`
+    Stream {
+        /// Path to the event description.
+        desc: String,
+        /// Path to the event file (extended format; see `parse_stream_file`).
+        events: String,
+        /// Server address.
+        addr: String,
+        /// Replay options.
+        opts: rtec_service::StreamOptions,
+    },
     /// `--help` or no arguments.
     Help,
 }
@@ -80,8 +100,16 @@ USAGE:
     rtec check <description.rtec>
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
     rtec similarity <a.rtec> <b.rtec>
+    rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
+    rtec stream <description.rtec> <events.evt> [--addr HOST:PORT]
+                [--session S] [--window W] [--horizon H] [--shards N]
+                [--queue N] [--batch N] [--rate EV_PER_SEC]
+                [--tick-every T] [--no-close]
 
 Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
+`stream` additionally accepts `interval FLUENT=VALUE START END ...` lines
+for input-fluent intervals. `serve`/`stream` speak the NDJSON protocol
+documented in docs/SERVICE.md (default address 127.0.0.1:7878).
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -124,6 +152,79 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 events,
                 window,
                 horizon,
+            })
+        }
+        Some("serve") => {
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut threads = 4usize;
+            let mut stdio = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--stdio" => stdio = true,
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| CliError::new("--addr: missing value", 2))?
+                            .clone();
+                    }
+                    "--threads" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| CliError::new("--threads: missing value", 2))?;
+                        threads = value
+                            .parse()
+                            .map_err(|e| CliError::new(format!("--threads {value}: {e}"), 2))?;
+                    }
+                    other => return Err(CliError::new(format!("unknown flag {other}"), 2)),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                stdio,
+            })
+        }
+        Some("stream") => {
+            let desc = it
+                .next()
+                .ok_or_else(|| CliError::new("stream: missing description path", 2))?
+                .clone();
+            let events = it
+                .next()
+                .ok_or_else(|| CliError::new("stream: missing events path", 2))?
+                .clone();
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut opts = rtec_service::StreamOptions::default();
+            while let Some(flag) = it.next() {
+                if flag == "--no-close" {
+                    opts.close = false;
+                    continue;
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
+                let bad =
+                    |e: &dyn std::fmt::Display| CliError::new(format!("{flag} {value}: {e}"), 2);
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--session" => opts.session = value.clone(),
+                    "--window" => opts.window = Some(value.parse().map_err(|e| bad(&e))?),
+                    "--horizon" => opts.horizon = Some(value.parse().map_err(|e| bad(&e))?),
+                    "--shards" => opts.shards = value.parse().map_err(|e| bad(&e))?,
+                    "--queue" => opts.queue = Some(value.parse().map_err(|e| bad(&e))?),
+                    "--batch" => opts.batch_size = value.parse().map_err(|e| bad(&e))?,
+                    "--rate" => opts.rate = Some(value.parse().map_err(|e| bad(&e))?),
+                    "--tick-every" => {
+                        opts.tick_every = Some(value.parse().map_err(|e| bad(&e))?);
+                    }
+                    other => return Err(CliError::new(format!("unknown flag {other}"), 2)),
+                }
+            }
+            Ok(Command::Stream {
+                desc,
+                events,
+                addr,
+                opts,
             })
         }
         Some("similarity") => {
@@ -250,6 +351,40 @@ pub fn run_source(
     Ok(out)
 }
 
+/// `stream` subcommand: replays an event file against a running server.
+///
+/// Returns `(stdout, stderr)` — stdout is the recognised output in the
+/// exact shape `run` prints (so the two can be diffed byte for byte);
+/// stderr is the streaming summary (ticks, backpressure, tick latency).
+pub fn stream_against(
+    addr: &str,
+    desc_src: &str,
+    events_src: &str,
+    opts: &rtec_service::StreamOptions,
+) -> Result<(String, String), CliError> {
+    let file = rtec_service::parse_stream_file(events_src).map_err(|e| CliError::new(e, 3))?;
+    let mut client = rtec_service::Client::connect(addr).map_err(|e| CliError::new(e, 4))?;
+    let report = rtec_service::stream_file(&mut client, desc_src, &file, opts)
+        .map_err(|e| CliError::new(e, 4))?;
+    let stats = &report.stats;
+    let latency = &stats["tick_latency"];
+    let summary = format!(
+        "session {}: {} event(s), {} interval declaration(s), {} tick(s); \
+         backpressure waits {}; late couplings {}; \
+         tick latency mean {}us max {}us over {} tick(s)",
+        opts.session,
+        report.events,
+        report.intervals,
+        report.ticks,
+        stats["backpressure_waits"].as_i64().unwrap_or(0),
+        stats["late_couplings"].as_i64().unwrap_or(0),
+        latency["mean_us"].as_i64().unwrap_or(0),
+        latency["max_us"].as_i64().unwrap_or(0),
+        latency["count"].as_i64().unwrap_or(0),
+    );
+    Ok((report.render(), summary))
+}
+
 /// `similarity` subcommand over two description sources.
 ///
 /// Following the paper's Definition 4.14, the metric is defined over the
@@ -311,6 +446,70 @@ mod tests {
         assert!(parse_args(&s(&["bogus"])).is_err());
         assert!(parse_args(&s(&["run", "a.rtec"])).is_err());
         assert!(parse_args(&s(&["run", "a", "b", "--window"])).is_err());
+    }
+
+    #[test]
+    fn arg_parsing_service_commands() {
+        assert_eq!(
+            parse_args(&s(&["serve", "--addr", "0.0.0.0:9000", "--threads", "8"])).unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                threads: 8,
+                stdio: false
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["serve", "--stdio"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                stdio: true
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "stream",
+            "a.rtec",
+            "e.evt",
+            "--addr",
+            "127.0.0.1:1234",
+            "--session",
+            "vessels",
+            "--shards",
+            "4",
+            "--window",
+            "3600",
+            "--tick-every",
+            "600",
+            "--batch",
+            "16",
+            "--rate",
+            "1000",
+            "--no-close",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Stream {
+                desc,
+                events,
+                addr,
+                opts,
+            } => {
+                assert_eq!(desc, "a.rtec");
+                assert_eq!(events, "e.evt");
+                assert_eq!(addr, "127.0.0.1:1234");
+                assert_eq!(opts.session, "vessels");
+                assert_eq!(opts.shards, 4);
+                assert_eq!(opts.window, Some(3600));
+                assert_eq!(opts.tick_every, Some(600));
+                assert_eq!(opts.batch_size, 16);
+                assert_eq!(opts.rate, Some(1000.0));
+                assert!(!opts.close);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_args(&s(&["serve", "--threads", "zero"])).is_err());
+        assert!(parse_args(&s(&["stream", "a.rtec"])).is_err());
+        assert!(parse_args(&s(&["stream", "a", "b", "--shards", "x"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,31 @@
 //! The `rtec` command-line tool; see [`rtec_cli`] for the subcommands.
 
-use rtec_cli::{check_source, parse_args, run_source, similarity_sources, Command, USAGE};
+use rtec_cli::{
+    check_source, parse_args, run_source, similarity_sources, stream_against, Command, USAGE,
+};
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Runs the NDJSON service until `shutdown` (TCP or stdio transport).
+fn serve(addr: &str, threads: usize, stdio: bool) -> Result<(), rtec_cli::CliError> {
+    let fail = |message: String| rtec_cli::CliError { message, code: 4 };
+    if stdio {
+        let registry = rtec_service::Registry::new();
+        let stdin = std::io::stdin().lock();
+        let stdout = std::io::stdout().lock();
+        return rtec_service::serve_stdio(&registry, stdin, stdout).map_err(fail);
+    }
+    let server = rtec_service::Server::bind(&rtec_service::ServerConfig {
+        addr: addr.to_string(),
+        threads,
+    })
+    .map_err(fail)?;
+    eprintln!(
+        "rtec-service listening on {}",
+        server.local_addr().map_err(fail)?
+    );
+    server.serve().map_err(fail)
+}
 
 /// Prints to stdout, exiting quietly when the consumer closed the pipe
 /// (e.g. `rtec-cli similarity a b | head`).
@@ -46,6 +69,32 @@ fn main() -> ExitCode {
         Command::Similarity { a, b } => {
             read(&a).and_then(|sa| read(&b).map(|sb| similarity_sources(&sa, &sb)))
         }
+        Command::Serve {
+            addr,
+            threads,
+            stdio,
+        } => {
+            return match serve(&addr, threads, stdio) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{}", e.message);
+                    ExitCode::from(e.code as u8)
+                }
+            };
+        }
+        Command::Stream {
+            desc,
+            events,
+            addr,
+            opts,
+        } => read(&desc).and_then(|d| {
+            read(&events).and_then(|e| {
+                stream_against(&addr, &d, &e, &opts).map(|(out, summary)| {
+                    eprintln!("{summary}");
+                    out
+                })
+            })
+        }),
     };
     match result {
         Ok(out) => {

@@ -1,0 +1,416 @@
+//! Replay client: streams an event file into a running server session
+//! and renders the recognised output in the same shape as a batch
+//! `rtec-cli run`, so the two can be compared byte for byte.
+//!
+//! The event-file format extends `rtec-cli`'s `TIME TERM` lines with
+//! input-interval declarations:
+//!
+//! ```text
+//! % comment
+//! interval proximity(v0, v1)=true 0 200
+//! 10 entersArea(v1, brest_port).
+//! ```
+//!
+//! Interval lines are sent before any events so entity couplings reach
+//! the server ahead of the first tick — the condition under which the
+//! sharded session reproduces the batch partitioning exactly.
+
+use rtec::Timepoint;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// An input-interval declaration: `(fluent_src, value_src, pairs)`.
+pub type IntervalDecl = (String, String, Vec<(Timepoint, Timepoint)>);
+
+/// A parsed stream file.
+#[derive(Clone, Debug, Default)]
+pub struct StreamFile {
+    /// `(t, term_src)` in file order.
+    pub events: Vec<(Timepoint, String)>,
+    /// Input-fluent interval declarations.
+    pub intervals: Vec<IntervalDecl>,
+}
+
+impl StreamFile {
+    /// Largest event time-point (or interval end) in the file.
+    pub fn horizon(&self) -> Timepoint {
+        let ev = self.events.iter().map(|&(t, _)| t).max().unwrap_or(0);
+        let iv = self
+            .intervals
+            .iter()
+            .flat_map(|(_, _, pairs)| pairs.iter().map(|&(_, e)| e))
+            .max()
+            .unwrap_or(0);
+        ev.max(iv)
+    }
+}
+
+/// Parses the extended event-file format.
+pub fn parse_stream_file(text: &str) -> Result<StreamFile, String> {
+    let mut file = StreamFile::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("interval ") {
+            file.intervals.push(
+                parse_interval_line(rest.trim()).map_err(|e| format!("line {}: {e}", i + 1))?,
+            );
+            continue;
+        }
+        let (time_str, term_str) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("line {}: expected 'TIME TERM'", i + 1))?;
+        let t: Timepoint = time_str
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad time '{time_str}': {e}", i + 1))?;
+        file.events
+            .push((t, term_str.trim().trim_end_matches('.').to_string()));
+    }
+    Ok(file)
+}
+
+/// Parses `FLUENT=VALUE S1 E1 [S2 E2 ...]`. The fluent may contain
+/// spaces (`proximity(v0, v1)`); bounds are the trailing numeric tokens.
+fn parse_interval_line(rest: &str) -> Result<IntervalDecl, String> {
+    // Split trailing numeric tokens off the end.
+    let mut tokens: Vec<&str> = rest.split_whitespace().collect();
+    let mut bounds: Vec<Timepoint> = Vec::new();
+    while let Some(last) = tokens.last() {
+        match last.parse::<Timepoint>() {
+            Ok(n) => {
+                bounds.push(n);
+                tokens.pop();
+            }
+            Err(_) => break,
+        }
+    }
+    bounds.reverse();
+    if bounds.is_empty() || !bounds.len().is_multiple_of(2) {
+        return Err("expected 'interval FLUENT=VALUE START END [START END ...]'".into());
+    }
+    let head = tokens.join(" ");
+    let (fluent, value) = head
+        .rsplit_once('=')
+        .ok_or("expected FLUENT=VALUE before the interval bounds")?;
+    let pairs = bounds.chunks(2).map(|c| (c[0], c[1])).collect();
+    Ok((fluent.trim().to_string(), value.trim().to_string(), pairs))
+}
+
+/// A persistent NDJSON connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line, returns the parsed response. Error frames
+    /// become `Err` carrying the server's message.
+    pub fn request(&mut self, line: &str) -> Result<Value, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        let value: Value = serde_json::from_str(response.trim_end())
+            .map_err(|e| format!("malformed response: {e}"))?;
+        if value["ok"] == false {
+            return Err(value["error"]
+                .as_str()
+                .unwrap_or("unknown error")
+                .to_string());
+        }
+        Ok(value)
+    }
+}
+
+/// Replay options for [`stream_file`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamOptions {
+    /// Session name to open.
+    pub session: String,
+    /// Recognition window (`None` = single chunk per tick).
+    pub window: Option<Timepoint>,
+    /// Engine shards for the session.
+    pub shards: usize,
+    /// Per-shard queue capacity.
+    pub queue: Option<usize>,
+    /// Events per `batch` request.
+    pub batch_size: usize,
+    /// Replay pacing in events/second (`None` = as fast as possible).
+    pub rate: Option<f64>,
+    /// Tick every this many time-points (`None` = one final tick).
+    pub tick_every: Option<Timepoint>,
+    /// Final evaluation horizon (`None` = file horizon + 1).
+    pub horizon: Option<Timepoint>,
+    /// Close the session after the final query.
+    pub close: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> StreamOptions {
+        StreamOptions {
+            session: "stream".to_string(),
+            window: None,
+            shards: 2,
+            queue: None,
+            batch_size: 64,
+            rate: None,
+            tick_every: None,
+            horizon: None,
+            close: true,
+        }
+    }
+}
+
+/// Result of a replay.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Events sent.
+    pub events: u64,
+    /// Interval declarations sent.
+    pub intervals: u64,
+    /// Ticks issued (including the final one).
+    pub ticks: u64,
+    /// Sorted `(fvp, intervals)` rows from the final query.
+    pub rows: Vec<(String, String)>,
+    /// Warnings from the final query.
+    pub warnings: Vec<String>,
+    /// The final `stats` frame.
+    pub stats: Value,
+}
+
+impl StreamReport {
+    /// Renders the recognised output exactly like `rtec-cli run` does,
+    /// so batch and streamed runs can be diffed byte for byte.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (fvp, intervals) in &self.rows {
+            let _ = writeln!(out, "holdsFor({fvp}) = {intervals}");
+        }
+        let events = self.stats["events_processed"].as_i64().unwrap_or(0);
+        let windows = self.stats["windows"].as_i64().unwrap_or(0);
+        let _ = write!(
+            out,
+            "\n{} events in {} window(s); {} fluent-value pair(s) recognised",
+            events,
+            windows,
+            self.rows.len()
+        );
+        for w in &self.warnings {
+            let _ = write!(out, "\nwarning: {w}");
+        }
+        out
+    }
+}
+
+fn render(value: Value) -> String {
+    serde_json::to_string(&value).unwrap_or_else(|_| "{}".into())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in fields {
+        map.insert(k.to_string(), v);
+    }
+    Value::Object(map)
+}
+
+/// Opens a session, replays `file`, ticks, queries, and (optionally)
+/// closes. The connection is `client`'s; several replays with distinct
+/// session names may share one server concurrently.
+pub fn stream_file(
+    client: &mut Client,
+    description_src: &str,
+    file: &StreamFile,
+    opts: &StreamOptions,
+) -> Result<StreamReport, String> {
+    let mut open = vec![
+        ("cmd", Value::from("open")),
+        ("session", Value::from(opts.session.as_str())),
+        ("description", Value::from(description_src)),
+        ("shards", Value::from(opts.shards as i64)),
+    ];
+    if let Some(w) = opts.window {
+        open.push(("window", Value::from(w)));
+    }
+    if let Some(q) = opts.queue {
+        open.push(("queue", Value::from(q as i64)));
+    }
+    client.request(&render(obj(open)))?;
+
+    let mut report = StreamReport {
+        events: 0,
+        intervals: 0,
+        ticks: 0,
+        rows: Vec::new(),
+        warnings: Vec::new(),
+        stats: Value::Null,
+    };
+
+    // Intervals first: couplings must precede the first tick.
+    if !file.intervals.is_empty() {
+        let entries: Vec<Value> = file
+            .intervals
+            .iter()
+            .map(|(fluent, value, pairs)| {
+                let pairs: Vec<Value> = pairs
+                    .iter()
+                    .map(|&(s, e)| Value::Array(vec![Value::from(s), Value::from(e)]))
+                    .collect();
+                obj(vec![
+                    ("fluent", Value::from(fluent.as_str())),
+                    ("value", Value::from(value.as_str())),
+                    ("intervals", Value::Array(pairs)),
+                ])
+            })
+            .collect();
+        let line = render(obj(vec![
+            ("cmd", Value::from("batch")),
+            ("session", Value::from(opts.session.as_str())),
+            ("intervals", Value::Array(entries)),
+        ]));
+        client.request(&line)?;
+        report.intervals = file.intervals.len() as u64;
+    }
+
+    let horizon = opts.horizon.unwrap_or_else(|| file.horizon() + 1);
+    let mut next_tick = opts.tick_every.map(|every| every.max(1));
+    let mut batch: Vec<Value> = Vec::with_capacity(opts.batch_size.max(1));
+    let flush = |client: &mut Client, batch: &mut Vec<Value>| {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let line = render(obj(vec![
+            ("cmd", Value::from("batch")),
+            ("session", Value::from(opts.session.as_str())),
+            ("events", Value::Array(std::mem::take(batch))),
+        ]));
+        client.request(&line)?;
+        Ok::<(), String>(())
+    };
+    for &(t, ref term) in &file.events {
+        if let Some(boundary) = next_tick {
+            if t >= boundary {
+                flush(client, &mut batch)?;
+                client.request(&render(obj(vec![
+                    ("cmd", Value::from("tick")),
+                    ("session", Value::from(opts.session.as_str())),
+                    ("to", Value::from(boundary - 1)),
+                ])))?;
+                report.ticks += 1;
+                let every = opts.tick_every.unwrap_or(1).max(1);
+                next_tick = Some(boundary + ((t - boundary) / every + 1) * every);
+            }
+        }
+        batch.push(obj(vec![
+            ("t", Value::from(t)),
+            ("event", Value::from(term.as_str())),
+        ]));
+        report.events += 1;
+        if batch.len() >= opts.batch_size.max(1) {
+            flush(client, &mut batch)?;
+            if let Some(rate) = opts.rate {
+                if rate > 0.0 {
+                    let secs = opts.batch_size as f64 / rate;
+                    std::thread::sleep(Duration::from_secs_f64(secs));
+                }
+            }
+        }
+    }
+    flush(client, &mut batch)?;
+
+    client.request(&render(obj(vec![
+        ("cmd", Value::from("tick")),
+        ("session", Value::from(opts.session.as_str())),
+        ("to", Value::from(horizon)),
+    ])))?;
+    report.ticks += 1;
+
+    let query = client.request(&render(obj(vec![
+        ("cmd", Value::from("query")),
+        ("session", Value::from(opts.session.as_str())),
+    ])))?;
+    if let Some(rows) = query["rows"].as_array() {
+        for row in rows {
+            report.rows.push((
+                row["fvp"].as_str().unwrap_or_default().to_string(),
+                row["intervals"].as_str().unwrap_or_default().to_string(),
+            ));
+        }
+    }
+    if let Some(warnings) = query["warnings"].as_array() {
+        for w in warnings {
+            report
+                .warnings
+                .push(w.as_str().unwrap_or_default().to_string());
+        }
+    }
+
+    report.stats = client.request(&render(obj(vec![
+        ("cmd", Value::from("stats")),
+        ("session", Value::from(opts.session.as_str())),
+    ])))?;
+
+    if opts.close {
+        client.request(&render(obj(vec![
+            ("cmd", Value::from("close")),
+            ("session", Value::from(opts.session.as_str())),
+        ])))?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_extended_event_files() {
+        let file = parse_stream_file(
+            "% comment\n\
+             interval proximity(v0, v1)=true 0 200 350 400\n\
+             10 entersArea(v1, brest_port).\n\
+             25 gap_start(v0)\n",
+        )
+        .unwrap();
+        assert_eq!(file.events.len(), 2);
+        assert_eq!(
+            file.events[0],
+            (10, "entersArea(v1, brest_port)".to_string())
+        );
+        assert_eq!(file.intervals.len(), 1);
+        let (fluent, value, pairs) = &file.intervals[0];
+        assert_eq!(fluent, "proximity(v0, v1)");
+        assert_eq!(value, "true");
+        assert_eq!(pairs, &vec![(0, 200), (350, 400)]);
+        assert_eq!(file.horizon(), 400);
+
+        assert!(parse_stream_file("interval nope 1").is_err());
+        assert!(parse_stream_file("oops").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Power-of-two latency histogram for per-tick (window-evaluation)
+//! wall-clock times.
+
+use serde_json::Value;
+use std::time::Duration;
+
+/// Number of buckets: bucket `i` counts latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`); the last bucket
+/// is open-ended.
+const BUCKETS: usize = 24;
+
+/// A log2-bucketed histogram of microsecond latencies.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total_us: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest observed latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The upper bound (µs) of bucket `i`, as a label.
+    fn label(i: usize) -> String {
+        if i + 1 == BUCKETS {
+            format!(">={}us", 1u64 << (BUCKETS - 2))
+        } else {
+            format!("<{}us", 1u64 << i)
+        }
+    }
+
+    /// JSON shape: `{count, mean_us, max_us, buckets: [[label, n], ...]}`
+    /// with empty buckets omitted.
+    pub fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                Value::Array(vec![
+                    Value::from(Self::label(i)),
+                    Value::from(i64::try_from(n).unwrap_or(i64::MAX)),
+                ])
+            })
+            .collect();
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(
+            "count".to_string(),
+            Value::from(i64::try_from(self.count()).unwrap_or(i64::MAX)),
+        );
+        map.insert(
+            "mean_us".to_string(),
+            Value::from(i64::try_from(self.mean_us()).unwrap_or(i64::MAX)),
+        );
+        map.insert(
+            "max_us".to_string(),
+            Value::from(i64::try_from(self.max_us).unwrap_or(i64::MAX)),
+        );
+        map.insert("buckets".to_string(), Value::Array(buckets));
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_us(), 2000);
+        assert!(h.mean_us() >= 500);
+        let v = h.to_value();
+        assert_eq!(v["count"], 4i64);
+        assert!(!v["buckets"].as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! NDJSON wire protocol: one JSON object per line, both directions.
+//!
+//! Requests carry a `cmd` field naming the command (`open`, `event`,
+//! `batch`, `tick`, `query`, `stats`, `close`, `shutdown`); every
+//! response is either an ok-frame `{"ok": true, ...}` or an error frame
+//! `{"ok": false, "error": "..."}`. The full specification lives in
+//! `docs/SERVICE.md`.
+
+use rtec::Timepoint;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Parses one request line into a JSON object.
+pub fn parse_request(line: &str) -> Result<Value, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+    if value.as_object().is_none() {
+        return Err("malformed request: expected a JSON object".into());
+    }
+    Ok(value)
+}
+
+/// The request's `cmd` field.
+pub fn command(req: &Value) -> Result<&str, String> {
+    str_field(req, "cmd")
+}
+
+/// A required string field.
+pub fn str_field<'v>(req: &'v Value, name: &str) -> Result<&'v str, String> {
+    req.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field \"{name}\""))
+}
+
+/// A required integer field.
+pub fn int_field(req: &Value, name: &str) -> Result<Timepoint, String> {
+    req.get(name)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| format!("missing or non-integer field \"{name}\""))
+}
+
+/// An optional integer field.
+pub fn opt_int_field(req: &Value, name: &str) -> Result<Option<Timepoint>, String> {
+    match req.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| format!("non-integer field \"{name}\"")),
+    }
+}
+
+/// Builder for ok-frames.
+pub struct OkFrame {
+    fields: BTreeMap<String, Value>,
+}
+
+impl OkFrame {
+    /// A bare `{"ok": true}` frame.
+    pub fn new() -> OkFrame {
+        let mut fields = BTreeMap::new();
+        fields.insert("ok".to_string(), Value::Bool(true));
+        OkFrame { fields }
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> OkFrame {
+        self.fields.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Serialises to one NDJSON line (no trailing newline).
+    pub fn render(self) -> String {
+        serde_json::to_string(&Value::Object(self.fields)).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+impl Default for OkFrame {
+    fn default() -> OkFrame {
+        OkFrame::new()
+    }
+}
+
+/// An error frame `{"ok": false, "error": msg}`.
+pub fn error_frame(msg: &str) -> String {
+    let mut fields = BTreeMap::new();
+    fields.insert("ok".to_string(), Value::Bool(false));
+    fields.insert("error".to_string(), Value::from(msg));
+    serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|_| "{}".into())
+}
+
+/// Converts an unsigned counter for a JSON field (saturating).
+pub fn counter(n: impl TryInto<i64>) -> Value {
+    Value::from(n.try_into().unwrap_or(i64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let line = OkFrame::new().field("windows", 3i64).render();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["windows"], 3i64);
+
+        let err = error_frame("no such session \"x\"");
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v["ok"], false);
+        assert_eq!(v["error"], "no such session \"x\"");
+    }
+
+    #[test]
+    fn request_fields() {
+        let req = parse_request(r#"{"cmd":"tick","session":"s","to":500}"#).unwrap();
+        assert_eq!(command(&req).unwrap(), "tick");
+        assert_eq!(str_field(&req, "session").unwrap(), "s");
+        assert_eq!(int_field(&req, "to").unwrap(), 500);
+        assert_eq!(opt_int_field(&req, "window").unwrap(), None);
+        assert!(parse_request("[1, 2]").is_err());
+        assert!(parse_request("{nope").is_err());
+    }
+}

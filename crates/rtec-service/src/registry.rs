@@ -1,0 +1,343 @@
+//! The session registry and command dispatcher.
+//!
+//! A [`Registry`] is shared by every connection (TCP handlers, the stdio
+//! loop, in-process tests); each session sits behind its own mutex so
+//! concurrent sessions never serialise on one another — only concurrent
+//! commands addressing the *same* session do.
+
+use crate::protocol::{
+    command, counter, error_frame, int_field, opt_int_field, parse_request, str_field, OkFrame,
+};
+use crate::session::{Session, SessionConfig};
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared state of a running service.
+#[derive(Default)]
+pub struct Registry {
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Handles one request line; returns the response line. Sets the
+    /// shutdown flag (draining all sessions) on `shutdown`.
+    pub fn dispatch(&self, line: &str) -> String {
+        match self.try_dispatch(line) {
+            Ok(response) => response,
+            Err(msg) => error_frame(&msg),
+        }
+    }
+
+    fn try_dispatch(&self, line: &str) -> Result<String, String> {
+        let req = parse_request(line)?;
+        match command(&req)? {
+            "open" => self.cmd_open(&req),
+            "event" => self.cmd_event(&req),
+            "batch" => self.cmd_batch(&req),
+            "tick" => self.cmd_tick(&req),
+            "query" => self.cmd_query(&req),
+            "stats" => self.cmd_stats(&req),
+            "close" => self.cmd_close(&req),
+            "shutdown" => self.cmd_shutdown(),
+            other => Err(format!("unknown command \"{other}\"")),
+        }
+    }
+
+    fn session(&self, req: &Value) -> Result<Arc<Mutex<Session>>, String> {
+        let name = str_field(req, "session")?;
+        self.sessions
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no such session \"{name}\""))
+    }
+
+    fn cmd_open(&self, req: &Value) -> Result<String, String> {
+        let name = str_field(req, "session")?;
+        let description = str_field(req, "description")?;
+        let mut config = SessionConfig {
+            window: opt_int_field(req, "window")?,
+            ..SessionConfig::default()
+        };
+        if let Some(shards) = opt_int_field(req, "shards")? {
+            config.shards = usize::try_from(shards).map_err(|_| "invalid \"shards\"")?;
+        }
+        if let Some(queue) = opt_int_field(req, "queue")? {
+            let queue = usize::try_from(queue).map_err(|_| "invalid \"queue\"")?;
+            if queue == 0 {
+                return Err("queue must be >= 1".into());
+            }
+            config.queue_capacity = queue;
+        }
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(format!("session \"{name}\" already exists"));
+        }
+        let session = Session::open(name, description, config)?;
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(OkFrame::new()
+            .field("session", name)
+            .field("shards", config.shards as i64)
+            .render())
+    }
+
+    fn cmd_event(&self, req: &Value) -> Result<String, String> {
+        let session = self.session(req)?;
+        let t = int_field(req, "t")?;
+        let event = str_field(req, "event")?;
+        session.lock().ingest_event(event, t)?;
+        Ok(OkFrame::new().render())
+    }
+
+    fn cmd_batch(&self, req: &Value) -> Result<String, String> {
+        let session = self.session(req)?;
+        let mut session = session.lock();
+        let mut n_events = 0i64;
+        let mut n_intervals = 0i64;
+        if let Some(events) = req.get("events") {
+            let events = events
+                .as_array()
+                .ok_or("field \"events\" must be an array")?;
+            for entry in events {
+                let t = int_field(entry, "t")?;
+                let event = str_field(entry, "event")?;
+                session.ingest_event(event, t)?;
+                n_events += 1;
+            }
+        }
+        if let Some(intervals) = req.get("intervals") {
+            let intervals = intervals
+                .as_array()
+                .ok_or("field \"intervals\" must be an array")?;
+            for entry in intervals {
+                let fluent = str_field(entry, "fluent")?;
+                let value = str_field(entry, "value")?;
+                let pairs = parse_interval_pairs(entry.get("intervals"))?;
+                session.ingest_intervals(fluent, value, &pairs)?;
+                n_intervals += 1;
+            }
+        }
+        Ok(OkFrame::new()
+            .field("events", n_events)
+            .field("intervals", n_intervals)
+            .render())
+    }
+
+    fn cmd_tick(&self, req: &Value) -> Result<String, String> {
+        let session = self.session(req)?;
+        let to = int_field(req, "to")?;
+        let stats = session.lock().tick(to)?;
+        Ok(OkFrame::new()
+            .field("processed_to", to)
+            .field("windows", counter(stats.windows))
+            .field("events_processed", counter(stats.events_processed))
+            .field("events_dropped", counter(stats.events_dropped))
+            .render())
+    }
+
+    fn cmd_query(&self, req: &Value) -> Result<String, String> {
+        let session = self.session(req)?;
+        let (out, symbols) = session.lock().query()?;
+        let mut rows: Vec<(String, String)> = out
+            .iter()
+            .map(|(fvp, list)| (fvp.display(&symbols), list.to_string()))
+            .collect();
+        rows.sort();
+        let rows: Vec<Value> = rows
+            .into_iter()
+            .map(|(fvp, intervals)| {
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("fvp".to_string(), Value::from(fvp));
+                map.insert("intervals".to_string(), Value::from(intervals));
+                Value::Object(map)
+            })
+            .collect();
+        let warnings: Vec<Value> = out
+            .warnings
+            .iter()
+            .map(|w| Value::from(w.as_str()))
+            .collect();
+        Ok(OkFrame::new()
+            .field("rows", Value::Array(rows))
+            .field("warnings", Value::Array(warnings))
+            .render())
+    }
+
+    fn cmd_stats(&self, req: &Value) -> Result<String, String> {
+        let session = self.session(req)?;
+        let session = session.lock();
+        let stats = session.stats();
+        Ok(OkFrame::new()
+            .field("events_ingested", counter(stats.events_ingested))
+            .field("intervals_ingested", counter(stats.intervals_ingested))
+            .field("backpressure_waits", counter(stats.backpressure_waits))
+            .field("late_couplings", counter(session.late_couplings()))
+            .field("buffered", session.buffered() as i64)
+            .field("queue_depth", session.queue_depth() as i64)
+            .field("ticks", counter(stats.ticks))
+            .field("processed_to", stats.processed_to)
+            .field("windows", counter(stats.engine.windows))
+            .field("events_processed", counter(stats.engine.events_processed))
+            .field("events_dropped", counter(stats.engine.events_dropped))
+            .field("tick_latency", stats.tick_latency.to_value())
+            .render())
+    }
+
+    fn cmd_close(&self, req: &Value) -> Result<String, String> {
+        let name = str_field(req, "session")?;
+        let session = self
+            .sessions
+            .lock()
+            .remove(name)
+            .ok_or_else(|| format!("no such session \"{name}\""))?;
+        let session = Arc::into_inner(session)
+            .ok_or("session is busy on another connection; retry close")?
+            .into_inner();
+        let stats = session.close()?;
+        Ok(OkFrame::new()
+            .field("session", name)
+            .field("events_ingested", counter(stats.events_ingested))
+            .field("windows", counter(stats.engine.windows))
+            .field("events_processed", counter(stats.engine.events_processed))
+            .render())
+    }
+
+    fn cmd_shutdown(&self) -> Result<String, String> {
+        let sessions: Vec<(String, Arc<Mutex<Session>>)> = self.sessions.lock().drain().collect();
+        let closed = sessions.len() as i64;
+        for (name, session) in sessions {
+            let Some(session) = Arc::into_inner(session) else {
+                return Err(format!("session \"{name}\" is busy; retry shutdown"));
+            };
+            session.into_inner().close()?;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        Ok(OkFrame::new().field("closed_sessions", closed).render())
+    }
+}
+
+/// Parses `[[start, end], ...]` interval pairs.
+fn parse_interval_pairs(value: Option<&Value>) -> Result<Vec<(i64, i64)>, String> {
+    let list = value
+        .and_then(Value::as_array)
+        .ok_or("field \"intervals\" must be an array of [start, end] pairs")?;
+    list.iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("each interval must be a [start, end] pair")?;
+            let start = pair[0].as_i64().ok_or("interval bounds must be integers")?;
+            let end = pair[1].as_i64().ok_or("interval bounds must be integers")?;
+            Ok((start, end))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESC: &str = "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).
+                        terminatedAt(on(X)=true, T) :- happensAt(down(X), T).";
+
+    fn open_line(session: &str) -> String {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("cmd".to_string(), Value::from("open"));
+        map.insert("session".to_string(), Value::from(session));
+        map.insert("description".to_string(), Value::from(DESC));
+        map.insert("shards".to_string(), Value::from(2i64));
+        serde_json::to_string(&Value::Object(map)).unwrap()
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_dispatch() {
+        let reg = Registry::new();
+        let v: Value = serde_json::from_str(&reg.dispatch(&open_line("s1"))).unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+
+        let v: Value = serde_json::from_str(
+            &reg.dispatch(r#"{"cmd":"event","session":"s1","t":5,"event":"up(a)"}"#),
+        )
+        .unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        let v: Value = serde_json::from_str(&reg.dispatch(
+            r#"{"cmd":"batch","session":"s1","events":[{"t":9,"event":"down(a)"},{"t":3,"event":"up(b)"}]}"#,
+        ))
+        .unwrap();
+        assert_eq!(v["events"], 2i64, "{v:?}");
+
+        let v: Value =
+            serde_json::from_str(&reg.dispatch(r#"{"cmd":"tick","session":"s1","to":20}"#))
+                .unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        assert_eq!(v["events_processed"], 3i64);
+
+        let v: Value =
+            serde_json::from_str(&reg.dispatch(r#"{"cmd":"query","session":"s1"}"#)).unwrap();
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows[0]["fvp"], "on(a)=true");
+        assert_eq!(rows[0]["intervals"], "[[6, 10)]");
+        assert_eq!(rows[1]["fvp"], "on(b)=true");
+        assert_eq!(rows[1]["intervals"], "[[4, 21)]");
+
+        let v: Value =
+            serde_json::from_str(&reg.dispatch(r#"{"cmd":"stats","session":"s1"}"#)).unwrap();
+        assert_eq!(v["events_ingested"], 3i64);
+        assert!(v["windows"].as_i64().unwrap() >= 1);
+        assert!(v["tick_latency"]["count"].as_i64().unwrap() >= 1);
+
+        let v: Value =
+            serde_json::from_str(&reg.dispatch(r#"{"cmd":"close","session":"s1"}"#)).unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        assert_eq!(reg.session_count(), 0);
+    }
+
+    #[test]
+    fn errors_are_frames_not_panics() {
+        let reg = Registry::new();
+        for line in [
+            "not json",
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"event","session":"nope","t":1,"event":"up(a)"}"#,
+            r#"{"cmd":"tick","session":"nope","to":5}"#,
+        ] {
+            let v: Value = serde_json::from_str(&reg.dispatch(line)).unwrap();
+            assert_eq!(v["ok"], false, "{line}");
+            assert!(v["error"].as_str().is_some());
+        }
+        // Double open is an error.
+        let _ = reg.dispatch(&open_line("dup"));
+        let v: Value = serde_json::from_str(&reg.dispatch(&open_line("dup"))).unwrap();
+        assert_eq!(v["ok"], false);
+    }
+
+    #[test]
+    fn shutdown_closes_everything() {
+        let reg = Registry::new();
+        let _ = reg.dispatch(&open_line("a"));
+        let _ = reg.dispatch(&open_line("b"));
+        let v: Value = serde_json::from_str(&reg.dispatch(r#"{"cmd":"shutdown"}"#)).unwrap();
+        assert_eq!(v["closed_sessions"], 2i64);
+        assert!(reg.is_shutting_down());
+    }
+}

@@ -1,0 +1,221 @@
+//! Entity-to-shard routing for a streaming session.
+//!
+//! Reproduces the partitioning scheme of
+//! [`rtec::parallel::recognize_partitioned`] incrementally: entities are
+//! grouped into interaction components with a union-find over coupling
+//! inputs (multi-entity events, input-fluent instances such as
+//! `proximity(v1, v2)`), and components are pinned to shards round-robin
+//! in entity-discovery order.
+//!
+//! Pinning is deferred: items whose component is not pinned yet are
+//! buffered, and every buffered component is pinned at the next *flush*
+//! (a tick or a drain). When **all couplings arrive before the first
+//! tick** — the contract of the batch partitioner, and the natural shape
+//! of a stream whose proximity intervals are declared up front — the
+//! resulting assignment is identical to the batch one, so the merged
+//! output is identical to a single-engine run.
+//!
+//! A coupling that arrives *after* the components it joins were pinned
+//! to different shards cannot be honoured without re-sharding; it is
+//! counted in [`Router::late_couplings`] and routed best-effort to the
+//! first entity's shard.
+
+use rtec::interval::IntervalList;
+use rtec::term::GroundFvp;
+use rtec::{Term, Timepoint};
+use std::collections::HashMap;
+
+/// Where an input item should go.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver to one shard.
+    Shard(usize),
+    /// Deliver to every shard (entity-less items; the merge is
+    /// idempotent for them).
+    Broadcast,
+    /// Held back until the next flush pins the item's component.
+    Buffered,
+}
+
+/// A buffered input item (kept in arrival order).
+pub enum PendingItem {
+    /// An event at a time-point.
+    Event(Term, Timepoint),
+    /// An input-fluent interval list.
+    Intervals(GroundFvp, IntervalList),
+}
+
+/// Incremental entity partitioner. Terms handed in must be interned in
+/// the session's master symbol table.
+pub struct Router {
+    n_shards: usize,
+    entity_ids: HashMap<Term, usize>,
+    parent: Vec<usize>,
+    /// Component root -> pinned shard.
+    shard_of_root: HashMap<usize, usize>,
+    /// Number of components pinned so far (round-robin counter).
+    pinned: usize,
+    buffer: Vec<(PendingItem, Option<usize>)>,
+    /// Couplings that arrived after their components were pinned apart.
+    pub late_couplings: u64,
+}
+
+impl Router {
+    /// A router distributing components over `n_shards` shards.
+    pub fn new(n_shards: usize) -> Router {
+        assert!(n_shards >= 1, "at least one shard required");
+        Router {
+            n_shards,
+            entity_ids: HashMap::new(),
+            parent: Vec::new(),
+            shard_of_root: HashMap::new(),
+            pinned: 0,
+            buffer: Vec::new(),
+            late_couplings: 0,
+        }
+    }
+
+    fn id_of(&mut self, entity: &Term) -> usize {
+        if let Some(&id) = self.entity_ids.get(entity) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.entity_ids.insert(entity.clone(), id);
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions two entities' components, propagating an existing pin. A
+    /// union of components pinned to different shards is counted as a
+    /// late coupling (the pins stay as they are).
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let pa = self.shard_of_root.get(&ra).copied();
+        let pb = self.shard_of_root.get(&rb).copied();
+        self.parent[ra] = rb;
+        match (pa, pb) {
+            (Some(sa), Some(sb)) if sa != sb => self.late_couplings += 1,
+            (Some(sa), None) => {
+                self.shard_of_root.insert(rb, sa);
+            }
+            _ => {}
+        }
+    }
+
+    /// Registers an item's entities (interning new ones, unioning
+    /// couplings) and decides its route. `entities` comes from a
+    /// [`rtec::parallel::Partitioner`].
+    pub fn route(&mut self, entities: &[Term]) -> Route {
+        if entities.is_empty() {
+            return Route::Broadcast;
+        }
+        let ids: Vec<usize> = entities.iter().map(|e| self.id_of(e)).collect();
+        for w in ids.windows(2) {
+            self.union(w[0], w[1]);
+        }
+        let root = self.find(ids[0]);
+        match self.shard_of_root.get(&root) {
+            Some(&s) => Route::Shard(s),
+            None => Route::Buffered,
+        }
+    }
+
+    /// Stores an item whose route was [`Route::Buffered`].
+    pub fn buffer(&mut self, item: PendingItem, first_entity: &Term) {
+        let id = self.id_of(first_entity);
+        self.buffer.push((item, Some(id)));
+    }
+
+    /// Number of items waiting for a flush.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Pins every unpinned component (round-robin in entity-discovery
+    /// order, like the batch partitioner) and drains the buffer as
+    /// `(shard, item)` pairs in arrival order.
+    pub fn flush(&mut self) -> Vec<(usize, PendingItem)> {
+        for e in 0..self.parent.len() {
+            let root = self.find(e);
+            if !self.shard_of_root.contains_key(&root) {
+                let shard = self.pinned % self.n_shards;
+                self.shard_of_root.insert(root, shard);
+                self.pinned += 1;
+            }
+        }
+        let buffer = std::mem::take(&mut self.buffer);
+        buffer
+            .into_iter()
+            .map(|(item, ent)| {
+                let shard = match ent {
+                    Some(e) => {
+                        let root = self.find(e);
+                        self.shard_of_root[&root]
+                    }
+                    None => 0,
+                };
+                (shard, item)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::SymbolTable;
+
+    fn atom(sym: &mut SymbolTable, name: &str) -> Term {
+        Term::Atom(sym.intern(name))
+    }
+
+    #[test]
+    fn pre_flush_coupling_keeps_entities_together() {
+        let mut sym = SymbolTable::new();
+        let (a, b, c) = (
+            atom(&mut sym, "a"),
+            atom(&mut sym, "b"),
+            atom(&mut sym, "c"),
+        );
+        let mut r = Router::new(2);
+        assert_eq!(r.route(std::slice::from_ref(&a)), Route::Buffered);
+        assert_eq!(r.route(&[a.clone(), b.clone()]), Route::Buffered);
+        assert_eq!(r.route(std::slice::from_ref(&c)), Route::Buffered);
+        let _ = r.flush();
+        let sa = r.route(std::slice::from_ref(&a));
+        let sb = r.route(std::slice::from_ref(&b));
+        let sc = r.route(std::slice::from_ref(&c));
+        assert_eq!(sa, sb, "coupled entities must share a shard");
+        assert_ne!(sa, sc, "two components round-robin across two shards");
+        assert_eq!(r.late_couplings, 0);
+    }
+
+    #[test]
+    fn post_pin_cross_shard_coupling_is_counted() {
+        let mut sym = SymbolTable::new();
+        let (a, b) = (atom(&mut sym, "a"), atom(&mut sym, "b"));
+        let mut r = Router::new(2);
+        let _ = r.route(std::slice::from_ref(&a));
+        let _ = r.route(std::slice::from_ref(&b));
+        let _ = r.flush(); // pins a and b to different shards
+        let _ = r.route(&[a, b]);
+        assert_eq!(r.late_couplings, 1);
+    }
+
+    #[test]
+    fn entity_less_items_broadcast() {
+        let mut r = Router::new(3);
+        assert_eq!(r.route(&[]), Route::Broadcast);
+    }
+}

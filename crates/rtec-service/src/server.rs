@@ -1,0 +1,257 @@
+//! Transport layer: serves the NDJSON protocol over TCP or stdio.
+//!
+//! The TCP server is a plain `std::net::TcpListener` with a small fixed
+//! pool of handler threads fed by an unbounded crossbeam channel — one
+//! connection is handled by one thread at a time, so up to `threads`
+//! connections are served concurrently and the rest queue. A `shutdown`
+//! command drains every session, flips the registry flag, and a
+//! self-connection pokes the accept loop awake so it can exit.
+
+use crate::registry::Registry;
+use crossbeam::channel::{unbounded, Receiver};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// TCP server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port 0 picks a free port.
+    pub addr: String,
+    /// Handler threads (concurrent connections).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+        }
+    }
+}
+
+/// A bound, not-yet-running TCP server. Binding is split from serving so
+/// callers (tests, the CLI) can learn the actual port before blocking.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listen socket.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(Registry::new()),
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// The shared registry (for in-process inspection in tests).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Accepts and serves connections until a `shutdown` command. Blocks.
+    pub fn serve(self) -> Result<(), String> {
+        let local = self.local_addr()?;
+        let (tx, rx) = unbounded::<TcpStream>();
+        let mut handlers = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let rx: Receiver<TcpStream> = rx.clone();
+            let registry = Arc::clone(&self.registry);
+            handlers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    // A failed connection must not take the worker down.
+                    let _ = handle_connection(stream, &registry, local);
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.registry.is_shutting_down() {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: reads request lines, writes response lines.
+/// Returns when the peer closes or after relaying a `shutdown`.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    local: SocketAddr,
+) -> Result<(), String> {
+    let peer_read = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(peer_read);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = registry.dispatch(trimmed);
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| e.to_string())?;
+        if registry.is_shutting_down() {
+            // Self-connect once so a blocked accept() wakes up and
+            // observes the shutdown flag. Best-effort: if it fails, the
+            // next real connection unblocks the loop instead.
+            let _ = TcpStream::connect(local);
+            return Ok(());
+        }
+    }
+}
+
+/// Sends `shutdown` to a running server at `addr`. Used by the CLI
+/// client and by tests.
+pub fn request_shutdown(addr: &str) -> Result<String, String> {
+    roundtrip(addr, "{\"cmd\":\"shutdown\"}")
+}
+
+/// One-shot request/response against a server at `addr`.
+pub fn roundtrip(addr: &str, request_line: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    writer
+        .write_all(request_line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    if line.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// Serves the protocol over arbitrary reader/writer pairs (used for
+/// stdio mode: `rtec-cli serve --stdio`). Returns after `shutdown` or
+/// end of input.
+pub fn serve_stdio(
+    registry: &Registry,
+    input: impl Read,
+    mut output: impl Write,
+) -> Result<(), String> {
+    let reader = BufReader::new(input);
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = registry.dispatch(trimmed);
+        writeln!(output, "{response}").map_err(|e| e.to_string())?;
+        output.flush().map_err(|e| e.to_string())?;
+        if registry.is_shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    const DESC: &str = "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).
+                        terminatedAt(on(X)=true, T) :- happensAt(down(X), T).";
+
+    #[test]
+    fn stdio_round_trip() {
+        let registry = Registry::new();
+        let open = format!(
+            "{{\"cmd\":\"open\",\"session\":\"s\",\"description\":{}}}",
+            serde_json::to_string(&Value::from(DESC)).unwrap()
+        );
+        let script = format!(
+            "{open}\n{}\n{}\n{}\n{}\n",
+            r#"{"cmd":"event","session":"s","t":5,"event":"up(a)"}"#,
+            r#"{"cmd":"tick","session":"s","to":10}"#,
+            r#"{"cmd":"query","session":"s"}"#,
+            r#"{"cmd":"shutdown"}"#,
+        );
+        let mut out = Vec::new();
+        serve_stdio(&registry, script.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Value> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|v| v["ok"] == true), "{lines:?}");
+        assert_eq!(lines[3]["rows"][0]["fvp"], "on(a)=true");
+        assert_eq!(lines[3]["rows"][0]["intervals"], "[[6, 11)]");
+        assert!(registry.is_shutting_down());
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let open = format!(
+            "{{\"cmd\":\"open\",\"session\":\"s\",\"description\":{}}}",
+            serde_json::to_string(&Value::from(DESC)).unwrap()
+        );
+        let v: Value = serde_json::from_str(&roundtrip(&addr, &open).unwrap()).unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        let v: Value = serde_json::from_str(
+            &roundtrip(
+                &addr,
+                r#"{"cmd":"event","session":"s","t":5,"event":"up(a)"}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        let v: Value = serde_json::from_str(
+            &roundtrip(&addr, r#"{"cmd":"tick","session":"s","to":10}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(v["events_processed"], 1i64);
+
+        let v: Value = serde_json::from_str(&request_shutdown(&addr).unwrap()).unwrap();
+        assert_eq!(v["closed_sessions"], 1i64);
+        handle.join().unwrap().unwrap();
+    }
+}

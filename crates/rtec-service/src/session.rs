@@ -1,0 +1,405 @@
+//! A recognition session: one compiled event description, a master
+//! symbol table, a [`Router`] and a pool of entity-sharded engine
+//! workers.
+//!
+//! The lifecycle mirrors how an RTEC deployment is operated:
+//!
+//! 1. **open** — compile the description, spawn `shards` workers;
+//! 2. **ingest** — events / input intervals are parsed against the
+//!    master table, routed by entity component, and pushed through each
+//!    shard's bounded queue (blocking, counted, when full);
+//! 3. **tick** — pin still-unpinned components, flush the buffer, and
+//!    drive every shard's `run_to(to)`; per-tick wall time feeds the
+//!    latency histogram;
+//! 4. **query** — snapshot every shard and merge with
+//!    [`RecognitionOutput::absorb`];
+//! 5. **close** — drain the workers (all queued items are processed, no
+//!    extra evaluation is forced) and report final stats.
+
+use crate::histogram::LatencyHistogram;
+use crate::router::{PendingItem, Route, Router};
+use crate::worker::{ShardWorker, WorkerMsg};
+use crossbeam::channel::bounded;
+use rtec::description::{CompiledDescription, EventDescription};
+use rtec::engine::{EngineConfig, EngineStats, RecognitionOutput};
+use rtec::interval::IntervalList;
+use rtec::parallel::{FirstArgPartitioner, Partitioner};
+use rtec::term::GroundFvp;
+use rtec::{SymbolTable, Timepoint};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Session parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Recognition window size; `None` evaluates each tick as one chunk
+    /// covering everything since the previous tick.
+    pub window: Option<Timepoint>,
+    /// Number of engine shards (threads).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            window: None,
+            shards: 2,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Counters of a session (monotonic over its lifetime).
+#[derive(Clone, Debug, Default)]
+pub struct SessionStats {
+    /// Events accepted by `ingest_event`.
+    pub events_ingested: u64,
+    /// Input-interval entries accepted.
+    pub intervals_ingested: u64,
+    /// Ingest operations that blocked on a full shard queue.
+    pub backpressure_waits: u64,
+    /// Ticks served.
+    pub ticks: u64,
+    /// Horizon of the last tick (-1 before the first).
+    pub processed_to: Timepoint,
+    /// Tick wall-clock latency distribution.
+    pub tick_latency: LatencyHistogram,
+    /// Merged per-shard engine counters as of the last tick/drain:
+    /// event counts are summed; `windows` is the max across shards
+    /// (every shard evaluates the same window sequence).
+    pub engine: EngineStats,
+}
+
+/// A live recognition session.
+pub struct Session {
+    name: String,
+    desc: Arc<CompiledDescription>,
+    /// Master symbol table: description symbols plus every constant seen
+    /// on the stream, append-only. All routed terms are interned here.
+    master: SymbolTable,
+    workers: Vec<ShardWorker>,
+    router: Router,
+    partitioner: FirstArgPartitioner,
+    stats: SessionStats,
+    config: SessionConfig,
+}
+
+impl Session {
+    /// Compiles `description_src` and spawns the shard workers.
+    pub fn open(
+        name: impl Into<String>,
+        description_src: &str,
+        config: SessionConfig,
+    ) -> Result<Session, String> {
+        let desc =
+            EventDescription::parse(description_src).map_err(|e| format!("description: {e}"))?;
+        let compiled = Arc::new(desc.compile().map_err(|e| format!("description: {e}"))?);
+        let engine_config = match config.window {
+            Some(w) if w > 0 => EngineConfig::windowed(w),
+            Some(w) => return Err(format!("window must be positive, got {w}")),
+            None => EngineConfig::default(),
+        };
+        if config.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        let workers = (0..config.shards)
+            .map(|_| {
+                ShardWorker::spawn(Arc::clone(&compiled), engine_config, config.queue_capacity)
+            })
+            .collect();
+        Ok(Session {
+            name: name.into(),
+            master: compiled.symbols.clone(),
+            desc: compiled,
+            workers,
+            router: Router::new(config.shards),
+            partitioner: FirstArgPartitioner,
+            stats: SessionStats {
+                processed_to: -1,
+                ..SessionStats::default()
+            },
+            config,
+        })
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// The compiled description (for tests and tooling).
+    pub fn description(&self) -> &CompiledDescription {
+        &self.desc
+    }
+
+    /// Parses and ingests one event (`term_src` like
+    /// `entersArea(v1, brest_port)`) at time `t`.
+    pub fn ingest_event(&mut self, term_src: &str, t: Timepoint) -> Result<(), String> {
+        let term = rtec::parser::parse_term(term_src, &mut self.master)
+            .map_err(|e| format!("event: {e}"))?;
+        let entities = self.partitioner.event_entities(&term);
+        match self.router.route(&entities) {
+            Route::Shard(s) => self.send(s, WorkerMsg::Event(term, t))?,
+            Route::Broadcast => {
+                for s in 0..self.workers.len() {
+                    self.send(s, WorkerMsg::Event(term.clone(), t))?;
+                }
+            }
+            Route::Buffered => self
+                .router
+                .buffer(PendingItem::Event(term, t), &entities[0]),
+        }
+        self.stats.events_ingested += 1;
+        Ok(())
+    }
+
+    /// Parses and ingests input-fluent intervals, e.g.
+    /// `proximity(v0, v1)` / `true` over `[(0, 200)]`.
+    pub fn ingest_intervals(
+        &mut self,
+        fluent_src: &str,
+        value_src: &str,
+        pairs: &[(Timepoint, Timepoint)],
+    ) -> Result<(), String> {
+        let fluent = rtec::parser::parse_term(fluent_src, &mut self.master)
+            .map_err(|e| format!("fluent: {e}"))?;
+        let value = rtec::parser::parse_term(value_src, &mut self.master)
+            .map_err(|e| format!("value: {e}"))?;
+        let fvp = GroundFvp::new(fluent, value)
+            .ok_or_else(|| format!("not a ground fluent-value pair: {fluent_src}={value_src}"))?;
+        let list = IntervalList::from_pairs(pairs);
+        let entities = self.partitioner.fvp_entities(&fvp);
+        match self.router.route(&entities) {
+            Route::Shard(s) => self.send(s, WorkerMsg::Intervals(fvp, list))?,
+            Route::Broadcast => {
+                for s in 0..self.workers.len() {
+                    self.send(s, WorkerMsg::Intervals(fvp.clone(), list.clone()))?;
+                }
+            }
+            Route::Buffered => self
+                .router
+                .buffer(PendingItem::Intervals(fvp, list), &entities[0].clone()),
+        }
+        self.stats.intervals_ingested += 1;
+        Ok(())
+    }
+
+    fn send(&mut self, shard: usize, msg: WorkerMsg) -> Result<(), String> {
+        let blocked = self.workers[shard].send(msg)?;
+        if blocked {
+            self.stats.backpressure_waits += 1;
+        }
+        Ok(())
+    }
+
+    /// Pins pending components, flushes the buffer, and evaluates every
+    /// shard up to `to`. Returns the aggregated engine counters.
+    pub fn tick(&mut self, to: Timepoint) -> Result<EngineStats, String> {
+        let started = Instant::now();
+        for (shard, item) in self.router.flush() {
+            let msg = match item {
+                PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),
+                PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp, list),
+            };
+            self.send(shard, msg)?;
+        }
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for shard in 0..self.workers.len() {
+            let (tx, rx) = bounded(1);
+            self.send(shard, WorkerMsg::RunTo(to, tx))?;
+            replies.push(rx);
+        }
+        let mut total = EngineStats::default();
+        for rx in replies {
+            let stats = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+            // Every shard evaluates the same window sequence, so the
+            // logical window count is the max, not the sum.
+            total.windows = total.windows.max(stats.windows);
+            total.events_processed += stats.events_processed;
+            total.events_dropped += stats.events_dropped;
+        }
+        self.stats.engine = total;
+        self.stats.ticks += 1;
+        self.stats.processed_to = self.stats.processed_to.max(to);
+        self.stats.tick_latency.record(started.elapsed());
+        Ok(total)
+    }
+
+    /// Snapshots and merges every shard's output. The returned symbol
+    /// table renders the merged output's terms.
+    pub fn query(&mut self) -> Result<(RecognitionOutput, SymbolTable), String> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for shard in 0..self.workers.len() {
+            let (tx, rx) = bounded(1);
+            self.send(shard, WorkerMsg::Snapshot(tx))?;
+            replies.push(rx);
+        }
+        let mut merged = RecognitionOutput::default();
+        for rx in replies {
+            let (out, _) = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+            merged.absorb(out);
+        }
+        if self.router.late_couplings > 0 {
+            merged.warnings.push(format!(
+                "{} coupling(s) arrived after shard pinning; results for the affected \
+                 entity pairs are best-effort",
+                self.router.late_couplings
+            ));
+        }
+        Ok((merged, self.master.clone()))
+    }
+
+    /// Current counters (ingest-side live; engine-side as of last tick).
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Number of late couplings observed by the router.
+    pub fn late_couplings(&self) -> u64 {
+        self.router.late_couplings
+    }
+
+    /// Items buffered awaiting the next tick.
+    pub fn buffered(&self) -> usize {
+        self.router.buffered()
+    }
+
+    /// Total queued items across shard channels (approximate).
+    pub fn queue_depth(&self) -> usize {
+        self.workers.iter().map(ShardWorker::queue_len).sum()
+    }
+
+    /// Drains every worker and returns final aggregate stats. Buffered
+    /// (never-ticked) items are flushed first so nothing is dropped.
+    pub fn close(mut self) -> Result<SessionStats, String> {
+        for (shard, item) in self.router.flush() {
+            let msg = match item {
+                PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),
+                PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp, list),
+            };
+            let blocked = self.workers[shard].send(msg)?;
+            if blocked {
+                self.stats.backpressure_waits += 1;
+            }
+        }
+        let mut total = EngineStats::default();
+        for worker in self.workers {
+            let stats = worker.drain()?;
+            total.windows = total.windows.max(stats.windows);
+            total.events_processed += stats.events_processed;
+            total.events_dropped += stats.events_dropped;
+        }
+        self.stats.engine = total;
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESC: &str = "
+        initiatedAt(busy(V)=true, T) :- happensAt(start(V), T).
+        terminatedAt(busy(V)=true, T) :- happensAt(stop(V), T).
+        holdsFor(pair(V1, V2)=true, I) :-
+            holdsFor(near(V1, V2)=true, Ip),
+            holdsFor(busy(V1)=true, I1),
+            holdsFor(busy(V2)=true, I2),
+            intersect_all([Ip, I1, I2], I).
+    ";
+
+    fn rendered(out: &RecognitionOutput, sym: &SymbolTable) -> Vec<String> {
+        let mut rows: Vec<String> = out
+            .iter()
+            .map(|(f, l)| format!("{}={}", f.display(sym), l))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn session_matches_batch_engine() {
+        for shards in [1, 2, 4] {
+            let mut s = Session::open(
+                "t",
+                DESC,
+                SessionConfig {
+                    shards,
+                    ..SessionConfig::default()
+                },
+            )
+            .unwrap();
+            s.ingest_intervals("near(v0, v1)", "true", &[(0, 200)])
+                .unwrap();
+            for i in 0..6 {
+                s.ingest_event(&format!("start(v{i})"), 10 + i).unwrap();
+                s.ingest_event(&format!("stop(v{i})"), 100 + i).unwrap();
+            }
+            s.tick(300).unwrap();
+            let (out, sym) = s.query().unwrap();
+
+            // Reference: one batch engine over the same inputs.
+            let desc = EventDescription::parse(DESC).unwrap();
+            let compiled = desc.compile().unwrap();
+            let mut stream = rtec::stream::InputStream::new();
+            let f = rtec::parser::parse_term("near(v0, v1)", &mut stream.symbols).unwrap();
+            let v = rtec::parser::parse_term("true", &mut stream.symbols).unwrap();
+            stream.push_intervals(
+                GroundFvp::new(f, v).unwrap(),
+                IntervalList::from_pairs(&[(0, 200)]),
+            );
+            for i in 0..6 {
+                stream
+                    .push_event_src(&format!("start(v{i})"), 10 + i)
+                    .unwrap();
+                stream
+                    .push_event_src(&format!("stop(v{i})"), 100 + i)
+                    .unwrap();
+            }
+            let mut engine = rtec::Engine::new(&compiled, EngineConfig::default());
+            stream.load_into(&mut engine);
+            engine.run_to(300);
+            let esym = engine.symbols().clone();
+            let eout = engine.into_output();
+
+            assert_eq!(
+                rendered(&out, &sym),
+                rendered(&eout, &esym),
+                "shards={shards}"
+            );
+            assert!(s.stats().engine.windows >= 1);
+            let final_stats = s.close().unwrap();
+            assert_eq!(final_stats.events_ingested, 12);
+        }
+    }
+
+    #[test]
+    fn open_rejects_bad_input() {
+        assert!(Session::open("x", "not valid rtec ):", SessionConfig::default()).is_err());
+        assert!(Session::open(
+            "x",
+            DESC,
+            SessionConfig {
+                shards: 0,
+                ..SessionConfig::default()
+            }
+        )
+        .is_err());
+        assert!(Session::open(
+            "x",
+            DESC,
+            SessionConfig {
+                window: Some(0),
+                ..SessionConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Shard workers: one OS thread per shard, owning one [`Engine`] for the
+//! lifetime of the session.
+//!
+//! Input items flow through a **bounded** crossbeam channel: when a
+//! shard's queue is full the session's ingest path blocks (after
+//! counting the stall — see `SessionStats::backpressure_waits`), which
+//! is the service's backpressure mechanism. Control messages (`RunTo`,
+//! `Snapshot`, `Drain`) travel on the same channel, so a tick naturally
+//! observes every event enqueued before it.
+//!
+//! Event terms are already interned in the session's master symbol
+//! table. Worker engines keep their own (description-seeded) tables for
+//! internal use, but never re-intern input terms — master symbol ids are
+//! append-only and shared, which is what makes per-shard outputs
+//! mergeable and renderable against the master table (the same scheme as
+//! [`rtec::parallel::recognize_partitioned`]).
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use rtec::description::CompiledDescription;
+use rtec::engine::{Engine, EngineConfig, EngineStats, RecognitionOutput};
+use rtec::interval::IntervalList;
+use rtec::term::GroundFvp;
+use rtec::{Term, Timepoint};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Message to a shard worker.
+pub enum WorkerMsg {
+    /// An input event (master-table term) at a time-point.
+    Event(Term, Timepoint),
+    /// Input-fluent intervals (master-table terms).
+    Intervals(GroundFvp, IntervalList),
+    /// Evaluate windows up to the horizon; reply with engine stats.
+    RunTo(Timepoint, Sender<EngineStats>),
+    /// Reply with a copy of the accumulated output and current stats.
+    Snapshot(Sender<(RecognitionOutput, EngineStats)>),
+    /// Process everything queued so far, reply with final stats, stop.
+    Drain(Sender<EngineStats>),
+}
+
+/// Handle to a shard worker thread.
+pub struct ShardWorker {
+    sender: Sender<WorkerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    /// Spawns a worker over `desc` with a queue of `capacity` items.
+    pub fn spawn(
+        desc: Arc<CompiledDescription>,
+        config: EngineConfig,
+        capacity: usize,
+    ) -> ShardWorker {
+        let (sender, receiver) = bounded(capacity.max(1));
+        let handle = std::thread::spawn(move || run_worker(&desc, config, &receiver));
+        ShardWorker {
+            sender,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues a message; returns whether the send had to block on a
+    /// full queue (the backpressure signal the session counts).
+    pub fn send(&self, msg: WorkerMsg) -> Result<bool, String> {
+        match self.sender.try_send(msg) {
+            Ok(()) => Ok(false),
+            Err(TrySendError::Full(msg)) => self
+                .sender
+                .send(msg)
+                .map(|()| true)
+                .map_err(|_| "shard worker exited".to_string()),
+            Err(TrySendError::Disconnected(_)) => Err("shard worker exited".to_string()),
+        }
+    }
+
+    /// Current queue depth (approximate).
+    pub fn queue_len(&self) -> usize {
+        self.sender.len()
+    }
+
+    /// Sends `Drain` and joins the thread, returning its final stats.
+    pub fn drain(mut self) -> Result<EngineStats, String> {
+        let (tx, rx) = bounded(1);
+        self.send(WorkerMsg::Drain(tx))?;
+        let stats = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+        if let Some(handle) = self.handle.take() {
+            handle
+                .join()
+                .map_err(|_| "shard worker panicked".to_string())?;
+        }
+        Ok(stats)
+    }
+}
+
+fn run_worker(desc: &CompiledDescription, config: EngineConfig, receiver: &Receiver<WorkerMsg>) {
+    let mut engine = Engine::new(desc, config);
+    while let Ok(msg) = receiver.recv() {
+        match msg {
+            WorkerMsg::Event(ev, t) => engine.add_event(ev, t),
+            WorkerMsg::Intervals(fvp, list) => engine.add_input_intervals(fvp, list),
+            WorkerMsg::RunTo(horizon, reply) => {
+                engine.run_to(horizon);
+                let _ = reply.send(engine.stats());
+            }
+            WorkerMsg::Snapshot(reply) => {
+                let _ = reply.send((engine.output().clone(), engine.stats()));
+            }
+            WorkerMsg::Drain(reply) => {
+                // Graceful drain: everything enqueued before the Drain
+                // has already been handled (the channel is FIFO); no
+                // further evaluation is forced — unticked events are
+                // reported, not silently evaluated.
+                let _ = reply.send(engine.stats());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtec::description::EventDescription;
+
+    #[test]
+    fn worker_processes_and_drains() {
+        let desc = EventDescription::parse(
+            "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).
+             terminatedAt(on(X)=true, T) :- happensAt(down(X), T).",
+        )
+        .unwrap();
+        let mut master = desc.symbols.clone();
+        let compiled = Arc::new(desc.compile().unwrap());
+        let w = ShardWorker::spawn(Arc::clone(&compiled), EngineConfig::default(), 4);
+
+        let up = rtec::parser::parse_term("up(a)", &mut master).unwrap();
+        let down = rtec::parser::parse_term("down(a)", &mut master).unwrap();
+        w.send(WorkerMsg::Event(up, 5)).unwrap();
+        w.send(WorkerMsg::Event(down, 9)).unwrap();
+        let (tx, rx) = bounded(1);
+        w.send(WorkerMsg::RunTo(20, tx)).unwrap();
+        let stats = rx.recv().unwrap();
+        assert_eq!(stats.events_processed, 2);
+
+        let (tx, rx) = bounded(1);
+        w.send(WorkerMsg::Snapshot(tx)).unwrap();
+        let (out, _) = rx.recv().unwrap();
+        assert_eq!(out.len(), 1);
+        let rendered: Vec<String> = out
+            .iter()
+            .map(|(f, l)| format!("{}={}", f.display(&master), l))
+            .collect();
+        assert_eq!(rendered, vec!["on(a)=true=[[6, 10)]".to_string()]);
+
+        let final_stats = w.drain().unwrap();
+        assert_eq!(final_stats.windows, 1);
+    }
+}

@@ -261,6 +261,15 @@ impl<'a> Engine<'a> {
 
     /// Processes all queued events with time-points `<= horizon`, window by
     /// window, and returns the accumulated output.
+    ///
+    /// **Forget-horizon policy**: the engine forgets everything at or
+    /// before its processed frontier ([`Engine::processed_to`]). An event
+    /// queued with `t <= processed_to()` — i.e. arriving *after* a
+    /// `run_to` call already evaluated past its time-point — cannot be
+    /// incorporated retroactively; it is dropped at the start of the next
+    /// `run_to`, counted in [`EngineStats::events_dropped`], and reported
+    /// via a `"... dropped"` warning on the output. Late events strictly
+    /// *after* the frontier are fine at any insertion order.
     pub fn run_to(&mut self, horizon: Timepoint) -> &RecognitionOutput {
         // Stable sort keeps simultaneous events in arrival order.
         self.pending.sort_by_key(|(_, t)| *t);

@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the generation half of proptest's API — [`Strategy`],
+//! combinators (`prop_map`, `prop_recursive`, tuples, ranges,
+//! `prop::collection::{vec, btree_set}`, `prop_oneof!`) and the
+//! [`proptest!`] test macro — on top of the workspace's `rand` shim.
+//! There is no shrinking: a failing case panics with the generated
+//! inputs in the assertion message (every property test in this
+//! workspace formats its inputs into `prop_assert!` messages already).
+//! Case generation is deterministic: case `i` of every test uses
+//! `StdRng::seed_from_u64(hash(i))`, so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and
+    /// `branch(inner)` wraps the previous level. `depth` bounds the
+    /// recursion; `_desired_size` and `_expected_branch_size` are
+    /// accepted for API compatibility but unused (generation here is
+    /// already depth-bounded).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let rec = branch(current).boxed();
+            let l = leaf.clone();
+            current = BoxedStrategy::new(move |rng| {
+                use rand::Rng as _;
+                if rng.gen_bool(0.4) {
+                    l.sample(rng)
+                } else {
+                    rec.sample(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling closure.
+    pub fn new(f: impl Fn(&mut StdRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy(Arc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Uniform choice between type-erased alternatives (see [`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf(self.0.clone())
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        let idx = rng.gen_range(0usize..self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{BTreeSet, Range, StdRng, Strategy};
+
+        /// A `Vec` with length drawn from `len` and items from `item`.
+        pub fn vec<S: Strategy>(item: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { item, len }
+        }
+
+        /// A `BTreeSet` built from up to `len` drawn items (duplicates
+        /// collapse, matching upstream's size-as-upper-bound behaviour).
+        pub fn btree_set<S: Strategy>(item: S, len: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { item, len }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            item: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                use rand::Rng as _;
+                let n = if self.len.is_empty() {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.start..self.len.end)
+                };
+                (0..n).map(|_| self.item.sample(rng)).collect()
+            }
+        }
+
+        /// See [`btree_set`].
+        #[derive(Clone)]
+        pub struct BTreeSetStrategy<S> {
+            item: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+                use rand::Rng as _;
+                let n = if self.len.is_empty() {
+                    self.len.start
+                } else {
+                    rng.gen_range(self.len.start..self.len.end)
+                };
+                (0..n).map(|_| self.item.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property runs, and the rest of the knobs the
+    /// upstream config exposes (unused here).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Runs `body` for each case with a per-case deterministic RNG.
+/// Called by the [`proptest!`] expansion; not part of the public API.
+#[doc(hidden)]
+pub fn run_cases(config: test_runner::ProptestConfig, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..u64::from(config.cases) {
+        // SplitMix-style spread so consecutive case seeds are unrelated.
+        let seed = (case ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        body(&mut rng);
+    }
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, |prop_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), prop_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message; no
+/// shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies (which may be distinct types).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The conventional `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<i64>> {
+        prop::collection::vec(0i64..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vectors_respect_bounds(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in (0u8..3, 1i64..4).prop_map(|(a, b)| (a, b * 2))) {
+            prop_assert!(p.0 < 3);
+            prop_assert!(p.1 % 2 == 0, "odd: {}", p.1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursive_terminate(s in leafy()) {
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    fn leafy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            (0u8..3).prop_map(|i| format!("c{i}")),
+            (0i64..9).prop_map(|i| i.to_string()),
+        ];
+        leaf.prop_recursive(2, 8, 2, |inner| {
+            (0u8..2, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| format!("f{f}({})", args.join(",")))
+        })
+    }
+}

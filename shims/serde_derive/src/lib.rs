@@ -1,0 +1,364 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! simplified value-tree traits of the workspace's `serde` shim, parsing
+//! the item with the bare `proc_macro` API (no `syn`/`quote`, which are
+//! unavailable offline). Supported shapes — exactly those appearing in
+//! the workspace:
+//!
+//! * structs with named fields  -> JSON objects keyed by field name;
+//! * tuple structs: one field   -> the inner value (newtype convention),
+//!   several fields             -> a JSON array;
+//! * unit structs               -> `null`;
+//! * enums with unit variants   -> the variant name as a string.
+//!
+//! Lifetime generics (e.g. `struct Foo<'a>`) are carried through; type
+//! parameters are rejected with a compile error naming this shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed item: name, generics source text, and shape.
+struct Item {
+    name: String,
+    /// Generic parameter list including angle brackets (e.g. `<'a>`), or
+    /// empty.
+    generics: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-tree shim semantics).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree shim semantics).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    src.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts name, generics and shape from a struct/enum definition.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected struct/enum, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("serde shim: cannot derive for `{kind}` items"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    // Generics: collect `<...>` token text, balancing nested brackets.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let mut parts: Vec<String> = Vec::new();
+            loop {
+                let t = tokens
+                    .get(i)
+                    .ok_or_else(|| "serde shim: unbalanced generics".to_string())?;
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                parts.push(t.to_string());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // Concatenate without spaces so lifetime tokens (`'` + ident)
+            // re-parse as lifetimes rather than a char literal.
+            generics = parts.concat();
+            if generics.contains("where") {
+                return Err("serde shim: where clauses are unsupported".into());
+            }
+            // Reject type parameters: every comma-separated entry must be
+            // a lifetime (the only generic shape the workspace derives).
+            let inner = &generics[1..generics.len() - 1];
+            for param in inner.split(',') {
+                if !param.trim().starts_with('\'') {
+                    return Err(
+                        "serde shim: type parameters on derived items are unsupported".into(),
+                    );
+                }
+            }
+        }
+    }
+
+    // Body.
+    if kind == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("serde shim: expected enum body, got {other:?}")),
+        };
+        let variants = parse_unit_variants(body)?;
+        return Ok(Item {
+            name,
+            generics,
+            shape: Shape::UnitEnum(variants),
+        });
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Item {
+                name,
+                generics,
+                shape: Shape::Named(fields),
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_top_level_fields(g.stream());
+            Ok(Item {
+                name,
+                generics,
+                shape: Shape::Tuple(arity),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+            name,
+            generics,
+            shape: Shape::Unit,
+        }),
+        other => Err(format!("serde shim: unsupported struct body {other:?}")),
+    }
+}
+
+/// Field names of a named-field body: the identifier right before each
+/// top-level single `:` (path separators `::` are skipped as pairs).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut prev: Option<String> = None;
+    let mut depth = 0usize;
+    let mut it = body.into_iter().peekable();
+    while let Some(t) = it.next() {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ':' if depth == 0 => {
+                    let is_path = matches!(
+                        it.peek(),
+                        Some(TokenTree::Punct(next)) if next.as_char() == ':'
+                    );
+                    if is_path {
+                        it.next(); // consume the second ':' of `::`
+                    } else if let Some(name) = prev.take() {
+                        fields.push(name);
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 => {
+                let s = id.to_string();
+                if s != "pub" {
+                    prev = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of comma-separated entries at bracket depth zero.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut any = false;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    count += 1;
+                    any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        any = true;
+    }
+    count + usize::from(any)
+}
+
+/// Variant names of an all-unit enum; data-carrying variants are
+/// rejected.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut expecting_name = true;
+    let mut i_tokens = body.into_iter().peekable();
+    while let Some(t) = i_tokens.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i_tokens.next(); // the attribute group
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Ident(id) if expecting_name => {
+                variants.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Group(_) => {
+                return Err("serde shim: only unit enum variants are supported".into());
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    let Item { name, generics, .. } = item;
+    if generics.is_empty() {
+        format!("impl serde::{trait_name} for {name} ")
+    } else {
+        format!("impl{generics} serde::{trait_name} for {name}{generics} ")
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header("Serialize", item);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = std::collections::BTreeMap::new();\n{inserts}serde::Value::Object(map)"
+            )
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!("{header}{{\n fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header("Deserialize", item);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let gets: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(map.get({f:?}).ok_or_else(|| \
+                         serde::DeError::new(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let map = v.as_object().ok_or_else(|| serde::DeError::expected(\"object\", v))?;\n\
+                 Ok({name} {{\n{gets}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::DeError::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                   return Err(serde::DeError::new(\"wrong tuple-struct arity\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| serde::DeError::expected(\"string\", v))?;\n\
+                 match s {{\n{arms}other => Err(serde::DeError::new(format!(\
+                 \"unknown variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "{header}{{\n fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

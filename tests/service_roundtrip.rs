@@ -1,0 +1,187 @@
+//! The streaming service must be *exact*: replaying the maritime
+//! scenario through an rtec-service session — in-process or over TCP
+//! with concurrent sessions and multiple shards — yields output
+//! byte-identical to one batch engine run over the same stream.
+
+use maritime::{BrestScenario, Dataset};
+use rtec::{Engine, EngineConfig};
+use rtec_service::{
+    stream_file, Client, Server, ServerConfig, Session, SessionConfig, StreamFile, StreamOptions,
+};
+
+/// The gold description in concrete syntax (rules + this dataset's
+/// background knowledge), as a client would send it over the wire.
+fn gold_source(dataset: &Dataset) -> String {
+    format!("{}\n{}", maritime::gold::GOLD_RULES, dataset.background)
+}
+
+/// Reference: one batch engine over the full stream.
+fn batch_rows(dataset: &Dataset, horizon: i64) -> Vec<(String, String)> {
+    let compiled = dataset.gold_description().compile().unwrap();
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    dataset.stream.load_into(&mut engine);
+    engine.run_to(horizon);
+    let symbols = engine.symbols().clone();
+    let out = engine.into_output();
+    let mut rows: Vec<(String, String)> = out
+        .iter()
+        .map(|(fvp, list)| (fvp.display(&symbols), list.to_string()))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The dataset's stream rendered to the client's text format (events
+/// sorted by time; input intervals separate).
+fn stream_file_of(dataset: &Dataset) -> StreamFile {
+    let symbols = &dataset.stream.symbols;
+    let mut file = StreamFile::default();
+    for (fvp, list) in dataset.stream.intervals() {
+        file.intervals.push((
+            fvp.fluent.display(symbols).to_string(),
+            fvp.value.display(symbols).to_string(),
+            list.iter().map(|iv| (iv.start, iv.end)).collect(),
+        ));
+    }
+    let mut events: Vec<_> = dataset.stream.events().to_vec();
+    events.sort_by_key(|&(_, t)| t);
+    for (ev, t) in events {
+        file.events.push((t, ev.display(symbols).to_string()));
+    }
+    file
+}
+
+#[test]
+fn in_process_session_matches_batch_engine() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let horizon = dataset.horizon() + 1;
+    let reference = batch_rows(&dataset, horizon);
+    assert!(!reference.is_empty());
+    let gold = gold_source(&dataset);
+    let file = stream_file_of(&dataset);
+
+    for shards in [1, 2, 4] {
+        let mut session = Session::open(
+            "maritime",
+            &gold,
+            SessionConfig {
+                window: None,
+                shards,
+                queue_capacity: 256,
+            },
+        )
+        .unwrap();
+        for (fluent, value, pairs) in &file.intervals {
+            session.ingest_intervals(fluent, value, pairs).unwrap();
+        }
+        for (t, ev) in &file.events {
+            session.ingest_event(ev, *t).unwrap();
+        }
+        session.tick(horizon).unwrap();
+        let (out, symbols) = session.query().unwrap();
+        let mut rows: Vec<(String, String)> = out
+            .iter()
+            .map(|(fvp, list)| (fvp.display(&symbols), list.to_string()))
+            .collect();
+        rows.sort();
+        assert_eq!(rows, reference, "shards={shards}");
+        // A shard that received no instance of an input fluent may warn
+        // about it ("never holds") — the same artifact
+        // recognize_partitioned has. No events may ever be dropped.
+        assert!(
+            out.warnings.iter().all(|w| !w.contains("dropped")),
+            "shards={shards}: {:?}",
+            out.warnings
+        );
+        assert_eq!(session.late_couplings(), 0, "shards={shards}");
+
+        let stats = session.stats();
+        assert_eq!(stats.events_ingested, file.events.len() as u64);
+        assert!(stats.engine.windows >= 1);
+        assert!(stats.tick_latency.count() >= 1);
+        session.close().unwrap();
+    }
+}
+
+#[test]
+fn tcp_concurrent_sessions_match_batch_engine() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let horizon = dataset.horizon() + 1;
+    let reference = batch_rows(&dataset, horizon);
+    let gold = gold_source(&dataset);
+    let file = stream_file_of(&dataset);
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Two sessions replay concurrently on separate connections, with
+    // different shard counts, windows, and tick cadences.
+    let configs = [
+        (
+            "fleet-a",
+            StreamOptions {
+                session: "fleet-a".to_string(),
+                shards: 2,
+                window: None,
+                tick_every: None,
+                horizon: Some(horizon),
+                batch_size: 128,
+                ..StreamOptions::default()
+            },
+        ),
+        (
+            "fleet-b",
+            StreamOptions {
+                session: "fleet-b".to_string(),
+                shards: 3,
+                window: Some(3_600),
+                tick_every: Some(50_000),
+                horizon: Some(horizon),
+                batch_size: 32,
+                ..StreamOptions::default()
+            },
+        ),
+    ];
+    let mut replays = Vec::new();
+    for (name, opts) in configs {
+        let addr = addr.clone();
+        let gold = gold.clone();
+        let file = file.clone();
+        replays.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr)?;
+            let report = stream_file(&mut client, &gold, &file, &opts)?;
+            Ok::<_, String>((name, report))
+        }));
+    }
+    for replay in replays {
+        let (name, report) = replay.join().unwrap().unwrap();
+        assert_eq!(report.rows, reference, "session {name}");
+        assert!(
+            report.warnings.iter().all(|w| !w.contains("dropped")),
+            "session {name}: {:?}",
+            report.warnings
+        );
+        assert_eq!(report.events, file.events.len() as u64, "session {name}");
+
+        // The stats frame must show real work: evaluated windows and a
+        // populated tick-latency histogram.
+        let stats = &report.stats;
+        assert!(stats["windows"].as_i64().unwrap() >= 1, "session {name}");
+        assert_eq!(stats["late_couplings"].as_i64(), Some(0), "session {name}");
+        let latency = &stats["tick_latency"];
+        assert!(latency["count"].as_i64().unwrap() >= 1, "session {name}");
+        assert!(
+            !latency["buckets"].as_array().unwrap().is_empty(),
+            "session {name}"
+        );
+    }
+
+    let response = rtec_service::request_shutdown(&addr).unwrap();
+    assert!(response.contains("\"ok\": true") || response.contains("\"ok\":true"));
+    server_thread.join().unwrap().unwrap();
+}

@@ -96,3 +96,119 @@ fn incremental_feeding_matches_one_shot() {
         );
     }
 }
+
+/// Interleaving `add_event` and `run_to` at *every window boundary* of a
+/// windowed engine must equal one batch `run()` — the streaming-service
+/// ingestion pattern (events trickle in, ticks follow) in miniature.
+#[test]
+fn per_window_interleaved_feeding_matches_batch() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().unwrap();
+    let horizon = dataset.horizon() + 1;
+
+    let mut batch = Engine::new(&compiled, EngineConfig::default());
+    dataset.stream.load_into(&mut batch);
+    batch.run_to(horizon);
+    let reference = batch.into_output();
+
+    let window = 3_600;
+    let mut engine = Engine::new(&compiled, EngineConfig::windowed(window));
+    for (fvp, list) in dataset.stream.intervals() {
+        engine.add_input_intervals_from(fvp, &dataset.stream.symbols, list.clone());
+    }
+    let mut events: Vec<_> = dataset.stream.events().to_vec();
+    events.sort_by_key(|(_, t)| *t);
+    let mut fed = 0;
+    let mut boundary = window;
+    while boundary < horizon + window {
+        let q = boundary.min(horizon);
+        while fed < events.len() && events[fed].1 <= q {
+            let (ev, t) = &events[fed];
+            engine.add_event_from(ev, &dataset.stream.symbols, *t);
+            fed += 1;
+        }
+        engine.run_to(q);
+        boundary += window;
+    }
+    assert_eq!(fed, events.len(), "all events fed");
+    let interleaved = engine.into_output();
+
+    assert_eq!(reference.len(), interleaved.len());
+    for (fvp, list) in reference.iter() {
+        assert_eq!(
+            Some(list),
+            interleaved.intervals(fvp),
+            "FVP intervals differ between batch and per-window interleaved runs"
+        );
+    }
+}
+
+/// The engine's forget-horizon policy: an event arriving at or before the
+/// processed frontier is dropped (counted and warned about), and the rest
+/// of the stream is unaffected — the output matches a run that never saw
+/// the stale event.
+#[test]
+fn forget_horizon_drops_stale_events_and_keeps_the_rest_exact() {
+    let dataset = Dataset::generate(&BrestScenario::small());
+    let gold = dataset.gold_description();
+    let compiled = gold.compile().unwrap();
+    let horizon = dataset.horizon() + 1;
+    let cut = horizon / 2;
+
+    let mut events: Vec<_> = dataset.stream.events().to_vec();
+    events.sort_by_key(|(_, t)| *t);
+
+    let feed = |engine: &mut Engine, lo: i64, hi: i64| {
+        for (ev, t) in &events {
+            if *t > lo && *t <= hi {
+                engine.add_event_from(ev, &dataset.stream.symbols, *t);
+            }
+        }
+    };
+
+    // Reference: the clean two-phase run.
+    let mut clean = Engine::new(&compiled, EngineConfig::default());
+    for (fvp, list) in dataset.stream.intervals() {
+        clean.add_input_intervals_from(fvp, &dataset.stream.symbols, list.clone());
+    }
+    feed(&mut clean, i64::MIN, cut);
+    clean.run_to(cut);
+    feed(&mut clean, cut, horizon);
+    clean.run_to(horizon);
+    assert_eq!(clean.stats().events_dropped, 0);
+    let reference = clean.into_output();
+
+    // Same run, plus two stale events queued after the frontier passed.
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    for (fvp, list) in dataset.stream.intervals() {
+        engine.add_input_intervals_from(fvp, &dataset.stream.symbols, list.clone());
+    }
+    feed(&mut engine, i64::MIN, cut);
+    engine.run_to(cut);
+    assert_eq!(engine.processed_to(), cut);
+    let (stale_ev, _) = &events[0];
+    engine.add_event_from(stale_ev, &dataset.stream.symbols, cut); // t == frontier
+    engine.add_event_from(stale_ev, &dataset.stream.symbols, 0); // far behind
+    feed(&mut engine, cut, horizon);
+    engine.run_to(horizon);
+    assert_eq!(engine.stats().events_dropped, 2);
+    let output = engine.into_output();
+    assert!(
+        output
+            .warnings
+            .iter()
+            .any(|w| w.contains("2 event(s) at or before the processed frontier were dropped")),
+        "missing forget-horizon warning: {:?}",
+        output.warnings
+    );
+
+    assert_eq!(reference.len(), output.len());
+    for (fvp, list) in reference.iter() {
+        assert_eq!(
+            Some(list),
+            output.intervals(fvp),
+            "stale events must not perturb the rest of the stream"
+        );
+    }
+}
