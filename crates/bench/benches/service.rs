@@ -77,6 +77,9 @@ fn replay(w: &Workload, shards: usize, ticks: i64) -> usize {
 }
 
 fn bench_service(c: &mut Criterion) {
+    // Per-iteration session open/close info events would swamp the
+    // bench output; keep only warnings (forget drops, backpressure).
+    rtec_obs::set_max_level(rtec_obs::Level::Warn);
     let w = workload();
     let n_events = w.events.len() as u64;
     let mut group = c.benchmark_group("service");
@@ -90,6 +93,18 @@ fn bench_service(c: &mut Criterion) {
         );
     }
     group.finish();
+    // The replays above exercised every instrumented hot path; the
+    // exposition they produced must be well-formed Prometheus text.
+    // CI runs this bench as a smoke test, so a malformed exposition
+    // fails the build, not just a scrape in production.
+    let exposition = rtec_obs::global().render_prometheus();
+    rtec_obs::expo::validate(&exposition)
+        .unwrap_or_else(|e| panic!("malformed exposition after replay: {e}"));
+    assert!(
+        exposition.contains("rtec_engine_windows_total")
+            && exposition.contains("rtec_service_ticks_total"),
+        "replay left no engine/service series in the exposition"
+    );
 }
 
 criterion_group!(benches, bench_service);

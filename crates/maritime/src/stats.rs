@@ -2,16 +2,15 @@
 //! reports and sanity checks.
 
 use rtec::stream::InputStream;
-use serde::Serialize;
-use std::collections::BTreeMap;
+use rtec_obs::CountTable;
 
 /// Event-type histogram and time bounds of a critical-event stream.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StreamStats {
     /// Total number of events.
     pub events: usize,
     /// Events per functor name, sorted by name.
-    pub by_kind: BTreeMap<String, usize>,
+    pub by_kind: CountTable,
     /// Number of input-fluent interval entries (e.g. proximity pairs).
     pub input_intervals: usize,
     /// First event time.
@@ -23,16 +22,15 @@ pub struct StreamStats {
 impl StreamStats {
     /// Computes the statistics of a stream.
     pub fn of(stream: &InputStream) -> StreamStats {
-        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut by_kind = CountTable::new();
         let mut first = i64::MAX;
         let mut last = i64::MIN;
         for (ev, t) in stream.events() {
             let name = ev
                 .functor()
                 .and_then(|f| stream.symbols.try_name(f))
-                .unwrap_or("?")
-                .to_owned();
-            *by_kind.entry(name).or_default() += 1;
+                .unwrap_or("?");
+            by_kind.increment(name);
             first = first.min(*t);
             last = last.max(*t);
         }
@@ -55,15 +53,13 @@ impl StreamStats {
             "{} events over [{}, {}] s, {} input-fluent entries\n",
             self.events, self.first, self.last, self.input_intervals
         );
-        for (kind, n) in &self.by_kind {
-            out.push_str(&format!("  {kind:<24} {n}\n"));
-        }
+        out.push_str(&self.by_kind.render(24));
         out
     }
 
     /// The count for one event kind (0 if absent).
     pub fn count(&self, kind: &str) -> usize {
-        self.by_kind.get(kind).copied().unwrap_or(0)
+        self.by_kind.count(kind) as usize
     }
 }
 

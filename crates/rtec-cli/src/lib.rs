@@ -68,7 +68,7 @@ pub enum Command {
         /// Second description.
         b: String,
     },
-    /// `serve [--addr A] [--threads N] [--stdio]`
+    /// `serve [--addr A] [--threads N] [--metrics-addr M] [--stdio]`
     Serve {
         /// Listen address (ignored with `--stdio`).
         addr: String,
@@ -76,6 +76,8 @@ pub enum Command {
         threads: usize,
         /// Serve the protocol on stdin/stdout instead of TCP.
         stdio: bool,
+        /// Optional Prometheus HTTP scrape address.
+        metrics_addr: Option<String>,
     },
     /// `stream <desc> <events> [--addr A] [options]`
     Stream {
@@ -101,6 +103,7 @@ USAGE:
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
+               [--metrics-addr HOST:PORT]
     rtec stream <description.rtec> <events.evt> [--addr HOST:PORT]
                 [--session S] [--window W] [--horizon H] [--shards N]
                 [--queue N] [--batch N] [--rate EV_PER_SEC]
@@ -109,7 +112,10 @@ USAGE:
 Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
 `stream` additionally accepts `interval FLUENT=VALUE START END ...` lines
 for input-fluent intervals. `serve`/`stream` speak the NDJSON protocol
-documented in docs/SERVICE.md (default address 127.0.0.1:7878).
+documented in docs/SERVICE.md (default address 127.0.0.1:7878);
+`--metrics-addr` adds an HTTP Prometheus endpoint (docs/OBSERVABILITY.md).
+Diagnostics are JSON-line events on stderr, filtered by RTEC_LOG
+(error|warn|info|debug; default info).
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -158,6 +164,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut addr = "127.0.0.1:7878".to_string();
             let mut threads = 4usize;
             let mut stdio = false;
+            let mut metrics_addr = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--stdio" => stdio = true,
@@ -166,6 +173,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .next()
                             .ok_or_else(|| CliError::new("--addr: missing value", 2))?
                             .clone();
+                    }
+                    "--metrics-addr" => {
+                        metrics_addr = Some(
+                            it.next()
+                                .ok_or_else(|| CliError::new("--metrics-addr: missing value", 2))?
+                                .clone(),
+                        );
                     }
                     "--threads" => {
                         let value = it
@@ -182,6 +196,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 addr,
                 threads,
                 stdio,
+                metrics_addr,
             })
         }
         Some("stream") => {
@@ -332,6 +347,16 @@ pub fn run_source(
     let stats = engine.stats();
     let output = engine.into_output();
 
+    rtec_obs::info(
+        "run.summary",
+        &[
+            ("events", stats.events_processed.into()),
+            ("windows", stats.windows.into()),
+            ("events_dropped", stats.events_dropped.into()),
+            ("fvps", output.len().into()),
+            ("warnings", output.warnings.len().into()),
+        ],
+    );
     let mut rows: Vec<String> = output
         .iter()
         .map(|(fvp, list)| format!("holdsFor({}) = {}", fvp.display(&symbols), list))
@@ -353,36 +378,52 @@ pub fn run_source(
 
 /// `stream` subcommand: replays an event file against a running server.
 ///
-/// Returns `(stdout, stderr)` — stdout is the recognised output in the
-/// exact shape `run` prints (so the two can be diffed byte for byte);
-/// stderr is the streaming summary (ticks, backpressure, tick latency).
+/// Returns the recognised output in the exact shape `run` prints (so the
+/// two can be diffed byte for byte); the streaming summary (ticks,
+/// backpressure, tick latency) is emitted as a `stream.summary` event on
+/// the diagnostic stream.
 pub fn stream_against(
     addr: &str,
     desc_src: &str,
     events_src: &str,
     opts: &rtec_service::StreamOptions,
-) -> Result<(String, String), CliError> {
+) -> Result<String, CliError> {
     let file = rtec_service::parse_stream_file(events_src).map_err(|e| CliError::new(e, 3))?;
     let mut client = rtec_service::Client::connect(addr).map_err(|e| CliError::new(e, 4))?;
     let report = rtec_service::stream_file(&mut client, desc_src, &file, opts)
         .map_err(|e| CliError::new(e, 4))?;
     let stats = &report.stats;
     let latency = &stats["tick_latency"];
-    let summary = format!(
-        "session {}: {} event(s), {} interval declaration(s), {} tick(s); \
-         backpressure waits {}; late couplings {}; \
-         tick latency mean {}us max {}us over {} tick(s)",
-        opts.session,
-        report.events,
-        report.intervals,
-        report.ticks,
-        stats["backpressure_waits"].as_i64().unwrap_or(0),
-        stats["late_couplings"].as_i64().unwrap_or(0),
-        latency["mean_us"].as_i64().unwrap_or(0),
-        latency["max_us"].as_i64().unwrap_or(0),
-        latency["count"].as_i64().unwrap_or(0),
+    rtec_obs::info(
+        "stream.summary",
+        &[
+            ("session", opts.session.as_str().into()),
+            ("events", report.events.into()),
+            ("intervals", report.intervals.into()),
+            ("ticks", report.ticks.into()),
+            (
+                "backpressure_waits",
+                stats["backpressure_waits"].as_i64().unwrap_or(0).into(),
+            ),
+            (
+                "late_couplings",
+                stats["late_couplings"].as_i64().unwrap_or(0).into(),
+            ),
+            (
+                "tick_latency_mean_us",
+                latency["mean_us"].as_i64().unwrap_or(0).into(),
+            ),
+            (
+                "tick_latency_max_us",
+                latency["max_us"].as_i64().unwrap_or(0).into(),
+            ),
+            (
+                "tick_latency_count",
+                latency["count"].as_i64().unwrap_or(0).into(),
+            ),
+        ],
     );
-    Ok((report.render(), summary))
+    Ok(report.render())
 }
 
 /// `similarity` subcommand over two description sources.
@@ -455,7 +496,8 @@ mod tests {
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
                 threads: 8,
-                stdio: false
+                stdio: false,
+                metrics_addr: None
             }
         );
         assert_eq!(
@@ -463,7 +505,17 @@ mod tests {
             Command::Serve {
                 addr: "127.0.0.1:7878".into(),
                 threads: 4,
-                stdio: true
+                stdio: true,
+                metrics_addr: None
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["serve", "--metrics-addr", "127.0.0.1:9100"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                stdio: false,
+                metrics_addr: Some("127.0.0.1:9100".into())
             }
         );
         let cmd = parse_args(&s(&[

@@ -1,4 +1,9 @@
 //! The `rtec` command-line tool; see [`rtec_cli`] for the subcommands.
+//!
+//! Diagnostics (parse errors, streaming summaries, service lifecycle)
+//! are emitted as JSON-line events on stderr via [`rtec_obs`], filtered
+//! by the `RTEC_LOG` environment variable; recognised output goes to
+//! stdout.
 
 use rtec_cli::{
     check_source, parse_args, run_source, similarity_sources, stream_against, Command, USAGE,
@@ -7,7 +12,12 @@ use std::io::Write;
 use std::process::ExitCode;
 
 /// Runs the NDJSON service until `shutdown` (TCP or stdio transport).
-fn serve(addr: &str, threads: usize, stdio: bool) -> Result<(), rtec_cli::CliError> {
+fn serve(
+    addr: &str,
+    threads: usize,
+    stdio: bool,
+    metrics_addr: Option<&str>,
+) -> Result<(), rtec_cli::CliError> {
     let fail = |message: String| rtec_cli::CliError { message, code: 4 };
     if stdio {
         let registry = rtec_service::Registry::new();
@@ -18,12 +28,9 @@ fn serve(addr: &str, threads: usize, stdio: bool) -> Result<(), rtec_cli::CliErr
     let server = rtec_service::Server::bind(&rtec_service::ServerConfig {
         addr: addr.to_string(),
         threads,
+        metrics_addr: metrics_addr.map(str::to_string),
     })
     .map_err(fail)?;
-    eprintln!(
-        "rtec-service listening on {}",
-        server.local_addr().map_err(fail)?
-    );
     server.serve().map_err(fail)
 }
 
@@ -34,6 +41,18 @@ fn emit(text: &str) {
     if writeln!(out, "{text}").is_err() {
         std::process::exit(0);
     }
+}
+
+/// Emits a `cli.error` event and returns the process exit code.
+fn report_error(e: &rtec_cli::CliError) -> ExitCode {
+    rtec_obs::error(
+        "cli.error",
+        &[
+            ("message", e.message.as_str().into()),
+            ("code", i64::from(e.code).into()),
+        ],
+    );
+    ExitCode::from(e.code as u8)
 }
 
 fn read(path: &str) -> Result<String, rtec_cli::CliError> {
@@ -48,8 +67,13 @@ fn main() -> ExitCode {
     let command = match parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("{}", e.message);
-            eprintln!("{USAGE}");
+            rtec_obs::error(
+                "cli.usage",
+                &[
+                    ("message", e.message.as_str().into()),
+                    ("hint", "run 'rtec-cli help' for usage".into()),
+                ],
+            );
             return ExitCode::from(e.code as u8);
         }
     };
@@ -73,13 +97,11 @@ fn main() -> ExitCode {
             addr,
             threads,
             stdio,
+            metrics_addr,
         } => {
-            return match serve(&addr, threads, stdio) {
+            return match serve(&addr, threads, stdio, metrics_addr.as_deref()) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("{}", e.message);
-                    ExitCode::from(e.code as u8)
-                }
+                Err(e) => report_error(&e),
             };
         }
         Command::Stream {
@@ -87,23 +109,14 @@ fn main() -> ExitCode {
             events,
             addr,
             opts,
-        } => read(&desc).and_then(|d| {
-            read(&events).and_then(|e| {
-                stream_against(&addr, &d, &e, &opts).map(|(out, summary)| {
-                    eprintln!("{summary}");
-                    out
-                })
-            })
-        }),
+        } => read(&desc)
+            .and_then(|d| read(&events).and_then(|e| stream_against(&addr, &d, &e, &opts))),
     };
     match result {
         Ok(out) => {
             emit(&out);
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("{}", e.message);
-            ExitCode::from(e.code as u8)
-        }
+        Err(e) => report_error(&e),
     }
 }

@@ -1,0 +1,323 @@
+//! Leveled structured events: JSON lines to a pluggable sink plus an
+//! in-memory ring buffer.
+//!
+//! Every event is one JSON object per line —
+//! `{"ts_ms":…,"level":"info","event":"service.listening","span":…,…}` —
+//! so diagnostics that used to be bare `eprintln!` text are machine
+//! parseable. The `RTEC_LOG` environment variable (`error`, `warn`,
+//! `info`, `debug`; default `info`) filters what is emitted; `error`
+//! events always pass.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the operator must look at.
+    Error = 0,
+    /// Something suspicious that does not stop the work.
+    Warn = 1,
+    /// Normal operational milestones.
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase name used on the wire and in `RTEC_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses an `RTEC_LOG` value (unknown values mean `Info`; `off`
+    /// silences everything below `Error`).
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "off" | "0" => Level::Error,
+            "warn" | "warning" | "1" => Level::Warn,
+            "debug" | "trace" | "3" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// Sentinel meaning "not initialised from the environment yet".
+const LEVEL_UNSET: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The current filter level (lazily read from `RTEC_LOG`).
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => {
+            let level = std::env::var("RTEC_LOG")
+                .map(|v| Level::parse(&v))
+                .unwrap_or(Level::Info);
+            MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        0 => Level::Error,
+        1 => Level::Warn,
+        3 => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// Overrides the filter level (tests, CLI flags).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// A typed field value carried by an event.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// A string (JSON-escaped on output).
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (rendered with up to 3 decimals).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::Int(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::UInt(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::Float(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_value(v: &FieldValue) -> String {
+    match v {
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        FieldValue::Int(i) => i.to_string(),
+        FieldValue::UInt(u) => u.to_string(),
+        FieldValue::Float(f) if f.is_finite() => format!("{f:.3}"),
+        FieldValue::Float(_) => "null".to_string(),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Where emitted event lines go.
+pub trait Sink: Send + Sync {
+    /// Delivers one rendered JSON line (no trailing newline).
+    fn emit(&self, line: &str);
+}
+
+struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn sink_slot() -> &'static RwLock<Option<Box<dyn Sink>>> {
+    static SINK: std::sync::OnceLock<RwLock<Option<Box<dyn Sink>>>> = std::sync::OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Replaces the output sink (`None` restores the stderr default). The
+/// ring buffer keeps recording regardless of the sink.
+pub fn set_sink(sink: Option<Box<dyn Sink>>) {
+    *sink_slot().write().unwrap_or_else(|e| e.into_inner()) = sink;
+}
+
+/// Ring buffer capacity.
+pub const RING_CAPACITY: usize = 256;
+
+fn ring() -> &'static Mutex<VecDeque<String>> {
+    static RING: std::sync::OnceLock<Mutex<VecDeque<String>>> = std::sync::OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+/// The most recent `n` emitted event lines, oldest first.
+pub fn recent_events(n: usize) -> Vec<String> {
+    let ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+    ring.iter().rev().take(n).rev().cloned().collect()
+}
+
+/// Emits a structured event if `level` passes the `RTEC_LOG` filter.
+///
+/// `name` identifies the event (dotted, e.g. `service.listening`);
+/// `fields` are extra key/value pairs. The current span path, if any,
+/// is attached automatically.
+pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"event\":\"{}\"",
+        level.as_str(),
+        json_escape(name)
+    );
+    if let Some(path) = crate::span::current_path() {
+        line.push_str(&format!(",\"span\":\"{}\"", json_escape(&path)));
+    }
+    for (key, value) in fields {
+        line.push_str(&format!(
+            ",\"{}\":{}",
+            json_escape(key),
+            render_value(value)
+        ));
+    }
+    line.push('}');
+    {
+        let mut ring = ring().lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(line.clone());
+    }
+    let slot = sink_slot().read().unwrap_or_else(|e| e.into_inner());
+    match slot.as_ref() {
+        Some(sink) => sink.emit(&line),
+        None => StderrSink.emit(&line),
+    }
+}
+
+/// Emits an `error` event.
+pub fn error(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Error, name, fields);
+}
+
+/// Emits a `warn` event.
+pub fn warn(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Warn, name, fields);
+}
+
+/// Emits an `info` event.
+pub fn info(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Info, name, fields);
+}
+
+/// Emits a `debug` event.
+pub fn debug(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Debug, name, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::{channel, Sender};
+
+    struct Capture(Mutex<Sender<String>>);
+
+    impl Sink for Capture {
+        fn emit(&self, line: &str) {
+            let _ = self
+                .0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .send(line.to_string());
+        }
+    }
+
+    #[test]
+    fn events_render_as_json_lines_and_honour_levels() {
+        let (tx, rx) = channel();
+        set_sink(Some(Box::new(Capture(Mutex::new(tx)))));
+        set_max_level(Level::Warn);
+        event(
+            Level::Warn,
+            "test.warn",
+            &[
+                ("text", "a \"quoted\"\nline".into()),
+                ("n", 42u64.into()),
+                ("ratio", 0.5f64.into()),
+                ("flag", true.into()),
+            ],
+        );
+        event(Level::Info, "test.filtered", &[]);
+        set_max_level(Level::Info);
+        set_sink(None);
+
+        let line = rx.try_recv().expect("warn event emitted");
+        assert!(line.contains("\"level\":\"warn\""), "{line}");
+        assert!(line.contains("\"event\":\"test.warn\""), "{line}");
+        assert!(
+            line.contains("\"text\":\"a \\\"quoted\\\"\\nline\""),
+            "{line}"
+        );
+        assert!(line.contains("\"n\":42"), "{line}");
+        assert!(line.contains("\"ratio\":0.500"), "{line}");
+        assert!(line.contains("\"flag\":true"), "{line}");
+        assert!(rx.try_recv().is_err(), "info event must be filtered out");
+        assert!(recent_events(4).iter().any(|l| l.contains("test.warn")));
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("ERROR"), Level::Error);
+        assert_eq!(Level::parse("warn"), Level::Warn);
+        assert_eq!(Level::parse("debug"), Level::Debug);
+        assert_eq!(Level::parse("gibberish"), Level::Info);
+        assert!(Level::Error < Level::Debug);
+    }
+}

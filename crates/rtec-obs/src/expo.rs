@@ -1,0 +1,293 @@
+//! Prometheus text exposition (format version 0.0.4): rendering a
+//! [`MetricsRegistry`] and validating exposition text.
+//!
+//! The validator is deliberately strict about the parts a scraper
+//! relies on — sample-line syntax, `# TYPE` before samples, histogram
+//! `_bucket`/`_sum`/`_count` completeness and cumulative monotonicity —
+//! and is used both by the golden tests and by the CI bench smoke to
+//! fail the build when the endpoint serves malformed text.
+
+use crate::metrics::{HistogramSnapshot, BUCKETS};
+use crate::registry::{Family, MetricsRegistry, Series};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The content type a compliant HTTP endpoint should serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn sample(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// Appends one histogram series (cumulative `_bucket`s, `_sum`,
+/// `_count`) to `out`. Shared by the registry renderer and dynamic
+/// (scrape-time) collectors.
+pub fn render_histogram(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        cumulative += snap.counts[i];
+        let le = match HistogramSnapshot::upper_bound(i) {
+            Some(b) => b.to_string(),
+            None => "+Inf".to_string(),
+        };
+        let le_pair = format!("le=\"{le}\"");
+        let full = if labels.is_empty() {
+            le_pair
+        } else {
+            format!("{labels},{le_pair}")
+        };
+        sample(out, &format!("{name}_bucket"), &full, cumulative);
+    }
+    sample(out, &format!("{name}_sum"), labels, snap.sum);
+    sample(out, &format!("{name}_count"), labels, cumulative);
+}
+
+/// Appends a family header (`# HELP`, `# TYPE`) to `out`.
+pub fn render_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {}", help.replace('\n', " "));
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders every family of `registry` in exposition format.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    registry.visit(|families: &BTreeMap<String, Family>| {
+        for (name, family) in families {
+            render_header(&mut out, name, family.kind.as_str(), &family.help);
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => sample(&mut out, name, labels, c.get()),
+                    Series::Gauge(g) => sample(&mut out, name, labels, g.get()),
+                    Series::Histogram(h) => {
+                        render_histogram(&mut out, name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Checks that `text` is well-formed exposition text. Returns the
+/// number of sample lines on success, or a description of the first
+/// problem found.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram family -> (series labels minus `le`) -> bucket counts.
+    let mut buckets: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut histogram_parts: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {n}: TYPE without a name"))?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| format!("line {n}: TYPE without a kind"))?;
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+                }
+                typed.insert(name.to_string(), kind.to_string());
+            } else if !rest.starts_with("HELP ") && !rest.is_empty() {
+                return Err(format!("line {n}: unknown comment directive"));
+            }
+            continue;
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {n}: non-numeric sample value {value:?}"))?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, labels)
+            }
+            None => (name_and_labels, ""),
+        };
+        if name.is_empty()
+            || !name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+        {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        for pair in split_label_pairs(labels) {
+            let (key, val) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("line {n}: malformed label pair {pair:?}"))?;
+            if key.is_empty() || !val.starts_with('"') || !val.ends_with('"') || val.len() < 2 {
+                return Err(format!("line {n}: malformed label pair {pair:?}"));
+            }
+        }
+        // Histogram samples use the family's TYPE under the suffix-less
+        // name; everything else must be typed under its own name.
+        let family = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let stem = name.strip_suffix(suffix)?;
+            (typed.get(stem).map(String::as_str) == Some("histogram"))
+                .then(|| (stem.to_string(), *suffix))
+        });
+        match family {
+            Some((stem, suffix)) => {
+                let parts = histogram_parts.entry(stem.clone()).or_default();
+                match suffix {
+                    "_sum" => parts.0 = true,
+                    "_count" => parts.1 = true,
+                    _ => {
+                        let (le, rest) = extract_le(labels)
+                            .ok_or_else(|| format!("line {n}: _bucket sample without le label"))?;
+                        let count = value
+                            .parse::<f64>()
+                            .map_err(|_| format!("line {n}: bad bucket count"))?
+                            as u64;
+                        let series = buckets.entry((stem, rest)).or_default();
+                        if let Some(&last) = series.last() {
+                            if count < last {
+                                return Err(format!(
+                                    "line {n}: histogram buckets not cumulative (le={le})"
+                                ));
+                            }
+                        }
+                        series.push(count);
+                    }
+                }
+            }
+            None => {
+                if !typed.contains_key(name) {
+                    return Err(format!("line {n}: sample {name:?} precedes its TYPE line"));
+                }
+            }
+        }
+        samples += 1;
+    }
+    for (name, kind) in &typed {
+        if kind == "histogram" {
+            let (has_sum, has_count) = histogram_parts.get(name).copied().unwrap_or((false, false));
+            if !has_sum || !has_count {
+                return Err(format!("histogram {name:?} missing _sum or _count"));
+            }
+            let has_inf = buckets.keys().any(|(stem, _)| stem == name);
+            if !has_inf {
+                return Err(format!("histogram {name:?} has no _bucket samples"));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// Splits a rendered label string into `key="value"` pairs, honouring
+/// quotes (values may contain commas).
+fn split_label_pairs(labels: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in labels.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if start < i {
+                    pairs.push(&labels[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < labels.len() {
+        pairs.push(&labels[start..]);
+    }
+    pairs
+}
+
+/// Pulls the `le` label out of a bucket label set, returning
+/// `(le_value, remaining_labels)`.
+fn extract_le(labels: &str) -> Option<(String, String)> {
+    let mut le = None;
+    let mut rest = Vec::new();
+    for pair in split_label_pairs(labels) {
+        match pair.strip_prefix("le=") {
+            Some(v) => le = Some(v.trim_matches('"').to_string()),
+            None => rest.push(pair),
+        }
+    }
+    le.map(|le| (le, rest.join(",")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_and_validates_every_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("demo_total", "A demo counter.", &[("kind", "x")])
+            .add(3);
+        reg.gauge("demo_depth", "A demo gauge.", &[]).set(-2);
+        reg.histogram("demo_us", "A demo histogram.", &[])
+            .observe(500);
+        let text = render(&reg);
+        assert!(text.contains("# TYPE demo_total counter"));
+        assert!(text.contains("demo_total{kind=\"x\"} 3"));
+        assert!(text.contains("demo_depth -2"));
+        assert!(text.contains("demo_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("demo_us_sum 500"));
+        assert!(text.contains("demo_us_count 1"));
+        let samples = validate(&text).expect("valid exposition");
+        assert_eq!(samples, 2 + BUCKETS + 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        for (text, what) in [
+            ("demo 1", "sample before TYPE"),
+            ("# TYPE demo counter\ndemo", "missing value"),
+            ("# TYPE demo counter\ndemo x", "bad value"),
+            ("# TYPE demo counter\ndemo{a=b} 1", "unquoted label"),
+            ("# TYPE demo counter\ndemo{a=\"b\" 1", "unterminated labels"),
+            ("# TYPE demo banana\ndemo 1", "bad kind"),
+            (
+                "# TYPE demo histogram\ndemo_sum 1\ndemo_count 1",
+                "no buckets",
+            ),
+            (
+                "# TYPE demo histogram\ndemo_bucket{le=\"1\"} 5\n\
+                 demo_bucket{le=\"+Inf\"} 3\ndemo_sum 1\ndemo_count 3",
+                "non-cumulative",
+            ),
+        ] {
+            assert!(validate(text).is_err(), "accepted: {what}");
+        }
+    }
+
+    #[test]
+    fn label_pair_splitting_honours_quotes() {
+        assert_eq!(
+            split_label_pairs("a=\"x,y\",b=\"2\""),
+            vec!["a=\"x,y\"", "b=\"2\""]
+        );
+        assert_eq!(
+            extract_le("session=\"s\",le=\"+Inf\""),
+            Some(("+Inf".to_string(), "session=\"s\"".to_string()))
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Metric primitives: counters, gauges and log2-bucketed histograms.
+//!
+//! Every primitive is internally atomic, so one `Arc` handle can be
+//! shared across threads and recorded into without locks. Reads
+//! (snapshots, exposition) use relaxed loads — metric values are
+//! monotonic counters or advisory gauges, and a torn multi-field read
+//! is acceptable for monitoring.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` counts values in
+/// `[2^(i-1), 2^i)` (bucket 0 is `< 1`); the last bucket is open-ended.
+/// With microsecond values the top finite bound is ~4.2 s.
+pub const BUCKETS: usize = 24;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer values
+/// (conventionally microseconds for latency series).
+///
+/// This is the promoted successor of `rtec-service`'s single-threaded
+/// `LatencyHistogram`: same bucket layout and summary statistics, but
+/// atomic, so the ingest path and a metrics scrape never contend.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of a value.
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: u64) {
+        self.counts[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Histogram {
+        let s = self.snapshot();
+        Histogram {
+            counts: std::array::from_fn(|i| AtomicU64::new(s.counts[i])),
+            sum: AtomicU64::new(s.sum),
+            max: AtomicU64::new(s.max),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub counts: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The exclusive upper bound of bucket `i` (`None` for the last,
+    /// open-ended bucket).
+    pub fn upper_bound(i: usize) -> Option<u64> {
+        (i + 1 < BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// A human-readable label for bucket `i`, with `unit` appended
+    /// (e.g. `"<256us"`, `">=4194304us"`).
+    pub fn bucket_label(i: usize, unit: &str) -> String {
+        match Self::upper_bound(i) {
+            Some(b) => format!("<{b}{unit}"),
+            None => format!(">={}{unit}", 1u64 << (BUCKETS - 2)),
+        }
+    }
+
+    /// `(label, count)` pairs of the non-empty buckets.
+    pub fn nonzero_buckets(&self, unit: &str) -> Vec<(String, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_label(i, unit), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        g.set_max(10);
+        g.set_max(2);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_matches_legacy_latency_buckets() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 3, 2000] {
+            h.observe(us);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 2000);
+        assert!(h.mean() >= 500);
+        let s = h.snapshot();
+        // 0 -> bucket 0; 1 -> bucket 1; 3 -> bucket 2; 2000 -> bucket 11.
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[2], 1);
+        assert_eq!(s.counts[11], 1);
+        assert_eq!(s.nonzero_buckets("us")[0], ("<1us".to_string(), 1), "{s:?}");
+        assert_eq!(
+            HistogramSnapshot::bucket_label(BUCKETS - 1, "us"),
+            ">=4194304us"
+        );
+    }
+
+    #[test]
+    fn histogram_observes_durations() {
+        let h = Histogram::new();
+        h.observe_duration(Duration::from_millis(2));
+        assert_eq!(h.max(), 2000);
+        let copy = h.clone();
+        assert_eq!(copy.snapshot(), h.snapshot());
+    }
+}

@@ -1,0 +1,229 @@
+//! The metrics registry: named, labeled series of counters, gauges and
+//! histograms.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) is get-or-create
+//! and takes a lock; callers do it once and keep the returned `Arc`
+//! handle, so the record path never touches the registry. Series are
+//! grouped into *families* (one name, one type, one help string, many
+//! label sets), which is exactly the shape Prometheus exposition wants.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A metric family's type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up-down gauge.
+    Gauge,
+    /// Log2-bucketed histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered series handle.
+#[derive(Clone, Debug)]
+pub enum Series {
+    /// A counter series.
+    Counter(Arc<Counter>),
+    /// A gauge series.
+    Gauge(Arc<Gauge>),
+    /// A histogram series.
+    Histogram(Arc<Histogram>),
+}
+
+/// A family: every series sharing one metric name.
+#[derive(Debug)]
+pub struct Family {
+    /// The family's type.
+    pub kind: MetricKind,
+    /// Help text for exposition.
+    pub help: String,
+    /// Label-set → series, keyed by the rendered label string
+    /// (`label="value"` pairs sorted by label name; empty for none).
+    pub series: BTreeMap<String, Series>,
+}
+
+/// A collection of metric families.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Renders a label set into its canonical exposition form
+/// (`key="value"` pairs sorted by key, comma-separated; no braces).
+pub fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort();
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn series(&self, name: &str, help: &str, labels: &[(&str, &str)], kind: MetricKind) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} but requested as {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family
+            .series
+            .entry(render_labels(labels))
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => Series::Counter(Arc::new(Counter::new())),
+                MetricKind::Gauge => Series::Gauge(Arc::new(Gauge::new())),
+                MetricKind::Histogram => Series::Histogram(Arc::new(Histogram::new())),
+            })
+            .clone()
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, labels, MetricKind::Counter) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, labels, MetricKind::Gauge) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Gets or creates a histogram series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.series(name, help, labels, MetricKind::Histogram) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Removes every series whose label set contains `key="value"`
+    /// (used when a scoped object — e.g. a service session — goes
+    /// away). Families left empty are dropped entirely.
+    pub fn remove_matching(&self, key: &str, value: &str) {
+        let needle = render_labels(&[(key, value)]);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        for family in families.values_mut() {
+            family
+                .series
+                .retain(|labels, _| !labels.split(',').any(|p| p == needle));
+        }
+        families.retain(|_, f| !f.series.is_empty());
+    }
+
+    /// Calls `f` with the family map (for exposition).
+    pub fn visit<R>(&self, f: impl FnOnce(&BTreeMap<String, Family>) -> R) -> R {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        f(&families)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        crate::expo::render(self)
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("t_total", "help", &[("kind", "x")]);
+        let b = reg.counter("t_total", "help", &[("kind", "x")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let other = reg.counter("t_total", "help", &[("kind", "y")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("t_total", "help", &[]);
+        let _ = reg.gauge("t_total", "help", &[]);
+    }
+
+    #[test]
+    fn remove_matching_drops_scoped_series() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("depth", "h", &[("session", "a"), ("shard", "0")]);
+        let _ = reg.gauge("depth", "h", &[("session", "b"), ("shard", "0")]);
+        reg.remove_matching("session", "a");
+        reg.visit(|families| {
+            let family = &families["depth"];
+            assert_eq!(family.series.len(), 1);
+            assert!(family
+                .series
+                .keys()
+                .next()
+                .unwrap()
+                .contains("session=\"b\""));
+        });
+        reg.remove_matching("session", "b");
+        reg.visit(|families| assert!(families.is_empty()));
+    }
+
+    #[test]
+    fn label_rendering_sorts_and_escapes() {
+        assert_eq!(render_labels(&[]), "");
+        assert_eq!(
+            render_labels(&[("b", "2"), ("a", "say \"hi\"\n")]),
+            "a=\"say \\\"hi\\\"\\n\",b=\"2\""
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Scope timing with per-thread span stacks.
+//!
+//! A [`SpanGuard`] marks a named region of work on the current thread.
+//! Guards nest: the active path (`tick/fluent_eval`, say) is attached
+//! to every event emitted while the guard is alive, and a *timed* span
+//! records its wall-clock duration into a histogram when dropped.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The current thread's span path (`outer/inner`), if any span is open.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        (!stack.is_empty()).then(|| stack.join("/"))
+    })
+}
+
+/// An open span; closes (and records, if timed) on drop.
+#[must_use = "a span is closed when the guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    histogram: Option<Arc<Histogram>>,
+}
+
+/// Opens an (untimed) span on the current thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        name,
+        start: Instant::now(),
+        histogram: None,
+    }
+}
+
+/// Opens a span whose duration is recorded into `histogram`
+/// (microseconds) when the guard drops.
+pub fn timed_span(name: &'static str, histogram: &Arc<Histogram>) -> SpanGuard {
+    let mut guard = span(name);
+    guard.histogram = Some(Arc::clone(histogram));
+    guard
+}
+
+impl SpanGuard {
+    /// Elapsed time since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let us = self.elapsed_us();
+        if let Some(h) = &self.histogram {
+            h.observe(us);
+        }
+        if crate::event::enabled(crate::event::Level::Debug) {
+            crate::event::debug(
+                "span.close",
+                &[("name", self.name.into()), ("duration_us", us.into())],
+            );
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop this span; tolerate out-of-order drops by removing the
+            // last occurrence of the name instead of blind-popping.
+            if let Some(i) = stack.iter().rposition(|n| *n == self.name) {
+                stack.remove(i);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time() {
+        assert_eq!(current_path(), None);
+        let h = Arc::new(Histogram::new());
+        {
+            let _outer = span("outer");
+            assert_eq!(current_path().as_deref(), Some("outer"));
+            {
+                let _inner = timed_span("inner", &h);
+                assert_eq!(current_path().as_deref(), Some("outer/inner"));
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            assert_eq!(current_path().as_deref(), Some("outer"));
+        }
+        assert_eq!(current_path(), None);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Sorted name→count tables.
+//!
+//! The same counting-and-rendering code used to be duplicated between
+//! stream statistics (`maritime::stats`) and ad-hoc telemetry
+//! summaries; it lives here once.
+
+use std::collections::BTreeMap;
+
+/// A table of counts keyed by name, kept sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountTable {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CountTable {
+    /// An empty table.
+    pub fn new() -> CountTable {
+        CountTable::default()
+    }
+
+    /// Adds `n` to the count of `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(slot) = self.counts.get_mut(name) {
+            *slot += n;
+        } else {
+            self.counts.insert(name.to_string(), n);
+        }
+    }
+
+    /// Adds one to the count of `name`.
+    pub fn increment(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The count of `name` (0 if absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(name, count)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders an aligned two-column text table, one `  name  count`
+    /// line per entry, names left-padded to `width`.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        for (name, count) in self.iter() {
+            out.push_str(&format!("  {name:<width$} {count}\n"));
+        }
+        out
+    }
+}
+
+impl<'a> Extend<(&'a str, u64)> for CountTable {
+    fn extend<T: IntoIterator<Item = (&'a str, u64)>>(&mut self, iter: T) {
+        for (name, n) in iter {
+            self.add(name, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_renders_sorted() {
+        let mut t = CountTable::new();
+        t.increment("b");
+        t.increment("a");
+        t.add("b", 2);
+        assert_eq!(t.count("b"), 3);
+        assert_eq!(t.count("missing"), 0);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render(4);
+        assert_eq!(rendered, "  a    1\n  b    3\n");
+        let entries: Vec<(&str, u64)> = t.iter().collect();
+        assert_eq!(entries, vec![("a", 1), ("b", 3)]);
+    }
+}

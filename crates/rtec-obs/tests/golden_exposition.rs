@@ -1,0 +1,70 @@
+//! Golden test: the Prometheus text exposition of a small registry,
+//! byte for byte. Any format drift (ordering, label rendering, bucket
+//! bounds) must be a conscious change to this file.
+
+use rtec_obs::{expo, MetricsRegistry};
+
+#[test]
+fn exposition_matches_golden_text() {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "rtec_demo_events_total",
+        "Events ingested.",
+        &[("dir", "in")],
+    )
+    .add(7);
+    reg.counter(
+        "rtec_demo_events_total",
+        "Events ingested.",
+        &[("dir", "out")],
+    )
+    .add(2);
+    reg.gauge("rtec_demo_sessions_open", "Open sessions.", &[])
+        .set(3);
+    let h = reg.histogram("rtec_demo_tick_us", "Tick latency.", &[]);
+    h.observe(0); // bucket 0: < 1us
+    h.observe(3); // bucket 2: [2, 4)
+    h.observe(3);
+    h.observe(5_000_000); // open-ended last bucket
+
+    let text = reg.render_prometheus();
+    let golden = "\
+# HELP rtec_demo_events_total Events ingested.
+# TYPE rtec_demo_events_total counter
+rtec_demo_events_total{dir=\"in\"} 7
+rtec_demo_events_total{dir=\"out\"} 2
+# HELP rtec_demo_sessions_open Open sessions.
+# TYPE rtec_demo_sessions_open gauge
+rtec_demo_sessions_open 3
+# HELP rtec_demo_tick_us Tick latency.
+# TYPE rtec_demo_tick_us histogram
+rtec_demo_tick_us_bucket{le=\"1\"} 1
+rtec_demo_tick_us_bucket{le=\"2\"} 1
+rtec_demo_tick_us_bucket{le=\"4\"} 3
+rtec_demo_tick_us_bucket{le=\"8\"} 3
+rtec_demo_tick_us_bucket{le=\"16\"} 3
+rtec_demo_tick_us_bucket{le=\"32\"} 3
+rtec_demo_tick_us_bucket{le=\"64\"} 3
+rtec_demo_tick_us_bucket{le=\"128\"} 3
+rtec_demo_tick_us_bucket{le=\"256\"} 3
+rtec_demo_tick_us_bucket{le=\"512\"} 3
+rtec_demo_tick_us_bucket{le=\"1024\"} 3
+rtec_demo_tick_us_bucket{le=\"2048\"} 3
+rtec_demo_tick_us_bucket{le=\"4096\"} 3
+rtec_demo_tick_us_bucket{le=\"8192\"} 3
+rtec_demo_tick_us_bucket{le=\"16384\"} 3
+rtec_demo_tick_us_bucket{le=\"32768\"} 3
+rtec_demo_tick_us_bucket{le=\"65536\"} 3
+rtec_demo_tick_us_bucket{le=\"131072\"} 3
+rtec_demo_tick_us_bucket{le=\"262144\"} 3
+rtec_demo_tick_us_bucket{le=\"524288\"} 3
+rtec_demo_tick_us_bucket{le=\"1048576\"} 3
+rtec_demo_tick_us_bucket{le=\"2097152\"} 3
+rtec_demo_tick_us_bucket{le=\"4194304\"} 3
+rtec_demo_tick_us_bucket{le=\"+Inf\"} 4
+rtec_demo_tick_us_sum 5000006
+rtec_demo_tick_us_count 4
+";
+    assert_eq!(text, golden);
+    expo::validate(&text).expect("golden text is valid exposition");
+}

@@ -146,6 +146,16 @@ impl Client {
         }
         Ok(value)
     }
+
+    /// Fetches the server's Prometheus exposition via the `metrics`
+    /// protocol command (the NDJSON alternative to the HTTP endpoint).
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let reply = self.request("{\"cmd\":\"metrics\"}")?;
+        reply["body"]
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "metrics reply missing \"body\"".into())
+    }
 }
 
 /// Replay options for [`stream_file`].

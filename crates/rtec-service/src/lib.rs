@@ -17,7 +17,7 @@
 //! renders output byte-compatible with a batch `rtec-cli run`.
 
 pub mod client;
-pub mod histogram;
+pub mod obs;
 pub mod protocol;
 pub mod registry;
 pub mod router;
@@ -26,7 +26,6 @@ pub mod session;
 pub mod worker;
 
 pub use client::{parse_stream_file, stream_file, Client, StreamFile, StreamOptions, StreamReport};
-pub use histogram::LatencyHistogram;
 pub use registry::Registry;
 pub use server::{request_shutdown, serve_stdio, Server, ServerConfig};
 pub use session::{Session, SessionConfig, SessionStats};

@@ -1,0 +1,196 @@
+//! Service telemetry: process-global metric handles and exposition
+//! helpers.
+//!
+//! Monotonic service counters (events in, ticks, backpressure stalls)
+//! live in the [`rtec_obs::global`] registry and are recorded through
+//! `Arc` handles resolved once. Per-session *state* (queue depth,
+//! high-water marks, buffered items, open-session count) is sampled at
+//! scrape time by [`crate::Registry::render_metrics`] instead, so a
+//! closed session leaves no stale series behind.
+//!
+//! Series (all prefixed `rtec_service_`):
+//!
+//! | name | kind | labels |
+//! |------|------|--------|
+//! | `rtec_service_sessions_opened_total` | counter | — |
+//! | `rtec_service_sessions_closed_total` | counter | — |
+//! | `rtec_service_events_ingested_total` | counter | — |
+//! | `rtec_service_intervals_ingested_total` | counter | — |
+//! | `rtec_service_backpressure_waits_total` | counter | — |
+//! | `rtec_service_ticks_total` | counter | — |
+//! | `rtec_service_tick_duration_us` | histogram | — |
+//! | `rtec_service_query_rows_total` | counter | — |
+//! | `rtec_service_sessions_open` | gauge (sampled) | — |
+//! | `rtec_service_queue_depth` | gauge (sampled) | `session`, `shard` |
+//! | `rtec_service_queue_high_water` | gauge (sampled) | `session`, `shard` |
+//! | `rtec_service_buffered` | gauge (sampled) | `session` |
+
+use rtec_obs::{Counter, Histogram};
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+/// Handles to every monotonic service metric series.
+pub struct ServiceMetrics {
+    /// Sessions opened over the process lifetime.
+    pub sessions_opened: Arc<Counter>,
+    /// Sessions closed (including shutdown drains).
+    pub sessions_closed: Arc<Counter>,
+    /// Events accepted by `event`/`batch` commands.
+    pub events_ingested: Arc<Counter>,
+    /// Input-interval declarations accepted.
+    pub intervals_ingested: Arc<Counter>,
+    /// Ingest operations that blocked on a full shard queue.
+    pub backpressure_waits: Arc<Counter>,
+    /// Ticks served across all sessions.
+    pub ticks: Arc<Counter>,
+    /// Tick wall-clock latency (microseconds), across all sessions.
+    pub tick_duration_us: Arc<Histogram>,
+    /// Recognition rows returned by `query` commands.
+    pub query_rows: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn new() -> ServiceMetrics {
+        let r = rtec_obs::global();
+        ServiceMetrics {
+            sessions_opened: r.counter(
+                "rtec_service_sessions_opened_total",
+                "Recognition sessions opened.",
+                &[],
+            ),
+            sessions_closed: r.counter(
+                "rtec_service_sessions_closed_total",
+                "Recognition sessions closed.",
+                &[],
+            ),
+            events_ingested: r.counter(
+                "rtec_service_events_ingested_total",
+                "Events accepted by event/batch commands.",
+                &[],
+            ),
+            intervals_ingested: r.counter(
+                "rtec_service_intervals_ingested_total",
+                "Input-interval declarations accepted.",
+                &[],
+            ),
+            backpressure_waits: r.counter(
+                "rtec_service_backpressure_waits_total",
+                "Ingest operations that blocked on a full shard queue.",
+                &[],
+            ),
+            ticks: r.counter("rtec_service_ticks_total", "Ticks served.", &[]),
+            tick_duration_us: r.histogram(
+                "rtec_service_tick_duration_us",
+                "Tick wall-clock latency (microseconds).",
+                &[],
+            ),
+            query_rows: r.counter(
+                "rtec_service_query_rows_total",
+                "Recognition rows returned by query commands.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// The process-global service metric handles (created on first use).
+pub fn metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(ServiceMetrics::new)
+}
+
+/// Renders a histogram into the legacy `stats`-frame JSON shape:
+/// `{count, mean_us, max_us, buckets: [[label, n], ...]}` with empty
+/// buckets omitted (the shape `LatencyHistogram::to_value` produced
+/// before the histogram moved to `rtec-obs`).
+pub fn histogram_value(h: &Histogram) -> Value {
+    let snapshot = h.snapshot();
+    let buckets: Vec<Value> = snapshot
+        .nonzero_buckets("us")
+        .into_iter()
+        .map(|(label, n)| {
+            Value::Array(vec![
+                Value::from(label),
+                Value::from(i64::try_from(n).unwrap_or(i64::MAX)),
+            ])
+        })
+        .collect();
+    let mut map = std::collections::BTreeMap::new();
+    map.insert(
+        "count".to_string(),
+        Value::from(i64::try_from(snapshot.count()).unwrap_or(i64::MAX)),
+    );
+    map.insert(
+        "mean_us".to_string(),
+        Value::from(i64::try_from(snapshot.mean()).unwrap_or(i64::MAX)),
+    );
+    map.insert(
+        "max_us".to_string(),
+        Value::from(i64::try_from(snapshot.max).unwrap_or(i64::MAX)),
+    );
+    map.insert("buckets".to_string(), Value::Array(buckets));
+    Value::Object(map)
+}
+
+/// Appends one scrape-time gauge family to `out`: a `# HELP`/`# TYPE`
+/// header plus one sample per `(rendered_labels, value)` pair.
+pub(crate) fn render_gauge_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(String, i64)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (labels, value) in samples {
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let _ = writeln!(out, "{name}{{{labels}}} {value}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_value_keeps_the_legacy_shape() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 3, 2000] {
+            h.observe(us);
+        }
+        let v = histogram_value(&h);
+        assert_eq!(v["count"], 4i64);
+        assert_eq!(v["max_us"], 2000i64);
+        assert!(v["mean_us"].as_i64().unwrap() >= 500);
+        let buckets = v["buckets"].as_array().unwrap();
+        assert_eq!(buckets[0][0], "<1us");
+        assert_eq!(buckets[0][1], 1i64);
+        assert!(buckets.iter().any(|b| b[0] == "<2048us"));
+    }
+
+    #[test]
+    fn gauge_families_render_valid_exposition() {
+        let mut out = String::new();
+        render_gauge_family(
+            &mut out,
+            "rtec_service_sessions_open",
+            "Open sessions.",
+            &[(String::new(), 2)],
+        );
+        render_gauge_family(
+            &mut out,
+            "rtec_service_queue_depth",
+            "Queued items.",
+            &[
+                ("session=\"s\",shard=\"0\"".to_string(), 5),
+                ("session=\"s\",shard=\"1\"".to_string(), 0),
+            ],
+        );
+        rtec_obs::expo::validate(&out).expect("valid exposition");
+        assert!(out.contains("rtec_service_queue_depth{session=\"s\",shard=\"0\"} 5"));
+    }
+}

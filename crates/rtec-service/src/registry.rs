@@ -56,6 +56,7 @@ impl Registry {
             "tick" => self.cmd_tick(&req),
             "query" => self.cmd_query(&req),
             "stats" => self.cmd_stats(&req),
+            "metrics" => self.cmd_metrics(),
             "close" => self.cmd_close(&req),
             "shutdown" => self.cmd_shutdown(),
             other => Err(format!("unknown command \"{other}\"")),
@@ -176,6 +177,7 @@ impl Registry {
             .iter()
             .map(|w| Value::from(w.as_str()))
             .collect();
+        crate::obs::metrics().query_rows.add(rows.len() as u64);
         Ok(OkFrame::new()
             .field("rows", Value::Array(rows))
             .field("warnings", Value::Array(warnings))
@@ -186,6 +188,11 @@ impl Registry {
         let session = self.session(req)?;
         let session = session.lock();
         let stats = session.stats();
+        let queue_high_water: Vec<Value> = session
+            .queue_high_water()
+            .iter()
+            .map(|&hw| counter(hw))
+            .collect();
         Ok(OkFrame::new()
             .field("events_ingested", counter(stats.events_ingested))
             .field("intervals_ingested", counter(stats.intervals_ingested))
@@ -193,13 +200,90 @@ impl Registry {
             .field("late_couplings", counter(session.late_couplings()))
             .field("buffered", session.buffered() as i64)
             .field("queue_depth", session.queue_depth() as i64)
+            .field("queue_high_water", Value::Array(queue_high_water))
             .field("ticks", counter(stats.ticks))
             .field("processed_to", stats.processed_to)
             .field("windows", counter(stats.engine.windows))
             .field("events_processed", counter(stats.engine.events_processed))
             .field("events_dropped", counter(stats.engine.events_dropped))
-            .field("tick_latency", stats.tick_latency.to_value())
+            .field("forget_drops", counter(stats.engine.events_dropped))
+            .field(
+                "tick_latency",
+                crate::obs::histogram_value(&stats.tick_latency),
+            )
             .render())
+    }
+
+    /// Handles the `metrics` command: the full Prometheus exposition as
+    /// a JSON-carried string.
+    fn cmd_metrics(&self) -> Result<String, String> {
+        Ok(OkFrame::new()
+            .field("content_type", rtec_obs::expo::CONTENT_TYPE)
+            .field("body", self.render_metrics())
+            .render())
+    }
+
+    /// Renders the process-global metric registry plus scrape-time
+    /// per-session gauges (open-session count, per-shard queue depth and
+    /// high-water marks, buffered items) as Prometheus text. Sessions
+    /// busy on another connection are skipped for that scrape rather
+    /// than blocked on.
+    pub fn render_metrics(&self) -> String {
+        let mut text = rtec_obs::global().render_prometheus();
+        let sessions_open;
+        let mut depth: Vec<(String, i64)> = Vec::new();
+        let mut high_water: Vec<(String, i64)> = Vec::new();
+        let mut buffered: Vec<(String, i64)> = Vec::new();
+        {
+            let sessions = self.sessions.lock();
+            sessions_open = sessions.len() as i64;
+            for (name, slot) in sessions.iter() {
+                let Some(session) = slot.try_lock() else {
+                    continue;
+                };
+                for (shard, d) in session.queue_depths().into_iter().enumerate() {
+                    let labels = rtec_obs::registry::render_labels(&[
+                        ("session", name),
+                        ("shard", &shard.to_string()),
+                    ]);
+                    depth.push((labels, d as i64));
+                }
+                for (shard, &hw) in session.queue_high_water().iter().enumerate() {
+                    let labels = rtec_obs::registry::render_labels(&[
+                        ("session", name),
+                        ("shard", &shard.to_string()),
+                    ]);
+                    high_water.push((labels, i64::try_from(hw).unwrap_or(i64::MAX)));
+                }
+                let labels = rtec_obs::registry::render_labels(&[("session", name)]);
+                buffered.push((labels, session.buffered() as i64));
+            }
+        }
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_sessions_open",
+            "Currently open recognition sessions.",
+            &[(String::new(), sessions_open)],
+        );
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_queue_depth",
+            "Items queued per shard (sampled at scrape).",
+            &depth,
+        );
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_queue_high_water",
+            "Per-shard queue-depth high-water mark since session open.",
+            &high_water,
+        );
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_buffered",
+            "Items buffered in the router awaiting the next tick.",
+            &buffered,
+        );
+        text
     }
 
     fn cmd_close(&self, req: &Value) -> Result<String, String> {
@@ -231,6 +315,7 @@ impl Registry {
             session.into_inner().close()?;
         }
         self.shutdown.store(true, Ordering::SeqCst);
+        rtec_obs::info("service.shutdown", &[("closed_sessions", closed.into())]);
         Ok(OkFrame::new().field("closed_sessions", closed).render())
     }
 }

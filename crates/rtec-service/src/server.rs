@@ -20,6 +20,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Handler threads (concurrent connections).
     pub threads: usize,
+    /// Optional Prometheus scrape endpoint (`GET /metrics` over plain
+    /// HTTP/1.1), e.g. `127.0.0.1:9187`. `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -27,6 +30,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             threads: 4,
+            metrics_addr: None,
         }
     }
 }
@@ -35,17 +39,25 @@ impl Default for ServerConfig {
 /// callers (tests, the CLI) can learn the actual port before blocking.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     registry: Arc<Registry>,
     threads: usize,
 }
 
 impl Server {
-    /// Binds the listen socket.
+    /// Binds the listen socket (and the metrics socket, if configured).
     pub fn bind(config: &ServerConfig) -> Result<Server, String> {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                Some(TcpListener::bind(addr).map_err(|e| format!("bind metrics {addr}: {e}"))?)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
+            metrics_listener,
             registry: Arc::new(Registry::new()),
             threads: config.threads.max(1),
         })
@@ -56,6 +68,13 @@ impl Server {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
+    /// The bound metrics address, if a metrics endpoint is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// The shared registry (for in-process inspection in tests).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
@@ -64,6 +83,24 @@ impl Server {
     /// Accepts and serves connections until a `shutdown` command. Blocks.
     pub fn serve(self) -> Result<(), String> {
         let local = self.local_addr()?;
+        rtec_obs::info(
+            "service.listening",
+            &[
+                ("addr", local.to_string().into()),
+                ("threads", self.threads.into()),
+            ],
+        );
+        let metrics_local = self.metrics_addr();
+        let metrics_handle = self.metrics_listener.map(|listener| {
+            let registry = Arc::clone(&self.registry);
+            if let Some(addr) = metrics_local {
+                rtec_obs::info(
+                    "service.metrics_listening",
+                    &[("addr", addr.to_string().into())],
+                );
+            }
+            std::thread::spawn(move || serve_metrics(&listener, &registry))
+        });
         let (tx, rx) = unbounded::<TcpStream>();
         let mut handlers = Vec::with_capacity(self.threads);
         for _ in 0..self.threads {
@@ -93,8 +130,55 @@ impl Server {
         for handler in handlers {
             let _ = handler.join();
         }
+        // Poke the metrics accept loop awake so it observes the shutdown
+        // flag (same trick handle_connection plays on the main listener).
+        if let Some(addr) = metrics_local {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(handle) = metrics_handle {
+            let _ = handle.join();
+        }
+        rtec_obs::info("service.stopped", &[]);
         Ok(())
     }
+}
+
+/// Serves `GET /metrics` (and any other path — there is only one
+/// resource) as Prometheus text over minimal HTTP/1.1, one request per
+/// connection, until the registry starts shutting down.
+fn serve_metrics(listener: &TcpListener, registry: &Registry) {
+    for stream in listener.incoming() {
+        if registry.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = serve_one_scrape(stream, registry);
+    }
+}
+
+fn serve_one_scrape(stream: TcpStream, registry: &Registry) -> Result<(), String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    // Consume the request line and headers (up to the blank line);
+    // the reply is the same whatever was asked.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let body = registry.render_metrics();
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        rtec_obs::expo::CONTENT_TYPE,
+        body.len(),
+        body
+    )
+    .and_then(|()| writer.flush())
+    .map_err(|e| e.to_string())
 }
 
 /// Serves one connection: reads request lines, writes response lines.
@@ -224,9 +308,11 @@ mod tests {
         let server = Server::bind(&ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
         })
         .unwrap();
         let addr = server.local_addr().unwrap().to_string();
+        let metrics_addr = server.metrics_addr().unwrap().to_string();
         let handle = std::thread::spawn(move || server.serve());
 
         let open = format!(
@@ -250,8 +336,29 @@ mod tests {
         .unwrap();
         assert_eq!(v["events_processed"], 1i64);
 
+        // The HTTP metrics endpoint returns valid Prometheus text.
+        let body = http_get(&metrics_addr);
+        rtec_obs::expo::validate(&body).expect("valid exposition over HTTP");
+        assert!(body.contains("rtec_service_sessions_open 1"), "{body}");
+        assert!(body.contains("rtec_engine_windows_total"), "{body}");
+
         let v: Value = serde_json::from_str(&request_shutdown(&addr).unwrap()).unwrap();
         assert_eq!(v["closed_sessions"], 1i64);
         handle.join().unwrap().unwrap();
+    }
+
+    fn http_get(addr: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (headers, body) = response
+            .split_once("\r\n\r\n")
+            .expect("HTTP header/body split");
+        assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+        assert!(headers.contains("text/plain; version=0.0.4"), "{headers}");
+        body.to_string()
     }
 }

@@ -16,7 +16,6 @@
 //! 5. **close** — drain the workers (all queued items are processed, no
 //!    extra evaluation is forced) and report final stats.
 
-use crate::histogram::LatencyHistogram;
 use crate::router::{PendingItem, Route, Router};
 use crate::worker::{ShardWorker, WorkerMsg};
 use crossbeam::channel::bounded;
@@ -26,6 +25,7 @@ use rtec::interval::IntervalList;
 use rtec::parallel::{FirstArgPartitioner, Partitioner};
 use rtec::term::GroundFvp;
 use rtec::{SymbolTable, Timepoint};
+use rtec_obs::Histogram;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,7 +65,9 @@ pub struct SessionStats {
     /// Horizon of the last tick (-1 before the first).
     pub processed_to: Timepoint,
     /// Tick wall-clock latency distribution.
-    pub tick_latency: LatencyHistogram,
+    pub tick_latency: Histogram,
+    /// Per-shard queue-depth high-water marks since open.
+    pub queue_high_water: Vec<u64>,
     /// Merged per-shard engine counters as of the last tick/drain:
     /// event counts are summed; `windows` is the max across shards
     /// (every shard evaluates the same window sequence).
@@ -109,8 +111,18 @@ impl Session {
                 ShardWorker::spawn(Arc::clone(&compiled), engine_config, config.queue_capacity)
             })
             .collect();
+        let name = name.into();
+        crate::obs::metrics().sessions_opened.inc();
+        rtec_obs::info(
+            "session.open",
+            &[
+                ("session", name.as_str().into()),
+                ("shards", config.shards.into()),
+                ("window", config.window.unwrap_or(-1).into()),
+            ],
+        );
         Ok(Session {
-            name: name.into(),
+            name,
             master: compiled.symbols.clone(),
             desc: compiled,
             workers,
@@ -118,6 +130,7 @@ impl Session {
             partitioner: FirstArgPartitioner,
             stats: SessionStats {
                 processed_to: -1,
+                queue_high_water: vec![0; config.shards],
                 ..SessionStats::default()
             },
             config,
@@ -157,6 +170,7 @@ impl Session {
                 .buffer(PendingItem::Event(term, t), &entities[0]),
         }
         self.stats.events_ingested += 1;
+        crate::obs::metrics().events_ingested.inc();
         Ok(())
     }
 
@@ -188,6 +202,7 @@ impl Session {
                 .buffer(PendingItem::Intervals(fvp, list), &entities[0].clone()),
         }
         self.stats.intervals_ingested += 1;
+        crate::obs::metrics().intervals_ingested.inc();
         Ok(())
     }
 
@@ -195,6 +210,11 @@ impl Session {
         let blocked = self.workers[shard].send(msg)?;
         if blocked {
             self.stats.backpressure_waits += 1;
+            crate::obs::metrics().backpressure_waits.inc();
+        }
+        let depth = self.workers[shard].queue_len() as u64;
+        if depth > self.stats.queue_high_water[shard] {
+            self.stats.queue_high_water[shard] = depth;
         }
         Ok(())
     }
@@ -228,7 +248,11 @@ impl Session {
         self.stats.engine = total;
         self.stats.ticks += 1;
         self.stats.processed_to = self.stats.processed_to.max(to);
-        self.stats.tick_latency.record(started.elapsed());
+        let elapsed = started.elapsed();
+        self.stats.tick_latency.observe_duration(elapsed);
+        let metrics = crate::obs::metrics();
+        metrics.ticks.inc();
+        metrics.tick_duration_us.observe_duration(elapsed);
         Ok(total)
     }
 
@@ -276,6 +300,16 @@ impl Session {
         self.workers.iter().map(ShardWorker::queue_len).sum()
     }
 
+    /// Per-shard queued item counts (approximate).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.workers.iter().map(ShardWorker::queue_len).collect()
+    }
+
+    /// Per-shard queue-depth high-water marks since open.
+    pub fn queue_high_water(&self) -> &[u64] {
+        &self.stats.queue_high_water
+    }
+
     /// Drains every worker and returns final aggregate stats. Buffered
     /// (never-ticked) items are flushed first so nothing is dropped.
     pub fn close(mut self) -> Result<SessionStats, String> {
@@ -287,6 +321,7 @@ impl Session {
             let blocked = self.workers[shard].send(msg)?;
             if blocked {
                 self.stats.backpressure_waits += 1;
+                crate::obs::metrics().backpressure_waits.inc();
             }
         }
         let mut total = EngineStats::default();
@@ -297,6 +332,19 @@ impl Session {
             total.events_dropped += stats.events_dropped;
         }
         self.stats.engine = total;
+        crate::obs::metrics().sessions_closed.inc();
+        rtec_obs::info(
+            "session.close",
+            &[
+                ("session", self.name.as_str().into()),
+                ("events_ingested", self.stats.events_ingested.into()),
+                ("windows", self.stats.engine.windows.into()),
+                (
+                    "events_processed",
+                    self.stats.engine.events_processed.into(),
+                ),
+            ],
+        );
         Ok(self.stats)
     }
 }

@@ -285,6 +285,14 @@ impl<'a> Engine<'a> {
             ));
             self.pending.drain(..stale);
             self.stats.events_dropped += stale;
+            crate::obs::metrics().forget_drops.add(stale as u64);
+            rtec_obs::warn(
+                "engine.forget_drop",
+                &[
+                    ("count", stale.into()),
+                    ("frontier", self.processed_to.into()),
+                ],
+            );
         }
 
         while self.processed_to < horizon {
@@ -322,16 +330,21 @@ impl<'a> Engine<'a> {
     }
 
     fn process_chunk(&mut self, q: Timepoint) {
+        let metrics = crate::obs::metrics();
+        let started = std::time::Instant::now();
         // Take the chunk's events off the pending queue.
         let upto = self.pending.partition_point(|(_, t)| *t <= q);
         let chunk_events: Vec<(Term, Timepoint)> = self.pending.drain(..upto).collect();
         self.stats.windows += 1;
         self.stats.events_processed += chunk_events.len();
+        metrics.windows.inc();
+        metrics.events_processed.add(chunk_events.len() as u64);
         let index = EventIndex::build(chunk_events);
 
         let mut cache = FluentCache::new(&self.inputs, &self.inputs_by_key);
         for key in &self.desc.strata {
             if self.desc.simple_by_fluent.contains_key(key) {
+                let eval_started = std::time::Instant::now();
                 evaluate_simple_fluent(
                     self.desc,
                     *key,
@@ -340,9 +353,16 @@ impl<'a> Engine<'a> {
                     &mut self.inertia,
                     &mut self.warnings,
                 );
+                metrics
+                    .fluent_eval_simple_us
+                    .observe_duration(eval_started.elapsed());
             }
             if self.desc.static_by_fluent.contains_key(key) {
+                let eval_started = std::time::Instant::now();
                 evaluate_static_fluent(self.desc, *key, &mut cache, &mut self.warnings);
+                metrics
+                    .fluent_eval_static_us
+                    .observe_duration(eval_started.elapsed());
             }
         }
 
@@ -375,6 +395,7 @@ impl<'a> Engine<'a> {
             self.output.insert_merge(fvp, folded);
         }
         self.processed_to = q;
+        metrics.tick_duration_us.observe_duration(started.elapsed());
     }
 }
 

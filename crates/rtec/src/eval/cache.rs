@@ -10,6 +10,7 @@
 use crate::ast::FluentKey;
 use crate::interval::{IntervalList, Timepoint};
 use crate::term::GroundFvp;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Interval lists of ground FVPs known in the current window: computed
@@ -20,6 +21,10 @@ pub struct FluentCache<'a> {
     chunk_by_key: HashMap<FluentKey, Vec<GroundFvp>>,
     inputs: &'a HashMap<GroundFvp, IntervalList>,
     inputs_by_key: &'a HashMap<FluentKey, Vec<GroundFvp>>,
+    // Hit/miss tallies stay in thread-local `Cell`s on the hot lookup
+    // path and reach the global atomic counters once, on drain.
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl<'a> FluentCache<'a> {
@@ -33,12 +38,21 @@ impl<'a> FluentCache<'a> {
             chunk_by_key: HashMap::new(),
             inputs,
             inputs_by_key,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
     }
 
     /// The interval list of `fvp`, if known (computed first, inputs second).
     pub fn get(&self, fvp: &GroundFvp) -> Option<&IntervalList> {
-        self.chunk.get(fvp).or_else(|| self.inputs.get(fvp))
+        let found = self.chunk.get(fvp).or_else(|| self.inputs.get(fvp));
+        let tally = if found.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        tally.set(tally.get() + 1);
+        found
     }
 
     /// Whether `fvp` holds at `t` according to the cache.
@@ -86,8 +100,12 @@ impl<'a> FluentCache<'a> {
     }
 
     /// Drains the computed entries (called when folding a window's results
-    /// into the global recognition output).
+    /// into the global recognition output) and flushes the hit/miss
+    /// tallies to the global metrics.
     pub fn into_computed(self) -> HashMap<GroundFvp, IntervalList> {
+        let metrics = crate::obs::metrics();
+        metrics.cache_hits.add(self.hits.get());
+        metrics.cache_misses.add(self.misses.get());
         self.chunk
     }
 

@@ -202,6 +202,7 @@ impl IntervalList {
 
     /// Union of any number of interval lists (the `union_all` construct).
     pub fn union_all(lists: &[&IntervalList]) -> IntervalList {
+        crate::obs::metrics().interval_union.inc();
         match lists.len() {
             0 => IntervalList::new(),
             1 => lists[0].clone(),
@@ -238,6 +239,7 @@ impl IntervalList {
 
     /// Pairwise intersection with `other`, by linear merge.
     pub fn intersect(&self, other: &IntervalList) -> IntervalList {
+        crate::obs::metrics().interval_intersect.inc();
         let (mut i, mut j) = (0, 0);
         let mut out = Vec::new();
         while i < self.ivs.len() && j < other.ivs.len() {
@@ -263,6 +265,7 @@ impl IntervalList {
 
     /// Pairwise set difference `self \ other`, by linear merge.
     pub fn difference(&self, other: &IntervalList) -> IntervalList {
+        crate::obs::metrics().interval_complement.inc();
         let mut out = Vec::new();
         let mut j = 0;
         for a in &self.ivs {

@@ -73,6 +73,7 @@ pub mod error;
 pub mod eval;
 pub mod interval;
 pub mod lexer;
+pub mod obs;
 pub mod parallel;
 pub mod parser;
 pub mod stream;

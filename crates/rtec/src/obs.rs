@@ -1,0 +1,135 @@
+//! Engine telemetry: process-global metric handles.
+//!
+//! The engine's hot paths record into a fixed set of counters and
+//! histograms registered once in the [`rtec_obs::global`] registry.
+//! Handles are `Arc`s resolved a single time through a `OnceLock`, so
+//! recording never touches the registry lock; the per-operation cost is
+//! a relaxed atomic add.
+//!
+//! Series (all prefixed `rtec_engine_`):
+//!
+//! | name | kind | labels |
+//! |------|------|--------|
+//! | `rtec_engine_windows_total` | counter | — |
+//! | `rtec_engine_events_processed_total` | counter | — |
+//! | `rtec_engine_forget_drops_total` | counter | — |
+//! | `rtec_engine_tick_duration_us` | histogram | — |
+//! | `rtec_engine_fluent_eval_us` | histogram | `kind=simple\|static` |
+//! | `rtec_engine_cache_requests_total` | counter | `result=hit\|miss` |
+//! | `rtec_engine_interval_ops_total` | counter | `op=union\|intersect\|complement` |
+
+use rtec_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Handles to every engine metric series.
+pub struct EngineMetrics {
+    /// Windows (ticks) evaluated, across all engines in the process.
+    pub windows: Arc<Counter>,
+    /// Input events consumed by window evaluation.
+    pub events_processed: Arc<Counter>,
+    /// Stale events dropped by the forget-horizon policy.
+    pub forget_drops: Arc<Counter>,
+    /// Wall-clock duration of one window evaluation, in microseconds.
+    pub tick_duration_us: Arc<Histogram>,
+    /// Per-fluent evaluation time of simple (inertial) fluents.
+    pub fluent_eval_simple_us: Arc<Histogram>,
+    /// Per-fluent evaluation time of statically determined fluents.
+    pub fluent_eval_static_us: Arc<Histogram>,
+    /// Fluent-cache lookups that found an interval list.
+    pub cache_hits: Arc<Counter>,
+    /// Fluent-cache lookups that found nothing.
+    pub cache_misses: Arc<Counter>,
+    /// Interval-algebra union operations (`union_all`, `merge`).
+    pub interval_union: Arc<Counter>,
+    /// Interval-algebra intersections (`intersect`, `intersect_all`).
+    pub interval_intersect: Arc<Counter>,
+    /// Interval-algebra complements (`difference`,
+    /// `relative_complement_all`).
+    pub interval_complement: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    fn new() -> EngineMetrics {
+        let r = rtec_obs::global();
+        EngineMetrics {
+            windows: r.counter(
+                "rtec_engine_windows_total",
+                "Windows (ticks) evaluated by the recognition engine.",
+                &[],
+            ),
+            events_processed: r.counter(
+                "rtec_engine_events_processed_total",
+                "Input events consumed by window evaluation.",
+                &[],
+            ),
+            forget_drops: r.counter(
+                "rtec_engine_forget_drops_total",
+                "Stale events dropped by the forget-horizon policy.",
+                &[],
+            ),
+            tick_duration_us: r.histogram(
+                "rtec_engine_tick_duration_us",
+                "Wall-clock duration of one window evaluation (microseconds).",
+                &[],
+            ),
+            fluent_eval_simple_us: r.histogram(
+                "rtec_engine_fluent_eval_us",
+                "Per-fluent evaluation time (microseconds).",
+                &[("kind", "simple")],
+            ),
+            fluent_eval_static_us: r.histogram(
+                "rtec_engine_fluent_eval_us",
+                "Per-fluent evaluation time (microseconds).",
+                &[("kind", "static")],
+            ),
+            cache_hits: r.counter(
+                "rtec_engine_cache_requests_total",
+                "Fluent-cache lookups by result.",
+                &[("result", "hit")],
+            ),
+            cache_misses: r.counter(
+                "rtec_engine_cache_requests_total",
+                "Fluent-cache lookups by result.",
+                &[("result", "miss")],
+            ),
+            interval_union: r.counter(
+                "rtec_engine_interval_ops_total",
+                "Interval-algebra operations by kind.",
+                &[("op", "union")],
+            ),
+            interval_intersect: r.counter(
+                "rtec_engine_interval_ops_total",
+                "Interval-algebra operations by kind.",
+                &[("op", "intersect")],
+            ),
+            interval_complement: r.counter(
+                "rtec_engine_interval_ops_total",
+                "Interval-algebra operations by kind.",
+                &[("op", "complement")],
+            ),
+        }
+    }
+}
+
+/// The process-global engine metric handles (created on first use).
+pub fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(EngineMetrics::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_register_once_and_render() {
+        let m = metrics();
+        let before = m.windows.get();
+        m.windows.inc();
+        assert_eq!(metrics().windows.get(), before + 1);
+        let text = rtec_obs::global().render_prometheus();
+        assert!(text.contains("rtec_engine_windows_total"));
+        assert!(text.contains("rtec_engine_fluent_eval_us_bucket{kind=\"simple\""));
+        rtec_obs::expo::validate(&text).expect("valid exposition");
+    }
+}

@@ -99,6 +99,7 @@ fn in_process_session_matches_batch_engine() {
         assert_eq!(stats.events_ingested, file.events.len() as u64);
         assert!(stats.engine.windows >= 1);
         assert!(stats.tick_latency.count() >= 1);
+        assert_eq!(stats.queue_high_water.len(), shards, "shards={shards}");
         session.close().unwrap();
     }
 }
@@ -114,13 +115,16 @@ fn tcp_concurrent_sessions_match_batch_engine() {
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 4,
+        metrics_addr: None,
     })
     .unwrap();
     let addr = server.local_addr().unwrap().to_string();
     let server_thread = std::thread::spawn(move || server.serve());
 
     // Two sessions replay concurrently on separate connections, with
-    // different shard counts, windows, and tick cadences.
+    // different shard counts, windows, and tick cadences. fleet-a stays
+    // open after its replay so the metrics scrape below observes a live
+    // session.
     let configs = [
         (
             "fleet-a",
@@ -131,6 +135,7 @@ fn tcp_concurrent_sessions_match_batch_engine() {
                 tick_every: None,
                 horizon: Some(horizon),
                 batch_size: 128,
+                close: false,
                 ..StreamOptions::default()
             },
         ),
@@ -179,7 +184,41 @@ fn tcp_concurrent_sessions_match_batch_engine() {
             !latency["buckets"].as_array().unwrap().is_empty(),
             "session {name}"
         );
+        // Observability extensions to the stats frame: nothing was
+        // forgotten in this replay, and each shard reports a queue
+        // high-water mark.
+        assert_eq!(stats["forget_drops"].as_i64(), Some(0), "session {name}");
+        let high_water = stats["queue_high_water"].as_array().unwrap();
+        assert!(!high_water.is_empty(), "session {name}");
     }
+
+    // Scrape the Prometheus exposition over the NDJSON protocol while
+    // fleet-a is still open: it must be valid text-format output and
+    // carry both engine-level and service-level series, including the
+    // per-session gauges sampled at scrape time.
+    let mut scraper = Client::connect(&addr).unwrap();
+    let body = scraper.metrics().unwrap();
+    rtec_obs::expo::validate(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+    for series in [
+        "rtec_engine_windows_total",
+        "rtec_engine_tick_duration_us_bucket",
+        "rtec_engine_cache_requests_total{result=\"hit\"}",
+        "rtec_engine_forget_drops_total",
+        "rtec_service_events_ingested_total",
+        "rtec_service_ticks_total",
+        "rtec_service_sessions_open 1",
+        "rtec_service_queue_depth{session=\"fleet-a\",shard=\"0\"}",
+        "rtec_service_queue_high_water{session=\"fleet-a\",shard=\"1\"}",
+    ] {
+        assert!(body.contains(series), "missing {series} in:\n{body}");
+    }
+    scraper
+        .request("{\"cmd\":\"close\",\"session\":\"fleet-a\"}")
+        .unwrap();
+    // The connection must be gone before shutdown: the server joins its
+    // handler pool, and a handler stays parked in read_line while a
+    // client holds its connection open.
+    drop(scraper);
 
     let response = rtec_service::request_shutdown(&addr).unwrap();
     assert!(response.contains("\"ok\": true") || response.contains("\"ok\":true"));
