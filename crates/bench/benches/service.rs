@@ -52,6 +52,7 @@ fn replay(w: &Workload, shards: usize, ticks: i64) -> usize {
             window: None,
             shards,
             queue_capacity: 1024,
+            ..SessionConfig::default()
         },
     )
     .expect("open");

@@ -68,7 +68,8 @@ pub enum Command {
         /// Second description.
         b: String,
     },
-    /// `serve [--addr A] [--threads N] [--metrics-addr M] [--stdio]`
+    /// `serve [--addr A] [--threads N] [--metrics-addr M] [--stdio]
+    /// [--checkpoint-dir D] [--max-worker-restarts N]`
     Serve {
         /// Listen address (ignored with `--stdio`).
         addr: String,
@@ -78,6 +79,10 @@ pub enum Command {
         stdio: bool,
         /// Optional Prometheus HTTP scrape address.
         metrics_addr: Option<String>,
+        /// Directory for session checkpoints (enables `restore`).
+        checkpoint_dir: Option<String>,
+        /// Worker restarts allowed per session before quarantine.
+        max_worker_restarts: Option<usize>,
     },
     /// `stream <desc> <events> [--addr A] [options]`
     Stream {
@@ -103,7 +108,8 @@ USAGE:
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
-               [--metrics-addr HOST:PORT]
+               [--metrics-addr HOST:PORT] [--checkpoint-dir DIR]
+               [--max-worker-restarts N]
     rtec stream <description.rtec> <events.evt> [--addr HOST:PORT]
                 [--session S] [--window W] [--horizon H] [--shards N]
                 [--queue N] [--batch N] [--rate EV_PER_SEC]
@@ -113,7 +119,9 @@ Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
 `stream` additionally accepts `interval FLUENT=VALUE START END ...` lines
 for input-fluent intervals. `serve`/`stream` speak the NDJSON protocol
 documented in docs/SERVICE.md (default address 127.0.0.1:7878);
-`--metrics-addr` adds an HTTP Prometheus endpoint (docs/OBSERVABILITY.md).
+`--metrics-addr` adds an HTTP Prometheus endpoint (docs/OBSERVABILITY.md);
+`--checkpoint-dir` persists per-session checkpoints after every tick and
+enables the `restore` command (docs/ROBUSTNESS.md).
 Diagnostics are JSON-line events on stderr, filtered by RTEC_LOG
 (error|warn|info|debug; default info).
 ";
@@ -165,6 +173,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 4usize;
             let mut stdio = false;
             let mut metrics_addr = None;
+            let mut checkpoint_dir = None;
+            let mut max_worker_restarts = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--stdio" => stdio = true,
@@ -181,6 +191,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         );
                     }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir = Some(
+                            it.next()
+                                .ok_or_else(|| CliError::new("--checkpoint-dir: missing value", 2))?
+                                .clone(),
+                        );
+                    }
                     "--threads" => {
                         let value = it
                             .next()
@@ -188,6 +205,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         threads = value
                             .parse()
                             .map_err(|e| CliError::new(format!("--threads {value}: {e}"), 2))?;
+                    }
+                    "--max-worker-restarts" => {
+                        let value = it.next().ok_or_else(|| {
+                            CliError::new("--max-worker-restarts: missing value", 2)
+                        })?;
+                        max_worker_restarts = Some(value.parse().map_err(|e| {
+                            CliError::new(format!("--max-worker-restarts {value}: {e}"), 2)
+                        })?);
                     }
                     other => return Err(CliError::new(format!("unknown flag {other}"), 2)),
                 }
@@ -197,6 +222,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 stdio,
                 metrics_addr,
+                checkpoint_dir,
+                max_worker_restarts,
             })
         }
         Some("stream") => {
@@ -497,7 +524,9 @@ mod tests {
                 addr: "0.0.0.0:9000".into(),
                 threads: 8,
                 stdio: false,
-                metrics_addr: None
+                metrics_addr: None,
+                checkpoint_dir: None,
+                max_worker_restarts: None
             }
         );
         assert_eq!(
@@ -506,7 +535,9 @@ mod tests {
                 addr: "127.0.0.1:7878".into(),
                 threads: 4,
                 stdio: true,
-                metrics_addr: None
+                metrics_addr: None,
+                checkpoint_dir: None,
+                max_worker_restarts: None
             }
         );
         assert_eq!(
@@ -515,9 +546,31 @@ mod tests {
                 addr: "127.0.0.1:7878".into(),
                 threads: 4,
                 stdio: false,
-                metrics_addr: Some("127.0.0.1:9100".into())
+                metrics_addr: Some("127.0.0.1:9100".into()),
+                checkpoint_dir: None,
+                max_worker_restarts: None
             }
         );
+        assert_eq!(
+            parse_args(&s(&[
+                "serve",
+                "--checkpoint-dir",
+                "/var/lib/rtec",
+                "--max-worker-restarts",
+                "5"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                stdio: false,
+                metrics_addr: None,
+                checkpoint_dir: Some("/var/lib/rtec".into()),
+                max_worker_restarts: Some(5)
+            }
+        );
+        assert!(parse_args(&s(&["serve", "--checkpoint-dir"])).is_err());
+        assert!(parse_args(&s(&["serve", "--max-worker-restarts", "nope"])).is_err());
         let cmd = parse_args(&s(&[
             "stream",
             "a.rtec",

@@ -17,10 +17,15 @@ fn serve(
     threads: usize,
     stdio: bool,
     metrics_addr: Option<&str>,
+    checkpoint_dir: Option<&str>,
+    max_worker_restarts: Option<usize>,
 ) -> Result<(), rtec_cli::CliError> {
     let fail = |message: String| rtec_cli::CliError { message, code: 4 };
     if stdio {
-        let registry = rtec_service::Registry::new();
+        let registry = rtec_service::Registry::with_options(
+            checkpoint_dir.map(Into::into),
+            max_worker_restarts,
+        );
         let stdin = std::io::stdin().lock();
         let stdout = std::io::stdout().lock();
         return rtec_service::serve_stdio(&registry, stdin, stdout).map_err(fail);
@@ -29,6 +34,8 @@ fn serve(
         addr: addr.to_string(),
         threads,
         metrics_addr: metrics_addr.map(str::to_string),
+        checkpoint_dir: checkpoint_dir.map(str::to_string),
+        max_worker_restarts,
     })
     .map_err(fail)?;
     server.serve().map_err(fail)
@@ -98,8 +105,17 @@ fn main() -> ExitCode {
             threads,
             stdio,
             metrics_addr,
+            checkpoint_dir,
+            max_worker_restarts,
         } => {
-            return match serve(&addr, threads, stdio, metrics_addr.as_deref()) {
+            return match serve(
+                &addr,
+                threads,
+                stdio,
+                metrics_addr.as_deref(),
+                checkpoint_dir.as_deref(),
+                max_worker_restarts,
+            ) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => report_error(&e),
             };

@@ -17,7 +17,9 @@
 //! renders output byte-compatible with a batch `rtec-cli run`.
 
 pub mod client;
+pub mod fault;
 pub mod obs;
+pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod router;
@@ -26,6 +28,7 @@ pub mod session;
 pub mod worker;
 
 pub use client::{parse_stream_file, stream_file, Client, StreamFile, StreamOptions, StreamReport};
+pub use fault::{FaultPlan, IoFaultKind, WorkerPanic};
 pub use registry::Registry;
-pub use server::{request_shutdown, serve_stdio, Server, ServerConfig};
+pub use server::{request_shutdown, serve_stdio, Server, ServerConfig, MAX_FRAME};
 pub use session::{Session, SessionConfig, SessionStats};

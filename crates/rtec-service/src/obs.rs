@@ -20,6 +20,9 @@
 //! | `rtec_service_ticks_total` | counter | — |
 //! | `rtec_service_tick_duration_us` | histogram | — |
 //! | `rtec_service_query_rows_total` | counter | — |
+//! | `rtec_service_faults_injected_total` | counter | — |
+//! | `rtec_service_worker_restarts_total` | counter | — |
+//! | `rtec_service_frames_rejected_total` | counter | — |
 //! | `rtec_service_sessions_open` | gauge (sampled) | — |
 //! | `rtec_service_queue_depth` | gauge (sampled) | `session`, `shard` |
 //! | `rtec_service_queue_high_water` | gauge (sampled) | `session`, `shard` |
@@ -48,6 +51,13 @@ pub struct ServiceMetrics {
     pub tick_duration_us: Arc<Histogram>,
     /// Recognition rows returned by `query` commands.
     pub query_rows: Arc<Counter>,
+    /// Faults injected by the testkit fault harness (0 in production).
+    pub faults_injected: Arc<Counter>,
+    /// Crashed shard workers respawned from checkpoint.
+    pub worker_restarts: Arc<Counter>,
+    /// Request frames answered with an error frame (malformed JSON,
+    /// bad fields, oversized or non-UTF-8 lines, unknown commands…).
+    pub frames_rejected: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -88,6 +98,21 @@ impl ServiceMetrics {
             query_rows: r.counter(
                 "rtec_service_query_rows_total",
                 "Recognition rows returned by query commands.",
+                &[],
+            ),
+            faults_injected: r.counter(
+                "rtec_service_faults_injected_total",
+                "Faults injected by the testkit fault harness.",
+                &[],
+            ),
+            worker_restarts: r.counter(
+                "rtec_service_worker_restarts_total",
+                "Crashed shard workers respawned from checkpoint.",
+                &[],
+            ),
+            frames_rejected: r.counter(
+                "rtec_service_frames_rejected_total",
+                "Request frames answered with an error frame.",
                 &[],
             ),
         }

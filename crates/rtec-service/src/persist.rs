@@ -1,0 +1,590 @@
+//! Durable session checkpoints: one JSON document per session, written
+//! atomically at tick boundaries.
+//!
+//! A [`SessionCheckpoint`] captures everything needed to rebuild a
+//! session with identical future behaviour: the description source, the
+//! session configuration, the master symbol names in interning order
+//! (re-interning them reproduces identical symbol ids, so terms encoded
+//! with raw ids decode against the rebuilt table), the router's
+//! entity→shard assignment, one [`EngineCheckpoint`] per shard, and the
+//! session counters.
+//!
+//! The on-disk document carries the same `{"version", "crc", "state"}`
+//! envelope as engine checkpoints: a torn or truncated write fails the
+//! checksum on load instead of restoring corrupt state. Writes go to a
+//! temp file first and are renamed into place, so the previous
+//! checkpoint survives any failure before the rename — including the
+//! injected I/O faults from [`crate::fault`].
+
+use crate::fault;
+use crate::router::RouterSnapshot;
+use crate::session::{Session, SessionConfig, SessionStats};
+use rtec::checkpoint::{decode_term, encode_term, fnv1a_hex, EngineCheckpoint, CHECKPOINT_VERSION};
+use rtec::Timepoint;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A persistable image of a whole session at a tick boundary.
+#[derive(Clone, Debug)]
+pub struct SessionCheckpoint {
+    /// Session name.
+    pub name: String,
+    /// The description source the session was opened with.
+    pub description_src: String,
+    /// Session configuration.
+    pub config: SessionConfig,
+    /// Master symbol names in interning order.
+    pub master_symbols: Vec<String>,
+    /// The router's sharding decisions.
+    pub router: RouterSnapshot,
+    /// One engine checkpoint per shard, in shard order.
+    pub shards: Vec<EngineCheckpoint>,
+    /// Session counters (the latency histogram is not persisted).
+    pub stats: SessionStats,
+}
+
+impl SessionCheckpoint {
+    /// Captures a session. Returns `None` before the first tick (no
+    /// shard checkpoints yet) or while items are buffered awaiting a
+    /// flush — callers checkpoint right after a successful tick, where
+    /// both conditions hold.
+    pub fn capture(session: &Session) -> Option<SessionCheckpoint> {
+        if session.buffered() > 0 {
+            return None;
+        }
+        let shards = session.shard_checkpoints()?;
+        Some(SessionCheckpoint {
+            name: session.name().to_string(),
+            description_src: session.description_src().to_string(),
+            config: session.config(),
+            master_symbols: session
+                .master_symbols()
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect(),
+            router: session.router_snapshot(),
+            shards: shards.into_iter().cloned().collect(),
+            stats: session.stats().clone(),
+        })
+    }
+
+    /// Rebuilds a live session from this checkpoint.
+    pub fn restore(&self) -> Result<Session, String> {
+        Session::reopen(
+            self.name.clone(),
+            &self.description_src,
+            self.config,
+            &self.master_symbols,
+            &self.router,
+            self.shards.clone(),
+            self.stats.clone(),
+        )
+    }
+
+    /// Serializes to the versioned, checksummed document. Deterministic:
+    /// the same session state yields byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let state = self.to_value();
+        let payload = serde_json::to_string(&state).unwrap_or_else(|_| "{}".into());
+        let mut doc = BTreeMap::new();
+        doc.insert("version".to_string(), Value::from(CHECKPOINT_VERSION));
+        doc.insert(
+            "crc".to_string(),
+            Value::from(fnv1a_hex(payload.as_bytes())),
+        );
+        doc.insert("state".to_string(), state);
+        serde_json::to_string(&Value::Object(doc)).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Parses and verifies a document (version, then checksum).
+    pub fn from_json(text: &str) -> Result<SessionCheckpoint, String> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| format!("session checkpoint: malformed JSON: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or("session checkpoint: missing \"version\"")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "session checkpoint: unsupported version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let crc = doc
+            .get("crc")
+            .and_then(Value::as_str)
+            .ok_or("session checkpoint: missing \"crc\"")?;
+        let state = doc
+            .get("state")
+            .ok_or("session checkpoint: missing \"state\"")?;
+        let payload =
+            serde_json::to_string(state).map_err(|e| format!("session checkpoint: {e}"))?;
+        let actual = fnv1a_hex(payload.as_bytes());
+        if actual != crc {
+            return Err(format!(
+                "session checkpoint: checksum mismatch (stored {crc}, computed {actual}) — \
+                 torn write?"
+            ));
+        }
+        SessionCheckpoint::from_value(state)
+    }
+
+    fn to_value(&self) -> Value {
+        let mut state = BTreeMap::new();
+        state.insert("name".to_string(), Value::from(self.name.as_str()));
+        state.insert(
+            "description".to_string(),
+            Value::from(self.description_src.as_str()),
+        );
+        let mut config = BTreeMap::new();
+        config.insert(
+            "window".to_string(),
+            match self.config.window {
+                Some(w) => Value::from(w),
+                None => Value::Null,
+            },
+        );
+        config.insert("shards".to_string(), counter(self.config.shards));
+        config.insert(
+            "queue_capacity".to_string(),
+            counter(self.config.queue_capacity),
+        );
+        config.insert(
+            "max_worker_restarts".to_string(),
+            counter(self.config.max_worker_restarts),
+        );
+        state.insert("config".to_string(), Value::Object(config));
+        state.insert(
+            "master_symbols".to_string(),
+            Value::Array(
+                self.master_symbols
+                    .iter()
+                    .map(|s| Value::from(s.as_str()))
+                    .collect(),
+            ),
+        );
+        let mut router = BTreeMap::new();
+        router.insert("n_shards".to_string(), counter(self.router.n_shards));
+        router.insert(
+            "entities".to_string(),
+            Value::Array(self.router.entities.iter().map(encode_term).collect()),
+        );
+        router.insert(
+            "parent".to_string(),
+            Value::Array(self.router.parent.iter().map(|&p| counter(p)).collect()),
+        );
+        router.insert(
+            "shard_of_root".to_string(),
+            Value::Array(
+                self.router
+                    .shard_of_root
+                    .iter()
+                    .map(|&(root, shard)| Value::Array(vec![counter(root), counter(shard)]))
+                    .collect(),
+            ),
+        );
+        router.insert("pinned".to_string(), counter(self.router.pinned));
+        router.insert(
+            "late_couplings".to_string(),
+            counter_u64(self.router.late_couplings),
+        );
+        state.insert("router".to_string(), Value::Object(router));
+        state.insert(
+            "shards".to_string(),
+            Value::Array(self.shards.iter().map(EngineCheckpoint::to_value).collect()),
+        );
+        let mut stats = BTreeMap::new();
+        stats.insert(
+            "events_ingested".to_string(),
+            counter_u64(self.stats.events_ingested),
+        );
+        stats.insert(
+            "intervals_ingested".to_string(),
+            counter_u64(self.stats.intervals_ingested),
+        );
+        stats.insert(
+            "backpressure_waits".to_string(),
+            counter_u64(self.stats.backpressure_waits),
+        );
+        stats.insert("ticks".to_string(), counter_u64(self.stats.ticks));
+        stats.insert(
+            "processed_to".to_string(),
+            Value::from(self.stats.processed_to),
+        );
+        stats.insert(
+            "queue_high_water".to_string(),
+            Value::Array(
+                self.stats
+                    .queue_high_water
+                    .iter()
+                    .map(|&n| counter_u64(n))
+                    .collect(),
+            ),
+        );
+        stats.insert(
+            "worker_restarts".to_string(),
+            counter_u64(self.stats.worker_restarts),
+        );
+        stats.insert(
+            "frames_rejected".to_string(),
+            counter_u64(self.stats.frames_rejected),
+        );
+        let mut engine = BTreeMap::new();
+        engine.insert("windows".to_string(), counter(self.stats.engine.windows));
+        engine.insert(
+            "events_processed".to_string(),
+            counter(self.stats.engine.events_processed),
+        );
+        engine.insert(
+            "events_dropped".to_string(),
+            counter(self.stats.engine.events_dropped),
+        );
+        stats.insert("engine".to_string(), Value::Object(engine));
+        state.insert("stats".to_string(), Value::Object(stats));
+        Value::Object(state)
+    }
+
+    fn from_value(state: &Value) -> Result<SessionCheckpoint, String> {
+        let name = str_of(state, "name")?;
+        let description_src = str_of(state, "description")?;
+        let config_v = state
+            .get("config")
+            .ok_or("session checkpoint: missing \"config\"")?;
+        let config = SessionConfig {
+            window: match config_v.get("window") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_i64().ok_or("session checkpoint: non-integer window")?),
+            },
+            shards: usize_of(config_v, "shards")?,
+            queue_capacity: usize_of(config_v, "queue_capacity")?,
+            max_worker_restarts: usize_of(config_v, "max_worker_restarts")?,
+        };
+        let master_symbols = str_array(state, "master_symbols")?;
+        let router_v = state
+            .get("router")
+            .ok_or("session checkpoint: missing \"router\"")?;
+        let router = RouterSnapshot {
+            n_shards: usize_of(router_v, "n_shards")?,
+            entities: array_of(router_v, "entities")?
+                .iter()
+                .map(decode_term)
+                .collect::<Result<Vec<_>, String>>()?,
+            parent: array_of(router_v, "parent")?
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| "session checkpoint: bad parent entry".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            shard_of_root: array_of(router_v, "shard_of_root")?
+                .iter()
+                .map(|v| {
+                    let pair = v
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or("session checkpoint: bad shard_of_root entry")?;
+                    let root = pair[0]
+                        .as_i64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("session checkpoint: bad shard_of_root root")?;
+                    let shard = pair[1]
+                        .as_i64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("session checkpoint: bad shard_of_root shard")?;
+                    Ok::<(usize, usize), String>((root, shard))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            pinned: usize_of(router_v, "pinned")?,
+            late_couplings: u64_of(router_v, "late_couplings")?,
+        };
+        let shards = array_of(state, "shards")?
+            .iter()
+            .map(EngineCheckpoint::from_value)
+            .collect::<Result<Vec<_>, String>>()?;
+        let stats_v = state
+            .get("stats")
+            .ok_or("session checkpoint: missing \"stats\"")?;
+        let engine_v = stats_v
+            .get("engine")
+            .ok_or("session checkpoint: missing \"stats.engine\"")?;
+        let stats = SessionStats {
+            events_ingested: u64_of(stats_v, "events_ingested")?,
+            intervals_ingested: u64_of(stats_v, "intervals_ingested")?,
+            backpressure_waits: u64_of(stats_v, "backpressure_waits")?,
+            ticks: u64_of(stats_v, "ticks")?,
+            processed_to: stats_v
+                .get("processed_to")
+                .and_then(Value::as_i64)
+                .ok_or("session checkpoint: missing \"processed_to\"")?
+                as Timepoint,
+            tick_latency: Default::default(),
+            queue_high_water: array_of(stats_v, "queue_high_water")?
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .and_then(|n| u64::try_from(n).ok())
+                        .ok_or_else(|| "session checkpoint: bad queue_high_water".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            worker_restarts: u64_of(stats_v, "worker_restarts")?,
+            frames_rejected: u64_of(stats_v, "frames_rejected")?,
+            engine: rtec::engine::EngineStats {
+                windows: usize_of(engine_v, "windows")?,
+                events_processed: usize_of(engine_v, "events_processed")?,
+                events_dropped: usize_of(engine_v, "events_dropped")?,
+            },
+        };
+        Ok(SessionCheckpoint {
+            name,
+            description_src,
+            config,
+            master_symbols,
+            router,
+            shards,
+            stats,
+        })
+    }
+}
+
+/// The checkpoint file for `session` under `dir`. Session names are
+/// escaped so arbitrary names (slashes, dots, unicode) map to safe,
+/// distinct file names.
+pub fn checkpoint_path(dir: &Path, session: &str) -> PathBuf {
+    dir.join(format!("{}.session.json", escape_name(session)))
+}
+
+/// Writes `cp` atomically under `dir` (created if missing): the
+/// document goes to a temp file which is renamed into place, so the
+/// previous checkpoint survives any mid-write failure. Injected I/O
+/// faults ([`crate::fault`]) surface here.
+pub fn save(dir: &Path, cp: &SessionCheckpoint) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+    let path = checkpoint_path(dir, &cp.name);
+    let tmp = path.with_extension("json.tmp");
+    let doc = cp.to_json();
+    match fault::on_checkpoint_write() {
+        Some(fault::IoFaultKind::Error) => {
+            return Err("checkpoint write failed (injected I/O error)".to_string());
+        }
+        Some(fault::IoFaultKind::Torn { keep_bytes }) => {
+            // Simulate a crash mid-write: only a prefix reaches the temp
+            // file and the rename never happens. The previous checkpoint
+            // file is untouched; the torn temp file fails its checksum.
+            let keep = keep_bytes.min(doc.len());
+            let _ = std::fs::write(&tmp, &doc.as_bytes()[..keep]);
+            return Err("checkpoint write torn (injected fault)".to_string());
+        }
+        Some(fault::IoFaultKind::Delayed { millis }) => fault::apply_delay(millis),
+        None => {}
+    }
+    std::fs::write(&tmp, doc.as_bytes())
+        .map_err(|e| format!("checkpoint write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| format!("checkpoint rename {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Loads and verifies the checkpoint for `session` under `dir`.
+pub fn load(dir: &Path, session: &str) -> Result<SessionCheckpoint, String> {
+    let path = checkpoint_path(dir, session);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("checkpoint read {}: {e}", path.display()))?;
+    SessionCheckpoint::from_json(&text)
+}
+
+/// Removes the checkpoint for `session`, if present (called on close).
+pub fn remove(dir: &Path, session: &str) {
+    let _ = std::fs::remove_file(checkpoint_path(dir, session));
+}
+
+/// Session names with a checkpoint under `dir` (empty if the directory
+/// does not exist).
+pub fn list(dir: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let file = e.file_name().into_string().ok()?;
+            let encoded = file.strip_suffix(".session.json")?;
+            unescape_name(encoded)
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+/// Escapes a session name for use as a file-name stem: alphanumerics,
+/// `-` and `_` pass through, everything else becomes `%xx` per byte.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02x}"));
+            }
+        }
+    }
+    out
+}
+
+fn unescape_name(encoded: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(encoded.len());
+    let mut chars = encoded.bytes();
+    while let Some(b) = chars.next() {
+        if b == b'%' {
+            let hi = chars.next()?;
+            let lo = chars.next()?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            bytes.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).ok()
+}
+
+fn counter(n: usize) -> Value {
+    Value::from(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+fn counter_u64(n: u64) -> Value {
+    Value::from(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+fn str_of(v: &Value, field: &str) -> Result<String, String> {
+    v.get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("session checkpoint: missing string \"{field}\""))
+}
+
+fn str_array(v: &Value, field: &str) -> Result<Vec<String>, String> {
+    array_of(v, field)?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("session checkpoint: non-string in \"{field}\""))
+        })
+        .collect()
+}
+
+fn array_of<'v>(v: &'v Value, field: &str) -> Result<&'v Vec<Value>, String> {
+    v.get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("session checkpoint: missing array \"{field}\""))
+}
+
+fn usize_of(v: &Value, field: &str) -> Result<usize, String> {
+    v.get(field)
+        .and_then(Value::as_i64)
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| format!("session checkpoint: bad integer \"{field}\""))
+}
+
+fn u64_of(v: &Value, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(Value::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("session checkpoint: bad integer \"{field}\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESC: &str = "
+        initiatedAt(on(X)=true, T) :- happensAt(up(X), T).
+        terminatedAt(on(X)=true, T) :- happensAt(down(X), T).
+    ";
+
+    fn ticked_session(name: &str) -> Session {
+        let mut s = Session::open(
+            name,
+            DESC,
+            SessionConfig {
+                window: Some(20),
+                shards: 2,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        s.ingest_event("up(a)", 5).unwrap();
+        s.ingest_event("up(b)", 7).unwrap();
+        s.tick(20).unwrap();
+        s
+    }
+
+    #[test]
+    fn capture_save_load_restore_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "rtec-persist-test-{}-{}",
+            std::process::id(),
+            "round_trip"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = ticked_session("alpha/β");
+        let cp = SessionCheckpoint::capture(&s).expect("capturable after tick");
+        let path = save(&dir, &cp).unwrap();
+        assert!(path.exists());
+        assert_eq!(list(&dir), vec!["alpha/β".to_string()]);
+
+        let loaded = load(&dir, "alpha/β").unwrap();
+        let mut t = loaded.restore().unwrap();
+        s.ingest_event("down(a)", 25).unwrap();
+        t.ingest_event("down(a)", 25).unwrap();
+        s.tick(40).unwrap();
+        t.tick(40).unwrap();
+        let (so, ssym) = s.query().unwrap();
+        let (to, tsym) = t.query().unwrap();
+        let render = |out: &rtec::engine::RecognitionOutput, sym: &rtec::SymbolTable| {
+            let mut rows: Vec<String> = out
+                .iter()
+                .map(|(f, l)| format!("{}={}", f.display(sym), l))
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(render(&so, &ssym), render(&to, &tsym));
+        assert!(!render(&so, &ssym).is_empty());
+
+        remove(&dir, "alpha/β");
+        assert!(list(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+        s.close().unwrap();
+        t.close().unwrap();
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_checksummed() {
+        let s = ticked_session("det");
+        let cp = SessionCheckpoint::capture(&s).unwrap();
+        let a = cp.to_json();
+        let b = SessionCheckpoint::capture(&s).unwrap().to_json();
+        assert_eq!(a, b, "same state must serialize identically");
+
+        // Truncation (a torn write) must fail the checksum or the parse.
+        for cut in [a.len() / 2, a.len() - 2] {
+            assert!(SessionCheckpoint::from_json(&a[..cut]).is_err());
+        }
+        // Bit-flip in the payload must fail the checksum.
+        let flipped = a.replace("\"events_ingested\":2", "\"events_ingested\":3");
+        if flipped != a {
+            assert!(SessionCheckpoint::from_json(&flipped).is_err());
+        }
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn name_escaping_round_trips() {
+        for name in ["plain", "has space", "a/b", "ünïcode", "%25", "-_A9"] {
+            assert_eq!(unescape_name(&escape_name(name)).as_deref(), Some(name));
+        }
+    }
+}

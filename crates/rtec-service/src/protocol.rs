@@ -3,8 +3,11 @@
 //! Requests carry a `cmd` field naming the command (`open`, `event`,
 //! `batch`, `tick`, `query`, `stats`, `close`, `shutdown`); every
 //! response is either an ok-frame `{"ok": true, ...}` or an error frame
-//! `{"ok": false, "error": "..."}`. The full specification lives in
-//! `docs/SERVICE.md`.
+//! `{"ok": false, "code": "...", "error": "..."}`, where `code` is one
+//! of the machine-readable [`codes`] (`bad_frame`, `bad_request`,
+//! `unknown_command`, `no_such_session`, `session_exists`,
+//! `session_busy`, `quarantined`, `worker_failed`, `internal_panic`).
+//! The full specification lives in `docs/SERVICE.md`.
 
 use rtec::Timepoint;
 use serde_json::Value;
@@ -80,10 +83,98 @@ impl Default for OkFrame {
     }
 }
 
-/// An error frame `{"ok": false, "error": msg}`.
-pub fn error_frame(msg: &str) -> String {
+/// Machine-readable error codes carried in every error frame.
+pub mod codes {
+    /// The line was not a JSON object (malformed JSON, oversized frame,
+    /// invalid UTF-8).
+    pub const BAD_FRAME: &str = "bad_frame";
+    /// The frame parsed but a field was missing, mistyped, out of
+    /// range, or a term/description failed to parse.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Unknown `cmd`.
+    pub const UNKNOWN_COMMAND: &str = "unknown_command";
+    /// The named session does not exist.
+    pub const NO_SUCH_SESSION: &str = "no_such_session";
+    /// `open` named an existing session.
+    pub const SESSION_EXISTS: &str = "session_exists";
+    /// The session is held by another connection (close/shutdown race).
+    pub const SESSION_BUSY: &str = "session_busy";
+    /// The session exhausted its worker-restart budget and accepts
+    /// nothing but `close`.
+    pub const QUARANTINED: &str = "quarantined";
+    /// A shard worker died and could not be restored.
+    pub const WORKER_FAILED: &str = "worker_failed";
+    /// The request handler itself panicked (caught; the server lives).
+    pub const INTERNAL_PANIC: &str = "internal_panic";
+}
+
+/// A dispatch error: a machine-readable code plus a human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// An error with an explicit code.
+    pub fn new(code: &'static str, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error frame for this error.
+    pub fn frame(&self) -> String {
+        error_frame(self.code, &self.message)
+    }
+}
+
+/// Classifies a bare session/engine error message into a code. Session
+/// plumbing reports `String` errors; the stable phrases below are the
+/// contract between the session layer and the wire protocol.
+pub fn classify(message: &str) -> &'static str {
+    if message.starts_with("malformed request") {
+        codes::BAD_FRAME
+    } else if message.contains("quarantined") {
+        codes::QUARANTINED
+    } else if message.contains("no such session") {
+        codes::NO_SUCH_SESSION
+    } else if message.contains("already exists") {
+        codes::SESSION_EXISTS
+    } else if message.contains("busy") {
+        codes::SESSION_BUSY
+    } else if message.contains("shard worker") {
+        codes::WORKER_FAILED
+    } else if message.starts_with("unknown command") {
+        codes::UNKNOWN_COMMAND
+    } else {
+        codes::BAD_REQUEST
+    }
+}
+
+impl From<String> for ServiceError {
+    fn from(message: String) -> ServiceError {
+        ServiceError {
+            code: classify(&message),
+            message,
+        }
+    }
+}
+
+impl From<&str> for ServiceError {
+    fn from(message: &str) -> ServiceError {
+        ServiceError::from(message.to_string())
+    }
+}
+
+/// An error frame `{"ok": false, "code": code, "error": msg}`.
+pub fn error_frame(code: &str, msg: &str) -> String {
     let mut fields = BTreeMap::new();
     fields.insert("ok".to_string(), Value::Bool(false));
+    fields.insert("code".to_string(), Value::from(code));
     fields.insert("error".to_string(), Value::from(msg));
     serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|_| "{}".into())
 }
@@ -104,10 +195,37 @@ mod tests {
         assert_eq!(v["ok"], true);
         assert_eq!(v["windows"], 3i64);
 
-        let err = error_frame("no such session \"x\"");
+        let err = error_frame(codes::NO_SUCH_SESSION, "no such session \"x\"");
         let v: Value = serde_json::from_str(&err).unwrap();
         assert_eq!(v["ok"], false);
+        assert_eq!(v["code"], "no_such_session");
         assert_eq!(v["error"], "no such session \"x\"");
+    }
+
+    #[test]
+    fn messages_classify_to_stable_codes() {
+        for (msg, code) in [
+            ("malformed request: bad JSON", codes::BAD_FRAME),
+            ("no such session \"x\"", codes::NO_SUCH_SESSION),
+            ("session \"x\" already exists", codes::SESSION_EXISTS),
+            (
+                "session quarantined: restarts exhausted",
+                codes::QUARANTINED,
+            ),
+            ("shard worker exited", codes::WORKER_FAILED),
+            (
+                "session is busy on another connection; retry close",
+                codes::SESSION_BUSY,
+            ),
+            ("unknown command \"frobnicate\"", codes::UNKNOWN_COMMAND),
+            (
+                "missing or non-string field \"session\"",
+                codes::BAD_REQUEST,
+            ),
+        ] {
+            assert_eq!(classify(msg), code, "{msg}");
+            assert_eq!(ServiceError::from(msg.to_string()).code, code);
+        }
     }
 
     #[test]

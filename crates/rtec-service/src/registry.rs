@@ -4,14 +4,27 @@
 //! loop, in-process tests); each session sits behind its own mutex so
 //! concurrent sessions never serialise on one another — only concurrent
 //! commands addressing the *same* session do.
+//!
+//! Dispatch is hardened: a panic inside any handler is caught and
+//! answered with an `internal_panic` error frame (the process and every
+//! other session keep running), every error frame carries a
+//! machine-readable code, and rejected frames are counted globally
+//! (`rtec_service_frames_rejected_total`) and per session. When a
+//! checkpoint directory is configured, each successful tick persists the
+//! session atomically and the `restore` command rebuilds a session from
+//! its last on-disk checkpoint.
 
+use crate::persist::{self, SessionCheckpoint};
 use crate::protocol::{
-    command, counter, error_frame, int_field, opt_int_field, parse_request, str_field, OkFrame,
+    codes, command, counter, int_field, opt_int_field, parse_request, str_field, OkFrame,
+    ServiceError,
 };
 use crate::session::{Session, SessionConfig};
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -20,12 +33,31 @@ use std::sync::Arc;
 pub struct Registry {
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     shutdown: AtomicBool,
+    /// Where to persist session checkpoints; `None` disables persistence.
+    checkpoint_dir: Option<PathBuf>,
+    /// Default restart budget for new sessions (None = SessionConfig
+    /// default).
+    max_worker_restarts: Option<usize>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry (no persistence, default restart budget).
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// A registry with persistence and supervision options: sessions
+    /// checkpoint to `checkpoint_dir` after every tick, and new sessions
+    /// default to `max_worker_restarts` respawns before quarantine.
+    pub fn with_options(
+        checkpoint_dir: Option<PathBuf>,
+        max_worker_restarts: Option<usize>,
+    ) -> Registry {
+        Registry {
+            checkpoint_dir,
+            max_worker_restarts,
+            ..Registry::default()
+        }
     }
 
     /// Whether `shutdown` has been requested.
@@ -39,15 +71,44 @@ impl Registry {
     }
 
     /// Handles one request line; returns the response line. Sets the
-    /// shutdown flag (draining all sessions) on `shutdown`.
+    /// shutdown flag (draining all sessions) on `shutdown`. Never
+    /// panics: handler panics become `internal_panic` error frames.
     pub fn dispatch(&self, line: &str) -> String {
-        match self.try_dispatch(line) {
-            Ok(response) => response,
-            Err(msg) => error_frame(&msg),
-        }
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.try_dispatch(line)));
+        let err = match outcome {
+            Ok(Ok(response)) => return response,
+            Ok(Err(err)) => err,
+            Err(_) => {
+                rtec_obs::error("service.dispatch_panicked", &[]);
+                ServiceError::new(
+                    codes::INTERNAL_PANIC,
+                    "internal error: request handler panicked",
+                )
+            }
+        };
+        crate::obs::metrics().frames_rejected.inc();
+        self.note_session_rejection(line);
+        err.frame()
     }
 
-    fn try_dispatch(&self, line: &str) -> Result<String, String> {
+    /// Charges a rejected frame to the session it addressed, when that
+    /// session exists and is not busy on another connection.
+    fn note_session_rejection(&self, line: &str) {
+        let Ok(req) = serde_json::from_str::<Value>(line) else {
+            return;
+        };
+        let Some(name) = req.get("session").and_then(Value::as_str) else {
+            return;
+        };
+        let Some(slot) = self.sessions.lock().get(name).cloned() else {
+            return;
+        };
+        if let Some(mut session) = slot.try_lock() {
+            session.note_frame_rejected();
+        };
+    }
+
+    fn try_dispatch(&self, line: &str) -> Result<String, ServiceError> {
         let req = parse_request(line)?;
         match command(&req)? {
             "open" => self.cmd_open(&req),
@@ -57,9 +118,13 @@ impl Registry {
             "query" => self.cmd_query(&req),
             "stats" => self.cmd_stats(&req),
             "metrics" => self.cmd_metrics(),
+            "restore" => self.cmd_restore(&req),
             "close" => self.cmd_close(&req),
             "shutdown" => self.cmd_shutdown(),
-            other => Err(format!("unknown command \"{other}\"")),
+            other => Err(ServiceError::new(
+                codes::UNKNOWN_COMMAND,
+                format!("unknown command \"{other}\""),
+            )),
         }
     }
 
@@ -72,13 +137,16 @@ impl Registry {
             .ok_or_else(|| format!("no such session \"{name}\""))
     }
 
-    fn cmd_open(&self, req: &Value) -> Result<String, String> {
+    fn cmd_open(&self, req: &Value) -> Result<String, ServiceError> {
         let name = str_field(req, "session")?;
         let description = str_field(req, "description")?;
         let mut config = SessionConfig {
             window: opt_int_field(req, "window")?,
             ..SessionConfig::default()
         };
+        if let Some(max) = self.max_worker_restarts {
+            config.max_worker_restarts = max;
+        }
         if let Some(shards) = opt_int_field(req, "shards")? {
             config.shards = usize::try_from(shards).map_err(|_| "invalid \"shards\"")?;
         }
@@ -89,9 +157,13 @@ impl Registry {
             }
             config.queue_capacity = queue;
         }
+        if let Some(max) = opt_int_field(req, "max_worker_restarts")? {
+            config.max_worker_restarts =
+                usize::try_from(max).map_err(|_| "invalid \"max_worker_restarts\"")?;
+        }
         let mut sessions = self.sessions.lock();
         if sessions.contains_key(name) {
-            return Err(format!("session \"{name}\" already exists"));
+            return Err(format!("session \"{name}\" already exists").into());
         }
         let session = Session::open(name, description, config)?;
         sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
@@ -101,7 +173,32 @@ impl Registry {
             .render())
     }
 
-    fn cmd_event(&self, req: &Value) -> Result<String, String> {
+    /// Rebuilds a session from its on-disk checkpoint (requires a
+    /// checkpoint directory).
+    fn cmd_restore(&self, req: &Value) -> Result<String, ServiceError> {
+        let name = str_field(req, "session")?;
+        let dir = self.checkpoint_dir.as_ref().ok_or_else(|| {
+            ServiceError::new(
+                codes::BAD_REQUEST,
+                "no checkpoint directory configured (serve --checkpoint-dir)",
+            )
+        })?;
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(format!("session \"{name}\" already exists").into());
+        }
+        let cp = persist::load(dir, name)?;
+        let session = cp.restore()?;
+        let shards = session.config().shards;
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(OkFrame::new()
+            .field("session", name)
+            .field("shards", shards as i64)
+            .field("processed_to", cp.stats.processed_to)
+            .render())
+    }
+
+    fn cmd_event(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let t = int_field(req, "t")?;
         let event = str_field(req, "event")?;
@@ -109,7 +206,7 @@ impl Registry {
         Ok(OkFrame::new().render())
     }
 
-    fn cmd_batch(&self, req: &Value) -> Result<String, String> {
+    fn cmd_batch(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let mut session = session.lock();
         let mut n_events = 0i64;
@@ -143,19 +240,47 @@ impl Registry {
             .render())
     }
 
-    fn cmd_tick(&self, req: &Value) -> Result<String, String> {
+    fn cmd_tick(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let to = int_field(req, "to")?;
-        let stats = session.lock().tick(to)?;
-        Ok(OkFrame::new()
+        let mut guard = session.lock();
+        let stats = guard.tick(to)?;
+        // Capture under the session lock (consistent image), write after
+        // releasing it (no I/O while holding the session).
+        let image = self
+            .checkpoint_dir
+            .as_ref()
+            .and_then(|_| SessionCheckpoint::capture(&guard));
+        let name = guard.name().to_string();
+        drop(guard);
+        let mut checkpointed = None;
+        if let Some(dir) = &self.checkpoint_dir {
+            checkpointed = Some(false);
+            if let Some(image) = image {
+                match persist::save(dir, &image) {
+                    Ok(_) => checkpointed = Some(true),
+                    Err(err) => rtec_obs::warn(
+                        "service.checkpoint_failed",
+                        &[
+                            ("session", name.as_str().into()),
+                            ("error", err.as_str().into()),
+                        ],
+                    ),
+                }
+            }
+        }
+        let mut frame = OkFrame::new()
             .field("processed_to", to)
             .field("windows", counter(stats.windows))
             .field("events_processed", counter(stats.events_processed))
-            .field("events_dropped", counter(stats.events_dropped))
-            .render())
+            .field("events_dropped", counter(stats.events_dropped));
+        if let Some(written) = checkpointed {
+            frame = frame.field("checkpointed", written);
+        }
+        Ok(frame.render())
     }
 
-    fn cmd_query(&self, req: &Value) -> Result<String, String> {
+    fn cmd_query(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let (out, symbols) = session.lock().query()?;
         let mut rows: Vec<(String, String)> = out
@@ -184,7 +309,7 @@ impl Registry {
             .render())
     }
 
-    fn cmd_stats(&self, req: &Value) -> Result<String, String> {
+    fn cmd_stats(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let session = session.lock();
         let stats = session.stats();
@@ -207,6 +332,15 @@ impl Registry {
             .field("events_processed", counter(stats.engine.events_processed))
             .field("events_dropped", counter(stats.engine.events_dropped))
             .field("forget_drops", counter(stats.engine.events_dropped))
+            .field("worker_restarts", counter(stats.worker_restarts))
+            .field("frames_rejected", counter(stats.frames_rejected))
+            .field(
+                "quarantined",
+                match session.quarantined() {
+                    Some(reason) => Value::from(reason),
+                    None => Value::Null,
+                },
+            )
             .field(
                 "tick_latency",
                 crate::obs::histogram_value(&stats.tick_latency),
@@ -216,7 +350,7 @@ impl Registry {
 
     /// Handles the `metrics` command: the full Prometheus exposition as
     /// a JSON-carried string.
-    fn cmd_metrics(&self) -> Result<String, String> {
+    fn cmd_metrics(&self) -> Result<String, ServiceError> {
         Ok(OkFrame::new()
             .field("content_type", rtec_obs::expo::CONTENT_TYPE)
             .field("body", self.render_metrics())
@@ -286,7 +420,7 @@ impl Registry {
         text
     }
 
-    fn cmd_close(&self, req: &Value) -> Result<String, String> {
+    fn cmd_close(&self, req: &Value) -> Result<String, ServiceError> {
         let name = str_field(req, "session")?;
         let session = self
             .sessions
@@ -297,6 +431,9 @@ impl Registry {
             .ok_or("session is busy on another connection; retry close")?
             .into_inner();
         let stats = session.close()?;
+        if let Some(dir) = &self.checkpoint_dir {
+            persist::remove(dir, name);
+        }
         Ok(OkFrame::new()
             .field("session", name)
             .field("events_ingested", counter(stats.events_ingested))
@@ -305,12 +442,12 @@ impl Registry {
             .render())
     }
 
-    fn cmd_shutdown(&self) -> Result<String, String> {
+    fn cmd_shutdown(&self) -> Result<String, ServiceError> {
         let sessions: Vec<(String, Arc<Mutex<Session>>)> = self.sessions.lock().drain().collect();
         let closed = sessions.len() as i64;
         for (name, session) in sessions {
             let Some(session) = Arc::into_inner(session) else {
-                return Err(format!("session \"{name}\" is busy; retry shutdown"));
+                return Err(format!("session \"{name}\" is busy; retry shutdown").into());
             };
             session.into_inner().close()?;
         }
@@ -409,7 +546,17 @@ mod tests {
             let v: Value = serde_json::from_str(&reg.dispatch(line)).unwrap();
             assert_eq!(v["ok"], false, "{line}");
             assert!(v["error"].as_str().is_some());
+            assert!(v["code"].as_str().is_some(), "{line}");
         }
+        // Codes are specific, not a catch-all.
+        let v: Value = serde_json::from_str(&reg.dispatch("not json")).unwrap();
+        assert_eq!(v["code"], "bad_frame");
+        let v: Value = serde_json::from_str(&reg.dispatch(r#"{"cmd":"frobnicate"}"#)).unwrap();
+        assert_eq!(v["code"], "unknown_command");
+        let v: Value =
+            serde_json::from_str(&reg.dispatch(r#"{"cmd":"tick","session":"nope","to":5}"#))
+                .unwrap();
+        assert_eq!(v["code"], "no_such_session");
         // Double open is an error.
         let _ = reg.dispatch(&open_line("dup"));
         let v: Value = serde_json::from_str(&reg.dispatch(&open_line("dup"))).unwrap();

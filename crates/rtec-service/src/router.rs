@@ -45,6 +45,26 @@ pub enum PendingItem {
     Intervals(GroundFvp, IntervalList),
 }
 
+/// Serializable image of a [`Router`]'s sharding decisions, taken at a
+/// tick boundary (the buffer is empty then — `flush` ran). Restoring it
+/// into a fresh router reproduces the exact entity→shard assignment, so
+/// a session rebuilt from a checkpoint routes future items identically.
+#[derive(Clone, Debug)]
+pub struct RouterSnapshot {
+    /// Shard count the assignment was made for.
+    pub n_shards: usize,
+    /// Entities in id (discovery) order.
+    pub entities: Vec<Term>,
+    /// Union-find parent array, indexed by entity id.
+    pub parent: Vec<usize>,
+    /// `(component root, shard)` pins, sorted by root.
+    pub shard_of_root: Vec<(usize, usize)>,
+    /// Round-robin pin counter.
+    pub pinned: usize,
+    /// Late couplings observed so far.
+    pub late_couplings: u64,
+}
+
 /// Incremental entity partitioner. Terms handed in must be interned in
 /// the session's master symbol table.
 pub struct Router {
@@ -169,6 +189,67 @@ impl Router {
             })
             .collect()
     }
+
+    /// Captures the sharding state. Buffered items are deliberately not
+    /// part of the snapshot — callers snapshot at tick boundaries, right
+    /// after [`Router::flush`].
+    pub fn snapshot(&self) -> RouterSnapshot {
+        let mut entities: Vec<(usize, Term)> = self
+            .entity_ids
+            .iter()
+            .map(|(term, &id)| (id, term.clone()))
+            .collect();
+        entities.sort_by_key(|(id, _)| *id);
+        let mut shard_of_root: Vec<(usize, usize)> = self
+            .shard_of_root
+            .iter()
+            .map(|(&root, &shard)| (root, shard))
+            .collect();
+        shard_of_root.sort_unstable();
+        RouterSnapshot {
+            n_shards: self.n_shards,
+            entities: entities.into_iter().map(|(_, term)| term).collect(),
+            parent: self.parent.clone(),
+            shard_of_root,
+            pinned: self.pinned,
+            late_couplings: self.late_couplings,
+        }
+    }
+
+    /// Rebuilds a router from a snapshot. Fails if the snapshot is
+    /// internally inconsistent (mismatched lengths, out-of-range ids).
+    pub fn restore(snap: &RouterSnapshot) -> Result<Router, String> {
+        if snap.n_shards == 0 {
+            return Err("router snapshot: zero shards".into());
+        }
+        let n = snap.entities.len();
+        if snap.parent.len() != n {
+            return Err("router snapshot: parent/entity length mismatch".into());
+        }
+        if snap.parent.iter().any(|&p| p >= n)
+            || snap
+                .shard_of_root
+                .iter()
+                .any(|&(root, shard)| root >= n || shard >= snap.n_shards)
+        {
+            return Err("router snapshot: id out of range".into());
+        }
+        let entity_ids = snap
+            .entities
+            .iter()
+            .enumerate()
+            .map(|(id, term)| (term.clone(), id))
+            .collect();
+        Ok(Router {
+            n_shards: snap.n_shards,
+            entity_ids,
+            parent: snap.parent.clone(),
+            shard_of_root: snap.shard_of_root.iter().copied().collect(),
+            pinned: snap.pinned,
+            buffer: Vec::new(),
+            late_couplings: snap.late_couplings,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +298,58 @@ mod tests {
     fn entity_less_items_broadcast() {
         let mut r = Router::new(3);
         assert_eq!(r.route(&[]), Route::Broadcast);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_the_assignment() {
+        let mut sym = SymbolTable::new();
+        let names = ["a", "b", "c", "d", "e"];
+        let terms: Vec<Term> = names.iter().map(|n| atom(&mut sym, n)).collect();
+        let mut r = Router::new(3);
+        for t in &terms {
+            let _ = r.route(std::slice::from_ref(t));
+        }
+        let _ = r.route(&[terms[0].clone(), terms[3].clone()]);
+        let _ = r.flush();
+
+        let snap = r.snapshot();
+        let mut restored = Router::restore(&snap).unwrap();
+        for t in &terms {
+            assert_eq!(
+                r.route(std::slice::from_ref(t)),
+                restored.route(std::slice::from_ref(t)),
+                "entity {t:?}"
+            );
+        }
+        // A new entity discovered after restore pins identically too.
+        let f = atom(&mut sym, "f");
+        let _ = r.route(std::slice::from_ref(&f));
+        let _ = restored.route(std::slice::from_ref(&f));
+        let _ = r.flush();
+        let _ = restored.flush();
+        assert_eq!(
+            r.route(std::slice::from_ref(&f)),
+            restored.route(std::slice::from_ref(&f))
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut sym = SymbolTable::new();
+        let a = atom(&mut sym, "a");
+        let mut r = Router::new(2);
+        let _ = r.route(std::slice::from_ref(&a));
+        let _ = r.flush();
+        let good = r.snapshot();
+
+        let mut bad = good.clone();
+        bad.parent = vec![5];
+        assert!(Router::restore(&bad).is_err());
+        let mut bad = good.clone();
+        bad.n_shards = 0;
+        assert!(Router::restore(&bad).is_err());
+        let mut bad = good;
+        bad.shard_of_root = vec![(0, 9)];
+        assert!(Router::restore(&bad).is_err());
     }
 }

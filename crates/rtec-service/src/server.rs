@@ -6,12 +6,97 @@
 //! connections are served concurrently and the rest queue. A `shutdown`
 //! command drains every session, flips the registry flag, and a
 //! self-connection pokes the accept loop awake so it can exit.
+//!
+//! Framing is byte-level and hardened: lines are read raw (invalid
+//! UTF-8 gets a structured `bad_frame` error instead of killing the
+//! connection) and capped at [`MAX_FRAME`] bytes — an oversized line is
+//! skipped and answered with an error frame, so a malicious or broken
+//! client cannot make the server buffer unbounded input.
 
+use crate::protocol::{codes, error_frame};
 use crate::registry::Registry;
 use crossbeam::channel::{unbounded, Receiver};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+
+/// Maximum accepted request-line length in bytes (1 MiB). Longer lines
+/// are discarded and answered with a `bad_frame` error.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// One raw request line, as read by [`read_frame`].
+enum Frame {
+    /// End of input.
+    Eof,
+    /// A complete line (without the trailing newline guarantee — the
+    /// final line of the stream may lack one).
+    Line(Vec<u8>),
+    /// A line longer than [`MAX_FRAME`]; its bytes were discarded.
+    Oversized,
+}
+
+/// Reads one newline-terminated frame without assuming UTF-8, enforcing
+/// the [`MAX_FRAME`] cap. An oversized line is consumed to its end so
+/// the connection can continue with the next frame.
+fn read_frame(reader: &mut impl BufRead) -> Result<Frame, String> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_FRAME as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Ok(Frame::Eof);
+    }
+    if buf.len() > MAX_FRAME && !buf.ends_with(b"\n") {
+        // Skip the remainder of the oversized line.
+        loop {
+            let mut rest = Vec::new();
+            let m = reader
+                .by_ref()
+                .take(MAX_FRAME as u64)
+                .read_until(b'\n', &mut rest)
+                .map_err(|e| e.to_string())?;
+            if m == 0 || rest.ends_with(b"\n") {
+                break;
+            }
+        }
+        return Ok(Frame::Oversized);
+    }
+    Ok(Frame::Line(buf))
+}
+
+/// Turns a raw frame into the response line to write, or `None` when the
+/// frame needs no reply (blank line). Counts rejected raw frames.
+fn respond_to_frame(registry: &Registry, frame: &Frame) -> Option<String> {
+    match frame {
+        Frame::Eof => None,
+        Frame::Oversized => {
+            crate::obs::metrics().frames_rejected.inc();
+            Some(error_frame(
+                codes::BAD_FRAME,
+                "malformed request: frame exceeds the 1 MiB limit",
+            ))
+        }
+        Frame::Line(bytes) => match std::str::from_utf8(bytes) {
+            Ok(text) => {
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    None
+                } else {
+                    Some(registry.dispatch(trimmed))
+                }
+            }
+            Err(_) => {
+                crate::obs::metrics().frames_rejected.inc();
+                Some(error_frame(
+                    codes::BAD_FRAME,
+                    "malformed request: line is not valid UTF-8",
+                ))
+            }
+        },
+    }
+}
 
 /// TCP server configuration.
 #[derive(Clone, Debug)]
@@ -23,6 +108,13 @@ pub struct ServerConfig {
     /// Optional Prometheus scrape endpoint (`GET /metrics` over plain
     /// HTTP/1.1), e.g. `127.0.0.1:9187`. `None` disables it.
     pub metrics_addr: Option<String>,
+    /// Directory for durable session checkpoints (written after every
+    /// tick; `restore` rebuilds sessions from it). `None` disables
+    /// persistence.
+    pub checkpoint_dir: Option<String>,
+    /// Default crashed-worker restart budget per session before
+    /// quarantine. `None` keeps the [`crate::SessionConfig`] default.
+    pub max_worker_restarts: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +123,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             threads: 4,
             metrics_addr: None,
+            checkpoint_dir: None,
+            max_worker_restarts: None,
         }
     }
 }
@@ -58,7 +152,10 @@ impl Server {
         Ok(Server {
             listener,
             metrics_listener,
-            registry: Arc::new(Registry::new()),
+            registry: Arc::new(Registry::with_options(
+                config.checkpoint_dir.clone().map(Into::into),
+                config.max_worker_restarts,
+            )),
             threads: config.threads.max(1),
         })
     }
@@ -191,18 +288,14 @@ fn handle_connection(
     let peer_read = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(peer_read);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
-        if n == 0 {
+        let frame = read_frame(&mut reader)?;
+        if matches!(frame, Frame::Eof) {
             return Ok(());
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
+        let Some(response) = respond_to_frame(registry, &frame) else {
             continue;
-        }
-        let response = registry.dispatch(trimmed);
+        };
         writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -250,14 +343,15 @@ pub fn serve_stdio(
     input: impl Read,
     mut output: impl Write,
 ) -> Result<(), String> {
-    let reader = BufReader::new(input);
-    for line in reader.lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    let mut reader = BufReader::new(input);
+    loop {
+        let frame = read_frame(&mut reader)?;
+        if matches!(frame, Frame::Eof) {
+            break;
         }
-        let response = registry.dispatch(trimmed);
+        let Some(response) = respond_to_frame(registry, &frame) else {
+            continue;
+        };
         writeln!(output, "{response}").map_err(|e| e.to_string())?;
         output.flush().map_err(|e| e.to_string())?;
         if registry.is_shutting_down() {
@@ -309,6 +403,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr().unwrap().to_string();

@@ -15,10 +15,31 @@
 //!    [`RecognitionOutput::absorb`];
 //! 5. **close** — drain the workers (all queued items are processed, no
 //!    extra evaluation is forced) and report final stats.
+//!
+//! # Crash recovery
+//!
+//! Shard workers can die (a panic in engine code, or an injected fault
+//! from [`crate::fault`]). The session supervises them:
+//!
+//! - after every successful tick it takes an [`EngineCheckpoint`] of
+//!   each shard and clears that shard's *replay log*;
+//! - every input sent to a shard is appended to the shard's replay log,
+//!   so the log always holds exactly the items the checkpoint has not
+//!   yet absorbed;
+//! - when a send or a reply observes a dead worker, the shard is
+//!   respawned from its checkpoint (or fresh, before the first
+//!   checkpoint), the replay log is re-sent, and the original operation
+//!   is retried. Windows are re-evaluated deterministically, so output
+//!   after recovery is byte-identical to an uninterrupted run;
+//! - restarts are budgeted by [`SessionConfig::max_worker_restarts`];
+//!   when the budget is exhausted the session is **quarantined**: every
+//!   command except `close` fails with a `quarantined` error, and other
+//!   sessions are unaffected.
 
-use crate::router::{PendingItem, Route, Router};
+use crate::router::{PendingItem, Route, Router, RouterSnapshot};
 use crate::worker::{ShardWorker, WorkerMsg};
 use crossbeam::channel::bounded;
+use rtec::checkpoint::EngineCheckpoint;
 use rtec::description::{CompiledDescription, EventDescription};
 use rtec::engine::{EngineConfig, EngineStats, RecognitionOutput};
 use rtec::interval::IntervalList;
@@ -27,7 +48,7 @@ use rtec::term::GroundFvp;
 use rtec::{SymbolTable, Timepoint};
 use rtec_obs::Histogram;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Session parameters.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +60,9 @@ pub struct SessionConfig {
     pub shards: usize,
     /// Bounded per-shard queue capacity.
     pub queue_capacity: usize,
+    /// Crashed-worker respawns allowed before the session is
+    /// quarantined.
+    pub max_worker_restarts: usize,
 }
 
 impl Default for SessionConfig {
@@ -47,6 +71,7 @@ impl Default for SessionConfig {
             window: None,
             shards: 2,
             queue_capacity: 1024,
+            max_worker_restarts: 2,
         }
     }
 }
@@ -68,10 +93,31 @@ pub struct SessionStats {
     pub tick_latency: Histogram,
     /// Per-shard queue-depth high-water marks since open.
     pub queue_high_water: Vec<u64>,
+    /// Crashed shard workers respawned from checkpoint.
+    pub worker_restarts: u64,
+    /// Request frames addressed to this session answered with an error.
+    pub frames_rejected: u64,
     /// Merged per-shard engine counters as of the last tick/drain:
     /// event counts are summed; `windows` is the max across shards
     /// (every shard evaluates the same window sequence).
     pub engine: EngineStats,
+}
+
+/// Per-shard recovery state.
+struct ShardState {
+    /// Engine image as of the last successful tick (None before it).
+    checkpoint: Option<EngineCheckpoint>,
+    /// Inputs sent to the shard since the checkpoint was taken.
+    replay: Vec<PendingItem>,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            checkpoint: None,
+            replay: Vec::new(),
+        }
+    }
 }
 
 /// A live recognition session.
@@ -82,10 +128,15 @@ pub struct Session {
     /// on the stream, append-only. All routed terms are interned here.
     master: SymbolTable,
     workers: Vec<ShardWorker>,
+    shard_states: Vec<ShardState>,
     router: Router,
     partitioner: FirstArgPartitioner,
     stats: SessionStats,
     config: SessionConfig,
+    engine_config: EngineConfig,
+    description_src: String,
+    /// Why the session was quarantined, once the restart budget ran out.
+    quarantined: Option<String>,
 }
 
 impl Session {
@@ -98,17 +149,18 @@ impl Session {
         let desc =
             EventDescription::parse(description_src).map_err(|e| format!("description: {e}"))?;
         let compiled = Arc::new(desc.compile().map_err(|e| format!("description: {e}"))?);
-        let engine_config = match config.window {
-            Some(w) if w > 0 => EngineConfig::windowed(w),
-            Some(w) => return Err(format!("window must be positive, got {w}")),
-            None => EngineConfig::default(),
-        };
+        let engine_config = engine_config_for(&config)?;
         if config.shards == 0 {
             return Err("shards must be >= 1".into());
         }
         let workers = (0..config.shards)
-            .map(|_| {
-                ShardWorker::spawn(Arc::clone(&compiled), engine_config, config.queue_capacity)
+            .map(|shard| {
+                ShardWorker::spawn(
+                    Arc::clone(&compiled),
+                    engine_config,
+                    config.queue_capacity,
+                    shard,
+                )
             })
             .collect();
         let name = name.into();
@@ -126,6 +178,7 @@ impl Session {
             master: compiled.symbols.clone(),
             desc: compiled,
             workers,
+            shard_states: (0..config.shards).map(|_| ShardState::new()).collect(),
             router: Router::new(config.shards),
             partitioner: FirstArgPartitioner,
             stats: SessionStats {
@@ -134,6 +187,88 @@ impl Session {
                 ..SessionStats::default()
             },
             config,
+            engine_config,
+            description_src: description_src.to_string(),
+            quarantined: None,
+        })
+    }
+
+    /// Rebuilds a session from persisted parts: the original description
+    /// source, a master symbol-name list, a router snapshot and one
+    /// engine checkpoint per shard. Workers resume from their
+    /// checkpoints; the tick-latency histogram starts fresh.
+    pub fn reopen(
+        name: impl Into<String>,
+        description_src: &str,
+        config: SessionConfig,
+        master_names: &[String],
+        router: &RouterSnapshot,
+        shard_checkpoints: Vec<EngineCheckpoint>,
+        stats: SessionStats,
+    ) -> Result<Session, String> {
+        let desc =
+            EventDescription::parse(description_src).map_err(|e| format!("description: {e}"))?;
+        let compiled = Arc::new(desc.compile().map_err(|e| format!("description: {e}"))?);
+        let engine_config = engine_config_for(&config)?;
+        if shard_checkpoints.len() != config.shards {
+            return Err(format!(
+                "checkpoint has {} shard(s), config wants {}",
+                shard_checkpoints.len(),
+                config.shards
+            ));
+        }
+        let mut master = SymbolTable::new();
+        for name in master_names {
+            master.intern(name);
+        }
+        for (sym, name) in compiled.symbols.iter() {
+            if master.try_name(sym) != Some(name) {
+                return Err("session checkpoint symbols do not extend the description".into());
+            }
+        }
+        let router = Router::restore(router)?;
+        let workers = shard_checkpoints
+            .iter()
+            .enumerate()
+            .map(|(shard, cp)| {
+                ShardWorker::respawn(
+                    Arc::clone(&compiled),
+                    engine_config,
+                    config.queue_capacity,
+                    shard,
+                    cp.clone(),
+                )
+            })
+            .collect();
+        let name = name.into();
+        crate::obs::metrics().sessions_opened.inc();
+        rtec_obs::info(
+            "session.reopen",
+            &[
+                ("session", name.as_str().into()),
+                ("shards", config.shards.into()),
+                ("processed_to", stats.processed_to.into()),
+            ],
+        );
+        Ok(Session {
+            name,
+            master,
+            desc: compiled,
+            workers,
+            shard_states: shard_checkpoints
+                .into_iter()
+                .map(|cp| ShardState {
+                    checkpoint: Some(cp),
+                    replay: Vec::new(),
+                })
+                .collect(),
+            router,
+            partitioner: FirstArgPartitioner,
+            stats,
+            config,
+            engine_config,
+            description_src: description_src.to_string(),
+            quarantined: None,
         })
     }
 
@@ -152,17 +287,60 @@ impl Session {
         &self.desc
     }
 
+    /// The description source the session was opened with.
+    pub fn description_src(&self) -> &str {
+        &self.description_src
+    }
+
+    /// The master symbol table (interning order reproduces it).
+    pub fn master_symbols(&self) -> &SymbolTable {
+        &self.master
+    }
+
+    /// The router's current sharding decisions.
+    pub fn router_snapshot(&self) -> RouterSnapshot {
+        self.router.snapshot()
+    }
+
+    /// Per-shard engine checkpoints as of the last tick; `None` until
+    /// every shard has one (i.e. before the first successful tick).
+    pub fn shard_checkpoints(&self) -> Option<Vec<&EngineCheckpoint>> {
+        self.shard_states
+            .iter()
+            .map(|s| s.checkpoint.as_ref())
+            .collect()
+    }
+
+    /// Why the session is quarantined, if it is.
+    pub fn quarantined(&self) -> Option<&str> {
+        self.quarantined.as_deref()
+    }
+
+    /// Counts a rejected frame against this session.
+    pub fn note_frame_rejected(&mut self) {
+        self.stats.frames_rejected += 1;
+    }
+
+    fn check_live(&self) -> Result<(), String> {
+        match &self.quarantined {
+            Some(reason) => Err(format!("session quarantined: {reason}")),
+            None => Ok(()),
+        }
+    }
+
     /// Parses and ingests one event (`term_src` like
     /// `entersArea(v1, brest_port)`) at time `t`.
     pub fn ingest_event(&mut self, term_src: &str, t: Timepoint) -> Result<(), String> {
+        self.check_live()?;
+        crate::fault::on_ingest()?;
         let term = rtec::parser::parse_term(term_src, &mut self.master)
             .map_err(|e| format!("event: {e}"))?;
         let entities = self.partitioner.event_entities(&term);
         match self.router.route(&entities) {
-            Route::Shard(s) => self.send(s, WorkerMsg::Event(term, t))?,
+            Route::Shard(s) => self.send_input(s, PendingItem::Event(term, t))?,
             Route::Broadcast => {
                 for s in 0..self.workers.len() {
-                    self.send(s, WorkerMsg::Event(term.clone(), t))?;
+                    self.send_input(s, PendingItem::Event(term.clone(), t))?;
                 }
             }
             Route::Buffered => self
@@ -182,6 +360,8 @@ impl Session {
         value_src: &str,
         pairs: &[(Timepoint, Timepoint)],
     ) -> Result<(), String> {
+        self.check_live()?;
+        crate::fault::on_ingest()?;
         let fluent = rtec::parser::parse_term(fluent_src, &mut self.master)
             .map_err(|e| format!("fluent: {e}"))?;
         let value = rtec::parser::parse_term(value_src, &mut self.master)
@@ -191,10 +371,10 @@ impl Session {
         let list = IntervalList::from_pairs(pairs);
         let entities = self.partitioner.fvp_entities(&fvp);
         match self.router.route(&entities) {
-            Route::Shard(s) => self.send(s, WorkerMsg::Intervals(fvp, list))?,
+            Route::Shard(s) => self.send_input(s, PendingItem::Intervals(fvp, list))?,
             Route::Broadcast => {
                 for s in 0..self.workers.len() {
-                    self.send(s, WorkerMsg::Intervals(fvp.clone(), list.clone()))?;
+                    self.send_input(s, PendingItem::Intervals(fvp.clone(), list.clone()))?;
                 }
             }
             Route::Buffered => self
@@ -206,29 +386,146 @@ impl Session {
         Ok(())
     }
 
-    fn send(&mut self, shard: usize, msg: WorkerMsg) -> Result<(), String> {
-        let blocked = self.workers[shard].send(msg)?;
-        if blocked {
-            self.stats.backpressure_waits += 1;
-            crate::obs::metrics().backpressure_waits.inc();
-        }
-        let depth = self.workers[shard].queue_len() as u64;
-        if depth > self.stats.queue_high_water[shard] {
-            self.stats.queue_high_water[shard] = depth;
-        }
+    /// Sends an input item to a shard and records it in the shard's
+    /// replay log (so a later crash can re-send it).
+    fn send_input(&mut self, shard: usize, item: PendingItem) -> Result<(), String> {
+        let msg = match &item {
+            PendingItem::Event(ev, t) => WorkerMsg::Event(ev.clone(), *t),
+            PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp.clone(), list.clone()),
+        };
+        self.send(shard, msg)?;
+        self.shard_states[shard].replay.push(item);
         Ok(())
+    }
+
+    /// Sends a message, respawning the shard (bounded by the restart
+    /// budget) and retrying if the worker is found dead.
+    fn send(&mut self, shard: usize, msg: WorkerMsg) -> Result<(), String> {
+        let mut msg = msg;
+        loop {
+            match self.workers[shard].send(msg) {
+                Ok(blocked) => {
+                    if blocked {
+                        self.stats.backpressure_waits += 1;
+                        crate::obs::metrics().backpressure_waits.inc();
+                    }
+                    let depth = self.workers[shard].queue_len() as u64;
+                    if depth > self.stats.queue_high_water[shard] {
+                        self.stats.queue_high_water[shard] = depth;
+                    }
+                    return Ok(());
+                }
+                Err(back) => {
+                    msg = back;
+                    self.respawn_shard(shard)?;
+                }
+            }
+        }
+    }
+
+    /// Replaces a dead shard worker: restores from the shard's last
+    /// checkpoint (or starts fresh before the first one), re-sends the
+    /// replay log, and charges the restart budget. Quarantines the
+    /// session when the budget is exhausted.
+    fn respawn_shard(&mut self, shard: usize) -> Result<(), String> {
+        self.check_live()?;
+        if self.stats.worker_restarts >= self.config.max_worker_restarts as u64 {
+            let reason = format!(
+                "restart budget exhausted ({} restarts) at shard {shard}",
+                self.config.max_worker_restarts
+            );
+            self.quarantined = Some(reason.clone());
+            rtec_obs::error(
+                "session.quarantined",
+                &[
+                    ("session", self.name.as_str().into()),
+                    ("shard", shard.into()),
+                    ("restarts", self.stats.worker_restarts.into()),
+                ],
+            );
+            return Err(format!("session quarantined: {reason}"));
+        }
+        self.stats.worker_restarts += 1;
+        crate::obs::metrics().worker_restarts.inc();
+        // Brief bounded backoff: give a transient cause (allocator
+        // pressure, scheduler hiccups) room to clear before the retry.
+        std::thread::sleep(Duration::from_millis(2 * self.stats.worker_restarts.min(5)));
+        let worker = match &self.shard_states[shard].checkpoint {
+            Some(cp) => ShardWorker::respawn(
+                Arc::clone(&self.desc),
+                self.engine_config,
+                self.config.queue_capacity,
+                shard,
+                cp.clone(),
+            ),
+            None => ShardWorker::spawn(
+                Arc::clone(&self.desc),
+                self.engine_config,
+                self.config.queue_capacity,
+                shard,
+            ),
+        };
+        for item in &self.shard_states[shard].replay {
+            let msg = match item {
+                PendingItem::Event(ev, t) => WorkerMsg::Event(ev.clone(), *t),
+                PendingItem::Intervals(fvp, list) => {
+                    WorkerMsg::Intervals(fvp.clone(), list.clone())
+                }
+            };
+            if worker.send(msg).is_err() {
+                // The replacement died too (e.g. its checkpoint failed
+                // to restore). Install it anyway; the next attempt will
+                // charge the budget again and eventually quarantine.
+                self.workers[shard] = worker;
+                return Err("shard worker exited during replay".to_string());
+            }
+        }
+        self.workers[shard] = worker;
+        // The restored engine is behind the session's tick frontier
+        // until it re-evaluates the replayed window(s); catch it up so
+        // snapshots taken right after a restart are never stale. If the
+        // replacement dies during catch-up the next operation detects
+        // it and charges the budget again.
+        if self.stats.processed_to >= 0 {
+            let (tx, rx) = bounded(1);
+            if self.workers[shard]
+                .send(WorkerMsg::RunTo(self.stats.processed_to, tx))
+                .is_ok()
+            {
+                let _ = self.workers[shard].recv_reply(&rx);
+            }
+        }
+        rtec_obs::warn(
+            "session.worker_restarted",
+            &[
+                ("session", self.name.as_str().into()),
+                ("shard", shard.into()),
+                ("restarts", self.stats.worker_restarts.into()),
+                ("replayed", self.shard_states[shard].replay.len().into()),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Drives one shard to `to`, recovering from worker death.
+    fn run_shard_to(&mut self, shard: usize, to: Timepoint) -> Result<EngineStats, String> {
+        loop {
+            let (tx, rx) = bounded(1);
+            self.send(shard, WorkerMsg::RunTo(to, tx))?;
+            match self.workers[shard].recv_reply(&rx) {
+                Ok(stats) => return Ok(stats),
+                Err(_) => self.respawn_shard(shard)?,
+            }
+        }
     }
 
     /// Pins pending components, flushes the buffer, and evaluates every
     /// shard up to `to`. Returns the aggregated engine counters.
     pub fn tick(&mut self, to: Timepoint) -> Result<EngineStats, String> {
+        self.check_live()?;
         let started = Instant::now();
         for (shard, item) in self.router.flush() {
-            let msg = match item {
-                PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),
-                PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp, list),
-            };
-            self.send(shard, msg)?;
+            self.send_input(shard, item)?;
         }
         let mut replies = Vec::with_capacity(self.workers.len());
         for shard in 0..self.workers.len() {
@@ -237,8 +534,16 @@ impl Session {
             replies.push(rx);
         }
         let mut total = EngineStats::default();
-        for rx in replies {
-            let stats = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let stats = match self.workers[shard].recv_reply(&rx) {
+                Ok(stats) => stats,
+                Err(_) => {
+                    // The worker died mid-evaluation; restore from the
+                    // last checkpoint and re-evaluate deterministically.
+                    self.respawn_shard(shard)?;
+                    self.run_shard_to(shard, to)?
+                }
+            };
             // Every shard evaluates the same window sequence, so the
             // logical window count is the max, not the sum.
             total.windows = total.windows.max(stats.windows);
@@ -248,6 +553,7 @@ impl Session {
         self.stats.engine = total;
         self.stats.ticks += 1;
         self.stats.processed_to = self.stats.processed_to.max(to);
+        self.refresh_checkpoints();
         let elapsed = started.elapsed();
         self.stats.tick_latency.observe_duration(elapsed);
         let metrics = crate::obs::metrics();
@@ -256,9 +562,38 @@ impl Session {
         Ok(total)
     }
 
+    /// Takes a fresh checkpoint of every shard and clears the replay
+    /// logs. Best-effort: a shard that fails keeps its previous
+    /// checkpoint *and* replay log, which together still reproduce its
+    /// state.
+    fn refresh_checkpoints(&mut self) {
+        for shard in 0..self.workers.len() {
+            let (tx, rx) = bounded(1);
+            if self.workers[shard].send(WorkerMsg::Checkpoint(tx)).is_err() {
+                continue;
+            }
+            match self.workers[shard].recv_reply(&rx) {
+                Ok(cp) => {
+                    self.shard_states[shard].checkpoint = Some(*cp);
+                    self.shard_states[shard].replay.clear();
+                }
+                Err(_) => {
+                    rtec_obs::warn(
+                        "session.checkpoint_skipped",
+                        &[
+                            ("session", self.name.as_str().into()),
+                            ("shard", shard.into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
     /// Snapshots and merges every shard's output. The returned symbol
     /// table renders the merged output's terms.
     pub fn query(&mut self) -> Result<(RecognitionOutput, SymbolTable), String> {
+        self.check_live()?;
         let mut replies = Vec::with_capacity(self.workers.len());
         for shard in 0..self.workers.len() {
             let (tx, rx) = bounded(1);
@@ -266,8 +601,16 @@ impl Session {
             replies.push(rx);
         }
         let mut merged = RecognitionOutput::default();
-        for rx in replies {
-            let (out, _) = rx.recv().map_err(|_| "shard worker exited".to_string())?;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let out = match self.workers[shard].recv_reply(&rx) {
+                Ok((out, _)) => out,
+                Err(_) => {
+                    self.respawn_shard(shard)?;
+                    let (tx, rx) = bounded(1);
+                    self.send(shard, WorkerMsg::Snapshot(tx))?;
+                    self.workers[shard].recv_reply(&rx).map(|(out, _)| out)?
+                }
+            };
             merged.absorb(out);
         }
         if self.router.late_couplings > 0 {
@@ -312,24 +655,49 @@ impl Session {
 
     /// Drains every worker and returns final aggregate stats. Buffered
     /// (never-ticked) items are flushed first so nothing is dropped.
+    /// Close is deliberately tolerant of dead workers — a quarantined
+    /// session must still be closable — so shard failures degrade the
+    /// final stats instead of failing the close.
     pub fn close(mut self) -> Result<SessionStats, String> {
-        for (shard, item) in self.router.flush() {
-            let msg = match item {
-                PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),
-                PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp, list),
-            };
-            let blocked = self.workers[shard].send(msg)?;
-            if blocked {
-                self.stats.backpressure_waits += 1;
-                crate::obs::metrics().backpressure_waits.inc();
+        if self.quarantined.is_none() {
+            for (shard, item) in self.router.flush() {
+                let msg = match item {
+                    PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),
+                    PendingItem::Intervals(fvp, list) => WorkerMsg::Intervals(fvp, list),
+                };
+                match self.workers[shard].send(msg) {
+                    Ok(true) => {
+                        self.stats.backpressure_waits += 1;
+                        crate::obs::metrics().backpressure_waits.inc();
+                    }
+                    Ok(false) => {}
+                    Err(_) => rtec_obs::warn(
+                        "session.close_flush_lost",
+                        &[
+                            ("session", self.name.as_str().into()),
+                            ("shard", shard.into()),
+                        ],
+                    ),
+                }
             }
         }
         let mut total = EngineStats::default();
-        for worker in self.workers {
-            let stats = worker.drain()?;
-            total.windows = total.windows.max(stats.windows);
-            total.events_processed += stats.events_processed;
-            total.events_dropped += stats.events_dropped;
+        for (shard, worker) in self.workers.into_iter().enumerate() {
+            match worker.drain() {
+                Ok(stats) => {
+                    total.windows = total.windows.max(stats.windows);
+                    total.events_processed += stats.events_processed;
+                    total.events_dropped += stats.events_dropped;
+                }
+                Err(err) => rtec_obs::warn(
+                    "session.close_shard_dead",
+                    &[
+                        ("session", self.name.as_str().into()),
+                        ("shard", shard.into()),
+                        ("error", err.as_str().into()),
+                    ],
+                ),
+            }
         }
         self.stats.engine = total;
         crate::obs::metrics().sessions_closed.inc();
@@ -346,6 +714,14 @@ impl Session {
             ],
         );
         Ok(self.stats)
+    }
+}
+
+fn engine_config_for(config: &SessionConfig) -> Result<EngineConfig, String> {
+    match config.window {
+        Some(w) if w > 0 => Ok(EngineConfig::windowed(w)),
+        Some(w) => Err(format!("window must be positive, got {w}")),
+        None => Ok(EngineConfig::default()),
     }
 }
 
@@ -449,5 +825,51 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn session_survives_a_reopen_round_trip() {
+        let config = SessionConfig {
+            window: Some(50),
+            shards: 2,
+            ..SessionConfig::default()
+        };
+        let mut s = Session::open("t", DESC, config).unwrap();
+        s.ingest_intervals("near(v0, v1)", "true", &[(0, 200)])
+            .unwrap();
+        for i in 0..4 {
+            s.ingest_event(&format!("start(v{i})"), 10 + i).unwrap();
+        }
+        s.tick(60).unwrap();
+
+        // Capture the persistable parts and rebuild.
+        let names: Vec<String> = s
+            .master_symbols()
+            .iter()
+            .map(|(_, name)| name.to_string())
+            .collect();
+        let router = s.router_snapshot();
+        let cps: Vec<EngineCheckpoint> = s
+            .shard_checkpoints()
+            .expect("checkpoints exist after a tick")
+            .into_iter()
+            .cloned()
+            .collect();
+        let stats = s.stats().clone();
+
+        let mut t = Session::reopen("t", DESC, config, &names, &router, cps, stats).unwrap();
+
+        // Drive both sessions identically; outputs must match exactly.
+        for i in 0..4 {
+            s.ingest_event(&format!("stop(v{i})"), 100 + i).unwrap();
+            t.ingest_event(&format!("stop(v{i})"), 100 + i).unwrap();
+        }
+        s.tick(300).unwrap();
+        t.tick(300).unwrap();
+        let (so, ssym) = s.query().unwrap();
+        let (to, tsym) = t.query().unwrap();
+        assert_eq!(rendered(&so, &ssym), rendered(&to, &tsym));
+        s.close().unwrap();
+        t.close().unwrap();
     }
 }

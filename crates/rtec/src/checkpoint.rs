@@ -1,0 +1,610 @@
+//! Engine state snapshots: serialize the retained window state of an
+//! [`Engine`](crate::engine::Engine) so a supervisor can respawn a
+//! crashed worker and resume recognition from the last window boundary
+//! with byte-identical output.
+//!
+//! # What is captured
+//!
+//! Everything `run_to` depends on between windows: the engine-local
+//! symbol table (description symbols plus translated stream constants,
+//! in interning order, so re-interning reproduces identical ids), the
+//! pending event queue, the input-fluent interval lists, the simple-
+//! fluent inertia carry, the processed frontier, the accumulated
+//! recognition output, the deduplicated warning log, and the run-time
+//! counters. The per-window [`FluentCache`](crate::eval::cache) is
+//! rebuilt from scratch every chunk, so it never needs snapshotting.
+//!
+//! # Wire format
+//!
+//! A checkpoint renders to a single JSON document:
+//!
+//! ```json
+//! {"version": 1, "crc": "<16 hex digits>", "state": {...}}
+//! ```
+//!
+//! `crc` is an FNV-1a 64 hash of the canonical `state` serialization, so
+//! torn or truncated writes are detected on [`EngineCheckpoint::from_json`]
+//! rather than silently restoring garbage. Map-shaped state (inputs,
+//! inertia, output) is sorted by its encoded form, so the same engine
+//! state always produces byte-identical checkpoint documents.
+//!
+//! Terms are encoded structurally with **raw symbol ids** — not names —
+//! because a sharded service hands workers terms interned in the
+//! session's *master* table, whose ids exceed the worker engine's local
+//! table. Ids are only meaningful together with the symbol-name list in
+//! the same checkpoint (or, for the service, the session's master-table
+//! snapshot), which travels alongside.
+
+use crate::engine::EngineStats;
+use crate::eval::simple::InertiaState;
+use crate::interval::{Interval, IntervalList, Timepoint};
+use crate::symbol::Symbol;
+use crate::term::{GroundFvp, Term};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// A serializable snapshot of an engine's retained window state.
+///
+/// Produced by [`Engine::checkpoint`](crate::engine::Engine::checkpoint),
+/// consumed by [`Engine::restore`](crate::engine::Engine::restore).
+#[derive(Clone, Debug)]
+pub struct EngineCheckpoint {
+    /// Engine-local symbol names in interning order.
+    pub(crate) symbols: Vec<String>,
+    /// Queued, not-yet-evaluated events.
+    pub(crate) pending: Vec<(Term, Timepoint)>,
+    /// Input-fluent interval lists.
+    pub(crate) inputs: Vec<(GroundFvp, IntervalList)>,
+    /// Simple-fluent inertia carry (open value + start per fluent).
+    pub(crate) inertia: Vec<(Term, Vec<(Term, Timepoint)>)>,
+    /// The processed frontier.
+    pub(crate) processed_to: Timepoint,
+    /// Accumulated recognition output.
+    pub(crate) output: Vec<(GroundFvp, IntervalList)>,
+    /// Deduplicated warnings in first-occurrence order.
+    pub(crate) warnings: Vec<String>,
+    /// Run-time counters.
+    pub(crate) stats: EngineStats,
+}
+
+impl EngineCheckpoint {
+    /// Builds a checkpoint from raw engine state (crate-internal; use
+    /// [`Engine::checkpoint`](crate::engine::Engine::checkpoint)).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        symbols: Vec<String>,
+        pending: Vec<(Term, Timepoint)>,
+        inputs: Vec<(GroundFvp, IntervalList)>,
+        inertia: &InertiaState,
+        processed_to: Timepoint,
+        output: Vec<(GroundFvp, IntervalList)>,
+        warnings: Vec<String>,
+        stats: EngineStats,
+    ) -> EngineCheckpoint {
+        let inertia = inertia
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        EngineCheckpoint {
+            symbols,
+            pending,
+            inputs,
+            inertia,
+            processed_to,
+            output,
+            warnings,
+            stats,
+        }
+    }
+
+    /// The processed frontier captured in this checkpoint.
+    pub fn processed_to(&self) -> Timepoint {
+        self.processed_to
+    }
+
+    /// The run-time counters captured in this checkpoint.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The symbol names captured in this checkpoint, in interning order.
+    pub fn symbol_names(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// The inertia carry, for restore (crate-internal).
+    pub(crate) fn inertia_state(&self) -> InertiaState {
+        self.inertia.iter().cloned().collect()
+    }
+
+    /// Serializes the checkpoint state to a JSON [`Value`] (no version
+    /// envelope). Used both by [`EngineCheckpoint::to_json`] and by the
+    /// service, which embeds per-shard engine states into a session
+    /// checkpoint document.
+    pub fn to_value(&self) -> Value {
+        let mut state = BTreeMap::new();
+        state.insert(
+            "symbols".to_string(),
+            Value::Array(
+                self.symbols
+                    .iter()
+                    .map(|s| Value::from(s.as_str()))
+                    .collect(),
+            ),
+        );
+        state.insert(
+            "pending".to_string(),
+            Value::Array(
+                self.pending
+                    .iter()
+                    .map(|(term, t)| Value::Array(vec![encode_term(term), Value::from(*t)]))
+                    .collect(),
+            ),
+        );
+        state.insert(
+            "inputs".to_string(),
+            sorted_entries(self.inputs.iter().map(|(fvp, list)| {
+                Value::Array(vec![encode_fvp(fvp), encode_interval_list(list)])
+            })),
+        );
+        state.insert(
+            "inertia".to_string(),
+            sorted_entries(self.inertia.iter().map(|(fluent, open)| {
+                let open: Vec<Value> = open
+                    .iter()
+                    .map(|(value, start)| {
+                        Value::Array(vec![encode_term(value), Value::from(*start)])
+                    })
+                    .collect();
+                Value::Array(vec![encode_term(fluent), Value::Array(open)])
+            })),
+        );
+        state.insert("processed_to".to_string(), Value::from(self.processed_to));
+        state.insert(
+            "output".to_string(),
+            sorted_entries(self.output.iter().map(|(fvp, list)| {
+                Value::Array(vec![encode_fvp(fvp), encode_interval_list(list)])
+            })),
+        );
+        state.insert(
+            "warnings".to_string(),
+            Value::Array(
+                self.warnings
+                    .iter()
+                    .map(|w| Value::from(w.as_str()))
+                    .collect(),
+            ),
+        );
+        let mut stats = BTreeMap::new();
+        stats.insert("windows".to_string(), counter(self.stats.windows));
+        stats.insert(
+            "events_processed".to_string(),
+            counter(self.stats.events_processed),
+        );
+        stats.insert(
+            "events_dropped".to_string(),
+            counter(self.stats.events_dropped),
+        );
+        state.insert("stats".to_string(), Value::Object(stats));
+        Value::Object(state)
+    }
+
+    /// Reconstructs a checkpoint from the state [`Value`] produced by
+    /// [`EngineCheckpoint::to_value`].
+    pub fn from_value(state: &Value) -> Result<EngineCheckpoint, String> {
+        let symbols = str_array(state, "symbols")?;
+        let pending = array_field(state, "pending")?
+            .iter()
+            .map(|entry| {
+                let pair = pair_of(entry, "pending")?;
+                Ok((decode_term(&pair[0])?, timepoint(&pair[1], "pending")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let inputs = decode_fvp_entries(state, "inputs")?;
+        let inertia = array_field(state, "inertia")?
+            .iter()
+            .map(|entry| {
+                let pair = pair_of(entry, "inertia")?;
+                let fluent = decode_term(&pair[0])?;
+                let open = pair[1]
+                    .as_array()
+                    .ok_or("checkpoint: inertia opens must be an array")?
+                    .iter()
+                    .map(|ov| {
+                        let ov = pair_of(ov, "inertia open")?;
+                        Ok((decode_term(&ov[0])?, timepoint(&ov[1], "inertia open")?))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((fluent, open))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let processed_to = state
+            .get("processed_to")
+            .and_then(Value::as_i64)
+            .ok_or("checkpoint: missing \"processed_to\"")?;
+        let output = decode_fvp_entries(state, "output")?;
+        let warnings = str_array(state, "warnings")?;
+        let stats_value = state.get("stats").ok_or("checkpoint: missing \"stats\"")?;
+        let stat = |name: &str| -> Result<usize, String> {
+            stats_value
+                .get(name)
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("checkpoint: bad stats field \"{name}\""))
+        };
+        let stats = EngineStats {
+            windows: stat("windows")?,
+            events_processed: stat("events_processed")?,
+            events_dropped: stat("events_dropped")?,
+        };
+        Ok(EngineCheckpoint {
+            symbols,
+            pending,
+            inputs,
+            inertia,
+            processed_to,
+            output,
+            warnings,
+            stats,
+        })
+    }
+
+    /// Serializes the checkpoint to its versioned, checksummed JSON
+    /// document. The same engine state always yields byte-identical
+    /// documents (map entries are sorted canonically).
+    pub fn to_json(&self) -> String {
+        let state = self.to_value();
+        let payload = serde_json::to_string(&state).unwrap_or_else(|_| "{}".into());
+        let mut doc = BTreeMap::new();
+        doc.insert("version".to_string(), Value::from(CHECKPOINT_VERSION));
+        doc.insert(
+            "crc".to_string(),
+            Value::from(fnv1a_hex(payload.as_bytes())),
+        );
+        doc.insert("state".to_string(), state);
+        serde_json::to_string(&Value::Object(doc)).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Parses and verifies a checkpoint document: version must match,
+    /// and the embedded checksum must agree with the state payload —
+    /// a torn or truncated write fails here instead of restoring
+    /// corrupt engine state.
+    pub fn from_json(text: &str) -> Result<EngineCheckpoint, String> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| format!("checkpoint: malformed JSON: {e}"))?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or("checkpoint: missing \"version\"")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint: unsupported version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let crc = doc
+            .get("crc")
+            .and_then(Value::as_str)
+            .ok_or("checkpoint: missing \"crc\"")?;
+        let state = doc.get("state").ok_or("checkpoint: missing \"state\"")?;
+        let payload = serde_json::to_string(state).map_err(|e| format!("checkpoint: {e}"))?;
+        let actual = fnv1a_hex(payload.as_bytes());
+        if actual != crc {
+            return Err(format!(
+                "checkpoint: checksum mismatch (stored {crc}, computed {actual}) — torn write?"
+            ));
+        }
+        EngineCheckpoint::from_value(state)
+    }
+}
+
+/// Collects entry values, sorts them by their canonical serialization
+/// (HashMap iteration order must not leak into checkpoint bytes), and
+/// wraps them in an array.
+fn sorted_entries(entries: impl Iterator<Item = Value>) -> Value {
+    let mut rendered: Vec<(String, Value)> = entries
+        .map(|v| (serde_json::to_string(&v).unwrap_or_default(), v))
+        .collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(rendered.into_iter().map(|(_, v)| v).collect())
+}
+
+/// Encodes a term structurally with raw symbol ids:
+/// `{"v": id}` variable, `{"a": id}` atom, `{"i": n}` integer,
+/// `{"f": "<hex bits>"}` float (exact bit pattern), `{"c": [id, args…]}`
+/// compound, `{"l": [elems…]}` list.
+pub fn encode_term(term: &Term) -> Value {
+    let mut map = BTreeMap::new();
+    match term {
+        Term::Var(sym) => {
+            map.insert("v".to_string(), Value::from(i64::from(sym.0)));
+        }
+        Term::Atom(sym) => {
+            map.insert("a".to_string(), Value::from(i64::from(sym.0)));
+        }
+        Term::Int(n) => {
+            map.insert("i".to_string(), Value::from(*n));
+        }
+        Term::Float(f) => {
+            // Bit-exact: JSON float round-trips could perturb the value.
+            map.insert(
+                "f".to_string(),
+                Value::from(format!("{:016x}", f.to_bits())),
+            );
+        }
+        Term::Compound(functor, args) => {
+            let mut items = vec![Value::from(i64::from(functor.0))];
+            items.extend(args.iter().map(encode_term));
+            map.insert("c".to_string(), Value::Array(items));
+        }
+        Term::List(elems) => {
+            map.insert(
+                "l".to_string(),
+                Value::Array(elems.iter().map(encode_term).collect()),
+            );
+        }
+    }
+    Value::Object(map)
+}
+
+/// Decodes a term encoded by [`encode_term`].
+pub fn decode_term(value: &Value) -> Result<Term, String> {
+    let obj = value
+        .as_object()
+        .ok_or("checkpoint: term must be an object")?;
+    let (tag, payload) = obj.iter().next().ok_or("checkpoint: empty term object")?;
+    match tag.as_str() {
+        "v" => Ok(Term::Var(symbol(payload)?)),
+        "a" => Ok(Term::Atom(symbol(payload)?)),
+        "i" => payload
+            .as_i64()
+            .map(Term::Int)
+            .ok_or_else(|| "checkpoint: integer term must be a number".to_string()),
+        "f" => {
+            let hex = payload
+                .as_str()
+                .ok_or("checkpoint: float term must be a hex string")?;
+            let bits = u64::from_str_radix(hex, 16)
+                .map_err(|e| format!("checkpoint: bad float bits \"{hex}\": {e}"))?;
+            Ok(Term::Float(f64::from_bits(bits)))
+        }
+        "c" => {
+            let items = payload
+                .as_array()
+                .filter(|a| !a.is_empty())
+                .ok_or("checkpoint: compound term must be a non-empty array")?;
+            let functor = symbol(&items[0])?;
+            let args = items[1..]
+                .iter()
+                .map(decode_term)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Term::Compound(functor, args))
+        }
+        "l" => {
+            let items = payload
+                .as_array()
+                .ok_or("checkpoint: list term must be an array")?;
+            Ok(Term::List(
+                items
+                    .iter()
+                    .map(decode_term)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ))
+        }
+        other => Err(format!("checkpoint: unknown term tag \"{other}\"")),
+    }
+}
+
+/// Encodes a ground fluent-value pair as `[fluent, value]`.
+pub fn encode_fvp(fvp: &GroundFvp) -> Value {
+    Value::Array(vec![encode_term(&fvp.fluent), encode_term(&fvp.value)])
+}
+
+/// Decodes a ground fluent-value pair encoded by [`encode_fvp`].
+pub fn decode_fvp(value: &Value) -> Result<GroundFvp, String> {
+    let pair = pair_of(value, "fvp")?;
+    let fluent = decode_term(&pair[0])?;
+    let value = decode_term(&pair[1])?;
+    GroundFvp::new(fluent, value).ok_or_else(|| "checkpoint: non-ground fvp".to_string())
+}
+
+/// Encodes an interval list as `[[start, end], …]` (end may be `INF`).
+pub fn encode_interval_list(list: &IntervalList) -> Value {
+    Value::Array(
+        list.as_slice()
+            .iter()
+            .map(|iv| Value::Array(vec![Value::from(iv.start), Value::from(iv.end)]))
+            .collect(),
+    )
+}
+
+/// Decodes an interval list encoded by [`encode_interval_list`].
+pub fn decode_interval_list(value: &Value) -> Result<IntervalList, String> {
+    let pairs = value
+        .as_array()
+        .ok_or("checkpoint: intervals must be an array")?;
+    let ivs = pairs
+        .iter()
+        .map(|pair| {
+            let pair = pair_of(pair, "interval")?;
+            let start = timepoint(&pair[0], "interval")?;
+            let end = timepoint(&pair[1], "interval")?;
+            if start >= end {
+                return Err(format!("checkpoint: empty interval [{start}, {end})"));
+            }
+            Ok(Interval::new(start, end))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(IntervalList::from_intervals(ivs))
+}
+
+fn decode_fvp_entries(
+    state: &Value,
+    field: &str,
+) -> Result<Vec<(GroundFvp, IntervalList)>, String> {
+    array_field(state, field)?
+        .iter()
+        .map(|entry| {
+            let pair = pair_of(entry, field)?;
+            Ok((decode_fvp(&pair[0])?, decode_interval_list(&pair[1])?))
+        })
+        .collect()
+}
+
+fn symbol(value: &Value) -> Result<Symbol, String> {
+    value
+        .as_i64()
+        .and_then(|n| u32::try_from(n).ok())
+        .map(Symbol)
+        .ok_or_else(|| "checkpoint: symbol id must be a non-negative integer".to_string())
+}
+
+fn timepoint(value: &Value, what: &str) -> Result<Timepoint, String> {
+    value
+        .as_i64()
+        .ok_or_else(|| format!("checkpoint: {what} time-point must be an integer"))
+}
+
+fn pair_of<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], String> {
+    value
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .map(Vec::as_slice)
+        .ok_or_else(|| format!("checkpoint: {what} entry must be a two-element array"))
+}
+
+fn array_field<'v>(state: &'v Value, field: &str) -> Result<&'v Vec<Value>, String> {
+    state
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("checkpoint: missing array field \"{field}\""))
+}
+
+fn str_array(state: &Value, field: &str) -> Result<Vec<String>, String> {
+    array_field(state, field)?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("checkpoint: \"{field}\" entries must be strings"))
+        })
+        .collect()
+}
+
+fn counter(n: usize) -> Value {
+    Value::from(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+/// FNV-1a 64-bit hash, rendered as 16 hex digits — the checksum used by
+/// checkpoint envelopes (engine-level here, session-level in the
+/// service's persistence layer).
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn term(src: &str, sym: &mut SymbolTable) -> Term {
+        crate::parser::parse_term(src, sym).unwrap()
+    }
+
+    #[test]
+    fn terms_round_trip_structurally() {
+        let mut sym = SymbolTable::new();
+        for src in [
+            "a",
+            "f(a, b)",
+            "g(f(a), 42, X)",
+            "h([a, 1, [b]])",
+            "nested(f(g(h(x))), Y)",
+        ] {
+            let t = term(src, &mut sym);
+            let decoded = decode_term(&encode_term(&t)).unwrap();
+            assert_eq!(t, decoded, "{src}");
+        }
+        let f = Term::Float(std::f64::consts::PI);
+        assert_eq!(f, decode_term(&encode_term(&f)).unwrap());
+    }
+
+    #[test]
+    fn interval_lists_round_trip_including_open() {
+        for list in [
+            IntervalList::new(),
+            IntervalList::from_pairs(&[(0, 5), (9, 12)]),
+            IntervalList::from_intervals(vec![Interval::new(3, 7), Interval::open(100)]),
+        ] {
+            let decoded = decode_interval_list(&encode_interval_list(&list)).unwrap();
+            assert_eq!(list, decoded);
+        }
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected() {
+        let ck = EngineCheckpoint {
+            symbols: vec!["a".into()],
+            pending: Vec::new(),
+            inputs: Vec::new(),
+            inertia: Vec::new(),
+            processed_to: 7,
+            output: Vec::new(),
+            warnings: vec!["w".into()],
+            stats: EngineStats::default(),
+        };
+        let json = ck.to_json();
+        assert!(EngineCheckpoint::from_json(&json).is_ok());
+        // Torn write: truncation breaks parsing or the checksum.
+        let torn = &json[..json.len() - 10];
+        assert!(EngineCheckpoint::from_json(torn).is_err());
+        // Flipped payload byte: checksum mismatch.
+        let tampered = json.replace("\"processed_to\":7", "\"processed_to\":8");
+        let err = EngineCheckpoint::from_json(&tampered).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        // Wrong version.
+        let wrong = json.replace("\"version\":1", "\"version\":99");
+        assert!(EngineCheckpoint::from_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let mut sym = SymbolTable::new();
+        let mut mk = || {
+            let mut inputs = Vec::new();
+            let mut output = Vec::new();
+            let f1 = GroundFvp::new(term("p(a, b)", &mut sym), term("true", &mut sym)).unwrap();
+            let f2 = GroundFvp::new(term("q(c)", &mut sym), term("true", &mut sym)).unwrap();
+            inputs.push((f1.clone(), IntervalList::from_pairs(&[(0, 9)])));
+            inputs.push((f2.clone(), IntervalList::from_pairs(&[(4, 6)])));
+            output.push((f2, IntervalList::from_pairs(&[(5, 6)])));
+            output.push((f1, IntervalList::from_pairs(&[(1, 2)])));
+            EngineCheckpoint {
+                symbols: vec!["p".into(), "q".into()],
+                pending: Vec::new(),
+                inputs,
+                inertia: Vec::new(),
+                processed_to: 10,
+                output,
+                warnings: Vec::new(),
+                stats: EngineStats::default(),
+            }
+        };
+        let a = mk().to_json();
+        let mut reversed = mk();
+        reversed.inputs.reverse();
+        reversed.output.reverse();
+        assert_eq!(
+            a,
+            reversed.to_json(),
+            "entry order must not leak into bytes"
+        );
+    }
+}

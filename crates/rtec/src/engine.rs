@@ -17,6 +17,7 @@
 //! the window.
 
 use crate::ast::FluentKey;
+use crate::checkpoint::EngineCheckpoint;
 use crate::description::CompiledDescription;
 use crate::eval::cache::FluentCache;
 use crate::eval::events::EventIndex;
@@ -329,6 +330,88 @@ impl<'a> Engine<'a> {
         &self.output
     }
 
+    /// Snapshots the engine's retained window state: symbols, pending
+    /// events, input intervals, inertia carry, processed frontier,
+    /// accumulated output, warnings, and counters. A new engine built
+    /// with [`Engine::restore`] from this checkpoint continues the
+    /// stream with output identical to the uninterrupted run.
+    ///
+    /// Meaningful at any point, but cheapest and most useful at a
+    /// window boundary (right after [`Engine::run_to`] returns), which
+    /// is when the service checkpoints its shard workers.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint::from_parts(
+            self.symbols
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect(),
+            self.pending.clone(),
+            self.inputs
+                .iter()
+                .map(|(fvp, list)| (fvp.clone(), list.clone()))
+                .collect(),
+            &self.inertia,
+            self.processed_to,
+            self.output
+                .map
+                .iter()
+                .map(|(fvp, list)| (fvp.clone(), list.clone()))
+                .collect(),
+            self.warnings.messages().to_vec(),
+            self.stats,
+        )
+    }
+
+    /// Rebuilds an engine from a checkpoint taken over the *same*
+    /// compiled description. The checkpoint's symbol list must extend
+    /// the description's table (it always does for checkpoints taken by
+    /// [`Engine::checkpoint`] against the same source); a mismatch —
+    /// e.g. a checkpoint from a different description — is an error,
+    /// since raw symbol ids would silently rebind.
+    pub fn restore(
+        desc: &'a CompiledDescription,
+        config: EngineConfig,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Engine<'a>, String> {
+        let mut symbols = SymbolTable::new();
+        for name in checkpoint.symbol_names() {
+            symbols.intern(name);
+        }
+        for (sym, name) in desc.symbols.iter() {
+            if symbols.try_name(sym) != Some(name) {
+                return Err(format!(
+                    "checkpoint symbols do not extend the description's table \
+                     (description symbol \"{name}\" missing or rebound)"
+                ));
+            }
+        }
+        let mut warnings = WarningSink::new();
+        for w in &checkpoint.warnings {
+            warnings.push(w.clone());
+        }
+        let mut engine = Engine {
+            desc,
+            config,
+            symbols,
+            pending: checkpoint.pending.clone(),
+            inputs: HashMap::new(),
+            inputs_by_key: HashMap::new(),
+            inertia: checkpoint.inertia_state(),
+            processed_to: checkpoint.processed_to,
+            output: RecognitionOutput::default(),
+            warnings,
+            stats: checkpoint.stats,
+        };
+        for (fvp, list) in &checkpoint.inputs {
+            engine.add_input_intervals(fvp.clone(), list.clone());
+        }
+        for (fvp, list) in &checkpoint.output {
+            engine.output.insert_merge(fvp.clone(), list.clone());
+        }
+        engine.output.warnings = checkpoint.warnings.clone();
+        Ok(engine)
+    }
+
     fn process_chunk(&mut self, q: Timepoint) {
         let metrics = crate::obs::metrics();
         let started = std::time::Instant::now();
@@ -550,6 +633,95 @@ mod tests {
         let out = engine.run_to(100);
         assert!(out.is_empty());
         assert!(out.warnings.iter().any(|w| w.contains("dropped")));
+    }
+
+    fn rendered(out: &RecognitionOutput, symbols: &SymbolTable) -> Vec<String> {
+        let mut rows: Vec<String> = out
+            .iter()
+            .map(|(fvp, list)| format!("{}={list}", fvp.display(symbols)))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+        let e_gap = desc.term("gap_start(v1)").unwrap();
+        let compiled = desc.compile().unwrap();
+
+        // Uninterrupted reference run, windowed.
+        let mut reference = Engine::new(&compiled, EngineConfig::windowed(20));
+        reference.add_event(e_enter.clone(), 10);
+        reference.add_event(e_leave.clone(), 30);
+        reference.run_to(35);
+        reference.add_event(e_enter.clone(), 50);
+        reference.add_event(e_gap.clone(), 80);
+        reference.run_to(100);
+        let ref_symbols = reference.symbols().clone();
+        let ref_out = reference.into_output();
+
+        // Interrupted run: checkpoint mid-stream, drop the engine,
+        // restore, and continue with the remaining events.
+        let mut first = Engine::new(&compiled, EngineConfig::windowed(20));
+        first.add_event(e_enter.clone(), 10);
+        first.add_event(e_leave, 30);
+        first.run_to(35);
+        let ck = first.checkpoint();
+        drop(first);
+
+        // The checkpoint survives a disk round-trip.
+        let ck = EngineCheckpoint::from_json(&ck.to_json()).unwrap();
+        let mut resumed = Engine::restore(&compiled, EngineConfig::windowed(20), &ck).unwrap();
+        assert_eq!(resumed.processed_to(), 35);
+        resumed.add_event(e_enter, 50);
+        resumed.add_event(e_gap, 80);
+        resumed.run_to(100);
+        let res_symbols = resumed.symbols().clone();
+        let res_out = resumed.into_output();
+
+        assert_eq!(
+            rendered(&ref_out, &ref_symbols),
+            rendered(&res_out, &res_symbols)
+        );
+        assert_eq!(ref_out.warnings, res_out.warnings);
+    }
+
+    #[test]
+    fn checkpoint_preserves_pending_events_and_stats() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let fvp = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let mut engine = Engine::new(&compiled, EngineConfig::windowed(10));
+        engine.run_to(50);
+        engine.add_event(e_enter.clone(), 10); // stale: dropped with warning
+        engine.run_to(60);
+        engine.add_event(e_enter, 70); // pending, not yet evaluated
+        let ck = engine.checkpoint();
+        assert_eq!(ck.stats().events_dropped, 1);
+        drop(engine);
+        let mut resumed = Engine::restore(&compiled, EngineConfig::windowed(10), &ck).unwrap();
+        resumed.run_to(90);
+        assert_eq!(resumed.stats().events_dropped, 1);
+        let out = resumed.into_output();
+        assert!(out.holds_at(&fvp, 80), "pending event survived the restore");
+        assert!(out.warnings.iter().any(|w| w.contains("dropped")));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_description() {
+        let desc_a = EventDescription::parse(WITHIN_AREA).unwrap();
+        let compiled_a = desc_a.compile().unwrap();
+        let engine = Engine::new(&compiled_a, EngineConfig::default());
+        let ck = engine.checkpoint();
+        let desc_b =
+            EventDescription::parse("initiatedAt(other(X)=true, T) :- happensAt(go(X), T).")
+                .unwrap();
+        let compiled_b = desc_b.compile().unwrap();
+        assert!(Engine::restore(&compiled_b, EngineConfig::default(), &ck).is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 pub mod ast;
 pub mod background;
+pub mod checkpoint;
 pub mod declarations;
 pub mod description;
 pub mod engine;

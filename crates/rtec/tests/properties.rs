@@ -157,6 +157,110 @@ proptest! {
     }
 }
 
+/// Strategy: several interval lists on a coarse grid, so adjacency
+/// (`[a, b)` meeting `[b, c)`), containment, and exact-overlap cases —
+/// the boundary conditions of the k-way merges — occur frequently.
+/// Includes zero lists and empty lists.
+fn interval_lists() -> impl Strategy<Value = Vec<IntervalList>> {
+    let dense_list = prop::collection::vec((0i64..15, 1i64..4), 0..8).prop_map(|pairs| {
+        IntervalList::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(cell, len)| Interval::new(cell * 4, cell * 4 + len * 2))
+                .collect(),
+        )
+    });
+    prop::collection::vec(dense_list, 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `union_all` over any number of lists equals the union of their
+    /// point sets.
+    #[test]
+    fn n_ary_union_matches_point_semantics(lists in interval_lists()) {
+        let refs: Vec<&IntervalList> = lists.iter().collect();
+        let u = IntervalList::union_all(&refs);
+        u.check_invariant();
+        let mut expected = BTreeSet::new();
+        for l in &lists {
+            expected.extend(points(l));
+        }
+        prop_assert_eq!(points(&u), expected);
+    }
+
+    /// `intersect_all` equals the intersection of the point sets; the
+    /// documented degenerate case (zero lists) is empty.
+    #[test]
+    fn n_ary_intersection_matches_point_semantics(lists in interval_lists()) {
+        let refs: Vec<&IntervalList> = lists.iter().collect();
+        let i = IntervalList::intersect_all(&refs);
+        i.check_invariant();
+        let expected: BTreeSet<Timepoint> = (0..300)
+            .filter(|&t| !lists.is_empty() && lists.iter().all(|l| l.contains(t)))
+            .collect();
+        prop_assert_eq!(points(&i), expected);
+    }
+
+    /// `relative_complement_all` equals point-set subtraction of the
+    /// union of the subtrahends (including the empty-subtrahend case,
+    /// where it must return `self` unchanged).
+    #[test]
+    fn n_ary_relative_complement_matches_point_semantics(
+        a in interval_list(), lists in interval_lists()
+    ) {
+        let refs: Vec<&IntervalList> = lists.iter().collect();
+        let rc = a.relative_complement_all(&refs);
+        rc.check_invariant();
+        let mut minus = BTreeSet::new();
+        for l in &lists {
+            minus.extend(points(l));
+        }
+        let expected: BTreeSet<Timepoint> =
+            points(&a).difference(&minus).copied().collect();
+        prop_assert_eq!(points(&rc), expected);
+        if lists.is_empty() {
+            prop_assert_eq!(rc.as_slice(), a.as_slice());
+        }
+    }
+
+    /// Union is invariant under duplication and ordering of its inputs.
+    #[test]
+    fn n_ary_union_ignores_duplicates_and_order(lists in interval_lists()) {
+        let refs: Vec<&IntervalList> = lists.iter().collect();
+        let u = IntervalList::union_all(&refs);
+        let doubled: Vec<&IntervalList> =
+            lists.iter().chain(lists.iter()).collect();
+        prop_assert_eq!(IntervalList::union_all(&doubled).as_slice(), u.as_slice());
+        let reversed: Vec<&IntervalList> = lists.iter().rev().collect();
+        prop_assert_eq!(IntervalList::union_all(&reversed).as_slice(), u.as_slice());
+    }
+
+    /// Absorption laws: `a ∪ (a ∩ b) = a` and `a ∩ (a ∪ b) = a`.
+    #[test]
+    fn absorption_laws_hold(a in interval_list(), b in interval_list()) {
+        let a_norm = IntervalList::union_all(&[&a]);
+        let meet = a.intersect(&b);
+        prop_assert_eq!(
+            IntervalList::union_all(&[&a, &meet]).as_slice(),
+            a_norm.as_slice()
+        );
+        let join = IntervalList::union_all(&[&a, &b]);
+        prop_assert_eq!(a.intersect(&join).as_slice(), a_norm.as_slice());
+    }
+
+    /// De Morgan within a bounded window `w`:
+    /// `w \ (a ∪ b) = (w \ a) ∩ (w \ b)`.
+    #[test]
+    fn de_morgan_within_window(a in interval_list(), b in interval_list()) {
+        let w = IntervalList::from_pairs(&[(0, 300)]);
+        let lhs = w.relative_complement_all(&[&a, &b]);
+        let rhs = w.difference(&a).intersect(&w.difference(&b));
+        prop_assert_eq!(lhs.as_slice(), rhs.as_slice());
+    }
+}
+
 /// Random clause sources for the parser round-trip property.
 fn clause_source() -> impl Strategy<Value = String> {
     let term = {

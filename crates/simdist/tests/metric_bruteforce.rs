@@ -1,0 +1,227 @@
+//! Brute-force and axiom checks for the similarity metric.
+//!
+//! Two families of randomized tests, both deterministic under fixed
+//! seeds:
+//!
+//! * the Kuhn–Munkres assignment is compared against the exhaustive
+//!   permutation minimum ([`hungarian::assignment_naive`]) on random
+//!   cost matrices up to 6x6, including tie-heavy matrices drawn from
+//!   a tiny value grid;
+//! * every distance layer (ground expressions, expression sets, rules,
+//!   descriptions) is checked for the metric axioms the paper relies
+//!   on: symmetry, identity of indiscernibles, the `[0, 1]` range, and
+//!   invariance under reordering of matched sets.
+//!
+//! Generated floats are chosen so they never collide with generated
+//! integers; with that, `ground_distance(a, b) == 0` holds exactly when
+//! the terms are structurally equal, so the indiscernibility direction
+//! can be asserted both ways.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtec::ast::Clause;
+use rtec::parser::parse_program;
+use rtec::{SymbolTable, Term};
+use simdist::hungarian::{assignment, assignment_naive};
+use simdist::{description_distance, ground_distance, set_distance};
+
+const EPS: f64 = 1e-9;
+
+// ---------------------------------------------------------------------
+// Kuhn–Munkres vs exhaustive permutations
+// ---------------------------------------------------------------------
+
+/// The returned assignment must be a permutation whose summed cost is
+/// the returned total; the total must equal the exhaustive minimum.
+fn check_matrix(cost: &[Vec<f64>]) {
+    let n = cost.len();
+    let (perm, fast) = assignment(cost);
+    assert_eq!(perm.len(), n, "assignment length: {cost:?}");
+    let mut seen = vec![false; n];
+    let mut summed = 0.0;
+    for (row, &col) in perm.iter().enumerate() {
+        assert!(col < n && !seen[col], "not a permutation: {perm:?}");
+        seen[col] = true;
+        summed += cost[row][col];
+    }
+    assert!(
+        (summed - fast).abs() < EPS,
+        "total {fast} != summed {summed}: {cost:?}"
+    );
+    let slow = assignment_naive(cost);
+    assert!(
+        (fast - slow).abs() < EPS,
+        "kuhn-munkres {fast} != brute force {slow}: {cost:?}"
+    );
+}
+
+#[test]
+fn assignment_matches_bruteforce_on_random_matrices() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_d157);
+    for n in 1..=6 {
+        for _ in 0..60 {
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            check_matrix(&cost);
+        }
+    }
+}
+
+#[test]
+fn assignment_matches_bruteforce_on_tie_heavy_matrices() {
+    // Distances in practice are quantised (0, fractions with small
+    // denominators, 1), so degenerate ties are the common case, and
+    // they are where a broken augmenting-path search goes wrong.
+    let grid = [0.0, 0.25, 0.5, 1.0];
+    let mut rng = StdRng::seed_from_u64(0xdead_11e5);
+    for n in 2..=6 {
+        for _ in 0..60 {
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| grid[rng.gen_range(0..grid.len())]).collect())
+                .collect();
+            check_matrix(&cost);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random ground terms
+// ---------------------------------------------------------------------
+
+const ATOMS: [&str; 5] = ["a", "b", "fishing", "stopped", "nearPort"];
+const FUNCTORS: [&str; 4] = ["f", "g", "velocity", "coord"];
+// No float ever equals a generated integer, so value equality between
+// mixed numerics cannot make structurally different terms indiscernible.
+const FLOATS: [f64; 4] = [-0.75, 1.5, 2.5, 19.5];
+
+fn gen_ground_term(rng: &mut StdRng, syms: &mut SymbolTable, depth: usize) -> Term {
+    let top = if depth == 0 { 3 } else { 5 };
+    match rng.gen_range(0..top) {
+        0 => Term::Atom(syms.intern(ATOMS[rng.gen_range(0..ATOMS.len())])),
+        1 => Term::Int(rng.gen_range(-5i64..20)),
+        2 => Term::Float(FLOATS[rng.gen_range(0..FLOATS.len())]),
+        3 => {
+            let f = syms.intern(FUNCTORS[rng.gen_range(0..FUNCTORS.len())]);
+            let args = (0..rng.gen_range(1usize..4))
+                .map(|_| gen_ground_term(rng, syms, depth - 1))
+                .collect();
+            Term::Compound(f, args)
+        }
+        _ => Term::List(
+            (0..rng.gen_range(0usize..4))
+                .map(|_| gen_ground_term(rng, syms, depth - 1))
+                .collect(),
+        ),
+    }
+}
+
+fn gen_term_set(rng: &mut StdRng, syms: &mut SymbolTable, max_len: usize) -> Vec<Term> {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| gen_ground_term(rng, syms, 2))
+        .collect()
+}
+
+#[test]
+fn ground_distance_axioms() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut syms = SymbolTable::new();
+    for _ in 0..500 {
+        let a = gen_ground_term(&mut rng, &mut syms, 3);
+        let b = gen_ground_term(&mut rng, &mut syms, 3);
+        let d = ground_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d), "range: {a:?} {b:?} -> {d}");
+        let back = ground_distance(&b, &a);
+        assert!((d - back).abs() < EPS, "symmetry: {a:?} {b:?}");
+        assert_eq!(ground_distance(&a, &a), 0.0, "identity: {a:?}");
+        // Indiscernibility both ways (floats never collide with ints).
+        assert_eq!(d == 0.0, a == b, "indiscernibles: {a:?} {b:?} -> {d}");
+    }
+}
+
+#[test]
+fn set_distance_axioms() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut syms = SymbolTable::new();
+    for _ in 0..200 {
+        let a = gen_term_set(&mut rng, &mut syms, 6);
+        let b = gen_term_set(&mut rng, &mut syms, 6);
+        let d = set_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d), "range: {a:?} {b:?} -> {d}");
+        let back = set_distance(&b, &a);
+        assert!((d - back).abs() < EPS, "symmetry: {a:?} {b:?}");
+        assert!(set_distance(&a, &a).abs() < EPS, "identity: {a:?}");
+        // Matching-based, so reordering either side changes nothing.
+        let mut shuffled = a.clone();
+        shuffled.reverse();
+        let reordered = set_distance(&shuffled, &b);
+        assert!((d - reordered).abs() < EPS, "order: {a:?} {b:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules and descriptions
+// ---------------------------------------------------------------------
+
+/// A pool of clauses with shared predicates, differing heads, bodies,
+/// variable roles, and arities — parsed into one symbol table so the
+/// distances compare symbols meaningfully.
+fn clause_pool(syms: &mut SymbolTable) -> Vec<Clause> {
+    let src = "
+        initiatedAt(on(X)=true, T) :- happensAt(up(X), T).
+        initiatedAt(on(X)=true, T) :- happensAt(up(X), T), holdsAt(powered(X)=true, T).
+        initiatedAt(on(Y)=true, T) :- happensAt(toggle(Y), T).
+        terminatedAt(on(X)=true, T) :- happensAt(down(X), T).
+        terminatedAt(on(X)=true, T) :- happensAt(reset, T).
+        initiatedAt(moving(V)=true, T) :- happensAt(velocity(V, S), T), S > 5.
+        initiatedAt(moving(V)=true, T) :- happensAt(velocity(V, S), T), S > 2, holdsAt(on(V)=true, T).
+        terminatedAt(moving(V)=true, T) :- happensAt(velocity(V, 0), T).
+        initiatedAt(near(A, B)=true, T) :- happensAt(coord(A, X1, Y1), T), happensAt(coord(B, X1, Y1), T).
+        terminatedAt(near(A, B)=true, T) :- happensAt(gone(A), T).
+    ";
+    parse_program(src, syms).expect("pool parses")
+}
+
+fn gen_description(rng: &mut StdRng, pool: &[Clause], max_len: usize) -> Vec<Clause> {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect()
+}
+
+#[test]
+fn rule_distance_axioms() {
+    let mut syms = SymbolTable::new();
+    let pool = clause_pool(&mut syms);
+    for r1 in &pool {
+        assert!(
+            simdist::rule::rule_distance(r1, r1).abs() < EPS,
+            "identity: {r1:?}"
+        );
+        for r2 in &pool {
+            let d = simdist::rule::rule_distance(r1, r2);
+            assert!((0.0..=1.0).contains(&d), "range: {r1:?} {r2:?} -> {d}");
+            let back = simdist::rule::rule_distance(r2, r1);
+            assert!((d - back).abs() < EPS, "symmetry: {r1:?} {r2:?}");
+        }
+    }
+}
+
+#[test]
+fn description_distance_axioms() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut syms = SymbolTable::new();
+    let pool = clause_pool(&mut syms);
+    for _ in 0..120 {
+        let a = gen_description(&mut rng, &pool, 6);
+        let b = gen_description(&mut rng, &pool, 6);
+        let d = description_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d), "range -> {d}");
+        let back = description_distance(&b, &a);
+        assert!((d - back).abs() < EPS, "symmetry");
+        assert!(description_distance(&a, &a).abs() < EPS, "identity");
+        let mut shuffled = a.clone();
+        shuffled.reverse();
+        let reordered = description_distance(&shuffled, &b);
+        assert!((d - reordered).abs() < EPS, "order invariance");
+    }
+}

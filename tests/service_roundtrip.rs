@@ -68,6 +68,7 @@ fn in_process_session_matches_batch_engine() {
                 window: None,
                 shards,
                 queue_capacity: 256,
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -116,6 +117,7 @@ fn tcp_concurrent_sessions_match_batch_engine() {
         addr: "127.0.0.1:0".to_string(),
         threads: 4,
         metrics_addr: None,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap().to_string();
