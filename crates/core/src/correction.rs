@@ -20,7 +20,33 @@ use llmgen::prompts::input_event_catalogue;
 use llmgen::GeneratedDescription;
 use maritime::thresholds::Thresholds;
 use rtec::{EventDescription, Term};
+use rtec_lint::AnalysisReport;
 use std::collections::BTreeSet;
+
+/// Diagnostic counts from one `rtec-lint` run, used to measure how much
+/// semantic damage the correction step removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintSummary {
+    /// Error-severity diagnostics.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+}
+
+impl LintSummary {
+    /// Counts the diagnostics of a report.
+    pub fn of(report: &AnalysisReport) -> LintSummary {
+        LintSummary {
+            errors: report.errors().count(),
+            warnings: report.warnings().count(),
+        }
+    }
+
+    /// Total diagnostics.
+    pub fn total(&self) -> usize {
+        self.errors + self.warnings
+    }
+}
 
 /// The result of correcting one generated description.
 #[derive(Clone, Debug)]
@@ -35,6 +61,45 @@ pub struct CorrectionOutcome {
     pub syntax_repairs: usize,
     /// Number of distinct names re-aligned.
     pub renames: usize,
+    /// Analyzer findings on the raw description.
+    pub lint_before: LintSummary,
+    /// Analyzer findings after correction.
+    pub lint_after: LintSummary,
+    /// Renames driven by the analyzer's `did you mean …?` suggestions
+    /// (only consulted when the alias table and the lexical matcher both
+    /// come up empty).
+    pub lint_renames: usize,
+}
+
+/// The text between the first pair of backticks, with any `/arity`
+/// suffix stripped — how diagnostics spell names.
+fn backticked_name(s: &str) -> Option<&str> {
+    let start = s.find('`')? + 1;
+    let end = s[start..].find('`')? + start;
+    s[start..end].split('/').next()
+}
+
+/// Rename candidates harvested from the analyzer's undefined-reference
+/// suggestions: `typo -> nearest defined name`.
+fn lint_rename_candidates(report: &AnalysisReport) -> std::collections::BTreeMap<String, String> {
+    let mut out = std::collections::BTreeMap::new();
+    for d in &report.diagnostics {
+        if d.code != rtec_lint::codes::UNDEFINED_FLUENT
+            && d.code != rtec_lint::codes::UNDECLARED_EVENT
+        {
+            continue;
+        }
+        let (Some(from), Some(to)) = (
+            backticked_name(&d.message),
+            d.suggestion.as_deref().and_then(backticked_name),
+        ) else {
+            continue;
+        };
+        if from != to {
+            out.entry(from.to_owned()).or_insert_with(|| to.to_owned());
+        }
+    }
+    out
 }
 
 /// The domain vocabulary a corrected description may use: input events,
@@ -172,9 +237,14 @@ pub fn correct_description(
         }
     }
 
+    let full_report = rtec_lint::analyze(&full);
+    let lint_before = LintSummary::of(&full_report);
+    let lint_suggestions = lint_rename_candidates(&full_report);
+
     let mut changes = Vec::new();
     let mut syntax_repairs = 0;
     let mut renamed: BTreeSet<String> = BTreeSet::new();
+    let mut lint_renames = 0;
     let mut per_task = Vec::with_capacity(generated.per_task.len());
 
     for (task, text) in &generated.per_task {
@@ -211,14 +281,29 @@ pub fn correct_description(
                 NameRole::Functor => (&functor_pool, 0.45),
                 NameRole::Constant => (&constant_pool, 0.4),
             };
+            let mut via_lint = false;
             let target = aliases
                 .iter()
                 .find(|(from, _)| *from == name)
                 .map(|(_, to)| (*to).to_owned())
-                .or_else(|| best_match_in(&name, pool, threshold));
+                .or_else(|| best_match_in(&name, pool, threshold))
+                .or_else(|| {
+                    // Last resort: the analyzer's did-you-mean, which
+                    // also covers fluents defined elsewhere in the
+                    // description (outside the matcher's pools).
+                    let to = lint_suggestions.get(&name).cloned()?;
+                    via_lint = true;
+                    Some(to)
+                });
             if let Some(to) = target {
-                changes.push(format!("{}: renamed '{}' to '{}'", task.key, name, to));
+                let how = if via_lint {
+                    " (analyzer suggestion)"
+                } else {
+                    ""
+                };
+                changes.push(format!("{}: renamed '{}' to '{}'{how}", task.key, name, to));
                 renamed.insert(name.clone());
+                lint_renames += usize::from(via_lint);
                 mutations.push(Mutation::RenameSymbol { from: name, to });
             }
         }
@@ -244,12 +329,16 @@ pub fn correct_description(
         corrected.model_name,
         corrected.scheme.filled_marker()
     );
+    let lint_after = LintSummary::of(&rtec_lint::analyze(&corrected.description()));
     CorrectionOutcome {
         corrected,
         label,
         changes,
         syntax_repairs,
         renames: renamed.len(),
+        lint_before,
+        lint_after,
+        lint_renames,
     }
 }
 
@@ -633,6 +722,40 @@ mod tests {
             "{:?}",
             outcome.corrected.description().parse_errors
         );
+    }
+
+    #[test]
+    fn lint_suggestion_drives_rename_when_matcher_fails() {
+        let mut m = MockLlm::new(Model::O1);
+        let mut g = generate(&mut m, Model::O1.best_scheme(), &Thresholds::default());
+        // A typo'd reference to a fluent the description itself defines:
+        // `underWai` is outside every matcher pool (those only hold
+        // input events, background predicates and constants), but the
+        // analyzer's did-you-mean reaches defined fluents.
+        g.per_task.last_mut().unwrap().1.push_str(
+            "\ninitiatedAt(lintProbe(Vessel)=true, T) :-\n                 happensAt(gap_start(Vessel), T),\n                 holdsAt(underWai(Vessel)=true, T).\n",
+        );
+        let outcome = correct_description(&g, &[("trawlingArea", "fishing")]);
+        assert!(outcome.lint_renames >= 1, "{:?}", outcome.changes);
+        assert!(outcome
+            .changes
+            .iter()
+            .any(|c| c.contains("'underWai' to 'underWay'") && c.contains("analyzer suggestion")));
+        let text = outcome.corrected.full_text();
+        assert!(!text.contains("underWai("), "{text}");
+        assert!(text.contains("holdsAt(underWay(Vessel)=true, T)"));
+    }
+
+    #[test]
+    fn lint_counts_are_recorded() {
+        let mut m = MockLlm::new(Model::O1);
+        let g = generate(&mut m, Model::O1.best_scheme(), &Thresholds::default());
+        let outcome = correct_description(&g, &[("trawlingArea", "fishing")]);
+        // O1's profile only injects renames, so the raw description has
+        // lint findings and the corrected one has no more of them.
+        assert!(outcome.lint_before.total() > 0);
+        assert!(outcome.lint_after.total() <= outcome.lint_before.total());
+        assert_eq!(outcome.lint_renames, 0, "{:?}", outcome.changes);
     }
 
     #[test]

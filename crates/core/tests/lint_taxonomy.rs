@@ -1,0 +1,164 @@
+//! Cross-tabulation of `rtec-lint` diagnostics against the qualitative
+//! error taxonomy (Section 5.2): every mock model's injected error
+//! profile must surface as lint findings, and the codes that fire must
+//! line up with the taxonomy categories the profile populates. This
+//! pins the analyzer to the paper's error catalogue — if a profile
+//! mutation stops producing its lint signature, one of the two layers
+//! regressed.
+
+use adgen_core::correction::correct_description;
+use adgen_core::taxonomy::classify;
+use llmgen::{generate, GeneratedDescription, MockLlm, Model};
+use maritime::thresholds::Thresholds;
+use rtec::EventDescription;
+use rtec_lint::{analyze, codes, AnalysisReport};
+
+const MODELS: [Model; 6] = [
+    Model::O1,
+    Model::Gpt4o,
+    Model::Llama3,
+    Model::Gpt4,
+    Model::Mistral,
+    Model::Gemma2,
+];
+
+fn generate_best(model: Model) -> GeneratedDescription {
+    let mut m = MockLlm::new(model);
+    generate(&mut m, model.best_scheme(), &Thresholds::default())
+}
+
+fn lint(g: &GeneratedDescription) -> AnalysisReport {
+    analyze(&g.description())
+}
+
+/// The exact lint signature of each model's error profile at its best
+/// prompting scheme. The mock pipeline is deterministic, so these are
+/// exact sets, not subsets.
+#[test]
+fn each_error_profile_has_a_stable_lint_signature() {
+    let expected: [(Model, &[&str]); 6] = [
+        (
+            Model::O1,
+            &[codes::UNDEFINED_FLUENT, codes::SINGLETON_VARIABLE],
+        ),
+        (
+            Model::Gpt4o,
+            &[codes::UNDEFINED_FLUENT, codes::SINGLETON_VARIABLE],
+        ),
+        (
+            Model::Llama3,
+            &[codes::UNDEFINED_FLUENT, codes::SINGLETON_VARIABLE],
+        ),
+        (
+            Model::Gpt4,
+            &[
+                codes::UNDEFINED_FLUENT,
+                codes::KIND_CONFLICT,
+                codes::UNSAFE_VARIABLE,
+                codes::SINGLETON_VARIABLE,
+            ],
+        ),
+        (
+            Model::Mistral,
+            &[
+                codes::SYNTAX_ERROR,
+                codes::UNDEFINED_FLUENT,
+                codes::SINGLETON_VARIABLE,
+            ],
+        ),
+        (
+            Model::Gemma2,
+            &[
+                codes::SYNTAX_ERROR,
+                codes::UNDEFINED_FLUENT,
+                codes::SINGLETON_VARIABLE,
+                codes::DEAD_RULE,
+            ],
+        ),
+    ];
+    for (model, want) in expected {
+        let report = lint(&generate_best(model));
+        assert!(
+            !report.diagnostics.is_empty(),
+            "{model:?}: every error profile must yield at least one lint finding"
+        );
+        assert_eq!(
+            report.codes_fired(),
+            want.to_vec(),
+            "{model:?} lint signature drifted:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The lint codes must agree with the taxonomy categories computed
+/// against the gold standard.
+#[test]
+fn lint_codes_cross_tabulate_with_taxonomy_categories() {
+    let gold = EventDescription::parse_lenient(maritime::gold::GOLD_RULES);
+    for model in MODELS {
+        let g = generate_best(model);
+        let report = lint(&g);
+        let fired = report.codes_fired();
+        let tax = classify(&g, &gold);
+
+        // Unparseable clauses are exactly RL0001 territory.
+        assert_eq!(
+            tax.syntax_errors > 0,
+            fired.contains(&codes::SYNTAX_ERROR),
+            "{model:?}: taxonomy syntax_errors={} vs lint {fired:?}",
+            tax.syntax_errors
+        );
+        // Taxonomy category 3 (undefined dependencies) implies the
+        // analyzer's undefined-fluent finding. The converse need not
+        // hold: the taxonomy excludes names the gold standard defines,
+        // the analyzer judges the description on its own.
+        if !tax.undefined_dependencies.is_empty() {
+            assert!(
+                fired.contains(&codes::UNDEFINED_FLUENT),
+                "{model:?}: taxonomy found undefined dependencies {:?} but lint fired {fired:?}",
+                tax.undefined_dependencies
+            );
+        }
+        // Naming divergences (category 1) also leave dangling
+        // references behind.
+        if !tax.naming_divergences.is_empty() {
+            assert!(
+                fired.contains(&codes::UNDEFINED_FLUENT),
+                "{model:?}: naming divergences {:?} but lint fired {fired:?}",
+                tax.naming_divergences
+            );
+        }
+    }
+}
+
+/// The correction step must never make the lint report worse, and for
+/// the profiles with syntax damage it must strictly reduce the error
+/// count (RL0001 findings disappear once the text parses).
+#[test]
+fn correction_reduces_lint_findings() {
+    for model in MODELS {
+        let g = generate_best(model);
+        let outcome = correct_description(&g, &[("trawlingArea", "fishing")]);
+        assert!(
+            outcome.lint_after.errors <= outcome.lint_before.errors,
+            "{model:?}: correction added lint errors: {:?} -> {:?}",
+            outcome.lint_before,
+            outcome.lint_after
+        );
+        assert!(
+            outcome.lint_after.total() <= outcome.lint_before.total(),
+            "{model:?}: correction added lint findings: {:?} -> {:?}",
+            outcome.lint_before,
+            outcome.lint_after
+        );
+    }
+    // Mistral's missing period is repaired, so its syntax finding goes.
+    let outcome = correct_description(&generate_best(Model::Mistral), &[]);
+    assert!(
+        outcome.lint_before.errors > outcome.lint_after.errors,
+        "syntax repair must remove the RL0001 error: {:?} -> {:?}",
+        outcome.lint_before,
+        outcome.lint_after
+    );
+}

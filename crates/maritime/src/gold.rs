@@ -39,7 +39,7 @@ initiatedAt(withinArea(Vessel, AreaType)=true, T) :-
 terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
     happensAt(leavesArea(Vessel, AreaId), T),
     areaType(AreaId, AreaType).
-terminatedAt(withinArea(Vessel, AreaType)=true, T) :-
+terminatedAt(withinArea(Vessel, _AreaType)=true, T) :-
     happensAt(gap_start(Vessel), T).
 
 % --- stopped, split by port vicinity ---
@@ -49,9 +49,9 @@ initiatedAt(stopped(Vessel)=nearPorts, T) :-
 initiatedAt(stopped(Vessel)=farFromPorts, T) :-
     happensAt(stop_start(Vessel), T),
     not holdsAt(withinArea(Vessel, nearPorts)=true, T).
-terminatedAt(stopped(Vessel)=Value, T) :-
+terminatedAt(stopped(Vessel)=_Value, T) :-
     happensAt(stop_end(Vessel), T).
-terminatedAt(stopped(Vessel)=Value, T) :-
+terminatedAt(stopped(Vessel)=_Value, T) :-
     happensAt(gap_start(Vessel), T).
 
 % --- low speed ---
@@ -72,28 +72,28 @@ terminatedAt(changingSpeed(Vessel)=true, T) :-
 
 % --- moving speed relative to the service speed of the vessel type ---
 initiatedAt(movingSpeed(Vessel)=below, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(movingMin, MovingMin),
     Speed >= MovingMin,
     vesselType(Vessel, Type),
-    typeSpeed(Type, Min, Max),
+    typeSpeed(Type, Min, _Max),
     Speed < Min.
 initiatedAt(movingSpeed(Vessel)=normal, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     vesselType(Vessel, Type),
     typeSpeed(Type, Min, Max),
     Speed >= Min,
     Speed =< Max.
 initiatedAt(movingSpeed(Vessel)=above, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     vesselType(Vessel, Type),
-    typeSpeed(Type, Min, Max),
+    typeSpeed(Type, _Min, Max),
     Speed > Max.
-terminatedAt(movingSpeed(Vessel)=Value, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+terminatedAt(movingSpeed(Vessel)=_Value, T) :-
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(movingMin, MovingMin),
     Speed < MovingMin.
-terminatedAt(movingSpeed(Vessel)=Value, T) :-
+terminatedAt(movingSpeed(Vessel)=_Value, T) :-
     happensAt(gap_start(Vessel), T).
 
 % --- under way: sailing at any moving speed ---
@@ -107,12 +107,12 @@ holdsFor(underWay(Vessel)=true, I) :-
 
 % --- (h) high speed near coast ---
 initiatedAt(highSpeedNearCoast(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(hcNearCoastMax, HcNearCoastMax),
     Speed > HcNearCoastMax,
     holdsAt(withinArea(Vessel, nearCoast)=true, T).
 terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(hcNearCoastMax, HcNearCoastMax),
     Speed =< HcNearCoastMax.
 terminatedAt(highSpeedNearCoast(Vessel)=true, T) :-
@@ -131,7 +131,7 @@ holdsFor(anchoredOrMoored(Vessel)=true, I) :-
 
 % --- (tr) trawling: trawling speed plus trawling movement in a fishing area ---
 initiatedAt(trawlSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     vesselType(Vessel, fishing),
     thresholds(trawlspeedMin, TrawlspeedMin),
     thresholds(trawlspeedMax, TrawlspeedMax),
@@ -139,11 +139,11 @@ initiatedAt(trawlSpeed(Vessel)=true, T) :-
     Speed =< TrawlspeedMax,
     holdsAt(withinArea(Vessel, fishing)=true, T).
 terminatedAt(trawlSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(trawlspeedMin, TrawlspeedMin),
     Speed < TrawlspeedMin.
 terminatedAt(trawlSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(trawlspeedMax, TrawlspeedMax),
     Speed > TrawlspeedMax.
 terminatedAt(trawlSpeed(Vessel)=true, T) :-
@@ -165,17 +165,17 @@ holdsFor(trawling(Vessel)=true, I) :-
 
 % --- (tu) tugging: a tug and its tow in proximity at towing speed ---
 initiatedAt(tuggingSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(tuggingMin, TuggingMin),
     thresholds(tuggingMax, TuggingMax),
     Speed >= TuggingMin,
     Speed =< TuggingMax.
 terminatedAt(tuggingSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(tuggingMin, TuggingMin),
     Speed < TuggingMin.
 terminatedAt(tuggingSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(tuggingMax, TuggingMax),
     Speed > TuggingMax.
 terminatedAt(tuggingSpeed(Vessel)=true, T) :-
@@ -211,12 +211,12 @@ holdsFor(loitering(Vessel)=true, I) :-
 
 % --- (s) search and rescue: an SAR vessel sweeping at speed ---
 initiatedAt(sarSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     vesselType(Vessel, sar),
     thresholds(sarMinSpeed, SarMinSpeed),
     Speed >= SarMinSpeed.
 terminatedAt(sarSpeed(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, Speed, _Heading, _Cog), T),
     thresholds(sarMinSpeed, SarMinSpeed),
     Speed < SarMinSpeed.
 terminatedAt(sarSpeed(Vessel)=true, T) :-
@@ -253,12 +253,12 @@ holdsFor(rendezVous(Vessel1, Vessel2)=true, I) :-
 
 % --- (d) drifting: under way with course deviating from heading ---
 initiatedAt(drifting(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, _Speed, Heading, Cog), T),
     thresholds(adriftAngThr, AdriftAngThr),
     min(abs(Heading - Cog), 360 - abs(Heading - Cog)) > AdriftAngThr,
     holdsAt(underWay(Vessel)=true, T).
 terminatedAt(drifting(Vessel)=true, T) :-
-    happensAt(velocity(Vessel, Speed, Heading, Cog), T),
+    happensAt(velocity(Vessel, _Speed, Heading, Cog), T),
     thresholds(adriftAngThr, AdriftAngThr),
     min(abs(Heading - Cog), 360 - abs(Heading - Cog)) =< AdriftAngThr.
 terminatedAt(drifting(Vessel)=true, T) :-

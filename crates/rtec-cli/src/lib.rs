@@ -2,9 +2,11 @@
 //!
 //! Three subcommands, mirroring how RTEC deployments are operated:
 //!
-//! * `rtec check <description.rtec>` — parse, validate against the rule
-//!   syntax, stratify, and schema-check against any `inputEvent/1` /
-//!   `inputFluent/1` declarations;
+//! * `rtec check <description.rtec> [--format text|json]` — parse,
+//!   validate against the rule syntax, stratify, schema-check against any
+//!   `inputEvent/1` / `inputFluent/1` declarations, and run the
+//!   `rtec-lint` semantic analyzer (docs/LINTS.md); `--format json`
+//!   emits the diagnostics as a stable JSON array;
 //! * `rtec run <description.rtec> <events.evt> [--window W] [--horizon H]`
 //!   — recognise composite activities over an event file and print the
 //!   maximal intervals of every detected fluent-value pair;
@@ -42,13 +44,25 @@ impl CliError {
     }
 }
 
+/// Output format of `check`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// One stable JSON array of lint diagnostics.
+    Json,
+}
+
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub enum Command {
-    /// `check <desc>`
+    /// `check <desc> [--format text|json]`
     Check {
         /// Path to the event description.
         desc: String,
+        /// Output format.
+        format: CheckFormat,
     },
     /// `run <desc> <events> [--window W] [--horizon H]`
     Run {
@@ -104,7 +118,7 @@ pub const USAGE: &str = "\
 rtec — Run-Time Event Calculus command line
 
 USAGE:
-    rtec check <description.rtec>
+    rtec check <description.rtec> [--format text|json]
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
@@ -134,8 +148,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         Some("check") => {
             let desc = it
                 .next()
-                .ok_or_else(|| CliError::new("check: missing description path", 2))?;
-            Ok(Command::Check { desc: desc.clone() })
+                .ok_or_else(|| CliError::new("check: missing description path", 2))?
+                .clone();
+            let mut format = CheckFormat::Text;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--format" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| CliError::new("--format: missing value", 2))?;
+                        format = match value.as_str() {
+                            "text" => CheckFormat::Text,
+                            "json" => CheckFormat::Json,
+                            other => {
+                                return Err(CliError::new(
+                                    format!("--format {other}: expected 'text' or 'json'"),
+                                    2,
+                                ))
+                            }
+                        };
+                    }
+                    other => return Err(CliError::new(format!("check: unknown flag {other}"), 2)),
+                }
+            }
+            Ok(Command::Check { desc, format })
         }
         Some("run") => {
             let desc = it
@@ -307,17 +343,24 @@ pub fn parse_event_file(text: &str) -> Result<InputStream, CliError> {
 }
 
 /// `check` subcommand over description source text. Returns the report;
-/// errors out (exit 1) when validation fails.
+/// errors out (exit 1) when validation or semantic analysis fails.
 pub fn check_source(src: &str) -> Result<String, CliError> {
     let desc = EventDescription::parse_lenient(src);
+    let lint = rtec_lint::analyze(&desc);
     let mut out = String::new();
     let _ = writeln!(out, "clauses: {}", desc.clauses.len());
     for e in &desc.parse_errors {
         let _ = writeln!(out, "syntax error: {e}");
     }
-    let compiled = desc
-        .compile()
-        .map_err(|e| CliError::new(format!("fatal: {e}"), 1))?;
+    let compiled = desc.compile().map_err(|e| {
+        // Cycles and the like: the analyzer has the same finding with a
+        // clause position, so attach its report to the fatal message.
+        let mut message = format!("fatal: {e}");
+        if lint.has_errors() {
+            let _ = write!(message, "\n{}", lint.render());
+        }
+        CliError::new(message, 1)
+    })?;
     let _ = writeln!(
         out,
         "rules: {} simple, {} holdsFor; background facts: {}",
@@ -344,10 +387,46 @@ pub fn check_source(src: &str) -> Result<String, CliError> {
         .map(|(f, a)| format!("{}/{}", compiled.symbols.try_name(*f).unwrap_or("?"), a))
         .collect();
     let _ = writeln!(out, "evaluation order: {}", strata.join(" -> "));
-    if !desc.parse_errors.is_empty() || compiled.report.has_errors() {
+    let semantic: Vec<&rtec_lint::Diagnostic> = lint
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            d.code != rtec_lint::codes::SYNTAX_ERROR && d.code != rtec_lint::codes::INVALID_CLAUSE
+        })
+        .collect();
+    if semantic.is_empty() {
+        let _ = writeln!(out, "lint: clean");
+    } else {
+        let _ = writeln!(
+            out,
+            "lint: {} error(s), {} warning(s)",
+            semantic
+                .iter()
+                .filter(|d| d.severity == rtec::error::Severity::Error)
+                .count(),
+            semantic
+                .iter()
+                .filter(|d| d.severity == rtec::error::Severity::Warning)
+                .count()
+        );
+        for d in &semantic {
+            let _ = writeln!(out, "{}", d.render());
+        }
+    }
+    if !desc.parse_errors.is_empty() || compiled.report.has_errors() || lint.has_errors() {
         return Err(CliError::new(out, 1));
     }
     Ok(out)
+}
+
+/// `check --format json` over description source text: one JSON array of
+/// lint diagnostics (syntax, validation and semantic findings alike) in
+/// the stable shape documented in docs/LINTS.md. The boolean is `false`
+/// when any error-severity diagnostic fired (process exit code 1).
+pub fn check_source_json(src: &str) -> (String, bool) {
+    let report = rtec_lint::analyze_source(src);
+    let json = serde_json::to_string(&report.to_json()).unwrap_or_else(|_| "[]".into());
+    (json, !report.has_errors())
 }
 
 /// `run` subcommand over in-memory inputs. Returns the rendered output.
@@ -492,9 +571,19 @@ mod tests {
         assert_eq!(
             parse_args(&s(&["check", "a.rtec"])).unwrap(),
             Command::Check {
-                desc: "a.rtec".into()
+                desc: "a.rtec".into(),
+                format: CheckFormat::Text
             }
         );
+        assert_eq!(
+            parse_args(&s(&["check", "a.rtec", "--format", "json"])).unwrap(),
+            Command::Check {
+                desc: "a.rtec".into(),
+                format: CheckFormat::Json
+            }
+        );
+        assert!(parse_args(&s(&["check", "a.rtec", "--format", "yaml"])).is_err());
+        assert!(parse_args(&s(&["check", "a.rtec", "--nope"])).is_err());
         assert_eq!(
             parse_args(&s(&["run", "a.rtec", "e.evt", "--window", "3600"])).unwrap(),
             Command::Run {
@@ -652,6 +741,62 @@ mod tests {
         let err = check_source("initiatedAt(f(V), T) :- happensAt(e(V), T).").unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("fluent-value pair"));
+    }
+
+    #[test]
+    fn check_reports_lint_findings() {
+        let report = check_source(DESC).unwrap();
+        assert!(report.contains("lint: clean"), "{report}");
+        // An undefined fluent is a lint warning (schema open for fluents
+        // is closed here by the declarations, so it is an error).
+        let err = check_source(
+            "inputEvent(e/1).\n\
+             initiatedAt(f(V)=true, T) :- happensAt(e(V), T), holdsAt(ghost(V)=true, T).",
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("RL0101"), "{}", err.message);
+        // A cyclic description fails with the analyzer's diagnostic
+        // attached to the fatal compile error.
+        let err = check_source(
+            "initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T).\n\
+             initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("RL0301"), "{}", err.message);
+    }
+
+    #[test]
+    fn check_json_emits_stable_array() {
+        let (json, ok) = check_source_json(
+            "initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(engine(V)=on, T).",
+        );
+        assert!(ok, "warnings only: exit 0");
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().expect("array");
+        assert!(!arr.is_empty());
+        for d in arr {
+            for key in [
+                "code",
+                "severity",
+                "clause",
+                "line",
+                "col",
+                "message",
+                "suggestion",
+            ] {
+                assert!(d.get(key).is_some(), "missing {key}: {d:?}");
+            }
+        }
+        assert_eq!(arr[0]["code"], "RL0101");
+        // Errors flip the exit status.
+        let (json, ok) = check_source_json("initiatedAt(broken");
+        assert!(!ok);
+        assert!(json.contains("RL0001"));
+        // A clean description is an empty array.
+        let (json, ok) = check_source_json(DESC);
+        assert!(ok);
+        assert_eq!(json, "[]");
     }
 
     #[test]

@@ -89,7 +89,21 @@ fn main() -> ExitCode {
             emit(USAGE);
             return ExitCode::SUCCESS;
         }
-        Command::Check { desc } => read(&desc).and_then(|src| check_source(&src)),
+        Command::Check { desc, format } => match format {
+            rtec_cli::CheckFormat::Text => read(&desc).and_then(|src| check_source(&src)),
+            rtec_cli::CheckFormat::Json => match read(&desc) {
+                Ok(src) => {
+                    let (json, ok) = rtec_cli::check_source_json(&src);
+                    emit(&json);
+                    return if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    };
+                }
+                Err(e) => Err(e),
+            },
+        },
         Command::Run {
             desc,
             events,

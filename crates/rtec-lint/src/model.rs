@@ -1,0 +1,235 @@
+//! The whole-description model the analysis passes run over: validated
+//! rules indexed by fluent key, input declarations, and every use site
+//! of every event, fluent, and background predicate.
+
+use rtec::ast::{BodyLiteral, FluentKey, SimpleKind, StaticLiteral};
+use rtec::description::EventDescription;
+use rtec::symbol::SymbolTable;
+use rtec::term::Term;
+use rtec::validate::{SysSymbols, ValidatedRules};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a rule defining a fluent-value pair's fluent lives.
+#[derive(Clone, Debug, Default)]
+pub struct FluentDef {
+    /// Clause indices of `initiatedAt` rules for this fluent.
+    pub init_clauses: Vec<usize>,
+    /// Clause indices of `terminatedAt` rules for this fluent.
+    pub term_clauses: Vec<usize>,
+    /// Clause indices of `holdsFor` rules for this fluent.
+    pub static_clauses: Vec<usize>,
+}
+
+/// One body reference to a fluent (`holdsAt` or `holdsFor`).
+#[derive(Clone, Copy, Debug)]
+pub struct FluentRef {
+    /// The `(functor, arity)` key of the referenced fluent.
+    pub key: FluentKey,
+    /// Clause index of the referencing rule.
+    pub clause: usize,
+    /// Whether the reference sits under negation.
+    pub negated: bool,
+}
+
+/// One body reference to an event (`happensAt`).
+pub type EventRef = FluentRef;
+
+/// Everything the analysis passes need, computed once.
+pub struct DescriptionModel<'a> {
+    /// The parsed description (raw clauses, for position/variable
+    /// checks).
+    pub desc: &'a EventDescription,
+    /// The per-clause validated rule set.
+    pub validated: &'a ValidatedRules,
+    /// Interned system symbols (`initiatedAt`, `holdsFor`, …).
+    pub sys: &'a SysSymbols,
+    /// Symbol table covering the description plus system and
+    /// declaration symbols.
+    pub symbols: SymbolTable,
+    /// Declared input events, from `inputEvent(name/arity).` facts.
+    pub input_events: BTreeSet<FluentKey>,
+    /// Declared input fluents, from `inputFluent(name/arity).` facts.
+    pub input_fluents: BTreeSet<FluentKey>,
+    /// Whether any declaration fact is present (declarations are
+    /// opt-in: without them the schema is open and undefined references
+    /// downgrade to warnings).
+    pub has_declarations: bool,
+    /// Fluents defined by at least one rule, with the defining clauses.
+    pub defined: BTreeMap<FluentKey, FluentDef>,
+    /// Every body reference to a fluent.
+    pub fluent_refs: Vec<FluentRef>,
+    /// Every body reference to an event.
+    pub event_refs: Vec<EventRef>,
+    /// `(signature, clause)` of every background-predicate pattern in a
+    /// rule body.
+    pub atemporal_sigs: Vec<(FluentKey, usize)>,
+    /// Signatures of ground facts (excluding declaration facts).
+    pub fact_sigs: Vec<FluentKey>,
+}
+
+impl<'a> DescriptionModel<'a> {
+    /// Builds the model from a validated description. `symbols` must be
+    /// the table `validated` was produced with; declaration symbols are
+    /// interned into it.
+    pub fn build(
+        desc: &'a EventDescription,
+        validated: &'a ValidatedRules,
+        sys: &'a SysSymbols,
+        symbols: &mut SymbolTable,
+    ) -> DescriptionModel<'a> {
+        let input_event_sym = symbols.intern("inputEvent");
+        let input_fluent_sym = symbols.intern("inputFluent");
+        let slash_sym = symbols.intern("/");
+
+        let mut model = DescriptionModel {
+            desc,
+            validated,
+            sys,
+            symbols: symbols.clone(),
+            input_events: BTreeSet::new(),
+            input_fluents: BTreeSet::new(),
+            has_declarations: false,
+            defined: BTreeMap::new(),
+            fluent_refs: Vec::new(),
+            event_refs: Vec::new(),
+            atemporal_sigs: Vec::new(),
+            fact_sigs: Vec::new(),
+        };
+
+        // Declarations and ordinary facts.
+        for fact in &validated.facts {
+            let decl = fact.signature().and_then(|sig| {
+                let target = if sig == (input_event_sym, 1) {
+                    Some(&mut model.input_events)
+                } else if sig == (input_fluent_sym, 1) {
+                    Some(&mut model.input_fluents)
+                } else {
+                    None
+                }?;
+                let spec = &fact.args()[0];
+                if spec.signature() != Some((slash_sym, 2)) {
+                    return None;
+                }
+                let name = spec.args()[0].functor()?;
+                let arity = match spec.args()[1] {
+                    Term::Int(n) if n >= 0 => n as usize,
+                    _ => return None,
+                };
+                target.insert((name, arity));
+                Some(())
+            });
+            if decl.is_some() {
+                model.has_declarations = true;
+            } else if let Some(sig) = fact.signature() {
+                model.fact_sigs.push(sig);
+            }
+        }
+
+        // Definitions and use sites from the validated rules.
+        for rule in &validated.simple {
+            if let Some(key) = rule.fvp.key() {
+                let def = model.defined.entry(key).or_default();
+                match rule.kind {
+                    SimpleKind::Initiated => def.init_clauses.push(rule.clause),
+                    SimpleKind::Terminated => def.term_clauses.push(rule.clause),
+                }
+            }
+            for lit in &rule.body {
+                match lit {
+                    BodyLiteral::HappensAt { negated, event } => {
+                        if let Some(key) = event.signature() {
+                            model.event_refs.push(EventRef {
+                                key,
+                                clause: rule.clause,
+                                negated: *negated,
+                            });
+                        }
+                    }
+                    BodyLiteral::HoldsAt { negated, fvp } => {
+                        if let Some(key) = fvp.key() {
+                            model.fluent_refs.push(FluentRef {
+                                key,
+                                clause: rule.clause,
+                                negated: *negated,
+                            });
+                        }
+                    }
+                    BodyLiteral::Atemporal { pattern, .. } => {
+                        if let Some(sig) = pattern.signature() {
+                            model.atemporal_sigs.push((sig, rule.clause));
+                        }
+                    }
+                    BodyLiteral::Compare { .. } => {}
+                }
+            }
+        }
+        for rule in &validated.statics {
+            if let Some(key) = rule.fvp.key() {
+                model
+                    .defined
+                    .entry(key)
+                    .or_default()
+                    .static_clauses
+                    .push(rule.clause);
+            }
+            for lit in &rule.body {
+                match lit {
+                    StaticLiteral::HoldsFor { fvp, .. } => {
+                        if let Some(key) = fvp.key() {
+                            model.fluent_refs.push(FluentRef {
+                                key,
+                                clause: rule.clause,
+                                negated: false,
+                            });
+                        }
+                    }
+                    StaticLiteral::Atemporal { pattern, .. } => {
+                        if let Some(sig) = pattern.signature() {
+                            model.atemporal_sigs.push((sig, rule.clause));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        model
+    }
+
+    /// Whether `key` is satisfiable as a fluent reference: defined by a
+    /// rule or declared as an input fluent.
+    pub fn fluent_known(&self, key: FluentKey) -> bool {
+        self.defined.contains_key(&key) || self.input_fluents.contains(&key)
+    }
+
+    /// `name/arity` rendering of a key.
+    pub fn key_name(&self, key: FluentKey) -> String {
+        format!("{}/{}", self.symbols.name(key.0), key.1)
+    }
+
+    /// The nearest name (edit distance ≤ 2, same arity preferred) among
+    /// `candidates`, for "did you mean …?" suggestions.
+    pub fn nearest_key(
+        &self,
+        key: FluentKey,
+        candidates: impl Iterator<Item = FluentKey>,
+    ) -> Option<FluentKey> {
+        let name = self.symbols.name(key.0);
+        let mut best: Option<(usize, usize, FluentKey)> = None;
+        for cand in candidates {
+            if cand == key {
+                continue;
+            }
+            let d = crate::edit_distance(name, self.symbols.name(cand.0));
+            if d > 2 {
+                continue;
+            }
+            let arity_penalty = usize::from(cand.1 != key.1);
+            let score = (d, arity_penalty, cand);
+            if best.is_none_or(|b| score < b) {
+                best = Some(score);
+            }
+        }
+        best.map(|(_, _, k)| k)
+    }
+}

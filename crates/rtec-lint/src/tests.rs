@@ -1,0 +1,386 @@
+use crate::{analyze_source, codes, AnalysisReport};
+use rtec::error::Severity;
+
+fn codes_of(report: &AnalysisReport) -> Vec<&'static str> {
+    report.codes_fired()
+}
+
+fn has(report: &AnalysisReport, code: &str) -> bool {
+    report.diagnostics.iter().any(|d| d.code == code)
+}
+
+#[test]
+fn clean_description_is_clean() {
+    let report = analyze_source(
+        "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).\n\
+         terminatedAt(on(X)=true, T) :- happensAt(down(X), T).",
+    );
+    assert!(report.is_clean(), "unexpected: {}", report.render());
+}
+
+#[test]
+fn syntax_errors_become_rl0001() {
+    let report = analyze_source("initiatedAt(on(X)=true, T) :- happensAt(up(X), T");
+    assert!(has(&report, codes::SYNTAX_ERROR));
+    assert!(report.has_errors());
+    // Syntax errors are owned by the parser, not the semantic gate.
+    assert!(!report.has_semantic_errors());
+    let d = &report.diagnostics[0];
+    assert!(d.pos.is_some(), "syntax errors carry a position");
+}
+
+#[test]
+fn validation_issues_become_rl0002() {
+    // Non-ground fact: a per-clause validation error.
+    let report = analyze_source("areaType(X, fishing).");
+    assert!(has(&report, codes::INVALID_CLAUSE));
+    assert!(!report.has_semantic_errors());
+}
+
+#[test]
+fn undefined_fluent_is_warning_without_declarations() {
+    let report = analyze_source(
+        "initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(engine(V)=on, T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNDEFINED_FLUENT)
+        .expect("RL0101 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("engine/1"), "{}", d.message);
+    assert!(!report.has_semantic_errors());
+}
+
+#[test]
+fn undefined_fluent_is_error_with_declarations_and_suggests_fix() {
+    let report = analyze_source(
+        "inputEvent(go/1).\n\
+         initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(enginee(V)=on, T).\n\
+         initiatedAt(engine(V)=on, T) :- happensAt(go(V), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNDEFINED_FLUENT)
+        .expect("RL0101 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.has_semantic_errors());
+    let suggestion = d.suggestion.as_deref().expect("suggestion present");
+    assert!(suggestion.contains("engine/1"), "{suggestion}");
+}
+
+#[test]
+fn undeclared_event_is_error_only_with_declarations() {
+    let src = "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).";
+    assert!(!has(&analyze_source(src), codes::UNDECLARED_EVENT));
+
+    let with_decls = format!("inputEvent(upp/1).\n{src}");
+    let report = analyze_source(&with_decls);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNDECLARED_EVENT)
+        .expect("RL0102 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.suggestion.as_deref().unwrap_or("").contains("upp/1"));
+}
+
+#[test]
+fn arity_mismatch_is_reported_per_namespace() {
+    let report = analyze_source(
+        "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).\n\
+         terminatedAt(on(X, Y)=true, T) :- happensAt(down(X), T), q(Y).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::ARITY_MISMATCH)
+        .expect("RL0201 fires");
+    assert!(
+        d.message.contains("on/1") && d.message.contains("on/2"),
+        "{}",
+        d.message
+    );
+    // Atom constants do not clash with same-named functors.
+    let report = analyze_source(
+        "initiatedAt(mode(X)=sar, T) :- happensAt(up(X), T), holdsAt(sar(X)=true, T).\n\
+         initiatedAt(sar(X)=true, T) :- happensAt(sarStart(X), T).",
+    );
+    assert!(!has(&report, codes::ARITY_MISMATCH), "{}", report.render());
+}
+
+#[test]
+fn simple_static_kind_conflict_is_error() {
+    let report = analyze_source(
+        "initiatedAt(f(X)=true, T) :- happensAt(e(X), T).\n\
+         holdsFor(f(X)=true, I) :- holdsFor(g(X)=true, I).\n\
+         initiatedAt(g(X)=true, T) :- happensAt(e(X), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::KIND_CONFLICT)
+        .expect("RL0202 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("f/1"), "{}", d.message);
+    assert!(report.has_semantic_errors());
+}
+
+#[test]
+fn event_fluent_cross_use_is_warning() {
+    let report = analyze_source(
+        "initiatedAt(f(X)=true, T) :- happensAt(g(X), T), holdsAt(g(X)=true, T).\n\
+         initiatedAt(g(X)=true, T) :- happensAt(e(X), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::KIND_CONFLICT)
+        .expect("RL0202 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("g/1"), "{}", d.message);
+}
+
+#[test]
+fn dependency_cycle_is_error_with_path() {
+    let report = analyze_source(
+        "initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T).\n\
+         initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DEPENDENCY_CYCLE)
+        .expect("RL0301 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("a/1") && d.message.contains("b/1"),
+        "{}",
+        d.message
+    );
+    assert!(report.has_semantic_errors());
+}
+
+#[test]
+fn self_cycle_is_detected() {
+    let report =
+        analyze_source("initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=false, T).");
+    assert!(has(&report, codes::DEPENDENCY_CYCLE), "{}", report.render());
+}
+
+#[test]
+fn unbound_head_variable_is_error() {
+    let report = analyze_source("initiatedAt(speed(V)=Level, T) :- happensAt(go(V), T).");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNSAFE_VARIABLE)
+        .expect("RL0401 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("Level"), "{}", d.message);
+}
+
+#[test]
+fn terminated_head_variables_are_exempt() {
+    // The gold maritime description terminates `stopped(V)=_Value` with a
+    // free value variable: the engine matches it against whatever holds.
+    let report = analyze_source(
+        "initiatedAt(stopped(V)=true, T) :- happensAt(stop_start(V), T).\n\
+         terminatedAt(stopped(V)=Value, T) :- happensAt(gap_start(V), T), q(Value).",
+    );
+    assert!(!has(&report, codes::UNSAFE_VARIABLE), "{}", report.render());
+}
+
+#[test]
+fn unbound_comparison_variable_is_error() {
+    let report = analyze_source("initiatedAt(fast(V)=true, T) :- happensAt(go(V), T), Speed > 5.");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNSAFE_VARIABLE)
+        .expect("RL0401 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("Speed"), "{}", d.message);
+}
+
+#[test]
+fn eq_comparison_binds_its_variable() {
+    let report = analyze_source(
+        "initiatedAt(fast(V)=true, T) :- happensAt(velocity(V, Speed), T), \
+         Margin = Speed + 2, Margin > 5.",
+    );
+    assert!(!has(&report, codes::UNSAFE_VARIABLE), "{}", report.render());
+}
+
+#[test]
+fn unbound_variable_in_negated_literal_is_warning() {
+    let report = analyze_source(
+        "initiatedAt(idle(V)=true, T) :- happensAt(stop(V), T), \
+         not happensAt(move(V, Speed), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNSAFE_VARIABLE)
+        .expect("RL0401 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("Speed"), "{}", d.message);
+    // Underscore-prefixed wildcards are intentional and exempt (they also
+    // silence the singleton warning).
+    let report = analyze_source(
+        "initiatedAt(idle(V)=true, T) :- happensAt(stop(V), T), \
+         not happensAt(move(V, _Speed), T).",
+    );
+    assert!(!has(&report, codes::UNSAFE_VARIABLE), "{}", report.render());
+}
+
+#[test]
+fn singleton_variable_is_warning_with_rename_suggestion() {
+    let report = analyze_source("initiatedAt(on(X)=true, T) :- happensAt(up(X, Mode), T).");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::SINGLETON_VARIABLE)
+        .expect("RL0402 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("Mode"), "{}", d.message);
+    assert!(d.suggestion.as_deref().unwrap_or("").contains("_Mode"));
+    // Underscore prefix silences it.
+    let report = analyze_source("initiatedAt(on(X)=true, T) :- happensAt(up(X, _Mode), T).");
+    assert!(
+        !has(&report, codes::SINGLETON_VARIABLE),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn terminated_never_initiated_is_dead_rule() {
+    let report = analyze_source("terminatedAt(on(X)=true, T) :- happensAt(down(X), T).");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DEAD_RULE)
+        .expect("RL0501 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("never initiated"), "{}", d.message);
+}
+
+#[test]
+fn termination_value_never_produced_is_dead_rule() {
+    let report = analyze_source(
+        "initiatedAt(mode(X)=fast, T) :- happensAt(speedUp(X), T).\n\
+         terminatedAt(mode(X)=slow, T) :- happensAt(stop(X), T).",
+    );
+    assert!(has(&report, codes::DEAD_RULE), "{}", report.render());
+    // A variable termination value matches any initiation: not dead.
+    let report = analyze_source(
+        "initiatedAt(mode(X)=fast, T) :- happensAt(speedUp(X), T).\n\
+         terminatedAt(mode(X)=_Value, T) :- happensAt(stop(X), T).",
+    );
+    assert!(!has(&report, codes::DEAD_RULE), "{}", report.render());
+}
+
+#[test]
+fn rule_requiring_never_holding_fluent_is_dead() {
+    let report = analyze_source(
+        "terminatedAt(ghost(X)=true, T) :- happensAt(down(X), T).\n\
+         initiatedAt(watch(X)=true, T) :- happensAt(up(X), T), holdsAt(ghost(X)=true, T).",
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::DEAD_RULE && d.message.contains("can never fire")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn duplicate_and_subsumed_clauses_are_warnings() {
+    // Exact duplicate modulo variable names.
+    let report = analyze_source(
+        "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).\n\
+         initiatedAt(on(V)=true, T2) :- happensAt(up(V), T2).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DUPLICATE_CLAUSE)
+        .expect("RL0502 fires");
+    assert!(d.message.contains("duplicate"), "{}", d.message);
+    assert_eq!(d.clause, Some(1));
+
+    // Subsumption: the longer body is redundant.
+    let report = analyze_source(
+        "initiatedAt(on(X)=true, T) :- happensAt(up(X), T).\n\
+         initiatedAt(on(X)=true, T) :- happensAt(up(X), T), holdsAt(other(X)=false, T).\n\
+         initiatedAt(other(X)=true, T) :- happensAt(up(X), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DUPLICATE_CLAUSE)
+        .expect("RL0502 fires");
+    assert!(d.message.contains("subsumed"), "{}", d.message);
+}
+
+#[test]
+fn unused_declaration_is_warning_anchored_at_declaration() {
+    let report = analyze_source(
+        "inputEvent(up/1).\ninputEvent(down/1).\n\
+         initiatedAt(on(X)=true, T) :- happensAt(up(X), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::UNUSED_DECLARATION)
+        .expect("RL0503 fires");
+    assert!(d.message.contains("down/1"), "{}", d.message);
+    assert_eq!(d.clause, Some(1));
+}
+
+#[test]
+fn json_rendering_is_stable_and_complete() {
+    let report = analyze_source(
+        "initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(engine(V)=on, T).",
+    );
+    let json = report.to_json();
+    let arr = match &json {
+        serde_json::Value::Array(a) => a,
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert_eq!(arr.len(), report.diagnostics.len());
+    for item in arr {
+        for key in [
+            "code",
+            "severity",
+            "clause",
+            "line",
+            "col",
+            "message",
+            "suggestion",
+        ] {
+            assert!(item.get(key).is_some(), "missing key {key} in {item:?}");
+        }
+    }
+    let line = serde_json::to_string(&json).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&line).unwrap();
+    assert_eq!(parsed, json);
+}
+
+#[test]
+fn report_ordering_is_deterministic() {
+    let src = "terminatedAt(a(X)=true, T) :- happensAt(down(X), T), holdsAt(nope(X)=true, T).\n\
+               initiatedAt(b(Y)=true, T) :- happensAt(up(Y, Z), T).";
+    let a = analyze_source(src);
+    let b = analyze_source(src);
+    assert_eq!(a.diagnostics, b.diagnostics);
+    let clauses: Vec<Option<usize>> = a.diagnostics.iter().map(|d| d.clause).collect();
+    let mut sorted = clauses.clone();
+    sorted.sort();
+    assert_eq!(clauses, sorted);
+    assert!(codes_of(&a).len() >= 2);
+}

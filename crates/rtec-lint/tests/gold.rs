@@ -1,0 +1,45 @@
+//! Satellite check: the gold-standard maritime event description must
+//! be completely lint-clean — zero errors *and* zero warnings — when
+//! analyzed together with its input declarations. This pins the
+//! analyzer's false-positive rate to zero on the one description the
+//! whole pipeline treats as ground truth.
+
+use rtec::description::EventDescription;
+use rtec_lint::{analyze, codes};
+
+#[test]
+fn gold_description_with_declarations_is_lint_clean() {
+    let src = format!(
+        "{}\n{}",
+        maritime::gold::GOLD_RULES,
+        maritime::gold::input_declarations()
+    );
+    let desc = EventDescription::parse(&src).expect("gold rules parse");
+    let report = analyze(&desc);
+    assert!(
+        report.is_clean(),
+        "gold description should be lint-clean, got:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn gold_description_without_declarations_has_no_errors() {
+    // Without declarations the schema is open: the undeclared
+    // `proximity` input fluent may surface as a warning at most, and
+    // the service must still accept the description at `open`.
+    let desc = EventDescription::parse(maritime::gold::GOLD_RULES).expect("gold rules parse");
+    let report = analyze(&desc);
+    assert!(
+        !report.has_errors(),
+        "gold without declarations must have no errors, got:\n{}",
+        report.render()
+    );
+    for d in report.warnings() {
+        assert!(
+            d.code == codes::UNDEFINED_FLUENT || d.code == codes::DEAD_RULE,
+            "unexpected warning on gold: {}",
+            d.render()
+        );
+    }
+}

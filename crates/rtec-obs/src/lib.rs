@@ -12,11 +12,11 @@
 //! * **Exposition** ([`expo`]) — Prometheus text format (version
 //!   0.0.4) rendering of a registry, plus a validator used by tests and
 //!   the CI smoke check.
-//! * **Structured events** ([`event`]) — leveled (`error` / `warn` /
+//! * **Structured events** ([`mod@event`]) — leveled (`error` / `warn` /
 //!   `info` / `debug`) JSON-line events honouring the `RTEC_LOG`
 //!   environment filter, fanned out to a pluggable sink (stderr by
 //!   default) and an in-memory ring buffer for post-hoc inspection.
-//! * **Spans** ([`span`]) — per-thread span stacks that time a scope
+//! * **Spans** ([`mod@span`]) — per-thread span stacks that time a scope
 //!   into a histogram and tag concurrent events with their position in
 //!   the span stack.
 //! * **Count tables** ([`table`]) — sorted name→count tables shared by

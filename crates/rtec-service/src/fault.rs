@@ -7,7 +7,7 @@
 //! writes) on chosen checkpoint writes. Production code calls the
 //! `on_*` hooks at its fault sites; without the `testkit` feature the
 //! hooks compile to no-ops and the plan machinery stays out of the
-//! binary. With the feature, [`with_plan`] installs a plan for the
+//! binary. With the feature, `with_plan` installs a plan for the
 //! duration of a closure, so every failure mode is reproducible in CI
 //! from a single `u64` seed.
 //!

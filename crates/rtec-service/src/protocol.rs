@@ -106,15 +106,22 @@ pub mod codes {
     pub const WORKER_FAILED: &str = "worker_failed";
     /// The request handler itself panicked (caught; the server lives).
     pub const INTERNAL_PANIC: &str = "internal_panic";
+    /// `open` carried a description that parses but fails semantic
+    /// analysis (rtec-lint); the error frame carries a `diagnostics`
+    /// array (see docs/LINTS.md).
+    pub const INVALID_DESCRIPTION: &str = "invalid_description";
 }
 
 /// A dispatch error: a machine-readable code plus a human message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceError {
     /// One of the [`codes`] constants.
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Optional structured payload rendered as a `diagnostics` field of
+    /// the error frame (used by [`codes::INVALID_DESCRIPTION`]).
+    pub details: Option<Value>,
 }
 
 impl ServiceError {
@@ -123,12 +130,26 @@ impl ServiceError {
         ServiceError {
             code,
             message: message.into(),
+            details: None,
         }
+    }
+
+    /// Attaches a structured `diagnostics` payload to the error frame.
+    pub fn with_details(mut self, details: Value) -> ServiceError {
+        self.details = Some(details);
+        self
     }
 
     /// Renders the error frame for this error.
     pub fn frame(&self) -> String {
-        error_frame(self.code, &self.message)
+        let mut fields = BTreeMap::new();
+        fields.insert("ok".to_string(), Value::Bool(false));
+        fields.insert("code".to_string(), Value::from(self.code));
+        fields.insert("error".to_string(), Value::from(self.message.as_str()));
+        if let Some(details) = &self.details {
+            fields.insert("diagnostics".to_string(), details.clone());
+        }
+        serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|_| "{}".into())
     }
 }
 
@@ -160,6 +181,7 @@ impl From<String> for ServiceError {
         ServiceError {
             code: classify(&message),
             message,
+            details: None,
         }
     }
 }

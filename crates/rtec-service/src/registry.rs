@@ -165,6 +165,25 @@ impl Registry {
         if sessions.contains_key(name) {
             return Err(format!("session \"{name}\" already exists").into());
         }
+        // Semantic gate: descriptions that parse but are semantically
+        // broken (undefined fluents under declarations, dependency
+        // cycles, unsafe variables, …) are rejected up front with the
+        // analyzer's findings attached. Syntax and per-clause validation
+        // errors are left to `Session::open` so their wire behaviour
+        // (plain `bad_request`) is unchanged.
+        let lint = rtec_lint::analyze_source(description);
+        if lint.has_semantic_errors() {
+            let summary: Vec<&str> = lint.semantic_errors().map(|d| d.code).collect();
+            return Err(ServiceError::new(
+                codes::INVALID_DESCRIPTION,
+                format!(
+                    "description failed semantic analysis ({} error(s): {})",
+                    summary.len(),
+                    summary.join(", ")
+                ),
+            )
+            .with_details(lint.to_json()));
+        }
         let session = Session::open(name, description, config)?;
         sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
         Ok(OkFrame::new()

@@ -52,6 +52,10 @@ fn corpus() -> Vec<Vec<u8>> {
         "{\"cmd\":\"open\",\"session\":\"x\"}",
         "{\"cmd\":\"open\",\"session\":9,\"description\":\"d\"}",
         "{\"cmd\":\"open\",\"session\":\"x\",\"description\":\"((((\"}",
+        // open: descriptions that parse but fail semantic analysis
+        // (undefined fluent under declarations; dependency cycle).
+        "{\"cmd\":\"open\",\"session\":\"x\",\"description\":\"inputEvent(up/1). initiatedAt(on(X)=true, T) :- happensAt(up(X), T), holdsAt(ghost(X)=true, T).\"}",
+        "{\"cmd\":\"open\",\"session\":\"x\",\"description\":\"initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T). initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).\"}",
         // event: missing fields, ghost session, wrong types, bad term.
         "{\"cmd\":\"event\"}",
         "{\"cmd\":\"event\",\"session\":\"ghost\",\"t\":1,\"event\":\"up(a)\"}",
@@ -163,6 +167,59 @@ fn specific_codes_are_stable() {
     let v: Value = serde_json::from_str(&registry.dispatch(&open)).unwrap();
     assert_eq!(v["ok"], true);
     case(&open, "session_exists");
+}
+
+#[test]
+fn semantically_invalid_descriptions_are_rejected_with_diagnostics() {
+    let registry = Registry::new();
+    let reject = |desc: &str, want_code: &str| -> Value {
+        let frame = format!(
+            "{{\"cmd\":\"open\",\"session\":\"lint\",\"description\":{}}}",
+            serde_json::to_string(&Value::from(desc)).unwrap()
+        );
+        let v: Value = serde_json::from_str(&registry.dispatch(&frame)).unwrap();
+        assert_eq!(v["ok"], false, "{desc}: {v:?}");
+        assert_eq!(v["code"], "invalid_description", "{desc}: {v:?}");
+        let diags = v["diagnostics"]
+            .as_array()
+            .unwrap_or_else(|| panic!("{desc}: no diagnostics array: {v:?}"))
+            .clone();
+        assert!(!diags.is_empty(), "{desc}");
+        for d in &diags {
+            assert!(
+                d["code"].as_str().is_some_and(|c| c.starts_with("RL")),
+                "{d:?}"
+            );
+            assert!(d["severity"].as_str().is_some(), "{d:?}");
+            assert!(
+                d["message"].as_str().is_some_and(|m| !m.is_empty()),
+                "{d:?}"
+            );
+        }
+        assert!(
+            diags.iter().any(|d| d["code"] == want_code),
+            "{desc}: expected {want_code} in {diags:?}"
+        );
+        v
+    };
+
+    // An undefined fluent is an error once declarations close the schema.
+    reject(
+        "inputEvent(up/1).\n\
+         initiatedAt(on(X)=true, T) :- happensAt(up(X), T), holdsAt(ghost(X)=true, T).",
+        "RL0101",
+    );
+    // A cyclic definition can never stratify.
+    reject(
+        "initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T).\n\
+         initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).",
+        "RL0301",
+    );
+
+    // The rejected opens must not leave a half-open session behind: the
+    // same name opens cleanly with a valid description afterwards.
+    let v: Value = serde_json::from_str(&registry.dispatch(&open_frame("lint"))).unwrap();
+    assert_eq!(v["ok"], true, "{v:?}");
 }
 
 #[test]

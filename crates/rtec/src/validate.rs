@@ -705,6 +705,52 @@ mod tests {
     }
 
     #[test]
+    fn warns_on_non_holdsfor_first_literal_but_keeps_the_rule() {
+        // Definition 2.4 wants an interval source first; violating that
+        // is a style warning, not an error — the rule is still compiled.
+        let (v, _) = run("holdsFor(g(V)=true, I) :-\n\
+                 areaType(V, fishing),\n\
+                 holdsFor(f(V)=true, I1),\n\
+                 union_all([I1], I).");
+        assert_eq!(v.statics.len(), 1, "warned rule must survive");
+        assert!(!v.report.has_errors());
+        let warnings: Vec<&crate::error::Issue> = v.report.warnings().collect();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].severity, Severity::Warning);
+        assert!(warnings[0]
+            .message
+            .contains("first body literal of a holdsFor rule should be a holdsFor condition"));
+        // The Display form names the clause for error reporting.
+        assert!(format!("{}", warnings[0]).contains("warning"));
+    }
+
+    #[test]
+    fn holdsfor_first_literal_warning_does_not_fire_on_conforming_rules() {
+        let (v, _) = run("holdsFor(g(V)=true, I) :-\n\
+                 holdsFor(f(V)=true, I1),\n\
+                 union_all([I1], I).");
+        assert_eq!(v.statics.len(), 1);
+        assert_eq!(v.report.warnings().count(), 0);
+    }
+
+    #[test]
+    fn warned_rules_still_evaluate() {
+        // A description whose only static rule draws the style warning
+        // still recognises its activity end to end.
+        let src = "initiatedAt(f(V)=true, T) :- happensAt(up(V), T).\n\
+                   terminatedAt(f(V)=true, T) :- happensAt(down(V), T).\n\
+                   holdsFor(g(V)=true, I) :-\n\
+                       areaType(V, fishing),\n\
+                       holdsFor(f(V)=true, I1),\n\
+                       union_all([I1], I).\n\
+                   areaType(a, fishing).";
+        let desc = crate::description::EventDescription::parse(src).unwrap();
+        let compiled = desc.compile().unwrap();
+        assert_eq!(compiled.report.warnings().count(), 1);
+        assert!(!compiled.report.has_errors());
+    }
+
+    #[test]
     fn rejects_non_happensat_first_literal() {
         let (v, _) = run("initiatedAt(f(V)=true, T) :- holdsAt(g(V)=true, T).");
         assert!(v.report.has_errors());

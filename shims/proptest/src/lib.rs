@@ -204,7 +204,7 @@ pub mod prop {
             BTreeSetStrategy { item, len }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             item: S,
