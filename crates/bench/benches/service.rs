@@ -45,6 +45,10 @@ fn workload() -> Workload {
 }
 
 fn replay(w: &Workload, shards: usize, ticks: i64) -> usize {
+    replay_with(w, shards, ticks, None)
+}
+
+fn replay_with(w: &Workload, shards: usize, ticks: i64, reorder_slack: Option<i64>) -> usize {
     let mut session = Session::open(
         "bench",
         &w.gold,
@@ -52,6 +56,7 @@ fn replay(w: &Workload, shards: usize, ticks: i64) -> usize {
             window: None,
             shards,
             queue_capacity: 1024,
+            reorder_slack,
             ..SessionConfig::default()
         },
     )
@@ -93,6 +98,14 @@ fn bench_service(c: &mut Criterion) {
             |b, &shards| b.iter(|| black_box(replay(&w, shards, 12))),
         );
     }
+    // The resilient-ingestion gate at slack=0 (a strict in-order check
+    // in front of the router) must stay within a few percent of the
+    // ungated replay above — compare the two series in CI.
+    group.bench_with_input(
+        BenchmarkId::new("replay_maritime_reorder0", 1usize),
+        &1usize,
+        |b, &shards| b.iter(|| black_box(replay_with(&w, shards, 12, Some(0)))),
+    );
     group.finish();
     // The replays above exercised every instrumented hot path; the
     // exposition they produced must be well-formed Prometheus text.

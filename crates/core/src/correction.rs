@@ -323,6 +323,7 @@ pub fn correct_description(
         scheme: generated.scheme,
         per_task,
         prompts_sent: generated.prompts_sent,
+        retries: generated.retries,
     };
     let label = format!(
         "{}{}",

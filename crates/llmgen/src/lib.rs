@@ -35,8 +35,8 @@ pub mod replay;
 pub mod tasks;
 
 pub use mock::MockLlm;
-pub use pipeline::{extract_rules, generate, GeneratedDescription};
+pub use pipeline::{extract_rules, generate, try_generate, GeneratedDescription};
 pub use profiles::{Model, PromptScheme};
-pub use provider::LanguageModel;
+pub use provider::{FlakyModel, LanguageModel, ModelError, RetryPolicy, RetryingModel};
 pub use replay::{RecordingModel, ReplayModel, Transcript};
 pub use tasks::{generation_tasks, GenerationTask};

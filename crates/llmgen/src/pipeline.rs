@@ -11,7 +11,7 @@
 
 use crate::profiles::PromptScheme;
 use crate::prompts;
-use crate::provider::LanguageModel;
+use crate::provider::{LanguageModel, ModelError};
 use crate::tasks::{generation_tasks, GenerationTask};
 use maritime::thresholds::Thresholds;
 use rtec::EventDescription;
@@ -27,6 +27,10 @@ pub struct GeneratedDescription {
     pub per_task: Vec<(GenerationTask, String)>,
     /// Number of prompts sent.
     pub prompts_sent: usize,
+    /// Transient model failures absorbed during the session (reported by
+    /// [`LanguageModel::retries`], e.g. via
+    /// [`crate::provider::RetryingModel`]). Zero for the simulated models.
+    pub retries: u64,
 }
 
 impl GeneratedDescription {
@@ -64,36 +68,56 @@ impl GeneratedDescription {
 }
 
 /// Runs the full prompt sequence of Section 3 against `model`.
+///
+/// Infallible convenience over [`try_generate`]: the simulated models
+/// never fail, so a model error here is a programming mistake and
+/// panics. Fallible providers (HTTP APIs behind
+/// [`crate::provider::RetryingModel`]) should go through
+/// [`try_generate`] instead.
 pub fn generate(
     model: &mut dyn LanguageModel,
     scheme: PromptScheme,
     thresholds: &Thresholds,
 ) -> GeneratedDescription {
+    try_generate(model, scheme, thresholds).unwrap_or_else(|e| panic!("generation failed: {e}"))
+}
+
+/// Runs the full prompt sequence of Section 3 against `model`,
+/// surfacing model failures (after the model's own retry handling) as
+/// values. The run report records how many transient failures were
+/// absorbed along the way ([`GeneratedDescription::retries`]).
+pub fn try_generate(
+    model: &mut dyn LanguageModel,
+    scheme: PromptScheme,
+    thresholds: &Thresholds,
+) -> Result<GeneratedDescription, ModelError> {
     model.reset();
+    let retries_before = model.retries();
     let mut prompts_sent = 0;
-    let mut send = |m: &mut dyn LanguageModel, p: String| -> String {
+    let mut send = |m: &mut dyn LanguageModel, p: String| -> Result<String, ModelError> {
         prompts_sent += 1;
-        m.complete(&p)
+        m.try_complete(&p)
     };
 
-    send(model, prompts::prompt_r());
-    send(model, prompts::prompt_f(scheme));
-    send(model, prompts::prompt_e());
-    send(model, prompts::prompt_t(thresholds));
+    send(model, prompts::prompt_r())?;
+    send(model, prompts::prompt_f(scheme))?;
+    send(model, prompts::prompt_e())?;
+    send(model, prompts::prompt_t(thresholds))?;
 
     let mut per_task = Vec::new();
     for task in generation_tasks() {
-        let reply = send(model, prompts::prompt_g(&task));
+        let reply = send(model, prompts::prompt_g(&task))?;
         let rules = extract_rules(&reply);
         per_task.push((task, rules));
     }
 
-    GeneratedDescription {
+    Ok(GeneratedDescription {
         model_name: model.name(),
         scheme,
         per_task,
         prompts_sent,
-    }
+        retries: model.retries().saturating_sub(retries_before),
+    })
 }
 
 /// Extracts RTEC rule text from a chatty model reply.
@@ -218,6 +242,43 @@ mod tests {
     fn labels_use_paper_markers() {
         let g = run(Model::Llama3, PromptScheme::FewShot);
         assert_eq!(g.label(), "Llama-3□");
+    }
+
+    #[test]
+    fn retries_are_recorded_in_the_run_report() {
+        use crate::provider::{FlakyModel, RetryPolicy, RetryingModel};
+        // 5 transient failures spread across the 24-prompt session: the
+        // decorator absorbs them all and the report pins the count.
+        let flaky = FlakyModel::new(MockLlm::new(Model::O1), 5);
+        let mut m = RetryingModel::with_policy(
+            flaky,
+            RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::default()
+            },
+        );
+        let g = try_generate(&mut m, PromptScheme::FewShot, &Thresholds::default()).unwrap();
+        assert_eq!(g.retries, 5);
+        assert_eq!(g.prompts_sent, 24);
+        // The flake-free run of the same model is byte-identical.
+        let clean = run(Model::O1, PromptScheme::FewShot);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(g.full_text(), clean.full_text());
+    }
+
+    #[test]
+    fn try_generate_surfaces_exhausted_retries() {
+        use crate::provider::{FlakyModel, ModelError, RetryPolicy, RetryingModel};
+        let flaky = FlakyModel::new(MockLlm::new(Model::O1), 100);
+        let mut m = RetryingModel::with_policy(
+            flaky,
+            RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        let err = try_generate(&mut m, PromptScheme::FewShot, &Thresholds::default()).unwrap_err();
+        assert!(matches!(err, ModelError::Transient(_)), "{err}");
     }
 
     #[test]

@@ -6,6 +6,58 @@
 //! activity definition. Production deployments would implement this trait
 //! over the OpenAI/Groq HTTP APIs; this repository ships deterministic
 //! simulated models ([`crate::mock`]).
+//!
+//! Real APIs fail: rate limits, connection resets, slow responses. The
+//! fallible path is [`LanguageModel::try_complete`] plus the
+//! [`RetryingModel`] decorator, which absorbs [`ModelError::Transient`]
+//! and timeout failures with bounded, deterministically-jittered
+//! exponential backoff. [`FlakyModel`] injects failures for tests.
+
+use std::fmt;
+
+/// Why a model call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Transient failure worth retrying: rate limit, reset connection,
+    /// 5xx from the API gateway.
+    Transient(String),
+    /// The per-call time budget was exceeded (reported by the clock hook
+    /// of [`RetryingModel`]; retried like a transient failure).
+    Timeout {
+        /// Observed duration of the call, milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// Terminal failure: invalid credentials, unknown model, content
+    /// refusal. Retrying cannot help and the decorator gives up at once.
+    Fatal(String),
+}
+
+impl ModelError {
+    /// Whether a retry might succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ModelError::Fatal(_))
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Transient(m) => write!(f, "transient: {m}"),
+            ModelError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "timeout: call took {elapsed_ms}ms (budget {budget_ms}ms)"
+            ),
+            ModelError::Fatal(m) => write!(f, "fatal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
 
 /// A conversational language model.
 pub trait LanguageModel {
@@ -19,6 +71,23 @@ pub trait LanguageModel {
 
     /// Resets the conversation state.
     fn reset(&mut self);
+
+    /// Fallible variant of [`complete`](LanguageModel::complete).
+    ///
+    /// The default forwards to the infallible path (the simulated models
+    /// never fail); HTTP-backed providers and fault-injecting mocks
+    /// override this, and the pipeline calls it so failures surface as
+    /// values instead of panics.
+    fn try_complete(&mut self, prompt: &str) -> Result<String, ModelError> {
+        Ok(self.complete(prompt))
+    }
+
+    /// Transient failures absorbed so far on behalf of the caller
+    /// (by [`RetryingModel`] or a provider's internal retry loop).
+    /// Recorded in the generation run report.
+    fn retries(&self) -> u64 {
+        0
+    }
 }
 
 /// A trivial model for tests: echoes a canned reply for every prompt.
@@ -55,9 +124,247 @@ impl LanguageModel for CannedModel {
     }
 }
 
+/// Retry behaviour of [`RetryingModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per call, including the first (so `3` = one call plus up
+    /// to two retries). Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff cap before the first retry, milliseconds; doubles per
+    /// further retry.
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single backoff, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed of the deterministic backoff jitter. Two decorators with the
+    /// same seed produce the same backoff schedule.
+    pub seed: u64,
+    /// Per-call time budget, milliseconds. `None` disables the timeout
+    /// check (also the effective behaviour under the default zero clock).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 5_000,
+            seed: 0x5eed_1e77,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Decorator that retries transient failures of an inner model.
+///
+/// Backoff is exponential with deterministic jitter drawn from a seeded
+/// xorshift generator, so a run report (and a test) can pin the exact
+/// schedule. Side effects are injectable: the *sleeper* receives each
+/// backoff in milliseconds (default: no-op, so tests never sleep) and
+/// the *clock* supplies monotonic milliseconds for the per-call timeout
+/// check (default: constant zero, so timeouts never fire unless a real
+/// clock is plugged in).
+pub struct RetryingModel<M> {
+    inner: M,
+    policy: RetryPolicy,
+    rng: u64,
+    retries: u64,
+    backoffs: Vec<u64>,
+    sleeper: Box<dyn FnMut(u64) + Send>,
+    clock: Box<dyn FnMut() -> u64 + Send>,
+}
+
+impl<M: LanguageModel> RetryingModel<M> {
+    /// Wraps `inner` with the default policy.
+    pub fn new(inner: M) -> RetryingModel<M> {
+        RetryingModel::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit policy.
+    pub fn with_policy(inner: M, policy: RetryPolicy) -> RetryingModel<M> {
+        RetryingModel {
+            inner,
+            policy,
+            rng: policy.seed.max(1),
+            retries: 0,
+            backoffs: Vec::new(),
+            sleeper: Box::new(|_ms| {}),
+            clock: Box::new(|| 0),
+        }
+    }
+
+    /// Installs the sleeper called with each backoff (milliseconds).
+    /// Deployments pass `std::thread::sleep`; tests capture the schedule.
+    pub fn with_sleeper(mut self, sleeper: impl FnMut(u64) + Send + 'static) -> RetryingModel<M> {
+        self.sleeper = Box::new(sleeper);
+        self
+    }
+
+    /// Installs the monotonic-milliseconds clock consulted around every
+    /// attempt for the `timeout_ms` budget.
+    pub fn with_clock(mut self, clock: impl FnMut() -> u64 + Send + 'static) -> RetryingModel<M> {
+        self.clock = Box::new(clock);
+        self
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Every backoff issued so far, in milliseconds, oldest first.
+    pub fn backoffs(&self) -> &[u64] {
+        &self.backoffs
+    }
+
+    /// Deterministic jittered exponential backoff for retry number
+    /// `retry` (1-based): uniform in `[cap/2, cap]` where `cap` doubles
+    /// per retry from `base_backoff_ms` up to `max_backoff_ms`.
+    fn next_backoff(&mut self, retry: u32) -> u64 {
+        // xorshift64: cheap, seedable, good enough for jitter.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let cap = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(self.policy.max_backoff_ms)
+            .max(1);
+        cap / 2 + self.rng % (cap - cap / 2 + 1)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for RetryingModel<M> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// Infallible path; panics when the bounded retries are exhausted or
+    /// the inner model fails terminally. Callers that must not panic use
+    /// [`try_complete`](LanguageModel::try_complete).
+    fn complete(&mut self, prompt: &str) -> String {
+        let name = self.name();
+        self.try_complete(prompt)
+            .unwrap_or_else(|e| panic!("model '{name}' failed after bounded retries: {e}"))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn try_complete(&mut self, prompt: &str) -> Result<String, ModelError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            let started = (self.clock)();
+            let result = self.inner.try_complete(prompt);
+            let elapsed = (self.clock)().saturating_sub(started);
+            let result = match (result, self.policy.timeout_ms) {
+                (Ok(_), Some(budget)) if elapsed > budget => Err(ModelError::Timeout {
+                    elapsed_ms: elapsed,
+                    budget_ms: budget,
+                }),
+                (other, _) => other,
+            };
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt < attempts {
+                        self.retries += 1;
+                        let backoff = self.next_backoff(attempt);
+                        self.backoffs.push(backoff);
+                        (self.sleeper)(backoff);
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| ModelError::Transient("no attempts made".into())))
+    }
+
+    fn retries(&self) -> u64 {
+        self.retries + self.inner.retries()
+    }
+}
+
+/// Fault-injecting decorator for tests: the first `n` calls fail with
+/// [`ModelError::Transient`], every later call reaches the inner model.
+/// [`reset`](LanguageModel::reset) re-arms the failures.
+#[derive(Debug, Clone)]
+pub struct FlakyModel<M> {
+    inner: M,
+    initial_failures: u32,
+    remaining_failures: u32,
+    /// Calls received (failing and succeeding alike).
+    pub calls: u64,
+    /// Failures injected so far.
+    pub failures_emitted: u64,
+}
+
+impl<M: LanguageModel> FlakyModel<M> {
+    /// Wraps `inner`; the first `failures` calls fail.
+    pub fn new(inner: M, failures: u32) -> FlakyModel<M> {
+        FlakyModel {
+            inner,
+            initial_failures: failures,
+            remaining_failures: failures,
+            calls: 0,
+            failures_emitted: 0,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for FlakyModel<M> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// Infallible path; panics while failures remain. Pair with
+    /// [`RetryingModel`] (or call
+    /// [`try_complete`](LanguageModel::try_complete)) instead.
+    fn complete(&mut self, prompt: &str) -> String {
+        let name = self.name();
+        self.try_complete(prompt)
+            .unwrap_or_else(|e| panic!("FlakyModel '{name}' still failing: {e}"))
+    }
+
+    fn reset(&mut self) {
+        self.remaining_failures = self.initial_failures;
+        self.calls = 0;
+        self.failures_emitted = 0;
+        self.inner.reset();
+    }
+
+    fn try_complete(&mut self, prompt: &str) -> Result<String, ModelError> {
+        self.calls += 1;
+        if self.remaining_failures > 0 {
+            self.remaining_failures -= 1;
+            self.failures_emitted += 1;
+            return Err(ModelError::Transient(format!(
+                "injected failure {} of {}",
+                self.failures_emitted, self.initial_failures
+            )));
+        }
+        self.inner.try_complete(prompt)
+    }
+
+    fn retries(&self) -> u64 {
+        self.inner.retries()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn canned_model_counts_prompts() {
@@ -67,5 +374,154 @@ mod tests {
         assert_eq!(m.prompts_seen, 2);
         m.reset();
         assert_eq!(m.prompts_seen, 0);
+    }
+
+    #[test]
+    fn try_complete_defaults_to_infallible_path() {
+        let mut m = CannedModel::new("ok");
+        assert_eq!(m.try_complete("a").unwrap(), "ok");
+        assert_eq!(m.retries(), 0);
+    }
+
+    #[test]
+    fn flaky_fails_n_times_then_succeeds() {
+        let mut m = FlakyModel::new(CannedModel::new("ok"), 2);
+        assert!(matches!(m.try_complete("a"), Err(ModelError::Transient(_))));
+        assert!(m.try_complete("a").is_err());
+        assert_eq!(m.try_complete("a").unwrap(), "ok");
+        assert_eq!(m.calls, 3);
+        assert_eq!(m.failures_emitted, 2);
+        // reset() re-arms the injected failures.
+        m.reset();
+        assert!(m.try_complete("a").is_err());
+    }
+
+    #[test]
+    fn retrying_absorbs_transient_failures() {
+        let flaky = FlakyModel::new(CannedModel::new("ok"), 2);
+        let mut m = RetryingModel::new(flaky);
+        assert_eq!(m.try_complete("a").unwrap(), "ok");
+        assert_eq!(m.retries(), 2);
+        assert_eq!(m.backoffs().len(), 2);
+        // Within a bounded-exponential envelope: first retry in
+        // [base/2, base], second in [base, 2*base].
+        assert!((50..=100).contains(&m.backoffs()[0]), "{:?}", m.backoffs());
+        assert!((100..=200).contains(&m.backoffs()[1]), "{:?}", m.backoffs());
+    }
+
+    #[test]
+    fn retrying_gives_up_after_bounded_attempts() {
+        let flaky = FlakyModel::new(CannedModel::new("ok"), 10);
+        let mut m = RetryingModel::with_policy(
+            flaky,
+            RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+        );
+        assert!(m.try_complete("a").is_err());
+        assert_eq!(m.retries(), 2, "attempts - 1 retries");
+        assert_eq!(m.inner().calls, 3);
+    }
+
+    #[test]
+    fn retrying_backoff_schedule_is_deterministic() {
+        let schedule = |seed: u64| {
+            let flaky = FlakyModel::new(CannedModel::new("ok"), 3);
+            let mut m = RetryingModel::with_policy(
+                flaky,
+                RetryPolicy {
+                    max_attempts: 4,
+                    seed,
+                    ..RetryPolicy::default()
+                },
+            );
+            m.try_complete("a").unwrap();
+            m.backoffs().to_vec()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "seed drives the jitter");
+    }
+
+    #[test]
+    fn retrying_sleeper_sees_every_backoff() {
+        let slept = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&slept);
+        let flaky = FlakyModel::new(CannedModel::new("ok"), 2);
+        let mut m = RetryingModel::new(flaky).with_sleeper(move |ms| {
+            seen.fetch_add(ms, Ordering::Relaxed);
+        });
+        m.try_complete("a").unwrap();
+        assert_eq!(
+            slept.load(Ordering::Relaxed),
+            m.backoffs().iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn retrying_timeout_hook_converts_slow_replies() {
+        // A clock advancing 500ms per reading: every attempt appears to
+        // take 500ms against a 100ms budget, so the call exhausts its
+        // attempts with Timeout errors.
+        let t = Arc::new(AtomicU64::new(0));
+        let tick = Arc::clone(&t);
+        let mut m = RetryingModel::with_policy(
+            CannedModel::new("ok"),
+            RetryPolicy {
+                max_attempts: 2,
+                timeout_ms: Some(100),
+                ..RetryPolicy::default()
+            },
+        )
+        .with_clock(move || tick.fetch_add(500, Ordering::Relaxed));
+        match m.try_complete("a") {
+            Err(ModelError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            }) => {
+                assert_eq!(elapsed_ms, 500);
+                assert_eq!(budget_ms, 100);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(m.retries(), 1);
+    }
+
+    #[test]
+    fn retrying_does_not_retry_fatal_errors() {
+        struct Doomed;
+        impl LanguageModel for Doomed {
+            fn name(&self) -> String {
+                "doomed".into()
+            }
+            fn complete(&mut self, _p: &str) -> String {
+                unreachable!()
+            }
+            fn reset(&mut self) {}
+            fn try_complete(&mut self, _p: &str) -> Result<String, ModelError> {
+                Err(ModelError::Fatal("bad credentials".into()))
+            }
+        }
+        let mut m = RetryingModel::new(Doomed);
+        assert_eq!(
+            m.try_complete("a"),
+            Err(ModelError::Fatal("bad credentials".into()))
+        );
+        assert_eq!(m.retries(), 0, "fatal errors are not retried");
+    }
+
+    #[test]
+    fn error_display_is_reason_coded() {
+        assert_eq!(
+            ModelError::Transient("429".into()).to_string(),
+            "transient: 429"
+        );
+        assert!(ModelError::Timeout {
+            elapsed_ms: 7,
+            budget_ms: 5
+        }
+        .to_string()
+        .contains("budget 5ms"));
+        assert!(!ModelError::Fatal("x".into()).is_retryable());
     }
 }

@@ -79,10 +79,91 @@ fn locate_columns(header: &str, line: usize) -> Result<Columns, CsvError> {
 /// The MMSI-to-dense-id mapping produced by CSV import.
 pub type MmsiMapping = Vec<(u64, VesselId)>;
 
+/// One row (or the header) skipped by [`parse_ais_csv_lossy`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowDiagnostic {
+    /// 1-based line number of the skipped row.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl RowDiagnostic {
+    /// Converts to the engine's dead-letter shape, reason-coded
+    /// [`rtec::reorder::DeadLetterReason::Malformed`], so CSV skips and
+    /// wire-level refusals share one audit vocabulary.
+    pub fn to_dead_letter(&self) -> rtec::reorder::DeadLetter {
+        rtec::reorder::DeadLetter {
+            reason: rtec::reorder::DeadLetterReason::Malformed,
+            t: None,
+            detail: format!("line {}: {}", self.line, self.message),
+        }
+    }
+}
+
+impl fmt::Display for RowDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl From<CsvError> for RowDiagnostic {
+    fn from(err: CsvError) -> RowDiagnostic {
+        RowDiagnostic {
+            line: err.line,
+            message: err.message,
+        }
+    }
+}
+
+struct Raw {
+    mmsi: u64,
+    t: i64,
+    lon: f64,
+    lat: f64,
+    sog: f64,
+    cog: f64,
+    heading: Option<f64>,
+}
+
+fn parse_row(cols: &Columns, line_no: usize, line: &str) -> Result<Raw, CsvError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    let get = |idx: usize| -> Result<&str, CsvError> {
+        fields.get(idx).copied().ok_or_else(|| CsvError {
+            line: line_no,
+            message: format!("missing field {idx}"),
+        })
+    };
+    let num = |idx: usize| -> Result<f64, CsvError> {
+        get(idx)?.trim().parse::<f64>().map_err(|e| CsvError {
+            line: line_no,
+            message: format!("bad number '{}': {e}", fields[idx]),
+        })
+    };
+    let heading = match cols.heading {
+        Some(h) => {
+            let v = num(h)?;
+            // 511 is AIS's "not available" sentinel.
+            (v < 360.0).then_some(v)
+        }
+        None => None,
+    };
+    Ok(Raw {
+        mmsi: num(cols.mmsi)? as u64,
+        t: num(cols.t)? as i64,
+        lon: num(cols.lon)?,
+        lat: num(cols.lat)?,
+        sog: num(cols.sog)?,
+        cog: num(cols.cog)?,
+        heading,
+    })
+}
+
 /// Parses Brest-format AIS CSV text into per-vessel trajectories, sorted
 /// by time, with positions projected to local planar metres. Vessels are
 /// renumbered densely (`v0`, `v1`, ...) in MMSI order; the mapping is
-/// returned alongside.
+/// returned alongside. Strict: the first bad row aborts the parse — use
+/// [`parse_ais_csv_lossy`] for real-world feeds with occasional junk.
 pub fn parse_ais_csv(text: &str) -> Result<(Vec<Trajectory>, MmsiMapping), CsvError> {
     let mut lines = text.lines().enumerate();
     let (hline, header) = lines.next().ok_or(CsvError {
@@ -90,55 +171,58 @@ pub fn parse_ais_csv(text: &str) -> Result<(Vec<Trajectory>, MmsiMapping), CsvEr
         message: "empty input".into(),
     })?;
     let cols = locate_columns(header, hline + 1)?;
-
-    struct Raw {
-        mmsi: u64,
-        t: i64,
-        lon: f64,
-        lat: f64,
-        sog: f64,
-        cog: f64,
-        heading: Option<f64>,
-    }
     let mut raws: Vec<Raw> = Vec::new();
     for (i, line) in lines {
-        let line_no = i + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        let get = |idx: usize| -> Result<&str, CsvError> {
-            fields.get(idx).copied().ok_or_else(|| CsvError {
-                line: line_no,
-                message: format!("missing field {idx}"),
-            })
-        };
-        let num = |idx: usize| -> Result<f64, CsvError> {
-            get(idx)?.trim().parse::<f64>().map_err(|e| CsvError {
-                line: line_no,
-                message: format!("bad number '{}': {e}", fields[idx]),
-            })
-        };
-        let heading = match cols.heading {
-            Some(h) => {
-                let v = num(h)?;
-                // 511 is AIS's "not available" sentinel.
-                (v < 360.0).then_some(v)
-            }
-            None => None,
-        };
-        raws.push(Raw {
-            mmsi: num(cols.mmsi)? as u64,
-            t: num(cols.t)? as i64,
-            lon: num(cols.lon)?,
-            lat: num(cols.lat)?,
-            sog: num(cols.sog)?,
-            cog: num(cols.cog)?,
-            heading,
-        });
+        raws.push(parse_row(&cols, i + 1, line)?);
     }
+    Ok(assemble(raws))
+}
+
+/// Tolerant variant of [`parse_ais_csv`]: rows that fail field lookup or
+/// numeric validation are skipped and recorded as [`RowDiagnostic`]s
+/// instead of aborting the parse, so one corrupt line in a
+/// multi-gigabyte AIS dump does not discard the rest. An unusable
+/// header (or empty input) yields no trajectories and a single
+/// header-level diagnostic.
+pub fn parse_ais_csv_lossy(text: &str) -> (Vec<Trajectory>, MmsiMapping, Vec<RowDiagnostic>) {
+    let mut lines = text.lines().enumerate();
+    let Some((hline, header)) = lines.next() else {
+        return (
+            Vec::new(),
+            Vec::new(),
+            vec![RowDiagnostic {
+                line: 1,
+                message: "empty input".into(),
+            }],
+        );
+    };
+    let cols = match locate_columns(header, hline + 1) {
+        Ok(cols) => cols,
+        Err(err) => return (Vec::new(), Vec::new(), vec![err.into()]),
+    };
+    let mut raws: Vec<Raw> = Vec::new();
+    let mut diagnostics: Vec<RowDiagnostic> = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_row(&cols, i + 1, line) {
+            Ok(raw) => raws.push(raw),
+            Err(err) => diagnostics.push(err.into()),
+        }
+    }
+    let (trajectories, mapping) = assemble(raws);
+    (trajectories, mapping, diagnostics)
+}
+
+/// Projects raw rows and groups them into densely renumbered per-vessel
+/// trajectories (the shared back half of both parse entry points).
+fn assemble(raws: Vec<Raw>) -> (Vec<Trajectory>, MmsiMapping) {
     if raws.is_empty() {
-        return Ok((Vec::new(), Vec::new()));
+        return (Vec::new(), Vec::new());
     }
 
     // Equirectangular projection around the centroid.
@@ -174,7 +258,7 @@ pub fn parse_ais_csv(text: &str) -> Result<(Vec<Trajectory>, MmsiMapping), CsvEr
         }
         trajectories.push(Trajectory { points });
     }
-    Ok((trajectories, mapping))
+    (trajectories, mapping)
 }
 
 /// Exports trajectories to the Brest CSV format (one row per signal).

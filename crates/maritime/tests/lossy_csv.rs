@@ -1,0 +1,79 @@
+//! Lossy CSV import over a corpus with deliberate corruption: numeric
+//! junk, short rows, and free text must be skipped and recorded, never
+//! abort the parse or poison the surviving trajectories.
+
+use maritime::csv::{parse_ais_csv, parse_ais_csv_lossy, RowDiagnostic};
+use rtec::reorder::DeadLetterReason;
+
+const CORPUS: &str = include_str!("data/lossy_corpus.csv");
+
+#[test]
+fn lossy_parse_skips_and_records_corrupt_rows() {
+    let (trajectories, mapping, diagnostics) = parse_ais_csv_lossy(CORPUS);
+
+    // The corpus holds 6 good rows across 2 vessels and 4 corrupt ones.
+    assert_eq!(mapping.len(), 2);
+    assert_eq!(mapping[0].0, 227002330);
+    assert_eq!(mapping[1].0, 228131000);
+    let points: usize = trajectories.iter().map(|t| t.points.len()).sum();
+    assert_eq!(points, 6);
+
+    assert_eq!(diagnostics.len(), 4, "{diagnostics:?}");
+    let lines: Vec<usize> = diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 6, 7, 11], "diagnostics carry row numbers");
+    assert!(diagnostics[0].message.contains("bad number"));
+    assert!(diagnostics[1].message.contains("missing field"));
+
+    // The strict parser aborts on the first of those same rows.
+    let err = parse_ais_csv(CORPUS).unwrap_err();
+    assert_eq!(err.line, 4);
+}
+
+#[test]
+fn surviving_rows_match_a_pre_cleaned_parse() {
+    let cleaned: String = CORPUS
+        .lines()
+        .enumerate()
+        .filter(|&(i, _)| ![3, 5, 6, 10].contains(&i))
+        .map(|(_, l)| format!("{l}\n"))
+        .collect();
+    let (strict, strict_map) = parse_ais_csv(&cleaned).unwrap();
+    let (lossy, lossy_map, _) = parse_ais_csv_lossy(CORPUS);
+    assert_eq!(strict_map, lossy_map);
+    assert_eq!(strict.len(), lossy.len());
+    for (s, l) in strict.iter().zip(&lossy) {
+        assert_eq!(s.points.len(), l.points.len());
+        for (sp, lp) in s.points.iter().zip(&l.points) {
+            assert_eq!(sp.t, lp.t);
+            assert_eq!(sp.speed, lp.speed);
+        }
+    }
+}
+
+#[test]
+fn diagnostics_convert_to_malformed_dead_letters() {
+    let (_, _, diagnostics) = parse_ais_csv_lossy(CORPUS);
+    for d in &diagnostics {
+        let dl = d.to_dead_letter();
+        assert_eq!(dl.reason, DeadLetterReason::Malformed);
+        assert!(dl.detail.contains(&format!("line {}", d.line)));
+    }
+}
+
+#[test]
+fn header_failures_are_one_diagnostic_not_a_panic() {
+    let (trs, map, diags) = parse_ais_csv_lossy("lat,lon\n48.0,-4.0\n");
+    assert!(trs.is_empty() && map.is_empty());
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("missing column"));
+
+    let (trs, _, diags) = parse_ais_csv_lossy("");
+    assert!(trs.is_empty());
+    assert_eq!(
+        diags,
+        vec![RowDiagnostic {
+            line: 1,
+            message: "empty input".into()
+        }]
+    );
+}

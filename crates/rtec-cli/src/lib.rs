@@ -109,6 +109,16 @@ pub enum Command {
         /// Replay options.
         opts: rtec_service::StreamOptions,
     },
+    /// `dataset <ais.csv> [--strict] [--max-diagnostics N]`
+    Dataset {
+        /// Path to the AIS CSV file.
+        csv: String,
+        /// Abort on the first corrupt row instead of skip-and-record.
+        strict: bool,
+        /// How many row diagnostics to print (the summary always counts
+        /// all of them).
+        max_diagnostics: usize,
+    },
     /// `--help` or no arguments.
     Help,
 }
@@ -127,7 +137,9 @@ USAGE:
     rtec stream <description.rtec> <events.evt> [--addr HOST:PORT]
                 [--session S] [--window W] [--horizon H] [--shards N]
                 [--queue N] [--batch N] [--rate EV_PER_SEC]
-                [--tick-every T] [--no-close]
+                [--tick-every T] [--reorder-slack S] [--dedup]
+                [--no-close]
+    rtec dataset <ais.csv> [--strict] [--max-diagnostics N]
 
 Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
 `stream` additionally accepts `interval FLUENT=VALUE START END ...` lines
@@ -136,6 +148,11 @@ documented in docs/SERVICE.md (default address 127.0.0.1:7878);
 `--metrics-addr` adds an HTTP Prometheus endpoint (docs/OBSERVABILITY.md);
 `--checkpoint-dir` persists per-session checkpoints after every tick and
 enables the `restore` command (docs/ROBUSTNESS.md).
+`stream --reorder-slack` buffers out-of-order events server-side and
+`--dedup` drops exact duplicates (docs/INGEST.md).
+`dataset` imports an AIS CSV, skipping and recording corrupt rows; it
+fails (exit 3) only when no row survives, `--strict` aborts on the
+first corrupt row instead.
 Diagnostics are JSON-line events on stderr, filtered by RTEC_LOG
 (error|warn|info|debug; default info).
 ";
@@ -278,6 +295,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     opts.close = false;
                     continue;
                 }
+                if flag == "--dedup" {
+                    opts.dedup = true;
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
@@ -295,6 +316,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--tick-every" => {
                         opts.tick_every = Some(value.parse().map_err(|e| bad(&e))?);
                     }
+                    "--reorder-slack" => {
+                        opts.reorder_slack = Some(value.parse().map_err(|e| bad(&e))?);
+                    }
                     other => return Err(CliError::new(format!("unknown flag {other}"), 2)),
                 }
             }
@@ -303,6 +327,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 events,
                 addr,
                 opts,
+            })
+        }
+        Some("dataset") => {
+            let csv = it
+                .next()
+                .ok_or_else(|| CliError::new("dataset: missing csv path", 2))?
+                .clone();
+            let mut strict = false;
+            let mut max_diagnostics = 20usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--strict" => strict = true,
+                    "--max-diagnostics" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| CliError::new("--max-diagnostics: missing value", 2))?;
+                        max_diagnostics = value.parse().map_err(|e| {
+                            CliError::new(format!("--max-diagnostics {value}: {e}"), 2)
+                        })?;
+                    }
+                    other => {
+                        return Err(CliError::new(format!("dataset: unknown flag {other}"), 2))
+                    }
+                }
+            }
+            Ok(Command::Dataset {
+                csv,
+                strict,
+                max_diagnostics,
             })
         }
         Some("similarity") => {
@@ -532,6 +585,89 @@ pub fn stream_against(
     Ok(report.render())
 }
 
+/// `dataset` subcommand over AIS CSV text.
+///
+/// Lossy by default: corrupt rows are skipped and summarised (so one
+/// garbled transponder line never sinks an hour-long import); the
+/// command fails (exit 3) only when *no* row survives. `--strict`
+/// aborts on the first corrupt row instead, as the pre-PR-5 importer
+/// did.
+pub fn dataset_source(csv: &str, strict: bool, max_diagnostics: usize) -> Result<String, CliError> {
+    use maritime::csv::{parse_ais_csv, parse_ais_csv_lossy, RowDiagnostic};
+    let (trajectories, mapping, diagnostics): (_, _, Vec<RowDiagnostic>) = if strict {
+        let (trajectories, mapping) =
+            parse_ais_csv(csv).map_err(|e| CliError::new(e.to_string(), 3))?;
+        (trajectories, mapping, Vec::new())
+    } else {
+        parse_ais_csv_lossy(csv)
+    };
+    let points: usize = trajectories
+        .iter()
+        .map(maritime::ais::Trajectory::len)
+        .sum();
+    rtec_obs::info(
+        "dataset.summary",
+        &[
+            ("vessels", (mapping.len() as i64).into()),
+            ("points", (points as i64).into()),
+            ("skipped_rows", (diagnostics.len() as i64).into()),
+        ],
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "vessels: {}; points: {}; skipped rows: {}",
+        mapping.len(),
+        points,
+        diagnostics.len()
+    );
+    for (mmsi, id) in &mapping {
+        let span = trajectories
+            .get(id.0 as usize)
+            .and_then(|tr| Some((tr.start()?, tr.end()?, tr.len())));
+        match span {
+            Some((start, end, n)) => {
+                let _ = writeln!(
+                    out,
+                    "  mmsi {mmsi} -> v{}: {n} point(s), t {start}..{end}",
+                    id.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  mmsi {mmsi} -> v{}: empty", id.0);
+            }
+        }
+    }
+    if !diagnostics.is_empty() {
+        let shown = diagnostics.len().min(max_diagnostics);
+        let _ = writeln!(
+            out,
+            "skipped rows ({} of {} shown):",
+            shown,
+            diagnostics.len()
+        );
+        for d in diagnostics.iter().take(max_diagnostics) {
+            let _ = writeln!(out, "  {d}");
+        }
+        if diagnostics.len() > max_diagnostics {
+            let _ = writeln!(
+                out,
+                "  ... {} more (raise --max-diagnostics)",
+                diagnostics.len() - max_diagnostics
+            );
+        }
+    }
+    let out = out.trim_end().to_string();
+    if points == 0 && !diagnostics.is_empty() {
+        // Every row failed: that is an import failure, not a lossy one.
+        return Err(CliError::new(
+            format!("{out}\nno row survived the import"),
+            3,
+        ));
+    }
+    Ok(out)
+}
+
 /// `similarity` subcommand over two description sources.
 ///
 /// Following the paper's Definition 4.14, the metric is defined over the
@@ -704,6 +840,104 @@ mod tests {
         assert!(parse_args(&s(&["serve", "--threads", "zero"])).is_err());
         assert!(parse_args(&s(&["stream", "a.rtec"])).is_err());
         assert!(parse_args(&s(&["stream", "a", "b", "--shards", "x"])).is_err());
+    }
+
+    #[test]
+    fn arg_parsing_stream_reorder_flags() {
+        let cmd = parse_args(&s(&[
+            "stream",
+            "a.rtec",
+            "e.evt",
+            "--reorder-slack",
+            "30",
+            "--dedup",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Stream { opts, .. } => {
+                assert_eq!(opts.reorder_slack, Some(30));
+                assert!(opts.dedup);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_args(&s(&["stream", "a", "b", "--reorder-slack", "x"])).is_err());
+    }
+
+    #[test]
+    fn arg_parsing_dataset() {
+        assert_eq!(
+            parse_args(&s(&["dataset", "ais.csv"])).unwrap(),
+            Command::Dataset {
+                csv: "ais.csv".into(),
+                strict: false,
+                max_diagnostics: 20
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "dataset",
+                "ais.csv",
+                "--strict",
+                "--max-diagnostics",
+                "3"
+            ]))
+            .unwrap(),
+            Command::Dataset {
+                csv: "ais.csv".into(),
+                strict: true,
+                max_diagnostics: 3
+            }
+        );
+        assert!(parse_args(&s(&["dataset"])).is_err());
+        assert!(parse_args(&s(&["dataset", "a.csv", "--max-diagnostics", "x"])).is_err());
+        assert!(parse_args(&s(&["dataset", "a.csv", "--nope"])).is_err());
+    }
+
+    const AIS: &str = "\
+sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
+227002330,9.5,91.0,90.0,-4.45,48.35,1443650400
+227002330,NaNopes,91.0,90.0,-4.44,48.35,1443650460
+227002330,9.7,91.0,90.0,-4.43,48.35,1443650520
+";
+
+    #[test]
+    fn dataset_lossy_summarises_skipped_rows() {
+        let out = dataset_source(AIS, false, 20).unwrap();
+        assert!(
+            out.contains("vessels: 1; points: 2; skipped rows: 1"),
+            "{out}"
+        );
+        assert!(out.contains("mmsi 227002330 -> v0"), "{out}");
+        assert!(out.contains("line 3:"), "{out}");
+        // Strict mode aborts on that same row.
+        let err = dataset_source(AIS, true, 20).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("line 3"), "{}", err.message);
+    }
+
+    #[test]
+    fn dataset_caps_diagnostics_but_counts_all() {
+        let mut csv = String::from("sourcemmsi,speedoverground,courseoverground,lon,lat,t\n");
+        csv.push_str("227002330,9.5,91.0,-4.45,48.35,1443650400\n");
+        for _ in 0..5 {
+            csv.push_str("bad row\n");
+        }
+        let out = dataset_source(&csv, false, 2).unwrap();
+        assert!(out.contains("skipped rows: 5"), "{out}");
+        assert!(out.contains("(2 of 5 shown)"), "{out}");
+        assert!(out.contains("... 3 more"), "{out}");
+    }
+
+    #[test]
+    fn dataset_fails_only_when_no_row_survives() {
+        let all_bad = "sourcemmsi,speedoverground,courseoverground,lon,lat,t\nbad\nworse\n";
+        let err = dataset_source(all_bad, false, 20).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("no row survived"), "{}", err.message);
+        // A single surviving row keeps the exit code at zero.
+        let one_good = "sourcemmsi,speedoverground,courseoverground,lon,lat,t\n\
+                        227002330,9.5,91.0,-4.45,48.35,1443650400\nbad\n";
+        assert!(dataset_source(one_good, false, 20).is_ok());
     }
 
     #[test]

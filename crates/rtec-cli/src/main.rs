@@ -141,6 +141,11 @@ fn main() -> ExitCode {
             opts,
         } => read(&desc)
             .and_then(|d| read(&events).and_then(|e| stream_against(&addr, &d, &e, &opts))),
+        Command::Dataset {
+            csv,
+            strict,
+            max_diagnostics,
+        } => read(&csv).and_then(|c| rtec_cli::dataset_source(&c, strict, max_diagnostics)),
     };
     match result {
         Ok(out) => {

@@ -179,6 +179,10 @@ pub struct StreamOptions {
     pub horizon: Option<Timepoint>,
     /// Close the session after the final query.
     pub close: bool,
+    /// Open the session with a reorder buffer of this slack (timepoints).
+    pub reorder_slack: Option<Timepoint>,
+    /// Absorb exact duplicates (requires `reorder_slack`).
+    pub dedup: bool,
 }
 
 impl Default for StreamOptions {
@@ -193,6 +197,8 @@ impl Default for StreamOptions {
             tick_every: None,
             horizon: None,
             close: true,
+            reorder_slack: None,
+            dedup: false,
         }
     }
 }
@@ -270,6 +276,12 @@ pub fn stream_file(
     }
     if let Some(q) = opts.queue {
         open.push(("queue", Value::from(q as i64)));
+    }
+    if let Some(slack) = opts.reorder_slack {
+        open.push(("reorder_slack", Value::from(slack)));
+    }
+    if opts.dedup {
+        open.push(("dedup", Value::Bool(true)));
     }
     client.request(&render(obj(open)))?;
 

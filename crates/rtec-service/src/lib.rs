@@ -31,4 +31,4 @@ pub use client::{parse_stream_file, stream_file, Client, StreamFile, StreamOptio
 pub use fault::{FaultPlan, IoFaultKind, WorkerPanic};
 pub use registry::Registry;
 pub use server::{request_shutdown, serve_stdio, Server, ServerConfig, MAX_FRAME};
-pub use session::{Session, SessionConfig, SessionStats};
+pub use session::{Ingest, Session, SessionConfig, SessionStats, TickReport};

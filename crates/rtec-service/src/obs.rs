@@ -23,11 +23,16 @@
 //! | `rtec_service_faults_injected_total` | counter | — |
 //! | `rtec_service_worker_restarts_total` | counter | — |
 //! | `rtec_service_frames_rejected_total` | counter | — |
+//! | `rtec_service_deadletter_total` | counter | `reason=late\|duplicate\|past_horizon\|malformed\|shed` |
+//! | `rtec_service_shed_total` | counter | — |
 //! | `rtec_service_sessions_open` | gauge (sampled) | — |
 //! | `rtec_service_queue_depth` | gauge (sampled) | `session`, `shard` |
 //! | `rtec_service_queue_high_water` | gauge (sampled) | `session`, `shard` |
 //! | `rtec_service_buffered` | gauge (sampled) | `session` |
+//! | `rtec_service_watermark_lag` | gauge (sampled) | `session` |
+//! | `rtec_service_reorder_buffered` | gauge (sampled) | `session` |
 
+use rtec::reorder::DeadLetterReason;
 use rtec_obs::{Counter, Histogram};
 use serde_json::Value;
 use std::fmt::Write as _;
@@ -58,6 +63,19 @@ pub struct ServiceMetrics {
     /// Request frames answered with an error frame (malformed JSON,
     /// bad fields, oversized or non-UTF-8 lines, unknown commands…).
     pub frames_rejected: Arc<Counter>,
+    /// Records refused as `late` dead letters.
+    pub deadletter_late: Arc<Counter>,
+    /// Records refused as `duplicate` dead letters.
+    pub deadletter_duplicate: Arc<Counter>,
+    /// Records refused as `past_horizon` dead letters.
+    pub deadletter_past_horizon: Arc<Counter>,
+    /// Records refused as `malformed` dead letters.
+    pub deadletter_malformed: Arc<Counter>,
+    /// Records refused as `shed` dead letters.
+    pub deadletter_shed: Arc<Counter>,
+    /// Ingest operations refused by admission control (also counted in
+    /// `rtec_service_deadletter_total{reason="shed"}`).
+    pub shed: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -115,6 +133,47 @@ impl ServiceMetrics {
                 "Request frames answered with an error frame.",
                 &[],
             ),
+            deadletter_late: r.counter(
+                "rtec_service_deadletter_total",
+                "Records refused to the dead-letter ledger, by reason.",
+                &[("reason", "late")],
+            ),
+            deadletter_duplicate: r.counter(
+                "rtec_service_deadletter_total",
+                "Records refused to the dead-letter ledger, by reason.",
+                &[("reason", "duplicate")],
+            ),
+            deadletter_past_horizon: r.counter(
+                "rtec_service_deadletter_total",
+                "Records refused to the dead-letter ledger, by reason.",
+                &[("reason", "past_horizon")],
+            ),
+            deadletter_malformed: r.counter(
+                "rtec_service_deadletter_total",
+                "Records refused to the dead-letter ledger, by reason.",
+                &[("reason", "malformed")],
+            ),
+            deadletter_shed: r.counter(
+                "rtec_service_deadletter_total",
+                "Records refused to the dead-letter ledger, by reason.",
+                &[("reason", "shed")],
+            ),
+            shed: r.counter(
+                "rtec_service_shed_total",
+                "Ingest operations refused by admission control.",
+                &[],
+            ),
+        }
+    }
+
+    /// The `rtec_service_deadletter_total` handle for one reason.
+    pub fn deadletter(&self, reason: DeadLetterReason) -> &Arc<Counter> {
+        match reason {
+            DeadLetterReason::Late => &self.deadletter_late,
+            DeadLetterReason::Duplicate => &self.deadletter_duplicate,
+            DeadLetterReason::PastHorizon => &self.deadletter_past_horizon,
+            DeadLetterReason::Malformed => &self.deadletter_malformed,
+            DeadLetterReason::Shed => &self.deadletter_shed,
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::fault;
 use crate::router::RouterSnapshot;
 use crate::session::{Session, SessionConfig, SessionStats};
 use rtec::checkpoint::{decode_term, encode_term, fnv1a_hex, EngineCheckpoint, CHECKPOINT_VERSION};
+use rtec::reorder::{DeadLetterReason, ReorderSnapshot};
 use rtec::Timepoint;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -42,6 +43,16 @@ pub struct SessionCheckpoint {
     pub shards: Vec<EngineCheckpoint>,
     /// Session counters (the latency histogram is not persisted).
     pub stats: SessionStats,
+    /// Exact dead-letter counts in [`DeadLetterReason::ALL`] order (the
+    /// per-record ring is process-local audit state and is not
+    /// persisted).
+    pub deadletter_counts: [u64; DeadLetterReason::ALL.len()],
+    /// Ledger records evicted from the bounded ring before capture.
+    pub deadletter_records_dropped: u64,
+    /// The reorder buffer's contents and frontier, when the session has
+    /// one configured: events admitted but still awaiting the watermark
+    /// at the tick boundary must survive a restore.
+    pub reorder: Option<ReorderSnapshot>,
 }
 
 impl SessionCheckpoint {
@@ -66,12 +77,15 @@ impl SessionCheckpoint {
             router: session.router_snapshot(),
             shards: shards.into_iter().cloned().collect(),
             stats: session.stats().clone(),
+            deadletter_counts: session.dead_letters().counts(),
+            deadletter_records_dropped: session.dead_letters().records_dropped(),
+            reorder: session.reorder_snapshot(),
         })
     }
 
     /// Rebuilds a live session from this checkpoint.
     pub fn restore(&self) -> Result<Session, String> {
-        Session::reopen(
+        let mut session = Session::reopen(
             self.name.clone(),
             &self.description_src,
             self.config,
@@ -79,7 +93,13 @@ impl SessionCheckpoint {
             &self.router,
             self.shards.clone(),
             self.stats.clone(),
-        )
+        )?;
+        session.restore_ingest(
+            self.deadletter_counts,
+            self.deadletter_records_dropped,
+            self.reorder.as_ref(),
+        );
+        Ok(session)
     }
 
     /// Serializes to the versioned, checksummed document. Deterministic:
@@ -152,6 +172,26 @@ impl SessionCheckpoint {
         config.insert(
             "max_worker_restarts".to_string(),
             counter(self.config.max_worker_restarts),
+        );
+        config.insert(
+            "reorder_slack".to_string(),
+            match self.config.reorder_slack {
+                Some(s) => Value::from(s),
+                None => Value::Null,
+            },
+        );
+        config.insert("dedup".to_string(), Value::Bool(self.config.dedup));
+        config.insert(
+            "max_events_per_tick".to_string(),
+            opt_counter_u64(self.config.max_events_per_tick),
+        );
+        config.insert(
+            "max_buffered_bytes".to_string(),
+            opt_counter_u64(self.config.max_buffered_bytes),
+        );
+        config.insert(
+            "tick_deadline_ms".to_string(),
+            opt_counter_u64(self.config.tick_deadline_ms),
         );
         state.insert("config".to_string(), Value::Object(config));
         state.insert(
@@ -239,8 +279,44 @@ impl SessionCheckpoint {
             "events_dropped".to_string(),
             counter(self.stats.engine.events_dropped),
         );
+        stats.insert("shed".to_string(), counter_u64(self.stats.shed));
         stats.insert("engine".to_string(), Value::Object(engine));
         state.insert("stats".to_string(), Value::Object(stats));
+        let mut ingest = BTreeMap::new();
+        let mut dl = BTreeMap::new();
+        for (reason, &count) in DeadLetterReason::ALL.iter().zip(&self.deadletter_counts) {
+            dl.insert(reason.as_str().to_string(), counter_u64(count));
+        }
+        ingest.insert("deadletter".to_string(), Value::Object(dl));
+        ingest.insert(
+            "deadletter_records_dropped".to_string(),
+            counter_u64(self.deadletter_records_dropped),
+        );
+        ingest.insert(
+            "reorder".to_string(),
+            match &self.reorder {
+                None => Value::Null,
+                Some(snapshot) => {
+                    let mut map = BTreeMap::new();
+                    map.insert(
+                        "events".to_string(),
+                        Value::Array(
+                            snapshot
+                                .events
+                                .iter()
+                                .map(|(term, t)| {
+                                    Value::Array(vec![encode_term(term), Value::from(*t)])
+                                })
+                                .collect(),
+                        ),
+                    );
+                    map.insert("max_seen".to_string(), Value::from(snapshot.max_seen));
+                    map.insert("released_to".to_string(), Value::from(snapshot.released_to));
+                    Value::Object(map)
+                }
+            },
+        );
+        state.insert("ingest".to_string(), Value::Object(ingest));
         Value::Object(state)
     }
 
@@ -258,6 +334,13 @@ impl SessionCheckpoint {
             shards: usize_of(config_v, "shards")?,
             queue_capacity: usize_of(config_v, "queue_capacity")?,
             max_worker_restarts: usize_of(config_v, "max_worker_restarts")?,
+            // Ingest options are lenient on read: checkpoints written
+            // before the resilient-ingestion layer simply lack them.
+            reorder_slack: opt_i64_of(config_v, "reorder_slack")?,
+            dedup: bool_of(config_v, "dedup")?,
+            max_events_per_tick: opt_u64_of(config_v, "max_events_per_tick")?,
+            max_buffered_bytes: opt_u64_of(config_v, "max_buffered_bytes")?,
+            tick_deadline_ms: opt_u64_of(config_v, "tick_deadline_ms")?,
         };
         let master_symbols = str_array(state, "master_symbols")?;
         let router_v = state
@@ -309,6 +392,7 @@ impl SessionCheckpoint {
             .get("engine")
             .ok_or("session checkpoint: missing \"stats.engine\"")?;
         let stats = SessionStats {
+            shed: opt_u64_of(stats_v, "shed")?.unwrap_or(0),
             events_ingested: u64_of(stats_v, "events_ingested")?,
             intervals_ingested: u64_of(stats_v, "intervals_ingested")?,
             backpressure_waits: u64_of(stats_v, "backpressure_waits")?,
@@ -335,6 +419,46 @@ impl SessionCheckpoint {
                 events_dropped: usize_of(engine_v, "events_dropped")?,
             },
         };
+        // The whole ingest section is optional (older checkpoints).
+        let mut deadletter_counts = [0u64; DeadLetterReason::ALL.len()];
+        let mut deadletter_records_dropped = 0u64;
+        let mut reorder = None;
+        if let Some(ingest_v) = state.get("ingest") {
+            if let Some(dl) = ingest_v.get("deadletter") {
+                for (i, reason) in DeadLetterReason::ALL.iter().enumerate() {
+                    deadletter_counts[i] = opt_u64_of(dl, reason.as_str())?.unwrap_or(0);
+                }
+            }
+            deadletter_records_dropped =
+                opt_u64_of(ingest_v, "deadletter_records_dropped")?.unwrap_or(0);
+            if let Some(snap_v) = ingest_v.get("reorder").filter(|v| !v.is_null()) {
+                let events = array_of(snap_v, "events")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or("session checkpoint: bad reorder event entry")?;
+                        let term = decode_term(&pair[0])?;
+                        let t = pair[1]
+                            .as_i64()
+                            .ok_or("session checkpoint: bad reorder event timestamp")?;
+                        Ok::<(rtec::Term, Timepoint), String>((term, t))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                reorder = Some(ReorderSnapshot {
+                    events,
+                    max_seen: snap_v
+                        .get("max_seen")
+                        .and_then(Value::as_i64)
+                        .ok_or("session checkpoint: missing \"max_seen\"")?,
+                    released_to: snap_v
+                        .get("released_to")
+                        .and_then(Value::as_i64)
+                        .ok_or("session checkpoint: missing \"released_to\"")?,
+                });
+            }
+        }
         Ok(SessionCheckpoint {
             name,
             description_src,
@@ -343,6 +467,9 @@ impl SessionCheckpoint {
             router,
             shards,
             stats,
+            deadletter_counts,
+            deadletter_records_dropped,
+            reorder,
         })
     }
 }
@@ -493,6 +620,42 @@ fn u64_of(v: &Value, field: &str) -> Result<u64, String> {
         .and_then(Value::as_i64)
         .and_then(|n| u64::try_from(n).ok())
         .ok_or_else(|| format!("session checkpoint: bad integer \"{field}\""))
+}
+
+/// An optional non-negative integer: absent or `null` reads as `None`.
+fn opt_u64_of(v: &Value, field: &str) -> Result<Option<u64>, String> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(_) => u64_of(v, field).map(Some),
+    }
+}
+
+/// An optional integer: absent or `null` reads as `None`.
+fn opt_i64_of(v: &Value, field: &str) -> Result<Option<i64>, String> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(n) => n
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| format!("session checkpoint: bad integer \"{field}\"")),
+    }
+}
+
+/// An optional boolean: absent or `null` reads as `false`.
+fn bool_of(v: &Value, field: &str) -> Result<bool, String> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(false),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| format!("session checkpoint: non-boolean \"{field}\"")),
+    }
+}
+
+fn opt_counter_u64(n: Option<u64>) -> Value {
+    match n {
+        Some(n) => counter_u64(n),
+        None => Value::Null,
+    }
 }
 
 #[cfg(test)]

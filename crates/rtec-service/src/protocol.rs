@@ -1,13 +1,14 @@
 //! NDJSON wire protocol: one JSON object per line, both directions.
 //!
 //! Requests carry a `cmd` field naming the command (`open`, `event`,
-//! `batch`, `tick`, `query`, `stats`, `close`, `shutdown`); every
-//! response is either an ok-frame `{"ok": true, ...}` or an error frame
+//! `batch`, `tick`, `query`, `stats`, `deadletter`, `close`,
+//! `shutdown`); every response is either an ok-frame
+//! `{"ok": true, ...}` or an error frame
 //! `{"ok": false, "code": "...", "error": "..."}`, where `code` is one
 //! of the machine-readable [`codes`] (`bad_frame`, `bad_request`,
 //! `unknown_command`, `no_such_session`, `session_exists`,
-//! `session_busy`, `quarantined`, `worker_failed`, `internal_panic`).
-//! The full specification lives in `docs/SERVICE.md`.
+//! `session_busy`, `quarantined`, `worker_failed`, `internal_panic`,
+//! `overloaded`). The full specification lives in `docs/SERVICE.md`.
 
 use rtec::Timepoint;
 use serde_json::Value;
@@ -49,6 +50,16 @@ pub fn opt_int_field(req: &Value, name: &str) -> Result<Option<Timepoint>, Strin
             .as_i64()
             .map(Some)
             .ok_or_else(|| format!("non-integer field \"{name}\"")),
+    }
+}
+
+/// An optional boolean field (absent/null defaults to `false`).
+pub fn opt_bool_field(req: &Value, name: &str) -> Result<bool, String> {
+    match req.get(name) {
+        None | Some(Value::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("non-boolean field \"{name}\"")),
     }
 }
 
@@ -110,6 +121,11 @@ pub mod codes {
     /// analysis (rtec-lint); the error frame carries a `diagnostics`
     /// array (see docs/LINTS.md).
     pub const INVALID_DESCRIPTION: &str = "invalid_description";
+    /// Admission control shed the request: a per-session event-rate or
+    /// buffered-bytes budget is exhausted (see docs/INGEST.md). The
+    /// shed record is accounted in the session's dead-letter ledger;
+    /// a `tick` replenishes the budgets.
+    pub const OVERLOADED: &str = "overloaded";
 }
 
 /// A dispatch error: a machine-readable code plus a human message.
@@ -159,6 +175,8 @@ impl ServiceError {
 pub fn classify(message: &str) -> &'static str {
     if message.starts_with("malformed request") {
         codes::BAD_FRAME
+    } else if message.starts_with("overloaded") {
+        codes::OVERLOADED
     } else if message.contains("quarantined") {
         codes::QUARANTINED
     } else if message.contains("no such session") {
@@ -240,6 +258,10 @@ mod tests {
                 codes::SESSION_BUSY,
             ),
             ("unknown command \"frobnicate\"", codes::UNKNOWN_COMMAND),
+            (
+                "overloaded: per-tick event budget (100) exhausted; tick to admit more",
+                codes::OVERLOADED,
+            ),
             (
                 "missing or non-string field \"session\"",
                 codes::BAD_REQUEST,

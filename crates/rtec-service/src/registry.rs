@@ -16,11 +16,12 @@
 
 use crate::persist::{self, SessionCheckpoint};
 use crate::protocol::{
-    codes, command, counter, int_field, opt_int_field, parse_request, str_field, OkFrame,
-    ServiceError,
+    codes, command, counter, int_field, opt_bool_field, opt_int_field, parse_request, str_field,
+    OkFrame, ServiceError,
 };
-use crate::session::{Session, SessionConfig};
+use crate::session::{Ingest, Session, SessionConfig};
 use parking_lot::Mutex;
+use rtec::reorder::DeadLetterReason;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -117,6 +118,7 @@ impl Registry {
             "tick" => self.cmd_tick(&req),
             "query" => self.cmd_query(&req),
             "stats" => self.cmd_stats(&req),
+            "deadletter" => self.cmd_deadletter(&req),
             "metrics" => self.cmd_metrics(),
             "restore" => self.cmd_restore(&req),
             "close" => self.cmd_close(&req),
@@ -160,6 +162,28 @@ impl Registry {
         if let Some(max) = opt_int_field(req, "max_worker_restarts")? {
             config.max_worker_restarts =
                 usize::try_from(max).map_err(|_| "invalid \"max_worker_restarts\"")?;
+        }
+        if let Some(slack) = opt_int_field(req, "reorder_slack")? {
+            if slack < 0 {
+                return Err("reorder_slack must be >= 0".into());
+            }
+            config.reorder_slack = Some(slack);
+        }
+        config.dedup = opt_bool_field(req, "dedup")?;
+        if config.dedup && config.reorder_slack.is_none() {
+            return Err("dedup requires reorder_slack".into());
+        }
+        if let Some(budget) = opt_int_field(req, "max_events_per_tick")? {
+            let budget = u64::try_from(budget).map_err(|_| "max_events_per_tick must be >= 0")?;
+            config.max_events_per_tick = Some(budget);
+        }
+        if let Some(budget) = opt_int_field(req, "max_buffered_bytes")? {
+            let budget = u64::try_from(budget).map_err(|_| "max_buffered_bytes must be >= 0")?;
+            config.max_buffered_bytes = Some(budget);
+        }
+        if let Some(deadline) = opt_int_field(req, "tick_deadline_ms")? {
+            let deadline = u64::try_from(deadline).map_err(|_| "tick_deadline_ms must be >= 0")?;
+            config.tick_deadline_ms = Some(deadline);
         }
         let mut sessions = self.sessions.lock();
         if sessions.contains_key(name) {
@@ -221,14 +245,23 @@ impl Registry {
         let session = self.session(req)?;
         let t = int_field(req, "t")?;
         let event = str_field(req, "event")?;
-        session.lock().ingest_event(event, t)?;
-        Ok(OkFrame::new().render())
+        let outcome = session.lock().ingest_event(event, t)?;
+        match outcome {
+            Ingest::Accepted => Ok(OkFrame::new().render()),
+            // Refusal is an ok-frame: the request was well-formed and
+            // fully handled — the record went to the dead-letter ledger.
+            Ingest::Refused(reason) => Ok(OkFrame::new()
+                .field("accepted", false)
+                .field("reason", reason.as_str())
+                .render()),
+        }
     }
 
     fn cmd_batch(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let mut session = session.lock();
         let mut n_events = 0i64;
+        let mut n_refused = 0i64;
         let mut n_intervals = 0i64;
         if let Some(events) = req.get("events") {
             let events = events
@@ -237,8 +270,10 @@ impl Registry {
             for entry in events {
                 let t = int_field(entry, "t")?;
                 let event = str_field(entry, "event")?;
-                session.ingest_event(event, t)?;
-                n_events += 1;
+                match session.ingest_event(event, t)? {
+                    Ingest::Accepted => n_events += 1,
+                    Ingest::Refused(_) => n_refused += 1,
+                }
             }
         }
         if let Some(intervals) = req.get("intervals") {
@@ -253,17 +288,21 @@ impl Registry {
                 n_intervals += 1;
             }
         }
-        Ok(OkFrame::new()
+        let mut frame = OkFrame::new()
             .field("events", n_events)
-            .field("intervals", n_intervals)
-            .render())
+            .field("intervals", n_intervals);
+        if n_refused > 0 {
+            frame = frame.field("refused", n_refused);
+        }
+        Ok(frame.render())
     }
 
     fn cmd_tick(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let to = int_field(req, "to")?;
         let mut guard = session.lock();
-        let stats = guard.tick(to)?;
+        let report = guard.tick(to)?;
+        let stats = report.engine;
         // Capture under the session lock (consistent image), write after
         // releasing it (no I/O while holding the session).
         let image = self
@@ -292,9 +331,56 @@ impl Registry {
             .field("processed_to", to)
             .field("windows", counter(stats.windows))
             .field("events_processed", counter(stats.events_processed))
-            .field("events_dropped", counter(stats.events_dropped));
+            .field("events_dropped", counter(stats.events_dropped))
+            .field("degraded", report.degraded)
+            .field("shed", counter(report.shed));
         if let Some(written) = checkpointed {
             frame = frame.field("checkpointed", written);
+        }
+        Ok(frame.render())
+    }
+
+    /// Handles the `deadletter` command: exact per-reason refusal
+    /// counts plus (up to `limit`, default 100) recent records, oldest
+    /// first. `"clear": true` drops the retained records afterwards
+    /// (counts are monotonic and survive).
+    fn cmd_deadletter(&self, req: &Value) -> Result<String, ServiceError> {
+        let session = self.session(req)?;
+        let limit = match opt_int_field(req, "limit")? {
+            None => 100usize,
+            Some(n) => usize::try_from(n).map_err(|_| "limit must be >= 0")?,
+        };
+        let clear = opt_bool_field(req, "clear")?;
+        let mut session = session.lock();
+        let ledger = session.dead_letters();
+        let mut counts = std::collections::BTreeMap::new();
+        for reason in DeadLetterReason::ALL {
+            counts.insert(reason.as_str().to_string(), counter(ledger.count(reason)));
+        }
+        let records: Vec<Value> = ledger
+            .recent(limit)
+            .into_iter()
+            .map(|dl| {
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("reason".to_string(), Value::from(dl.reason.as_str()));
+                map.insert(
+                    "t".to_string(),
+                    match dl.t {
+                        Some(t) => Value::from(t),
+                        None => Value::Null,
+                    },
+                );
+                map.insert("detail".to_string(), Value::from(dl.detail.as_str()));
+                Value::Object(map)
+            })
+            .collect();
+        let frame = OkFrame::new()
+            .field("counts", Value::Object(counts.into_iter().collect()))
+            .field("total", counter(ledger.total()))
+            .field("records", Value::Array(records))
+            .field("records_dropped", counter(ledger.records_dropped()));
+        if clear {
+            session.clear_dead_letter_records();
         }
         Ok(frame.render())
     }
@@ -337,6 +423,11 @@ impl Registry {
             .iter()
             .map(|&hw| counter(hw))
             .collect();
+        let ledger = session.dead_letters();
+        let mut deadletter = std::collections::BTreeMap::new();
+        for reason in DeadLetterReason::ALL {
+            deadletter.insert(reason.as_str().to_string(), counter(ledger.count(reason)));
+        }
         Ok(OkFrame::new()
             .field("events_ingested", counter(stats.events_ingested))
             .field("intervals_ingested", counter(stats.intervals_ingested))
@@ -353,6 +444,26 @@ impl Registry {
             .field("forget_drops", counter(stats.engine.events_dropped))
             .field("worker_restarts", counter(stats.worker_restarts))
             .field("frames_rejected", counter(stats.frames_rejected))
+            .field("shed", counter(stats.shed))
+            .field(
+                "deadletter",
+                Value::Object(deadletter.into_iter().collect()),
+            )
+            .field(
+                "watermark",
+                match session.watermark() {
+                    Some(w) => Value::from(w),
+                    None => Value::Null,
+                },
+            )
+            .field(
+                "watermark_lag",
+                match session.watermark_lag() {
+                    Some(lag) => Value::from(lag),
+                    None => Value::Null,
+                },
+            )
+            .field("reorder_buffered", session.reorder_buffered() as i64)
             .field(
                 "quarantined",
                 match session.quarantined() {
@@ -387,6 +498,8 @@ impl Registry {
         let mut depth: Vec<(String, i64)> = Vec::new();
         let mut high_water: Vec<(String, i64)> = Vec::new();
         let mut buffered: Vec<(String, i64)> = Vec::new();
+        let mut watermark_lag: Vec<(String, i64)> = Vec::new();
+        let mut reorder_buffered: Vec<(String, i64)> = Vec::new();
         {
             let sessions = self.sessions.lock();
             sessions_open = sessions.len() as i64;
@@ -409,7 +522,11 @@ impl Registry {
                     high_water.push((labels, i64::try_from(hw).unwrap_or(i64::MAX)));
                 }
                 let labels = rtec_obs::registry::render_labels(&[("session", name)]);
-                buffered.push((labels, session.buffered() as i64));
+                buffered.push((labels.clone(), session.buffered() as i64));
+                if let Some(lag) = session.watermark_lag() {
+                    watermark_lag.push((labels.clone(), lag));
+                    reorder_buffered.push((labels, session.reorder_buffered() as i64));
+                }
             }
         }
         crate::obs::render_gauge_family(
@@ -435,6 +552,18 @@ impl Registry {
             "rtec_service_buffered",
             "Items buffered in the router awaiting the next tick.",
             &buffered,
+        );
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_watermark_lag",
+            "Timepoints between the newest seen event and the reorder watermark.",
+            &watermark_lag,
+        );
+        crate::obs::render_gauge_family(
+            &mut text,
+            "rtec_service_reorder_buffered",
+            "Events held in the reorder buffer awaiting the watermark.",
+            &reorder_buffered,
         );
         text
     }

@@ -44,7 +44,8 @@ use rtec::description::{CompiledDescription, EventDescription};
 use rtec::engine::{EngineConfig, EngineStats, RecognitionOutput};
 use rtec::interval::IntervalList;
 use rtec::parallel::{FirstArgPartitioner, Partitioner};
-use rtec::term::GroundFvp;
+use rtec::reorder::{DeadLetterLedger, DeadLetterReason, ReorderBuffer, ReorderSnapshot};
+use rtec::term::{GroundFvp, Term};
 use rtec::{SymbolTable, Timepoint};
 use rtec_obs::Histogram;
 use std::sync::Arc;
@@ -63,6 +64,29 @@ pub struct SessionConfig {
     /// Crashed-worker respawns allowed before the session is
     /// quarantined.
     pub max_worker_restarts: usize,
+    /// Out-of-order tolerance, in timepoints. `Some(slack)` places a
+    /// [`ReorderBuffer`] in front of the router: events may arrive up to
+    /// `slack` timepoints late and are released in timestamp order;
+    /// events behind the watermark go to the dead-letter ledger instead
+    /// of the engines. `None` (the default) ingests in arrival order —
+    /// the historical behaviour.
+    pub reorder_slack: Option<Timepoint>,
+    /// With the reorder buffer enabled, absorb exact `(t, event)`
+    /// duplicates (refused as `duplicate` dead letters). Ignored
+    /// without `reorder_slack`.
+    pub dedup: bool,
+    /// Admission budget: events admitted between two ticks. Ingest
+    /// beyond the budget is shed (`overloaded` error, `shed` dead
+    /// letter) until the next tick.
+    pub max_events_per_tick: Option<u64>,
+    /// Admission budget: approximate bytes resident in the reorder
+    /// buffer. Ingest while over budget is shed. Ignored without
+    /// `reorder_slack`.
+    pub max_buffered_bytes: Option<u64>,
+    /// Per-tick deadline in milliseconds: a tick whose wall-clock time
+    /// exceeds it reports `degraded: true` (the tick still completes —
+    /// the deadline marks the reply, it does not abort evaluation).
+    pub tick_deadline_ms: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -72,6 +96,11 @@ impl Default for SessionConfig {
             shards: 2,
             queue_capacity: 1024,
             max_worker_restarts: 2,
+            reorder_slack: None,
+            dedup: false,
+            max_events_per_tick: None,
+            max_buffered_bytes: None,
+            tick_deadline_ms: None,
         }
     }
 }
@@ -97,10 +126,37 @@ pub struct SessionStats {
     pub worker_restarts: u64,
     /// Request frames addressed to this session answered with an error.
     pub frames_rejected: u64,
+    /// Ingest operations refused by admission control (event-rate or
+    /// buffered-bytes budget).
+    pub shed: u64,
     /// Merged per-shard engine counters as of the last tick/drain:
     /// event counts are summed; `windows` is the max across shards
     /// (every shard evaluates the same window sequence).
     pub engine: EngineStats,
+}
+
+/// Outcome of a successful (non-error) event ingest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ingest {
+    /// The event was admitted (routed now, or buffered for in-order
+    /// release).
+    Accepted,
+    /// The event was refused and recorded in the dead-letter ledger
+    /// with the given reason. Not an error: refusing bad input is the
+    /// resilient-ingestion layer doing its job.
+    Refused(DeadLetterReason),
+}
+
+/// What one tick accomplished.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickReport {
+    /// Aggregated engine counters (summed events, max windows).
+    pub engine: EngineStats,
+    /// Whether the tick overran [`SessionConfig::tick_deadline_ms`].
+    pub degraded: bool,
+    /// Ingest operations shed by admission control since the previous
+    /// tick.
+    pub shed: u64,
 }
 
 /// Per-shard recovery state.
@@ -137,7 +193,22 @@ pub struct Session {
     description_src: String,
     /// Why the session was quarantined, once the restart budget ran out.
     quarantined: Option<String>,
+    /// Session-wide reorder buffer, in front of the router (one buffer
+    /// rather than one per shard, so lateness and duplicates are judged
+    /// against the session's whole stream — including items the router
+    /// has not pinned to a shard yet).
+    reorder: Option<ReorderBuffer>,
+    /// Reason-coded audit trail of every refused record.
+    ledger: DeadLetterLedger,
+    /// Events admitted since the last tick (the event-rate budget).
+    events_since_tick: u64,
+    /// Ingests shed since the last tick (reported on the tick reply).
+    shed_since_tick: u64,
 }
+
+/// Recent refused-record entries retained per session (counts are exact
+/// regardless).
+const SESSION_DEAD_LETTER_CAP: usize = 1024;
 
 impl Session {
     /// Compiles `description_src` and spawns the shard workers.
@@ -190,6 +261,12 @@ impl Session {
             engine_config,
             description_src: description_src.to_string(),
             quarantined: None,
+            reorder: config
+                .reorder_slack
+                .map(|slack| ReorderBuffer::new(slack, config.dedup)),
+            ledger: DeadLetterLedger::new(SESSION_DEAD_LETTER_CAP),
+            events_since_tick: 0,
+            shed_since_tick: 0,
         })
     }
 
@@ -269,7 +346,31 @@ impl Session {
             engine_config,
             description_src: description_src.to_string(),
             quarantined: None,
+            reorder: config
+                .reorder_slack
+                .map(|slack| ReorderBuffer::new(slack, config.dedup)),
+            ledger: DeadLetterLedger::new(SESSION_DEAD_LETTER_CAP),
+            events_since_tick: 0,
+            shed_since_tick: 0,
         })
+    }
+
+    /// Restores ingestion-layer state captured alongside the shard
+    /// checkpoints: exact dead-letter counts and the reorder buffer's
+    /// unreleased contents + frontier. Called by
+    /// [`crate::persist::SessionCheckpoint::restore`] after
+    /// [`Session::reopen`].
+    pub fn restore_ingest(
+        &mut self,
+        ledger_counts: [u64; DeadLetterReason::ALL.len()],
+        ledger_records_dropped: u64,
+        reorder: Option<&ReorderSnapshot>,
+    ) {
+        self.ledger
+            .restore_counts(ledger_counts, ledger_records_dropped);
+        if let (Some(slack), Some(snapshot)) = (self.config.reorder_slack, reorder) {
+            self.reorder = Some(ReorderBuffer::restore(slack, self.config.dedup, snapshot));
+        }
     }
 
     /// The session's name.
@@ -330,11 +431,65 @@ impl Session {
 
     /// Parses and ingests one event (`term_src` like
     /// `entersArea(v1, brest_port)`) at time `t`.
-    pub fn ingest_event(&mut self, term_src: &str, t: Timepoint) -> Result<(), String> {
+    ///
+    /// Three-way outcome: `Ok(Ingest::Accepted)` admits the event (into
+    /// the reorder buffer when one is configured, else straight to the
+    /// router); `Ok(Ingest::Refused(reason))` records a dead letter —
+    /// late, duplicate, or past-horizon input the resilient-ingestion
+    /// layer filtered out; `Err` is an actual failure (quarantine, a
+    /// parse error, or an `overloaded: ...` admission-control shed).
+    pub fn ingest_event(&mut self, term_src: &str, t: Timepoint) -> Result<Ingest, String> {
         self.check_live()?;
         crate::fault::on_ingest()?;
-        let term = rtec::parser::parse_term(term_src, &mut self.master)
-            .map_err(|e| format!("event: {e}"))?;
+        if let Some(budget) = self.config.max_events_per_tick {
+            if self.events_since_tick >= budget {
+                self.shed(Some(t), term_src);
+                return Err(format!(
+                    "overloaded: per-tick event budget ({budget}) exhausted; tick to admit more"
+                ));
+            }
+        }
+        if let (Some(budget), Some(buf)) = (self.config.max_buffered_bytes, self.reorder.as_ref()) {
+            let held = buf.approx_bytes() as u64;
+            if held >= budget {
+                self.shed(Some(t), term_src);
+                return Err(format!(
+                    "overloaded: reorder buffer holds ~{held} of {budget} budgeted bytes; \
+                     tick to release"
+                ));
+            }
+        }
+        self.events_since_tick += 1;
+        let term = match rtec::parser::parse_term(term_src, &mut self.master) {
+            Ok(term) => term,
+            Err(e) => {
+                self.dead_letter(DeadLetterReason::Malformed, Some(t), term_src);
+                return Err(format!("event: {e}"));
+            }
+        };
+        if let Some(buf) = self.reorder.as_mut() {
+            // The engine frontier outranks the buffer's own lateness
+            // verdict: anything at or before the last ticked horizon
+            // belongs to an already evaluated (and forgotten) window.
+            if t <= self.stats.processed_to {
+                self.dead_letter(DeadLetterReason::PastHorizon, Some(t), term_src);
+                return Ok(Ingest::Refused(DeadLetterReason::PastHorizon));
+            }
+            if let Err(reason) = buf.push(term, t) {
+                self.dead_letter(reason, Some(t), term_src);
+                return Ok(Ingest::Refused(reason));
+            }
+            self.release_ready()?;
+        } else {
+            self.route_event(term, t)?;
+        }
+        self.stats.events_ingested += 1;
+        crate::obs::metrics().events_ingested.inc();
+        Ok(Ingest::Accepted)
+    }
+
+    /// Routes one (released or direct) event to its shard.
+    fn route_event(&mut self, term: Term, t: Timepoint) -> Result<(), String> {
         let entities = self.partitioner.event_entities(&term);
         match self.router.route(&entities) {
             Route::Shard(s) => self.send_input(s, PendingItem::Event(term, t))?,
@@ -347,9 +502,32 @@ impl Session {
                 .router
                 .buffer(PendingItem::Event(term, t), &entities[0]),
         }
-        self.stats.events_ingested += 1;
-        crate::obs::metrics().events_ingested.inc();
         Ok(())
+    }
+
+    /// Routes everything the reorder buffer's watermark has passed.
+    fn release_ready(&mut self) -> Result<(), String> {
+        let Some(buf) = self.reorder.as_mut() else {
+            return Ok(());
+        };
+        for (term, t) in buf.drain_ready() {
+            self.route_event(term, t)?;
+        }
+        Ok(())
+    }
+
+    /// Records one dead letter (ledger + per-reason metric).
+    fn dead_letter(&mut self, reason: DeadLetterReason, t: Option<Timepoint>, detail: &str) {
+        self.ledger.record(reason, t, detail.to_string());
+        crate::obs::metrics().deadletter(reason).inc();
+    }
+
+    /// Records an admission-control refusal.
+    fn shed(&mut self, t: Option<Timepoint>, detail: &str) {
+        self.stats.shed += 1;
+        self.shed_since_tick += 1;
+        crate::obs::metrics().shed.inc();
+        self.dead_letter(DeadLetterReason::Shed, t, detail);
     }
 
     /// Parses and ingests input-fluent intervals, e.g.
@@ -520,10 +698,20 @@ impl Session {
     }
 
     /// Pins pending components, flushes the buffer, and evaluates every
-    /// shard up to `to`. Returns the aggregated engine counters.
-    pub fn tick(&mut self, to: Timepoint) -> Result<EngineStats, String> {
+    /// shard up to `to`. Returns the aggregated engine counters, the
+    /// degraded flag (deadline overrun) and the shed count since the
+    /// previous tick.
+    pub fn tick(&mut self, to: Timepoint) -> Result<TickReport, String> {
         self.check_live()?;
         let started = Instant::now();
+        // Force-release everything at or before the tick horizon:
+        // evaluation up to `to` must see every admitted event there,
+        // watermark or not.
+        if let Some(buf) = self.reorder.as_mut() {
+            for (term, t) in buf.drain_to(to) {
+                self.route_event(term, t)?;
+            }
+        }
         for (shard, item) in self.router.flush() {
             self.send_input(shard, item)?;
         }
@@ -559,7 +747,30 @@ impl Session {
         let metrics = crate::obs::metrics();
         metrics.ticks.inc();
         metrics.tick_duration_us.observe_duration(elapsed);
-        Ok(total)
+        let degraded = self
+            .config
+            .tick_deadline_ms
+            .is_some_and(|deadline| elapsed.as_millis() as u64 > deadline);
+        if degraded {
+            rtec_obs::warn(
+                "session.tick_degraded",
+                &[
+                    ("session", self.name.as_str().into()),
+                    ("elapsed_ms", (elapsed.as_millis() as u64).into()),
+                    (
+                        "deadline_ms",
+                        self.config.tick_deadline_ms.unwrap_or(0).into(),
+                    ),
+                ],
+            );
+        }
+        let shed = std::mem::take(&mut self.shed_since_tick);
+        self.events_since_tick = 0;
+        Ok(TickReport {
+            engine: total,
+            degraded,
+            shed,
+        })
     }
 
     /// Takes a fresh checkpoint of every shard and clears the replay
@@ -638,6 +849,44 @@ impl Session {
         self.router.buffered()
     }
 
+    /// The session's dead-letter ledger: every refused record,
+    /// reason-coded.
+    pub fn dead_letters(&self) -> &DeadLetterLedger {
+        &self.ledger
+    }
+
+    /// Drops the ledger's retained records, keeping the exact counts
+    /// (the `deadletter` wire command's `clear` option).
+    pub fn clear_dead_letter_records(&mut self) {
+        self.ledger.clear_records();
+    }
+
+    /// The reorder buffer's watermark, when one is configured.
+    pub fn watermark(&self) -> Option<Timepoint> {
+        self.reorder.as_ref().map(ReorderBuffer::watermark)
+    }
+
+    /// How far the release frontier trails the newest admitted event.
+    pub fn watermark_lag(&self) -> Option<Timepoint> {
+        self.reorder.as_ref().map(ReorderBuffer::lag)
+    }
+
+    /// Events admitted but not yet released by the reorder buffer.
+    pub fn reorder_buffered(&self) -> usize {
+        self.reorder.as_ref().map_or(0, ReorderBuffer::len)
+    }
+
+    /// Approximate bytes resident in the reorder buffer.
+    pub fn reorder_buffered_bytes(&self) -> usize {
+        self.reorder.as_ref().map_or(0, ReorderBuffer::approx_bytes)
+    }
+
+    /// The reorder buffer's persistable image (contents + frontier),
+    /// when one is configured.
+    pub fn reorder_snapshot(&self) -> Option<ReorderSnapshot> {
+        self.reorder.as_ref().map(ReorderBuffer::snapshot)
+    }
+
     /// Total queued items across shard channels (approximate).
     pub fn queue_depth(&self) -> usize {
         self.workers.iter().map(ShardWorker::queue_len).sum()
@@ -660,6 +909,20 @@ impl Session {
     /// final stats instead of failing the close.
     pub fn close(mut self) -> Result<SessionStats, String> {
         if self.quarantined.is_none() {
+            // Release the reorder buffer first so admitted events reach
+            // the engines (queued, like any close-time flush — no extra
+            // evaluation is forced). Routing failures degrade to lost
+            // items, consistent with close's tolerance of dead workers.
+            if let Some(mut buf) = self.reorder.take() {
+                for (term, t) in buf.flush() {
+                    if self.route_event(term, t).is_err() {
+                        rtec_obs::warn(
+                            "session.close_flush_lost",
+                            &[("session", self.name.as_str().into()), ("t", t.into())],
+                        );
+                    }
+                }
+            }
             for (shard, item) in self.router.flush() {
                 let msg = match item {
                     PendingItem::Event(ev, t) => WorkerMsg::Event(ev, t),

@@ -25,9 +25,14 @@ use crate::eval::simple::{evaluate_simple_fluent, InertiaState};
 use crate::eval::statics::evaluate_static_fluent;
 use crate::eval::WarningSink;
 use crate::interval::{IntervalList, Timepoint, INF};
+use crate::reorder::{DeadLetterLedger, DeadLetterReason};
 use crate::symbol::SymbolTable;
 use crate::term::{translate, GroundFvp, Term};
 use std::collections::HashMap;
+
+/// Recent refused-event records retained per engine (counts are exact
+/// regardless; see [`Engine::dead_letters`]).
+const ENGINE_DEAD_LETTER_CAP: usize = 256;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -171,6 +176,12 @@ pub struct Engine<'a> {
     output: RecognitionOutput,
     warnings: WarningSink,
     stats: EngineStats,
+    /// Reason-coded audit trail of events refused at the engine
+    /// boundary (process-local: not part of a checkpoint; the refusal
+    /// *count* persists via [`EngineStats::events_dropped`]).
+    dead_letters: DeadLetterLedger,
+    /// Stale refusals since the last `run_to` warning flush.
+    stale_rejected: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -188,6 +199,8 @@ impl<'a> Engine<'a> {
             output: RecognitionOutput::default(),
             warnings: WarningSink::new(),
             stats: EngineStats::default(),
+            dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
+            stale_rejected: 0,
         }
     }
 
@@ -209,20 +222,59 @@ impl<'a> Engine<'a> {
     }
 
     /// Queues an input event occurring at `t`.
+    ///
+    /// **Boundary contract**: the engine forgets everything at or
+    /// before its processed frontier ([`Engine::processed_to`]), so an
+    /// event with `t <= processed_to()` cannot be incorporated — it is
+    /// rejected here, counted in [`EngineStats::events_dropped`],
+    /// recorded in the [`Engine::dead_letters`] ledger with reason
+    /// [`DeadLetterReason::PastHorizon`], and reported via a
+    /// `"... dropped"` warning on the next [`Engine::run_to`]. It never
+    /// reaches the pending queue, so it cannot corrupt inertial state.
     pub fn add_event(&mut self, event: Term, t: Timepoint) {
+        if t <= self.processed_to {
+            self.reject_stale(t);
+            return;
+        }
         self.pending.push((event, t));
     }
 
-    /// Queues many input events.
+    /// Routes one stale event to the dead-letter ledger.
+    fn reject_stale(&mut self, t: Timepoint) {
+        self.dead_letters.record(
+            DeadLetterReason::PastHorizon,
+            Some(t),
+            format!(
+                "event at t={t} is at or before the processed frontier ({})",
+                self.processed_to
+            ),
+        );
+        self.stats.events_dropped += 1;
+        self.stale_rejected += 1;
+    }
+
+    /// Queues many input events (each subject to the
+    /// [`Engine::add_event`] boundary contract).
     pub fn add_events(&mut self, events: impl IntoIterator<Item = (Term, Timepoint)>) {
-        self.pending.extend(events);
+        for (event, t) in events {
+            self.add_event(event, t);
+        }
     }
 
     /// Queues an event built against a different symbol table, re-interning
-    /// its symbols.
+    /// its symbols (subject to the [`Engine::add_event`] boundary
+    /// contract).
     pub fn add_event_from(&mut self, event: &Term, from: &SymbolTable, t: Timepoint) {
         let ev = translate(event, from, &mut self.symbols);
-        self.pending.push((ev, t));
+        self.add_event(ev, t);
+    }
+
+    /// The engine's dead-letter ledger: every event refused at the
+    /// boundary, reason-coded. Process-local audit state — not part of
+    /// an [`EngineCheckpoint`] (the refusal count persists through
+    /// [`EngineStats::events_dropped`]).
+    pub fn dead_letters(&self) -> &DeadLetterLedger {
+        &self.dead_letters
     }
 
     /// Registers the interval list of an input fluent (computed outside the
@@ -274,18 +326,35 @@ impl<'a> Engine<'a> {
     pub fn run_to(&mut self, horizon: Timepoint) -> &RecognitionOutput {
         // Stable sort keeps simultaneous events in arrival order.
         self.pending.sort_by_key(|(_, t)| *t);
-        // Drop (with a warning) events at or before the processed frontier.
-        let stale = self
+        // Defensive second enforcement of the add_event boundary: a
+        // restored pending queue upholds the invariant (checkpoints are
+        // taken with it intact), so this drain is normally empty.
+        let drained = self
             .pending
             .iter()
             .take_while(|(_, t)| *t <= self.processed_to)
             .count();
+        if drained > 0 {
+            for (_, t) in self.pending.drain(..drained) {
+                self.dead_letters.record(
+                    DeadLetterReason::PastHorizon,
+                    Some(t),
+                    format!(
+                        "event at t={t} is at or before the processed frontier ({})",
+                        self.processed_to
+                    ),
+                );
+            }
+            self.stats.events_dropped += drained;
+        }
+        // One aggregated warning covers both rejection paths, so the
+        // message (and its count) is byte-identical to the historical
+        // run_to-time drop.
+        let stale = drained + std::mem::take(&mut self.stale_rejected);
         if stale > 0 {
             self.warnings.push(format!(
                 "{stale} event(s) at or before the processed frontier were dropped"
             ));
-            self.pending.drain(..stale);
-            self.stats.events_dropped += stale;
             crate::obs::metrics().forget_drops.add(stale as u64);
             rtec_obs::warn(
                 "engine.forget_drop",
@@ -401,6 +470,8 @@ impl<'a> Engine<'a> {
             output: RecognitionOutput::default(),
             warnings,
             stats: checkpoint.stats,
+            dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
+            stale_rejected: 0,
         };
         for (fvp, list) in &checkpoint.inputs {
             engine.add_input_intervals(fvp.clone(), list.clone());

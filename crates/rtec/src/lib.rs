@@ -77,6 +77,7 @@ pub mod lexer;
 pub mod obs;
 pub mod parallel;
 pub mod parser;
+pub mod reorder;
 pub mod stream;
 pub mod symbol;
 pub mod term;

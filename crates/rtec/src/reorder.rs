@@ -1,0 +1,616 @@
+//! Resilient ingestion: bounded reordering, watermarks, and dead-letter
+//! accounting.
+//!
+//! Real event feeds — the Brest AIS stream of the paper's §5 experiment
+//! being the canonical example — are noisy: position reports arrive
+//! late, duplicated, and occasionally malformed. RTEC's simple fluents
+//! are *inertial*: a stale `terminatedAt` event slipped into an already
+//! evaluated window would silently corrupt every interval derived after
+//! it. This module supplies the two pieces that make out-of-order input
+//! safe instead of corrupting:
+//!
+//! * [`ReorderBuffer`] — a bounded buffer that admits events in any
+//!   order within a configurable **slack** (measured in timepoints),
+//!   releases them in timestamp order behind a monotonically advancing
+//!   **watermark**, and optionally absorbs exact duplicates;
+//! * [`DeadLetterLedger`] — a reason-coded, bounded audit trail of every
+//!   record the system *refused*, so "we dropped it" is always
+//!   accompanied by "here is which one, when, and why".
+//!
+//! ## Watermark discipline
+//!
+//! The buffer tracks the largest timestamp seen (`max_seen`) and the
+//! frontier up to which events have been released (`released_to`). The
+//! watermark is
+//!
+//! ```text
+//! watermark = max(max_seen - slack, released_to)
+//! ```
+//!
+//! and never decreases. [`ReorderBuffer::drain_ready`] releases every
+//! buffered event with `t <= watermark` in timestamp order; a push
+//! *strictly below* the watermark is refused as
+//! [`DeadLetterReason::Late`] — admitting it would mean emitting behind
+//! events already released ahead of it. An event *at* the watermark
+//! (including at the release frontier itself) is still admissible, so
+//! repeated timestamps in an in-order stream are never refused. The
+//! headline guarantee follows: **any arrival order in which each event
+//! is delayed by at most `slack` timepoints releases the same events
+//! with non-decreasing timestamps**, and since recognition is
+//! per-timepoint set-based, intra-timestamp arrival order is
+//! immaterial: recognition output is byte-identical to the sorted batch
+//! run (see `crates/rtec/tests/reorder_properties.rs`).
+//!
+//! `slack = 0` degenerates to a strict in-order gate with near-zero
+//! overhead: every event is releasable the moment it arrives.
+
+use crate::interval::Timepoint;
+use crate::term::Term;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Why a record was refused and routed to the dead-letter ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeadLetterReason {
+    /// The event arrived behind the watermark (or behind the release
+    /// frontier): admitting it would emit out of timestamp order.
+    Late,
+    /// An identical `(timestamp, term)` pair was already admitted and
+    /// deduplication is enabled.
+    Duplicate,
+    /// The event's timestamp is at or before the engine's forget
+    /// horizon (`processed_to`): the window it belongs to has already
+    /// been evaluated and forgotten.
+    PastHorizon,
+    /// The record could not be parsed into a ground event term (or a
+    /// CSV row failed field validation).
+    Malformed,
+    /// The record was refused by admission control (rate or memory
+    /// budget exhausted), not because of its content.
+    Shed,
+}
+
+impl DeadLetterReason {
+    /// Every reason, in stable wire order. The `as_str` names of this
+    /// list are the public taxonomy — pinned by a test, extended only
+    /// by appending.
+    pub const ALL: [DeadLetterReason; 5] = [
+        DeadLetterReason::Late,
+        DeadLetterReason::Duplicate,
+        DeadLetterReason::PastHorizon,
+        DeadLetterReason::Malformed,
+        DeadLetterReason::Shed,
+    ];
+
+    /// The stable wire name of this reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeadLetterReason::Late => "late",
+            DeadLetterReason::Duplicate => "duplicate",
+            DeadLetterReason::PastHorizon => "past_horizon",
+            DeadLetterReason::Malformed => "malformed",
+            DeadLetterReason::Shed => "shed",
+        }
+    }
+
+    /// Parses a wire name back into a reason. Not `std::str::FromStr`:
+    /// absence is an expected outcome here, not an error to propagate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(name: &str) -> Option<DeadLetterReason> {
+        DeadLetterReason::ALL
+            .into_iter()
+            .find(|r| r.as_str() == name)
+    }
+
+    /// Position of this reason in [`DeadLetterReason::ALL`] (the index
+    /// of its slot in a counts array).
+    pub fn index(self) -> usize {
+        match self {
+            DeadLetterReason::Late => 0,
+            DeadLetterReason::Duplicate => 1,
+            DeadLetterReason::PastHorizon => 2,
+            DeadLetterReason::Malformed => 3,
+            DeadLetterReason::Shed => 4,
+        }
+    }
+}
+
+/// One refused record: the reason, the claimed timestamp (when one was
+/// parseable), and a short human-readable detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Why the record was refused.
+    pub reason: DeadLetterReason,
+    /// The record's timestamp, if one could be determined.
+    pub t: Option<Timepoint>,
+    /// Short detail: the offending source text or a description of the
+    /// violated bound.
+    pub detail: String,
+}
+
+/// A bounded, reason-coded audit trail of refused records.
+///
+/// Counts are exact and unbounded; the per-record ring keeps only the
+/// most recent `cap` entries (older records are dropped and counted in
+/// [`DeadLetterLedger::records_dropped`]), so the ledger's memory use is
+/// fixed no matter how hostile the feed.
+#[derive(Clone, Debug)]
+pub struct DeadLetterLedger {
+    cap: usize,
+    records: VecDeque<DeadLetter>,
+    counts: [u64; DeadLetterReason::ALL.len()],
+    records_dropped: u64,
+}
+
+impl DeadLetterLedger {
+    /// A ledger retaining at most `cap` recent records.
+    pub fn new(cap: usize) -> DeadLetterLedger {
+        DeadLetterLedger {
+            cap,
+            records: VecDeque::new(),
+            counts: [0; DeadLetterReason::ALL.len()],
+            records_dropped: 0,
+        }
+    }
+
+    /// Records one refused record.
+    pub fn record(&mut self, reason: DeadLetterReason, t: Option<Timepoint>, detail: String) {
+        self.counts[reason.index()] += 1;
+        if self.cap == 0 {
+            self.records_dropped += 1;
+            return;
+        }
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.records_dropped += 1;
+        }
+        self.records.push_back(DeadLetter { reason, t, detail });
+    }
+
+    /// Exact refusal count for one reason.
+    pub fn count(&self, reason: DeadLetterReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Exact refusal counts in [`DeadLetterReason::ALL`] order.
+    pub fn counts(&self) -> [u64; DeadLetterReason::ALL.len()] {
+        self.counts
+    }
+
+    /// Total refusals across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Records evicted from the bounded ring (their counts remain).
+    pub fn records_dropped(&self) -> u64 {
+        self.records_dropped
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.records.iter()
+    }
+
+    /// The most recent `limit` records, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<&DeadLetter> {
+        let skip = self.records.len().saturating_sub(limit);
+        self.records.iter().skip(skip).collect()
+    }
+
+    /// Restores exact counts (used when a session is rebuilt from a
+    /// checkpoint; the per-record ring is process-local audit state and
+    /// is not restored).
+    pub fn restore_counts(&mut self, counts: [u64; DeadLetterReason::ALL.len()], dropped: u64) {
+        self.counts = counts;
+        self.records_dropped = dropped;
+    }
+
+    /// Drops the retained records, keeping the exact counts.
+    pub fn clear_records(&mut self) {
+        self.records_dropped += self.records.len() as u64;
+        self.records.clear();
+    }
+}
+
+/// A serialisable image of a [`ReorderBuffer`]'s contents and frontier,
+/// for session checkpointing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReorderSnapshot {
+    /// Buffered (unreleased) events, in timestamp order, arrival order
+    /// within a timestamp.
+    pub events: Vec<(Term, Timepoint)>,
+    /// Largest timestamp ever admitted (`-1` if none).
+    pub max_seen: Timepoint,
+    /// Frontier up to which events have been released (`-1` if none).
+    pub released_to: Timepoint,
+}
+
+/// A bounded reorder buffer with watermark-ordered release and optional
+/// exact-duplicate absorption. See the [module docs](self) for the
+/// watermark discipline and the ordering guarantee.
+#[derive(Clone, Debug)]
+pub struct ReorderBuffer {
+    slack: Timepoint,
+    dedup: bool,
+    buffered: BTreeMap<Timepoint, Vec<Term>>,
+    /// Dedup memory, keyed by timestamp so entries behind the watermark
+    /// (which a re-push could never reach — it would be refused as
+    /// late) can be pruned in one `split_off`. Entries at or above the
+    /// watermark are kept even after their event is released, so a
+    /// duplicate arriving at the release frontier is still absorbed.
+    seen: BTreeMap<Timepoint, HashSet<Term>>,
+    max_seen: Timepoint,
+    released_to: Timepoint,
+    len: usize,
+    approx_bytes: usize,
+}
+
+/// Rough per-event bookkeeping overhead (map node, vec slot) used by
+/// [`ReorderBuffer::approx_bytes`].
+const PER_EVENT_OVERHEAD: usize = 48;
+
+fn term_heap_bytes(term: &Term) -> usize {
+    match term {
+        Term::Compound(_, args) => args
+            .iter()
+            .map(|a| std::mem::size_of::<Term>() + term_heap_bytes(a))
+            .sum(),
+        Term::List(items) => items
+            .iter()
+            .map(|a| std::mem::size_of::<Term>() + term_heap_bytes(a))
+            .sum(),
+        _ => 0,
+    }
+}
+
+impl ReorderBuffer {
+    /// A buffer tolerating arrival delays of up to `slack` timepoints.
+    /// With `dedup`, an exact `(timestamp, term)` pair is admitted once
+    /// and refused as [`DeadLetterReason::Duplicate`] thereafter, for
+    /// as long as its timestamp is at or above the watermark (behind
+    /// it, re-sends are refused as late instead).
+    pub fn new(slack: Timepoint, dedup: bool) -> ReorderBuffer {
+        ReorderBuffer {
+            slack: slack.max(0),
+            dedup,
+            buffered: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            max_seen: -1,
+            released_to: -1,
+            len: 0,
+            approx_bytes: 0,
+        }
+    }
+
+    /// The configured slack, in timepoints.
+    pub fn slack(&self) -> Timepoint {
+        self.slack
+    }
+
+    /// The current watermark: `max(max_seen - slack, released_to)`.
+    /// Events at or below the watermark are releasable; pushes strictly
+    /// below it are refused as late. `-1` before any event is admitted.
+    pub fn watermark(&self) -> Timepoint {
+        if self.max_seen < 0 {
+            self.released_to
+        } else {
+            (self.max_seen - self.slack).max(self.released_to)
+        }
+    }
+
+    /// How far the release frontier trails the newest admitted event
+    /// (`max_seen - released_to`, clamped at zero). This is the
+    /// watermark lag exported as a service gauge.
+    pub fn lag(&self) -> Timepoint {
+        (self.max_seen - self.released_to).max(0)
+    }
+
+    /// Largest timestamp ever admitted (`-1` if none).
+    pub fn max_seen(&self) -> Timepoint {
+        self.max_seen
+    }
+
+    /// Frontier up to which events have been released (`-1` if none).
+    pub fn released_to(&self) -> Timepoint {
+        self.released_to
+    }
+
+    /// Buffered (admitted but unreleased) event count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rough resident size of the buffered events in bytes, for the
+    /// service's buffered-bytes admission budget. An estimate (term
+    /// payload plus fixed per-event overhead), not an allocator
+    /// measurement.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Admits one event, or refuses it with the dead-letter reason.
+    ///
+    /// Refusals: `t < 0` is [`DeadLetterReason::Malformed`] (timepoints
+    /// are non-negative); `t` strictly below the watermark is
+    /// [`DeadLetterReason::Late`] (an event *at* the watermark — even at
+    /// the release frontier itself — is still admissible, so repeated
+    /// timestamps in an in-order stream are never refused); an exact
+    /// duplicate under `dedup` is [`DeadLetterReason::Duplicate`].
+    pub fn push(&mut self, event: Term, t: Timepoint) -> Result<(), DeadLetterReason> {
+        if t < 0 {
+            return Err(DeadLetterReason::Malformed);
+        }
+        if t < self.watermark() {
+            return Err(DeadLetterReason::Late);
+        }
+        if self.dedup && !self.seen.entry(t).or_default().insert(event.clone()) {
+            return Err(DeadLetterReason::Duplicate);
+        }
+        self.approx_bytes +=
+            std::mem::size_of::<Term>() + term_heap_bytes(&event) + PER_EVENT_OVERHEAD;
+        self.buffered.entry(t).or_default().push(event);
+        self.len += 1;
+        self.max_seen = self.max_seen.max(t);
+        Ok(())
+    }
+
+    /// Releases every buffered event at or below the watermark, in
+    /// timestamp order (arrival order within one timestamp).
+    pub fn drain_ready(&mut self) -> Vec<(Term, Timepoint)> {
+        self.release_up_to(self.watermark())
+    }
+
+    /// Forces release of everything at or below `to` (or the watermark,
+    /// whichever is larger) — the tick-time drain: evaluation up to `to`
+    /// must see every admitted event at or before `to`.
+    pub fn drain_to(&mut self, to: Timepoint) -> Vec<(Term, Timepoint)> {
+        self.release_up_to(self.watermark().max(to))
+    }
+
+    /// Releases everything buffered and advances the frontier to
+    /// `max_seen` (session close).
+    pub fn flush(&mut self) -> Vec<(Term, Timepoint)> {
+        self.release_up_to(self.max_seen)
+    }
+
+    fn release_up_to(&mut self, horizon: Timepoint) -> Vec<(Term, Timepoint)> {
+        let mut released = Vec::new();
+        // `>=`, not `>`: events admitted *at* the frontier (repeated
+        // timestamps in an in-order stream) must still flow out.
+        if horizon >= self.released_to {
+            // split_off leaves keys < horizon+1 in `self.buffered`'s
+            // place only after the swap below: keep the tail, take the
+            // head.
+            let tail = self.buffered.split_off(&(horizon + 1));
+            let head = std::mem::replace(&mut self.buffered, tail);
+            for (t, events) in head {
+                for event in events {
+                    self.approx_bytes = self.approx_bytes.saturating_sub(
+                        std::mem::size_of::<Term>() + term_heap_bytes(&event) + PER_EVENT_OVERHEAD,
+                    );
+                    self.len -= 1;
+                    released.push((event, t));
+                }
+            }
+            self.released_to = horizon;
+            if self.dedup {
+                // Entries strictly below the new watermark can never be
+                // matched again (a re-push would be refused as late);
+                // entries at the watermark stay so a duplicate arriving
+                // at the frontier is still absorbed.
+                self.seen = self.seen.split_off(&self.watermark());
+            }
+        }
+        released
+    }
+
+    /// Captures the buffer's contents and frontier for checkpointing.
+    pub fn snapshot(&self) -> ReorderSnapshot {
+        let mut events = Vec::with_capacity(self.len);
+        for (&t, terms) in &self.buffered {
+            for term in terms {
+                events.push((term.clone(), t));
+            }
+        }
+        ReorderSnapshot {
+            events,
+            max_seen: self.max_seen,
+            released_to: self.released_to,
+        }
+    }
+
+    /// Rebuilds a buffer from a snapshot. The dedup set is rebuilt from
+    /// the buffered events only: dedup memory for *released* timestamps
+    /// still at the watermark is not part of the snapshot, so a
+    /// duplicate of an already-released frontier event re-sent right
+    /// after a restore may be re-admitted (recognition is set-based per
+    /// timepoint, so output is unaffected).
+    pub fn restore(slack: Timepoint, dedup: bool, snapshot: &ReorderSnapshot) -> ReorderBuffer {
+        let mut buf = ReorderBuffer::new(slack, dedup);
+        for (term, t) in &snapshot.events {
+            buf.approx_bytes +=
+                std::mem::size_of::<Term>() + term_heap_bytes(term) + PER_EVENT_OVERHEAD;
+            if dedup {
+                buf.seen.entry(*t).or_default().insert(term.clone());
+            }
+            buf.buffered.entry(*t).or_default().push(term.clone());
+            buf.len += 1;
+        }
+        buf.max_seen = snapshot.max_seen;
+        buf.released_to = snapshot.released_to;
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn ev(symbols: &mut SymbolTable, name: &str) -> Term {
+        Term::Atom(symbols.intern(name))
+    }
+
+    #[test]
+    fn in_order_events_release_immediately_at_slack_zero() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(0, false);
+        buf.push(ev(&mut s, "a"), 1).unwrap();
+        assert_eq!(buf.watermark(), 1);
+        let out = buf.drain_ready();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1);
+        assert_eq!(buf.released_to(), 1);
+        assert!(buf.is_empty());
+        // A second event *at* the frontier is fine (sorted streams
+        // repeat timestamps); only strictly older ones are late.
+        let b = ev(&mut s, "b");
+        assert_eq!(buf.push(b.clone(), 1), Ok(()));
+        assert_eq!(buf.drain_ready(), vec![(b.clone(), 1)]);
+        assert_eq!(buf.push(b, 0), Err(DeadLetterReason::Late));
+    }
+
+    #[test]
+    fn slack_holds_events_back_until_the_watermark_passes() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(5, false);
+        let (a, b, c) = (ev(&mut s, "a"), ev(&mut s, "b"), ev(&mut s, "c"));
+        buf.push(b.clone(), 7).unwrap();
+        buf.push(a.clone(), 4).unwrap(); // late arrival, within slack
+        assert_eq!(buf.watermark(), 2);
+        assert!(buf.drain_ready().is_empty());
+        buf.push(c.clone(), 12).unwrap();
+        assert_eq!(buf.watermark(), 7);
+        let out = buf.drain_ready();
+        assert_eq!(out, vec![(a, 4), (b, 7)]);
+        assert_eq!(buf.len(), 1);
+        let out = buf.drain_to(12);
+        assert_eq!(out, vec![(c, 12)]);
+        assert_eq!(buf.released_to(), 12);
+    }
+
+    #[test]
+    fn events_behind_the_watermark_are_refused_as_late() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(2, false);
+        buf.push(ev(&mut s, "a"), 10).unwrap();
+        // watermark = 10 - 2 = 8; 7 is too old even though nothing has
+        // been released yet.
+        assert_eq!(buf.push(ev(&mut s, "b"), 7), Err(DeadLetterReason::Late));
+        assert_eq!(buf.push(ev(&mut s, "b"), 8), Ok(()));
+    }
+
+    #[test]
+    fn dedup_absorbs_exact_duplicates_until_release() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(10, true);
+        let a = ev(&mut s, "a");
+        buf.push(a.clone(), 3).unwrap();
+        assert_eq!(
+            buf.push(a.clone(), 3),
+            Err(DeadLetterReason::Duplicate),
+            "same (t, term) is a duplicate"
+        );
+        buf.push(a.clone(), 4).unwrap(); // same term, different t: fine
+        let drained = buf.drain_to(4);
+        assert_eq!(drained.len(), 2);
+        // A released timestamp still *at* the frontier keeps its dedup
+        // memory: the re-send is absorbed, not re-admitted. Strictly
+        // behind the frontier, re-sends are refused as late instead.
+        assert_eq!(buf.push(a.clone(), 4), Err(DeadLetterReason::Duplicate));
+        assert_eq!(buf.push(a, 3), Err(DeadLetterReason::Late));
+    }
+
+    #[test]
+    fn negative_timestamps_are_malformed() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(0, false);
+        assert_eq!(
+            buf.push(ev(&mut s, "a"), -3),
+            Err(DeadLetterReason::Malformed)
+        );
+    }
+
+    #[test]
+    fn watermark_never_decreases() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(3, false);
+        let mut last = buf.watermark();
+        for (name, t) in [("a", 9), ("b", 4), ("c", 20), ("d", 18), ("e", 30)] {
+            let _ = buf.push(ev(&mut s, name), t);
+            assert!(buf.watermark() >= last, "watermark regressed");
+            last = buf.watermark();
+            let _ = buf.drain_ready();
+            assert!(buf.watermark() >= last, "drain regressed the watermark");
+            last = buf.watermark();
+        }
+    }
+
+    #[test]
+    fn approx_bytes_tracks_admission_and_release() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(100, false);
+        assert_eq!(buf.approx_bytes(), 0);
+        buf.push(ev(&mut s, "a"), 5).unwrap();
+        let one = buf.approx_bytes();
+        assert!(one > 0);
+        buf.push(ev(&mut s, "b"), 6).unwrap();
+        assert!(buf.approx_bytes() > one);
+        buf.flush();
+        assert_eq!(buf.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut s = SymbolTable::new();
+        let mut buf = ReorderBuffer::new(5, true);
+        buf.push(ev(&mut s, "a"), 8).unwrap();
+        buf.push(ev(&mut s, "b"), 6).unwrap();
+        buf.drain_ready();
+        let snap = buf.snapshot();
+        let restored = ReorderBuffer::restore(5, true, &snap);
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.len(), buf.len());
+        assert_eq!(restored.watermark(), buf.watermark());
+        assert_eq!(restored.approx_bytes(), buf.approx_bytes());
+        // The rebuilt dedup set still refuses the buffered duplicate.
+        let mut restored = restored;
+        assert_eq!(
+            restored.push(ev(&mut s, "a"), 8),
+            Err(DeadLetterReason::Duplicate)
+        );
+    }
+
+    #[test]
+    fn ledger_counts_exactly_and_bounds_records() {
+        let mut ledger = DeadLetterLedger::new(2);
+        for i in 0..5 {
+            ledger.record(DeadLetterReason::Late, Some(i), format!("ev{i}"));
+        }
+        ledger.record(DeadLetterReason::Malformed, None, "junk".into());
+        assert_eq!(ledger.count(DeadLetterReason::Late), 5);
+        assert_eq!(ledger.count(DeadLetterReason::Malformed), 1);
+        assert_eq!(ledger.total(), 6);
+        assert_eq!(ledger.records().count(), 2);
+        assert_eq!(ledger.records_dropped(), 4);
+        let recent = ledger.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[1].detail, "junk");
+        ledger.clear_records();
+        assert_eq!(ledger.records().count(), 0);
+        assert_eq!(ledger.total(), 6, "counts survive a record clear");
+    }
+
+    #[test]
+    fn reason_names_round_trip() {
+        for reason in DeadLetterReason::ALL {
+            assert_eq!(DeadLetterReason::from_str(reason.as_str()), Some(reason));
+        }
+        assert_eq!(DeadLetterReason::from_str("nope"), None);
+    }
+}

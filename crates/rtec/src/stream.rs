@@ -35,6 +35,18 @@ impl InputStream {
     }
 
     /// Appends an event term already interned in this stream's table.
+    ///
+    /// A stream is an inert recording, so *any* timestamp is accepted
+    /// here — including one at or before a horizon an engine has
+    /// already evaluated. Ordering is enforced at the engine boundary
+    /// instead: [`Engine::add_event`] (which [`InputStream::load_into`]
+    /// calls per event) rejects events at or before its processed
+    /// frontier to the engine's reason-coded dead-letter ledger
+    /// ([`Engine::dead_letters`]), counts them in
+    /// `EngineStats::events_dropped`, and surfaces a `"... dropped"`
+    /// warning — they are never silently absorbed into inertial state.
+    /// For out-of-order *tolerant* ingestion, feed events through
+    /// [`crate::reorder::ReorderBuffer`] first.
     pub fn push_event(&mut self, event: Term, t: Timepoint) {
         self.events.push((event, t));
     }

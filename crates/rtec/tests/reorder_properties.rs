@@ -1,0 +1,253 @@
+//! Property tests of the resilient-ingestion headline (docs/INGEST.md):
+//! feeding any within-slack permutation of an event stream (with
+//! duplicates, under dedup) through a [`ReorderBuffer`] yields
+//! recognition output byte-identical to the sorted batch run, the
+//! watermark never goes backwards, and the dead-letter taxonomy stays
+//! pinned.
+
+use proptest::prelude::*;
+use rtec::reorder::{DeadLetterReason, ReorderBuffer};
+use rtec::{Engine, EngineConfig, EventDescription, Term, Timepoint};
+
+/// A two-vessel area scenario exercising simple fluents (inertia) and a
+/// derived holdsFor union, so event order errors would visibly corrupt
+/// the output.
+const DESC: &str = "
+    inputEvent(entersArea/2).
+    inputEvent(leavesArea/2).
+    inputEvent(velocity/2).
+    initiatedAt(inside(V, A)=true, T) :- happensAt(entersArea(V, A), T).
+    terminatedAt(inside(V, A)=true, T) :- happensAt(leavesArea(V, A), T).
+    initiatedAt(moving(V)=true, T) :- happensAt(velocity(V, S), T), S >= 3.
+    terminatedAt(moving(V)=true, T) :- happensAt(velocity(V, S), T), S < 3.
+    holdsFor(busy(V)=true, I) :-
+        holdsFor(inside(V, a1)=true, I1),
+        holdsFor(moving(V)=true, I2),
+        union_all([I1, I2], I).
+";
+
+const HORIZON: Timepoint = 120;
+
+/// One raw event of the scenario, pre-parse.
+fn event_src(kind: u8, vessel: u8, speed: u8) -> String {
+    match kind % 3 {
+        0 => format!("entersArea(v{}, a1)", vessel % 2),
+        1 => format!("leavesArea(v{}, a1)", vessel % 2),
+        _ => format!("velocity(v{}, {}.0)", vessel % 2, speed % 8),
+    }
+}
+
+/// Strategy: a time-sorted event stream over `[0, 100)`.
+fn sorted_stream() -> impl Strategy<Value = Vec<(String, Timepoint)>> {
+    prop::collection::vec(((0u8..3, 0u8..2, 0u8..8), 0i64..100), 1..40).prop_map(|raw| {
+        let mut events: Vec<(String, Timepoint)> = raw
+            .into_iter()
+            .map(|((k, v, s), t)| (event_src(k, v, s), t))
+            .collect();
+        events.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        events.dedup();
+        events
+    })
+}
+
+/// Parses the scenario events against one shared description.
+fn parse_events(events: &[(String, Timepoint)]) -> (Vec<(Term, Timepoint)>, EventDescription) {
+    let mut desc = EventDescription::parse(DESC).expect("parse");
+    let parsed = events
+        .iter()
+        .map(|(src, t)| (desc.term(src).expect("event term"), *t))
+        .collect();
+    (parsed, desc)
+}
+
+/// Renders recognition output as the byte string the property compares.
+fn recognize_batch(events: Vec<(Term, Timepoint)>) -> String {
+    let desc = EventDescription::parse(DESC).expect("parse");
+    let compiled = desc.compile().expect("compile");
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    engine.add_events(events);
+    engine.run_to(HORIZON);
+    render(engine)
+}
+
+/// Feeds an arrival order through a reorder buffer in front of the
+/// engine; returns the rendered output plus the ledger-style refusal
+/// counts indexed by [`DeadLetterReason::index`].
+fn recognize_via_buffer(
+    arrivals: Vec<(Term, Timepoint)>,
+    slack: Timepoint,
+    dedup: bool,
+) -> (String, [u64; DeadLetterReason::ALL.len()]) {
+    let desc = EventDescription::parse(DESC).expect("parse");
+    let compiled = desc.compile().expect("compile");
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    let mut buf = ReorderBuffer::new(slack, dedup);
+    let mut refused = [0u64; DeadLetterReason::ALL.len()];
+    for (event, t) in arrivals {
+        match buf.push(event, t) {
+            Ok(()) => {}
+            Err(reason) => refused[reason.index()] += 1,
+        }
+        for (event, t) in buf.drain_ready() {
+            engine.add_event(event, t);
+        }
+    }
+    for (event, t) in buf.flush() {
+        engine.add_event(event, t);
+    }
+    engine.run_to(HORIZON);
+    (render(engine), refused)
+}
+
+fn render(engine: Engine) -> String {
+    let symbols = engine.symbols().clone();
+    let output = engine.into_output();
+    let mut rows: Vec<String> = output
+        .iter()
+        .map(|(fvp, list)| format!("holdsFor({}) = {}", fvp.display(&symbols), list))
+        .collect();
+    rows.sort();
+    rows.join("\n")
+}
+
+/// A within-slack arrival order: each event is delayed by at most
+/// `slack` timepoints relative to the stream frontier, which is exactly
+/// the disorder the buffer guarantees to absorb. (Sorting by `t + delay`
+/// means that when an event stamped `t` arrives, everything seen before
+/// it has timestamp at most `t + slack`, so the watermark is at most
+/// `t`.)
+fn permute_within_slack(
+    events: &[(Term, Timepoint)],
+    delays: &[Timepoint],
+    slack: Timepoint,
+) -> Vec<(Term, Timepoint)> {
+    let mut keyed: Vec<(Timepoint, usize)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, t))| (t + delays[i % delays.len().max(1)].min(slack), i))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, i)| events[i].clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Headline property: a within-slack permutation recognises
+    /// byte-identically to the sorted batch run, with an empty ledger.
+    #[test]
+    fn within_slack_permutation_is_byte_identical(
+        stream in sorted_stream(),
+        slack in 0i64..25,
+        delays in prop::collection::vec(0i64..25, 1..40),
+    ) {
+        let (events, _) = parse_events(&stream);
+        let arrivals = permute_within_slack(&events, &delays, slack);
+        let batch = recognize_batch(events);
+        let (via_buffer, refused) = recognize_via_buffer(arrivals, slack, false);
+        prop_assert_eq!(refused, [0u64; DeadLetterReason::ALL.len()]);
+        prop_assert_eq!(via_buffer, batch);
+    }
+
+    /// Duplicated within-slack arrivals under dedup: still byte-identical,
+    /// and every duplicate is refused with the `duplicate` reason.
+    #[test]
+    fn duplicates_are_absorbed_under_dedup(
+        stream in sorted_stream(),
+        slack in 0i64..25,
+        delays in prop::collection::vec(0i64..25, 1..40),
+        dup_every in 1usize..5,
+    ) {
+        let (events, _) = parse_events(&stream);
+        let mut arrivals = Vec::new();
+        let mut duplicates = 0u64;
+        for (i, pair) in permute_within_slack(&events, &delays, slack).into_iter().enumerate() {
+            arrivals.push(pair.clone());
+            if i % dup_every == 0 {
+                arrivals.push(pair);
+                duplicates += 1;
+            }
+        }
+        let batch = recognize_batch(events);
+        let (via_buffer, refused) = recognize_via_buffer(arrivals, slack, true);
+        prop_assert_eq!(refused[DeadLetterReason::Duplicate.index()], duplicates);
+        prop_assert_eq!(refused[DeadLetterReason::Late.index()], 0);
+        prop_assert_eq!(via_buffer, batch);
+    }
+
+    /// Under *arbitrary* (not slack-bounded) arrival orders the watermark
+    /// never decreases, releases come out time-sorted, negative stamps
+    /// are refused as malformed, and accepted + refused = offered.
+    #[test]
+    fn watermark_is_monotone_under_arbitrary_disorder(
+        stream in sorted_stream(),
+        order in prop::collection::vec(0u64..u64::MAX, 1..40),
+        slack in 0i64..10,
+        negatives in 0usize..3,
+    ) {
+        let (mut events, _) = parse_events(&stream);
+        // Shuffle by sort key and sprinkle malformed (negative) stamps.
+        let mut keyed: Vec<(u64, usize)> = (0..events.len())
+            .map(|i| (order[i % order.len()].wrapping_mul(i as u64 + 1), i))
+            .collect();
+        keyed.sort();
+        let arrivals: Vec<(Term, Timepoint)> =
+            keyed.into_iter().map(|(_, i)| events[i].clone()).collect();
+        for k in 0..negatives.min(events.len()) {
+            events[k].1 = -1 - k as i64;
+        }
+
+        let mut buf = ReorderBuffer::new(slack, false);
+        let mut watermark = buf.watermark();
+        let mut last_released = watermark;
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        let mut released = 0u64;
+        let offered = arrivals.len() as u64 + negatives.min(events.len()) as u64;
+        let feed = events[..negatives.min(events.len())]
+            .iter()
+            .cloned()
+            .chain(arrivals);
+        for (event, t) in feed {
+            match buf.push(event, t) {
+                Ok(()) => accepted += 1,
+                Err(DeadLetterReason::Malformed) => {
+                    prop_assert!(t < 0);
+                    refused += 1;
+                }
+                Err(DeadLetterReason::Late) => {
+                    prop_assert!(t < buf.watermark());
+                    refused += 1;
+                }
+                Err(other) => prop_assert!(false, "unexpected refusal {other:?}"),
+            }
+            prop_assert!(buf.watermark() >= watermark, "watermark went backwards");
+            watermark = buf.watermark();
+            for (_, rt) in buf.drain_ready() {
+                prop_assert!(rt >= last_released, "release order broken");
+                last_released = rt;
+                released += 1;
+            }
+        }
+        released += buf.flush().len() as u64;
+        prop_assert_eq!(accepted, released, "accepted events must all release");
+        prop_assert_eq!(accepted + refused, offered);
+    }
+}
+
+/// Pins the dead-letter reason taxonomy: wire names, ordering, and the
+/// string round-trip. Renaming or reordering a reason is a breaking
+/// protocol change (docs/INGEST.md) and must fail here first.
+#[test]
+fn dead_letter_taxonomy_is_pinned() {
+    let names: Vec<&str> = DeadLetterReason::ALL.iter().map(|r| r.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["late", "duplicate", "past_horizon", "malformed", "shed"]
+    );
+    for (i, reason) in DeadLetterReason::ALL.iter().enumerate() {
+        assert_eq!(reason.index(), i);
+        assert_eq!(DeadLetterReason::from_str(reason.as_str()), Some(*reason));
+    }
+    assert_eq!(DeadLetterReason::from_str("gone"), None);
+}
