@@ -1,0 +1,180 @@
+//! Headline replay benchmark: the maritime critical-event stream
+//! replayed through an in-process rtec-service session at several shard
+//! counts, interpreter vs compiled-plan evaluator, reported as events
+//! per second in `BENCH_replay.json`.
+//!
+//! Run from the repository root (release profile, or the numbers are
+//! meaningless):
+//!
+//! ```text
+//! cargo run --release -p bench --bin replay_bench [-- OUTPUT.json]
+//! ```
+//!
+//! Unlike the Criterion benches (which track regressions), this runner
+//! produces the checked-in measurement that pins the plan evaluator's
+//! speedup claim; see docs/PLAN.md.
+
+use maritime::{BrestScenario, Dataset};
+use rtec::engine::EvalMode;
+use rtec_service::{Session, SessionConfig};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct Workload {
+    gold: String,
+    events: Vec<(i64, String)>,
+    intervals: Vec<rtec_service::client::IntervalDecl>,
+    horizon: i64,
+}
+
+fn workload() -> Workload {
+    let dataset = Dataset::generate(&BrestScenario::default());
+    let symbols = &dataset.stream.symbols;
+    let mut events: Vec<(i64, String)> = dataset
+        .stream
+        .events()
+        .iter()
+        .map(|(ev, t)| (*t, ev.display(symbols).to_string()))
+        .collect();
+    events.sort_by_key(|&(t, _)| t);
+    let intervals = dataset
+        .stream
+        .intervals()
+        .iter()
+        .map(|(fvp, list)| {
+            (
+                fvp.fluent.display(symbols).to_string(),
+                fvp.value.display(symbols).to_string(),
+                list.iter().map(|iv| (iv.start, iv.end)).collect(),
+            )
+        })
+        .collect();
+    Workload {
+        gold: format!("{}\n{}", maritime::gold::GOLD_RULES, dataset.background),
+        events,
+        intervals,
+        horizon: dataset.horizon() + 1,
+    }
+}
+
+const TICKS: i64 = 12;
+
+fn replay(w: &Workload, shards: usize, eval: EvalMode) -> usize {
+    let mut session = Session::open(
+        "bench",
+        &w.gold,
+        SessionConfig {
+            window: None,
+            shards,
+            queue_capacity: 1024,
+            eval,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("open");
+    for (fluent, value, pairs) in &w.intervals {
+        session
+            .ingest_intervals(fluent, value, pairs)
+            .expect("intervals");
+    }
+    let step = (w.horizon / TICKS).max(1);
+    let mut next_tick = step;
+    for &(t, ref ev) in &w.events {
+        if t >= next_tick {
+            session.tick(next_tick - 1).expect("tick");
+            next_tick += ((t - next_tick) / step + 1) * step;
+        }
+        session.ingest_event(ev, t).expect("event");
+    }
+    session.tick(w.horizon).expect("final tick");
+    let (out, _) = session.query().expect("query");
+    let n = out.len();
+    session.close().expect("close");
+    n
+}
+
+/// Times `runs` replays and returns the median wall-clock seconds (the
+/// statistic least disturbed by a one-off scheduler hiccup).
+fn measure(w: &Workload, shards: usize, eval: EvalMode, warmup: usize, runs: usize) -> f64 {
+    let mut fvps = None;
+    for _ in 0..warmup {
+        let n = replay(w, shards, eval);
+        assert!(n > 0, "replay recognised nothing");
+        fvps = Some(n);
+    }
+    let mut seconds: Vec<f64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            let n = replay(w, shards, eval);
+            let elapsed = started.elapsed().as_secs_f64();
+            assert_eq!(Some(n), fvps, "output size changed between runs");
+            elapsed
+        })
+        .collect();
+    seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    seconds[seconds.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_replay.json".to_string());
+    // Per-replay session open/close info events would swamp the output;
+    // keep only warnings.
+    rtec_obs::set_max_level(rtec_obs::Level::Warn);
+
+    let w = workload();
+    let n_events = w.events.len();
+    let (warmup, runs) = (1usize, 5usize);
+
+    let mut results = Vec::new();
+    let mut speedups = BTreeMap::new();
+    for shards in [1usize, 2, 4] {
+        let mut per_mode = BTreeMap::new();
+        for eval in [EvalMode::Interpreter, EvalMode::Plan] {
+            let median = measure(&w, shards, eval, warmup, runs);
+            let eps = n_events as f64 / median;
+            eprintln!(
+                "shards={shards} eval={}: {:.3}s median, {:.0} events/s",
+                eval.as_str(),
+                median,
+                eps
+            );
+            per_mode.insert(eval.as_str(), (median, eps));
+            let mut row = BTreeMap::new();
+            row.insert("shards".to_string(), Value::from(shards));
+            row.insert("eval".to_string(), Value::from(eval.as_str()));
+            row.insert("seconds_median".to_string(), Value::from(median));
+            row.insert(
+                "events_per_sec".to_string(),
+                Value::from((eps * 10.0).round() / 10.0),
+            );
+            results.push(Value::Object(row.into_iter().collect()));
+        }
+        let interp = per_mode["interpreter"].1;
+        let plan = per_mode["plan"].1;
+        speedups.insert(
+            shards.to_string(),
+            Value::from(((plan / interp) * 1000.0).round() / 1000.0),
+        );
+    }
+
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Value::from("service/replay_maritime"));
+    doc.insert("dataset".to_string(), Value::from("brest_default"));
+    doc.insert("events".to_string(), Value::from(n_events));
+    doc.insert("ticks".to_string(), Value::from(TICKS));
+    doc.insert("warmup_runs".to_string(), Value::from(warmup));
+    doc.insert("measured_runs".to_string(), Value::from(runs));
+    doc.insert("statistic".to_string(), Value::from("median"));
+    doc.insert("results".to_string(), Value::Array(results));
+    doc.insert(
+        "plan_speedup_by_shards".to_string(),
+        Value::Object(speedups.into_iter().collect()),
+    );
+    let json = serde_json::to_string_pretty(&Value::Object(doc.into_iter().collect()))
+        .expect("render json");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write output");
+    eprintln!("wrote {out_path}");
+}

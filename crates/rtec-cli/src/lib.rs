@@ -7,9 +7,11 @@
 //!   `inputEvent/1` / `inputFluent/1` declarations, and run the
 //!   `rtec-lint` semantic analyzer (docs/LINTS.md); `--format json`
 //!   emits the diagnostics as a stable JSON array;
-//! * `rtec run <description.rtec> <events.evt> [--window W] [--horizon H]`
-//!   — recognise composite activities over an event file and print the
-//!   maximal intervals of every detected fluent-value pair;
+//! * `rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
+//!   [--eval interpreter|plan]` — recognise composite activities over an
+//!   event file and print the maximal intervals of every detected
+//!   fluent-value pair, with either the AST interpreter or the compiled
+//!   evaluation plan (docs/PLAN.md);
 //! * `rtec similarity <a.rtec> <b.rtec>` — the paper's event-description
 //!   similarity, with the per-rule matching report.
 //!
@@ -64,7 +66,7 @@ pub enum Command {
         /// Output format.
         format: CheckFormat,
     },
-    /// `run <desc> <events> [--window W] [--horizon H]`
+    /// `run <desc> <events> [--window W] [--horizon H] [--eval MODE]`
     Run {
         /// Path to the event description.
         desc: String,
@@ -74,6 +76,8 @@ pub enum Command {
         window: Option<Timepoint>,
         /// Optional horizon (defaults to the last event).
         horizon: Option<Timepoint>,
+        /// Window evaluator (defaults to `RTEC_EVAL`, then interpreter).
+        eval: rtec::engine::EvalMode,
     },
     /// `similarity <a> <b>`
     Similarity {
@@ -130,6 +134,7 @@ rtec — Run-Time Event Calculus command line
 USAGE:
     rtec check <description.rtec> [--format text|json]
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
+             [--eval interpreter|plan]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
                [--metrics-addr HOST:PORT] [--checkpoint-dir DIR]
@@ -153,6 +158,9 @@ enables the `restore` command (docs/ROBUSTNESS.md).
 `dataset` imports an AIS CSV, skipping and recording corrupt rows; it
 fails (exit 3) only when no row survives, `--strict` aborts on the
 first corrupt row instead.
+`run --eval plan` evaluates windows with the compiled plan instead of
+the AST interpreter (observationally identical; see docs/PLAN.md); the
+RTEC_EVAL environment variable sets the default.
 Diagnostics are JSON-line events on stderr, filtered by RTEC_LOG
 (error|warn|info|debug; default info).
 ";
@@ -201,10 +209,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .clone();
             let mut window = None;
             let mut horizon = None;
+            let mut eval = rtec::engine::EvalMode::from_env();
             while let Some(flag) = it.next() {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
+                if flag == "--eval" {
+                    eval = rtec::engine::EvalMode::parse(value).ok_or_else(|| {
+                        CliError::new(format!("--eval {value}: expected interpreter|plan"), 2)
+                    })?;
+                    continue;
+                }
                 let parsed: Timepoint = value
                     .parse()
                     .map_err(|e| CliError::new(format!("{flag} {value}: {e}"), 2))?;
@@ -219,6 +234,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 events,
                 window,
                 horizon,
+                eval,
             })
         }
         Some("serve") => {
@@ -488,6 +504,7 @@ pub fn run_source(
     events_src: &str,
     window: Option<Timepoint>,
     horizon: Option<Timepoint>,
+    eval: rtec::engine::EvalMode,
 ) -> Result<String, CliError> {
     let desc = EventDescription::parse_lenient(desc_src);
     let compiled = desc
@@ -499,7 +516,13 @@ pub fn run_source(
         Some(w) => EngineConfig::windowed(w),
         None => EngineConfig::default(),
     };
-    let mut engine = Engine::new(&compiled, config);
+    let mut engine = match eval {
+        rtec::engine::EvalMode::Interpreter => Engine::new(&compiled, config),
+        rtec::engine::EvalMode::Plan => {
+            use rtec_plan::WithPlan as _;
+            Engine::with_plan(&compiled, config)
+        }
+    };
     stream.load_into(&mut engine);
     engine.run_to(horizon);
     let symbols = engine.symbols().clone();
@@ -726,9 +749,21 @@ mod tests {
                 desc: "a.rtec".into(),
                 events: "e.evt".into(),
                 window: Some(3600),
-                horizon: None
+                horizon: None,
+                eval: rtec::engine::EvalMode::from_env()
             }
         );
+        assert_eq!(
+            parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "plan"])).unwrap(),
+            Command::Run {
+                desc: "a.rtec".into(),
+                events: "e.evt".into(),
+                window: None,
+                horizon: None,
+                eval: rtec::engine::EvalMode::Plan
+            }
+        );
+        assert!(parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "magic"])).is_err());
         assert_eq!(
             parse_args(&s(&["similarity", "a.rtec", "b.rtec"])).unwrap(),
             Command::Similarity {
@@ -1035,16 +1070,26 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
 
     #[test]
     fn run_end_to_end() {
+        use rtec::engine::EvalMode;
         let events = "10 entersArea(v1, a1)\n30 leavesArea(v1, a1)\n";
-        let out = run_source(DESC, events, None, None).unwrap();
+        let out = run_source(DESC, events, None, None, EvalMode::Interpreter).unwrap();
         assert!(
             out.contains("holdsFor(inside(v1, a1)=true) = [[11, 31)]"),
             "{out}"
         );
         assert!(out.contains("2 events in 1 window(s)"));
         // Windowed run gives the same intervals.
-        let windowed = run_source(DESC, events, Some(7), None).unwrap();
+        let windowed = run_source(DESC, events, Some(7), None, EvalMode::Interpreter).unwrap();
         assert!(windowed.contains("[[11, 31)]"));
+        // The plan evaluator renders byte-identical output in both shapes.
+        assert_eq!(
+            out,
+            run_source(DESC, events, None, None, EvalMode::Plan).unwrap()
+        );
+        assert_eq!(
+            windowed,
+            run_source(DESC, events, Some(7), None, EvalMode::Plan).unwrap()
+        );
     }
 
     #[test]

@@ -109,8 +109,9 @@ fn main() -> ExitCode {
             events,
             window,
             horizon,
+            eval,
         } => read(&desc)
-            .and_then(|d| read(&events).and_then(|e| run_source(&d, &e, window, horizon))),
+            .and_then(|d| read(&events).and_then(|e| run_source(&d, &e, window, horizon, eval))),
         Command::Similarity { a, b } => {
             read(&a).and_then(|sa| read(&b).map(|sb| similarity_sources(&sa, &sb)))
         }

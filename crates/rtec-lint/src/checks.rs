@@ -6,6 +6,7 @@ use crate::model::DescriptionModel;
 use crate::{codes, Diagnostic};
 use rtec::ast::{BodyLiteral, CmpOp, FluentKey, SimpleKind, StaticLiteral};
 use rtec::error::Severity;
+use rtec::semantics::FluentGraph;
 use rtec::symbol::Symbol;
 use rtec::term::Term;
 use std::collections::{BTreeMap, BTreeSet};
@@ -259,7 +260,9 @@ pub fn kind_conflicts(model: &DescriptionModel<'_>, out: &mut Vec<Diagnostic>) {
 /// RL0301: cycles in the fluent dependency graph. A cycle makes the
 /// engine's stratified bottom-up evaluation impossible; `compile()`
 /// would fail with `CyclicDependency`, so the analyzer reports it
-/// first, with positions.
+/// first, with positions. The graph itself — and the cycle enumeration —
+/// lives in [`rtec::semantics`], shared with the compiler's stratifier
+/// and rtec-plan's stratum schedule.
 pub fn dependency_cycles(model: &DescriptionModel<'_>, out: &mut Vec<Diagnostic>) {
     // clause index -> defined key, so body refs can be attributed.
     let mut clause_defines: BTreeMap<usize, FluentKey> = BTreeMap::new();
@@ -273,62 +276,13 @@ pub fn dependency_cycles(model: &DescriptionModel<'_>, out: &mut Vec<Diagnostic>
             clause_defines.insert(c, key);
         }
     }
-    // Dependency edges: defining fluent -> referenced (defined) fluent.
-    let mut deps: BTreeMap<FluentKey, BTreeSet<FluentKey>> = BTreeMap::new();
+    let mut graph = FluentGraph::new(model.defined.keys().copied());
     for r in &model.fluent_refs {
         if let Some(&from) = clause_defines.get(&r.clause) {
-            if model.defined.contains_key(&r.key) {
-                deps.entry(from).or_default().insert(r.key);
-            }
+            graph.add_dependency(from, r.key);
         }
     }
-
-    // Depth-first search; a back edge onto the stack yields a cycle.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Color {
-        White,
-        Grey,
-        Black,
-    }
-    let mut color: BTreeMap<FluentKey, Color> =
-        model.defined.keys().map(|&k| (k, Color::White)).collect();
-    let mut reported: BTreeSet<BTreeSet<FluentKey>> = BTreeSet::new();
-    fn dfs(
-        node: FluentKey,
-        deps: &BTreeMap<FluentKey, BTreeSet<FluentKey>>,
-        color: &mut BTreeMap<FluentKey, Color>,
-        stack: &mut Vec<FluentKey>,
-        cycles: &mut Vec<Vec<FluentKey>>,
-    ) {
-        color.insert(node, Color::Grey);
-        stack.push(node);
-        if let Some(next) = deps.get(&node) {
-            for &n in next {
-                match color.get(&n).copied().unwrap_or(Color::Black) {
-                    Color::White => dfs(n, deps, color, stack, cycles),
-                    Color::Grey => {
-                        let start = stack.iter().position(|&k| k == n).unwrap_or(0);
-                        cycles.push(stack[start..].to_vec());
-                    }
-                    Color::Black => {}
-                }
-            }
-        }
-        stack.pop();
-        color.insert(node, Color::Black);
-    }
-    let mut cycles = Vec::new();
-    let keys: Vec<FluentKey> = model.defined.keys().copied().collect();
-    for k in keys {
-        if color.get(&k) == Some(&Color::White) {
-            dfs(k, &deps, &mut color, &mut Vec::new(), &mut cycles);
-        }
-    }
-    for cycle in cycles {
-        let set: BTreeSet<FluentKey> = cycle.iter().copied().collect();
-        if !reported.insert(set) {
-            continue;
-        }
+    for cycle in graph.cycles() {
         let mut path: Vec<String> = cycle.iter().map(|&k| model.key_name(k)).collect();
         path.push(model.key_name(cycle[0]));
         let clause = cycle

@@ -1,0 +1,201 @@
+//! Frame-backed arithmetic evaluation.
+//!
+//! The interpreter's [`rtec::eval::arith`] resolves variables through
+//! `Bindings`; these mirrors resolve through a [`Frame`] and are kept
+//! structurally identical so that every outcome — including the exact
+//! failure strings that become engine warnings, which display *unapplied*
+//! sub-terms — matches byte for byte.
+
+use crate::frame::{resolve, Frame};
+use rtec::ast::CmpOp;
+use rtec::eval::arith::{ArithIssue, CompareOutcome};
+use rtec::symbol::SymbolTable;
+use rtec::term::Term;
+
+/// Evaluates `term` to a number under the frame — the frame-backed
+/// mirror of [`rtec::eval::arith::eval_num`].
+pub fn eval_num_frame(
+    term: &Term,
+    frame: &Frame<'_>,
+    symbols: &SymbolTable,
+) -> Result<f64, ArithIssue> {
+    match term {
+        Term::Int(i) => Ok(*i as f64),
+        Term::Float(f) => Ok(*f),
+        Term::Var(v) => match frame.lookup_sym(*v) {
+            Some(bound) => eval_num_frame(&bound.clone(), frame, symbols),
+            None => Err(ArithIssue::Unbound(symbols.name(*v).to_owned())),
+        },
+        Term::Compound(f, args) => {
+            let name = symbols.name(*f);
+            match (name, args.len()) {
+                ("+", 2) => Ok(eval_num_frame(&args[0], frame, symbols)?
+                    + eval_num_frame(&args[1], frame, symbols)?),
+                ("-", 2) => Ok(eval_num_frame(&args[0], frame, symbols)?
+                    - eval_num_frame(&args[1], frame, symbols)?),
+                ("*", 2) => Ok(eval_num_frame(&args[0], frame, symbols)?
+                    * eval_num_frame(&args[1], frame, symbols)?),
+                ("/", 2) => {
+                    let d = eval_num_frame(&args[1], frame, symbols)?;
+                    if d == 0.0 {
+                        return Err(ArithIssue::DivisionByZero);
+                    }
+                    Ok(eval_num_frame(&args[0], frame, symbols)? / d)
+                }
+                ("abs", 1) => Ok(eval_num_frame(&args[0], frame, symbols)?.abs()),
+                ("min", 2) => Ok(eval_num_frame(&args[0], frame, symbols)?
+                    .min(eval_num_frame(&args[1], frame, symbols)?)),
+                ("max", 2) => Ok(eval_num_frame(&args[0], frame, symbols)?
+                    .max(eval_num_frame(&args[1], frame, symbols)?)),
+                _ => Err(ArithIssue::NotNumeric(term.display(symbols).to_string())),
+            }
+        }
+        _ => Err(ArithIssue::NotNumeric(term.display(symbols).to_string())),
+    }
+}
+
+/// Evaluates `lhs op rhs` under the frame — the frame-backed mirror of
+/// [`rtec::eval::arith::compare`], including `=`-as-assignment binding
+/// the evaluated number rather than the raw expression.
+pub fn compare_frame(
+    op: CmpOp,
+    lhs: &Term,
+    rhs: &Term,
+    frame: &mut Frame<'_>,
+    symbols: &SymbolTable,
+) -> CompareOutcome {
+    let ln = eval_num_frame(lhs, frame, symbols);
+    let rn = eval_num_frame(rhs, frame, symbols);
+    if let (Ok(l), Ok(r)) = (&ln, &rn) {
+        let v = match op {
+            CmpOp::Eq => l == r,
+            CmpOp::Neq => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Gt => l > r,
+            CmpOp::Le => l <= r,
+            CmpOp::Ge => l >= r,
+        };
+        return CompareOutcome::Decided(v);
+    }
+    let la = resolve(lhs, frame);
+    let ra = resolve(rhs, frame);
+    let as_value = |side: Term, num: Result<f64, ArithIssue>| -> Term {
+        match (&side, num) {
+            (Term::Compound(..), Ok(x)) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    Term::Int(x as i64)
+                } else {
+                    Term::Float(x)
+                }
+            }
+            _ => side,
+        }
+    };
+    match op {
+        CmpOp::Eq => {
+            if la.is_ground() && ra.is_ground() {
+                CompareOutcome::Decided(la == ra)
+            } else if let (Term::Var(v), true) = (&la, ra.is_ground()) {
+                let v = *v;
+                let value = as_value(ra, rn);
+                frame.bind_sym(v, value);
+                CompareOutcome::Bound
+            } else if let (true, Term::Var(v)) = (la.is_ground(), &ra) {
+                let v = *v;
+                let value = as_value(la, ln);
+                frame.bind_sym(v, value);
+                CompareOutcome::Bound
+            } else {
+                CompareOutcome::Failed(ArithIssue::Unbound(format!(
+                    "{} = {}",
+                    la.display(symbols),
+                    ra.display(symbols)
+                )))
+            }
+        }
+        CmpOp::Neq => {
+            if la.is_ground() && ra.is_ground() {
+                CompareOutcome::Decided(la != ra)
+            } else {
+                CompareOutcome::Failed(ArithIssue::Unbound(format!(
+                    "{} \\= {}",
+                    la.display(symbols),
+                    ra.display(symbols)
+                )))
+            }
+        }
+        _ => CompareOutcome::Failed(match (ln, rn) {
+            (Err(e), _) | (_, Err(e)) => e,
+            _ => unreachable!("numeric fast path handled Ok/Ok"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::VarTable;
+    use rtec::eval::arith::{compare, eval_num};
+    use rtec::parser::parse_term;
+    use rtec::term::Bindings;
+
+    /// Every outcome of the frame-backed mirrors must match the
+    /// binding-backed originals, including failure strings.
+    #[test]
+    fn mirrors_agree_with_bindings_arith() {
+        let mut sym = SymbolTable::new();
+        let exprs = [
+            "X + 1",
+            "abs(X - Y) * 2",
+            "f(X)",
+            "Speed / 0",
+            "min(X, 3) + max(Y, 4)",
+            "Unknown",
+        ];
+        let x = sym.intern("X");
+        let y = sym.intern("Y");
+        let mut vars = VarTable::default();
+        let sx = vars.intern(x);
+        let sy = vars.intern(y);
+        for src in exprs {
+            let t = parse_term(src, &mut sym).unwrap();
+            let mut b = Bindings::new();
+            b.bind(x, Term::Int(5));
+            b.bind(y, Term::Float(2.5));
+            let mut frame = Frame::new(&vars);
+            frame.bind_slot(sx, Term::Int(5));
+            frame.bind_slot(sy, Term::Float(2.5));
+            let via_bindings = eval_num(&t, &b, &sym);
+            let via_frame = eval_num_frame(&t, &frame, &sym);
+            assert_eq!(via_bindings, via_frame, "{src}");
+        }
+    }
+
+    #[test]
+    fn compare_mirror_binds_same_values() {
+        let mut sym = SymbolTable::new();
+        let lhs = parse_term("D", &mut sym).unwrap();
+        let rhs = parse_term("X + 1", &mut sym).unwrap();
+        let d = sym.get("D").unwrap();
+        let x = sym.get("X").unwrap();
+        let mut vars = VarTable::default();
+        let sd = vars.intern(d);
+        let sx = vars.intern(x);
+
+        let mut b = Bindings::new();
+        b.bind(x, Term::Int(5));
+        let mut frame = Frame::new(&vars);
+        frame.bind_slot(sx, Term::Int(5));
+
+        assert!(matches!(
+            compare(CmpOp::Eq, &lhs, &rhs, &mut b, &sym),
+            CompareOutcome::Bound
+        ));
+        assert!(matches!(
+            compare_frame(CmpOp::Eq, &lhs, &rhs, &mut frame, &sym),
+            CompareOutcome::Bound
+        ));
+        assert_eq!(b.lookup(d), frame.get_slot(sd));
+        assert_eq!(frame.get_slot(sd), Some(&Term::Int(6)));
+    }
+}

@@ -1,0 +1,528 @@
+//! The plan evaluator: executes lowered rules over one window.
+//!
+//! Every function here is a structural mirror of an interpreter path
+//! (`rtec::eval::simple`, `rtec::eval::body`, `rtec::eval::statics`)
+//! with `Bindings` replaced by slot-indexed [`Frame`]s and the per-rule
+//! interval environment replaced by a dense register file. The mirrors
+//! must stay *observationally identical* — same cache inserts, same
+//! inertia updates, same warning texts in the same first-occurrence
+//! order — which the differential tests pin down. Where this module
+//! interleaves work the interpreter staged (matching candidates while
+//! recursing instead of collecting clones first), the interleaving is
+//! safe because matching never emits warnings and the fluent cache is
+//! immutable while a rule body is being solved.
+
+use crate::arith::compare_frame;
+use crate::frame::{match_lterm, match_resolved, materialize, Frame};
+use crate::ir::{LBody, LStatic, LoweredSimple, LoweredStatic};
+use rtec::ast::{FluentKey, SimpleKind, StaticLiteral, StaticRule};
+use rtec::background::FactStore;
+use rtec::eval::arith::CompareOutcome;
+use rtec::eval::cache::FluentCache;
+use rtec::eval::events::EventIndex;
+use rtec::eval::simple::{finalize_simple_fluent, InertiaState, PointCollector};
+use rtec::eval::WarningSink;
+use rtec::interval::{IntervalList, Timepoint};
+use rtec::symbol::{Symbol, SymbolTable};
+use rtec::term::{match_term, Bindings, GroundFvp, Term};
+use std::collections::HashSet;
+
+/// Read-only evaluation context shared by all rules of one window.
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) symbols: &'a SymbolTable,
+    pub(crate) eq: Symbol,
+    pub(crate) facts: &'a FactStore,
+    /// Fluent keys the description defines (simple or static).
+    pub(crate) defined: &'a HashSet<FluentKey>,
+    pub(crate) events: &'a EventIndex,
+}
+
+/// Evaluates all lowered rules of simple fluent `key` for one window —
+/// the plan mirror of [`rtec::eval::simple::evaluate_simple_fluent`].
+/// Interval assembly and inertia are shared verbatim through
+/// [`finalize_simple_fluent`].
+pub(crate) fn eval_simple_stratum(
+    ctx: &ExecCtx<'_>,
+    key: FluentKey,
+    rules: &[LoweredSimple],
+    cache: &mut FluentCache<'_>,
+    inertia: &mut InertiaState,
+    warnings: &mut WarningSink,
+) {
+    let mut collector = PointCollector::new();
+    // Warnings raised inside the solution callback (which already borrows
+    // the main sink) are buffered, matching the interpreter's ordering.
+    let mut deferred_warnings: Vec<String> = Vec::new();
+
+    for rule in rules {
+        let mut frame = Frame::new(&rule.vars);
+        for (t, ev) in ctx.events.all(rule.first_sig) {
+            frame.clear();
+            if !match_lterm(&rule.first_event, ev, &mut frame) {
+                continue;
+            }
+            // The head's time variable is visible to comparisons.
+            if frame.get_slot(rule.time_slot).is_none() {
+                frame.bind_slot(rule.time_slot, Term::Int(*t));
+            }
+            let t = *t;
+            solve_body(
+                ctx,
+                cache,
+                &rule.body,
+                0,
+                t,
+                &mut frame,
+                warnings,
+                &mut |fr: &mut Frame<'_>| {
+                    let fluent = materialize(&rule.head_fluent, fr);
+                    let value = materialize(&rule.head_value, fr);
+                    if !fluent.is_ground() || !value.is_ground() {
+                        if rule.rule.kind == SimpleKind::Terminated {
+                            let pat = Term::Compound(ctx.eq, vec![fluent, value]);
+                            collector.record_pattern_termination(pat, t);
+                        } else {
+                            deferred_warnings.push(format!(
+                                "initiatedAt head '{}' not fully instantiated; \
+                                 instance dropped",
+                                rule.rule.fvp.display(ctx.symbols)
+                            ));
+                        }
+                        return;
+                    }
+                    collector.record(rule.rule.kind, fluent, value, t);
+                },
+            );
+        }
+    }
+
+    for w in deferred_warnings {
+        warnings.push(w);
+    }
+
+    finalize_simple_fluent(key, ctx.eq, collector, cache, inertia);
+}
+
+/// Solves `body[idx..]` at time `t` under `frame` — the plan mirror of
+/// [`rtec::eval::body::solve`]. The frame is restored on return.
+#[allow(clippy::too_many_arguments)]
+fn solve_body(
+    ctx: &ExecCtx<'_>,
+    cache: &FluentCache<'_>,
+    body: &[LBody],
+    idx: usize,
+    t: Timepoint,
+    frame: &mut Frame<'_>,
+    warnings: &mut WarningSink,
+    on_solution: &mut dyn FnMut(&mut Frame<'_>),
+) {
+    let Some(lit) = body.get(idx) else {
+        on_solution(frame);
+        return;
+    };
+    let mark = frame.mark();
+    match lit {
+        LBody::HappensAt {
+            negated: false,
+            event,
+            sig,
+        } => {
+            let sig = match sig {
+                Some(s) => Some(*s),
+                None => materialize(event, frame).signature(),
+            };
+            if let Some(sig) = sig {
+                for (_, ev) in ctx.events.at(sig, t) {
+                    if match_lterm(event, ev, frame) {
+                        solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                        frame.undo(mark);
+                    }
+                }
+            }
+        }
+        LBody::HappensAt {
+            negated: true,
+            event,
+            sig,
+        } => {
+            let exists = match sig {
+                Some(s) => {
+                    let evs = ctx.events.at(*s, t);
+                    !evs.is_empty() && {
+                        let pattern = materialize(event, frame);
+                        evs.iter()
+                            .any(|(_, ev)| match_term(&pattern, ev, &mut Bindings::new()))
+                    }
+                }
+                None => {
+                    let pattern = materialize(event, frame);
+                    pattern.signature().is_some_and(|s| {
+                        ctx.events
+                            .at(s, t)
+                            .iter()
+                            .any(|(_, ev)| match_term(&pattern, ev, &mut Bindings::new()))
+                    })
+                }
+            };
+            if !exists {
+                solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                frame.undo(mark);
+            }
+        }
+        LBody::HoldsAt {
+            negated,
+            fluent,
+            value,
+        } => {
+            let fluent = materialize(fluent, frame);
+            let value = materialize(value, frame);
+            let Some(key) = fluent.signature() else {
+                warnings.push("holdsAt over a non-predicate fluent".to_string());
+                return;
+            };
+            if !ctx.defined.contains(&key) && !cache.knows_key(key) {
+                warnings.push(format!(
+                    "undefined fluent '{}/{}' referenced in a rule body; it never holds",
+                    ctx.symbols.name(key.0),
+                    key.1
+                ));
+                // Negation-by-failure: an undefined fluent never holds.
+                if *negated {
+                    solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                    frame.undo(mark);
+                }
+                return;
+            }
+            if fluent.is_ground() && value.is_ground() {
+                let g = GroundFvp { fluent, value };
+                if cache.holds_at(&g, t) != *negated {
+                    solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                    frame.undo(mark);
+                }
+                return;
+            }
+            let pattern = Term::Compound(ctx.eq, vec![fluent, value]);
+            if *negated {
+                let mut any = false;
+                for inst in cache.instances(key) {
+                    if !cache.holds_at(inst, t) {
+                        continue;
+                    }
+                    let inst_term =
+                        Term::Compound(ctx.eq, vec![inst.fluent.clone(), inst.value.clone()]);
+                    if match_resolved(&pattern, &inst_term, frame) {
+                        frame.undo(mark);
+                        any = true;
+                        break;
+                    }
+                }
+                if !any {
+                    solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                    frame.undo(mark);
+                }
+            } else {
+                for inst in cache.instances(key) {
+                    if !cache.holds_at(inst, t) {
+                        continue;
+                    }
+                    let inst_term =
+                        Term::Compound(ctx.eq, vec![inst.fluent.clone(), inst.value.clone()]);
+                    if match_resolved(&pattern, &inst_term, frame) {
+                        solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                        frame.undo(mark);
+                    }
+                }
+            }
+        }
+        LBody::Atemporal {
+            negated: false,
+            pattern,
+            sig_warn,
+        } => {
+            let applied = materialize(pattern, frame);
+            if let Some(w) = sig_warn {
+                warnings.push(w.clone());
+            }
+            for fact in ctx.facts.candidates(&applied) {
+                if match_resolved(&applied, fact, frame) {
+                    solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                    frame.undo(mark);
+                }
+            }
+        }
+        LBody::Atemporal {
+            negated: true,
+            pattern,
+            ..
+        } => {
+            let applied = materialize(pattern, frame);
+            let exists = ctx
+                .facts
+                .candidates(&applied)
+                .iter()
+                .any(|fact| match_term(&applied, fact, &mut Bindings::new()));
+            if !exists {
+                solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                frame.undo(mark);
+            }
+        }
+        LBody::Compare { op, lhs, rhs } => match compare_frame(*op, lhs, rhs, frame, ctx.symbols) {
+            CompareOutcome::Decided(true) | CompareOutcome::Bound => {
+                solve_body(ctx, cache, body, idx + 1, t, frame, warnings, on_solution);
+                frame.undo(mark);
+            }
+            CompareOutcome::Decided(false) => {}
+            CompareOutcome::Failed(issue) => {
+                warnings.push(format!("comparison skipped: {issue}"));
+            }
+        },
+    }
+}
+
+/// Evaluates all lowered `holdsFor` rules of one static fluent — the
+/// plan mirror of [`rtec::eval::statics::evaluate_static_fluent`].
+pub(crate) fn eval_static_stratum(
+    ctx: &ExecCtx<'_>,
+    rules: &[LoweredStatic],
+    cache: &mut FluentCache<'_>,
+    warnings: &mut WarningSink,
+) {
+    for rule in rules {
+        let candidates = seed_candidates(ctx, &rule.rule, cache, warnings);
+        let mut results: Vec<(GroundFvp, IntervalList)> = Vec::new();
+        let mut frame = Frame::new(&rule.vars);
+        // Interval register file, reused across candidates: every literal
+        // restores its output register to `None` after backtracking, so
+        // the file is all-`None` between candidates.
+        let mut env: Vec<Option<IntervalList>> = vec![None; rule.n_regs];
+        for cand in &candidates {
+            frame.clear();
+            frame.load(cand);
+            exec_static(
+                ctx,
+                rule,
+                0,
+                &mut frame,
+                &mut env,
+                cache,
+                warnings,
+                &mut results,
+            );
+        }
+        for (g, list) in results {
+            cache.insert(g, list);
+        }
+    }
+}
+
+/// Phase 1 of static evaluation, shared logic-for-logic with the
+/// interpreter's `seed_candidates`: bindings obtained by matching every
+/// `holdsFor` condition of the *original* rule against the cached ground
+/// instances, deduplicated. Seeding works on names (`Bindings`); the
+/// result is loaded into the frame per candidate.
+fn seed_candidates(
+    ctx: &ExecCtx<'_>,
+    rule: &StaticRule,
+    cache: &FluentCache<'_>,
+    warnings: &mut WarningSink,
+) -> Vec<Bindings> {
+    let eq = ctx.eq;
+    let mut out: Vec<Bindings> = Vec::new();
+    let mut seen: HashSet<Vec<(Symbol, Term)>> = HashSet::new();
+    let push = |b: Bindings, seen: &mut HashSet<Vec<(Symbol, Term)>>, out: &mut Vec<Bindings>| {
+        let mut sig: Vec<(Symbol, Term)> = b.iter().map(|(v, t)| (v, t.clone())).collect();
+        sig.sort_by_key(|(v, _)| *v);
+        if seen.insert(sig) {
+            out.push(b);
+        }
+    };
+
+    for lit in &rule.body {
+        let StaticLiteral::HoldsFor { fvp, .. } = lit else {
+            continue;
+        };
+        let Some(k) = fvp.key() else { continue };
+        if !ctx.defined.contains(&k) && !cache.knows_key(k) {
+            warnings.push(format!(
+                "undefined fluent '{}/{}' referenced in a holdsFor rule; it never holds",
+                ctx.symbols.name(k.0),
+                k.1
+            ));
+            continue;
+        }
+        if fvp.fluent.is_ground() && fvp.value.is_ground() {
+            push(Bindings::new(), &mut seen, &mut out);
+            continue;
+        }
+        let pattern = Term::Compound(eq, vec![fvp.fluent.clone(), fvp.value.clone()]);
+        for inst in cache.instances(k) {
+            let inst_term = Term::Compound(eq, vec![inst.fluent.clone(), inst.value.clone()]);
+            let mut b = Bindings::new();
+            if match_term(&pattern, &inst_term, &mut b) {
+                push(b, &mut seen, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Phase 2: left-to-right evaluation with backtracking — the plan mirror
+/// of the interpreter's `eval_literals`, with the name-keyed interval
+/// environment replaced by the register file.
+#[allow(clippy::too_many_arguments)]
+fn exec_static(
+    ctx: &ExecCtx<'_>,
+    rule: &LoweredStatic,
+    idx: usize,
+    frame: &mut Frame<'_>,
+    env: &mut Vec<Option<IntervalList>>,
+    cache: &FluentCache<'_>,
+    warnings: &mut WarningSink,
+    results: &mut Vec<(GroundFvp, IntervalList)>,
+) {
+    let Some(lit) = rule.body.get(idx) else {
+        // All conditions satisfied: emit the head instance.
+        let fluent = materialize(&rule.head_fluent, frame);
+        let value = materialize(&rule.head_value, frame);
+        if !fluent.is_ground() || !value.is_ground() {
+            warnings.push(format!(
+                "holdsFor head '{}' not fully instantiated; instance dropped",
+                rule.rule.fvp.display(ctx.symbols)
+            ));
+            return;
+        }
+        let Some(list) = env[rule.out_reg as usize].as_ref() else {
+            return; // validation guarantees presence; defensive
+        };
+        if !list.is_empty() {
+            results.push((GroundFvp { fluent, value }, list.clone()));
+        }
+        return;
+    };
+
+    match lit {
+        LStatic::HoldsFor { fluent, value, out } => {
+            let fluent = materialize(fluent, frame);
+            let value = materialize(value, frame);
+            if fluent.is_ground() && value.is_ground() {
+                let g = GroundFvp { fluent, value };
+                let list = cache.get(&g).cloned().unwrap_or_default();
+                env[*out as usize] = Some(list);
+                exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+                env[*out as usize] = None;
+            } else {
+                let Some(k) = fluent.signature() else { return };
+                let pattern = Term::Compound(ctx.eq, vec![fluent, value]);
+                let mark = frame.mark();
+                for inst in cache.instances(k) {
+                    let inst_term =
+                        Term::Compound(ctx.eq, vec![inst.fluent.clone(), inst.value.clone()]);
+                    if match_resolved(&pattern, &inst_term, frame) {
+                        let list = cache.get(inst).cloned().unwrap_or_default();
+                        env[*out as usize] = Some(list);
+                        exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+                        env[*out as usize] = None;
+                        frame.undo(mark);
+                    }
+                }
+            }
+        }
+        LStatic::Union { inputs, out } => {
+            let u = {
+                let mut lists: Vec<&IntervalList> = Vec::with_capacity(inputs.len());
+                for r in inputs {
+                    match env[*r as usize].as_ref() {
+                        Some(l) => lists.push(l),
+                        None => return, // undefined interval register; validation rejects this
+                    }
+                }
+                IntervalList::union_all(&lists)
+            };
+            env[*out as usize] = Some(u);
+            exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+            env[*out as usize] = None;
+        }
+        LStatic::Intersect { inputs, out } => {
+            let i = {
+                let mut lists: Vec<&IntervalList> = Vec::with_capacity(inputs.len());
+                for r in inputs {
+                    match env[*r as usize].as_ref() {
+                        Some(l) => lists.push(l),
+                        None => return,
+                    }
+                }
+                IntervalList::intersect_all(&lists)
+            };
+            env[*out as usize] = Some(i);
+            exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+            env[*out as usize] = None;
+        }
+        LStatic::RelComplement {
+            base,
+            subtract,
+            out,
+        } => {
+            let rc = {
+                let Some(base_list) = env[*base as usize].as_ref() else {
+                    return;
+                };
+                let mut lists: Vec<&IntervalList> = Vec::with_capacity(subtract.len());
+                for r in subtract {
+                    match env[*r as usize].as_ref() {
+                        Some(l) => lists.push(l),
+                        None => return,
+                    }
+                }
+                base_list.relative_complement_all(&lists)
+            };
+            env[*out as usize] = Some(rc);
+            exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+            env[*out as usize] = None;
+        }
+        LStatic::Atemporal {
+            negated: false,
+            pattern,
+            sig_warn,
+        } => {
+            let applied = materialize(pattern, frame);
+            if let Some(w) = sig_warn {
+                warnings.push(w.clone());
+            }
+            let mark = frame.mark();
+            for fact in ctx.facts.candidates(&applied) {
+                if match_resolved(&applied, fact, frame) {
+                    exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+                    frame.undo(mark);
+                }
+            }
+        }
+        LStatic::Atemporal {
+            negated: true,
+            pattern,
+            ..
+        } => {
+            let applied = materialize(pattern, frame);
+            let exists = ctx
+                .facts
+                .candidates(&applied)
+                .iter()
+                .any(|fact| match_term(&applied, fact, &mut Bindings::new()));
+            if !exists {
+                exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+            }
+        }
+        LStatic::Compare { op, lhs, rhs } => {
+            let mark = frame.mark();
+            match compare_frame(*op, lhs, rhs, frame, ctx.symbols) {
+                CompareOutcome::Decided(true) | CompareOutcome::Bound => {
+                    exec_static(ctx, rule, idx + 1, frame, env, cache, warnings, results);
+                    frame.undo(mark);
+                }
+                CompareOutcome::Decided(false) => {}
+                CompareOutcome::Failed(issue) => {
+                    warnings.push(format!("comparison skipped: {issue}"));
+                }
+            }
+        }
+    }
+}

@@ -193,6 +193,7 @@ impl SessionCheckpoint {
             "tick_deadline_ms".to_string(),
             opt_counter_u64(self.config.tick_deadline_ms),
         );
+        config.insert("eval".to_string(), Value::from(self.config.eval.as_str()));
         state.insert("config".to_string(), Value::Object(config));
         state.insert(
             "master_symbols".to_string(),
@@ -341,6 +342,17 @@ impl SessionCheckpoint {
             max_events_per_tick: opt_u64_of(config_v, "max_events_per_tick")?,
             max_buffered_bytes: opt_u64_of(config_v, "max_buffered_bytes")?,
             tick_deadline_ms: opt_u64_of(config_v, "tick_deadline_ms")?,
+            // Lenient on read (older checkpoints lack it). Engine state
+            // is mode-agnostic, so restoring under a different mode than
+            // the one that wrote the checkpoint is sound; the recorded
+            // mode wins over the environment when present.
+            eval: match config_v.get("eval") {
+                None | Some(Value::Null) => SessionConfig::default().eval,
+                Some(v) => v
+                    .as_str()
+                    .and_then(rtec::engine::EvalMode::parse)
+                    .ok_or("session checkpoint: bad eval mode")?,
+            },
         };
         let master_symbols = str_array(state, "master_symbols")?;
         let router_v = state

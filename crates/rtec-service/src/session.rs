@@ -41,7 +41,7 @@ use crate::worker::{ShardWorker, WorkerMsg};
 use crossbeam::channel::bounded;
 use rtec::checkpoint::EngineCheckpoint;
 use rtec::description::{CompiledDescription, EventDescription};
-use rtec::engine::{EngineConfig, EngineStats, RecognitionOutput};
+use rtec::engine::{EngineConfig, EngineStats, EvalMode, RecognitionOutput};
 use rtec::interval::IntervalList;
 use rtec::parallel::{FirstArgPartitioner, Partitioner};
 use rtec::reorder::{DeadLetterLedger, DeadLetterReason, ReorderBuffer, ReorderSnapshot};
@@ -87,6 +87,12 @@ pub struct SessionConfig {
     /// exceeds it reports `degraded: true` (the tick still completes —
     /// the deadline marks the reply, it does not abort evaluation).
     pub tick_deadline_ms: Option<u64>,
+    /// Window-evaluation strategy for the shard engines: the AST
+    /// interpreter, or a compiled plan (`rtec-plan`). The two are
+    /// observationally identical; the default follows the `RTEC_EVAL`
+    /// environment variable so whole test suites can be re-run under
+    /// either mode without code changes.
+    pub eval: EvalMode,
 }
 
 impl Default for SessionConfig {
@@ -101,6 +107,7 @@ impl Default for SessionConfig {
             max_events_per_tick: None,
             max_buffered_bytes: None,
             tick_deadline_ms: None,
+            eval: EvalMode::from_env(),
         }
     }
 }
@@ -229,6 +236,7 @@ impl Session {
                 ShardWorker::spawn(
                     Arc::clone(&compiled),
                     engine_config,
+                    config.eval,
                     config.queue_capacity,
                     shard,
                 )
@@ -311,6 +319,7 @@ impl Session {
                 ShardWorker::respawn(
                     Arc::clone(&compiled),
                     engine_config,
+                    config.eval,
                     config.queue_capacity,
                     shard,
                     cp.clone(),
@@ -632,6 +641,7 @@ impl Session {
             Some(cp) => ShardWorker::respawn(
                 Arc::clone(&self.desc),
                 self.engine_config,
+                self.config.eval,
                 self.config.queue_capacity,
                 shard,
                 cp.clone(),
@@ -639,6 +649,7 @@ impl Session {
             None => ShardWorker::spawn(
                 Arc::clone(&self.desc),
                 self.engine_config,
+                self.config.eval,
                 self.config.queue_capacity,
                 shard,
             ),

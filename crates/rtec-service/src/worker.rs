@@ -26,7 +26,7 @@
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rtec::checkpoint::EngineCheckpoint;
 use rtec::description::CompiledDescription;
-use rtec::engine::{Engine, EngineConfig, EngineStats, RecognitionOutput};
+use rtec::engine::{Engine, EngineConfig, EngineStats, EvalMode, RecognitionOutput};
 use rtec::interval::IntervalList;
 use rtec::term::GroundFvp;
 use rtec::{Term, Timepoint};
@@ -62,10 +62,11 @@ impl ShardWorker {
     pub fn spawn(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
+        eval: EvalMode,
         capacity: usize,
         shard: usize,
     ) -> ShardWorker {
-        ShardWorker::spawn_inner(desc, config, capacity, shard, None)
+        ShardWorker::spawn_inner(desc, config, eval, capacity, shard, None)
     }
 
     /// Spawns a replacement worker whose engine resumes from
@@ -76,16 +77,18 @@ impl ShardWorker {
     pub fn respawn(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
+        eval: EvalMode,
         capacity: usize,
         shard: usize,
         checkpoint: EngineCheckpoint,
     ) -> ShardWorker {
-        ShardWorker::spawn_inner(desc, config, capacity, shard, Some(checkpoint))
+        ShardWorker::spawn_inner(desc, config, eval, capacity, shard, Some(checkpoint))
     }
 
     fn spawn_inner(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
+        eval: EvalMode,
         capacity: usize,
         shard: usize,
         checkpoint: Option<EngineCheckpoint>,
@@ -105,6 +108,13 @@ impl ShardWorker {
                     }
                 },
             };
+            // Engine state is evaluator-agnostic, so the mode can be
+            // applied uniformly to fresh and restored engines alike —
+            // including restores from a checkpoint written under the
+            // other mode.
+            if eval == EvalMode::Plan {
+                engine.set_evaluator(Box::new(rtec_plan::Plan::compile(&desc)));
+            }
             run_worker(&mut engine, shard, &receiver);
         });
         ShardWorker {
@@ -248,7 +258,13 @@ mod tests {
     #[test]
     fn worker_processes_and_drains() {
         let (compiled, mut master) = compiled();
-        let w = ShardWorker::spawn(Arc::clone(&compiled), EngineConfig::default(), 4, 0);
+        let w = ShardWorker::spawn(
+            Arc::clone(&compiled),
+            EngineConfig::default(),
+            EvalMode::Interpreter,
+            4,
+            0,
+        );
 
         let up = rtec::parser::parse_term("up(a)", &mut master).unwrap();
         let down = rtec::parser::parse_term("down(a)", &mut master).unwrap();
@@ -277,7 +293,7 @@ mod tests {
     fn respawn_resumes_from_a_checkpoint() {
         let (compiled, mut master) = compiled();
         let config = EngineConfig::windowed(10);
-        let w = ShardWorker::spawn(Arc::clone(&compiled), config, 4, 0);
+        let w = ShardWorker::spawn(Arc::clone(&compiled), config, EvalMode::Interpreter, 4, 0);
 
         let up = rtec::parser::parse_term("up(a)", &mut master).unwrap();
         let down = rtec::parser::parse_term("down(a)", &mut master).unwrap();
@@ -290,7 +306,14 @@ mod tests {
         let cp = rx.recv().unwrap();
         drop(w); // simulate the first worker dying
 
-        let w2 = ShardWorker::respawn(Arc::clone(&compiled), config, 4, 0, *cp);
+        let w2 = ShardWorker::respawn(
+            Arc::clone(&compiled),
+            config,
+            EvalMode::Interpreter,
+            4,
+            0,
+            *cp,
+        );
         w2.send(WorkerMsg::Event(down, 14)).ok().unwrap();
         let (tx, rx) = bounded(1);
         w2.send(WorkerMsg::RunTo(20, tx)).ok().unwrap();
@@ -309,7 +332,13 @@ mod tests {
     #[test]
     fn dead_worker_hands_the_message_back() {
         let (compiled, mut master) = compiled();
-        let mut w = ShardWorker::spawn(compiled, EngineConfig::default(), 4, 0);
+        let mut w = ShardWorker::spawn(
+            compiled,
+            EngineConfig::default(),
+            EvalMode::Interpreter,
+            4,
+            0,
+        );
         // Kill the worker via Drain and join so the receiver is dropped.
         let (tx, rx) = bounded(1);
         w.send(WorkerMsg::Drain(tx)).ok().unwrap();

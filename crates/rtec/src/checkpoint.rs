@@ -68,6 +68,11 @@ pub struct EngineCheckpoint {
     pub(crate) warnings: Vec<String>,
     /// Run-time counters.
     pub(crate) stats: EngineStats,
+    /// Label of the evaluation strategy that wrote the checkpoint
+    /// (`"interpreter"` or `"plan"`). Informational only: it lives in the
+    /// JSON envelope, outside the checksummed state, and restore ignores
+    /// it — checkpoints are portable across evaluation modes.
+    pub(crate) eval_mode: Option<String>,
 }
 
 impl EngineCheckpoint {
@@ -83,6 +88,7 @@ impl EngineCheckpoint {
         output: Vec<(GroundFvp, IntervalList)>,
         warnings: Vec<String>,
         stats: EngineStats,
+        eval_mode: Option<String>,
     ) -> EngineCheckpoint {
         let inertia = inertia
             .iter()
@@ -97,7 +103,14 @@ impl EngineCheckpoint {
             output,
             warnings,
             stats,
+            eval_mode,
         }
+    }
+
+    /// The evaluation-strategy label recorded when the checkpoint was
+    /// written, if any. Informational; restore never consults it.
+    pub fn eval_mode(&self) -> Option<&str> {
+        self.eval_mode.as_deref()
     }
 
     /// The processed frontier captured in this checkpoint.
@@ -249,6 +262,7 @@ impl EngineCheckpoint {
             output,
             warnings,
             stats,
+            eval_mode: None,
         })
     }
 
@@ -264,6 +278,9 @@ impl EngineCheckpoint {
             "crc".to_string(),
             Value::from(fnv1a_hex(payload.as_bytes())),
         );
+        if let Some(mode) = &self.eval_mode {
+            doc.insert("eval_mode".to_string(), Value::from(mode.as_str()));
+        }
         doc.insert("state".to_string(), state);
         serde_json::to_string(&Value::Object(doc)).unwrap_or_else(|_| "{}".into())
     }
@@ -296,7 +313,13 @@ impl EngineCheckpoint {
                 "checkpoint: checksum mismatch (stored {crc}, computed {actual}) — torn write?"
             ));
         }
-        EngineCheckpoint::from_value(state)
+        let mut checkpoint = EngineCheckpoint::from_value(state)?;
+        // Informational envelope field; absent in pre-existing documents.
+        checkpoint.eval_mode = doc
+            .get("eval_mode")
+            .and_then(Value::as_str)
+            .map(str::to_owned);
+        Ok(checkpoint)
     }
 }
 
@@ -559,6 +582,7 @@ mod tests {
             output: Vec::new(),
             warnings: vec!["w".into()],
             stats: EngineStats::default(),
+            eval_mode: Some("interpreter".into()),
         };
         let json = ck.to_json();
         assert!(EngineCheckpoint::from_json(&json).is_ok());
@@ -595,6 +619,7 @@ mod tests {
                 output,
                 warnings: Vec::new(),
                 stats: EngineStats::default(),
+                eval_mode: None,
             }
         };
         let a = mk().to_json();

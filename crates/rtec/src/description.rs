@@ -11,6 +11,7 @@ use crate::ast::{BodyLiteral, Clause, FluentKey, SimpleRule, StaticLiteral, Stat
 use crate::background::FactStore;
 use crate::error::{RtecError, RtecResult, ValidationReport};
 use crate::parser::{parse_program, parse_program_lenient, parse_term};
+use crate::semantics::{FluentGraph, StratifyFailure};
 use crate::symbol::SymbolTable;
 use crate::term::{GroundFvp, Term};
 use crate::validate::{validate, SysSymbols};
@@ -259,8 +260,8 @@ impl CompiledDescription {
     }
 }
 
-/// Computes a bottom-up evaluation order of the defined fluents (Kahn's
-/// algorithm); errors out on cycles.
+/// Computes a bottom-up evaluation order of the defined fluents via the
+/// shared dependency graph ([`crate::semantics`]); errors out on cycles.
 fn stratify(
     symbols: &SymbolTable,
     simple: &[SimpleRule],
@@ -268,99 +269,23 @@ fn stratify(
     simple_by_fluent: &HashMap<FluentKey, Vec<usize>>,
     static_by_fluent: &HashMap<FluentKey, Vec<usize>>,
 ) -> RtecResult<Vec<FluentKey>> {
-    let mut nodes: Vec<FluentKey> = simple_by_fluent
+    let defined = simple_by_fluent
         .keys()
         .chain(static_by_fluent.keys())
-        .copied()
-        .collect();
-    nodes.sort_unstable();
-    nodes.dedup();
-    let defined: HashSet<FluentKey> = nodes.iter().copied().collect();
-
-    // dep -> dependents
-    let mut edges: HashMap<FluentKey, Vec<FluentKey>> = HashMap::new();
-    let mut indegree: HashMap<FluentKey, usize> = nodes.iter().map(|&n| (n, 0)).collect();
-    let add_edge = |from: FluentKey,
-                    to: FluentKey,
-                    edges: &mut HashMap<FluentKey, Vec<FluentKey>>,
-                    indegree: &mut HashMap<FluentKey, usize>| {
-        if from == to {
-            return; // self-dependency handled by cycle check below
-        }
-        let bucket = edges.entry(from).or_default();
-        if !bucket.contains(&to) {
-            bucket.push(to);
-            *indegree.entry(to).or_default() += 1;
-        }
-    };
-
-    let mut self_cycle: Option<FluentKey> = None;
-    for r in simple {
-        let head = r.fvp.key().expect("indexed rules have keys");
-        for lit in &r.body {
-            if let BodyLiteral::HoldsAt { fvp, .. } = lit {
-                if let Some(dep) = fvp.key() {
-                    if dep == head {
-                        self_cycle = Some(head);
-                    } else if defined.contains(&dep) {
-                        add_edge(dep, head, &mut edges, &mut indegree);
-                    }
-                }
-            }
-        }
-    }
-    for r in statics {
-        let head = r.fvp.key().expect("indexed rules have keys");
-        for lit in &r.body {
-            if let StaticLiteral::HoldsFor { fvp, .. } = lit {
-                if let Some(dep) = fvp.key() {
-                    if dep == head {
-                        self_cycle = Some(head);
-                    } else if defined.contains(&dep) {
-                        add_edge(dep, head, &mut edges, &mut indegree);
-                    }
-                }
-            }
-        }
-    }
-    if let Some((f, a)) = self_cycle {
-        return Err(RtecError::CyclicDependency {
+        .copied();
+    let graph = FluentGraph::from_rules(defined, simple, statics);
+    graph.stratify().map_err(|failure| match failure {
+        StratifyFailure::SelfCycle((f, a)) => RtecError::CyclicDependency {
             cycle: format!("{}/{} depends on itself", symbols.name(f), a),
-        });
-    }
-
-    let mut queue: Vec<FluentKey> = nodes.iter().filter(|n| indegree[n] == 0).copied().collect();
-    queue.sort_unstable();
-    let mut order = Vec::with_capacity(nodes.len());
-    let mut qi = 0;
-    while qi < queue.len() {
-        let n = queue[qi];
-        qi += 1;
-        order.push(n);
-        if let Some(deps) = edges.get(&n) {
-            let mut newly_free: Vec<FluentKey> = Vec::new();
-            for &d in deps {
-                let e = indegree.get_mut(&d).expect("node exists");
-                *e -= 1;
-                if *e == 0 {
-                    newly_free.push(d);
-                }
-            }
-            newly_free.sort_unstable();
-            queue.extend(newly_free);
-        }
-    }
-    if order.len() != nodes.len() {
-        let remaining: Vec<String> = nodes
-            .iter()
-            .filter(|n| !order.contains(n))
-            .map(|(f, a)| format!("{}/{}", symbols.name(*f), a))
-            .collect();
-        return Err(RtecError::CyclicDependency {
-            cycle: remaining.join(" -> "),
-        });
-    }
-    Ok(order)
+        },
+        StratifyFailure::Cycle(members) => RtecError::CyclicDependency {
+            cycle: members
+                .iter()
+                .map(|(f, a)| format!("{}/{}", symbols.name(*f), a))
+                .collect::<Vec<_>>()
+                .join(" -> "),
+        },
+    })
 }
 
 #[cfg(test)]

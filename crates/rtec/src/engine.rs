@@ -57,6 +57,83 @@ impl EngineConfig {
     }
 }
 
+/// Which evaluation strategy an engine (or service session) uses.
+///
+/// Both strategies are pinned to each other by differential tests; the
+/// plan evaluator (crate `rtec-plan`) trades compile time for lower
+/// per-window cost. Checkpoints are mode-agnostic: a checkpoint written
+/// under one mode restores under the other byte-identically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Walk the validated rule AST directly (the historical evaluator).
+    #[default]
+    Interpreter,
+    /// Execute a compiled, slot-indexed evaluation plan (`rtec-plan`).
+    Plan,
+}
+
+impl EvalMode {
+    /// Environment variable consulted by [`EvalMode::from_env`].
+    pub const ENV_VAR: &'static str = "RTEC_EVAL";
+
+    /// Parses `"interpreter"` / `"plan"`.
+    pub fn parse(s: &str) -> Option<EvalMode> {
+        match s {
+            "interpreter" => Some(EvalMode::Interpreter),
+            "plan" => Some(EvalMode::Plan),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`EvalMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EvalMode::Interpreter => "interpreter",
+            EvalMode::Plan => "plan",
+        }
+    }
+
+    /// Reads `RTEC_EVAL` from the environment; unset or unrecognised
+    /// values fall back to the interpreter.
+    pub fn from_env() -> EvalMode {
+        std::env::var(Self::ENV_VAR)
+            .ok()
+            .and_then(|v| Self::parse(v.trim()))
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A pluggable window-evaluation strategy.
+///
+/// The engine owns windowing, inertia carry, checkpointing and output
+/// folding; an evaluator only derives the window's fluent intervals into
+/// the cache. The default strategy is the AST interpreter
+/// ([`crate::eval::simple`] / [`crate::eval::statics`]); `rtec-plan`
+/// provides a compiled alternative installed via
+/// [`Engine::set_evaluator`]. Implementations must be observationally
+/// identical to the interpreter: same cache contents, same inertia
+/// updates, same warnings in the same order.
+pub trait WindowEvaluator: Send {
+    /// A short label recorded (informationally) in checkpoints.
+    fn label(&self) -> &'static str;
+
+    /// Evaluates one window: derives every defined fluent bottom-up into
+    /// `cache`, updating `inertia` and reporting `warnings`.
+    fn evaluate_window(
+        &mut self,
+        events: &EventIndex,
+        cache: &mut FluentCache<'_>,
+        inertia: &mut InertiaState,
+        warnings: &mut WarningSink,
+    );
+}
+
 /// The accumulated recognition result: maximal intervals per ground FVP.
 ///
 /// All intervals are closed; a fluent still holding at the end of the
@@ -182,6 +259,9 @@ pub struct Engine<'a> {
     dead_letters: DeadLetterLedger,
     /// Stale refusals since the last `run_to` warning flush.
     stale_rejected: usize,
+    /// Replacement window-evaluation strategy; `None` runs the AST
+    /// interpreter.
+    evaluator: Option<Box<dyn WindowEvaluator>>,
 }
 
 impl<'a> Engine<'a> {
@@ -201,7 +281,38 @@ impl<'a> Engine<'a> {
             stats: EngineStats::default(),
             dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
             stale_rejected: 0,
+            evaluator: None,
         }
+    }
+
+    /// Creates an engine that evaluates windows with `evaluator` instead
+    /// of the AST interpreter. The evaluator must have been compiled from
+    /// the same description.
+    pub fn with_evaluator(
+        desc: &'a CompiledDescription,
+        config: EngineConfig,
+        evaluator: Box<dyn WindowEvaluator>,
+    ) -> Engine<'a> {
+        let mut engine = Engine::new(desc, config);
+        engine.set_evaluator(evaluator);
+        engine
+    }
+
+    /// Installs (or replaces) the window-evaluation strategy. Safe at any
+    /// window boundary — all carried state (inertia, inputs, output) is
+    /// strategy-agnostic, which is what keeps checkpoints portable across
+    /// modes.
+    pub fn set_evaluator(&mut self, evaluator: Box<dyn WindowEvaluator>) {
+        self.evaluator = Some(evaluator);
+    }
+
+    /// The label of the active evaluation strategy (`"interpreter"` when
+    /// no replacement evaluator is installed).
+    pub fn eval_label(&self) -> &'static str {
+        self.evaluator
+            .as_deref()
+            .map(WindowEvaluator::label)
+            .unwrap_or("interpreter")
     }
 
     /// Run-time counters.
@@ -428,6 +539,7 @@ impl<'a> Engine<'a> {
                 .collect(),
             self.warnings.messages().to_vec(),
             self.stats,
+            Some(self.eval_label().to_string()),
         )
     }
 
@@ -472,6 +584,7 @@ impl<'a> Engine<'a> {
             stats: checkpoint.stats,
             dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
             stale_rejected: 0,
+            evaluator: None,
         };
         for (fvp, list) in &checkpoint.inputs {
             engine.add_input_intervals(fvp.clone(), list.clone());
@@ -496,27 +609,31 @@ impl<'a> Engine<'a> {
         let index = EventIndex::build(chunk_events);
 
         let mut cache = FluentCache::new(&self.inputs, &self.inputs_by_key);
-        for key in &self.desc.strata {
-            if self.desc.simple_by_fluent.contains_key(key) {
-                let eval_started = std::time::Instant::now();
-                evaluate_simple_fluent(
-                    self.desc,
-                    *key,
-                    &index,
-                    &mut cache,
-                    &mut self.inertia,
-                    &mut self.warnings,
-                );
-                metrics
-                    .fluent_eval_simple_us
-                    .observe_duration(eval_started.elapsed());
-            }
-            if self.desc.static_by_fluent.contains_key(key) {
-                let eval_started = std::time::Instant::now();
-                evaluate_static_fluent(self.desc, *key, &mut cache, &mut self.warnings);
-                metrics
-                    .fluent_eval_static_us
-                    .observe_duration(eval_started.elapsed());
+        if let Some(evaluator) = self.evaluator.as_deref_mut() {
+            evaluator.evaluate_window(&index, &mut cache, &mut self.inertia, &mut self.warnings);
+        } else {
+            for key in &self.desc.strata {
+                if self.desc.simple_by_fluent.contains_key(key) {
+                    let eval_started = std::time::Instant::now();
+                    evaluate_simple_fluent(
+                        self.desc,
+                        *key,
+                        &index,
+                        &mut cache,
+                        &mut self.inertia,
+                        &mut self.warnings,
+                    );
+                    metrics
+                        .fluent_eval_simple_us
+                        .observe_duration(eval_started.elapsed());
+                }
+                if self.desc.static_by_fluent.contains_key(key) {
+                    let eval_started = std::time::Instant::now();
+                    evaluate_static_fluent(self.desc, *key, &mut cache, &mut self.warnings);
+                    metrics
+                        .fluent_eval_static_us
+                        .observe_duration(eval_started.elapsed());
+                }
             }
         }
 

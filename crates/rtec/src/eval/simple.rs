@@ -18,6 +18,7 @@ use crate::eval::cache::FluentCache;
 use crate::eval::events::EventIndex;
 use crate::eval::WarningSink;
 use crate::interval::{Interval, IntervalList, Timepoint};
+use crate::symbol::Symbol;
 use crate::term::{match_term, Bindings, GroundFvp, Term};
 use std::collections::HashMap;
 
@@ -28,10 +29,77 @@ use std::collections::HashMap;
 pub type InertiaState = HashMap<Term, Vec<(Term, Timepoint)>>;
 
 /// Initiation/termination points collected for one ground fluent.
+///
+/// Values are kept in first-recorded order, *not* hashed: the order
+/// flows into the open-value vector of the [`InertiaState`] (observable
+/// in checkpoints) when a degenerate rule set leaves several values of
+/// one fluent open at once, so it must be deterministic and identical
+/// across evaluators, not an artifact of hash iteration.
 #[derive(Debug, Default)]
 struct PointSets {
     /// value -> (initiations, explicit terminations)
-    by_value: HashMap<Term, (Vec<Timepoint>, Vec<Timepoint>)>,
+    by_value: Vec<(Term, InitTermPoints)>,
+}
+
+/// (initiation time-points, explicit-termination time-points).
+type InitTermPoints = (Vec<Timepoint>, Vec<Timepoint>);
+
+impl PointSets {
+    fn entry(&mut self, value: &Term) -> &mut InitTermPoints {
+        match self.by_value.iter().position(|(v, _)| v == value) {
+            Some(i) => &mut self.by_value[i].1,
+            None => {
+                self.by_value.push((value.clone(), Default::default()));
+                &mut self.by_value.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    fn get(&self, value: &Term) -> Option<&InitTermPoints> {
+        self.by_value
+            .iter()
+            .find(|(v, _)| v == value)
+            .map(|(_, e)| e)
+    }
+
+    fn contains(&self, value: &Term) -> bool {
+        self.by_value.iter().any(|(v, _)| v == value)
+    }
+}
+
+/// Accumulates the initiation/termination points fired by the rules of
+/// one simple fluent within one window. Both the AST interpreter and the
+/// plan evaluator (rtec-plan) feed a collector and then hand it to
+/// [`finalize_simple_fluent`], so the inertia/interval-assembly semantics
+/// cannot diverge between the two.
+#[derive(Debug, Default)]
+pub struct PointCollector {
+    points: HashMap<Term, PointSets>,
+    /// Terminations whose head was not fully instantiated; expanded
+    /// against the known ground instances at finalization.
+    pattern_terminations: Vec<(Term, Timepoint)>,
+}
+
+impl PointCollector {
+    /// Creates an empty collector.
+    pub fn new() -> PointCollector {
+        PointCollector::default()
+    }
+
+    /// Records a rule firing for a ground head `fluent = value` at `t`.
+    pub fn record(&mut self, kind: SimpleKind, fluent: Term, value: Term, t: Timepoint) {
+        let entry = self.points.entry(fluent).or_default().entry(&value);
+        match kind {
+            SimpleKind::Initiated => entry.0.push(t),
+            SimpleKind::Terminated => entry.1.push(t),
+        }
+    }
+
+    /// Records a termination whose head pattern `F=V` kept unbound
+    /// variables; it terminates every matching ground instance.
+    pub fn record_pattern_termination(&mut self, pattern: Term, t: Timepoint) {
+        self.pattern_terminations.push((pattern, t));
+    }
 }
 
 /// Evaluates all rules of the simple fluent `key` for the window
@@ -51,13 +119,12 @@ pub fn evaluate_simple_fluent(
     };
 
     // 1. Collect initiation and termination points per ground FVP.
-    let mut points: HashMap<Term, PointSets> = HashMap::new();
     // Terminations whose head is not fully instantiated by the body apply
     // universally: e.g. `terminatedAt(withinArea(Vl, AreaType)=true, T) :-
     // happensAt(gap_start(Vl), T).` (paper rule (3)) terminates
     // withinArea(v, *every* AreaType). They are expanded against the known
     // ground instances after collection.
-    let mut pattern_terminations: Vec<(Term, Timepoint)> = Vec::new();
+    let mut collector = PointCollector::new();
     // Warnings raised inside the solution callback (which already borrows
     // the main sink through `solve`) are buffered here.
     let mut deferred_warnings: Vec<String> = Vec::new();
@@ -103,7 +170,7 @@ pub fn evaluate_simple_fluent(
                         if !fluent.is_ground() || !value.is_ground() {
                             if rule.kind == SimpleKind::Terminated {
                                 let pat = Term::Compound(desc.sys.eq, vec![fluent, value]);
-                                pattern_terminations.push((pat, t));
+                                collector.record_pattern_termination(pat, t);
                             } else {
                                 deferred_warnings.push(format!(
                                     "initiatedAt head '{}' not fully instantiated; \
@@ -113,16 +180,7 @@ pub fn evaluate_simple_fluent(
                             }
                             return;
                         }
-                        let entry = points
-                            .entry(fluent)
-                            .or_default()
-                            .by_value
-                            .entry(value)
-                            .or_insert_with(|| (Vec::new(), Vec::new()));
-                        match rule.kind {
-                            SimpleKind::Initiated => entry.0.push(t),
-                            SimpleKind::Terminated => entry.1.push(t),
-                        }
+                        collector.record(rule.kind, fluent, value, t);
                     },
                 );
             }
@@ -132,6 +190,25 @@ pub fn evaluate_simple_fluent(
     for w in deferred_warnings {
         warnings.push(w);
     }
+
+    finalize_simple_fluent(key, desc.sys.eq, collector, cache, inertia);
+}
+
+/// Turns the collected initiation/termination points of one simple fluent
+/// into maximal intervals (law of inertia), inserting them into the cache
+/// and updating the inertia state. Shared verbatim by the AST interpreter
+/// and the plan evaluator.
+pub fn finalize_simple_fluent(
+    key: FluentKey,
+    eq: Symbol,
+    collector: PointCollector,
+    cache: &mut FluentCache<'_>,
+    inertia: &mut InertiaState,
+) {
+    let PointCollector {
+        mut points,
+        pattern_terminations,
+    } = collector;
 
     // 2. Fold in carried-open values of fluents with this key so that
     //    cross-value initiations can terminate them.
@@ -153,12 +230,12 @@ pub fn evaluate_simple_fluent(
         let mut candidates: HashMap<Term, Vec<Term>> = HashMap::new();
         for (fluent, sets) in &points {
             let bucket = candidates.entry(fluent.clone()).or_default();
-            for value in sets.by_value.keys() {
+            for (value, _) in &sets.by_value {
                 bucket.push(value.clone());
             }
             if let Some(open) = inertia.get(fluent) {
                 for (value, _) in open {
-                    if !sets.by_value.contains_key(value) {
+                    if !sets.contains(value) {
                         bucket.push(value.clone());
                     }
                 }
@@ -169,9 +246,7 @@ pub fn evaluate_simple_fluent(
                 points
                     .get_mut(fluent)
                     .expect("candidate came from points")
-                    .by_value
-                    .entry(value.clone())
-                    .or_insert_with(|| (Vec::new(), Vec::new()))
+                    .entry(value)
                     .1
                     .push(t);
             };
@@ -179,7 +254,7 @@ pub fn evaluate_simple_fluent(
         // for all pattern terminations instead of per firing.
         let needs_fallback = pattern_terminations.iter().any(|(pat, _)| {
             !matches!(pat, Term::Compound(f, args)
-                if *f == desc.sys.eq && args.len() == 2 && args[0].is_ground())
+                if *f == eq && args.len() == 2 && args[0].is_ground())
         });
         let all_pairs: Vec<(Term, Term)> = if needs_fallback {
             candidates
@@ -193,9 +268,7 @@ pub fn evaluate_simple_fluent(
         };
         for (pat, t) in &pattern_terminations {
             let (pat_fluent, pat_value) = match pat {
-                Term::Compound(f, args) if *f == desc.sys.eq && args.len() == 2 => {
-                    (&args[0], &args[1])
-                }
+                Term::Compound(f, args) if *f == eq && args.len() == 2 => (&args[0], &args[1]),
                 _ => continue,
             };
             if pat_fluent.is_ground() {
@@ -227,7 +300,7 @@ pub fn evaluate_simple_fluent(
         let mut new_open: Vec<(Term, Timepoint)> = Vec::new();
 
         // Values to consider: those with rule firings plus carried ones.
-        let mut values: Vec<Term> = sets.by_value.keys().cloned().collect();
+        let mut values: Vec<Term> = sets.by_value.iter().map(|(v, _)| v.clone()).collect();
         for (v, _) in &open_values {
             if !values.contains(v) {
                 values.push(v.clone());
@@ -235,7 +308,7 @@ pub fn evaluate_simple_fluent(
         }
 
         for value in values {
-            let (inits, terms) = sets.by_value.get(&value).cloned().unwrap_or_default();
+            let (inits, terms) = sets.get(&value).cloned().unwrap_or_default();
             // Initiations of *other* values terminate this one.
             let mut all_terms = terms;
             for (other_value, (other_inits, _)) in &sets.by_value {

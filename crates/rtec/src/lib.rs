@@ -78,6 +78,7 @@ pub mod obs;
 pub mod parallel;
 pub mod parser;
 pub mod reorder;
+pub mod semantics;
 pub mod stream;
 pub mod symbol;
 pub mod term;
