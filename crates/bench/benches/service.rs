@@ -119,6 +119,58 @@ fn bench_service(c: &mut Criterion) {
             && exposition.contains("rtec_service_ticks_total"),
         "replay left no engine/service series in the exposition"
     );
+    assert!(
+        exposition.contains("rtec_recognition_latency_us")
+            && exposition.contains("rtec_service_tick_duration_us"),
+        "replay left no latency series in the exposition"
+    );
+    scrape_is_valid_and_bounded(&w);
+}
+
+/// The full scrape path (`Registry::render_metrics`, what `/metrics`
+/// serves) after a profiled replay: the exposition must pass the strict
+/// validator and the per-rule profile families must stay within the
+/// top-N + "other" cardinality bound no matter how many rules the
+/// description holds. An unbounded label set fails the build here, not
+/// a Prometheus server in production.
+fn scrape_is_valid_and_bounded(w: &Workload) {
+    let registry = rtec_service::Registry::new();
+    let open = format!(
+        "{{\"cmd\":\"open\",\"session\":\"scrape\",\"description\":{},\"shards\":2,\"eval\":\"plan\"}}",
+        serde_json::to_string(&serde_json::Value::from(w.gold.as_str())).unwrap()
+    );
+    assert!(
+        registry.dispatch(&open).contains("\"ok\":true"),
+        "open failed"
+    );
+    for &(t, ref ev) in w.events.iter().take(2000) {
+        let line =
+            format!("{{\"cmd\":\"event\",\"session\":\"scrape\",\"t\":{t},\"event\":\"{ev}\"}}");
+        registry.dispatch(&line);
+    }
+    let to = w.events[w.events.len().min(2000) - 1].0;
+    registry.dispatch(&format!(
+        "{{\"cmd\":\"tick\",\"session\":\"scrape\",\"to\":{to}}}"
+    ));
+    let scrape = registry.render_metrics();
+    rtec_obs::expo::validate(&scrape)
+        .unwrap_or_else(|e| panic!("malformed scrape exposition: {e}"));
+    let bound = rtec_obs::profile::DEFAULT_TOP_N + 1;
+    for family in [
+        "rtec_profile_rule_self_us",
+        "rtec_profile_rule_calls",
+        "rtec_profile_rule_interval_ops",
+    ] {
+        let series = scrape
+            .lines()
+            .filter(|l| l.starts_with(&format!("{family}{{")))
+            .count();
+        assert!(series >= 1, "scrape is missing {family}");
+        assert!(
+            series <= bound,
+            "{family}: {series} series breaches the top-N cardinality bound ({bound})"
+        );
+    }
 }
 
 criterion_group!(benches, bench_service);

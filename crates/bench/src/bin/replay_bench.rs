@@ -10,9 +10,18 @@
 //! cargo run --release -p bench --bin replay_bench [-- OUTPUT.json]
 //! ```
 //!
+//! The output file is an append-only log: every invocation adds one
+//! run record (git revision, date, configuration, throughput, profiler
+//! hot spots) under `"runs"`, so regressions can be traced across
+//! commits instead of each run clobbering the last. A legacy
+//! single-object file is absorbed as the first run.
+//!
 //! Unlike the Criterion benches (which track regressions), this runner
 //! produces the checked-in measurement that pins the plan evaluator's
-//! speedup claim; see docs/PLAN.md.
+//! speedup claim; see docs/PLAN.md. The timed replays run with the
+//! profiler off (pure recognition cost); a separate profiled pass
+//! measures the profiler's overhead and attributes wall time per rule
+//! for the maritime gold description (docs/PROFILING.md).
 
 use maritime::{BrestScenario, Dataset};
 use rtec::engine::EvalMode;
@@ -60,7 +69,14 @@ fn workload() -> Workload {
 
 const TICKS: i64 = 12;
 
-fn replay(w: &Workload, shards: usize, eval: EvalMode) -> usize {
+/// One full replay; returns the recognised fluent-value-pair count and,
+/// when profiled, the session's merged per-rule aggregate.
+fn replay(
+    w: &Workload,
+    shards: usize,
+    eval: EvalMode,
+    profile: bool,
+) -> (usize, Option<rtec_obs::profile::ProfileAggregate>) {
     let mut session = Session::open(
         "bench",
         &w.gold,
@@ -69,6 +85,7 @@ fn replay(w: &Workload, shards: usize, eval: EvalMode) -> usize {
             shards,
             queue_capacity: 1024,
             eval,
+            profile,
             ..SessionConfig::default()
         },
     )
@@ -90,8 +107,9 @@ fn replay(w: &Workload, shards: usize, eval: EvalMode) -> usize {
     session.tick(w.horizon).expect("final tick");
     let (out, _) = session.query().expect("query");
     let n = out.len();
+    let aggregate = session.profile().cloned();
     session.close().expect("close");
-    n
+    (n, aggregate)
 }
 
 /// Times `runs` replays and returns the median wall-clock seconds (the
@@ -99,14 +117,14 @@ fn replay(w: &Workload, shards: usize, eval: EvalMode) -> usize {
 fn measure(w: &Workload, shards: usize, eval: EvalMode, warmup: usize, runs: usize) -> f64 {
     let mut fvps = None;
     for _ in 0..warmup {
-        let n = replay(w, shards, eval);
+        let (n, _) = replay(w, shards, eval, false);
         assert!(n > 0, "replay recognised nothing");
         fvps = Some(n);
     }
     let mut seconds: Vec<f64> = (0..runs)
         .map(|_| {
             let started = Instant::now();
-            let n = replay(w, shards, eval);
+            let (n, _) = replay(w, shards, eval, false);
             let elapsed = started.elapsed().as_secs_f64();
             assert_eq!(Some(n), fvps, "output size changed between runs");
             elapsed
@@ -114,6 +132,77 @@ fn measure(w: &Workload, shards: usize, eval: EvalMode, warmup: usize, runs: usi
         .collect();
     seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     seconds[seconds.len() / 2]
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// One profiled plan-evaluator replay at a single shard: the per-rule
+/// hot-spot table for the maritime gold description, plus the profiled
+/// throughput (so the profiler's overhead is visible next to the
+/// unprofiled numbers).
+fn hotspot_pass(w: &Workload, top_n: usize) -> (Vec<Value>, f64) {
+    let started = Instant::now();
+    let (_, aggregate) = replay(w, 1, EvalMode::Plan, true);
+    let eps = w.events.len() as f64 / started.elapsed().as_secs_f64();
+    let aggregate = aggregate.expect("profiled replay returns an aggregate");
+    eprintln!("{}", aggregate.render_table(top_n));
+    let rows = aggregate
+        .sorted()
+        .into_iter()
+        .take(top_n)
+        .map(|e| {
+            let mut row = BTreeMap::new();
+            row.insert("rule".to_string(), Value::from(e.name));
+            row.insert("kind".to_string(), Value::from(e.kind.as_str()));
+            row.insert(
+                "calls".to_string(),
+                Value::from(i64::try_from(e.cost.calls).unwrap_or(i64::MAX)),
+            );
+            row.insert(
+                "self_us".to_string(),
+                Value::from(i64::try_from(e.cost.self_us()).unwrap_or(i64::MAX)),
+            );
+            row.insert(
+                "interval_ops".to_string(),
+                Value::from(i64::try_from(e.cost.interval_ops).unwrap_or(i64::MAX)),
+            );
+            Value::Object(row.into_iter().collect())
+        })
+        .collect();
+    (rows, eps)
+}
+
+/// The short git revision, when the binary runs inside a work tree with
+/// git on PATH; `null` otherwise (the record is still appended).
+fn git_revision() -> Value {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output();
+    match output {
+        Ok(out) if out.status.success() => {
+            Value::from(String::from_utf8_lossy(&out.stdout).trim().to_string())
+        }
+        _ => Value::Null,
+    }
+}
+
+/// Loads the existing run log. A legacy single-run object (no `"runs"`
+/// key) becomes the first entry; unreadable or malformed files start a
+/// fresh log rather than aborting the benchmark.
+fn load_runs(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        eprintln!("warning: {path} is not JSON; starting a fresh run log");
+        return Vec::new();
+    };
+    match doc.get("runs").and_then(Value::as_array) {
+        Some(runs) => runs.clone(),
+        None => vec![doc],
+    }
 }
 
 fn main() {
@@ -146,10 +235,7 @@ fn main() {
             row.insert("shards".to_string(), Value::from(shards));
             row.insert("eval".to_string(), Value::from(eval.as_str()));
             row.insert("seconds_median".to_string(), Value::from(median));
-            row.insert(
-                "events_per_sec".to_string(),
-                Value::from((eps * 10.0).round() / 10.0),
-            );
+            row.insert("events_per_sec".to_string(), Value::from(round1(eps)));
             results.push(Value::Object(row.into_iter().collect()));
         }
         let interp = per_mode["interpreter"].1;
@@ -160,21 +246,48 @@ fn main() {
         );
     }
 
-    let mut doc = BTreeMap::new();
-    doc.insert("bench".to_string(), Value::from("service/replay_maritime"));
-    doc.insert("dataset".to_string(), Value::from("brest_default"));
-    doc.insert("events".to_string(), Value::from(n_events));
-    doc.insert("ticks".to_string(), Value::from(TICKS));
-    doc.insert("warmup_runs".to_string(), Value::from(warmup));
-    doc.insert("measured_runs".to_string(), Value::from(runs));
-    doc.insert("statistic".to_string(), Value::from("median"));
-    doc.insert("results".to_string(), Value::Array(results));
-    doc.insert(
+    let (hotspots, profiled_eps) = hotspot_pass(&w, rtec_obs::profile::DEFAULT_TOP_N);
+    eprintln!("profiled plan replay (1 shard): {profiled_eps:.0} events/s");
+
+    let date = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut run = BTreeMap::new();
+    run.insert("git_rev".to_string(), git_revision());
+    run.insert(
+        "date_epoch_secs".to_string(),
+        Value::from(i64::try_from(date).unwrap_or(0)),
+    );
+    let mut config = BTreeMap::new();
+    config.insert("dataset".to_string(), Value::from("brest_default"));
+    config.insert("events".to_string(), Value::from(n_events));
+    config.insert("ticks".to_string(), Value::from(TICKS));
+    config.insert("warmup_runs".to_string(), Value::from(warmup));
+    config.insert("measured_runs".to_string(), Value::from(runs));
+    config.insert("statistic".to_string(), Value::from("median"));
+    run.insert(
+        "config".to_string(),
+        Value::Object(config.into_iter().collect()),
+    );
+    run.insert("results".to_string(), Value::Array(results));
+    run.insert(
         "plan_speedup_by_shards".to_string(),
         Value::Object(speedups.into_iter().collect()),
     );
+    run.insert("hotspots".to_string(), Value::Array(hotspots));
+    run.insert(
+        "profiled_plan_events_per_sec".to_string(),
+        Value::from(round1(profiled_eps)),
+    );
+
+    let mut runs_log = load_runs(&out_path);
+    runs_log.push(Value::Object(run.into_iter().collect()));
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".to_string(), Value::from("service/replay_maritime"));
+    doc.insert("runs".to_string(), Value::Array(runs_log));
     let json = serde_json::to_string_pretty(&Value::Object(doc.into_iter().collect()))
         .expect("render json");
     std::fs::write(&out_path, format!("{json}\n")).expect("write output");
-    eprintln!("wrote {out_path}");
+    eprintln!("appended run to {out_path}");
 }

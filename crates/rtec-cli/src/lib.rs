@@ -66,7 +66,8 @@ pub enum Command {
         /// Output format.
         format: CheckFormat,
     },
-    /// `run <desc> <events> [--window W] [--horizon H] [--eval MODE]`
+    /// `run <desc> <events> [--window W] [--horizon H] [--eval MODE]
+    /// [--profile]`
     Run {
         /// Path to the event description.
         desc: String,
@@ -78,6 +79,8 @@ pub enum Command {
         horizon: Option<Timepoint>,
         /// Window evaluator (defaults to `RTEC_EVAL`, then interpreter).
         eval: rtec::engine::EvalMode,
+        /// Append a per-rule evaluation profile to the output.
+        profile: bool,
     },
     /// `similarity <a> <b>`
     Similarity {
@@ -134,7 +137,7 @@ rtec — Run-Time Event Calculus command line
 USAGE:
     rtec check <description.rtec> [--format text|json]
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
-             [--eval interpreter|plan]
+             [--eval interpreter|plan] [--profile]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
                [--metrics-addr HOST:PORT] [--checkpoint-dir DIR]
@@ -160,7 +163,9 @@ fails (exit 3) only when no row survives, `--strict` aborts on the
 first corrupt row instead.
 `run --eval plan` evaluates windows with the compiled plan instead of
 the AST interpreter (observationally identical; see docs/PLAN.md); the
-RTEC_EVAL environment variable sets the default.
+RTEC_EVAL environment variable sets the default. `run --profile`
+appends a per-rule self-time/call/interval-op table to the output
+without changing what is recognised (docs/PROFILING.md).
 Diagnostics are JSON-line events on stderr, filtered by RTEC_LOG
 (error|warn|info|debug; default info).
 ";
@@ -210,7 +215,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut window = None;
             let mut horizon = None;
             let mut eval = rtec::engine::EvalMode::from_env();
+            let mut profile = false;
             while let Some(flag) = it.next() {
+                if flag == "--profile" {
+                    profile = true;
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
@@ -235,6 +245,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 window,
                 horizon,
                 eval,
+                profile,
             })
         }
         Some("serve") => {
@@ -499,12 +510,16 @@ pub fn check_source_json(src: &str) -> (String, bool) {
 }
 
 /// `run` subcommand over in-memory inputs. Returns the rendered output.
+/// With `profile`, a per-rule evaluation profile table is appended
+/// after the summary; the recognised rows themselves are identical
+/// either way.
 pub fn run_source(
     desc_src: &str,
     events_src: &str,
     window: Option<Timepoint>,
     horizon: Option<Timepoint>,
     eval: rtec::engine::EvalMode,
+    profile: bool,
 ) -> Result<String, CliError> {
     let desc = EventDescription::parse_lenient(desc_src);
     let compiled = desc
@@ -523,8 +538,14 @@ pub fn run_source(
             Engine::with_plan(&compiled, config)
         }
     };
+    if profile {
+        engine.enable_profiler();
+    }
     stream.load_into(&mut engine);
     engine.run_to(horizon);
+    let profile_table = engine
+        .profile()
+        .map(|agg| agg.render_table(rtec_obs::profile::DEFAULT_TOP_N));
     let symbols = engine.symbols().clone();
     let stats = engine.stats();
     let output = engine.into_output();
@@ -554,6 +575,9 @@ pub fn run_source(
     );
     for w in &output.warnings {
         let _ = write!(out, "\nwarning: {w}");
+    }
+    if let Some(table) = profile_table {
+        let _ = write!(out, "\n\n{table}");
     }
     Ok(out)
 }
@@ -750,17 +774,27 @@ mod tests {
                 events: "e.evt".into(),
                 window: Some(3600),
                 horizon: None,
-                eval: rtec::engine::EvalMode::from_env()
+                eval: rtec::engine::EvalMode::from_env(),
+                profile: false
             }
         );
         assert_eq!(
-            parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "plan"])).unwrap(),
+            parse_args(&s(&[
+                "run",
+                "a.rtec",
+                "e.evt",
+                "--eval",
+                "plan",
+                "--profile"
+            ]))
+            .unwrap(),
             Command::Run {
                 desc: "a.rtec".into(),
                 events: "e.evt".into(),
                 window: None,
                 horizon: None,
-                eval: rtec::engine::EvalMode::Plan
+                eval: rtec::engine::EvalMode::Plan,
+                profile: true
             }
         );
         assert!(parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "magic"])).is_err());
@@ -1072,24 +1106,43 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
     fn run_end_to_end() {
         use rtec::engine::EvalMode;
         let events = "10 entersArea(v1, a1)\n30 leavesArea(v1, a1)\n";
-        let out = run_source(DESC, events, None, None, EvalMode::Interpreter).unwrap();
+        let out = run_source(DESC, events, None, None, EvalMode::Interpreter, false).unwrap();
         assert!(
             out.contains("holdsFor(inside(v1, a1)=true) = [[11, 31)]"),
             "{out}"
         );
         assert!(out.contains("2 events in 1 window(s)"));
         // Windowed run gives the same intervals.
-        let windowed = run_source(DESC, events, Some(7), None, EvalMode::Interpreter).unwrap();
+        let windowed =
+            run_source(DESC, events, Some(7), None, EvalMode::Interpreter, false).unwrap();
         assert!(windowed.contains("[[11, 31)]"));
         // The plan evaluator renders byte-identical output in both shapes.
         assert_eq!(
             out,
-            run_source(DESC, events, None, None, EvalMode::Plan).unwrap()
+            run_source(DESC, events, None, None, EvalMode::Plan, false).unwrap()
         );
         assert_eq!(
             windowed,
-            run_source(DESC, events, Some(7), None, EvalMode::Plan).unwrap()
+            run_source(DESC, events, Some(7), None, EvalMode::Plan, false).unwrap()
         );
+    }
+
+    #[test]
+    fn run_profile_appends_a_table_without_changing_rows() {
+        use rtec::engine::EvalMode;
+        let events = "10 entersArea(v1, a1)\n30 leavesArea(v1, a1)\n";
+        for eval in [EvalMode::Interpreter, EvalMode::Plan] {
+            let plain = run_source(DESC, events, Some(7), None, eval, false).unwrap();
+            let profiled = run_source(DESC, events, Some(7), None, eval, true).unwrap();
+            // The profiled output is the plain output plus the table.
+            assert!(profiled.starts_with(&plain), "{eval:?}: rows diverged");
+            let table = &profiled[plain.len()..];
+            assert!(table.contains("rule"), "{eval:?}: no table header: {table}");
+            assert!(
+                table.contains("inside/2"),
+                "{eval:?}: no attributed rule: {table}"
+            );
+        }
     }
 
     #[test]

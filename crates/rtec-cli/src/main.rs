@@ -110,8 +110,10 @@ fn main() -> ExitCode {
             window,
             horizon,
             eval,
-        } => read(&desc)
-            .and_then(|d| read(&events).and_then(|e| run_source(&d, &e, window, horizon, eval))),
+            profile,
+        } => read(&desc).and_then(|d| {
+            read(&events).and_then(|e| run_source(&d, &e, window, horizon, eval, profile))
+        }),
         Command::Similarity { a, b } => {
             read(&a).and_then(|sa| read(&b).map(|sb| similarity_sources(&sa, &sb)))
         }

@@ -19,6 +19,10 @@
 //! * **Spans** ([`mod@span`]) — per-thread span stacks that time a scope
 //!   into a histogram and tag concurrent events with their position in
 //!   the span stack.
+//! * **Profiles** ([`profile`]) — per-rule evaluation cost attribution
+//!   (self time, calls, interval-algebra ops) with bounded-cardinality
+//!   top-N + `other` exposition, shared by the engine, both evaluators
+//!   and the service's `profile` command.
 //! * **Count tables** ([`table`]) — sorted name→count tables shared by
 //!   stream statistics and telemetry summaries.
 //!
@@ -30,6 +34,7 @@
 pub mod event;
 pub mod expo;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod table;
@@ -38,6 +43,7 @@ pub use event::{
     debug, error, event, info, recent_events, set_max_level, set_sink, warn, FieldValue, Level,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use profile::{ProfileAggregate, ProfileEntry, RuleCost, RuleKind, WindowProfile};
 pub use registry::{global, MetricsRegistry};
 pub use span::{span, timed_span, SpanGuard};
 pub use table::CountTable;

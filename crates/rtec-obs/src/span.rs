@@ -100,4 +100,81 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert!(h.max() > 0);
     }
+
+    /// Span stacks are per-thread: a span opened on one thread is
+    /// invisible to `current_path()` on another, and concurrent stacks
+    /// never interleave.
+    #[test]
+    fn span_stacks_are_thread_isolated() {
+        let _outer = span("main_thread");
+        assert_eq!(current_path().as_deref(), Some("main_thread"));
+        let handle = std::thread::spawn(|| {
+            // Fresh thread: no inherited path.
+            assert_eq!(current_path(), None);
+            let _worker = span("worker");
+            assert_eq!(current_path().as_deref(), Some("worker"));
+            {
+                let _step = span("step");
+                assert_eq!(current_path().as_deref(), Some("worker/step"));
+            }
+            current_path()
+        });
+        // The worker's spans never leak into this thread's path.
+        assert_eq!(current_path().as_deref(), Some("main_thread"));
+        assert_eq!(handle.join().unwrap().as_deref(), Some("worker"));
+        assert_eq!(current_path().as_deref(), Some("main_thread"));
+    }
+
+    /// A `SpanGuard` closes (pops the stack, records its histogram)
+    /// even when the scope unwinds via panic — the worker supervisor
+    /// relies on this so a panicked shard leaves no stale span frames.
+    #[test]
+    fn span_guard_closes_under_unwinding() {
+        let h = Arc::new(Histogram::new());
+        let h2 = Arc::clone(&h);
+        let result = std::panic::catch_unwind(move || {
+            let _timed = timed_span("doomed", &h2);
+            assert_eq!(current_path().as_deref(), Some("doomed"));
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            panic!("injected");
+        });
+        assert!(result.is_err());
+        // The unwound guard popped its frame and recorded its duration.
+        assert_eq!(current_path(), None);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 200, "recorded {}us", h.max());
+    }
+
+    /// `timed_span` records into the log2 bucket covering its duration:
+    /// the single non-empty bucket's `[2^(i-1), 2^i)` range contains the
+    /// observed value.
+    #[test]
+    fn timed_span_records_into_the_right_bucket() {
+        use crate::metrics::HistogramSnapshot;
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = timed_span("bucketed", &h);
+            std::thread::sleep(std::time::Duration::from_micros(300));
+        }
+        assert_eq!(h.count(), 1);
+        let us = h.max();
+        assert!(us >= 300, "slept at least 300us, recorded {us}");
+        let snap = h.snapshot();
+        let nonzero: Vec<usize> = snap
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero.len(), 1, "exactly one bucket recorded: {snap:?}");
+        let bucket = nonzero[0];
+        assert_eq!(snap.counts[bucket], 1);
+        if let Some(upper) = HistogramSnapshot::upper_bound(bucket) {
+            assert!(us < upper, "{us}us at or over bucket bound {upper}");
+        }
+        assert!(bucket >= 1, "a 300us sleep cannot land in bucket 0");
+        let floor = HistogramSnapshot::upper_bound(bucket - 1).unwrap();
+        assert!(us >= floor, "{us}us under bucket floor {floor}");
+    }
 }

@@ -203,6 +203,58 @@ impl WindowEvaluator for Plan {
             }
         }
     }
+
+    fn evaluate_window_profiled(
+        &mut self,
+        events: &EventIndex,
+        cache: &mut FluentCache<'_>,
+        inertia: &mut InertiaState,
+        warnings: &mut WarningSink,
+        profile: &mut rtec_obs::profile::WindowProfile,
+    ) {
+        // Identical control flow to `evaluate_window`, with a timer and
+        // an interval-op snapshot around each stratum. Attribution must
+        // never reorder or alter the calls — observational identity to
+        // the unprofiled path is part of the evaluator contract.
+        let ctx = exec::ExecCtx {
+            symbols: &self.symbols,
+            eq: self.eq,
+            facts: &self.facts,
+            defined: &self.defined,
+            events,
+        };
+        for stratum in &self.strata {
+            if stratum.has_simple {
+                let ops_before = rtec::profile::interval_ops();
+                let started = std::time::Instant::now();
+                exec::eval_simple_stratum(
+                    &ctx,
+                    stratum.key,
+                    &stratum.simple,
+                    cache,
+                    inertia,
+                    warnings,
+                );
+                profile.record(
+                    rtec::profile::rule_name(&self.symbols, stratum.key),
+                    rtec_obs::profile::RuleKind::Simple,
+                    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    rtec::profile::interval_ops().wrapping_sub(ops_before),
+                );
+            }
+            if stratum.has_static {
+                let ops_before = rtec::profile::interval_ops();
+                let started = std::time::Instant::now();
+                exec::eval_static_stratum(&ctx, &stratum.statics, cache, warnings);
+                profile.record(
+                    rtec::profile::rule_name(&self.symbols, stratum.key),
+                    rtec_obs::profile::RuleKind::Static,
+                    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    rtec::profile::interval_ops().wrapping_sub(ops_before),
+                );
+            }
+        }
+    }
 }
 
 /// Extension constructor: an engine that evaluates windows with a plan

@@ -59,6 +59,11 @@ pub struct FaultPlan {
     pub queue_rejects: Vec<u64>,
     /// I/O faults by 1-based checkpoint-write index.
     pub io_faults: Vec<(u64, IoFaultKind)>,
+    /// Injected evaluation stalls by 1-based tick index: the session's
+    /// tick sleeps this many milliseconds mid-evaluation, driving it
+    /// over a configured slow-tick threshold (the flight-recorder
+    /// tests) or deadline.
+    pub tick_delays: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -82,6 +87,12 @@ impl FaultPlan {
     /// Schedules an I/O fault on the `n`-th checkpoint write.
     pub fn io_fault(mut self, n: u64, kind: IoFaultKind) -> FaultPlan {
         self.io_faults.push((n, kind));
+        self
+    }
+
+    /// Schedules a `millis` evaluation stall inside the `n`-th tick.
+    pub fn delay_tick(mut self, n: u64, millis: u64) -> FaultPlan {
+        self.tick_delays.push((n, millis));
         self
     }
 
@@ -144,6 +155,10 @@ mod active {
         pub writes: u64,
         /// Which scheduled I/O faults already fired.
         pub io_fired: Vec<bool>,
+        /// Ticks observed.
+        pub ticks: u64,
+        /// Which scheduled tick delays already fired.
+        pub tick_delays_fired: Vec<bool>,
         /// Total faults injected under this plan.
         pub injected: u64,
     }
@@ -159,6 +174,7 @@ mod active {
             let n_panics = plan.worker_panics.len();
             let n_rejects = plan.queue_rejects.len();
             let n_io = plan.io_faults.len();
+            let n_ticks = plan.tick_delays.len();
             FaultState {
                 plan,
                 worker_steps: Vec::new(),
@@ -167,6 +183,8 @@ mod active {
                 rejects_fired: vec![false; n_rejects],
                 writes: 0,
                 io_fired: vec![false; n_io],
+                ticks: 0,
+                tick_delays_fired: vec![false; n_ticks],
                 injected: 0,
             }
         }
@@ -277,6 +295,30 @@ pub(crate) fn on_ingest() -> Result<(), String> {
     Ok(())
 }
 
+/// Called inside each session tick (after the start timestamp); returns
+/// the injected stall in milliseconds, if one is scheduled. The caller
+/// sleeps, so the stall lands inside the measured tick wall time.
+#[inline]
+pub(crate) fn on_tick() -> Option<u64> {
+    #[cfg(feature = "testkit")]
+    {
+        let mut slot = active::ACTIVE.lock();
+        if let Some(state) = slot.as_mut() {
+            state.ticks += 1;
+            let tick = state.ticks;
+            for i in 0..state.plan.tick_delays.len() {
+                let (at, millis) = state.plan.tick_delays[i];
+                if !state.tick_delays_fired[i] && tick >= at {
+                    state.tick_delays_fired[i] = true;
+                    active::record_injection(state);
+                    return Some(millis);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Called before each checkpoint write; returns the I/O fault to apply,
 /// if one is scheduled for this write.
 #[inline]
@@ -324,6 +366,17 @@ mod tests {
             assert!(on_ingest().is_ok(), "op 1 passes");
             assert!(on_ingest().is_err(), "op 2 rejected");
             assert!(on_ingest().is_ok(), "op 3 passes: one-shot");
+        });
+        assert_eq!(injected, 1);
+    }
+
+    #[test]
+    fn tick_delays_fire_once_at_their_tick() {
+        let plan = FaultPlan::new().delay_tick(2, 25);
+        let ((), injected) = with_plan(plan, || {
+            assert_eq!(on_tick(), None, "tick 1 passes");
+            assert_eq!(on_tick(), Some(25), "tick 2 stalls");
+            assert_eq!(on_tick(), None, "tick 3 passes: one-shot");
         });
         assert_eq!(injected, 1);
     }

@@ -18,7 +18,8 @@
 //! | `rtec_service_intervals_ingested_total` | counter | — |
 //! | `rtec_service_backpressure_waits_total` | counter | — |
 //! | `rtec_service_ticks_total` | counter | — |
-//! | `rtec_service_tick_duration_us` | histogram | — |
+//! | `rtec_service_tick_duration_us` | histogram | `eval=interpreter\|plan` |
+//! | `rtec_recognition_latency_us` | histogram | `stage=admission\|release` |
 //! | `rtec_service_query_rows_total` | counter | — |
 //! | `rtec_service_faults_injected_total` | counter | — |
 //! | `rtec_service_worker_restarts_total` | counter | — |
@@ -31,7 +32,16 @@
 //! | `rtec_service_buffered` | gauge (sampled) | `session` |
 //! | `rtec_service_watermark_lag` | gauge (sampled) | `session` |
 //! | `rtec_service_reorder_buffered` | gauge (sampled) | `session` |
+//! | `rtec_profile_rule_self_us` | gauge (sampled) | `session`, `rule`, `kind` |
+//! | `rtec_profile_rule_calls` | gauge (sampled) | `session`, `rule`, `kind` |
+//! | `rtec_profile_rule_interval_ops` | gauge (sampled) | `session`, `rule`, `kind` |
+//!
+//! The three `rtec_profile_rule_*` families are **bounded**: top-N rules
+//! by self-time per session plus one `rule="other"` rollup (see
+//! [`rtec_obs::profile::bounded_samples`]), so scrape cardinality stays
+//! capped however many rules a description defines.
 
+use rtec::engine::EvalMode;
 use rtec::reorder::DeadLetterReason;
 use rtec_obs::{Counter, Histogram};
 use serde_json::Value;
@@ -52,8 +62,18 @@ pub struct ServiceMetrics {
     pub backpressure_waits: Arc<Counter>,
     /// Ticks served across all sessions.
     pub ticks: Arc<Counter>,
-    /// Tick wall-clock latency (microseconds), across all sessions.
-    pub tick_duration_us: Arc<Histogram>,
+    /// Tick wall-clock latency (microseconds), sessions on the AST
+    /// interpreter.
+    pub tick_duration_interpreter: Arc<Histogram>,
+    /// Tick wall-clock latency (microseconds), sessions on the compiled
+    /// plan.
+    pub tick_duration_plan: Arc<Histogram>,
+    /// End-to-end recognition latency from service admission to the
+    /// tick that evaluated the event's timepoint.
+    pub recognition_latency_admission: Arc<Histogram>,
+    /// End-to-end recognition latency from reorder-buffer release (or
+    /// direct routing) to the evaluating tick.
+    pub recognition_latency_release: Arc<Histogram>,
     /// Recognition rows returned by `query` commands.
     pub query_rows: Arc<Counter>,
     /// Faults injected by the testkit fault harness (0 in production).
@@ -108,10 +128,27 @@ impl ServiceMetrics {
                 &[],
             ),
             ticks: r.counter("rtec_service_ticks_total", "Ticks served.", &[]),
-            tick_duration_us: r.histogram(
+            tick_duration_interpreter: r.histogram(
                 "rtec_service_tick_duration_us",
                 "Tick wall-clock latency (microseconds).",
-                &[],
+                &[("eval", "interpreter")],
+            ),
+            tick_duration_plan: r.histogram(
+                "rtec_service_tick_duration_us",
+                "Tick wall-clock latency (microseconds).",
+                &[("eval", "plan")],
+            ),
+            recognition_latency_admission: r.histogram(
+                "rtec_recognition_latency_us",
+                "Recognition latency from event arrival to the evaluating tick \
+                 (microseconds), by pipeline stage.",
+                &[("stage", "admission")],
+            ),
+            recognition_latency_release: r.histogram(
+                "rtec_recognition_latency_us",
+                "Recognition latency from event arrival to the evaluating tick \
+                 (microseconds), by pipeline stage.",
+                &[("stage", "release")],
             ),
             query_rows: r.counter(
                 "rtec_service_query_rows_total",
@@ -163,6 +200,14 @@ impl ServiceMetrics {
                 "Ingest operations refused by admission control.",
                 &[],
             ),
+        }
+    }
+
+    /// The `rtec_service_tick_duration_us` handle for one evaluator.
+    pub fn tick_duration(&self, eval: EvalMode) -> &Arc<Histogram> {
+        match eval {
+            EvalMode::Interpreter => &self.tick_duration_interpreter,
+            EvalMode::Plan => &self.tick_duration_plan,
         }
     }
 

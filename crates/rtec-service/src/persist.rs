@@ -194,6 +194,11 @@ impl SessionCheckpoint {
             opt_counter_u64(self.config.tick_deadline_ms),
         );
         config.insert("eval".to_string(), Value::from(self.config.eval.as_str()));
+        config.insert("profile".to_string(), Value::Bool(self.config.profile));
+        config.insert(
+            "slow_tick_ms".to_string(),
+            opt_counter_u64(self.config.slow_tick_ms),
+        );
         state.insert("config".to_string(), Value::Object(config));
         state.insert(
             "master_symbols".to_string(),
@@ -353,6 +358,16 @@ impl SessionCheckpoint {
                     .and_then(rtec::engine::EvalMode::parse)
                     .ok_or("session checkpoint: bad eval mode")?,
             },
+            // Lenient on read: checkpoints written before the profiler
+            // restore with it on (the default) — profiler state itself
+            // is process-local and was never in the checkpoint anyway.
+            profile: match config_v.get("profile") {
+                None | Some(Value::Null) => true,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or("session checkpoint: non-boolean \"profile\"")?,
+            },
+            slow_tick_ms: opt_u64_of(config_v, "slow_tick_ms")?,
         };
         let master_symbols = str_array(state, "master_symbols")?;
         let router_v = state

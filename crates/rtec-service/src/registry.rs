@@ -118,6 +118,7 @@ impl Registry {
             "tick" => self.cmd_tick(&req),
             "query" => self.cmd_query(&req),
             "stats" => self.cmd_stats(&req),
+            "profile" => self.cmd_profile(&req),
             "deadletter" => self.cmd_deadletter(&req),
             "metrics" => self.cmd_metrics(),
             "restore" => self.cmd_restore(&req),
@@ -188,6 +189,17 @@ impl Registry {
         if let Some(eval) = opt_str_field(req, "eval")? {
             config.eval = rtec::engine::EvalMode::parse(eval)
                 .ok_or_else(|| format!("unknown eval mode \"{eval}\" (interpreter|plan)"))?;
+        }
+        // Profiling defaults on; `"profile": false` opts a session out.
+        if let Some(v) = req.get("profile") {
+            config.profile = v.as_bool().ok_or("field \"profile\" must be a boolean")?;
+        }
+        if let Some(threshold) = opt_int_field(req, "slow_tick_ms")? {
+            let threshold = u64::try_from(threshold).map_err(|_| "slow_tick_ms must be >= 0")?;
+            config.slow_tick_ms = Some(threshold);
+        }
+        if config.slow_tick_ms.is_some() && !config.profile {
+            return Err("slow_tick_ms requires profile".into());
         }
         let mut sessions = self.sessions.lock();
         if sessions.contains_key(name) {
@@ -433,6 +445,7 @@ impl Registry {
             deadletter.insert(reason.as_str().to_string(), counter(ledger.count(reason)));
         }
         Ok(OkFrame::new()
+            .field("evaluator", session.evaluator())
             .field("events_ingested", counter(stats.events_ingested))
             .field("intervals_ingested", counter(stats.intervals_ingested))
             .field("backpressure_waits", counter(stats.backpressure_waits))
@@ -482,6 +495,53 @@ impl Registry {
             .render())
     }
 
+    /// Handles the `profile` command: the session's merged per-rule
+    /// evaluation profile as of its last tick, sorted by self-time
+    /// descending. `"top": N` truncates the rule list; `"dumps": true`
+    /// attaches the retained flight-recorder dumps (parsed JSON).
+    fn cmd_profile(&self, req: &Value) -> Result<String, ServiceError> {
+        let session = self.session(req)?;
+        let session = session.lock();
+        let mut frame = OkFrame::new().field("evaluator", session.evaluator());
+        let Some(profile) = session.profile() else {
+            return Ok(frame.field("enabled", false).render());
+        };
+        let top = match opt_int_field(req, "top")? {
+            None => usize::MAX,
+            Some(n) => usize::try_from(n).map_err(|_| "top must be >= 0")?,
+        };
+        let total = profile.total();
+        let rules: Vec<Value> = profile
+            .sorted()
+            .into_iter()
+            .take(top)
+            .map(|e| {
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("rule".to_string(), Value::from(e.name));
+                map.insert("kind".to_string(), Value::from(e.kind.as_str()));
+                map.insert("calls".to_string(), counter(e.cost.calls));
+                map.insert("self_us".to_string(), counter(e.cost.self_us()));
+                map.insert("interval_ops".to_string(), counter(e.cost.interval_ops));
+                Value::Object(map.into_iter().collect())
+            })
+            .collect();
+        frame = frame
+            .field("enabled", true)
+            .field("windows", counter(profile.windows))
+            .field("rules", Value::Array(rules))
+            .field("total_self_us", counter(total.self_us()))
+            .field("total_interval_ops", counter(total.interval_ops));
+        if opt_bool_field(req, "dumps")? {
+            let dumps: Vec<Value> = session
+                .flight_dumps()
+                .iter()
+                .map(|d| serde_json::from_str(d).unwrap_or_else(|_| Value::from(d.as_str())))
+                .collect();
+            frame = frame.field("flight_dumps", Value::Array(dumps));
+        }
+        Ok(frame.render())
+    }
+
     /// Handles the `metrics` command: the full Prometheus exposition as
     /// a JSON-carried string.
     fn cmd_metrics(&self) -> Result<String, ServiceError> {
@@ -504,6 +564,7 @@ impl Registry {
         let mut buffered: Vec<(String, i64)> = Vec::new();
         let mut watermark_lag: Vec<(String, i64)> = Vec::new();
         let mut reorder_buffered: Vec<(String, i64)> = Vec::new();
+        let mut profiles: Vec<(String, rtec_obs::profile::ProfileAggregate)> = Vec::new();
         {
             let sessions = self.sessions.lock();
             sessions_open = sessions.len() as i64;
@@ -530,6 +591,11 @@ impl Registry {
                 if let Some(lag) = session.watermark_lag() {
                     watermark_lag.push((labels.clone(), lag));
                     reorder_buffered.push((labels, session.reorder_buffered() as i64));
+                }
+                if let Some(profile) = session.profile() {
+                    if !profile.is_empty() {
+                        profiles.push((name.clone(), profile.clone()));
+                    }
                 }
             }
         }
@@ -568,6 +634,15 @@ impl Registry {
             "rtec_service_reorder_buffered",
             "Events held in the reorder buffer awaiting the watermark.",
             &reorder_buffered,
+        );
+        let profile_refs: Vec<(&str, &rtec_obs::profile::ProfileAggregate)> = profiles
+            .iter()
+            .map(|(name, agg)| (name.as_str(), agg))
+            .collect();
+        rtec_obs::profile::render_prometheus(
+            &mut text,
+            &profile_refs,
+            rtec_obs::profile::DEFAULT_TOP_N,
         );
         text
     }

@@ -36,8 +36,9 @@
 //!   command except `close` fails with a `quarantined` error, and other
 //!   sessions are unaffected.
 
+use crate::flight::{FlightRecorder, TickTrace};
 use crate::router::{PendingItem, Route, Router, RouterSnapshot};
-use crate::worker::{ShardWorker, WorkerMsg};
+use crate::worker::{ShardWorker, WorkerMsg, WorkerOptions};
 use crossbeam::channel::bounded;
 use rtec::checkpoint::EngineCheckpoint;
 use rtec::description::{CompiledDescription, EventDescription};
@@ -47,6 +48,7 @@ use rtec::parallel::{FirstArgPartitioner, Partitioner};
 use rtec::reorder::{DeadLetterLedger, DeadLetterReason, ReorderBuffer, ReorderSnapshot};
 use rtec::term::{GroundFvp, Term};
 use rtec::{SymbolTable, Timepoint};
+use rtec_obs::profile::ProfileAggregate;
 use rtec_obs::Histogram;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +95,19 @@ pub struct SessionConfig {
     /// environment variable so whole test suites can be re-run under
     /// either mode without code changes.
     pub eval: EvalMode,
+    /// Per-rule evaluation profiling: shard engines attribute self
+    /// wall-time, call counts and interval-algebra ops to each fluent,
+    /// the session merges them per tick, and recognition-latency stamps
+    /// feed `rtec_recognition_latency_us`. On by default — attribution
+    /// is a couple of clock reads per stratum and never perturbs
+    /// recognition output. Profiler state is process-local: it is not
+    /// checkpointed, and a respawned shard restarts attribution at zero.
+    pub profile: bool,
+    /// Slow-tick threshold in milliseconds: a profiled tick at least
+    /// this slow promotes its flight-recorder trace to a retained JSON
+    /// dump (see [`crate::flight`]). `None` disables promotion;
+    /// requires `profile`.
+    pub slow_tick_ms: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -108,6 +123,8 @@ impl Default for SessionConfig {
             max_buffered_bytes: None,
             tick_deadline_ms: None,
             eval: EvalMode::from_env(),
+            profile: true,
+            slow_tick_ms: None,
         }
     }
 }
@@ -211,11 +228,28 @@ pub struct Session {
     events_since_tick: u64,
     /// Ingests shed since the last tick (reported on the tick reply).
     shed_since_tick: u64,
+    /// Merged per-rule totals across shard engines, refreshed each tick
+    /// (empty when profiling is off). Process-local, never persisted.
+    profile_agg: ProfileAggregate,
+    /// Ring of recent per-tick traces plus promoted dumps.
+    flight: FlightRecorder,
+    /// `(timepoint, service-admission instant)` per admitted event,
+    /// drained into the recognition-latency histogram by the tick that
+    /// evaluates past the timepoint. Bounded; overflow drops stamps
+    /// (latency sampling degrades, recognition is untouched).
+    arrival_stamps: Vec<(Timepoint, Instant)>,
+    /// Like `arrival_stamps`, stamped when the event leaves the reorder
+    /// buffer (or is routed directly) — the release stage.
+    release_stamps: Vec<(Timepoint, Instant)>,
 }
 
 /// Recent refused-record entries retained per session (counts are exact
 /// regardless).
 const SESSION_DEAD_LETTER_CAP: usize = 1024;
+
+/// Recognition-latency stamps retained per stage between ticks; beyond
+/// this the stamp is dropped (sampling, not accounting).
+const STAMP_CAP: usize = 65536;
 
 impl Session {
     /// Compiles `description_src` and spawns the shard workers.
@@ -236,7 +270,7 @@ impl Session {
                 ShardWorker::spawn(
                     Arc::clone(&compiled),
                     engine_config,
-                    config.eval,
+                    worker_options(&config),
                     config.queue_capacity,
                     shard,
                 )
@@ -275,6 +309,10 @@ impl Session {
             ledger: DeadLetterLedger::new(SESSION_DEAD_LETTER_CAP),
             events_since_tick: 0,
             shed_since_tick: 0,
+            profile_agg: ProfileAggregate::new(),
+            flight: FlightRecorder::new(),
+            arrival_stamps: Vec::new(),
+            release_stamps: Vec::new(),
         })
     }
 
@@ -319,7 +357,7 @@ impl Session {
                 ShardWorker::respawn(
                     Arc::clone(&compiled),
                     engine_config,
-                    config.eval,
+                    worker_options(&config),
                     config.queue_capacity,
                     shard,
                     cp.clone(),
@@ -361,6 +399,10 @@ impl Session {
             ledger: DeadLetterLedger::new(SESSION_DEAD_LETTER_CAP),
             events_since_tick: 0,
             shed_since_tick: 0,
+            profile_agg: ProfileAggregate::new(),
+            flight: FlightRecorder::new(),
+            arrival_stamps: Vec::new(),
+            release_stamps: Vec::new(),
         })
     }
 
@@ -488,8 +530,10 @@ impl Session {
                 self.dead_letter(reason, Some(t), term_src);
                 return Ok(Ingest::Refused(reason));
             }
+            self.stamp_arrival(t);
             self.release_ready()?;
         } else {
+            self.stamp_arrival(t);
             self.route_event(term, t)?;
         }
         self.stats.events_ingested += 1;
@@ -497,8 +541,19 @@ impl Session {
         Ok(Ingest::Accepted)
     }
 
+    /// Stamps one admitted event for the `stage="admission"` leg of the
+    /// recognition-latency histogram.
+    fn stamp_arrival(&mut self, t: Timepoint) {
+        if self.config.profile && self.arrival_stamps.len() < STAMP_CAP {
+            self.arrival_stamps.push((t, Instant::now()));
+        }
+    }
+
     /// Routes one (released or direct) event to its shard.
     fn route_event(&mut self, term: Term, t: Timepoint) -> Result<(), String> {
+        if self.config.profile && self.release_stamps.len() < STAMP_CAP {
+            self.release_stamps.push((t, Instant::now()));
+        }
         let entities = self.partitioner.event_entities(&term);
         match self.router.route(&entities) {
             Route::Shard(s) => self.send_input(s, PendingItem::Event(term, t))?,
@@ -641,7 +696,7 @@ impl Session {
             Some(cp) => ShardWorker::respawn(
                 Arc::clone(&self.desc),
                 self.engine_config,
-                self.config.eval,
+                worker_options(&self.config),
                 self.config.queue_capacity,
                 shard,
                 cp.clone(),
@@ -649,7 +704,7 @@ impl Session {
             None => ShardWorker::spawn(
                 Arc::clone(&self.desc),
                 self.engine_config,
-                self.config.eval,
+                worker_options(&self.config),
                 self.config.queue_capacity,
                 shard,
             ),
@@ -693,6 +748,21 @@ impl Session {
                 ("replayed", self.shard_states[shard].replay.len().into()),
             ],
         );
+        // Post-mortem context: what was the session doing in the ticks
+        // leading up to the crash? The whole ring is promoted so the
+        // evidence survives the respawn.
+        if self.config.profile {
+            let dump = self.flight.dump_ring(&self.name, "worker_respawn");
+            rtec_obs::warn(
+                "session.flight_recorder_dump",
+                &[
+                    ("session", self.name.as_str().into()),
+                    ("reason", "worker_respawn".into()),
+                    ("shard", shard.into()),
+                    ("dump", dump.as_str().into()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -715,6 +785,11 @@ impl Session {
     pub fn tick(&mut self, to: Timepoint) -> Result<TickReport, String> {
         self.check_live()?;
         let started = Instant::now();
+        // Injected evaluation stall (testkit): lands inside the measured
+        // tick wall time so slow-tick handling is testable.
+        if let Some(millis) = crate::fault::on_tick() {
+            crate::fault::apply_delay(millis);
+        }
         // Force-release everything at or before the tick horizon:
         // evaluation up to `to` must see every admitted event there,
         // watermark or not.
@@ -757,7 +832,10 @@ impl Session {
         self.stats.tick_latency.observe_duration(elapsed);
         let metrics = crate::obs::metrics();
         metrics.ticks.inc();
-        metrics.tick_duration_us.observe_duration(elapsed);
+        metrics
+            .tick_duration(self.config.eval)
+            .observe_duration(elapsed);
+        self.observe_recognition_latency(to);
         let degraded = self
             .config
             .tick_deadline_ms
@@ -777,11 +855,98 @@ impl Session {
         }
         let shed = std::mem::take(&mut self.shed_since_tick);
         self.events_since_tick = 0;
+        if self.config.profile {
+            self.record_tick_trace(to, elapsed, shed, degraded);
+        }
         Ok(TickReport {
             engine: total,
             degraded,
             shed,
         })
+    }
+
+    /// Drains recognition-latency stamps the tick horizon has passed
+    /// into the stage-labelled `rtec_recognition_latency_us` histograms:
+    /// an event's intervals become externally visible at the completion
+    /// of the first tick whose horizon covers its timepoint.
+    fn observe_recognition_latency(&mut self, to: Timepoint) {
+        if self.arrival_stamps.is_empty() && self.release_stamps.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let metrics = crate::obs::metrics();
+        for (stamps, histogram) in [
+            (
+                &mut self.arrival_stamps,
+                &metrics.recognition_latency_admission,
+            ),
+            (
+                &mut self.release_stamps,
+                &metrics.recognition_latency_release,
+            ),
+        ] {
+            stamps.retain(|&(t, at)| {
+                if t <= to {
+                    histogram.observe_duration(now.saturating_duration_since(at));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    /// Collects per-shard profiles, refreshes the session's merged
+    /// totals, and records this tick's trace (the per-rule cost *delta*
+    /// against the previous merge) into the flight recorder; a tick at
+    /// or over [`SessionConfig::slow_tick_ms`] promotes the trace to a
+    /// retained JSON dump. Best-effort: a shard that died mid-collection
+    /// simply contributes nothing this round.
+    fn record_tick_trace(&mut self, to: Timepoint, elapsed: Duration, shed: u64, degraded: bool) {
+        let mut merged = ProfileAggregate::new();
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            if worker.send(WorkerMsg::Profile(tx)).is_ok() {
+                replies.push((shard, rx));
+            }
+        }
+        for (shard, rx) in replies {
+            if let Ok(agg) = self.workers[shard].recv_reply(&rx) {
+                merged.merge(&agg);
+            }
+        }
+        let rules = merged.delta_since(&self.profile_agg);
+        self.profile_agg = merged;
+        let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.flight.record(TickTrace {
+            tick: self.stats.ticks,
+            to,
+            elapsed_us,
+            rules,
+            queue_depths: self.queue_depths(),
+            reorder_buffered: self.reorder_buffered(),
+            watermark_lag: self.watermark_lag(),
+            shed,
+            degraded,
+        });
+        let slow = self
+            .config
+            .slow_tick_ms
+            .is_some_and(|threshold| elapsed.as_millis() as u64 >= threshold);
+        if slow {
+            if let Some(dump) = self.flight.dump_last(&self.name, "slow_tick") {
+                rtec_obs::warn(
+                    "session.flight_recorder_dump",
+                    &[
+                        ("session", self.name.as_str().into()),
+                        ("reason", "slow_tick".into()),
+                        ("elapsed_us", elapsed_us.into()),
+                        ("dump", dump.as_str().into()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Takes a fresh checkpoint of every shard and clears the replay
@@ -913,6 +1078,24 @@ impl Session {
         &self.stats.queue_high_water
     }
 
+    /// The label of the session's window evaluator
+    /// (`"interpreter"` / `"plan"`).
+    pub fn evaluator(&self) -> &'static str {
+        self.config.eval.as_str()
+    }
+
+    /// The merged per-rule profile across shard engines as of the last
+    /// tick; `None` when the session was opened with profiling off.
+    pub fn profile(&self) -> Option<&ProfileAggregate> {
+        self.config.profile.then_some(&self.profile_agg)
+    }
+
+    /// Retained flight-recorder dumps (slow ticks, worker respawns),
+    /// oldest first.
+    pub fn flight_dumps(&self) -> &[String] {
+        self.flight.dumps()
+    }
+
     /// Drains every worker and returns final aggregate stats. Buffered
     /// (never-ticked) items are flushed first so nothing is dropped.
     /// Close is deliberately tolerant of dead workers — a quarantined
@@ -988,6 +1171,13 @@ impl Session {
             ],
         );
         Ok(self.stats)
+    }
+}
+
+fn worker_options(config: &SessionConfig) -> WorkerOptions {
+    WorkerOptions {
+        eval: config.eval,
+        profile: config.profile,
     }
 }
 

@@ -30,6 +30,7 @@ use rtec::engine::{Engine, EngineConfig, EngineStats, EvalMode, RecognitionOutpu
 use rtec::interval::IntervalList;
 use rtec::term::GroundFvp;
 use rtec::{Term, Timepoint};
+use rtec_obs::profile::ProfileAggregate;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,8 +47,20 @@ pub enum WorkerMsg {
     Snapshot(Sender<(RecognitionOutput, EngineStats)>),
     /// Reply with a checkpoint of the engine's full retained state.
     Checkpoint(Sender<Box<EngineCheckpoint>>),
+    /// Reply with the engine's lifetime per-rule profile (empty when
+    /// the worker was spawned without profiling).
+    Profile(Sender<Box<ProfileAggregate>>),
     /// Process everything queued so far, reply with final stats, stop.
     Drain(Sender<EngineStats>),
+}
+
+/// Evaluator and profiling choices a worker's engine is spawned with.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerOptions {
+    /// Window-evaluation strategy (AST interpreter or compiled plan).
+    pub eval: EvalMode,
+    /// Whether the engine attributes per-rule evaluation costs.
+    pub profile: bool,
 }
 
 /// Handle to a shard worker thread.
@@ -62,11 +75,11 @@ impl ShardWorker {
     pub fn spawn(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
-        eval: EvalMode,
+        options: WorkerOptions,
         capacity: usize,
         shard: usize,
     ) -> ShardWorker {
-        ShardWorker::spawn_inner(desc, config, eval, capacity, shard, None)
+        ShardWorker::spawn_inner(desc, config, options, capacity, shard, None)
     }
 
     /// Spawns a replacement worker whose engine resumes from
@@ -77,18 +90,18 @@ impl ShardWorker {
     pub fn respawn(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
-        eval: EvalMode,
+        options: WorkerOptions,
         capacity: usize,
         shard: usize,
         checkpoint: EngineCheckpoint,
     ) -> ShardWorker {
-        ShardWorker::spawn_inner(desc, config, eval, capacity, shard, Some(checkpoint))
+        ShardWorker::spawn_inner(desc, config, options, capacity, shard, Some(checkpoint))
     }
 
     fn spawn_inner(
         desc: Arc<CompiledDescription>,
         config: EngineConfig,
-        eval: EvalMode,
+        options: WorkerOptions,
         capacity: usize,
         shard: usize,
         checkpoint: Option<EngineCheckpoint>,
@@ -112,8 +125,14 @@ impl ShardWorker {
             // applied uniformly to fresh and restored engines alike —
             // including restores from a checkpoint written under the
             // other mode.
-            if eval == EvalMode::Plan {
+            if options.eval == EvalMode::Plan {
                 engine.set_evaluator(Box::new(rtec_plan::Plan::compile(&desc)));
+            }
+            // Profiler state is process-local and never checkpointed: a
+            // respawned worker restarts attribution from zero while the
+            // session keeps the lifetime totals it already merged.
+            if options.profile {
+                engine.enable_profiler();
             }
             run_worker(&mut engine, shard, &receiver);
         });
@@ -228,6 +247,9 @@ fn handle_msg(engine: &mut Engine, msg: WorkerMsg) -> bool {
         WorkerMsg::Checkpoint(reply) => {
             let _ = reply.send(Box::new(engine.checkpoint()));
         }
+        WorkerMsg::Profile(reply) => {
+            let _ = reply.send(Box::new(engine.profile().cloned().unwrap_or_default()));
+        }
         WorkerMsg::Drain(reply) => {
             // Graceful drain: everything enqueued before the Drain
             // has already been handled (the channel is FIFO); no
@@ -255,13 +277,20 @@ mod tests {
         (Arc::new(desc.compile().unwrap()), master)
     }
 
+    fn interp(profile: bool) -> WorkerOptions {
+        WorkerOptions {
+            eval: EvalMode::Interpreter,
+            profile,
+        }
+    }
+
     #[test]
     fn worker_processes_and_drains() {
         let (compiled, mut master) = compiled();
         let w = ShardWorker::spawn(
             Arc::clone(&compiled),
             EngineConfig::default(),
-            EvalMode::Interpreter,
+            interp(true),
             4,
             0,
         );
@@ -285,15 +314,44 @@ mod tests {
             .collect();
         assert_eq!(rendered, vec!["on(a)=true=[[6, 10)]".to_string()]);
 
+        let (tx, rx) = bounded(1);
+        w.send(WorkerMsg::Profile(tx)).ok().unwrap();
+        let profile = rx.recv().unwrap();
+        assert_eq!(profile.windows, 1);
+        assert_eq!(profile.total().calls, 1, "one simple stratum evaluated");
+
         let final_stats = w.drain().unwrap();
         assert_eq!(final_stats.windows, 1);
+    }
+
+    #[test]
+    fn unprofiled_worker_replies_with_an_empty_profile() {
+        let (compiled, mut master) = compiled();
+        let w = ShardWorker::spawn(
+            Arc::clone(&compiled),
+            EngineConfig::default(),
+            interp(false),
+            4,
+            0,
+        );
+        let up = rtec::parser::parse_term("up(a)", &mut master).unwrap();
+        w.send(WorkerMsg::Event(up, 5)).ok().unwrap();
+        let (tx, rx) = bounded(1);
+        w.send(WorkerMsg::RunTo(20, tx)).ok().unwrap();
+        rx.recv().unwrap();
+        let (tx, rx) = bounded(1);
+        w.send(WorkerMsg::Profile(tx)).ok().unwrap();
+        let profile = rx.recv().unwrap();
+        assert!(profile.is_empty());
+        assert_eq!(profile.windows, 0);
+        w.drain().unwrap();
     }
 
     #[test]
     fn respawn_resumes_from_a_checkpoint() {
         let (compiled, mut master) = compiled();
         let config = EngineConfig::windowed(10);
-        let w = ShardWorker::spawn(Arc::clone(&compiled), config, EvalMode::Interpreter, 4, 0);
+        let w = ShardWorker::spawn(Arc::clone(&compiled), config, interp(false), 4, 0);
 
         let up = rtec::parser::parse_term("up(a)", &mut master).unwrap();
         let down = rtec::parser::parse_term("down(a)", &mut master).unwrap();
@@ -306,14 +364,7 @@ mod tests {
         let cp = rx.recv().unwrap();
         drop(w); // simulate the first worker dying
 
-        let w2 = ShardWorker::respawn(
-            Arc::clone(&compiled),
-            config,
-            EvalMode::Interpreter,
-            4,
-            0,
-            *cp,
-        );
+        let w2 = ShardWorker::respawn(Arc::clone(&compiled), config, interp(false), 4, 0, *cp);
         w2.send(WorkerMsg::Event(down, 14)).ok().unwrap();
         let (tx, rx) = bounded(1);
         w2.send(WorkerMsg::RunTo(20, tx)).ok().unwrap();
@@ -332,13 +383,7 @@ mod tests {
     #[test]
     fn dead_worker_hands_the_message_back() {
         let (compiled, mut master) = compiled();
-        let mut w = ShardWorker::spawn(
-            compiled,
-            EngineConfig::default(),
-            EvalMode::Interpreter,
-            4,
-            0,
-        );
+        let mut w = ShardWorker::spawn(compiled, EngineConfig::default(), interp(false), 4, 0);
         // Kill the worker via Drain and join so the receiver is dropped.
         let (tx, rx) = bounded(1);
         w.send(WorkerMsg::Drain(tx)).ok().unwrap();

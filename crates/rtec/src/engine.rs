@@ -132,6 +132,26 @@ pub trait WindowEvaluator: Send {
         inertia: &mut InertiaState,
         warnings: &mut WarningSink,
     );
+
+    /// Like [`WindowEvaluator::evaluate_window`], but additionally
+    /// attributing per-rule self wall-time and interval-op counts into
+    /// `profile` (one entry per evaluated stratum). The default forwards
+    /// to `evaluate_window` and attributes nothing, so evaluators
+    /// without profiling support keep working. Overrides must keep the
+    /// profiled path observationally identical to the unprofiled one:
+    /// attribution may only *time* the existing calls, never reorder or
+    /// alter them.
+    fn evaluate_window_profiled(
+        &mut self,
+        events: &EventIndex,
+        cache: &mut FluentCache<'_>,
+        inertia: &mut InertiaState,
+        warnings: &mut WarningSink,
+        profile: &mut rtec_obs::profile::WindowProfile,
+    ) {
+        let _ = profile;
+        self.evaluate_window(events, cache, inertia, warnings);
+    }
 }
 
 /// The accumulated recognition result: maximal intervals per ground FVP.
@@ -262,6 +282,10 @@ pub struct Engine<'a> {
     /// Replacement window-evaluation strategy; `None` runs the AST
     /// interpreter.
     evaluator: Option<Box<dyn WindowEvaluator>>,
+    /// Per-rule cost attribution; `None` (the default) disables
+    /// profiling entirely. Process-local — never part of a checkpoint,
+    /// so checkpoint bytes are identical with profiling on or off.
+    profiler: Option<crate::profile::EngineProfiler>,
 }
 
 impl<'a> Engine<'a> {
@@ -282,6 +306,7 @@ impl<'a> Engine<'a> {
             dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
             stale_rejected: 0,
             evaluator: None,
+            profiler: None,
         }
     }
 
@@ -313,6 +338,37 @@ impl<'a> Engine<'a> {
             .as_deref()
             .map(WindowEvaluator::label)
             .unwrap_or("interpreter")
+    }
+
+    /// Enables per-rule profiling (idempotent). Works with either
+    /// evaluation strategy and never perturbs recognition output —
+    /// attribution only times the existing per-stratum calls.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(crate::profile::EngineProfiler::new());
+        }
+    }
+
+    /// Whether per-rule profiling is enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The session-lifetime per-rule cost totals, if profiling is
+    /// enabled.
+    pub fn profile(&self) -> Option<&rtec_obs::profile::ProfileAggregate> {
+        self.profiler
+            .as_ref()
+            .map(crate::profile::EngineProfiler::aggregate)
+    }
+
+    /// Takes the most recent window's per-rule trace (used by the
+    /// service's flight recorder), if profiling is enabled and a window
+    /// was evaluated since the last take.
+    pub fn take_window_profile(&mut self) -> Option<rtec_obs::profile::WindowProfile> {
+        self.profiler
+            .as_mut()
+            .and_then(crate::profile::EngineProfiler::take_last_window)
     }
 
     /// Run-time counters.
@@ -585,6 +641,7 @@ impl<'a> Engine<'a> {
             dead_letters: DeadLetterLedger::new(ENGINE_DEAD_LETTER_CAP),
             stale_rejected: 0,
             evaluator: None,
+            profiler: None,
         };
         for (fvp, list) in &checkpoint.inputs {
             engine.add_input_intervals(fvp.clone(), list.clone());
@@ -609,11 +666,30 @@ impl<'a> Engine<'a> {
         let index = EventIndex::build(chunk_events);
 
         let mut cache = FluentCache::new(&self.inputs, &self.inputs_by_key);
+        let mut window_profile = self
+            .profiler
+            .as_ref()
+            .map(|_| rtec_obs::profile::WindowProfile::new());
         if let Some(evaluator) = self.evaluator.as_deref_mut() {
-            evaluator.evaluate_window(&index, &mut cache, &mut self.inertia, &mut self.warnings);
+            match window_profile.as_mut() {
+                Some(wp) => evaluator.evaluate_window_profiled(
+                    &index,
+                    &mut cache,
+                    &mut self.inertia,
+                    &mut self.warnings,
+                    wp,
+                ),
+                None => evaluator.evaluate_window(
+                    &index,
+                    &mut cache,
+                    &mut self.inertia,
+                    &mut self.warnings,
+                ),
+            }
         } else {
             for key in &self.desc.strata {
                 if self.desc.simple_by_fluent.contains_key(key) {
+                    let ops_before = crate::profile::interval_ops();
                     let eval_started = std::time::Instant::now();
                     evaluate_simple_fluent(
                         self.desc,
@@ -623,16 +699,33 @@ impl<'a> Engine<'a> {
                         &mut self.inertia,
                         &mut self.warnings,
                     );
-                    metrics
-                        .fluent_eval_simple_us
-                        .observe_duration(eval_started.elapsed());
+                    let elapsed = eval_started.elapsed();
+                    metrics.fluent_eval_simple_us.observe_duration(elapsed);
+                    if let Some(wp) = window_profile.as_mut() {
+                        let prof = self.profiler.as_mut().expect("profiling enabled");
+                        wp.record(
+                            prof.name_of(&self.symbols, *key),
+                            rtec_obs::profile::RuleKind::Simple,
+                            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                            crate::profile::interval_ops().wrapping_sub(ops_before),
+                        );
+                    }
                 }
                 if self.desc.static_by_fluent.contains_key(key) {
+                    let ops_before = crate::profile::interval_ops();
                     let eval_started = std::time::Instant::now();
                     evaluate_static_fluent(self.desc, *key, &mut cache, &mut self.warnings);
-                    metrics
-                        .fluent_eval_static_us
-                        .observe_duration(eval_started.elapsed());
+                    let elapsed = eval_started.elapsed();
+                    metrics.fluent_eval_static_us.observe_duration(elapsed);
+                    if let Some(wp) = window_profile.as_mut() {
+                        let prof = self.profiler.as_mut().expect("profiling enabled");
+                        wp.record(
+                            prof.name_of(&self.symbols, *key),
+                            rtec_obs::profile::RuleKind::Static,
+                            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                            crate::profile::interval_ops().wrapping_sub(ops_before),
+                        );
+                    }
                 }
             }
         }
@@ -666,7 +759,12 @@ impl<'a> Engine<'a> {
             self.output.insert_merge(fvp, folded);
         }
         self.processed_to = q;
-        metrics.tick_duration_us.observe_duration(started.elapsed());
+        let window_elapsed = started.elapsed();
+        if let (Some(mut wp), Some(prof)) = (window_profile, self.profiler.as_mut()) {
+            wp.total_ns = window_elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+            prof.finish_window(wp);
+        }
+        metrics.tick_duration_us.observe_duration(window_elapsed);
     }
 }
 
@@ -910,6 +1008,42 @@ mod tests {
                 .unwrap();
         let compiled_b = desc_b.compile().unwrap();
         assert!(Engine::restore(&compiled_b, EngineConfig::default(), &ck).is_err());
+    }
+
+    /// Enabling the profiler attributes cost to every evaluated fluent
+    /// without perturbing recognition: intervals, warnings and
+    /// checkpoint bytes are identical to an unprofiled run.
+    #[test]
+    fn profiler_attributes_without_perturbing_output() {
+        let run = |profiled: bool| {
+            let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+            let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+            let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+            let compiled = desc.compile().unwrap();
+            let mut engine = Engine::new(&compiled, EngineConfig::windowed(20));
+            if profiled {
+                engine.enable_profiler();
+            }
+            engine.add_event(e_enter, 10);
+            engine.add_event(e_leave, 30);
+            engine.run_to(50);
+            let ck = engine.checkpoint().to_json();
+            let profile = engine.profile().cloned();
+            let symbols = engine.symbols().clone();
+            (rendered(engine.output(), &symbols), ck, profile)
+        };
+        let (plain_out, plain_ck, plain_profile) = run(false);
+        let (prof_out, prof_ck, prof_profile) = run(true);
+        assert_eq!(plain_out, prof_out);
+        assert_eq!(plain_ck, prof_ck, "checkpoint bytes must not change");
+        assert!(plain_profile.is_none());
+        let profile = prof_profile.expect("profiler enabled");
+        assert_eq!(profile.windows, 3, "windowed(20) run_to(50) = 3 windows");
+        let entries = profile.sorted();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "withinArea/2");
+        assert_eq!(entries[0].kind, rtec_obs::profile::RuleKind::Simple);
+        assert_eq!(entries[0].cost.calls, 3);
     }
 
     #[test]

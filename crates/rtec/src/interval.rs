@@ -203,6 +203,7 @@ impl IntervalList {
     /// Union of any number of interval lists (the `union_all` construct).
     pub fn union_all(lists: &[&IntervalList]) -> IntervalList {
         crate::obs::metrics().interval_union.inc();
+        crate::profile::count_interval_op();
         match lists.len() {
             0 => IntervalList::new(),
             1 => lists[0].clone(),
@@ -240,6 +241,7 @@ impl IntervalList {
     /// Pairwise intersection with `other`, by linear merge.
     pub fn intersect(&self, other: &IntervalList) -> IntervalList {
         crate::obs::metrics().interval_intersect.inc();
+        crate::profile::count_interval_op();
         let (mut i, mut j) = (0, 0);
         let mut out = Vec::new();
         while i < self.ivs.len() && j < other.ivs.len() {
@@ -266,6 +268,7 @@ impl IntervalList {
     /// Pairwise set difference `self \ other`, by linear merge.
     pub fn difference(&self, other: &IntervalList) -> IntervalList {
         crate::obs::metrics().interval_complement.inc();
+        crate::profile::count_interval_op();
         let mut out = Vec::new();
         let mut j = 0;
         for a in &self.ivs {

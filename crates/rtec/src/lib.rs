@@ -77,6 +77,7 @@ pub mod lexer;
 pub mod obs;
 pub mod parallel;
 pub mod parser;
+pub mod profile;
 pub mod reorder;
 pub mod semantics;
 pub mod stream;
