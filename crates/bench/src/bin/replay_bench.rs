@@ -7,7 +7,7 @@
 //! meaningless):
 //!
 //! ```text
-//! cargo run --release -p bench --bin replay_bench [-- OUTPUT.json]
+//! cargo run --release -p bench --bin replay_bench [-- OUTPUT.json] [-- --synth-only]
 //! ```
 //!
 //! The output file is an append-only log: every invocation adds one
@@ -22,7 +22,16 @@
 //! profiler off (pure recognition cost); a separate profiled pass
 //! measures the profiler's overhead and attributes wall time per rule
 //! for the maritime gold description (docs/PROFILING.md).
+//!
+//! Each run also records a `brest_synth` cell: the seeded synthetic
+//! stream (docs/SCALE.md, Brest tier by default, `RTEC_SCALE_TIER`
+//! overrides) replayed through a sliding window twice — full
+//! recomputation vs incremental re-evaluation — pinning the
+//! incremental evaluator's speedup at a high-overlap slide. Pass
+//! `--synth-only` to skip the maritime headline sweep (CI's
+//! scale-smoke job does, to bound wall time).
 
+use maritime::synth::{ScaleTier, SynthStream};
 use maritime::{BrestScenario, Dataset};
 use rtec::engine::EvalMode;
 use rtec_service::{Session, SessionConfig};
@@ -174,6 +183,126 @@ fn hotspot_pass(w: &Workload, top_n: usize) -> (Vec<Value>, f64) {
     (rows, eps)
 }
 
+/// Sliding-window geometry for the synthetic cell: a 3600 s window
+/// advancing 600 s per tick, so 5/6 of every window is overlap the
+/// incremental evaluator can keep instead of recomputing.
+const SYNTH_WINDOW: i64 = 3600;
+const SYNTH_SLIDE: i64 = 600;
+const SYNTH_SHARDS: usize = 2;
+
+struct SynthWorkload {
+    gold: String,
+    events: Vec<(i64, String)>,
+    horizon: i64,
+    tier: &'static str,
+    vessels: usize,
+}
+
+/// Materialises one synthetic tier (docs/SCALE.md): the event stream is
+/// a pure function of the tier's pinned seed, so cells recorded from
+/// different checkouts replay the same workload.
+fn synth_workload(tier: ScaleTier) -> SynthWorkload {
+    let config = tier.config();
+    let events: Vec<(i64, String)> = SynthStream::new(config)
+        .map(|(ev, t)| (t, ev.render()))
+        .collect();
+    SynthWorkload {
+        gold: format!("{}\n{}", maritime::gold::GOLD_RULES, config.background()),
+        events,
+        horizon: config.horizon(),
+        tier: tier.name(),
+        vessels: config.vessels,
+    }
+}
+
+/// One sliding-window replay over the synthetic stream, ticking at
+/// every slide boundary; returns the recognised fluent-value-pair count
+/// of the final window (must agree between the two evaluation modes).
+fn synth_replay(w: &SynthWorkload, incremental: bool) -> usize {
+    let mut session = Session::open(
+        "bench-synth",
+        &w.gold,
+        SessionConfig {
+            window: Some(SYNTH_WINDOW),
+            slide: Some(SYNTH_SLIDE),
+            incremental,
+            shards: SYNTH_SHARDS,
+            queue_capacity: 1024,
+            eval: EvalMode::Plan,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("open synth session");
+    let mut next_tick = SYNTH_SLIDE;
+    for &(t, ref ev) in &w.events {
+        while t > next_tick {
+            session.tick(next_tick).expect("tick");
+            next_tick += SYNTH_SLIDE;
+        }
+        session.ingest_event(ev, t).expect("event");
+    }
+    session.tick(w.horizon.max(next_tick)).expect("final tick");
+    let (out, _) = session.query().expect("query");
+    let n = out.len();
+    session.close().expect("close");
+    n
+}
+
+/// Times the synthetic sliding-window replay in both evaluation modes
+/// and returns the `brest_synth` run cell. The incremental evaluator
+/// must recognise exactly what full recomputation recognises — the
+/// differential suites pin interval-level identity; this pass asserts
+/// the cheap end-to-end invariant before trusting the timings.
+fn synth_cell(tier: ScaleTier) -> Value {
+    let w = synth_workload(tier);
+    let n_events = w.events.len();
+    eprintln!(
+        "synth tier={} vessels={} events={n_events} window={SYNTH_WINDOW} slide={SYNTH_SLIDE}",
+        w.tier, w.vessels
+    );
+    let mut per_mode = BTreeMap::new();
+    for incremental in [false, true] {
+        let label = if incremental { "incremental" } else { "full" };
+        let started = Instant::now();
+        let n = synth_replay(&w, incremental);
+        let seconds = started.elapsed().as_secs_f64();
+        let eps = n_events as f64 / seconds;
+        eprintln!("synth {label}: {seconds:.3}s, {eps:.0} events/s ({n} fvps)");
+        per_mode.insert(label, (seconds, eps, n));
+    }
+    let (full_s, full_eps, full_n) = per_mode["full"];
+    let (incr_s, incr_eps, incr_n) = per_mode["incremental"];
+    assert_eq!(
+        full_n, incr_n,
+        "incremental and full recomputation disagree on the final window"
+    );
+    let speedup = incr_eps / full_eps;
+    eprintln!("synth incremental speedup over full recomputation: {speedup:.2}x");
+    let mut cell = BTreeMap::new();
+    cell.insert("tier".to_string(), Value::from(w.tier));
+    cell.insert("vessels".to_string(), Value::from(w.vessels));
+    cell.insert("events".to_string(), Value::from(n_events));
+    cell.insert("window".to_string(), Value::from(SYNTH_WINDOW));
+    cell.insert("slide".to_string(), Value::from(SYNTH_SLIDE));
+    cell.insert("shards".to_string(), Value::from(SYNTH_SHARDS));
+    cell.insert("eval".to_string(), Value::from("plan"));
+    cell.insert("full_seconds".to_string(), Value::from(full_s));
+    cell.insert(
+        "full_events_per_sec".to_string(),
+        Value::from(round1(full_eps)),
+    );
+    cell.insert("incremental_seconds".to_string(), Value::from(incr_s));
+    cell.insert(
+        "incremental_events_per_sec".to_string(),
+        Value::from(round1(incr_eps)),
+    );
+    cell.insert(
+        "incremental_speedup".to_string(),
+        Value::from((speedup * 1000.0).round() / 1000.0),
+    );
+    Value::Object(cell.into_iter().collect())
+}
+
 /// The short git revision, when the binary runs inside a work tree with
 /// git on PATH; `null` otherwise (the record is still appended).
 fn git_revision() -> Value {
@@ -206,48 +335,17 @@ fn load_runs(path: &str) -> Vec<Value> {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_replay.json".to_string());
+    let mut out_path = "BENCH_replay.json".to_string();
+    let mut synth_only = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--synth-only" => synth_only = true,
+            other => out_path = other.to_string(),
+        }
+    }
     // Per-replay session open/close info events would swamp the output;
     // keep only warnings.
     rtec_obs::set_max_level(rtec_obs::Level::Warn);
-
-    let w = workload();
-    let n_events = w.events.len();
-    let (warmup, runs) = (1usize, 5usize);
-
-    let mut results = Vec::new();
-    let mut speedups = BTreeMap::new();
-    for shards in [1usize, 2, 4] {
-        let mut per_mode = BTreeMap::new();
-        for eval in [EvalMode::Interpreter, EvalMode::Plan] {
-            let median = measure(&w, shards, eval, warmup, runs);
-            let eps = n_events as f64 / median;
-            eprintln!(
-                "shards={shards} eval={}: {:.3}s median, {:.0} events/s",
-                eval.as_str(),
-                median,
-                eps
-            );
-            per_mode.insert(eval.as_str(), (median, eps));
-            let mut row = BTreeMap::new();
-            row.insert("shards".to_string(), Value::from(shards));
-            row.insert("eval".to_string(), Value::from(eval.as_str()));
-            row.insert("seconds_median".to_string(), Value::from(median));
-            row.insert("events_per_sec".to_string(), Value::from(round1(eps)));
-            results.push(Value::Object(row.into_iter().collect()));
-        }
-        let interp = per_mode["interpreter"].1;
-        let plan = per_mode["plan"].1;
-        speedups.insert(
-            shards.to_string(),
-            Value::from(((plan / interp) * 1000.0).round() / 1000.0),
-        );
-    }
-
-    let (hotspots, profiled_eps) = hotspot_pass(&w, rtec_obs::profile::DEFAULT_TOP_N);
-    eprintln!("profiled plan replay (1 shard): {profiled_eps:.0} events/s");
 
     let date = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -259,27 +357,82 @@ fn main() {
         "date_epoch_secs".to_string(),
         Value::from(i64::try_from(date).unwrap_or(0)),
     );
-    let mut config = BTreeMap::new();
-    config.insert("dataset".to_string(), Value::from("brest_default"));
-    config.insert("events".to_string(), Value::from(n_events));
-    config.insert("ticks".to_string(), Value::from(TICKS));
-    config.insert("warmup_runs".to_string(), Value::from(warmup));
-    config.insert("measured_runs".to_string(), Value::from(runs));
-    config.insert("statistic".to_string(), Value::from("median"));
-    run.insert(
-        "config".to_string(),
-        Value::Object(config.into_iter().collect()),
-    );
-    run.insert("results".to_string(), Value::Array(results));
-    run.insert(
-        "plan_speedup_by_shards".to_string(),
-        Value::Object(speedups.into_iter().collect()),
-    );
-    run.insert("hotspots".to_string(), Value::Array(hotspots));
-    run.insert(
-        "profiled_plan_events_per_sec".to_string(),
-        Value::from(round1(profiled_eps)),
-    );
+
+    if !synth_only {
+        let w = workload();
+        let n_events = w.events.len();
+        let (warmup, runs) = (1usize, 5usize);
+
+        let mut results = Vec::new();
+        let mut speedups = BTreeMap::new();
+        for shards in [1usize, 2, 4] {
+            let mut per_mode = BTreeMap::new();
+            for eval in [EvalMode::Interpreter, EvalMode::Plan] {
+                let median = measure(&w, shards, eval, warmup, runs);
+                let eps = n_events as f64 / median;
+                eprintln!(
+                    "shards={shards} eval={}: {:.3}s median, {:.0} events/s",
+                    eval.as_str(),
+                    median,
+                    eps
+                );
+                per_mode.insert(eval.as_str(), (median, eps));
+                let mut row = BTreeMap::new();
+                row.insert("shards".to_string(), Value::from(shards));
+                row.insert("eval".to_string(), Value::from(eval.as_str()));
+                row.insert("seconds_median".to_string(), Value::from(median));
+                row.insert("events_per_sec".to_string(), Value::from(round1(eps)));
+                results.push(Value::Object(row.into_iter().collect()));
+            }
+            let interp = per_mode["interpreter"].1;
+            let plan = per_mode["plan"].1;
+            speedups.insert(
+                shards.to_string(),
+                Value::from(((plan / interp) * 1000.0).round() / 1000.0),
+            );
+        }
+
+        let (hotspots, profiled_eps) = hotspot_pass(&w, rtec_obs::profile::DEFAULT_TOP_N);
+        eprintln!("profiled plan replay (1 shard): {profiled_eps:.0} events/s");
+
+        let mut config = BTreeMap::new();
+        config.insert("dataset".to_string(), Value::from("brest_default"));
+        config.insert("events".to_string(), Value::from(n_events));
+        config.insert("ticks".to_string(), Value::from(TICKS));
+        config.insert("warmup_runs".to_string(), Value::from(warmup));
+        config.insert("measured_runs".to_string(), Value::from(runs));
+        config.insert("statistic".to_string(), Value::from("median"));
+        run.insert(
+            "config".to_string(),
+            Value::Object(config.into_iter().collect()),
+        );
+        run.insert("results".to_string(), Value::Array(results));
+        run.insert(
+            "plan_speedup_by_shards".to_string(),
+            Value::Object(speedups.into_iter().collect()),
+        );
+        run.insert("hotspots".to_string(), Value::Array(hotspots));
+        run.insert(
+            "profiled_plan_events_per_sec".to_string(),
+            Value::from(round1(profiled_eps)),
+        );
+    }
+
+    // Synthetic sliding-window cell (docs/SCALE.md): Brest tier unless
+    // RTEC_SCALE_TIER narrows it (CI's scale-smoke job runs `smoke`).
+    let tier = match std::env::var("RTEC_SCALE_TIER") {
+        Ok(s) => ScaleTier::parse(&s)
+            .unwrap_or_else(|| panic!("unknown RTEC_SCALE_TIER {s:?} (small|smoke|brest)")),
+        Err(_) => ScaleTier::Brest,
+    };
+    run.insert("brest_synth".to_string(), synth_cell(tier));
+
+    // Every instrumented hot path ran above; the exposition it produced
+    // must be well-formed Prometheus text (strict validator), so a
+    // malformed metric fails the benchmark run, not a scrape later.
+    let exposition = rtec_obs::global().render_prometheus();
+    rtec_obs::expo::validate(&exposition)
+        .unwrap_or_else(|e| panic!("malformed exposition after replay: {e}"));
 
     let mut runs_log = load_runs(&out_path);
     runs_log.push(Value::Object(run.into_iter().collect()));

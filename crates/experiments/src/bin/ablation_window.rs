@@ -32,7 +32,13 @@ fn main() {
     let mut reference: Option<usize> = None;
     for window in [600, 1800, 3600, 7200, 21600, i64::MAX] {
         let t0 = Instant::now();
-        let mut engine = Engine::new(&compiled, EngineConfig { window });
+        let mut engine = Engine::new(
+            &compiled,
+            EngineConfig {
+                window,
+                ..EngineConfig::default()
+            },
+        );
         dataset.stream.load_into(&mut engine);
         engine.run_to(dataset.horizon() + 1);
         let out = engine.into_output();

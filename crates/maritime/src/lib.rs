@@ -26,7 +26,10 @@
 //!   Pitsikalis et al., DEBS 2019) and the catalogue of the eight target
 //!   activities of the paper's evaluation;
 //! * [`dataset`] — end-to-end construction of a replayable
-//!   [`rtec::stream::InputStream`] plus the gold event description.
+//!   [`rtec::stream::InputStream`] plus the gold event description;
+//! * [`synth`] — a seeded Brest-scale generator that emits millions of
+//!   critical events directly from per-vessel kinematic state machines
+//!   (no raw-AIS detour), tiered via `RTEC_SCALE_TIER`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,8 +43,10 @@ pub mod gold;
 pub mod preprocess;
 pub mod scenario;
 pub mod stats;
+pub mod synth;
 pub mod thresholds;
 pub mod vessel;
 
 pub use dataset::{BrestScenario, Dataset};
 pub use gold::{activities, gold_event_description, Activity};
+pub use synth::{ScaleTier, SynthConfig, SynthDataset};

@@ -1,0 +1,925 @@
+//! Seeded Brest-scale synthetic critical-event generator.
+//!
+//! [`dataset`](crate::dataset) scripts a few dozen vessels through
+//! behaviour blocks and derives critical events from raw AIS tracks —
+//! faithful, but far from the original Brest dataset's scale (18M
+//! signals from 5K vessels). This module generates critical events
+//! *directly* from per-vessel kinematic state machines, which makes
+//! streams of millions of events cheap enough for benchmarks and CI:
+//!
+//! * every vessel is an independent state machine (in port → under way
+//!   → stopped / drifting / AIS gap → …) driven by its own
+//!   `splitmix64` generator seeded from the global seed and the vessel
+//!   index, so the stream is **deterministic per seed** and identical
+//!   whether consumed in one shot or in chunks;
+//! * vessels move through the [`AreaMap::brest_like`] layout and emit
+//!   `entersArea`/`leavesArea` against the real area polygons;
+//! * speed-band crossings emit the same start/end critical events as
+//!   the [`preprocess`](crate::preprocess) pipeline (`stop_start`,
+//!   `slow_motion_start`, `change_in_speed_start`, …), so the
+//!   [`gold`](crate::gold) event description runs unmodified over the
+//!   synthetic stream.
+//!
+//! The `proximity` input fluent is **not** synthesised: pairwise
+//! proximity is quadratic in the fleet and the scale tiers exist to
+//! stress windowing, not pair detection. Activities that require it
+//! (tugging, pilot boarding, rendezvous) are exercised by the scripted
+//! [`dataset`](crate::dataset) instead; see `docs/SCALE.md`.
+//!
+//! Stream sizes are organised in [`ScaleTier`]s selected with the
+//! `RTEC_SCALE_TIER` environment variable so `cargo test` stays fast by
+//! default while CI and benchmarks can opt into larger streams.
+
+use crate::areas::{AreaId, AreaMap};
+use crate::geometry::{heading_diff, knots_to_mps, normalize_deg, Point};
+use crate::gold::GOLD_RULES;
+use crate::thresholds::{fleet_background_facts, Thresholds};
+use crate::vessel::{Vessel, VesselId, VesselType};
+use rtec::interval::Timepoint;
+use rtec::stream::InputStream;
+use rtec::symbol::{Symbol, SymbolTable};
+use rtec::term::Term;
+use rtec::EventDescription;
+use std::collections::{HashMap, VecDeque};
+
+/// Stream-size tiers, selected with the `RTEC_SCALE_TIER` environment
+/// variable. The default keeps `cargo test` fast; the larger tiers are
+/// opted into by CI smoke jobs and benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// ~6K events from 40 vessels — the default for unit tests.
+    Small,
+    /// ~200K events from 250 vessels — the CI `scale-smoke` tier.
+    Smoke,
+    /// ≥1M events from 1,250 vessels — Brest-scale, for benchmarks.
+    Brest,
+}
+
+impl ScaleTier {
+    /// Parses a tier name (`small`, `smoke`, `brest`).
+    pub fn parse(s: &str) -> Option<ScaleTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "small" => Some(ScaleTier::Small),
+            "smoke" => Some(ScaleTier::Smoke),
+            "brest" => Some(ScaleTier::Brest),
+            _ => None,
+        }
+    }
+
+    /// The tier requested via `RTEC_SCALE_TIER` (default: `small`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised tier name — a typo in a CI matrix
+    /// should fail loudly, not silently shrink the stream.
+    pub fn from_env() -> ScaleTier {
+        match std::env::var("RTEC_SCALE_TIER") {
+            Ok(s) => ScaleTier::parse(&s)
+                .unwrap_or_else(|| panic!("unknown RTEC_SCALE_TIER {s:?} (small|smoke|brest)")),
+            Err(_) => ScaleTier::Small,
+        }
+    }
+
+    /// The tier's name as accepted by [`ScaleTier::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleTier::Small => "small",
+            ScaleTier::Smoke => "smoke",
+            ScaleTier::Brest => "brest",
+        }
+    }
+
+    /// The generator configuration for this tier.
+    pub fn config(self) -> SynthConfig {
+        match self {
+            ScaleTier::Small => SynthConfig {
+                seed: 2025,
+                vessels: 40,
+                steps: 150,
+                period: 60,
+            },
+            ScaleTier::Smoke => SynthConfig {
+                seed: 2025,
+                vessels: 250,
+                steps: 800,
+                period: 60,
+            },
+            ScaleTier::Brest => SynthConfig {
+                seed: 2025,
+                vessels: 1_250,
+                steps: 1_000,
+                period: 60,
+            },
+        }
+    }
+}
+
+/// Generator configuration. Streams are a pure function of this value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Global seed; every per-vessel generator derives from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub vessels: usize,
+    /// Reporting period in seconds (time between steps).
+    pub period: i64,
+    /// Simulation steps; each vessel reports once per step.
+    pub steps: usize,
+}
+
+impl SynthConfig {
+    /// Replaces the seed, keeping the tier geometry.
+    pub fn with_seed(mut self, seed: u64) -> SynthConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// The fleet this configuration generates (types are drawn from the
+    /// same per-vessel generators that drive the state machines).
+    pub fn fleet(&self) -> Vec<Vessel> {
+        (0..self.vessels)
+            .map(|i| {
+                let mut rng = vessel_rng(self.seed, i);
+                Vessel::new(i as u32, draw_type(&mut rng))
+            })
+            .collect()
+    }
+
+    /// A streaming iterator over the configured event stream, in global
+    /// time order. Chunked consumption is byte-identical to one-shot.
+    pub fn stream(&self) -> SynthStream {
+        SynthStream::new(*self)
+    }
+
+    /// The last event time-point of the configured stream.
+    pub fn horizon(&self) -> Timepoint {
+        self.steps as Timepoint * self.period
+    }
+
+    /// The background knowledge (areas, thresholds, fleet, input
+    /// schema) this configuration's stream runs under, in RTEC concrete
+    /// syntax — the same assembly [`generate`] attaches to its dataset.
+    pub fn background(&self) -> String {
+        let areas = AreaMap::brest_like();
+        let thresholds = Thresholds::default();
+        format!(
+            "{}\n{}\n{}\n{}",
+            areas.background_facts(),
+            thresholds.background_facts(),
+            fleet_background_facts(&self.fleet()),
+            crate::gold::input_declarations(),
+        )
+    }
+}
+
+/// A synthetic critical event, before interning into a symbol table.
+///
+/// Keeping the events symbolic makes byte-identity checks (`render`)
+/// and cross-table interning cheap.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SynthEvent {
+    /// AIS kinematic report `velocity(V, Speed, Heading, CourseOverGround)`.
+    Velocity {
+        /// Reporting vessel.
+        vessel: VesselId,
+        /// Speed over ground, knots (1 decimal).
+        speed: f64,
+        /// Heading, degrees (1 decimal).
+        heading: f64,
+        /// Course over ground, degrees (1 decimal).
+        cog: f64,
+    },
+    /// The vessel crossed into an area of interest.
+    EntersArea {
+        /// Crossing vessel.
+        vessel: VesselId,
+        /// Area entered.
+        area: AreaId,
+    },
+    /// The vessel crossed out of an area of interest.
+    LeavesArea {
+        /// Crossing vessel.
+        vessel: VesselId,
+        /// Area left.
+        area: AreaId,
+    },
+    /// AIS transmission gap began.
+    GapStart {
+        /// Silent vessel.
+        vessel: VesselId,
+    },
+    /// AIS transmission resumed.
+    GapEnd {
+        /// Resuming vessel.
+        vessel: VesselId,
+    },
+    /// Speed dropped into the stopped band.
+    StopStart {
+        /// Stopping vessel.
+        vessel: VesselId,
+    },
+    /// Speed left the stopped band.
+    StopEnd {
+        /// Resuming vessel.
+        vessel: VesselId,
+    },
+    /// Speed entered the slow-motion band.
+    SlowMotionStart {
+        /// Slowing vessel.
+        vessel: VesselId,
+    },
+    /// Speed left the slow-motion band.
+    SlowMotionEnd {
+        /// Accelerating vessel.
+        vessel: VesselId,
+    },
+    /// Speed began changing faster than the threshold.
+    ChangeInSpeedStart {
+        /// Accelerating/decelerating vessel.
+        vessel: VesselId,
+    },
+    /// Speed change fell back under the threshold.
+    ChangeInSpeedEnd {
+        /// Stabilised vessel.
+        vessel: VesselId,
+    },
+    /// Heading changed by more than the threshold in one step.
+    ChangeInHeading {
+        /// Turning vessel.
+        vessel: VesselId,
+    },
+}
+
+impl SynthEvent {
+    /// The reporting vessel.
+    pub fn vessel(&self) -> VesselId {
+        match self {
+            SynthEvent::Velocity { vessel, .. }
+            | SynthEvent::EntersArea { vessel, .. }
+            | SynthEvent::LeavesArea { vessel, .. }
+            | SynthEvent::GapStart { vessel }
+            | SynthEvent::GapEnd { vessel }
+            | SynthEvent::StopStart { vessel }
+            | SynthEvent::StopEnd { vessel }
+            | SynthEvent::SlowMotionStart { vessel }
+            | SynthEvent::SlowMotionEnd { vessel }
+            | SynthEvent::ChangeInSpeedStart { vessel }
+            | SynthEvent::ChangeInSpeedEnd { vessel }
+            | SynthEvent::ChangeInHeading { vessel } => *vessel,
+        }
+    }
+
+    /// The event in RTEC concrete syntax, e.g. `entersArea(v3, a4)`.
+    pub fn render(&self) -> String {
+        match self {
+            SynthEvent::Velocity {
+                vessel,
+                speed,
+                heading,
+                cog,
+            } => format!("velocity({vessel}, {speed:.1}, {heading:.1}, {cog:.1})"),
+            SynthEvent::EntersArea { vessel, area } => format!("entersArea({vessel}, {area})"),
+            SynthEvent::LeavesArea { vessel, area } => format!("leavesArea({vessel}, {area})"),
+            SynthEvent::GapStart { vessel } => format!("gap_start({vessel})"),
+            SynthEvent::GapEnd { vessel } => format!("gap_end({vessel})"),
+            SynthEvent::StopStart { vessel } => format!("stop_start({vessel})"),
+            SynthEvent::StopEnd { vessel } => format!("stop_end({vessel})"),
+            SynthEvent::SlowMotionStart { vessel } => format!("slow_motion_start({vessel})"),
+            SynthEvent::SlowMotionEnd { vessel } => format!("slow_motion_end({vessel})"),
+            SynthEvent::ChangeInSpeedStart { vessel } => {
+                format!("change_in_speed_start({vessel})")
+            }
+            SynthEvent::ChangeInSpeedEnd { vessel } => format!("change_in_speed_end({vessel})"),
+            SynthEvent::ChangeInHeading { vessel } => format!("change_in_heading({vessel})"),
+        }
+    }
+}
+
+/// Event-mix counters of a generated stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Total events.
+    pub total: usize,
+    /// Kinematic reports.
+    pub velocity: usize,
+    /// `entersArea` crossings.
+    pub area_entries: usize,
+    /// `leavesArea` crossings.
+    pub area_exits: usize,
+    /// AIS gaps begun.
+    pub gap_starts: usize,
+    /// Stopped-band entries.
+    pub stop_starts: usize,
+    /// Slow-motion-band entries.
+    pub slow_starts: usize,
+    /// Speed-change episodes begun.
+    pub speed_change_starts: usize,
+    /// Sharp turns.
+    pub heading_changes: usize,
+}
+
+impl SynthStats {
+    /// Counts one event.
+    pub fn count(&mut self, ev: &SynthEvent) {
+        self.total += 1;
+        match ev {
+            SynthEvent::Velocity { .. } => self.velocity += 1,
+            SynthEvent::EntersArea { .. } => self.area_entries += 1,
+            SynthEvent::LeavesArea { .. } => self.area_exits += 1,
+            SynthEvent::GapStart { .. } => self.gap_starts += 1,
+            SynthEvent::StopStart { .. } => self.stop_starts += 1,
+            SynthEvent::SlowMotionStart { .. } => self.slow_starts += 1,
+            SynthEvent::ChangeInSpeedStart { .. } => self.speed_change_starts += 1,
+            SynthEvent::ChangeInHeading { .. } => self.heading_changes += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A generated dataset: the fleet, the interned stream and the
+/// background knowledge the gold description needs to run over it.
+#[derive(Debug)]
+pub struct SynthDataset {
+    /// The fleet.
+    pub vessels: Vec<Vessel>,
+    /// The areas of interest (always [`AreaMap::brest_like`]).
+    pub areas: AreaMap,
+    /// The replayable critical-event stream.
+    pub stream: InputStream,
+    /// Background knowledge in RTEC concrete syntax.
+    pub background: String,
+    /// Event-mix counters.
+    pub stats: SynthStats,
+}
+
+impl SynthDataset {
+    /// The gold event description over this dataset's background.
+    pub fn gold_description(&self) -> EventDescription {
+        let src = format!("{}\n{}", GOLD_RULES, self.background);
+        EventDescription::parse(&src).expect("gold + synth background parse")
+    }
+
+    /// Last event time.
+    pub fn horizon(&self) -> Timepoint {
+        self.stream.horizon()
+    }
+}
+
+/// Generates and materialises the configured stream.
+pub fn generate(config: &SynthConfig) -> SynthDataset {
+    let areas = AreaMap::brest_like();
+    let vessels = config.fleet();
+    let mut stream = InputStream::new();
+    let mut interner = Interner::new(&mut stream.symbols);
+    let mut stats = SynthStats::default();
+    for (ev, t) in config.stream() {
+        stats.count(&ev);
+        let term = interner.term(&mut stream.symbols, &ev);
+        stream.push_event(term, t);
+    }
+    let background = config.background();
+    SynthDataset {
+        vessels,
+        areas,
+        stream,
+        background,
+        stats,
+    }
+}
+
+/// Interns [`SynthEvent`]s into an [`InputStream`]'s symbol table,
+/// memoising the functor, vessel and area atoms.
+struct Interner {
+    velocity: Symbol,
+    enters_area: Symbol,
+    leaves_area: Symbol,
+    gap_start: Symbol,
+    gap_end: Symbol,
+    stop_start: Symbol,
+    stop_end: Symbol,
+    slow_start: Symbol,
+    slow_end: Symbol,
+    speed_ch_start: Symbol,
+    speed_ch_end: Symbol,
+    heading_ch: Symbol,
+    vessels: HashMap<VesselId, Term>,
+    areas: HashMap<AreaId, Term>,
+}
+
+impl Interner {
+    fn new(s: &mut SymbolTable) -> Interner {
+        Interner {
+            velocity: s.intern("velocity"),
+            enters_area: s.intern("entersArea"),
+            leaves_area: s.intern("leavesArea"),
+            gap_start: s.intern("gap_start"),
+            gap_end: s.intern("gap_end"),
+            stop_start: s.intern("stop_start"),
+            stop_end: s.intern("stop_end"),
+            slow_start: s.intern("slow_motion_start"),
+            slow_end: s.intern("slow_motion_end"),
+            speed_ch_start: s.intern("change_in_speed_start"),
+            speed_ch_end: s.intern("change_in_speed_end"),
+            heading_ch: s.intern("change_in_heading"),
+            vessels: HashMap::new(),
+            areas: HashMap::new(),
+        }
+    }
+
+    fn vessel_term(&mut self, s: &mut SymbolTable, v: VesselId) -> Term {
+        if let Some(t) = self.vessels.get(&v) {
+            return t.clone();
+        }
+        let t = Term::Atom(s.intern(&v.to_string()));
+        self.vessels.insert(v, t.clone());
+        t
+    }
+
+    fn area_term(&mut self, s: &mut SymbolTable, a: AreaId) -> Term {
+        if let Some(t) = self.areas.get(&a) {
+            return t.clone();
+        }
+        let t = Term::Atom(s.intern(&a.to_string()));
+        self.areas.insert(a, t.clone());
+        t
+    }
+
+    fn term(&mut self, s: &mut SymbolTable, ev: &SynthEvent) -> Term {
+        let unary = |f: Symbol, v: Term| Term::Compound(f, vec![v]);
+        match ev {
+            SynthEvent::Velocity {
+                vessel,
+                speed,
+                heading,
+                cog,
+            } => Term::Compound(
+                self.velocity,
+                vec![
+                    self.vessel_term(s, *vessel),
+                    Term::Float(*speed),
+                    Term::Float(*heading),
+                    Term::Float(*cog),
+                ],
+            ),
+            SynthEvent::EntersArea { vessel, area } => Term::Compound(
+                self.enters_area,
+                vec![self.vessel_term(s, *vessel), self.area_term(s, *area)],
+            ),
+            SynthEvent::LeavesArea { vessel, area } => Term::Compound(
+                self.leaves_area,
+                vec![self.vessel_term(s, *vessel), self.area_term(s, *area)],
+            ),
+            SynthEvent::GapStart { vessel } => unary(self.gap_start, self.vessel_term(s, *vessel)),
+            SynthEvent::GapEnd { vessel } => unary(self.gap_end, self.vessel_term(s, *vessel)),
+            SynthEvent::StopStart { vessel } => {
+                unary(self.stop_start, self.vessel_term(s, *vessel))
+            }
+            SynthEvent::StopEnd { vessel } => unary(self.stop_end, self.vessel_term(s, *vessel)),
+            SynthEvent::SlowMotionStart { vessel } => {
+                unary(self.slow_start, self.vessel_term(s, *vessel))
+            }
+            SynthEvent::SlowMotionEnd { vessel } => {
+                unary(self.slow_end, self.vessel_term(s, *vessel))
+            }
+            SynthEvent::ChangeInSpeedStart { vessel } => {
+                unary(self.speed_ch_start, self.vessel_term(s, *vessel))
+            }
+            SynthEvent::ChangeInSpeedEnd { vessel } => {
+                unary(self.speed_ch_end, self.vessel_term(s, *vessel))
+            }
+            SynthEvent::ChangeInHeading { vessel } => {
+                unary(self.heading_ch, self.vessel_term(s, *vessel))
+            }
+        }
+    }
+}
+
+// --- per-vessel state machines ---------------------------------------
+
+/// `splitmix64`: tiny, fast, and good enough for kinematic noise. Using
+/// a hand-rolled generator (instead of `rand`) keeps the stream's
+/// byte-identity independent of external crate versions.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+fn vessel_rng(seed: u64, index: usize) -> SplitMix64 {
+    SplitMix64::new(seed.wrapping_add((index as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Fleet composition, weighted towards the classes the activity
+/// definitions exercise most. Must be the FIRST draw from the
+/// per-vessel generator so [`SynthConfig::fleet`] agrees with the state
+/// machines.
+fn draw_type(rng: &mut SplitMix64) -> VesselType {
+    const WEIGHTED: [(VesselType, u64); 7] = [
+        (VesselType::Fishing, 30),
+        (VesselType::Cargo, 20),
+        (VesselType::Tanker, 15),
+        (VesselType::Passenger, 10),
+        (VesselType::Tug, 10),
+        (VesselType::Sar, 10),
+        (VesselType::PilotVessel, 5),
+    ];
+    let mut r = rng.next_u64() % 100;
+    for (t, w) in WEIGHTED {
+        if r < w {
+            return t;
+        }
+        r -= w;
+    }
+    VesselType::Fishing
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    InPort { until: Timepoint },
+    Underway,
+    Stopped { until: Timepoint },
+    Drifting { until: Timepoint },
+    Gap { until: Timepoint },
+}
+
+/// World bounds of the Brest-like layout (see [`AreaMap::brest_like`]).
+const WORLD_X: f64 = 60_000.0;
+const WORLD_Y: f64 = 40_000.0;
+
+struct VesselState {
+    id: VesselId,
+    rng: SplitMix64,
+    period: i64,
+    pos: Point,
+    heading: f64,
+    speed: f64,
+    cruise: f64,
+    phase: Phase,
+    // Speed-band flags mirrored by the emitted start/end events.
+    stopped: bool,
+    slow: bool,
+    speed_changing: bool,
+    // Area membership at the last *reported* step (silent drift during
+    // an AIS gap is reconciled when transmission resumes).
+    inside: Vec<bool>,
+}
+
+impl VesselState {
+    fn new(config: &SynthConfig, index: usize, areas: &AreaMap) -> VesselState {
+        let mut rng = vessel_rng(config.seed, index);
+        let vtype = draw_type(&mut rng); // keep in lockstep with `fleet()`
+        let (lo, hi) = vtype.service_speed();
+        let cruise = rng.range(lo, hi);
+        let in_port = rng.chance(0.3);
+        let (pos, speed, phase) = if in_port {
+            let port = AreaMap::ports()[index % 2];
+            let dwell = (rng.range(5.0, 20.0) as i64) * config.period;
+            (port, 0.0, Phase::InPort { until: dwell })
+        } else {
+            let pos = Point::new(rng.range(5_000.0, 55_000.0), rng.range(6_000.0, 34_000.0));
+            (pos, cruise * rng.range(0.5, 1.0), Phase::Underway)
+        };
+        let heading = rng.range(0.0, 360.0);
+        let inside = areas
+            .areas()
+            .iter()
+            .map(|a| a.polygon.contains(&pos))
+            .collect();
+        VesselState {
+            id: VesselId(index as u32),
+            rng,
+            period: config.period,
+            pos,
+            heading,
+            speed,
+            cruise,
+            phase,
+            stopped: speed <= 0.5,
+            slow: speed > 0.5 && speed <= 5.0,
+            speed_changing: false,
+            inside,
+        }
+    }
+
+    fn dwell(&mut self, lo_steps: f64, hi_steps: f64) -> Timepoint {
+        (self.rng.range(lo_steps, hi_steps) as i64) * self.period
+    }
+
+    /// Advances one reporting step, appending this vessel's events at
+    /// time `t` to `out`.
+    fn step(&mut self, t: Timepoint, areas: &AreaMap, out: &mut Vec<(SynthEvent, Timepoint)>) {
+        let prev_speed = self.speed;
+        let prev_heading = self.heading;
+        let was_silent = matches!(self.phase, Phase::Gap { .. });
+
+        // Phase transitions and kinematics.
+        let mut gap_ended = false;
+        match self.phase {
+            Phase::InPort { until } => {
+                self.speed = 0.0;
+                if t >= until {
+                    // Depart roughly offshore (+y is away from the coast).
+                    self.heading = normalize_deg(self.rng.range(-50.0, 50.0));
+                    self.speed = self.cruise * 0.3;
+                    self.phase = Phase::Underway;
+                }
+            }
+            Phase::Underway => self.step_underway(t),
+            Phase::Stopped { until } => {
+                self.speed = 0.0;
+                if t >= until {
+                    self.speed = self.cruise * 0.4;
+                    self.phase = Phase::Underway;
+                }
+            }
+            Phase::Drifting { until } => {
+                self.speed = self.rng.range(0.8, 2.0);
+                if t >= until {
+                    self.phase = Phase::Underway;
+                }
+            }
+            Phase::Gap { until } => {
+                if t >= until {
+                    gap_ended = true;
+                    self.phase = Phase::Underway;
+                }
+            }
+        }
+
+        // Movement (AIS gaps do not stop the vessel, only its radio).
+        let metres = knots_to_mps(self.speed) * self.period as f64;
+        let mut next = self.pos.step(self.heading, metres);
+        if next.x < 0.0 || next.x > WORLD_X || next.y < 0.0 || next.y > WORLD_Y {
+            next = Point::new(next.x.clamp(0.0, WORLD_X), next.y.clamp(0.0, WORLD_Y));
+            // Turn back towards the interior with some scatter.
+            let inward = next.heading_to(&Point::new(WORLD_X / 2.0, WORLD_Y / 2.0));
+            self.heading = normalize_deg(inward + self.rng.range(-20.0, 20.0));
+        }
+        self.pos = next;
+
+        let silent = matches!(self.phase, Phase::Gap { .. });
+        if gap_ended {
+            out.push((SynthEvent::GapEnd { vessel: self.id }, t));
+        }
+        if silent {
+            if !was_silent {
+                out.push((SynthEvent::GapStart { vessel: self.id }, t));
+            }
+            return; // no reports while the transponder is off
+        }
+
+        // Speed-band crossings.
+        let stopped = self.speed <= 0.5;
+        if stopped != self.stopped {
+            self.stopped = stopped;
+            out.push((
+                if stopped {
+                    SynthEvent::StopStart { vessel: self.id }
+                } else {
+                    SynthEvent::StopEnd { vessel: self.id }
+                },
+                t,
+            ));
+        }
+        let slow = self.speed > 0.5 && self.speed <= 5.0;
+        if slow != self.slow {
+            self.slow = slow;
+            out.push((
+                if slow {
+                    SynthEvent::SlowMotionStart { vessel: self.id }
+                } else {
+                    SynthEvent::SlowMotionEnd { vessel: self.id }
+                },
+                t,
+            ));
+        }
+        let changing = (self.speed - prev_speed).abs() > 1.5;
+        if changing != self.speed_changing {
+            self.speed_changing = changing;
+            out.push((
+                if changing {
+                    SynthEvent::ChangeInSpeedStart { vessel: self.id }
+                } else {
+                    SynthEvent::ChangeInSpeedEnd { vessel: self.id }
+                },
+                t,
+            ));
+        }
+        if heading_diff(prev_heading, self.heading) >= 15.0 {
+            out.push((SynthEvent::ChangeInHeading { vessel: self.id }, t));
+        }
+
+        // Area crossings: exits first, then entries.
+        for (i, a) in areas.areas().iter().enumerate() {
+            if self.inside[i] && !a.polygon.contains(&self.pos) {
+                self.inside[i] = false;
+                out.push((
+                    SynthEvent::LeavesArea {
+                        vessel: self.id,
+                        area: a.id,
+                    },
+                    t,
+                ));
+            }
+        }
+        for (i, a) in areas.areas().iter().enumerate() {
+            if !self.inside[i] && a.polygon.contains(&self.pos) {
+                self.inside[i] = true;
+                out.push((
+                    SynthEvent::EntersArea {
+                        vessel: self.id,
+                        area: a.id,
+                    },
+                    t,
+                ));
+            }
+        }
+
+        let cog = if matches!(self.phase, Phase::Drifting { .. }) {
+            normalize_deg(self.heading + 45.0)
+        } else {
+            self.heading
+        };
+        out.push((
+            SynthEvent::Velocity {
+                vessel: self.id,
+                speed: round1(self.speed),
+                heading: round1(normalize_deg(self.heading)),
+                cog: round1(cog),
+            },
+            t,
+        ));
+    }
+
+    fn step_underway(&mut self, t: Timepoint) {
+        // Accelerate towards the service speed.
+        let d = self.cruise - self.speed;
+        self.speed += d.clamp(-2.0, 2.0);
+        if self.rng.chance(0.05) {
+            self.heading = normalize_deg(self.heading + self.rng.range(-60.0, 60.0));
+        }
+        if self.rng.chance(0.010) {
+            let until = t + self.dwell(10.0, 40.0);
+            self.phase = Phase::Stopped { until };
+        } else if self.rng.chance(0.004) {
+            let until = t + self.dwell(10.0, 30.0);
+            self.phase = Phase::Drifting { until };
+        } else if self.rng.chance(0.002) {
+            // Gaps outlast the preprocessor's 1800 s threshold.
+            let until = t + self.dwell(35.0, 65.0);
+            self.phase = Phase::Gap { until };
+        }
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// A streaming iterator over the synthetic event stream in global time
+/// order.
+///
+/// All vessels report on the same time grid (`t = (step + 1) * period`,
+/// so the first report is strictly after the engines' initial
+/// frontier); within a time-point, events are ordered by vessel index
+/// and, per vessel, by the fixed emission order of the state machine.
+/// The iterator holds only the per-vessel states plus one step's worth
+/// of buffered events, so arbitrarily long streams never materialise.
+pub struct SynthStream {
+    config: SynthConfig,
+    areas: AreaMap,
+    vessels: Vec<VesselState>,
+    step: usize,
+    buf: VecDeque<(SynthEvent, Timepoint)>,
+    scratch: Vec<(SynthEvent, Timepoint)>,
+}
+
+impl SynthStream {
+    /// Creates the stream for a configuration.
+    pub fn new(config: SynthConfig) -> SynthStream {
+        let areas = AreaMap::brest_like();
+        let vessels = (0..config.vessels)
+            .map(|i| VesselState::new(&config, i, &areas))
+            .collect();
+        SynthStream {
+            config,
+            areas,
+            vessels,
+            step: 0,
+            buf: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+}
+
+impl Iterator for SynthStream {
+    type Item = (SynthEvent, Timepoint);
+
+    fn next(&mut self) -> Option<(SynthEvent, Timepoint)> {
+        loop {
+            if let Some(ev) = self.buf.pop_front() {
+                return Some(ev);
+            }
+            if self.step >= self.config.steps {
+                return None;
+            }
+            let t = (self.step as Timepoint + 1) * self.config.period;
+            for v in &mut self.vessels {
+                v.step(t, &self.areas, &mut self.scratch);
+            }
+            self.buf.extend(self.scratch.drain(..));
+            self.step += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SynthConfig {
+        SynthConfig {
+            seed: 7,
+            vessels: 12,
+            steps: 60,
+            period: 60,
+        }
+    }
+
+    #[test]
+    fn fleet_matches_state_machines() {
+        let c = tiny();
+        let fleet = c.fleet();
+        assert_eq!(fleet.len(), c.vessels);
+        // Types must come from the same draws the state machines use.
+        let again = c.fleet();
+        assert_eq!(fleet, again);
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_bounded() {
+        let c = tiny();
+        let mut last = 0;
+        let mut n = 0usize;
+        for (_, t) in c.stream() {
+            assert!(t >= last, "time went backwards: {t} < {last}");
+            assert!(t >= c.period && t <= c.horizon());
+            last = t;
+            n += 1;
+        }
+        assert!(n > c.vessels * c.steps / 2, "suspiciously few events: {n}");
+    }
+
+    #[test]
+    fn gold_description_runs_over_synth_stream() {
+        let d = generate(&tiny());
+        let desc = d.gold_description();
+        let compiled = desc.compile().unwrap();
+        assert!(
+            !compiled.report.has_errors(),
+            "{:?}",
+            compiled.report.errors().collect::<Vec<_>>()
+        );
+        let mut engine = rtec::Engine::new(&compiled, rtec::EngineConfig::default());
+        d.stream.load_into(&mut engine);
+        let out = engine.run_to(d.horizon() + 1);
+        // The synthetic world must produce *some* recognition (gaps and
+        // stops are guaranteed by the mix tolerances in tests/synth.rs).
+        assert!(
+            out.iter().next().is_some(),
+            "no fluent ever held over the synth stream; warnings: {:?}",
+            out.warnings
+        );
+    }
+}

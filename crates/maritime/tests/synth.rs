@@ -1,0 +1,156 @@
+//! Determinism and sanity pins for the Brest-scale synthetic generator.
+//!
+//! The generator's contract (see `docs/SCALE.md`): the stream is a pure
+//! function of [`SynthConfig`] — byte-identical across runs and across
+//! chunked vs. one-shot consumption — with per-vessel monotone
+//! timestamps and an event mix inside pinned tolerances, so benchmark
+//! numbers and CI smoke runs are comparable across machines and time.
+
+use maritime::synth::{generate, ScaleTier, SynthConfig, SynthEvent};
+use maritime::vessel::VesselId;
+use std::collections::HashMap;
+
+fn tiny() -> SynthConfig {
+    SynthConfig {
+        seed: 99,
+        vessels: 25,
+        steps: 120,
+        period: 60,
+    }
+}
+
+/// Renders a stream to one line per event — the byte-level fingerprint
+/// the determinism pins compare.
+fn fingerprint(config: &SynthConfig) -> String {
+    config
+        .stream()
+        .map(|(ev, t)| format!("{t}\t{}\n", ev.render()))
+        .collect()
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_runs() {
+    let c = tiny();
+    assert_eq!(fingerprint(&c), fingerprint(&c));
+    // And materialisation agrees with itself term-for-term.
+    let a = generate(&c);
+    let b = generate(&c);
+    assert_eq!(a.stream.events(), b.stream.events());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.background, b.background);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let c = tiny();
+    assert_ne!(fingerprint(&c), fingerprint(&c.with_seed(100)));
+}
+
+#[test]
+fn chunked_consumption_equals_one_shot() {
+    let c = tiny();
+    let one_shot: Vec<(SynthEvent, i64)> = c.stream().collect();
+    let mut chunked = Vec::new();
+    let mut stream = c.stream();
+    loop {
+        // An awkward chunk size on purpose — it never aligns with step
+        // boundaries, so the iterator's internal buffering is crossed.
+        let chunk: Vec<_> = stream.by_ref().take(97).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunked.extend(chunk);
+    }
+    assert_eq!(one_shot, chunked);
+}
+
+#[test]
+fn per_vessel_timestamps_are_monotone() {
+    let c = tiny();
+    let mut last: HashMap<VesselId, i64> = HashMap::new();
+    let mut global_last = 0;
+    for (ev, t) in c.stream() {
+        assert!(
+            t >= global_last,
+            "global order violated: {t} < {global_last}"
+        );
+        global_last = t;
+        let l = last.entry(ev.vessel()).or_insert(0);
+        assert!(
+            t >= *l,
+            "vessel {} went back in time: {t} < {l}",
+            ev.vessel()
+        );
+        *l = t;
+    }
+}
+
+#[test]
+fn event_mix_is_within_pinned_tolerances() {
+    let d = generate(&ScaleTier::Small.config());
+    let s = d.stats;
+    assert!(s.total > 0);
+    // Kinematic reports dominate but never crowd out critical events.
+    let velocity_frac = s.velocity as f64 / s.total as f64;
+    assert!(
+        (0.55..=0.995).contains(&velocity_frac),
+        "velocity fraction {velocity_frac} out of tolerance ({s:?})"
+    );
+    // Every critical-event family the gold description consumes occurs.
+    assert!(s.area_entries >= 5, "{s:?}");
+    assert!(s.area_exits >= 5, "{s:?}");
+    assert!(s.gap_starts >= 1, "{s:?}");
+    assert!(s.stop_starts >= 5, "{s:?}");
+    assert!(s.slow_starts >= 5, "{s:?}");
+    assert!(s.speed_change_starts >= 5, "{s:?}");
+    assert!(s.heading_changes >= 5, "{s:?}");
+    // Area crossings balance to within the fleet size (a vessel can end
+    // the stream inside an area it entered).
+    let imbalance = s.area_entries.abs_diff(s.area_exits);
+    assert!(
+        imbalance <= d.vessels.len() * d.areas.areas().len(),
+        "{s:?}"
+    );
+}
+
+#[test]
+fn tiers_parse_and_scale() {
+    for tier in [ScaleTier::Small, ScaleTier::Smoke, ScaleTier::Brest] {
+        assert_eq!(ScaleTier::parse(tier.name()), Some(tier));
+    }
+    assert_eq!(ScaleTier::parse("SMOKE"), Some(ScaleTier::Smoke));
+    assert_eq!(ScaleTier::parse("huge"), None);
+    let small = ScaleTier::Small.config();
+    let smoke = ScaleTier::Smoke.config();
+    let brest = ScaleTier::Brest.config();
+    assert!(small.vessels < smoke.vessels && smoke.vessels < brest.vessels);
+    assert!(brest.vessels >= 1_000, "Brest tier must be >=1K vessels");
+}
+
+#[test]
+fn materialisation_matches_the_iterator() {
+    let c = tiny();
+    let d = generate(&c);
+    let n = c.stream().count();
+    assert_eq!(d.stream.len(), n);
+    assert_eq!(d.stats.total, n);
+    assert!(d.horizon() <= c.horizon());
+    assert_eq!(d.vessels, c.fleet());
+}
+
+/// The big tiers are opt-in: this test sizes the smoke tier only when
+/// `RTEC_SCALE_TIER=smoke` (or larger) is exported, so a default
+/// `cargo test` never pays for a 200K-event generation.
+#[test]
+fn smoke_tier_reaches_contracted_size() {
+    if !matches!(ScaleTier::from_env(), ScaleTier::Smoke | ScaleTier::Brest) {
+        return;
+    }
+    let d = generate(&ScaleTier::Smoke.config());
+    assert!(
+        d.stats.total >= 150_000,
+        "smoke tier too small: {:?}",
+        d.stats
+    );
+    assert!(d.vessels.len() == 250);
+}

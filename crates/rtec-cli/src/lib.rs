@@ -116,6 +116,19 @@ pub enum Command {
         /// Replay options.
         opts: rtec_service::StreamOptions,
     },
+    /// `dataset synth [--tier T] [--seed N] [--out FILE] [--desc FILE]`
+    DatasetSynth {
+        /// Scale tier (`small`, `smoke`, `brest`). Falls back to the
+        /// `RTEC_SCALE_TIER` environment variable, then `small`.
+        tier: Option<String>,
+        /// Seed override (tiers carry a pinned default seed).
+        seed: Option<u64>,
+        /// Write the event file here instead of stdout.
+        out: Option<String>,
+        /// Also write the gold description (rules + the generated
+        /// fleet's background knowledge) here.
+        desc_out: Option<String>,
+    },
     /// `dataset <ais.csv> [--strict] [--max-diagnostics N]`
     Dataset {
         /// Path to the AIS CSV file.
@@ -148,6 +161,8 @@ USAGE:
                 [--tick-every T] [--reorder-slack S] [--dedup]
                 [--no-close]
     rtec dataset <ais.csv> [--strict] [--max-diagnostics N]
+    rtec dataset synth [--tier small|smoke|brest] [--seed N]
+                       [--out EVENTS.evt] [--desc DESC.rtec]
 
 Event file format: one `TIME EVENT_TERM` per line; `%` starts a comment.
 `stream` additionally accepts `interval FLUENT=VALUE START END ...` lines
@@ -161,6 +176,11 @@ enables the `restore` command (docs/ROBUSTNESS.md).
 `dataset` imports an AIS CSV, skipping and recording corrupt rows; it
 fails (exit 3) only when no row survives, `--strict` aborts on the
 first corrupt row instead.
+`dataset synth` emits a seeded Brest-scale synthetic critical-event
+stream in the event-file format (deterministic per seed; tiers sized in
+docs/SCALE.md, default from RTEC_SCALE_TIER); `--desc` also writes the
+gold description over the generated fleet so the pair feeds straight
+into `run` or `stream`.
 `run --eval plan` evaluates windows with the compiled plan instead of
 the AST interpreter (observationally identical; see docs/PLAN.md); the
 RTEC_EVAL environment variable sets the default. `run --profile`
@@ -361,6 +381,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .next()
                 .ok_or_else(|| CliError::new("dataset: missing csv path", 2))?
                 .clone();
+            if csv == "synth" {
+                let mut tier = None;
+                let mut seed = None;
+                let mut out = None;
+                let mut desc_out = None;
+                while let Some(flag) = it.next() {
+                    let mut value = |name: &str| {
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| CliError::new(format!("{name}: missing value"), 2))
+                    };
+                    match flag.as_str() {
+                        "--tier" => tier = Some(value("--tier")?),
+                        "--seed" => {
+                            let v = value("--seed")?;
+                            seed = Some(
+                                v.parse()
+                                    .map_err(|e| CliError::new(format!("--seed {v}: {e}"), 2))?,
+                            );
+                        }
+                        "--out" => out = Some(value("--out")?),
+                        "--desc" => desc_out = Some(value("--desc")?),
+                        other => {
+                            return Err(CliError::new(
+                                format!("dataset synth: unknown flag {other}"),
+                                2,
+                            ))
+                        }
+                    }
+                }
+                return Ok(Command::DatasetSynth {
+                    tier,
+                    seed,
+                    out,
+                    desc_out,
+                });
+            }
             let mut strict = false;
             let mut max_diagnostics = 20usize;
             while let Some(flag) = it.next() {
@@ -715,6 +772,72 @@ pub fn dataset_source(csv: &str, strict: bool, max_diagnostics: usize) -> Result
     Ok(out)
 }
 
+/// The rendered output of `dataset synth`.
+pub struct SynthSources {
+    /// The event file (one `TIME EVENT_TERM` per line, time-ordered).
+    pub events: String,
+    /// The gold description over the generated fleet's background.
+    pub description: String,
+    /// Total events rendered.
+    pub total: usize,
+    /// Fleet size.
+    pub vessels: usize,
+    /// Last event time.
+    pub horizon: i64,
+}
+
+/// `dataset synth`: renders a seeded Brest-scale synthetic stream (see
+/// `maritime::synth` and docs/SCALE.md) to the CLI event-file format,
+/// plus the gold description the stream runs under. Deterministic per
+/// tier and seed.
+pub fn dataset_synth_sources(
+    tier: Option<&str>,
+    seed: Option<u64>,
+) -> Result<SynthSources, CliError> {
+    use maritime::synth::{ScaleTier, SynthStats};
+    let bad_tier = |name: &str| {
+        CliError::new(
+            format!("dataset synth: unknown tier {name:?} (small|smoke|brest)"),
+            2,
+        )
+    };
+    let tier = match tier {
+        Some(name) => ScaleTier::parse(name).ok_or_else(|| bad_tier(name))?,
+        None => match std::env::var("RTEC_SCALE_TIER") {
+            Ok(name) => ScaleTier::parse(&name).ok_or_else(|| bad_tier(&name))?,
+            Err(_) => ScaleTier::Small,
+        },
+    };
+    let mut config = tier.config();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let mut events = String::new();
+    let mut stats = SynthStats::default();
+    for (ev, t) in config.stream() {
+        stats.count(&ev);
+        let _ = writeln!(events, "{t} {}", ev.render());
+    }
+    let description = format!("{}\n{}", maritime::gold::GOLD_RULES, config.background());
+    rtec_obs::info(
+        "dataset.synth",
+        &[
+            ("tier", tier.name().into()),
+            ("seed", (config.seed as i64).into()),
+            ("vessels", (config.vessels as i64).into()),
+            ("events", (stats.total as i64).into()),
+            ("horizon", config.horizon().into()),
+        ],
+    );
+    Ok(SynthSources {
+        events,
+        description,
+        total: stats.total,
+        vessels: config.vessels,
+        horizon: config.horizon(),
+    })
+}
+
 /// `similarity` subcommand over two description sources.
 ///
 /// Following the paper's Definition 4.14, the metric is defined over the
@@ -960,6 +1083,70 @@ mod tests {
         assert!(parse_args(&s(&["dataset"])).is_err());
         assert!(parse_args(&s(&["dataset", "a.csv", "--max-diagnostics", "x"])).is_err());
         assert!(parse_args(&s(&["dataset", "a.csv", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn arg_parsing_dataset_synth() {
+        assert_eq!(
+            parse_args(&s(&["dataset", "synth"])).unwrap(),
+            Command::DatasetSynth {
+                tier: None,
+                seed: None,
+                out: None,
+                desc_out: None
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "dataset", "synth", "--tier", "smoke", "--seed", "7", "--out", "e.evt", "--desc",
+                "d.rtec"
+            ]))
+            .unwrap(),
+            Command::DatasetSynth {
+                tier: Some("smoke".into()),
+                seed: Some(7),
+                out: Some("e.evt".into()),
+                desc_out: Some("d.rtec".into())
+            }
+        );
+        assert!(parse_args(&s(&["dataset", "synth", "--seed", "x"])).is_err());
+        assert!(parse_args(&s(&["dataset", "synth", "--tier"])).is_err());
+        assert!(parse_args(&s(&["dataset", "synth", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn dataset_synth_renders_runnable_sources() {
+        let synth = dataset_synth_sources(Some("small"), Some(5)).unwrap();
+        assert_eq!(synth.events.lines().count(), synth.total);
+        assert!(synth.total > 1_000);
+        // Deterministic per seed; a different seed diverges.
+        assert_eq!(
+            dataset_synth_sources(Some("small"), Some(5))
+                .unwrap()
+                .events,
+            synth.events
+        );
+        assert_ne!(
+            dataset_synth_sources(Some("small"), Some(6))
+                .unwrap()
+                .events,
+            synth.events
+        );
+        assert!(dataset_synth_sources(Some("galactic"), None).is_err());
+        // The emitted pair must feed straight into `run`.
+        let compiled = EventDescription::parse(&synth.description)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert!(
+            !compiled.report.has_errors(),
+            "{:?}",
+            compiled.report.errors().collect::<Vec<_>>()
+        );
+        let first = synth.events.lines().next().unwrap();
+        let (t, term) = first.split_once(' ').unwrap();
+        assert!(t.parse::<i64>().is_ok(), "bad time in {first:?}");
+        assert!(term.contains('('), "bad term in {first:?}");
     }
 
     const AIS: &str = "\

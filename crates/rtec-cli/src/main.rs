@@ -149,6 +149,35 @@ fn main() -> ExitCode {
             strict,
             max_diagnostics,
         } => read(&csv).and_then(|c| rtec_cli::dataset_source(&c, strict, max_diagnostics)),
+        Command::DatasetSynth {
+            tier,
+            seed,
+            out,
+            desc_out,
+        } => {
+            let write = |path: &str, text: &str| {
+                std::fs::write(path, text).map_err(|e| rtec_cli::CliError {
+                    message: format!("cannot write {path}: {e}"),
+                    code: 2,
+                })
+            };
+            rtec_cli::dataset_synth_sources(tier.as_deref(), seed).and_then(|s| {
+                if let Some(path) = &desc_out {
+                    write(path, &s.description)?;
+                }
+                match &out {
+                    Some(path) => {
+                        write(path, &s.events)?;
+                        Ok(format!(
+                            "wrote {} events from {} vessels (horizon {}) to {path}",
+                            s.total, s.vessels, s.horizon
+                        ))
+                    }
+                    // Piped use: the event file itself is the output.
+                    None => Ok(s.events),
+                }
+            })
+        }
     };
     match result {
         Ok(out) => {

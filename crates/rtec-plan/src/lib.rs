@@ -204,6 +204,78 @@ impl WindowEvaluator for Plan {
         }
     }
 
+    /// Delta-aware evaluation: strata whose simple fluent is provably
+    /// unaffected by the window's events scan an empty index — zero
+    /// candidates, so only the inertia carry is folded, identically to
+    /// scanning the real index (the engine's delta analysis guarantees
+    /// no rule of the key matches any event). Statics always run: they
+    /// read the cache and input intervals, not the event index.
+    fn evaluate_window_incremental(
+        &mut self,
+        events: &EventIndex,
+        delta: &rtec::eval::delta::WindowDelta,
+        cache: &mut FluentCache<'_>,
+        inertia: &mut InertiaState,
+        warnings: &mut WarningSink,
+        mut profile: Option<&mut rtec_obs::profile::WindowProfile>,
+    ) {
+        let empty = EventIndex::default();
+        let ctx = exec::ExecCtx {
+            symbols: &self.symbols,
+            eq: self.eq,
+            facts: &self.facts,
+            defined: &self.defined,
+            events,
+        };
+        let ctx_clean = exec::ExecCtx {
+            symbols: &self.symbols,
+            eq: self.eq,
+            facts: &self.facts,
+            defined: &self.defined,
+            events: &empty,
+        };
+        for stratum in &self.strata {
+            if stratum.has_simple {
+                let simple_ctx = if delta.is_dirty(stratum.key) {
+                    &ctx
+                } else {
+                    &ctx_clean
+                };
+                let ops_before = rtec::profile::interval_ops();
+                let started = std::time::Instant::now();
+                exec::eval_simple_stratum(
+                    simple_ctx,
+                    stratum.key,
+                    &stratum.simple,
+                    cache,
+                    inertia,
+                    warnings,
+                );
+                if let Some(p) = profile.as_deref_mut() {
+                    p.record(
+                        rtec::profile::rule_name(&self.symbols, stratum.key),
+                        rtec_obs::profile::RuleKind::Simple,
+                        started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        rtec::profile::interval_ops().wrapping_sub(ops_before),
+                    );
+                }
+            }
+            if stratum.has_static {
+                let ops_before = rtec::profile::interval_ops();
+                let started = std::time::Instant::now();
+                exec::eval_static_stratum(&ctx, &stratum.statics, cache, warnings);
+                if let Some(p) = profile.as_deref_mut() {
+                    p.record(
+                        rtec::profile::rule_name(&self.symbols, stratum.key),
+                        rtec_obs::profile::RuleKind::Static,
+                        started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        rtec::profile::interval_ops().wrapping_sub(ops_before),
+                    );
+                }
+            }
+        }
+    }
+
     fn evaluate_window_profiled(
         &mut self,
         events: &EventIndex,

@@ -164,6 +164,17 @@ impl SessionCheckpoint {
                 None => Value::Null,
             },
         );
+        config.insert(
+            "slide".to_string(),
+            match self.config.slide {
+                Some(s) => Value::from(s),
+                None => Value::Null,
+            },
+        );
+        config.insert(
+            "incremental".to_string(),
+            Value::Bool(self.config.incremental),
+        );
         config.insert("shards".to_string(), counter(self.config.shards));
         config.insert(
             "queue_capacity".to_string(),
@@ -337,6 +348,10 @@ impl SessionCheckpoint {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(v.as_i64().ok_or("session checkpoint: non-integer window")?),
             },
+            // Lenient on read: checkpoints written before sliding
+            // evaluation lack both keys (tumbling, full recompute).
+            slide: opt_i64_of(config_v, "slide")?,
+            incremental: matches!(config_v.get("incremental"), Some(Value::Bool(true))),
             shards: usize_of(config_v, "shards")?,
             queue_capacity: usize_of(config_v, "queue_capacity")?,
             max_worker_restarts: usize_of(config_v, "max_worker_restarts")?,

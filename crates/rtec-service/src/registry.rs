@@ -145,8 +145,16 @@ impl Registry {
         let description = str_field(req, "description")?;
         let mut config = SessionConfig {
             window: opt_int_field(req, "window")?,
+            slide: opt_int_field(req, "slide")?,
+            incremental: opt_bool_field(req, "incremental")?,
             ..SessionConfig::default()
         };
+        if config.slide.is_some() && config.window.is_none() {
+            return Err("slide requires window".into());
+        }
+        if config.incremental && config.slide.is_none() {
+            return Err("incremental requires slide".into());
+        }
         if let Some(max) = self.max_worker_restarts {
             config.max_worker_restarts = max;
         }

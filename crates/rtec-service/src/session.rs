@@ -59,6 +59,17 @@ pub struct SessionConfig {
     /// Recognition window size; `None` evaluates each tick as one chunk
     /// covering everything since the previous tick.
     pub window: Option<Timepoint>,
+    /// Sliding step; `Some(s)` re-evaluates every `s` timepoints over
+    /// the trailing `window` (requires `window`, `0 < s <= window`).
+    /// Shard engines then amend events arriving inside the
+    /// `window - slide` overlap instead of dead-lettering them.
+    pub slide: Option<Timepoint>,
+    /// Incremental window re-evaluation (requires `slide`): overlapped
+    /// windows extend the previous evaluation instead of recomputing
+    /// from the window boundary, falling back to full recomputation
+    /// whenever equivalence cannot be proven (late events, changed
+    /// input intervals). Observationally identical to the full mode.
+    pub incremental: bool,
     /// Number of engine shards (threads).
     pub shards: usize,
     /// Bounded per-shard queue capacity.
@@ -114,6 +125,8 @@ impl Default for SessionConfig {
     fn default() -> SessionConfig {
         SessionConfig {
             window: None,
+            slide: None,
+            incremental: false,
             shards: 2,
             queue_capacity: 1024,
             max_worker_restarts: 2,
@@ -284,6 +297,8 @@ impl Session {
                 ("session", name.as_str().into()),
                 ("shards", config.shards.into()),
                 ("window", config.window.unwrap_or(-1).into()),
+                ("slide", config.slide.unwrap_or(-1).into()),
+                ("incremental", config.incremental.into()),
             ],
         );
         Ok(Session {
@@ -480,6 +495,17 @@ impl Session {
         }
     }
 
+    /// The latest timestamp the session refuses as past-horizon. With
+    /// tumbling windows this is the last ticked horizon; sliding
+    /// engines keep the `window - slide` overlap amendable, so the
+    /// frontier is relaxed by it.
+    fn ingest_frontier(&self) -> Timepoint {
+        match (self.config.window, self.config.slide) {
+            (Some(w), Some(s)) => self.stats.processed_to.saturating_sub(w - s),
+            _ => self.stats.processed_to,
+        }
+    }
+
     /// Parses and ingests one event (`term_src` like
     /// `entersArea(v1, brest_port)`) at time `t`.
     ///
@@ -518,20 +544,32 @@ impl Session {
                 return Err(format!("event: {e}"));
             }
         };
+        let ingest_frontier = self.ingest_frontier();
         if let Some(buf) = self.reorder.as_mut() {
             // The engine frontier outranks the buffer's own lateness
             // verdict: anything at or before the last ticked horizon
-            // belongs to an already evaluated (and forgotten) window.
-            if t <= self.stats.processed_to {
+            // belongs to an already evaluated (and forgotten) window —
+            // unless the engines slide, in which case events inside the
+            // `window - slide` overlap are still amendable.
+            if t <= ingest_frontier {
                 self.dead_letter(DeadLetterReason::PastHorizon, Some(t), term_src);
                 return Ok(Ingest::Refused(DeadLetterReason::PastHorizon));
             }
-            if let Err(reason) = buf.push(term, t) {
-                self.dead_letter(reason, Some(t), term_src);
-                return Ok(Ingest::Refused(reason));
+            if t <= self.stats.processed_to {
+                // Behind the buffer's release frontier but inside the
+                // sliding overlap: the in-order guarantee is already
+                // unmeetable for this event, so hand it straight to the
+                // engines, whose amendment replay absorbs it exactly.
+                self.stamp_arrival(t);
+                self.route_event(term, t)?;
+            } else {
+                if let Err(reason) = buf.push(term, t) {
+                    self.dead_letter(reason, Some(t), term_src);
+                    return Ok(Ingest::Refused(reason));
+                }
+                self.stamp_arrival(t);
+                self.release_ready()?;
             }
-            self.stamp_arrival(t);
-            self.release_ready()?;
         } else {
             self.stamp_arrival(t);
             self.route_event(term, t)?;
@@ -1182,11 +1220,25 @@ fn worker_options(config: &SessionConfig) -> WorkerOptions {
 }
 
 fn engine_config_for(config: &SessionConfig) -> Result<EngineConfig, String> {
-    match config.window {
-        Some(w) if w > 0 => Ok(EngineConfig::windowed(w)),
-        Some(w) => Err(format!("window must be positive, got {w}")),
-        None => Ok(EngineConfig::default()),
+    let base = match config.window {
+        Some(w) if w > 0 => EngineConfig::windowed(w),
+        Some(w) => return Err(format!("window must be positive, got {w}")),
+        None => EngineConfig::default(),
+    };
+    let base = match (config.slide, config.window) {
+        (None, _) => base,
+        (Some(_), None) => return Err("slide requires window".to_string()),
+        (Some(s), Some(w)) if s > 0 && s <= w => EngineConfig::sliding(w, s),
+        (Some(s), Some(w)) => {
+            return Err(format!(
+                "slide must satisfy 0 < slide <= window, got {s} (window {w})"
+            ))
+        }
+    };
+    if config.incremental && config.slide.is_none() {
+        return Err("incremental requires slide".to_string());
     }
+    Ok(base.with_incremental(config.incremental))
 }
 
 #[cfg(test)]

@@ -46,6 +46,22 @@ use std::collections::BTreeMap;
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: i64 = 1;
 
+/// Encoded inertia state: ground fluent term paired with its open
+/// `(value, start)` entries.
+pub(crate) type InertiaEntries = Vec<(Term, Vec<(Term, Timepoint)>)>;
+
+/// The sliding-window overlap of an engine: inertia snapshots at past
+/// query times plus the retained events of the current window. Absent
+/// for tumbling engines, so their checkpoint bytes are unchanged from
+/// earlier versions.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SlidingSection {
+    /// `(query time, inertia as of that time)`, ascending.
+    pub(crate) snapshots: Vec<(Timepoint, InertiaEntries)>,
+    /// Evaluated events still inside the overlap, time-sorted.
+    pub(crate) retained: Vec<(Term, Timepoint)>,
+}
+
 /// A serializable snapshot of an engine's retained window state.
 ///
 /// Produced by [`Engine::checkpoint`](crate::engine::Engine::checkpoint),
@@ -68,6 +84,9 @@ pub struct EngineCheckpoint {
     pub(crate) warnings: Vec<String>,
     /// Run-time counters.
     pub(crate) stats: EngineStats,
+    /// Sliding-window overlap state; `None` for tumbling engines (and
+    /// for checkpoints written before sliding windows existed).
+    pub(crate) sliding: Option<SlidingSection>,
     /// Label of the evaluation strategy that wrote the checkpoint
     /// (`"interpreter"` or `"plan"`). Informational only: it lives in the
     /// JSON envelope, outside the checksummed state, and restore ignores
@@ -88,6 +107,7 @@ impl EngineCheckpoint {
         output: Vec<(GroundFvp, IntervalList)>,
         warnings: Vec<String>,
         stats: EngineStats,
+        sliding: Option<SlidingSection>,
         eval_mode: Option<String>,
     ) -> EngineCheckpoint {
         let inertia = inertia
@@ -103,6 +123,7 @@ impl EngineCheckpoint {
             output,
             warnings,
             stats,
+            sliding,
             eval_mode,
         }
     }
@@ -131,6 +152,11 @@ impl EngineCheckpoint {
     /// The inertia carry, for restore (crate-internal).
     pub(crate) fn inertia_state(&self) -> InertiaState {
         self.inertia.iter().cloned().collect()
+    }
+
+    /// The sliding-window overlap, for restore (crate-internal).
+    pub(crate) fn sliding_section(&self) -> Option<&SlidingSection> {
+        self.sliding.as_ref()
     }
 
     /// Serializes the checkpoint state to a JSON [`Value`] (no version
@@ -163,19 +189,34 @@ impl EngineCheckpoint {
                 Value::Array(vec![encode_fvp(fvp), encode_interval_list(list)])
             })),
         );
-        state.insert(
-            "inertia".to_string(),
-            sorted_entries(self.inertia.iter().map(|(fluent, open)| {
-                let open: Vec<Value> = open
-                    .iter()
-                    .map(|(value, start)| {
-                        Value::Array(vec![encode_term(value), Value::from(*start)])
-                    })
-                    .collect();
-                Value::Array(vec![encode_term(fluent), Value::Array(open)])
-            })),
-        );
+        state.insert("inertia".to_string(), encode_inertia_entries(&self.inertia));
         state.insert("processed_to".to_string(), Value::from(self.processed_to));
+        if let Some(sliding) = &self.sliding {
+            let mut section = BTreeMap::new();
+            section.insert(
+                "snapshots".to_string(),
+                Value::Array(
+                    sliding
+                        .snapshots
+                        .iter()
+                        .map(|(t, entries)| {
+                            Value::Array(vec![Value::from(*t), encode_inertia_entries(entries)])
+                        })
+                        .collect(),
+                ),
+            );
+            section.insert(
+                "retained".to_string(),
+                Value::Array(
+                    sliding
+                        .retained
+                        .iter()
+                        .map(|(term, t)| Value::Array(vec![encode_term(term), Value::from(*t)]))
+                        .collect(),
+                ),
+            );
+            state.insert("sliding".to_string(), Value::Object(section));
+        }
         state.insert(
             "output".to_string(),
             sorted_entries(self.output.iter().map(|(fvp, list)| {
@@ -217,23 +258,45 @@ impl EngineCheckpoint {
             })
             .collect::<Result<Vec<_>, String>>()?;
         let inputs = decode_fvp_entries(state, "inputs")?;
-        let inertia = array_field(state, "inertia")?
-            .iter()
-            .map(|entry| {
-                let pair = pair_of(entry, "inertia")?;
-                let fluent = decode_term(&pair[0])?;
-                let open = pair[1]
-                    .as_array()
-                    .ok_or("checkpoint: inertia opens must be an array")?
+        let inertia = decode_inertia_entries(
+            state
+                .get("inertia")
+                .ok_or("checkpoint: missing array field \"inertia\"")?,
+        )?;
+        // Absent in tumbling engines and pre-sliding checkpoints.
+        let sliding = match state.get("sliding") {
+            None => None,
+            Some(section) => {
+                let snapshots = section
+                    .get("snapshots")
+                    .and_then(Value::as_array)
+                    .ok_or("checkpoint: sliding section missing \"snapshots\"")?
                     .iter()
-                    .map(|ov| {
-                        let ov = pair_of(ov, "inertia open")?;
-                        Ok((decode_term(&ov[0])?, timepoint(&ov[1], "inertia open")?))
+                    .map(|entry| {
+                        let pair = pair_of(entry, "sliding snapshot")?;
+                        let t = timepoint(&pair[0], "sliding snapshot")?;
+                        Ok((t, decode_inertia_entries(&pair[1])?))
                     })
                     .collect::<Result<Vec<_>, String>>()?;
-                Ok((fluent, open))
-            })
-            .collect::<Result<Vec<_>, String>>()?;
+                let retained = section
+                    .get("retained")
+                    .and_then(Value::as_array)
+                    .ok_or("checkpoint: sliding section missing \"retained\"")?
+                    .iter()
+                    .map(|entry| {
+                        let pair = pair_of(entry, "sliding retained")?;
+                        Ok((decode_term(&pair[0])?, timepoint(&pair[1], "retained")?))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                if snapshots.is_empty() {
+                    return Err("checkpoint: sliding section has no snapshots".to_string());
+                }
+                Some(SlidingSection {
+                    snapshots,
+                    retained,
+                })
+            }
+        };
         let processed_to = state
             .get("processed_to")
             .and_then(Value::as_i64)
@@ -262,6 +325,7 @@ impl EngineCheckpoint {
             output,
             warnings,
             stats,
+            sliding,
             eval_mode: None,
         })
     }
@@ -321,6 +385,42 @@ impl EngineCheckpoint {
             .map(str::to_owned);
         Ok(checkpoint)
     }
+}
+
+/// Encodes inertia entries (ground fluent -> open values) canonically
+/// sorted, the shape shared by the `inertia` field and the per-snapshot
+/// states of the `sliding` section.
+fn encode_inertia_entries(entries: &InertiaEntries) -> Value {
+    sorted_entries(entries.iter().map(|(fluent, open)| {
+        let open: Vec<Value> = open
+            .iter()
+            .map(|(value, start)| Value::Array(vec![encode_term(value), Value::from(*start)]))
+            .collect();
+        Value::Array(vec![encode_term(fluent), Value::Array(open)])
+    }))
+}
+
+/// Decodes inertia entries encoded by [`encode_inertia_entries`].
+fn decode_inertia_entries(value: &Value) -> Result<InertiaEntries, String> {
+    value
+        .as_array()
+        .ok_or("checkpoint: inertia entries must be an array")?
+        .iter()
+        .map(|entry| {
+            let pair = pair_of(entry, "inertia")?;
+            let fluent = decode_term(&pair[0])?;
+            let open = pair[1]
+                .as_array()
+                .ok_or("checkpoint: inertia opens must be an array")?
+                .iter()
+                .map(|ov| {
+                    let ov = pair_of(ov, "inertia open")?;
+                    Ok((decode_term(&ov[0])?, timepoint(&ov[1], "inertia open")?))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok((fluent, open))
+        })
+        .collect()
 }
 
 /// Collects entry values, sorts them by their canonical serialization
@@ -582,6 +682,7 @@ mod tests {
             output: Vec::new(),
             warnings: vec!["w".into()],
             stats: EngineStats::default(),
+            sliding: None,
             eval_mode: Some("interpreter".into()),
         };
         let json = ck.to_json();
@@ -619,6 +720,7 @@ mod tests {
                 output,
                 warnings: Vec::new(),
                 stats: EngineStats::default(),
+                sliding: None,
                 eval_mode: None,
             }
         };

@@ -15,11 +15,25 @@
 //! the window boundary, so the recognition output is *identical* to a
 //! whole-stream batch run (tested), while event retention stays bounded by
 //! the window.
+//!
+//! With [`EngineConfig::sliding`] the engine additionally queries every
+//! [`EngineConfig::slide`] time-points over the last `window` time-points,
+//! retaining the overlap's events and inertia snapshots so that events
+//! arriving late — behind the query frontier but inside the window — are
+//! amended into the output, RTEC-style. Two strategies are pinned to each
+//! other by differential tests: the default *full* mode re-evaluates the
+//! whole retained window at each query (redundant recomputation), while
+//! [`EngineConfig::incremental`] mode evaluates only the fresh suffix and
+//! skips rules whose input events provably did not change
+//! ([`crate::eval::delta`]), falling back to the full replay whenever late
+//! events or new input intervals make the suffix shortcut unprovable.
+//! See `docs/SCALE.md` for the semantics and fallback rules.
 
 use crate::ast::FluentKey;
-use crate::checkpoint::EngineCheckpoint;
+use crate::checkpoint::{EngineCheckpoint, SlidingSection};
 use crate::description::CompiledDescription;
 use crate::eval::cache::FluentCache;
+use crate::eval::delta::WindowDelta;
 use crate::eval::events::EventIndex;
 use crate::eval::simple::{evaluate_simple_fluent, InertiaState};
 use crate::eval::statics::evaluate_static_fluent;
@@ -41,19 +55,69 @@ pub struct EngineConfig {
     /// `(q - window, q]`. The default (`INF`) processes the whole stream in
     /// a single batch.
     pub window: Timepoint,
+    /// Query period for sliding windows: `0` (the default) keeps the
+    /// historical tumbling behaviour (each event is evaluated exactly
+    /// once and forgotten at the next boundary); a positive `slide`
+    /// queries every `slide` time-points over the last `window`
+    /// time-points, retaining the overlap so late events inside the
+    /// window are amended into the output.
+    pub slide: Timepoint,
+    /// With a positive [`EngineConfig::slide`], evaluate each query
+    /// incrementally (fresh suffix + per-rule delta skip) instead of
+    /// re-evaluating the whole retained window; observationally
+    /// identical to the full mode (pinned by differential tests),
+    /// falling back to the full replay when equivalence cannot be
+    /// proven. Ignored for tumbling windows.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { window: INF }
+        EngineConfig {
+            window: INF,
+            slide: 0,
+            incremental: false,
+        }
     }
 }
 
 impl EngineConfig {
-    /// A windowed configuration.
+    /// A (tumbling-)windowed configuration.
     pub fn windowed(window: Timepoint) -> EngineConfig {
         assert!(window > 0, "window must be positive");
-        EngineConfig { window }
+        EngineConfig {
+            window,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A sliding-window configuration: query every `slide` time-points
+    /// over the last `window` time-points. Requires a finite window and
+    /// `0 < slide <= window` (`slide == window` degenerates to tumbling
+    /// cadence but still tolerates late events within one window).
+    pub fn sliding(window: Timepoint, slide: Timepoint) -> EngineConfig {
+        assert!(
+            window > 0 && window < INF,
+            "window must be positive and finite"
+        );
+        assert!(slide > 0 && slide <= window, "slide must be in 1..=window");
+        EngineConfig {
+            window,
+            slide,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Returns the configuration with incremental evaluation switched
+    /// on (meaningful only together with [`EngineConfig::sliding`]).
+    pub fn with_incremental(mut self, incremental: bool) -> EngineConfig {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether this configuration slides (retains a window overlap).
+    pub fn is_sliding(&self) -> bool {
+        self.slide > 0
     }
 }
 
@@ -152,6 +216,31 @@ pub trait WindowEvaluator: Send {
         let _ = profile;
         self.evaluate_window(events, cache, inertia, warnings);
     }
+
+    /// Like [`WindowEvaluator::evaluate_window`], but additionally handed
+    /// the window's [`WindowDelta`]: simple-fluent keys for which
+    /// `delta.is_dirty(key)` is `false` provably have zero candidate
+    /// events this window, so an evaluator may scan an empty index for
+    /// them (pure inertia fold) instead of the real one. The default
+    /// ignores the delta — still correct, just without the skip.
+    /// Overrides must stay observationally identical to
+    /// `evaluate_window` on the same events.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_window_incremental(
+        &mut self,
+        events: &EventIndex,
+        delta: &WindowDelta,
+        cache: &mut FluentCache<'_>,
+        inertia: &mut InertiaState,
+        warnings: &mut WarningSink,
+        profile: Option<&mut rtec_obs::profile::WindowProfile>,
+    ) {
+        let _ = delta;
+        match profile {
+            Some(p) => self.evaluate_window_profiled(events, cache, inertia, warnings, p),
+            None => self.evaluate_window(events, cache, inertia, warnings),
+        }
+    }
 }
 
 /// The accumulated recognition result: maximal intervals per ground FVP.
@@ -240,6 +329,33 @@ impl RecognitionOutput {
             .collect();
         IntervalList::union_all(&lists)
     }
+
+    /// Rolls the output back to its state as of query time `t`: every
+    /// interval is clipped to `[_, t + 1)` and entries left empty are
+    /// removed. Correct because every fold closes or clips its lists at
+    /// the owning query time plus one, so the output as of `t` contained
+    /// no time-point past `t + 1`; replaying the dropped windows
+    /// re-derives the clipped tails exactly (chunking invariance) and
+    /// [`RecognitionOutput::insert_merge`] restores them by union.
+    pub(crate) fn truncate_after(&mut self, t: Timepoint) {
+        let mut removed: Vec<GroundFvp> = Vec::new();
+        self.map.retain(|fvp, list| {
+            let clipped = list.clip(Timepoint::MIN, t + 1);
+            if clipped.is_empty() {
+                removed.push(fvp.clone());
+                false
+            } else {
+                *list = clipped;
+                true
+            }
+        });
+        if !removed.is_empty() {
+            for instances in self.by_key.values_mut() {
+                instances.retain(|f| !removed.contains(f));
+            }
+            self.by_key.retain(|_, instances| !instances.is_empty());
+        }
+    }
 }
 
 /// Run-time counters of an engine (windows processed, events consumed).
@@ -251,6 +367,40 @@ pub struct EngineStats {
     pub events_processed: usize,
     /// Number of stale (behind-the-frontier) events dropped.
     pub events_dropped: usize,
+}
+
+/// Overlap state of a sliding-window engine: inertia snapshots at past
+/// query times plus the retained (already-evaluated) events of the
+/// current window, enabling rollback-and-replay when late events are
+/// amended. Maintained identically by the full and incremental modes,
+/// so checkpoints are byte-identical across them.
+#[derive(Clone, Debug)]
+struct SlidingState {
+    /// `(query time, inertia as of that time)`, ascending; the first
+    /// entry is the forget frontier (rollbacks never reach behind it).
+    snapshots: Vec<(Timepoint, InertiaState)>,
+    /// Evaluated events still inside the overlap, time-sorted.
+    retained: Vec<(Term, Timepoint)>,
+    /// Value of the engine's `inputs_version` when the last query ran;
+    /// a mismatch means input intervals arrived since, which the
+    /// incremental shortcut cannot account for (fallback to replay).
+    inputs_seen: u64,
+}
+
+impl SlidingState {
+    fn initial(at: Timepoint, inertia: &InertiaState) -> SlidingState {
+        SlidingState {
+            snapshots: vec![(at, inertia.clone())],
+            retained: Vec::new(),
+            inputs_seen: 0,
+        }
+    }
+
+    /// The earliest retained snapshot time: events at or before it can
+    /// no longer be incorporated.
+    fn forget_frontier(&self) -> Timepoint {
+        self.snapshots[0].0
+    }
 }
 
 /// The windowed RTEC recognition engine.
@@ -286,11 +436,21 @@ pub struct Engine<'a> {
     /// profiling entirely. Process-local — never part of a checkpoint,
     /// so checkpoint bytes are identical with profiling on or off.
     profiler: Option<crate::profile::EngineProfiler>,
+    /// Window-overlap state; `Some` iff the configuration slides.
+    sliding: Option<SlidingState>,
+    /// Bumped on every accepted [`Engine::add_input_intervals`] call;
+    /// compared against [`SlidingState::inputs_seen`] to detect input
+    /// intervals arriving between queries.
+    inputs_version: u64,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine over a compiled event description.
     pub fn new(desc: &'a CompiledDescription, config: EngineConfig) -> Engine<'a> {
+        let inertia = InertiaState::new();
+        let sliding = config
+            .is_sliding()
+            .then(|| SlidingState::initial(-1, &inertia));
         Engine {
             desc,
             config,
@@ -298,7 +458,7 @@ impl<'a> Engine<'a> {
             pending: Vec::new(),
             inputs: HashMap::new(),
             inputs_by_key: HashMap::new(),
-            inertia: InertiaState::new(),
+            inertia,
             processed_to: -1,
             output: RecognitionOutput::default(),
             warnings: WarningSink::new(),
@@ -307,6 +467,8 @@ impl<'a> Engine<'a> {
             stale_rejected: 0,
             evaluator: None,
             profiler: None,
+            sliding,
+            inputs_version: 0,
         }
     }
 
@@ -399,22 +561,32 @@ impl<'a> Engine<'a> {
     /// `"... dropped"` warning on the next [`Engine::run_to`]. It never
     /// reaches the pending queue, so it cannot corrupt inertial state.
     pub fn add_event(&mut self, event: Term, t: Timepoint) {
-        if t <= self.processed_to {
+        if t <= self.forget_frontier() {
             self.reject_stale(t);
             return;
         }
         self.pending.push((event, t));
     }
 
+    /// The time-point at or before which events can no longer be
+    /// incorporated: the processed frontier for tumbling windows, the
+    /// earliest retained inertia snapshot for sliding ones (events
+    /// behind [`Engine::processed_to`] but inside the overlap are
+    /// amended into the output on the next query).
+    pub fn forget_frontier(&self) -> Timepoint {
+        self.sliding
+            .as_ref()
+            .map(SlidingState::forget_frontier)
+            .unwrap_or(self.processed_to)
+    }
+
     /// Routes one stale event to the dead-letter ledger.
     fn reject_stale(&mut self, t: Timepoint) {
+        let frontier = self.forget_frontier();
         self.dead_letters.record(
             DeadLetterReason::PastHorizon,
             Some(t),
-            format!(
-                "event at t={t} is at or before the processed frontier ({})",
-                self.processed_to
-            ),
+            format!("event at t={t} is at or before the processed frontier ({frontier})"),
         );
         self.stats.events_dropped += 1;
         self.stale_rejected += 1;
@@ -450,6 +622,7 @@ impl<'a> Engine<'a> {
         if list.is_empty() {
             return;
         }
+        self.inputs_version += 1;
         match self.inputs.get_mut(&fvp) {
             Some(existing) => existing.merge(&list),
             None => {
@@ -496,20 +669,18 @@ impl<'a> Engine<'a> {
         // Defensive second enforcement of the add_event boundary: a
         // restored pending queue upholds the invariant (checkpoints are
         // taken with it intact), so this drain is normally empty.
+        let frontier = self.forget_frontier();
         let drained = self
             .pending
             .iter()
-            .take_while(|(_, t)| *t <= self.processed_to)
+            .take_while(|(_, t)| *t <= frontier)
             .count();
         if drained > 0 {
             for (_, t) in self.pending.drain(..drained) {
                 self.dead_letters.record(
                     DeadLetterReason::PastHorizon,
                     Some(t),
-                    format!(
-                        "event at t={t} is at or before the processed frontier ({})",
-                        self.processed_to
-                    ),
+                    format!("event at t={t} is at or before the processed frontier ({frontier})"),
                 );
             }
             self.stats.events_dropped += drained;
@@ -525,20 +696,36 @@ impl<'a> Engine<'a> {
             crate::obs::metrics().forget_drops.add(stale as u64);
             rtec_obs::warn(
                 "engine.forget_drop",
-                &[
-                    ("count", stale.into()),
-                    ("frontier", self.processed_to.into()),
-                ],
+                &[("count", stale.into()), ("frontier", frontier.into())],
             );
         }
 
+        // Amendment query: a sliding engine holding late-but-admissible
+        // events (behind the processed frontier, inside the overlap)
+        // must incorporate them even when the horizon does not advance.
+        if self.sliding.is_some()
+            && horizon <= self.processed_to
+            && self.pending.iter().any(|(_, t)| *t <= self.processed_to)
+        {
+            self.process_query(self.processed_to);
+        }
+
+        let step = if self.config.is_sliding() {
+            self.config.slide
+        } else {
+            self.config.window
+        };
         while self.processed_to < horizon {
-            let q = if self.config.window == INF {
+            let q = if step == INF {
                 horizon
             } else {
-                (self.processed_to.saturating_add(self.config.window)).min(horizon)
+                (self.processed_to.saturating_add(step)).min(horizon)
             };
-            self.process_chunk(q);
+            if self.sliding.is_some() {
+                self.process_query(q);
+            } else {
+                self.process_chunk(q);
+            }
         }
         self.output.warnings = self.warnings.messages().to_vec();
         &self.output
@@ -576,6 +763,22 @@ impl<'a> Engine<'a> {
     /// window boundary (right after [`Engine::run_to`] returns), which
     /// is when the service checkpoints its shard workers.
     pub fn checkpoint(&self) -> EngineCheckpoint {
+        let sliding = self.sliding.as_ref().map(|s| SlidingSection {
+            snapshots: s
+                .snapshots
+                .iter()
+                .map(|(t, inertia)| {
+                    (
+                        *t,
+                        inertia
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            retained: s.retained.clone(),
+        });
         EngineCheckpoint::from_parts(
             self.symbols
                 .iter()
@@ -595,6 +798,7 @@ impl<'a> Engine<'a> {
                 .collect(),
             self.warnings.messages().to_vec(),
             self.stats,
+            sliding,
             Some(self.eval_label().to_string()),
         )
     }
@@ -626,6 +830,26 @@ impl<'a> Engine<'a> {
         for w in &checkpoint.warnings {
             warnings.push(w.clone());
         }
+        let inertia = checkpoint.inertia_state();
+        // A sliding configuration resumes its overlap from the
+        // checkpoint's sliding section; a checkpoint without one (taken
+        // by a tumbling engine, or pre-sliding) starts a fresh overlap
+        // at the restored frontier — late events behind it are lost,
+        // exactly as they would be across any tumbling restore.
+        let sliding = config
+            .is_sliding()
+            .then(|| match checkpoint.sliding_section() {
+                Some(section) => SlidingState {
+                    snapshots: section
+                        .snapshots
+                        .iter()
+                        .map(|(t, entries)| (*t, entries.iter().cloned().collect()))
+                        .collect(),
+                    retained: section.retained.clone(),
+                    inputs_seen: 0,
+                },
+                None => SlidingState::initial(checkpoint.processed_to, &inertia),
+            });
         let mut engine = Engine {
             desc,
             config,
@@ -633,7 +857,7 @@ impl<'a> Engine<'a> {
             pending: checkpoint.pending.clone(),
             inputs: HashMap::new(),
             inputs_by_key: HashMap::new(),
-            inertia: checkpoint.inertia_state(),
+            inertia,
             processed_to: checkpoint.processed_to,
             output: RecognitionOutput::default(),
             warnings,
@@ -642,6 +866,8 @@ impl<'a> Engine<'a> {
             stale_rejected: 0,
             evaluator: None,
             profiler: None,
+            sliding,
+            inputs_version: 0,
         };
         for (fvp, list) in &checkpoint.inputs {
             engine.add_input_intervals(fvp.clone(), list.clone());
@@ -650,20 +876,160 @@ impl<'a> Engine<'a> {
             engine.output.insert_merge(fvp.clone(), list.clone());
         }
         engine.output.warnings = checkpoint.warnings.clone();
+        // Restored inputs were already seen by the checkpointed run;
+        // they must not force an incremental fallback by themselves.
+        if let Some(s) = engine.sliding.as_mut() {
+            s.inputs_seen = engine.inputs_version;
+        }
         Ok(engine)
     }
 
+    /// Tumbling-window step: drains and evaluates everything up to `q`.
     fn process_chunk(&mut self, q: Timepoint) {
-        let metrics = crate::obs::metrics();
-        let started = std::time::Instant::now();
         // Take the chunk's events off the pending queue.
         let upto = self.pending.partition_point(|(_, t)| *t <= q);
         let chunk_events: Vec<(Term, Timepoint)> = self.pending.drain(..upto).collect();
         self.stats.windows += 1;
         self.stats.events_processed += chunk_events.len();
+        crate::obs::metrics()
+            .events_processed
+            .add(chunk_events.len() as u64);
+        self.evaluate_chunk(chunk_events, q, false);
+    }
+
+    /// Sliding-window step: one query at time `q`.
+    ///
+    /// Fresh events are drained up to `q`; then either the fresh suffix
+    /// is evaluated on top of the carried state (incremental mode, when
+    /// nothing invalidates the shortcut), or the engine rolls back to
+    /// the newest inertia snapshot at least one window behind `q` and
+    /// replays the retained events from there — RTEC-style redundant
+    /// recomputation, and the fallback that amends late events. The
+    /// replay re-evaluates at the original query boundaries, recording
+    /// the same intermediate snapshots, so the retained overlap state
+    /// (and with it checkpoint bytes) is identical across both modes.
+    fn process_query(&mut self, q: Timepoint) {
+        let upto = self.pending.partition_point(|(_, t)| *t <= q);
+        let fresh: Vec<(Term, Timepoint)> = self.pending.drain(..upto).collect();
+        let has_late = fresh.iter().any(|(_, t)| *t <= self.processed_to);
+        self.stats.windows += 1;
+        self.stats.events_processed += fresh.len();
+        crate::obs::metrics()
+            .events_processed
+            .add(fresh.len() as u64);
+        let inputs_changed = {
+            let sliding = self.sliding.as_ref().expect("sliding engine");
+            sliding.inputs_seen != self.inputs_version
+        };
+
+        if self.config.incremental && !has_late && !inputs_changed {
+            // Fresh-suffix evaluation with the per-rule delta skip: the
+            // overlap's contribution is fully carried by the inertia
+            // state, exactly as across a tumbling boundary.
+            self.sliding
+                .as_mut()
+                .expect("sliding engine")
+                .retained
+                .extend(fresh.iter().cloned());
+            self.evaluate_chunk(fresh, q, true);
+        } else {
+            // Roll back and replay the retained window. The rollback
+            // boundary is the newest snapshot at least `window` behind
+            // `q` (or the forget frontier when none is old enough).
+            let window = self.config.window;
+            let (boundary_idx, boundary, snapshot, rungs) = {
+                let sliding = self.sliding.as_mut().expect("sliding engine");
+                sliding.retained.extend(fresh);
+                // Stable: a late event lands after retained events of
+                // the same time-point, matching its drain position had
+                // it arrived in order within that query's chunk.
+                sliding.retained.sort_by_key(|(_, t)| *t);
+                let target = q.saturating_sub(window);
+                let boundary_idx = sliding
+                    .snapshots
+                    .iter()
+                    .rposition(|(t, _)| *t <= target)
+                    .unwrap_or(0);
+                let (boundary, snapshot) = sliding.snapshots[boundary_idx].clone();
+                // Re-evaluate at the original query boundaries so the
+                // intermediate snapshots (and static-fluent folds) are
+                // regenerated exactly; `q` itself is the final rung.
+                let rungs: Vec<Timepoint> = sliding.snapshots[boundary_idx + 1..]
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .filter(|t| *t < q)
+                    .chain(std::iter::once(q))
+                    .collect();
+                sliding.snapshots.truncate(boundary_idx + 1);
+                (boundary_idx, boundary, snapshot, rungs)
+            };
+            let _ = boundary_idx;
+            self.inertia = snapshot;
+            self.output.truncate_after(boundary);
+            self.processed_to = boundary;
+            let mut prev = boundary;
+            for rung in rungs {
+                let chunk: Vec<(Term, Timepoint)> = {
+                    let sliding = self.sliding.as_ref().expect("sliding engine");
+                    sliding
+                        .retained
+                        .iter()
+                        .filter(|(_, t)| *t > prev && *t <= rung)
+                        .cloned()
+                        .collect()
+                };
+                self.evaluate_chunk(chunk, rung, false);
+                if rung < q {
+                    let snap = self.inertia.clone();
+                    self.sliding
+                        .as_mut()
+                        .expect("sliding engine")
+                        .snapshots
+                        .push((rung, snap));
+                }
+                prev = rung;
+            }
+        }
+
+        // Record the query's snapshot and prune the overlap: the next
+        // query (at `q + slide`) rolls back to the newest snapshot at
+        // least `window` behind it, so everything older than that
+        // boundary — snapshots and events alike — is forgotten.
+        let snap = self.inertia.clone();
+        let slide = self.config.slide;
+        let window = self.config.window;
+        let inputs_version = self.inputs_version;
+        let sliding = self.sliding.as_mut().expect("sliding engine");
+        sliding.snapshots.push((q, snap));
+        let target = q.saturating_add(slide).saturating_sub(window);
+        let keep_from = sliding
+            .snapshots
+            .iter()
+            .rposition(|(t, _)| *t <= target)
+            .unwrap_or(0);
+        sliding.snapshots.drain(..keep_from);
+        let base = sliding.forget_frontier();
+        sliding.retained.retain(|(_, t)| *t > base);
+        sliding.inputs_seen = inputs_version;
+    }
+
+    /// Evaluates one chunk of events as the window `(processed_to, q]`
+    /// and folds the results into the output. With `use_delta`, simple
+    /// fluents provably unaffected by the chunk's events are evaluated
+    /// against an empty index (pure inertia fold — identical by
+    /// construction, see [`crate::eval::delta`]).
+    fn evaluate_chunk(
+        &mut self,
+        chunk_events: Vec<(Term, Timepoint)>,
+        q: Timepoint,
+        use_delta: bool,
+    ) {
+        let metrics = crate::obs::metrics();
+        let started = std::time::Instant::now();
         metrics.windows.inc();
-        metrics.events_processed.add(chunk_events.len() as u64);
         let index = EventIndex::build(chunk_events);
+        let delta = use_delta.then(|| WindowDelta::compute(self.desc, &index));
+        let empty_index = EventIndex::default();
 
         let mut cache = FluentCache::new(&self.inputs, &self.inputs_by_key);
         let mut window_profile = self
@@ -671,15 +1037,23 @@ impl<'a> Engine<'a> {
             .as_ref()
             .map(|_| rtec_obs::profile::WindowProfile::new());
         if let Some(evaluator) = self.evaluator.as_deref_mut() {
-            match window_profile.as_mut() {
-                Some(wp) => evaluator.evaluate_window_profiled(
+            match (&delta, window_profile.as_mut()) {
+                (Some(d), wp) => evaluator.evaluate_window_incremental(
+                    &index,
+                    d,
+                    &mut cache,
+                    &mut self.inertia,
+                    &mut self.warnings,
+                    wp,
+                ),
+                (None, Some(wp)) => evaluator.evaluate_window_profiled(
                     &index,
                     &mut cache,
                     &mut self.inertia,
                     &mut self.warnings,
                     wp,
                 ),
-                None => evaluator.evaluate_window(
+                (None, None) => evaluator.evaluate_window(
                     &index,
                     &mut cache,
                     &mut self.inertia,
@@ -689,12 +1063,19 @@ impl<'a> Engine<'a> {
         } else {
             for key in &self.desc.strata {
                 if self.desc.simple_by_fluent.contains_key(key) {
+                    // Clean keys scan an empty index: zero candidate
+                    // events, so only the inertia carry is folded —
+                    // identical to scanning the real index.
+                    let key_index = match &delta {
+                        Some(d) if !d.is_dirty(*key) => &empty_index,
+                        _ => &index,
+                    };
                     let ops_before = crate::profile::interval_ops();
                     let eval_started = std::time::Instant::now();
                     evaluate_simple_fluent(
                         self.desc,
                         *key,
-                        &index,
+                        key_index,
                         &mut cache,
                         &mut self.inertia,
                         &mut self.warnings,
@@ -794,7 +1175,13 @@ mod tests {
         let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
         let e_gap = desc.term("gap_start(v1)").unwrap();
         let compiled = desc.compile().unwrap();
-        let mut engine = Engine::new(&compiled, EngineConfig { window });
+        let mut engine = Engine::new(
+            &compiled,
+            EngineConfig {
+                window,
+                ..EngineConfig::default()
+            },
+        );
         engine.add_event(e_enter.clone(), 10);
         engine.add_event(e_leave, 30);
         engine.add_event(e_enter, 50);
@@ -1044,6 +1431,99 @@ mod tests {
         assert_eq!(entries[0].name, "withinArea/2");
         assert_eq!(entries[0].kind, rtec_obs::profile::RuleKind::Simple);
         assert_eq!(entries[0].cost.calls, 3);
+    }
+
+    #[test]
+    fn sliding_full_and_incremental_match_batch() {
+        let (batch, fvp) = run_within_area(INF);
+        for slide in [1, 5, 20] {
+            for incremental in [false, true] {
+                let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+                let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+                let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+                let e_gap = desc.term("gap_start(v1)").unwrap();
+                let compiled = desc.compile().unwrap();
+                let config = EngineConfig::sliding(20, slide).with_incremental(incremental);
+                let mut engine = Engine::new(&compiled, config);
+                engine.add_event(e_enter.clone(), 10);
+                engine.add_event(e_leave, 30);
+                engine.add_event(e_enter, 50);
+                engine.add_event(e_gap, 80);
+                engine.run_to(100);
+                assert_eq!(
+                    batch.intervals(&fvp),
+                    engine.output().intervals(&fvp),
+                    "slide={slide} incremental={incremental}"
+                );
+            }
+        }
+    }
+
+    /// A late event behind the query frontier but inside the window
+    /// overlap is amended into the output — in both sliding modes, with
+    /// checkpoints staying byte-identical across them.
+    #[test]
+    fn sliding_amends_late_events_within_overlap() {
+        let run = |incremental: bool| {
+            let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+            let fvp = desc.fvp("withinArea(v1, fishing)=true").unwrap();
+            let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+            let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+            let compiled = desc.compile().unwrap();
+            let config = EngineConfig::sliding(20, 5).with_incremental(incremental);
+            let mut engine = Engine::new(&compiled, config);
+            engine.add_event(e_enter, 10);
+            engine.run_to(40);
+            assert!(engine.output().holds_at(&fvp, 39));
+            // Late: behind the frontier (40) but inside the overlap.
+            engine.add_event(e_leave, 35);
+            engine.run_to(40);
+            let intervals = engine.output().intervals(&fvp).cloned();
+            (intervals, engine.checkpoint().to_json())
+        };
+        let (full, full_ck) = run(false);
+        let (incr, incr_ck) = run(true);
+        assert_eq!(
+            full.as_ref().map(IntervalList::as_slice),
+            Some(&[crate::interval::Interval::new(11, 36)][..]),
+            "late leave amended"
+        );
+        assert_eq!(full, incr);
+        assert_eq!(full_ck, incr_ck, "checkpoint bytes must match across modes");
+    }
+
+    #[test]
+    fn sliding_checkpoint_restores_and_resumes() {
+        let mut desc = EventDescription::parse(WITHIN_AREA).unwrap();
+        let e_enter = desc.term("entersArea(v1, a1)").unwrap();
+        let e_leave = desc.term("leavesArea(v1, a1)").unwrap();
+        let compiled = desc.compile().unwrap();
+        let config = EngineConfig::sliding(20, 5).with_incremental(true);
+
+        let mut reference = Engine::new(&compiled, config);
+        reference.add_event(e_enter.clone(), 10);
+        reference.run_to(40);
+        reference.add_event(e_leave.clone(), 35);
+        reference.run_to(60);
+        let ref_symbols = reference.symbols().clone();
+        let ref_ck = reference.checkpoint().to_json();
+        let ref_out = reference.into_output();
+
+        let mut first = Engine::new(&compiled, config);
+        first.add_event(e_enter, 10);
+        first.run_to(40);
+        let ck = EngineCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+        drop(first);
+        let mut resumed = Engine::restore(&compiled, config, &ck).unwrap();
+        resumed.add_event(e_leave, 35); // late, admissible after restore
+        resumed.run_to(60);
+        let res_symbols = resumed.symbols().clone();
+        assert_eq!(resumed.checkpoint().to_json(), ref_ck);
+        let res_out = resumed.into_output();
+        assert_eq!(
+            rendered(&ref_out, &ref_symbols),
+            rendered(&res_out, &res_symbols)
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 pub mod arith;
 pub mod body;
 pub mod cache;
+pub mod delta;
 pub mod events;
 pub mod simple;
 pub mod statics;

@@ -226,3 +226,142 @@ fn tcp_concurrent_sessions_match_batch_engine() {
     assert!(response.contains("\"ok\": true") || response.contains("\"ok\":true"));
     server_thread.join().unwrap().unwrap();
 }
+
+/// The incremental window re-evaluation leg: a sliding session with
+/// `incremental: true` replays a *reordered* Brest-scale synth slice —
+/// including events delivered after the window that covered them was
+/// already ticked (inside the `window - slide` overlap) and a
+/// mid-stream checkpoint/restore — byte-identical to one batch engine
+/// run and to the full-recompute sliding session. This pins the whole
+/// service composition on top of the engine-level differential tests.
+#[test]
+fn incremental_sliding_session_replays_reordered_synth_like_batch() {
+    use maritime::synth::{self, SynthConfig};
+
+    let synth = synth::generate(&SynthConfig {
+        seed: 11,
+        vessels: 30,
+        steps: 100,
+        period: 60,
+    });
+    let horizon = synth.horizon() + 1;
+    let gold = format!("{}\n{}", maritime::gold::GOLD_RULES, synth.background);
+
+    // Reference: one batch engine over the stream in time order.
+    let compiled = synth.gold_description().compile().unwrap();
+    let mut engine = Engine::new(&compiled, EngineConfig::default());
+    synth.stream.load_into(&mut engine);
+    engine.run_to(horizon);
+    let symbols = engine.symbols().clone();
+    let out = engine.into_output();
+    let mut reference: Vec<(String, String)> = out
+        .iter()
+        .map(|(fvp, list)| (fvp.display(&symbols), list.to_string()))
+        .collect();
+    reference.sort();
+    assert!(!reference.is_empty());
+
+    // The stream as (t, src) rows in time order.
+    let stream_symbols = &synth.stream.symbols;
+    let mut events: Vec<(i64, String)> = synth
+        .stream
+        .events()
+        .iter()
+        .map(|(ev, t)| (*t, ev.display(stream_symbols).to_string()))
+        .collect();
+    events.sort_by_key(|&(t, _)| t);
+
+    const WINDOW: i64 = 600;
+    const SLIDE: i64 = 120;
+    const OVERLAP: i64 = WINDOW - SLIDE; // 480: also the reorder slack
+    let mid = 3_000; // first tick; also where the late slice lands
+    let cp_at = 4_200; // checkpoint/restore point
+
+    // Split the feed: everything up to `mid` except a held-out sample
+    // from the last overlap (delivered late, after the tick), then the
+    // rest. Pre-tick delivery is shuffled in 50-event chunks — within
+    // the reorder slack, so nothing may be dropped.
+    let (until_mid, after_mid): (Vec<_>, Vec<_>) =
+        events.iter().cloned().partition(|&(t, _)| t <= mid);
+    let (held_out, on_time): (Vec<_>, Vec<_>) = until_mid
+        .iter()
+        .cloned()
+        .enumerate()
+        .partition(|(i, (t, _))| *t > mid - 200 && i % 3 == 0);
+    let held_out: Vec<_> = held_out.into_iter().map(|(_, e)| e).collect();
+    let mut shuffled: Vec<_> = on_time.into_iter().map(|(_, e)| e).collect();
+    for chunk in shuffled.chunks_mut(50) {
+        chunk.reverse();
+    }
+    assert!(
+        !held_out.is_empty(),
+        "the late slice must exercise amendment"
+    );
+
+    let mut results = Vec::new();
+    for incremental in [false, true] {
+        let config = SessionConfig {
+            window: Some(WINDOW),
+            slide: Some(SLIDE),
+            incremental,
+            shards: 2,
+            reorder_slack: Some(OVERLAP),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::open("synth-slice", &gold, config).unwrap();
+        for (t, ev) in &shuffled {
+            session.ingest_event(ev, *t).unwrap();
+        }
+        session.tick(mid).unwrap();
+
+        // Late arrivals: behind the ticked horizon but inside the
+        // sliding overlap, so the engines amend instead of dropping.
+        for (t, ev) in &held_out {
+            let outcome = session.ingest_event(ev, *t).unwrap();
+            assert!(
+                matches!(outcome, rtec_service::Ingest::Accepted),
+                "incremental={incremental}: late event at t={t} refused: {outcome:?}"
+            );
+        }
+
+        let (first, second): (Vec<_>, Vec<_>) =
+            after_mid.iter().cloned().partition(|&(t, _)| t <= cp_at);
+        for (t, ev) in &first {
+            session.ingest_event(ev, *t).unwrap();
+        }
+        session.tick(cp_at).unwrap();
+
+        // Mid-stream checkpoint/restore composes with the sliding state.
+        let cp = rtec_service::persist::SessionCheckpoint::capture(&session)
+            .expect("checkpoint right after a tick");
+        let cp = rtec_service::persist::SessionCheckpoint::from_json(&cp.to_json()).unwrap();
+        session.close().unwrap();
+        let mut session = cp.restore().unwrap();
+
+        for (t, ev) in &second {
+            session.ingest_event(ev, *t).unwrap();
+        }
+        session.tick(horizon).unwrap();
+
+        let (out, symbols) = session.query().unwrap();
+        let mut rows: Vec<(String, String)> = out
+            .iter()
+            .map(|(fvp, list)| (fvp.display(&symbols), list.to_string()))
+            .collect();
+        rows.sort();
+        assert_eq!(rows, reference, "incremental={incremental}");
+        assert!(
+            out.warnings.iter().all(|w| !w.contains("dropped")),
+            "incremental={incremental}: {:?}",
+            out.warnings
+        );
+        let mut warnings = out.warnings.clone();
+        warnings.sort();
+        results.push((rows, warnings));
+        session.close().unwrap();
+    }
+
+    // Full recompute and incremental must agree observationally, down
+    // to the warning set.
+    assert_eq!(results[0], results[1]);
+}
