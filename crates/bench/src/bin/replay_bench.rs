@@ -1,7 +1,7 @@
 //! Headline replay benchmark: the maritime critical-event stream
 //! replayed through an in-process rtec-service session at several shard
-//! counts, interpreter vs compiled-plan evaluator, reported as events
-//! per second in `BENCH_replay.json`.
+//! counts, interpreter vs compiled-plan vs analysis-optimized evaluator
+//! (docs/PLAN.md), reported as events per second in `BENCH_replay.json`.
 //!
 //! Run from the repository root (release profile, or the numbers are
 //! meaningless):
@@ -218,7 +218,7 @@ fn synth_workload(tier: ScaleTier) -> SynthWorkload {
 /// One sliding-window replay over the synthetic stream, ticking at
 /// every slide boundary; returns the recognised fluent-value-pair count
 /// of the final window (must agree between the two evaluation modes).
-fn synth_replay(w: &SynthWorkload, incremental: bool) -> usize {
+fn synth_replay(w: &SynthWorkload, incremental: bool, eval: EvalMode) -> usize {
     let mut session = Session::open(
         "bench-synth",
         &w.gold,
@@ -228,7 +228,7 @@ fn synth_replay(w: &SynthWorkload, incremental: bool) -> usize {
             incremental,
             shards: SYNTH_SHARDS,
             queue_capacity: 1024,
-            eval: EvalMode::Plan,
+            eval,
             ..SessionConfig::default()
         },
     )
@@ -261,23 +261,34 @@ fn synth_cell(tier: ScaleTier) -> Value {
         w.tier, w.vessels
     );
     let mut per_mode = BTreeMap::new();
-    for incremental in [false, true] {
-        let label = if incremental { "incremental" } else { "full" };
-        let started = Instant::now();
-        let n = synth_replay(&w, incremental);
-        let seconds = started.elapsed().as_secs_f64();
-        let eps = n_events as f64 / seconds;
-        eprintln!("synth {label}: {seconds:.3}s, {eps:.0} events/s ({n} fvps)");
-        per_mode.insert(label, (seconds, eps, n));
+    for (eval, eval_label) in [(EvalMode::Plan, "plan"), (EvalMode::Optimized, "optimized")] {
+        for incremental in [false, true] {
+            let label = if incremental { "incremental" } else { "full" };
+            let started = Instant::now();
+            let n = synth_replay(&w, incremental, eval);
+            let seconds = started.elapsed().as_secs_f64();
+            let eps = n_events as f64 / seconds;
+            eprintln!("synth {eval_label}/{label}: {seconds:.3}s, {eps:.0} events/s ({n} fvps)");
+            per_mode.insert(format!("{eval_label}/{label}"), (seconds, eps, n));
+        }
     }
-    let (full_s, full_eps, full_n) = per_mode["full"];
-    let (incr_s, incr_eps, incr_n) = per_mode["incremental"];
+    let (full_s, full_eps, full_n) = per_mode["plan/full"];
+    let (incr_s, incr_eps, incr_n) = per_mode["plan/incremental"];
+    let (opt_full_s, opt_full_eps, opt_full_n) = per_mode["optimized/full"];
+    let (opt_incr_s, opt_incr_eps, opt_incr_n) = per_mode["optimized/incremental"];
     assert_eq!(
         full_n, incr_n,
         "incremental and full recomputation disagree on the final window"
     );
+    assert_eq!(
+        full_n, opt_full_n,
+        "optimized plan disagrees with the plan on the final window"
+    );
+    assert_eq!(opt_full_n, opt_incr_n, "optimized incremental diverged");
     let speedup = incr_eps / full_eps;
     eprintln!("synth incremental speedup over full recomputation: {speedup:.2}x");
+    let opt_vs_plan = opt_incr_eps / incr_eps;
+    eprintln!("synth optimized-vs-plan incremental throughput ratio: {opt_vs_plan:.3}x");
     let mut cell = BTreeMap::new();
     cell.insert("tier".to_string(), Value::from(w.tier));
     cell.insert("vessels".to_string(), Value::from(w.vessels));
@@ -299,6 +310,26 @@ fn synth_cell(tier: ScaleTier) -> Value {
     cell.insert(
         "incremental_speedup".to_string(),
         Value::from((speedup * 1000.0).round() / 1000.0),
+    );
+    cell.insert(
+        "optimized_full_seconds".to_string(),
+        Value::from(opt_full_s),
+    );
+    cell.insert(
+        "optimized_full_events_per_sec".to_string(),
+        Value::from(round1(opt_full_eps)),
+    );
+    cell.insert(
+        "optimized_incremental_seconds".to_string(),
+        Value::from(opt_incr_s),
+    );
+    cell.insert(
+        "optimized_incremental_events_per_sec".to_string(),
+        Value::from(round1(opt_incr_eps)),
+    );
+    cell.insert(
+        "optimized_vs_plan_incremental".to_string(),
+        Value::from((opt_vs_plan * 1000.0).round() / 1000.0),
     );
     Value::Object(cell.into_iter().collect())
 }
@@ -365,9 +396,10 @@ fn main() {
 
         let mut results = Vec::new();
         let mut speedups = BTreeMap::new();
+        let mut optimized_speedups = BTreeMap::new();
         for shards in [1usize, 2, 4] {
             let mut per_mode = BTreeMap::new();
-            for eval in [EvalMode::Interpreter, EvalMode::Plan] {
+            for eval in [EvalMode::Interpreter, EvalMode::Plan, EvalMode::Optimized] {
                 let median = measure(&w, shards, eval, warmup, runs);
                 let eps = n_events as f64 / median;
                 eprintln!(
@@ -386,9 +418,14 @@ fn main() {
             }
             let interp = per_mode["interpreter"].1;
             let plan = per_mode["plan"].1;
+            let optimized = per_mode["optimized"].1;
             speedups.insert(
                 shards.to_string(),
                 Value::from(((plan / interp) * 1000.0).round() / 1000.0),
+            );
+            optimized_speedups.insert(
+                shards.to_string(),
+                Value::from(((optimized / interp) * 1000.0).round() / 1000.0),
             );
         }
 
@@ -410,6 +447,10 @@ fn main() {
         run.insert(
             "plan_speedup_by_shards".to_string(),
             Value::Object(speedups.into_iter().collect()),
+        );
+        run.insert(
+            "optimized_speedup_by_shards".to_string(),
+            Value::Object(optimized_speedups.into_iter().collect()),
         );
         run.insert("hotspots".to_string(), Value::Array(hotspots));
         run.insert(

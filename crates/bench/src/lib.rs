@@ -5,6 +5,8 @@
 //! throughput and the window ablation), plus micro-benchmarks for the
 //! load-bearing algorithms (`hungarian`, `parser`, `intervals`).
 
+#![forbid(unsafe_code)]
+
 use maritime::{BrestScenario, Dataset};
 
 /// A small but complete dataset (all eight activities present).

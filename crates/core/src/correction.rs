@@ -69,6 +69,12 @@ pub struct CorrectionOutcome {
     /// (only consulted when the alias table and the lexical matcher both
     /// come up empty).
     pub lint_renames: usize,
+    /// Flow-analysis findings (`RL1xxx`) that survive correction,
+    /// rendered. Lexical repair cannot fix these — a statically-empty
+    /// rule body or an unreachable fluent is semantic damage that needs
+    /// regeneration, so they are surfaced for the repair-or-reject
+    /// decision instead of being silently counted into `lint_after`.
+    pub residual_flow: Vec<String>,
 }
 
 /// The text between the first pair of backticks, with any `/arity`
@@ -330,7 +336,14 @@ pub fn correct_description(
         corrected.model_name,
         corrected.scheme.filled_marker()
     );
-    let lint_after = LintSummary::of(&rtec_lint::analyze(&corrected.description()));
+    let after_report = rtec_lint::analyze(&corrected.description());
+    let lint_after = LintSummary::of(&after_report);
+    let residual_flow = after_report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.starts_with("RL1"))
+        .map(rtec_lint::Diagnostic::render)
+        .collect();
     CorrectionOutcome {
         corrected,
         label,
@@ -340,6 +353,7 @@ pub fn correct_description(
         lint_before,
         lint_after,
         lint_renames,
+        residual_flow,
     }
 }
 

@@ -17,6 +17,7 @@
 //! 5. [`figures`] orchestrates everything into the three figure datasets;
 //! 6. [`report`] renders them as the tables/series the paper plots.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -5,6 +5,8 @@
 //! `--json` additionally writes a machine-readable artefact to
 //! `target/figures/`.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

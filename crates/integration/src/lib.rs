@@ -7,3 +7,5 @@
 //! accuracy, plus semantic cross-checks of the RTEC engine against a
 //! brute-force reference evaluator and property-based tests of the
 //! similarity metric.
+
+#![forbid(unsafe_code)]

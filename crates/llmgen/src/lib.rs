@@ -22,6 +22,7 @@
 //! real HTTP-backed provider can be dropped in without touching the
 //! pipeline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -31,6 +31,7 @@
 //!   critical events directly from per-vessel kinematic state machines
 //!   (no raw-AIS detour), tiered via `RTEC_SCALE_TIER`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,224 @@
+//! Abstract value domains for rule variables.
+//!
+//! Each rule variable (slot) carries a [`Dom`]: an over-approximation
+//! of the ground terms the variable can take in *any* solution of the
+//! rule body. Domains only ever shrink (by intersection with evidence
+//! from positive literals); an empty intersection proves the body
+//! unsatisfiable. All numeric reasoning happens in `f64`, mirroring the
+//! engine's arithmetic exactly (`rtec::eval::arith` converts `i64`
+//! operands with `as f64` before comparing, so the abstract and the
+//! concrete semantics share one number line).
+
+use rtec::term::Term;
+
+/// Abstract domain of one rule variable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dom {
+    /// No information: any ground term.
+    Any,
+    /// One of finitely many ground terms.
+    Fin(Vec<Term>),
+    /// A number in the closed interval `[lo, hi]` (bounds may be
+    /// infinite). Bounds are *loosened* closed bounds: strict
+    /// comparisons narrow to their closed hull, which over-approximates
+    /// — sound for emptiness proofs, which only ever need "the body has
+    /// no solution outside this set".
+    Num(f64, f64),
+}
+
+/// A narrowing constraint derived from one body literal.
+#[derive(Clone, Debug)]
+pub enum Narrow {
+    /// The variable must be one of these ground terms.
+    Fin(Vec<Term>),
+    /// The variable must be a number in `[lo, hi]`.
+    Range(f64, f64),
+}
+
+/// The exact `f64` the engine's arithmetic would evaluate a ground term
+/// to (`None` for non-numeric terms).
+pub fn num_exact(t: &Term) -> Option<f64> {
+    match t {
+        Term::Int(n) => Some(*n as f64),
+        Term::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Whether two ground terms can compare equal at runtime: structurally
+/// identical, or numerically equal under the engine's `f64` arithmetic
+/// (`5 = 5.0` holds in a comparison even though the terms differ
+/// structurally).
+pub fn may_equal(a: &Term, b: &Term) -> bool {
+    if a == b {
+        return true;
+    }
+    matches!((num_exact(a), num_exact(b)), (Some(x), Some(y)) if x == y)
+}
+
+impl Dom {
+    /// The numeric range this domain admits: `None` when no member can
+    /// evaluate to a number (a numeric comparison then has no solution),
+    /// otherwise the closed `[lo, hi]` hull of the numeric members.
+    pub fn num_range(&self) -> Option<(f64, f64)> {
+        match self {
+            Dom::Any => Some((f64::NEG_INFINITY, f64::INFINITY)),
+            Dom::Num(lo, hi) => Some((*lo, *hi)),
+            Dom::Fin(terms) => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut any = false;
+                for t in terms {
+                    if let Some(x) = num_exact(t) {
+                        any = true;
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                }
+                any.then_some((lo, hi))
+            }
+        }
+    }
+
+    /// Whether the domain may contain `ground` (structurally or by
+    /// numeric equality).
+    pub fn may_contain(&self, ground: &Term) -> bool {
+        match self {
+            Dom::Any => true,
+            Dom::Fin(terms) => terms.iter().any(|t| may_equal(t, ground)),
+            Dom::Num(lo, hi) => match num_exact(ground) {
+                Some(x) => *lo <= x && x <= *hi,
+                None => false,
+            },
+        }
+    }
+
+    /// Intersects the domain with a constraint. `None` means the
+    /// intersection is empty — the body is unsatisfiable.
+    pub fn intersect(&self, n: &Narrow) -> Option<Dom> {
+        match (self, n) {
+            (Dom::Any, Narrow::Fin(s)) => Some(Dom::Fin(s.clone())),
+            (Dom::Any, Narrow::Range(lo, hi)) => (lo <= hi).then_some(Dom::Num(*lo, *hi)),
+            (Dom::Fin(a), Narrow::Fin(b)) => {
+                let kept: Vec<Term> = a
+                    .iter()
+                    .filter(|t| b.iter().any(|u| may_equal(t, u)))
+                    .cloned()
+                    .collect();
+                (!kept.is_empty()).then_some(Dom::Fin(kept))
+            }
+            (Dom::Fin(a), Narrow::Range(lo, hi)) => {
+                // Non-numeric members cannot satisfy the numeric
+                // comparison that produced the range: drop them.
+                let kept: Vec<Term> = a
+                    .iter()
+                    .filter(|t| num_exact(t).is_some_and(|x| *lo <= x && x <= *hi))
+                    .cloned()
+                    .collect();
+                (!kept.is_empty()).then_some(Dom::Fin(kept))
+            }
+            (Dom::Num(a, b), Narrow::Range(lo, hi)) => {
+                let (lo, hi) = (a.max(*lo), b.min(*hi));
+                (lo <= hi).then_some(Dom::Num(lo, hi))
+            }
+            (Dom::Num(a, b), Narrow::Fin(s)) => {
+                let kept: Vec<Term> = s
+                    .iter()
+                    .filter(|t| num_exact(t).is_some_and(|x| *a <= x && x <= *b))
+                    .cloned()
+                    .collect();
+                (!kept.is_empty()).then_some(Dom::Fin(kept))
+            }
+        }
+    }
+
+    /// Whether this domain and `other` are provably disjoint — no
+    /// ground term can satisfy both (used to refute `X = Y`).
+    pub fn disjoint(&self, other: &Dom) -> bool {
+        match (self, other) {
+            (Dom::Any, _) | (_, Dom::Any) => false,
+            (Dom::Fin(a), Dom::Fin(b)) => !a.iter().any(|t| b.iter().any(|u| may_equal(t, u))),
+            (Dom::Fin(a), num @ Dom::Num(..)) | (num @ Dom::Num(..), Dom::Fin(a)) => {
+                !a.iter().any(|t| num.may_contain(t))
+            }
+            (Dom::Num(a, b), Dom::Num(c, d)) => b < c || d < a,
+        }
+    }
+
+    /// The single value the domain is pinned to, if any.
+    pub fn singleton(&self) -> Option<&Term> {
+        match self {
+            Dom::Fin(terms) if terms.len() == 1 => Some(&terms[0]),
+            _ => None,
+        }
+    }
+
+    /// Renders the domain for the per-rule facts table.
+    pub fn render(&self, symbols: &rtec::symbol::SymbolTable) -> String {
+        let num = |x: f64| {
+            if x == f64::NEG_INFINITY {
+                "-inf".to_string()
+            } else if x == f64::INFINITY {
+                "inf".to_string()
+            } else {
+                format!("{x}")
+            }
+        };
+        match self {
+            Dom::Any => "any".to_string(),
+            Dom::Num(lo, hi) => format!("[{}, {}]", num(*lo), num(*hi)),
+            Dom::Fin(terms) => {
+                let mut names: Vec<String> = terms
+                    .iter()
+                    .take(6)
+                    .map(|t| t.display(symbols).to_string())
+                    .collect();
+                if terms.len() > 6 {
+                    names.push(format!("… +{}", terms.len() - 6));
+                }
+                format!("{{{}}}", names.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_crosses_int_float() {
+        assert!(may_equal(&Term::Int(5), &Term::Float(5.0)));
+        assert!(!may_equal(&Term::Int(5), &Term::Float(5.5)));
+    }
+
+    #[test]
+    fn fin_range_intersection_drops_non_numeric() {
+        let mut sym = rtec::symbol::SymbolTable::new();
+        let a = sym.intern("a");
+        let d = Dom::Fin(vec![Term::Atom(a), Term::Int(3), Term::Int(9)]);
+        let narrowed = d.intersect(&Narrow::Range(0.0, 5.0)).unwrap();
+        assert_eq!(narrowed, Dom::Fin(vec![Term::Int(3)]));
+        assert!(d.intersect(&Narrow::Range(100.0, 200.0)).is_none());
+    }
+
+    #[test]
+    fn range_intersection_refutes() {
+        let d = Dom::Num(5.0, f64::INFINITY);
+        assert!(d
+            .intersect(&Narrow::Range(f64::NEG_INFINITY, 3.0))
+            .is_none());
+        let ok = d.intersect(&Narrow::Range(f64::NEG_INFINITY, 7.0)).unwrap();
+        assert_eq!(ok, Dom::Num(5.0, 7.0));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = Dom::Num(0.0, 1.0);
+        let b = Dom::Num(2.0, 3.0);
+        assert!(a.disjoint(&b));
+        let f = Dom::Fin(vec![Term::Float(2.5)]);
+        assert!(!f.disjoint(&b));
+        assert!(f.disjoint(&a));
+    }
+}

@@ -1,17 +1,23 @@
 //! Library backing the `rtec` command-line tool.
 //!
-//! Three subcommands, mirroring how RTEC deployments are operated:
+//! The core subcommands, mirroring how RTEC deployments are operated:
 //!
-//! * `rtec check <description.rtec> [--format text|json]` — parse,
-//!   validate against the rule syntax, stratify, schema-check against any
-//!   `inputEvent/1` / `inputFluent/1` declarations, and run the
-//!   `rtec-lint` semantic analyzer (docs/LINTS.md); `--format json`
-//!   emits the diagnostics as a stable JSON array;
+//! * `rtec check <description.rtec> [--format text|json]
+//!   [--deny-warnings]` — parse, validate against the rule syntax,
+//!   stratify, schema-check against any `inputEvent/1` / `inputFluent/1`
+//!   declarations, and run the `rtec-lint` semantic analyzer
+//!   (docs/LINTS.md); `--format json` emits the diagnostics as a stable
+//!   JSON array; `--deny-warnings` exits nonzero when any warning fires;
+//! * `rtec analyze <description.rtec>` — run the `rtec-analysis`
+//!   abstract interpreter over the compiled plan and print the per-rule
+//!   and per-fluent facts table (value domains, emptiness, reachability,
+//!   productivity; docs/PLAN.md);
 //! * `rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
-//!   [--eval interpreter|plan]` — recognise composite activities over an
-//!   event file and print the maximal intervals of every detected
-//!   fluent-value pair, with either the AST interpreter or the compiled
-//!   evaluation plan (docs/PLAN.md);
+//!   [--eval interpreter|plan|optimized]` — recognise composite
+//!   activities over an event file and print the maximal intervals of
+//!   every detected fluent-value pair, with the AST interpreter, the
+//!   compiled evaluation plan, or the analysis-optimized plan
+//!   (docs/PLAN.md);
 //! * `rtec similarity <a.rtec> <b.rtec>` — the paper's event-description
 //!   similarity, with the per-rule matching report.
 //!
@@ -22,6 +28,8 @@
 //! 25 velocity(v1, 9.5, 91.0, 90.0)
 //! % comments and blank lines are skipped
 //! ```
+
+#![forbid(unsafe_code)]
 
 use rtec::declarations::Declarations;
 use rtec::stream::InputStream;
@@ -59,12 +67,19 @@ pub enum CheckFormat {
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub enum Command {
-    /// `check <desc> [--format text|json]`
+    /// `check <desc> [--format text|json] [--deny-warnings]`
     Check {
         /// Path to the event description.
         desc: String,
         /// Output format.
         format: CheckFormat,
+        /// Exit nonzero when any warning-severity diagnostic fires.
+        deny_warnings: bool,
+    },
+    /// `analyze <desc>`
+    Analyze {
+        /// Path to the event description.
+        desc: String,
     },
     /// `run <desc> <events> [--window W] [--horizon H] [--eval MODE]
     /// [--profile]`
@@ -148,9 +163,10 @@ pub const USAGE: &str = "\
 rtec — Run-Time Event Calculus command line
 
 USAGE:
-    rtec check <description.rtec> [--format text|json]
+    rtec check <description.rtec> [--format text|json] [--deny-warnings]
+    rtec analyze <description.rtec>
     rtec run <description.rtec> <events.evt> [--window W] [--horizon H]
-             [--eval interpreter|plan] [--profile]
+             [--eval interpreter|plan|optimized] [--profile]
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
                [--metrics-addr HOST:PORT] [--checkpoint-dir DIR]
@@ -181,8 +197,12 @@ stream in the event-file format (deterministic per seed; tiers sized in
 docs/SCALE.md, default from RTEC_SCALE_TIER); `--desc` also writes the
 gold description over the generated fleet so the pair feeds straight
 into `run` or `stream`.
+`check --deny-warnings` exits nonzero when any warning fires (for CI
+gates); `analyze` prints the abstract-interpretation facts per rule and
+fluent (value domains, emptiness proofs, reachability; docs/PLAN.md).
 `run --eval plan` evaluates windows with the compiled plan instead of
-the AST interpreter (observationally identical; see docs/PLAN.md); the
+the AST interpreter (observationally identical; see docs/PLAN.md) and
+`--eval optimized` adds the analysis-driven plan optimizer on top; the
 RTEC_EVAL environment variable sets the default. `run --profile`
 appends a per-rule self-time/call/interval-op table to the output
 without changing what is recognised (docs/PROFILING.md).
@@ -201,8 +221,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::new("check: missing description path", 2))?
                 .clone();
             let mut format = CheckFormat::Text;
+            let mut deny_warnings = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--deny-warnings" => deny_warnings = true,
                     "--format" => {
                         let value = it
                             .next()
@@ -221,7 +243,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError::new(format!("check: unknown flag {other}"), 2)),
                 }
             }
-            Ok(Command::Check { desc, format })
+            Ok(Command::Check {
+                desc,
+                format,
+                deny_warnings,
+            })
+        }
+        Some("analyze") => {
+            let desc = it
+                .next()
+                .ok_or_else(|| CliError::new("analyze: missing description path", 2))?
+                .clone();
+            if let Some(flag) = it.next() {
+                return Err(CliError::new(format!("analyze: unknown flag {flag}"), 2));
+            }
+            Ok(Command::Analyze { desc })
         }
         Some("run") => {
             let desc = it
@@ -246,7 +282,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
                 if flag == "--eval" {
                     eval = rtec::engine::EvalMode::parse(value).ok_or_else(|| {
-                        CliError::new(format!("--eval {value}: expected interpreter|plan"), 2)
+                        CliError::new(
+                            format!("--eval {value}: expected interpreter|plan|optimized"),
+                            2,
+                        )
                     })?;
                     continue;
                 }
@@ -480,8 +519,9 @@ pub fn parse_event_file(text: &str) -> Result<InputStream, CliError> {
 }
 
 /// `check` subcommand over description source text. Returns the report;
-/// errors out (exit 1) when validation or semantic analysis fails.
-pub fn check_source(src: &str) -> Result<String, CliError> {
+/// errors out (exit 1) when validation or semantic analysis fails, or —
+/// with `deny_warnings` — when any warning-severity diagnostic fires.
+pub fn check_source(src: &str, deny_warnings: bool) -> Result<String, CliError> {
     let desc = EventDescription::parse_lenient(src);
     let lint = rtec_lint::analyze(&desc);
     let mut out = String::new();
@@ -553,17 +593,60 @@ pub fn check_source(src: &str) -> Result<String, CliError> {
     if !desc.parse_errors.is_empty() || compiled.report.has_errors() || lint.has_errors() {
         return Err(CliError::new(out, 1));
     }
+    if deny_warnings && !lint.diagnostics.is_empty() {
+        let _ = writeln!(
+            out,
+            "deny-warnings: {} warning(s) promoted to failure",
+            lint.diagnostics.len()
+        );
+        return Err(CliError::new(out, 1));
+    }
     Ok(out)
 }
 
 /// `check --format json` over description source text: one JSON array of
 /// lint diagnostics (syntax, validation and semantic findings alike) in
 /// the stable shape documented in docs/LINTS.md. The boolean is `false`
-/// when any error-severity diagnostic fired (process exit code 1).
-pub fn check_source_json(src: &str) -> (String, bool) {
+/// when any error-severity diagnostic fired (process exit code 1), or —
+/// with `deny_warnings` — when any diagnostic fired at all.
+pub fn check_source_json(src: &str, deny_warnings: bool) -> (String, bool) {
     let report = rtec_lint::analyze_source(src);
     let json = serde_json::to_string(&report.to_json()).unwrap_or_else(|_| "[]".into());
-    (json, !report.has_errors())
+    let ok = if deny_warnings {
+        report.diagnostics.is_empty()
+    } else {
+        !report.has_errors()
+    };
+    (json, ok)
+}
+
+/// `analyze` subcommand over description source text: compiles the
+/// description to its evaluation plan, runs the `rtec-analysis` abstract
+/// interpreter, and renders the per-fluent / per-rule facts table
+/// (value domains, emptiness proofs, reachability, productivity).
+pub fn analyze_source(src: &str) -> Result<String, CliError> {
+    let desc = EventDescription::parse_lenient(src);
+    if !desc.parse_errors.is_empty() {
+        let mut message = String::from("analyze: description does not parse\n");
+        for e in &desc.parse_errors {
+            let _ = writeln!(message, "syntax error: {e}");
+        }
+        return Err(CliError::new(message.trim_end().to_string(), 1));
+    }
+    let compiled = desc
+        .compile()
+        .map_err(|e| CliError::new(format!("fatal: {e}"), 1))?;
+    let analysis = rtec_analysis::analyze(&compiled);
+    let mut out = analysis.render_table();
+    let proofs = analysis.proofs();
+    let _ = write!(
+        out,
+        "\noptimizer proofs: {} unsatisfiable clause(s), {} unreachable clause(s), {} never-holding fluent(s)",
+        proofs.unsat_clauses.len(),
+        proofs.unreachable_clauses.len(),
+        proofs.never_holds.len()
+    );
+    Ok(out)
 }
 
 /// `run` subcommand over in-memory inputs. Returns the rendered output.
@@ -594,6 +677,11 @@ pub fn run_source(
             use rtec_plan::WithPlan as _;
             Engine::with_plan(&compiled, config)
         }
+        rtec::engine::EvalMode::Optimized => Engine::with_evaluator(
+            &compiled,
+            config,
+            Box::new(rtec_analysis::optimized_plan(&compiled)),
+        ),
     };
     if profile {
         engine.enable_profiler();
@@ -878,18 +966,43 @@ mod tests {
             parse_args(&s(&["check", "a.rtec"])).unwrap(),
             Command::Check {
                 desc: "a.rtec".into(),
-                format: CheckFormat::Text
+                format: CheckFormat::Text,
+                deny_warnings: false
             }
         );
         assert_eq!(
             parse_args(&s(&["check", "a.rtec", "--format", "json"])).unwrap(),
             Command::Check {
                 desc: "a.rtec".into(),
-                format: CheckFormat::Json
+                format: CheckFormat::Json,
+                deny_warnings: false
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "check",
+                "a.rtec",
+                "--deny-warnings",
+                "--format",
+                "json"
+            ]))
+            .unwrap(),
+            Command::Check {
+                desc: "a.rtec".into(),
+                format: CheckFormat::Json,
+                deny_warnings: true
             }
         );
         assert!(parse_args(&s(&["check", "a.rtec", "--format", "yaml"])).is_err());
         assert!(parse_args(&s(&["check", "a.rtec", "--nope"])).is_err());
+        assert_eq!(
+            parse_args(&s(&["analyze", "a.rtec"])).unwrap(),
+            Command::Analyze {
+                desc: "a.rtec".into()
+            }
+        );
+        assert!(parse_args(&s(&["analyze"])).is_err());
+        assert!(parse_args(&s(&["analyze", "a.rtec", "--nope"])).is_err());
         assert_eq!(
             parse_args(&s(&["run", "a.rtec", "e.evt", "--window", "3600"])).unwrap(),
             Command::Run {
@@ -920,7 +1033,22 @@ mod tests {
                 profile: true
             }
         );
-        assert!(parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "magic"])).is_err());
+        assert_eq!(
+            parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "optimized"])).unwrap(),
+            Command::Run {
+                desc: "a.rtec".into(),
+                events: "e.evt".into(),
+                window: None,
+                horizon: None,
+                eval: rtec::engine::EvalMode::Optimized,
+                profile: false
+            }
+        );
+        let err = parse_args(&s(&["run", "a.rtec", "e.evt", "--eval", "magic"])).unwrap_err();
+        assert!(
+            err.message.contains("interpreter|plan|optimized"),
+            "{err:?}"
+        );
         assert_eq!(
             parse_args(&s(&["similarity", "a.rtec", "b.rtec"])).unwrap(),
             Command::Similarity {
@@ -1220,7 +1348,7 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
 
     #[test]
     fn check_reports_structure_and_schema() {
-        let report = check_source(DESC).unwrap();
+        let report = check_source(DESC, false).unwrap();
         assert!(report.contains("rules: 2 simple, 0 holdsFor"));
         assert!(report.contains("schema check: ok"));
         assert!(report.contains("evaluation order: inside/2"));
@@ -1228,20 +1356,21 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
 
     #[test]
     fn check_fails_on_bad_rules() {
-        let err = check_source("initiatedAt(f(V), T) :- happensAt(e(V), T).").unwrap_err();
+        let err = check_source("initiatedAt(f(V), T) :- happensAt(e(V), T).", false).unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("fluent-value pair"));
     }
 
     #[test]
     fn check_reports_lint_findings() {
-        let report = check_source(DESC).unwrap();
+        let report = check_source(DESC, false).unwrap();
         assert!(report.contains("lint: clean"), "{report}");
         // An undefined fluent is a lint warning (schema open for fluents
         // is closed here by the declarations, so it is an error).
         let err = check_source(
             "inputEvent(e/1).\n\
              initiatedAt(f(V)=true, T) :- happensAt(e(V), T), holdsAt(ghost(V)=true, T).",
+            false,
         )
         .unwrap_err();
         assert_eq!(err.code, 1);
@@ -1251,6 +1380,7 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
         let err = check_source(
             "initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T).\n\
              initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).",
+            false,
         )
         .unwrap_err();
         assert!(err.message.contains("RL0301"), "{}", err.message);
@@ -1260,6 +1390,7 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
     fn check_json_emits_stable_array() {
         let (json, ok) = check_source_json(
             "initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(engine(V)=on, T).",
+            false,
         );
         assert!(ok, "warnings only: exit 0");
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -1280,13 +1411,75 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
         }
         assert_eq!(arr[0]["code"], "RL0101");
         // Errors flip the exit status.
-        let (json, ok) = check_source_json("initiatedAt(broken");
+        let (json, ok) = check_source_json("initiatedAt(broken", false);
         assert!(!ok);
         assert!(json.contains("RL0001"));
         // A clean description is an empty array.
-        let (json, ok) = check_source_json(DESC);
+        let (json, ok) = check_source_json(DESC, false);
         assert!(ok);
         assert_eq!(json, "[]");
+    }
+
+    #[test]
+    fn deny_warnings_promotes_warnings_to_failure() {
+        // Warning-only description: undefined fluents under an open
+        // schema pass plain `check` but fail `--deny-warnings`.
+        let src =
+            "initiatedAt(moving(V)=true, T) :- happensAt(go(V), T), holdsAt(engine(V)=on, T).";
+        assert!(check_source(src, false).is_ok());
+        let err = check_source(src, true).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("deny-warnings"), "{}", err.message);
+        let (_, ok) = check_source_json(src, true);
+        assert!(!ok, "deny-warnings must flip the JSON exit status too");
+        // A clean description stays clean under the gate.
+        assert!(check_source(DESC, true).is_ok());
+    }
+
+    #[test]
+    fn gold_description_is_clean_under_deny_warnings() {
+        let src = format!(
+            "{}\n{}",
+            maritime::gold::GOLD_RULES,
+            maritime::gold::input_declarations()
+        );
+        let report = check_source(&src, true).unwrap();
+        assert!(report.contains("lint: clean"), "{report}");
+        let (json, ok) = check_source_json(&src, true);
+        assert!(ok, "{json}");
+    }
+
+    #[test]
+    fn analyze_renders_facts_and_proofs() {
+        let out = analyze_source(DESC).unwrap();
+        assert!(out.contains("schema: closed"), "{out}");
+        assert!(out.contains("inside/2"), "{out}");
+        assert!(
+            out.contains("optimizer proofs: 0 unsatisfiable clause(s)"),
+            "{out}"
+        );
+        // A contradictory rule shows up as EMPTY with an unsat proof.
+        let out = analyze_source(
+            "inputEvent(e/1).\n\
+             initiatedAt(f(V)=true, T) :- happensAt(e(V), T), T >= 50, T < 10.",
+        )
+        .unwrap();
+        assert!(out.contains("EMPTY"), "{out}");
+        assert!(
+            out.contains("optimizer proofs: 1 unsatisfiable clause(s)"),
+            "{out}"
+        );
+        // Unparseable or cyclic input fails with exit 1.
+        assert_eq!(analyze_source("initiatedAt(broken").unwrap_err().code, 1);
+        assert_eq!(
+            analyze_source(
+                "initiatedAt(a(X)=true, T) :- happensAt(e(X), T), holdsAt(b(X)=true, T).\n\
+                 initiatedAt(b(X)=true, T) :- happensAt(e(X), T), holdsAt(a(X)=true, T).",
+            )
+            .unwrap_err()
+            .code,
+            1
+        );
     }
 
     #[test]
@@ -1303,22 +1496,27 @@ sourcemmsi,speedoverground,courseoverground,trueheading,lon,lat,t
         let windowed =
             run_source(DESC, events, Some(7), None, EvalMode::Interpreter, false).unwrap();
         assert!(windowed.contains("[[11, 31)]"));
-        // The plan evaluator renders byte-identical output in both shapes.
-        assert_eq!(
-            out,
-            run_source(DESC, events, None, None, EvalMode::Plan, false).unwrap()
-        );
-        assert_eq!(
-            windowed,
-            run_source(DESC, events, Some(7), None, EvalMode::Plan, false).unwrap()
-        );
+        // The plan and optimized evaluators render byte-identical
+        // output in both shapes.
+        for eval in [EvalMode::Plan, EvalMode::Optimized] {
+            assert_eq!(
+                out,
+                run_source(DESC, events, None, None, eval, false).unwrap(),
+                "{eval:?}"
+            );
+            assert_eq!(
+                windowed,
+                run_source(DESC, events, Some(7), None, eval, false).unwrap(),
+                "{eval:?}"
+            );
+        }
     }
 
     #[test]
     fn run_profile_appends_a_table_without_changing_rows() {
         use rtec::engine::EvalMode;
         let events = "10 entersArea(v1, a1)\n30 leavesArea(v1, a1)\n";
-        for eval in [EvalMode::Interpreter, EvalMode::Plan] {
+        for eval in [EvalMode::Interpreter, EvalMode::Plan, EvalMode::Optimized] {
             let plain = run_source(DESC, events, Some(7), None, eval, false).unwrap();
             let profiled = run_source(DESC, events, Some(7), None, eval, true).unwrap();
             // The profiled output is the plain output plus the table.

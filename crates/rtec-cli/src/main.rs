@@ -89,11 +89,17 @@ fn main() -> ExitCode {
             emit(USAGE);
             return ExitCode::SUCCESS;
         }
-        Command::Check { desc, format } => match format {
-            rtec_cli::CheckFormat::Text => read(&desc).and_then(|src| check_source(&src)),
+        Command::Check {
+            desc,
+            format,
+            deny_warnings,
+        } => match format {
+            rtec_cli::CheckFormat::Text => {
+                read(&desc).and_then(|src| check_source(&src, deny_warnings))
+            }
             rtec_cli::CheckFormat::Json => match read(&desc) {
                 Ok(src) => {
-                    let (json, ok) = rtec_cli::check_source_json(&src);
+                    let (json, ok) = rtec_cli::check_source_json(&src, deny_warnings);
                     emit(&json);
                     return if ok {
                         ExitCode::SUCCESS
@@ -104,6 +110,7 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             },
         },
+        Command::Analyze { desc } => read(&desc).and_then(|src| rtec_cli::analyze_source(&src)),
         Command::Run {
             desc,
             events,

@@ -11,7 +11,7 @@ use rtec::symbol::Symbol;
 use rtec::term::Term;
 use std::collections::{BTreeMap, BTreeSet};
 
-fn diag(
+pub(crate) fn diag(
     model: &DescriptionModel<'_>,
     code: &'static str,
     severity: Severity,
@@ -597,9 +597,18 @@ pub fn singleton_variables(model: &DescriptionModel<'_>, out: &mut Vec<Diagnosti
 
 /// RL0501: rules that can never fire — `terminatedAt` rules for a
 /// fluent (or fluent value) that is never initiated, and rules whose
-/// positive body references a fluent that is defined only by
-/// `terminatedAt` rules and therefore never holds.
-pub fn dead_rules(model: &DescriptionModel<'_>, out: &mut Vec<Diagnostic>) {
+/// positive body references a fluent that can never hold.
+///
+/// `flow_never_holds` carries the flow analysis' never-holding set
+/// (fluents whose every derivation is statically empty, transitively).
+/// When the description does not compile to a plan the caller passes
+/// `None` and part (b) falls back to the local heuristic — fluents
+/// defined only by `terminatedAt` rules.
+pub fn dead_rules(
+    model: &DescriptionModel<'_>,
+    flow_never_holds: Option<&BTreeSet<FluentKey>>,
+    out: &mut Vec<Diagnostic>,
+) {
     // (a) terminations of never-initiated fluents / values.
     for rule in &model.validated.simple {
         if rule.kind != SimpleKind::Terminated {
@@ -651,29 +660,53 @@ pub fn dead_rules(model: &DescriptionModel<'_>, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    // (b) positive references to fluents that can never hold (defined,
-    // but only by terminatedAt rules).
-    let never_holds: BTreeSet<FluentKey> = model
-        .defined
-        .iter()
-        .filter(|(key, def)| {
-            def.init_clauses.is_empty()
-                && def.static_clauses.is_empty()
-                && !def.term_clauses.is_empty()
-                && !model.input_fluents.contains(*key)
-        })
-        .map(|(&key, _)| key)
-        .collect();
+    // (b) positive references to fluents that can never hold. With
+    // flow facts this covers emptiness that propagates transitively
+    // (all initiations statically empty); the fallback only sees the
+    // local shape (defined by terminatedAt rules alone).
+    let local_never_holds = || -> BTreeSet<FluentKey> {
+        model
+            .defined
+            .iter()
+            .filter(|(key, def)| {
+                def.init_clauses.is_empty()
+                    && def.static_clauses.is_empty()
+                    && !def.term_clauses.is_empty()
+                    && !model.input_fluents.contains(*key)
+            })
+            .map(|(&key, _)| key)
+            .collect()
+    };
+    let never_holds: BTreeSet<FluentKey> = match flow_never_holds {
+        Some(flow) => flow
+            .iter()
+            .copied()
+            .filter(|key| !model.input_fluents.contains(key))
+            .collect(),
+        None => local_never_holds(),
+    };
     let mut seen = BTreeSet::new();
     for r in &model.fluent_refs {
         if !r.negated && never_holds.contains(&r.key) && seen.insert((r.clause, r.key)) {
+            // Keep the historical wording for the historical case; the
+            // flow-derived case (initiations exist but are all empty)
+            // gets its own phrasing.
+            let has_derivations = model
+                .defined
+                .get(&r.key)
+                .is_some_and(|def| !def.init_clauses.is_empty() || !def.static_clauses.is_empty());
+            let why = if has_derivations {
+                "can never hold"
+            } else {
+                "is never initiated"
+            };
             out.push(diag(
                 model,
                 codes::DEAD_RULE,
                 Severity::Warning,
                 Some(r.clause),
                 format!(
-                    "rule can never fire: it requires fluent `{}`, which is never initiated",
+                    "rule can never fire: it requires fluent `{}`, which {why}",
                     model.key_name(r.key)
                 ),
                 None,

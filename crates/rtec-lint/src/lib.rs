@@ -31,6 +31,9 @@
 //! | [`DEAD_RULE`](codes::DEAD_RULE) | warning | a rule can never fire (fluent never initiated, or body references an undefined fluent) |
 //! | [`DUPLICATE_CLAUSE`](codes::DUPLICATE_CLAUSE) | warning | a clause duplicates or is subsumed by an earlier one |
 //! | [`UNUSED_DECLARATION`](codes::UNUSED_DECLARATION) | warning | a declared input event/fluent is never referenced |
+//! | [`EMPTY_RULE`](codes::EMPTY_RULE) | warning | flow analysis proved the rule body can never be satisfied |
+//! | [`UNREACHABLE_FLUENT`](codes::UNREACHABLE_FLUENT) | warning | every rule deriving the fluent is statically empty |
+//! | [`NON_TERMINATING_FLUENT`](codes::NON_TERMINATING_FLUENT) | warning | once initiated, the fluent can never terminate |
 //!
 //! ¹ undefined references are errors when the description carries
 //! `inputEvent`/`inputFluent` declarations (the schema is then closed),
@@ -53,6 +56,7 @@
 //! assert!(report.diagnostics.iter().any(|d| d.code == codes::UNDEFINED_FLUENT));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -63,6 +67,7 @@ use serde_json::Value;
 use std::collections::BTreeMap;
 
 mod checks;
+mod flow;
 mod model;
 
 pub use model::DescriptionModel;
@@ -107,6 +112,20 @@ pub mod codes {
     /// A declared input event or fluent is never referenced by any
     /// rule.
     pub const UNUSED_DECLARATION: &str = "RL0503";
+    /// The rule body is statically empty: the whole-program abstract
+    /// interpreter (`rtec-analysis`) proved it has no solution on any
+    /// stream — contradictory comparisons, a fluent value outside the
+    /// derivable set, or interval algebra that always yields an empty
+    /// list.
+    pub const EMPTY_RULE: &str = "RL1001";
+    /// A defined fluent can never hold: every initiation / holdsFor
+    /// rule is statically empty (flow analysis, transitive through
+    /// dependent fluents).
+    pub const UNREACHABLE_FLUENT: &str = "RL1002";
+    /// A simple fluent can hold but can never terminate once initiated:
+    /// no satisfiable `terminatedAt` rule and a single initiation
+    /// value, so its intervals only ever end at the forget horizon.
+    pub const NON_TERMINATING_FLUENT: &str = "RL1003";
 }
 
 /// One structured finding.
@@ -299,15 +318,22 @@ pub fn analyze(desc: &EventDescription) -> AnalysisReport {
 
     // Whole-description semantic passes over the validated rule set.
     let model = DescriptionModel::build(desc, &validated, &sys, &mut symbols);
+    // Whole-program flow analysis (rtec-analysis): absent when the
+    // description does not compile to an evaluation plan.
+    let flow = flow::compute(desc);
+    let flow_never_holds = flow.as_ref().map(|a| flow::never_holding(a, &model));
     checks::undefined_references(&model, &mut diagnostics);
     checks::arity_consistency(&model, &mut diagnostics);
     checks::kind_conflicts(&model, &mut diagnostics);
     checks::dependency_cycles(&model, &mut diagnostics);
     checks::variable_safety(&model, &mut diagnostics);
     checks::singleton_variables(&model, &mut diagnostics);
-    checks::dead_rules(&model, &mut diagnostics);
+    checks::dead_rules(&model, flow_never_holds.as_ref(), &mut diagnostics);
     checks::duplicate_clauses(&model, &mut diagnostics);
     checks::unused_declarations(&model, &mut diagnostics);
+    if let Some(analysis) = &flow {
+        flow::flow_lints(analysis, &model, &mut diagnostics);
+    }
 
     diagnostics.sort_by(|a, b| (a.clause, a.code, &a.message).cmp(&(b.clause, b.code, &b.message)));
     AnalysisReport { diagnostics }

@@ -384,3 +384,153 @@ fn report_ordering_is_deterministic() {
     assert_eq!(clauses, sorted);
     assert!(codes_of(&a).len() >= 2);
 }
+
+// ---------------------------------------------------------------------
+// RL1xxx: flow analysis
+// ---------------------------------------------------------------------
+
+#[test]
+fn contradictory_comparison_fires_rl1001() {
+    let report = analyze_source(
+        "initiatedAt(hot(V)=true, T) :- happensAt(reading(V, C), T), C > 10, C < 5.\n\
+         terminatedAt(hot(V)=true, T) :- happensAt(cool(V), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::EMPTY_RULE)
+        .expect("RL1001 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.clause, Some(0));
+    assert!(d.message.contains("statically empty"), "{}", d.message);
+    // No clause-local RL0xxx pass sees this.
+    assert!(!has(&report, codes::DEAD_RULE));
+}
+
+#[test]
+fn disjoint_fluent_value_fires_rl1001() {
+    let report = analyze_source(
+        "initiatedAt(gear(V)=on, T) :- happensAt(lower(V), T).\n\
+         terminatedAt(gear(V)=on, T) :- happensAt(raise(V), T).\n\
+         initiatedAt(trawl(V)=true, T) :- happensAt(go(V), T), holdsAt(gear(V)=off, T).\n\
+         terminatedAt(trawl(V)=true, T) :- happensAt(stop(V), T).",
+    );
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::EMPTY_RULE)
+        .expect("RL1001 fires");
+    assert_eq!(d.clause, Some(2));
+    assert!(d.message.contains("gear/1"), "{}", d.message);
+}
+
+#[test]
+fn transitively_empty_fluent_fires_rl1002_and_rl0501() {
+    // `base` has only an empty initiation, so it can never hold;
+    // `upper`'s only initiation requires `base`, so it can never hold
+    // either — a chain invisible to any clause-local check. RL0501
+    // (flow-driven) fires on the requiring rule, RL1002 on both
+    // fluents, and the terminatedAt rules do NOT count as derivations.
+    let report = analyze_source(
+        "initiatedAt(base(V)=true, T) :- happensAt(e(V), T), 1 > 2.\n\
+         terminatedAt(base(V)=true, T) :- happensAt(g(V), T).\n\
+         initiatedAt(upper(V)=true, T) :- happensAt(e(V), T), holdsAt(base(V)=true, T).\n\
+         terminatedAt(upper(V)=true, T) :- happensAt(g(V), T).",
+    );
+    let rl1002: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == codes::UNREACHABLE_FLUENT)
+        .collect();
+    assert_eq!(rl1002.len(), 2, "{}", report.render());
+    assert!(rl1002.iter().any(|d| d.message.contains("base/1")));
+    assert!(rl1002.iter().any(|d| d.message.contains("upper/1")));
+    // The flow-driven RL0501: clause 2 requires a fluent that has
+    // derivations but can never hold. The local heuristic alone would
+    // miss this (base HAS an initiatedAt rule).
+    let rl0501 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::DEAD_RULE)
+        .expect("flow-driven RL0501 fires");
+    assert_eq!(rl0501.clause, Some(2));
+    assert!(
+        rl0501.message.contains("can never hold"),
+        "{}",
+        rl0501.message
+    );
+}
+
+#[test]
+fn rl0501_keeps_historical_wording_for_termination_only_fluents() {
+    let report = analyze_source(
+        "terminatedAt(ghost(V)=true, T) :- happensAt(e(V), T).\n\
+         initiatedAt(f(V)=true, T) :- happensAt(e(V), T), holdsAt(ghost(V)=true, T).\n\
+         terminatedAt(f(V)=true, T) :- happensAt(g(V), T).",
+    );
+    let msgs: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == codes::DEAD_RULE)
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("which is never initiated") && m.contains("ghost/1")),
+        "{msgs:?}"
+    );
+    // The termination-only fluent itself is RL0501 territory, not
+    // RL1002 (`f`, whose real initiation is poisoned, still gets one).
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == codes::UNREACHABLE_FLUENT && d.message.contains("ghost/1")));
+}
+
+#[test]
+fn non_terminating_fluent_fires_rl1003() {
+    let report = analyze_source("initiatedAt(leak(V)=true, T) :- happensAt(burst(V), T).");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::NON_TERMINATING_FLUENT)
+        .expect("RL1003 fires");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("leak/1"), "{}", d.message);
+    assert!(d.suggestion.is_some());
+    // A cross-value initiation is a termination channel: no finding.
+    let cross = analyze_source(
+        "initiatedAt(st(V)=lo, T) :- happensAt(a(V), T).\n\
+         initiatedAt(st(V)=hi, T) :- happensAt(b(V), T).",
+    );
+    assert!(
+        !has(&cross, codes::NON_TERMINATING_FLUENT),
+        "{}",
+        cross.render()
+    );
+    // An empty terminatedAt rule does not count as a termination
+    // channel: the flow pass sees through it.
+    let empty_term = analyze_source(
+        "initiatedAt(leak(V)=true, T) :- happensAt(burst(V), T).\n\
+         terminatedAt(leak(V)=true, T) :- happensAt(fix(V, C), T), C > 3, C < 1.",
+    );
+    assert!(
+        has(&empty_term, codes::NON_TERMINATING_FLUENT),
+        "{}",
+        empty_term.render()
+    );
+}
+
+#[test]
+fn flow_pass_skips_uncompilable_descriptions() {
+    // A dependency cycle prevents plan compilation: RL0301 fires, the
+    // RL1xxx passes stay silent, and dead_rules falls back to its local
+    // heuristic without panicking.
+    let report = analyze_source(
+        "initiatedAt(a(V)=true, T) :- happensAt(e(V), T), holdsAt(b(V)=true, T).\n\
+         initiatedAt(b(V)=true, T) :- happensAt(e(V), T), holdsAt(a(V)=true, T).",
+    );
+    assert!(has(&report, codes::DEPENDENCY_CYCLE));
+    assert!(!has(&report, codes::EMPTY_RULE));
+    assert!(!has(&report, codes::UNREACHABLE_FLUENT));
+}

@@ -28,6 +28,7 @@
 //!
 //! [`rtec`]: ../rtec/index.html
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -56,11 +56,16 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arith;
 mod exec;
 pub mod frame;
 pub mod ir;
 pub mod lower;
+pub mod optimize;
+
+pub use optimize::OptimizeProofs;
 
 use crate::ir::Stratum;
 use rtec::ast::FluentKey;
@@ -90,6 +95,17 @@ pub struct PlanStats {
     /// Malformed simple rules dropped at lowering (the interpreter skips
     /// the same rules defensively at run time).
     pub dropped_rules: usize,
+    /// Rules deleted by the analysis-driven optimizer (statically empty
+    /// or unreachable, with a warning-free body). Zero on unoptimized
+    /// plans.
+    pub deleted_rules: usize,
+    /// Interval-algebra input registers folded away by the optimizer
+    /// because their producer is statically empty. Zero on unoptimized
+    /// plans.
+    pub folded_inputs: usize,
+    /// Strata carrying an optimizer-installed trigger-signature
+    /// pre-filter. Zero on unoptimized plans.
+    pub prefiltered_strata: usize,
 }
 
 /// A compiled, self-contained evaluation plan.
@@ -106,6 +122,9 @@ pub struct Plan {
     defined: HashSet<FluentKey>,
     strata: Vec<Stratum>,
     stats: PlanStats,
+    /// Evaluator label recorded in checkpoints: `"plan"` after
+    /// [`Plan::compile`], `"optimized"` after [`Plan::optimize`].
+    label: &'static str,
 }
 
 impl Plan {
@@ -120,6 +139,7 @@ impl Plan {
                 has_static: desc.static_by_fluent.contains_key(key),
                 simple: Vec::new(),
                 statics: Vec::new(),
+                prefilter: None,
             };
             if let Some(rids) = desc.simple_by_fluent.get(key) {
                 for &rid in rids {
@@ -159,6 +179,7 @@ impl Plan {
             defined,
             strata,
             stats,
+            label: "plan",
         }
     }
 
@@ -166,11 +187,46 @@ impl Plan {
     pub fn stats(&self) -> PlanStats {
         self.stats
     }
+
+    /// The strata in bottom-up evaluation order.
+    pub fn strata(&self) -> &[Stratum] {
+        &self.strata
+    }
+
+    /// The plan's interned symbol table (a copy of the description's).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The plan's background fact store (a copy of the description's).
+    pub fn facts(&self) -> &FactStore {
+        &self.facts
+    }
+
+    /// The fluent keys defined by some rule of the description.
+    pub fn defined(&self) -> &HashSet<FluentKey> {
+        &self.defined
+    }
+
+    /// The rules of `stratum` that can fire given this window's events:
+    /// the full slice normally, the empty slice when an
+    /// optimizer-installed pre-filter proves no rule's trigger signature
+    /// occurs in the index. Running `eval_simple_stratum` over an empty
+    /// slice still performs interval assembly and the inertia carry, so
+    /// the skip is observationally identical.
+    fn live_simple<'s>(stratum: &'s Stratum, events: &EventIndex) -> &'s [ir::LoweredSimple] {
+        if let Some(sigs) = &stratum.prefilter {
+            if sigs.iter().all(|sig| events.all(*sig).is_empty()) {
+                return &[];
+            }
+        }
+        &stratum.simple
+    }
 }
 
 impl WindowEvaluator for Plan {
     fn label(&self) -> &'static str {
-        "plan"
+        self.label
     }
 
     fn evaluate_window(
@@ -192,7 +248,7 @@ impl WindowEvaluator for Plan {
                 exec::eval_simple_stratum(
                     &ctx,
                     stratum.key,
-                    &stratum.simple,
+                    Plan::live_simple(stratum, events),
                     cache,
                     inertia,
                     warnings,
@@ -246,7 +302,7 @@ impl WindowEvaluator for Plan {
                 exec::eval_simple_stratum(
                     simple_ctx,
                     stratum.key,
-                    &stratum.simple,
+                    Plan::live_simple(stratum, simple_ctx.events),
                     cache,
                     inertia,
                     warnings,
@@ -302,7 +358,7 @@ impl WindowEvaluator for Plan {
                 exec::eval_simple_stratum(
                     &ctx,
                     stratum.key,
-                    &stratum.simple,
+                    Plan::live_simple(stratum, events),
                     cache,
                     inertia,
                     warnings,

@@ -1,0 +1,325 @@
+//! Analysis-driven plan rewriting.
+//!
+//! [`Plan::optimize`] consumes emptiness/reachability proofs produced by
+//! `rtec-analysis` (this crate deliberately knows nothing about how they
+//! are derived) and rewrites the plan under the evaluator's
+//! observational-identity contract: the optimized plan must produce
+//! byte-identical intervals, warnings (content *and* order), inertia
+//! carries and checkpoints for every input stream the proofs' contract
+//! admits. Three rewrites:
+//!
+//! 1. **Rule deletion** — a rule whose body is statically unsatisfiable
+//!    never contributes initiation/termination points or intervals, but
+//!    it may still *warn* while failing (missing background facts,
+//!    undefined fluent references, unevaluable comparisons). A rule is
+//!    deleted only when its body is provably warning-free, so the empty
+//!    rule's only observable effect is "nothing" (`deletable_simple`,
+//!    `deletable_static`). Rules whose trigger event can never occur
+//!    (closed input schema) never reach their body at all and are
+//!    deleted unconditionally.
+//! 2. **Constant interval-algebra folding** — a ground `holdsFor` read
+//!    of a fluent that provably never holds always yields the empty
+//!    list; empty operands are dropped from `union_all` inputs and
+//!    `relative_complement_all` subtrahends, and reads left without a
+//!    consumer are removed.
+//! 3. **Trigger pre-filters** — each simple stratum records the
+//!    deduplicated first-`happensAt` signatures of its remaining rules;
+//!    windows containing none of them skip the per-rule scan (interval
+//!    assembly and inertia still run — see `Plan::live_simple`).
+//!
+//! The proofs carry *stream-independent* evidence only: they are sound
+//! for any stream that conforms to the description's declared input
+//! schema and does not inject intervals for rule-defined fluents via
+//! `Engine::add_input_intervals`. The randomized differential proptest
+//! and the maritime-gold differential in `rtec-analysis` enforce the
+//! contract.
+
+use crate::ir::{LBody, LStatic, LTerm, LoweredSimple, LoweredStatic};
+use crate::Plan;
+use rtec::ast::{FluentKey, StaticLiteral};
+use rtec::symbol::Symbol;
+use rtec::term::Term;
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+
+/// Stream-independent emptiness/reachability evidence consumed by
+/// [`Plan::optimize`]. Produced by `rtec-analysis`; the field contracts
+/// below are what the optimizer relies on for soundness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeProofs {
+    /// Fluents that can never hold on any conforming stream: every
+    /// defining rule is strictly unsatisfiable, or (under a closed
+    /// input schema) the fluent is neither defined nor declared as an
+    /// input. Used for constant folding of ground `holdsFor` reads.
+    pub never_holds: BTreeSet<FluentKey>,
+    /// Clause indices of rules whose body is unsatisfiable on every
+    /// conforming stream — contradictory comparisons, disjoint value
+    /// sets, or (for static rules) a candidate seed that provably
+    /// yields zero candidates. For static rules the evidence must be of
+    /// the *pruning* kind (the rule produces no output rows), never
+    /// merely "the output interval list is empty": an empty emission
+    /// still runs head instantiation and can warn.
+    pub unsat_clauses: BTreeSet<usize>,
+    /// Clause indices of simple rules whose leading `happensAt`
+    /// signature is not a declared input event and not derivable from
+    /// any rule (closed input schema only). Such rules never match a
+    /// trigger, so their bodies are unreachable and deletion needs no
+    /// warning-free check.
+    pub unreachable_clauses: BTreeSet<usize>,
+}
+
+impl OptimizeProofs {
+    /// Whether the proofs license any rewrite at all.
+    pub fn is_empty(&self) -> bool {
+        self.never_holds.is_empty()
+            && self.unsat_clauses.is_empty()
+            && self.unreachable_clauses.is_empty()
+    }
+}
+
+/// Whether a comparison operand is guaranteed to evaluate without a
+/// "comparison skipped" warning: a numeric literal, or the rule's time
+/// variable (always bound to the candidate timepoint).
+fn operand_safe(t: &Term, time_var: Option<Symbol>) -> bool {
+    match t {
+        Term::Int(_) | Term::Float(_) => true,
+        Term::Var(v) => time_var == Some(*v),
+        _ => false,
+    }
+}
+
+/// Whether evaluating this simple rule's body can never emit a warning,
+/// no matter how far evaluation gets before failing. Deleting a rule
+/// suppresses its warnings, so an unsatisfiable rule may only be
+/// deleted when there are provably none to suppress.
+fn body_warning_free(rule: &LoweredSimple, defined: &HashSet<FluentKey>) -> bool {
+    rule.body.iter().all(|lit| match lit {
+        // Event scans never warn.
+        LBody::HappensAt { .. } => true,
+        // `holdsAt` warns on a non-predicate fluent and on fluents the
+        // evaluator has never heard of; a statically-known signature
+        // over a defined fluent triggers neither. (A merely *declared*
+        // input fluent is not enough: the runtime check consults the
+        // per-window cache, which is stream-dependent.)
+        LBody::HoldsAt { fluent, .. } => match fluent {
+            LTerm::Atom(s) => defined.contains(&(*s, 0)),
+            LTerm::Compound(s, args) => defined.contains(&(*s, args.len())),
+            _ => false,
+        },
+        // A positive atemporal over a signature with no background
+        // facts warns every time it is reached.
+        LBody::Atemporal {
+            negated, sig_warn, ..
+        } => *negated || sig_warn.is_none(),
+        // Comparisons warn whenever an operand fails to evaluate.
+        LBody::Compare { lhs, rhs, .. } => {
+            let tv = rule.vars.syms.get(rule.time_slot as usize).copied();
+            operand_safe(lhs, tv) && operand_safe(rhs, tv)
+        }
+    })
+}
+
+/// Whether a statically-unsatisfiable simple rule may be deleted.
+fn deletable_simple(
+    rule: &LoweredSimple,
+    proofs: &OptimizeProofs,
+    defined: &HashSet<FluentKey>,
+) -> bool {
+    if proofs.unreachable_clauses.contains(&rule.rule.clause) {
+        // The trigger never matches: the body (and its warnings) is
+        // unreachable, so no warning-free check is needed.
+        return true;
+    }
+    proofs.unsat_clauses.contains(&rule.rule.clause) && body_warning_free(rule, defined)
+}
+
+/// Whether a statically-unsatisfiable `holdsFor` rule may be deleted.
+/// Static rules additionally warn from candidate *seeding* (which
+/// matches the original body's `holdsFor` patterns against the cache
+/// before any body element runs), so every referenced fluent must be
+/// defined by some rule.
+fn deletable_static(
+    rule: &LoweredStatic,
+    proofs: &OptimizeProofs,
+    defined: &HashSet<FluentKey>,
+) -> bool {
+    if !proofs.unsat_clauses.contains(&rule.rule.clause) {
+        return false;
+    }
+    let seeds_clean = rule.rule.body.iter().all(|lit| match lit {
+        StaticLiteral::HoldsFor { fvp, .. } => fvp.key().is_some_and(|k| defined.contains(&k)),
+        _ => true,
+    });
+    let body_clean = rule.body.iter().all(|lit| match lit {
+        LStatic::HoldsFor { .. }
+        | LStatic::Union { .. }
+        | LStatic::Intersect { .. }
+        | LStatic::RelComplement { .. } => true,
+        LStatic::Atemporal {
+            negated, sig_warn, ..
+        } => *negated || sig_warn.is_none(),
+        LStatic::Compare { lhs, rhs, .. } => operand_safe(lhs, None) && operand_safe(rhs, None),
+    });
+    seeds_clean && body_clean
+}
+
+/// Whether a lowered term is fully ground (no slots anywhere).
+fn lterm_ground(t: &LTerm) -> bool {
+    match t {
+        LTerm::Slot(_) => false,
+        LTerm::Atom(_) | LTerm::Int(_) | LTerm::Float(_) => true,
+        LTerm::Compound(_, args) | LTerm::List(args) => args.iter().all(lterm_ground),
+    }
+}
+
+/// The fluent key of a statically-known fluent pattern.
+fn lterm_key(t: &LTerm) -> Option<FluentKey> {
+    match t {
+        LTerm::Atom(s) => Some((*s, 0)),
+        LTerm::Compound(s, args) => Some((*s, args.len())),
+        _ => None,
+    }
+}
+
+/// Folds provably-empty interval registers out of one static rule's
+/// body. Returns the number of operands/reads removed.
+///
+/// Only *ground* `holdsFor` reads of defined never-holding fluents seed
+/// the empty set: a ground read always writes its register (possibly
+/// with the empty list) and never prunes the candidate, so removing it
+/// from a consumer's operand list — or removing the read itself once no
+/// consumer is left — cannot change control flow. Emptiness then
+/// propagates through the algebra (a union of empties is empty, an
+/// intersection with an empty is empty, a complement of an empty base
+/// is empty) without rewriting those downstream operators: they stay in
+/// place and compute their (empty) result exactly as before.
+fn fold_static(
+    rule: &mut LoweredStatic,
+    proofs: &OptimizeProofs,
+    defined: &HashSet<FluentKey>,
+) -> usize {
+    let mut empty: HashSet<u16> = HashSet::new();
+    for lit in &rule.body {
+        match lit {
+            LStatic::HoldsFor { fluent, value, out } => {
+                if lterm_ground(fluent)
+                    && lterm_ground(value)
+                    && lterm_key(fluent)
+                        .is_some_and(|k| defined.contains(&k) && proofs.never_holds.contains(&k))
+                {
+                    empty.insert(*out);
+                }
+            }
+            LStatic::Union { inputs, out } => {
+                if !inputs.is_empty() && inputs.iter().all(|r| empty.contains(r)) {
+                    empty.insert(*out);
+                }
+            }
+            LStatic::Intersect { inputs, out } => {
+                if inputs.iter().any(|r| empty.contains(r)) {
+                    empty.insert(*out);
+                }
+            }
+            LStatic::RelComplement { base, out, .. } => {
+                if empty.contains(base) {
+                    empty.insert(*out);
+                }
+            }
+            LStatic::Atemporal { .. } | LStatic::Compare { .. } => {}
+        }
+    }
+    if empty.is_empty() {
+        return 0;
+    }
+
+    // Drop empty operands where the operator ignores them. Keep at
+    // least one union input so the operator's shape stays within what
+    // lowering can produce.
+    let mut folded = 0;
+    for lit in &mut rule.body {
+        match lit {
+            LStatic::Union { inputs, .. } => {
+                while inputs.len() > 1 {
+                    let Some(pos) = inputs.iter().position(|r| empty.contains(r)) else {
+                        break;
+                    };
+                    inputs.remove(pos);
+                    folded += 1;
+                }
+            }
+            LStatic::RelComplement { subtract, .. } => {
+                let before = subtract.len();
+                subtract.retain(|r| !empty.contains(r));
+                folded += before - subtract.len();
+            }
+            _ => {}
+        }
+    }
+
+    // Remove ground empty reads nobody consumes any more. Such a read
+    // has no observable effect: it cannot warn, cannot prune, and its
+    // register is dead.
+    let mut read: HashSet<u16> = HashSet::new();
+    read.insert(rule.out_reg);
+    for lit in &rule.body {
+        match lit {
+            LStatic::Union { inputs, .. } | LStatic::Intersect { inputs, .. } => {
+                read.extend(inputs.iter().copied());
+            }
+            LStatic::RelComplement { base, subtract, .. } => {
+                read.insert(*base);
+                read.extend(subtract.iter().copied());
+            }
+            LStatic::HoldsFor { .. } | LStatic::Atemporal { .. } | LStatic::Compare { .. } => {}
+        }
+    }
+    let before = rule.body.len();
+    rule.body.retain(|lit| match lit {
+        LStatic::HoldsFor { out, .. } => !empty.contains(out) || read.contains(out),
+        _ => true,
+    });
+    folded + (before - rule.body.len())
+}
+
+impl Plan {
+    /// Rewrites the plan under `proofs`, preserving observational
+    /// identity (see the module docs for the admitted rewrites and the
+    /// stream contract). The returned plan reports
+    /// [`label`](rtec::engine::WindowEvaluator::label) `"optimized"`
+    /// and accounts for its rewrites in [`Plan::stats`].
+    pub fn optimize(mut self, proofs: &OptimizeProofs) -> Plan {
+        let defined = self.defined.clone();
+        for stratum in &mut self.strata {
+            let before = stratum.simple.len();
+            stratum
+                .simple
+                .retain(|r| !deletable_simple(r, proofs, &defined));
+            self.stats.deleted_rules += before - stratum.simple.len();
+            self.stats.simple_rules -= before - stratum.simple.len();
+
+            let before = stratum.statics.len();
+            stratum
+                .statics
+                .retain(|r| !deletable_static(r, proofs, &defined));
+            self.stats.deleted_rules += before - stratum.statics.len();
+            self.stats.static_rules -= before - stratum.statics.len();
+
+            for rule in &mut stratum.statics {
+                self.stats.folded_inputs += fold_static(rule, proofs, &defined);
+            }
+
+            if stratum.has_simple {
+                let mut sigs: Vec<(Symbol, usize)> = Vec::new();
+                for rule in &stratum.simple {
+                    if !sigs.contains(&rule.first_sig) {
+                        sigs.push(rule.first_sig);
+                    }
+                }
+                stratum.prefilter = Some(sigs);
+                self.stats.prefiltered_strata += 1;
+            }
+        }
+        self.label = "optimized";
+        self
+    }
+}

@@ -16,6 +16,8 @@
 //! replay client that streams an event file into a running server and
 //! renders output byte-compatible with a batch `rtec-cli run`.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod fault;
 pub mod flight;

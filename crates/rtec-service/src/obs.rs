@@ -18,7 +18,7 @@
 //! | `rtec_service_intervals_ingested_total` | counter | — |
 //! | `rtec_service_backpressure_waits_total` | counter | — |
 //! | `rtec_service_ticks_total` | counter | — |
-//! | `rtec_service_tick_duration_us` | histogram | `eval=interpreter\|plan` |
+//! | `rtec_service_tick_duration_us` | histogram | `eval=interpreter\|plan\|optimized` |
 //! | `rtec_recognition_latency_us` | histogram | `stage=admission\|release` |
 //! | `rtec_service_query_rows_total` | counter | — |
 //! | `rtec_service_faults_injected_total` | counter | — |
@@ -68,6 +68,9 @@ pub struct ServiceMetrics {
     /// Tick wall-clock latency (microseconds), sessions on the compiled
     /// plan.
     pub tick_duration_plan: Arc<Histogram>,
+    /// Tick wall-clock latency (microseconds), sessions on the
+    /// analysis-optimized plan.
+    pub tick_duration_optimized: Arc<Histogram>,
     /// End-to-end recognition latency from service admission to the
     /// tick that evaluated the event's timepoint.
     pub recognition_latency_admission: Arc<Histogram>,
@@ -137,6 +140,11 @@ impl ServiceMetrics {
                 "rtec_service_tick_duration_us",
                 "Tick wall-clock latency (microseconds).",
                 &[("eval", "plan")],
+            ),
+            tick_duration_optimized: r.histogram(
+                "rtec_service_tick_duration_us",
+                "Tick wall-clock latency (microseconds).",
+                &[("eval", "optimized")],
             ),
             recognition_latency_admission: r.histogram(
                 "rtec_recognition_latency_us",
@@ -208,6 +216,7 @@ impl ServiceMetrics {
         match eval {
             EvalMode::Interpreter => &self.tick_duration_interpreter,
             EvalMode::Plan => &self.tick_duration_plan,
+            EvalMode::Optimized => &self.tick_duration_optimized,
         }
     }
 

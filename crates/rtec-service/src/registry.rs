@@ -195,8 +195,9 @@ impl Registry {
             config.tick_deadline_ms = Some(deadline);
         }
         if let Some(eval) = opt_str_field(req, "eval")? {
-            config.eval = rtec::engine::EvalMode::parse(eval)
-                .ok_or_else(|| format!("unknown eval mode \"{eval}\" (interpreter|plan)"))?;
+            config.eval = rtec::engine::EvalMode::parse(eval).ok_or_else(|| {
+                format!("unknown eval mode \"{eval}\" (interpreter|plan|optimized)")
+            })?;
         }
         // Profiling defaults on; `"profile": false` opts a session out.
         if let Some(v) = req.get("profile") {

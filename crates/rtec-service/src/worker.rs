@@ -125,8 +125,14 @@ impl ShardWorker {
             // applied uniformly to fresh and restored engines alike —
             // including restores from a checkpoint written under the
             // other mode.
-            if options.eval == EvalMode::Plan {
-                engine.set_evaluator(Box::new(rtec_plan::Plan::compile(&desc)));
+            match options.eval {
+                EvalMode::Interpreter => {}
+                EvalMode::Plan => {
+                    engine.set_evaluator(Box::new(rtec_plan::Plan::compile(&desc)));
+                }
+                EvalMode::Optimized => {
+                    engine.set_evaluator(Box::new(rtec_analysis::optimized_plan(&desc)));
+                }
             }
             // Profiler state is process-local and never checkpointed: a
             // respawned worker restarts attribution from zero while the

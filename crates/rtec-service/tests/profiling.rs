@@ -1,7 +1,7 @@
 //! Profiler integration: the per-rule profiler must be a pure
 //! observer. Toggling it on or off must leave every recognition
 //! artefact byte-identical — query rows, warnings, tick replies, and
-//! on-disk checkpoint state — for both evaluators. On top of that the
+//! on-disk checkpoint state — for all three evaluators. On top of that the
 //! `profile` wire command must report attributed rule costs, the
 //! Prometheus exposition must stay valid and bounded in cardinality,
 //! and (under `testkit`) a seeded slow tick must promote a
@@ -95,7 +95,7 @@ fn normalized_checkpoint(dir: &Path, session: &str) -> String {
 
 #[test]
 fn profiler_toggle_is_output_invariant() {
-    for eval in ["interpreter", "plan"] {
+    for eval in ["interpreter", "plan", "optimized"] {
         let mut runs = Vec::new();
         for profile in [true, false] {
             let tag = format!("{eval}-{profile}");
@@ -117,7 +117,7 @@ fn profiler_toggle_is_output_invariant() {
 
 #[test]
 fn profile_command_reports_attributed_rule_costs() {
-    for eval in ["interpreter", "plan"] {
+    for eval in ["interpreter", "plan", "optimized"] {
         let registry = Registry::new();
         let extra = format!(",\"eval\":\"{eval}\"");
         run_workload(&registry, "prof", &extra);
@@ -160,7 +160,7 @@ fn profile_disabled_session_reports_enabled_false() {
     assert!(
         matches!(
             stats["evaluator"].as_str(),
-            Some("interpreter") | Some("plan")
+            Some("interpreter") | Some("plan") | Some("optimized")
         ),
         "{stats:?}"
     );

@@ -134,17 +134,25 @@ pub enum EvalMode {
     Interpreter,
     /// Execute a compiled, slot-indexed evaluation plan (`rtec-plan`).
     Plan,
+    /// Execute a compiled plan additionally rewritten by the
+    /// analysis-driven optimizer (`rtec-analysis` proofs consumed by
+    /// `rtec-plan`'s `PlanOptimizer` pass): statically-empty rules
+    /// deleted, constant interval-algebra inputs folded, per-stratum
+    /// trigger-signature pre-filters. Observationally identical to the
+    /// other two modes.
+    Optimized,
 }
 
 impl EvalMode {
     /// Environment variable consulted by [`EvalMode::from_env`].
     pub const ENV_VAR: &'static str = "RTEC_EVAL";
 
-    /// Parses `"interpreter"` / `"plan"`.
+    /// Parses `"interpreter"` / `"plan"` / `"optimized"`.
     pub fn parse(s: &str) -> Option<EvalMode> {
         match s {
             "interpreter" => Some(EvalMode::Interpreter),
             "plan" => Some(EvalMode::Plan),
+            "optimized" => Some(EvalMode::Optimized),
             _ => None,
         }
     }
@@ -154,6 +162,7 @@ impl EvalMode {
         match self {
             EvalMode::Interpreter => "interpreter",
             EvalMode::Plan => "plan",
+            EvalMode::Optimized => "optimized",
         }
     }
 

@@ -42,6 +42,7 @@
 //! assert!((compare_descriptions(&gold, &renamed).similarity - 1.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
