@@ -147,6 +147,146 @@ fn round1(x: f64) -> f64 {
     (x * 10.0).round() / 10.0
 }
 
+/// Journal commit granularity: the `stream` client ships events in
+/// `batch` frames of 64 by default, and the registry commits the
+/// journal once per frame — one commit covers one ack.
+const JOURNAL_BATCH: usize = 64;
+
+/// One full replay with a write-ahead journal attached, mirroring the
+/// service's ack discipline under `--journal-dir` (docs/ROBUSTNESS.md)
+/// for the headline `stream` path: every ingest is appended before its
+/// ack, with one commit per 64-event `batch` frame and a commit at
+/// every tick. Returns the recognised fluent-value-pair count (must
+/// match the unjournaled replay).
+fn journaled_replay(
+    w: &Workload,
+    shards: usize,
+    eval: EvalMode,
+    dir: &std::path::Path,
+    policy: rtec_service::FsyncPolicy,
+) -> usize {
+    rtec_service::journal::remove(dir, "bench");
+    let mut journal = rtec_service::Journal::create(dir, "bench", policy).expect("create journal");
+    let open: Value =
+        serde_json::from_str(r#"{"cmd":"open","session":"bench"}"#).expect("open record");
+    journal.append_open(&open);
+    journal.commit().expect("commit open record");
+    let mut session = Session::open(
+        "bench",
+        &w.gold,
+        SessionConfig {
+            window: None,
+            shards,
+            queue_capacity: 1024,
+            eval,
+            profile: false,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("open");
+    for (fluent, value, pairs) in &w.intervals {
+        journal.append_intervals(fluent, value, pairs);
+        journal.commit().expect("commit intervals");
+        session
+            .ingest_intervals(fluent, value, pairs)
+            .expect("intervals");
+    }
+    let step = (w.horizon / TICKS).max(1);
+    let mut next_tick = step;
+    let mut pending = 0usize;
+    for &(t, ref ev) in &w.events {
+        if t >= next_tick {
+            journal.commit().expect("commit before tick");
+            pending = 0;
+            session.tick(next_tick - 1).expect("tick");
+            next_tick += ((t - next_tick) / step + 1) * step;
+        }
+        journal.append_event(t, ev);
+        pending += 1;
+        if pending >= JOURNAL_BATCH {
+            journal.commit().expect("commit batch");
+            pending = 0;
+        }
+        session.ingest_event(ev, t).expect("event");
+    }
+    session.tick(w.horizon).expect("final tick");
+    journal.commit().expect("final commit");
+    let (out, _) = session.query().expect("query");
+    let n = out.len();
+    session.close().expect("close");
+    n
+}
+
+/// Times the journaled replay (fsync `never`, the throughput-oriented
+/// policy) against an unjournaled baseline at the same configuration
+/// and returns the `journal_overhead` run cell. The two legs are
+/// measured **interleaved** (baseline, journaled, baseline, ...) so
+/// frequency drift or background load biases both medians equally
+/// instead of whichever leg ran second.
+fn journal_cell(w: &Workload, shards: usize, warmup: usize, runs: usize) -> Value {
+    // The cell discriminates a few percent; medians over the headline
+    // sweep's 5 runs cannot do that on a noisy single-CPU box.
+    let runs = runs.max(15);
+    let n_events = w.events.len();
+    let eval = EvalMode::Plan;
+    let dir = std::env::temp_dir().join(format!("rtec-bench-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    let expected = replay(w, shards, eval, false).0;
+    for _ in 0..warmup {
+        let n = journaled_replay(w, shards, eval, &dir, rtec_service::FsyncPolicy::Never);
+        assert_eq!(n, expected, "journaled replay changed the output");
+    }
+    let mut baseline_s: Vec<f64> = Vec::with_capacity(runs);
+    let mut journaled_s: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        let (n, _) = replay(w, shards, eval, false);
+        baseline_s.push(started.elapsed().as_secs_f64());
+        assert_eq!(n, expected, "baseline replay changed the output");
+        let started = Instant::now();
+        let n = journaled_replay(w, shards, eval, &dir, rtec_service::FsyncPolicy::Never);
+        journaled_s.push(started.elapsed().as_secs_f64());
+        assert_eq!(n, expected, "journaled replay changed the output");
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let baseline = median(&mut baseline_s);
+    let journaled = median(&mut journaled_s);
+    let _ = std::fs::remove_dir_all(&dir);
+    let baseline_eps = n_events as f64 / baseline;
+    let journaled_eps = n_events as f64 / journaled;
+    let overhead_pct = (journaled / baseline - 1.0) * 100.0;
+    eprintln!(
+        "journal fsync=never shards={shards}: {journaled:.3}s vs {baseline:.3}s baseline \
+         ({overhead_pct:+.1}% overhead, {journaled_eps:.0} events/s)"
+    );
+    let mut cell = BTreeMap::new();
+    cell.insert("shards".to_string(), Value::from(shards));
+    cell.insert("eval".to_string(), Value::from(eval.as_str()));
+    cell.insert("fsync".to_string(), Value::from("never"));
+    cell.insert("batch_size".to_string(), Value::from(JOURNAL_BATCH));
+    cell.insert("baseline_seconds_median".to_string(), Value::from(baseline));
+    cell.insert(
+        "baseline_events_per_sec".to_string(),
+        Value::from(round1(baseline_eps)),
+    );
+    cell.insert(
+        "journaled_seconds_median".to_string(),
+        Value::from(journaled),
+    );
+    cell.insert(
+        "journaled_events_per_sec".to_string(),
+        Value::from(round1(journaled_eps)),
+    );
+    cell.insert(
+        "overhead_pct".to_string(),
+        Value::from((overhead_pct * 100.0).round() / 100.0),
+    );
+    Value::Object(cell.into_iter().collect())
+}
+
 /// One profiled plan-evaluator replay at a single shard: the per-rule
 /// hot-spot table for the maritime gold description, plus the profiled
 /// throughput (so the profiler's overhead is visible next to the
@@ -456,6 +596,13 @@ fn main() {
         run.insert(
             "profiled_plan_events_per_sec".to_string(),
             Value::from(round1(profiled_eps)),
+        );
+        // Write-ahead journal overhead (docs/ROBUSTNESS.md): the same
+        // replay with every ingest journaled at fsync `never`, expected
+        // within a few percent of the unjournaled baseline.
+        run.insert(
+            "journal_overhead".to_string(),
+            journal_cell(&w, 2, warmup, runs),
         );
     }
 

@@ -31,6 +31,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
+
 use rtec::declarations::Declarations;
 use rtec::stream::InputStream;
 use rtec::{Engine, EngineConfig, EventDescription, Timepoint};
@@ -105,7 +107,8 @@ pub enum Command {
         b: String,
     },
     /// `serve [--addr A] [--threads N] [--metrics-addr M] [--stdio]
-    /// [--checkpoint-dir D] [--max-worker-restarts N]`
+    /// [--checkpoint-dir D] [--max-worker-restarts N] [--journal-dir D]
+    /// [--journal-fsync P]`
     Serve {
         /// Listen address (ignored with `--stdio`).
         addr: String,
@@ -119,6 +122,22 @@ pub enum Command {
         checkpoint_dir: Option<String>,
         /// Worker restarts allowed per session before quarantine.
         max_worker_restarts: Option<usize>,
+        /// Directory for per-session write-ahead journals.
+        journal_dir: Option<String>,
+        /// Journal fsync policy (`always`, `interval:<ms>`, `never`).
+        journal_fsync: rtec_service::FsyncPolicy,
+    },
+    /// `cluster --backend B [--backend B ...] [--addr A] [--vnodes N]
+    /// [--health-interval-ms N]`
+    Cluster {
+        /// Front-end listen address.
+        addr: String,
+        /// Backend specs, `ADDR` or `ADDR@METRICS_ADDR`.
+        backends: Vec<String>,
+        /// Virtual nodes per backend on the placement ring.
+        vnodes: usize,
+        /// Milliseconds between backend health probes.
+        health_interval_ms: u64,
     },
     /// `stream <desc> <events> [--addr A] [options]`
     Stream {
@@ -170,7 +189,11 @@ USAGE:
     rtec similarity <a.rtec> <b.rtec>
     rtec serve [--addr HOST:PORT] [--threads N] [--stdio]
                [--metrics-addr HOST:PORT] [--checkpoint-dir DIR]
-               [--max-worker-restarts N]
+               [--max-worker-restarts N] [--journal-dir DIR]
+               [--journal-fsync always|interval:<ms>|never]
+    rtec cluster --backend ADDR[@METRICS_ADDR] [--backend ...]
+                 [--addr HOST:PORT] [--vnodes N]
+                 [--health-interval-ms N]
     rtec stream <description.rtec> <events.evt> [--addr HOST:PORT]
                 [--session S] [--window W] [--horizon H] [--shards N]
                 [--queue N] [--batch N] [--rate EV_PER_SEC]
@@ -186,7 +209,13 @@ for input-fluent intervals. `serve`/`stream` speak the NDJSON protocol
 documented in docs/SERVICE.md (default address 127.0.0.1:7878);
 `--metrics-addr` adds an HTTP Prometheus endpoint (docs/OBSERVABILITY.md);
 `--checkpoint-dir` persists per-session checkpoints after every tick and
-enables the `restore` command (docs/ROBUSTNESS.md).
+enables the `restore` command (docs/ROBUSTNESS.md); `--journal-dir` adds
+a per-session write-ahead journal (appended before every ack) so
+`restore` also replays acked events past the newest checkpoint.
+`cluster` runs a consistent-hashing NDJSON front-end over backends that
+share the durable dirs; it fails sessions over between backends via
+`restore` and accepts `{\"cmd\":\"cluster\",\"op\":\"stats|drain|rebalance\"}`
+admin frames (docs/ROBUSTNESS.md).
 `stream --reorder-slack` buffers out-of-order events server-side and
 `--dedup` drops exact duplicates (docs/INGEST.md).
 `dataset` imports an AIS CSV, skipping and recording corrupt rows; it
@@ -314,9 +343,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut metrics_addr = None;
             let mut checkpoint_dir = None;
             let mut max_worker_restarts = None;
+            let mut journal_dir = None;
+            let mut journal_fsync = rtec_service::FsyncPolicy::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--stdio" => stdio = true,
+                    "--journal-dir" => {
+                        journal_dir = Some(
+                            it.next()
+                                .ok_or_else(|| CliError::new("--journal-dir: missing value", 2))?
+                                .clone(),
+                        );
+                    }
+                    "--journal-fsync" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| CliError::new("--journal-fsync: missing value", 2))?;
+                        journal_fsync =
+                            rtec_service::FsyncPolicy::parse(value).ok_or_else(|| {
+                                CliError::new(
+                                    format!(
+                                        "--journal-fsync {value}: expected always|interval:<ms>|never"
+                                    ),
+                                    2,
+                                )
+                            })?;
+                    }
                     "--addr" => {
                         addr = it
                             .next()
@@ -363,6 +415,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 metrics_addr,
                 checkpoint_dir,
                 max_worker_restarts,
+                journal_dir,
+                journal_fsync,
+            })
+        }
+        Some("cluster") => {
+            let mut addr = "127.0.0.1:7900".to_string();
+            let mut backends = Vec::new();
+            let mut vnodes = 32usize;
+            let mut health_interval_ms = 500u64;
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::new(format!("{flag}: missing value"), 2))?;
+                match flag.as_str() {
+                    "--addr" => addr = value.clone(),
+                    "--backend" => backends.push(value.clone()),
+                    "--vnodes" => {
+                        vnodes = value
+                            .parse()
+                            .map_err(|e| CliError::new(format!("--vnodes {value}: {e}"), 2))?;
+                    }
+                    "--health-interval-ms" => {
+                        health_interval_ms = value.parse().map_err(|e| {
+                            CliError::new(format!("--health-interval-ms {value}: {e}"), 2)
+                        })?;
+                    }
+                    other => {
+                        return Err(CliError::new(format!("cluster: unknown flag {other}"), 2))
+                    }
+                }
+            }
+            if backends.is_empty() {
+                return Err(CliError::new(
+                    "cluster: at least one --backend is required",
+                    2,
+                ));
+            }
+            Ok(Command::Cluster {
+                addr,
+                backends,
+                vnodes,
+                health_interval_ms,
             })
         }
         Some("stream") => {
@@ -1071,7 +1165,9 @@ mod tests {
                 stdio: false,
                 metrics_addr: None,
                 checkpoint_dir: None,
-                max_worker_restarts: None
+                max_worker_restarts: None,
+                journal_dir: None,
+                journal_fsync: rtec_service::FsyncPolicy::default()
             }
         );
         assert_eq!(
@@ -1082,7 +1178,9 @@ mod tests {
                 stdio: true,
                 metrics_addr: None,
                 checkpoint_dir: None,
-                max_worker_restarts: None
+                max_worker_restarts: None,
+                journal_dir: None,
+                journal_fsync: rtec_service::FsyncPolicy::default()
             }
         );
         assert_eq!(
@@ -1093,7 +1191,9 @@ mod tests {
                 stdio: false,
                 metrics_addr: Some("127.0.0.1:9100".into()),
                 checkpoint_dir: None,
-                max_worker_restarts: None
+                max_worker_restarts: None,
+                journal_dir: None,
+                journal_fsync: rtec_service::FsyncPolicy::default()
             }
         );
         assert_eq!(
@@ -1111,11 +1211,61 @@ mod tests {
                 stdio: false,
                 metrics_addr: None,
                 checkpoint_dir: Some("/var/lib/rtec".into()),
-                max_worker_restarts: Some(5)
+                max_worker_restarts: Some(5),
+                journal_dir: None,
+                journal_fsync: rtec_service::FsyncPolicy::default()
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "serve",
+                "--journal-dir",
+                "/var/lib/rtec/journal",
+                "--journal-fsync",
+                "interval:50"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                stdio: false,
+                metrics_addr: None,
+                checkpoint_dir: None,
+                max_worker_restarts: None,
+                journal_dir: Some("/var/lib/rtec/journal".into()),
+                journal_fsync: rtec_service::FsyncPolicy::Interval { millis: 50 }
             }
         );
         assert!(parse_args(&s(&["serve", "--checkpoint-dir"])).is_err());
         assert!(parse_args(&s(&["serve", "--max-worker-restarts", "nope"])).is_err());
+        assert!(parse_args(&s(&["serve", "--journal-fsync", "sometimes"])).is_err());
+        assert_eq!(
+            parse_args(&s(&[
+                "cluster",
+                "--backend",
+                "127.0.0.1:7001@127.0.0.1:9001",
+                "--backend",
+                "127.0.0.1:7002",
+                "--addr",
+                "127.0.0.1:7900",
+                "--vnodes",
+                "64",
+                "--health-interval-ms",
+                "250"
+            ]))
+            .unwrap(),
+            Command::Cluster {
+                addr: "127.0.0.1:7900".into(),
+                backends: vec![
+                    "127.0.0.1:7001@127.0.0.1:9001".into(),
+                    "127.0.0.1:7002".into()
+                ],
+                vnodes: 64,
+                health_interval_ms: 250
+            }
+        );
+        assert!(parse_args(&s(&["cluster"])).is_err(), "needs a backend");
+        assert!(parse_args(&s(&["cluster", "--backend"])).is_err());
         let cmd = parse_args(&s(&[
             "stream",
             "a.rtec",

@@ -12,6 +12,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 /// Runs the NDJSON service until `shutdown` (TCP or stdio transport).
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     threads: usize,
@@ -19,13 +20,16 @@ fn serve(
     metrics_addr: Option<&str>,
     checkpoint_dir: Option<&str>,
     max_worker_restarts: Option<usize>,
+    journal_dir: Option<&str>,
+    journal_fsync: rtec_service::FsyncPolicy,
 ) -> Result<(), rtec_cli::CliError> {
     let fail = |message: String| rtec_cli::CliError { message, code: 4 };
     if stdio {
         let registry = rtec_service::Registry::with_options(
             checkpoint_dir.map(Into::into),
             max_worker_restarts,
-        );
+        )
+        .with_journal(journal_dir.map(Into::into), journal_fsync);
         let stdin = std::io::stdin().lock();
         let stdout = std::io::stdout().lock();
         return rtec_service::serve_stdio(&registry, stdin, stdout).map_err(fail);
@@ -36,9 +40,30 @@ fn serve(
         metrics_addr: metrics_addr.map(str::to_string),
         checkpoint_dir: checkpoint_dir.map(str::to_string),
         max_worker_restarts,
+        journal_dir: journal_dir.map(str::to_string),
+        journal_fsync,
     })
     .map_err(fail)?;
     server.serve().map_err(fail)
+}
+
+/// Runs the cluster front-end until `shutdown`.
+fn serve_cluster(
+    addr: &str,
+    backends: &[String],
+    vnodes: usize,
+    health_interval_ms: u64,
+) -> Result<(), rtec_cli::CliError> {
+    let fail = |message: String| rtec_cli::CliError { message, code: 4 };
+    let cluster = rtec_cli::cluster::Cluster::new(backends, vnodes).map_err(fail)?;
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| fail(format!("bind {addr}: {e}")))?;
+    cluster
+        .serve(
+            listener,
+            std::time::Duration::from_millis(health_interval_ms.max(1)),
+        )
+        .map_err(fail)
 }
 
 /// Prints to stdout, exiting quietly when the consumer closed the pipe
@@ -131,6 +156,8 @@ fn main() -> ExitCode {
             metrics_addr,
             checkpoint_dir,
             max_worker_restarts,
+            journal_dir,
+            journal_fsync,
         } => {
             return match serve(
                 &addr,
@@ -139,7 +166,20 @@ fn main() -> ExitCode {
                 metrics_addr.as_deref(),
                 checkpoint_dir.as_deref(),
                 max_worker_restarts,
+                journal_dir.as_deref(),
+                journal_fsync,
             ) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => report_error(&e),
+            };
+        }
+        Command::Cluster {
+            addr,
+            backends,
+            vnodes,
+            health_interval_ms,
+        } => {
+            return match serve_cluster(&addr, &backends, vnodes, health_interval_ms) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => report_error(&e),
             };

@@ -64,6 +64,9 @@ pub struct FaultPlan {
     /// over a configured slow-tick threshold (the flight-recorder
     /// tests) or deadline.
     pub tick_delays: Vec<(u64, u64)>,
+    /// I/O faults by 1-based journal-write index (appends and segment
+    /// rotations share the counter).
+    pub journal_faults: Vec<(u64, IoFaultKind)>,
 }
 
 impl FaultPlan {
@@ -93,6 +96,12 @@ impl FaultPlan {
     /// Schedules a `millis` evaluation stall inside the `n`-th tick.
     pub fn delay_tick(mut self, n: u64, millis: u64) -> FaultPlan {
         self.tick_delays.push((n, millis));
+        self
+    }
+
+    /// Schedules an I/O fault on the `n`-th journal write.
+    pub fn journal_fault(mut self, n: u64, kind: IoFaultKind) -> FaultPlan {
+        self.journal_faults.push((n, kind));
         self
     }
 
@@ -159,6 +168,10 @@ mod active {
         pub ticks: u64,
         /// Which scheduled tick delays already fired.
         pub tick_delays_fired: Vec<bool>,
+        /// Journal writes observed.
+        pub journal_writes: u64,
+        /// Which scheduled journal faults already fired.
+        pub journal_fired: Vec<bool>,
         /// Total faults injected under this plan.
         pub injected: u64,
     }
@@ -175,6 +188,7 @@ mod active {
             let n_rejects = plan.queue_rejects.len();
             let n_io = plan.io_faults.len();
             let n_ticks = plan.tick_delays.len();
+            let n_journal = plan.journal_faults.len();
             FaultState {
                 plan,
                 worker_steps: Vec::new(),
@@ -185,6 +199,8 @@ mod active {
                 io_fired: vec![false; n_io],
                 ticks: 0,
                 tick_delays_fired: vec![false; n_ticks],
+                journal_writes: 0,
+                journal_fired: vec![false; n_journal],
                 injected: 0,
             }
         }
@@ -201,6 +217,19 @@ mod active {
         for (i, &(at, kind)) in state.plan.io_faults.iter().enumerate() {
             if !state.io_fired[i] && writes >= at {
                 state.io_fired[i] = true;
+                record_injection(state);
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    pub(super) fn next_journal_fault(state: &mut FaultState) -> Option<IoFaultKind> {
+        state.journal_writes += 1;
+        let writes = state.journal_writes;
+        for (i, &(at, kind)) in state.plan.journal_faults.iter().enumerate() {
+            if !state.journal_fired[i] && writes >= at {
+                state.journal_fired[i] = true;
                 record_injection(state);
                 return Some(kind);
             }
@@ -328,6 +357,20 @@ pub(crate) fn on_checkpoint_write() -> Option<IoFaultKind> {
         let mut slot = active::ACTIVE.lock();
         if let Some(state) = slot.as_mut() {
             return active::next_io_fault(state);
+        }
+    }
+    None
+}
+
+/// Called before each journal write (append commits and segment
+/// rotations); returns the I/O fault to apply, if one is scheduled.
+#[inline]
+pub(crate) fn on_journal_write() -> Option<IoFaultKind> {
+    #[cfg(feature = "testkit")]
+    {
+        let mut slot = active::ACTIVE.lock();
+        if let Some(state) = slot.as_mut() {
+            return active::next_journal_fault(state);
         }
     }
     None

@@ -21,6 +21,7 @@
 pub mod client;
 pub mod fault;
 pub mod flight;
+pub mod journal;
 pub mod obs;
 pub mod persist;
 pub mod protocol;
@@ -33,6 +34,7 @@ pub mod worker;
 pub use client::{parse_stream_file, stream_file, Client, StreamFile, StreamOptions, StreamReport};
 pub use fault::{FaultPlan, IoFaultKind, WorkerPanic};
 pub use flight::{FlightRecorder, TickTrace};
+pub use journal::{FsyncPolicy, Journal};
 pub use registry::Registry;
 pub use server::{request_shutdown, serve_stdio, Server, ServerConfig, MAX_FRAME};
 pub use session::{Ingest, Session, SessionConfig, SessionStats, TickReport};

@@ -26,6 +26,12 @@
 //! | `rtec_service_frames_rejected_total` | counter | — |
 //! | `rtec_service_deadletter_total` | counter | `reason=late\|duplicate\|past_horizon\|malformed\|shed` |
 //! | `rtec_service_shed_total` | counter | — |
+//! | `rtec_service_journal_appends_total` | counter | — |
+//! | `rtec_service_journal_bytes_total` | counter | — |
+//! | `rtec_service_journal_rotations_total` | counter | — |
+//! | `rtec_service_journal_truncations_total` | counter | — |
+//! | `rtec_service_journal_replayed_total` | counter | — |
+//! | `rtec_service_restores_total` | counter | — |
 //! | `rtec_service_sessions_open` | gauge (sampled) | — |
 //! | `rtec_service_queue_depth` | gauge (sampled) | `session`, `shard` |
 //! | `rtec_service_queue_high_water` | gauge (sampled) | `session`, `shard` |
@@ -99,6 +105,19 @@ pub struct ServiceMetrics {
     /// Ingest operations refused by admission control (also counted in
     /// `rtec_service_deadletter_total{reason="shed"}`).
     pub shed: Arc<Counter>,
+    /// Write-ahead journal commits (one per acked event or batch).
+    pub journal_appends: Arc<Counter>,
+    /// Bytes appended to write-ahead journals.
+    pub journal_bytes: Arc<Counter>,
+    /// Journal segment rotations at checkpoint boundaries.
+    pub journal_rotations: Arc<Counter>,
+    /// Torn or corrupt journal tails truncated during recovery.
+    pub journal_truncations: Arc<Counter>,
+    /// Journal records replayed through the ingest path by restores.
+    pub journal_replayed: Arc<Counter>,
+    /// Sessions restored from checkpoint (+ journal tail) by the
+    /// `restore` command.
+    pub restores: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -206,6 +225,36 @@ impl ServiceMetrics {
             shed: r.counter(
                 "rtec_service_shed_total",
                 "Ingest operations refused by admission control.",
+                &[],
+            ),
+            journal_appends: r.counter(
+                "rtec_service_journal_appends_total",
+                "Write-ahead journal commits.",
+                &[],
+            ),
+            journal_bytes: r.counter(
+                "rtec_service_journal_bytes_total",
+                "Bytes appended to write-ahead journals.",
+                &[],
+            ),
+            journal_rotations: r.counter(
+                "rtec_service_journal_rotations_total",
+                "Journal segment rotations at checkpoint boundaries.",
+                &[],
+            ),
+            journal_truncations: r.counter(
+                "rtec_service_journal_truncations_total",
+                "Torn or corrupt journal tails truncated during recovery.",
+                &[],
+            ),
+            journal_replayed: r.counter(
+                "rtec_service_journal_replayed_total",
+                "Journal records replayed through the ingest path by restores.",
+                &[],
+            ),
+            restores: r.counter(
+                "rtec_service_restores_total",
+                "Sessions restored from checkpoint and journal tail.",
                 &[],
             ),
         }

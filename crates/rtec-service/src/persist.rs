@@ -53,6 +53,12 @@ pub struct SessionCheckpoint {
     /// one configured: events admitted but still awaiting the watermark
     /// at the tick boundary must survive a restore.
     pub reorder: Option<ReorderSnapshot>,
+    /// The write-ahead journal sequence number this checkpoint covers:
+    /// every journaled record with `seq <= journal_seq` is already
+    /// folded into the image, so recovery replays only the tail beyond
+    /// it. Zero when the session is not journaled (see
+    /// [`crate::journal`]).
+    pub journal_seq: u64,
 }
 
 impl SessionCheckpoint {
@@ -80,6 +86,7 @@ impl SessionCheckpoint {
             deadletter_counts: session.dead_letters().counts(),
             deadletter_records_dropped: session.dead_letters().records_dropped(),
             reorder: session.reorder_snapshot(),
+            journal_seq: 0,
         })
     }
 
@@ -334,6 +341,7 @@ impl SessionCheckpoint {
             },
         );
         state.insert("ingest".to_string(), Value::Object(ingest));
+        state.insert("journal_seq".to_string(), counter_u64(self.journal_seq));
         Value::Object(state)
     }
 
@@ -512,6 +520,9 @@ impl SessionCheckpoint {
             deadletter_counts,
             deadletter_records_dropped,
             reorder,
+            // Lenient on read: checkpoints written before the journal
+            // have no covered sequence, i.e. replay from the start.
+            journal_seq: opt_u64_of(state, "journal_seq")?.unwrap_or(0),
         })
     }
 }
@@ -523,14 +534,14 @@ pub fn checkpoint_path(dir: &Path, session: &str) -> PathBuf {
     dir.join(format!("{}.session.json", escape_name(session)))
 }
 
-/// Writes `cp` atomically under `dir` (created if missing): the
-/// document goes to a temp file which is renamed into place, so the
-/// previous checkpoint survives any mid-write failure. Injected I/O
-/// faults ([`crate::fault`]) surface here.
+/// Writes `cp` atomically and durably under `dir` (created if missing):
+/// the document goes to a temp file which is synced and renamed into
+/// place, then the directory itself is synced — so the previous
+/// checkpoint survives any mid-write failure and the rename survives a
+/// power cut. Injected I/O faults ([`crate::fault`]) surface here.
 pub fn save(dir: &Path, cp: &SessionCheckpoint) -> Result<PathBuf, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
     let path = checkpoint_path(dir, &cp.name);
-    let tmp = path.with_extension("json.tmp");
     let doc = cp.to_json();
     match fault::on_checkpoint_write() {
         Some(fault::IoFaultKind::Error) => {
@@ -540,6 +551,7 @@ pub fn save(dir: &Path, cp: &SessionCheckpoint) -> Result<PathBuf, String> {
             // Simulate a crash mid-write: only a prefix reaches the temp
             // file and the rename never happens. The previous checkpoint
             // file is untouched; the torn temp file fails its checksum.
+            let tmp = path.with_extension("json.tmp");
             let keep = keep_bytes.min(doc.len());
             let _ = std::fs::write(&tmp, &doc.as_bytes()[..keep]);
             return Err("checkpoint write torn (injected fault)".to_string());
@@ -547,11 +559,49 @@ pub fn save(dir: &Path, cp: &SessionCheckpoint) -> Result<PathBuf, String> {
         Some(fault::IoFaultKind::Delayed { millis }) => fault::apply_delay(millis),
         None => {}
     }
-    std::fs::write(&tmp, doc.as_bytes())
-        .map_err(|e| format!("checkpoint write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, &path)
-        .map_err(|e| format!("checkpoint rename {}: {e}", path.display()))?;
+    write_durable(&path, doc.as_bytes())?;
     Ok(path)
+}
+
+/// Writes `bytes` to `path` via temp-file + `sync_all` + rename, then
+/// syncs the parent directory so the rename itself is durable. Without
+/// the two syncs a crash shortly after rename can legitimately surface
+/// an empty or stale file on the next boot — the classic
+/// "atomic-rename is not durable-rename" trap. Shared by checkpoint
+/// saves and journal segment rewrites.
+pub(crate) fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    let tmp = path.with_extension(
+        path.extension()
+            .and_then(|e| e.to_str())
+            .map(|e| format!("{e}.tmp"))
+            .unwrap_or_else(|| "tmp".to_string()),
+    );
+    let mut file =
+        std::fs::File::create(&tmp).map_err(|e| format!("durable write {}: {e}", tmp.display()))?;
+    file.write_all(bytes)
+        .map_err(|e| format!("durable write {}: {e}", tmp.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("durable sync {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("durable rename {}: {e}", path.display()))?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Syncs a directory so a just-renamed (or just-created) entry inside
+/// it survives a crash. Best-effort on platforms where directories
+/// cannot be opened for sync.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), String> {
+    match std::fs::File::open(dir) {
+        Ok(handle) => handle
+            .sync_all()
+            .map_err(|e| format!("dir sync {}: {e}", dir.display())),
+        // Opening a directory read-only can fail on exotic filesystems;
+        // the rename itself still happened, so don't fail the write.
+        Err(_) => Ok(()),
+    }
 }
 
 /// Loads and verifies the checkpoint for `session` under `dir`.
@@ -587,7 +637,7 @@ pub fn list(dir: &Path) -> Vec<String> {
 
 /// Escapes a session name for use as a file-name stem: alphanumerics,
 /// `-` and `_` pass through, everything else becomes `%xx` per byte.
-fn escape_name(name: &str) -> String {
+pub(crate) fn escape_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for &b in name.as_bytes() {
         match b {

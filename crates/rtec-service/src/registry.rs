@@ -14,6 +14,7 @@
 //! session atomically and the `restore` command rebuilds a session from
 //! its last on-disk checkpoint.
 
+use crate::journal::{self, FsyncPolicy, Journal, JournalRecord};
 use crate::persist::{self, SessionCheckpoint};
 use crate::protocol::{
     codes, command, counter, int_field, opt_bool_field, opt_int_field, opt_str_field,
@@ -26,7 +27,7 @@ use serde_json::Value;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shared state of a running service.
@@ -39,6 +40,18 @@ pub struct Registry {
     /// Default restart budget for new sessions (None = SessionConfig
     /// default).
     max_worker_restarts: Option<usize>,
+    /// Where to keep per-session write-ahead journals; `None` disables
+    /// journaling.
+    journal_dir: Option<PathBuf>,
+    /// When journal appends reach the disk.
+    journal_fsync: FsyncPolicy,
+    /// Open journal handles, one per journaled session. Appends lock
+    /// the per-session journal (never the whole map) while the caller
+    /// holds that session's lock, so apply order equals journal order.
+    journals: Mutex<HashMap<String, Arc<Mutex<Journal>>>>,
+    /// Restores currently replaying a journal tail; `/readyz` reports
+    /// not-ready until this drains back to zero.
+    restores_in_flight: AtomicUsize,
 }
 
 impl Registry {
@@ -61,6 +74,15 @@ impl Registry {
         }
     }
 
+    /// Enables the per-session write-ahead journal: every ingest is
+    /// appended under `dir` before its acknowledgement, and `restore`
+    /// replays the journal tail beyond the newest checkpoint.
+    pub fn with_journal(mut self, dir: Option<PathBuf>, fsync: FsyncPolicy) -> Registry {
+        self.journal_dir = dir;
+        self.journal_fsync = fsync;
+        self
+    }
+
     /// Whether `shutdown` has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -69,6 +91,34 @@ impl Registry {
     /// Number of open sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.lock().len()
+    }
+
+    /// Readiness for traffic: `Err` (with the reason) while shutting
+    /// down, while a restore is still replaying its journal tail, or
+    /// while any session sits quarantined. Sessions busy on another
+    /// connection are making progress and count as ready.
+    pub fn readiness(&self) -> Result<(), String> {
+        if self.is_shutting_down() {
+            return Err("shutting down".to_string());
+        }
+        if self.restores_in_flight.load(Ordering::SeqCst) > 0 {
+            return Err("recovery replay in progress".to_string());
+        }
+        for (name, slot) in self.sessions.lock().iter() {
+            if let Some(session) = slot.try_lock() {
+                if let Some(reason) = session.quarantined() {
+                    return Err(format!("session \"{name}\" quarantined: {reason}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The open journal handle for `name`, when journaling is enabled
+    /// and the session was opened or restored under it.
+    fn journal_of(&self, name: &str) -> Option<Arc<Mutex<Journal>>> {
+        self.journal_dir.as_ref()?;
+        self.journals.lock().get(name).cloned()
     }
 
     /// Handles one request line; returns the response line. Sets the
@@ -143,6 +193,65 @@ impl Registry {
     fn cmd_open(&self, req: &Value) -> Result<String, ServiceError> {
         let name = str_field(req, "session")?;
         let description = str_field(req, "description")?;
+        let config = self.parse_open_config(req)?;
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(format!("session \"{name}\" already exists").into());
+        }
+        // Semantic gate: descriptions that parse but are semantically
+        // broken (undefined fluents under declarations, dependency
+        // cycles, unsafe variables, …) are rejected up front with the
+        // analyzer's findings attached. Syntax and per-clause validation
+        // errors are left to `Session::open` so their wire behaviour
+        // (plain `bad_request`) is unchanged.
+        let lint = rtec_lint::analyze_source(description);
+        if lint.has_semantic_errors() {
+            let summary: Vec<&str> = lint.semantic_errors().map(|d| d.code).collect();
+            return Err(ServiceError::new(
+                codes::INVALID_DESCRIPTION,
+                format!(
+                    "description failed semantic analysis ({} error(s): {})",
+                    summary.len(),
+                    summary.join(", ")
+                ),
+            )
+            .with_details(lint.to_json()));
+        }
+        let session = Session::open(name, description, config)?;
+        // A fresh session starts a fresh journal whose first record is
+        // the open request itself, so a crash before the first
+        // checkpoint can still rebuild the session from the journal
+        // alone. Journal failure fails the open: the caller asked for
+        // durability it would not get.
+        if let Some(dir) = &self.journal_dir {
+            let result = Journal::create(dir, name, self.journal_fsync).and_then(|mut j| {
+                j.append_open(req);
+                j.commit()?;
+                Ok(j)
+            });
+            match result {
+                Ok(j) => {
+                    self.journals
+                        .lock()
+                        .insert(name.to_string(), Arc::new(Mutex::new(j)));
+                }
+                Err(err) => {
+                    let _ = session.close();
+                    return Err(err.into());
+                }
+            }
+        }
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(OkFrame::new()
+            .field("session", name)
+            .field("shards", config.shards as i64)
+            .render())
+    }
+
+    /// Parses the session options of an `open` request — shared by
+    /// `open` and by journal-only recovery, which re-parses the
+    /// journaled open request verbatim.
+    fn parse_open_config(&self, req: &Value) -> Result<SessionConfig, ServiceError> {
         let mut config = SessionConfig {
             window: opt_int_field(req, "window")?,
             slide: opt_int_field(req, "slide")?,
@@ -210,59 +319,125 @@ impl Registry {
         if config.slow_tick_ms.is_some() && !config.profile {
             return Err("slow_tick_ms requires profile".into());
         }
-        let mut sessions = self.sessions.lock();
-        if sessions.contains_key(name) {
-            return Err(format!("session \"{name}\" already exists").into());
-        }
-        // Semantic gate: descriptions that parse but are semantically
-        // broken (undefined fluents under declarations, dependency
-        // cycles, unsafe variables, …) are rejected up front with the
-        // analyzer's findings attached. Syntax and per-clause validation
-        // errors are left to `Session::open` so their wire behaviour
-        // (plain `bad_request`) is unchanged.
-        let lint = rtec_lint::analyze_source(description);
-        if lint.has_semantic_errors() {
-            let summary: Vec<&str> = lint.semantic_errors().map(|d| d.code).collect();
-            return Err(ServiceError::new(
-                codes::INVALID_DESCRIPTION,
-                format!(
-                    "description failed semantic analysis ({} error(s): {})",
-                    summary.len(),
-                    summary.join(", ")
-                ),
-            )
-            .with_details(lint.to_json()));
-        }
-        let session = Session::open(name, description, config)?;
-        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
-        Ok(OkFrame::new()
-            .field("session", name)
-            .field("shards", config.shards as i64)
-            .render())
+        Ok(config)
     }
 
-    /// Rebuilds a session from its on-disk checkpoint (requires a
-    /// checkpoint directory).
+    /// Rebuilds a session from durable state: the newest valid
+    /// checkpoint, plus — when journaling is on — the journal tail
+    /// beyond it, replayed through the ordinary ingest path. A session
+    /// that died before its first checkpoint rebuilds from the
+    /// journal's open record alone.
     fn cmd_restore(&self, req: &Value) -> Result<String, ServiceError> {
         let name = str_field(req, "session")?;
-        let dir = self.checkpoint_dir.as_ref().ok_or_else(|| {
-            ServiceError::new(
+        if self.checkpoint_dir.is_none() && self.journal_dir.is_none() {
+            return Err(ServiceError::new(
                 codes::BAD_REQUEST,
                 "no checkpoint directory configured (serve --checkpoint-dir)",
-            )
-        })?;
+            ));
+        }
         let mut sessions = self.sessions.lock();
         if sessions.contains_key(name) {
             return Err(format!("session \"{name}\" already exists").into());
         }
-        let cp = persist::load(dir, name)?;
-        let session = cp.restore()?;
+        // `/readyz` reports not-ready while the replay runs.
+        self.restores_in_flight.fetch_add(1, Ordering::SeqCst);
+        struct InFlight<'a>(&'a AtomicUsize);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _in_flight = InFlight(&self.restores_in_flight);
+
+        let checkpoint = self
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| persist::load(dir, name));
+        let scan = match &self.journal_dir {
+            Some(dir) => Some(journal::scan(dir, name)?),
+            None => None,
+        };
+        let (mut session, start_seq) = match checkpoint {
+            Some(Ok(cp)) => (cp.restore()?, cp.journal_seq),
+            other => {
+                // No (valid) checkpoint: fall back to the journal's
+                // open record, else surface the checkpoint error.
+                let checkpoint_err = match other {
+                    Some(Err(e)) => e,
+                    _ => format!("no checkpoint for session \"{name}\""),
+                };
+                let open_req = scan.as_ref().and_then(|s| {
+                    s.records.iter().find_map(|r| match r {
+                        JournalRecord::Open { request, .. } => Some(request.clone()),
+                        _ => None,
+                    })
+                });
+                let Some(open_req) = open_req else {
+                    return Err(checkpoint_err.into());
+                };
+                let description = str_field(&open_req, "description")?.to_string();
+                let config = self.parse_open_config(&open_req)?;
+                (Session::open(name, &description, config)?, 0)
+            }
+        };
+        // Replay the tail in file order, skipping records the
+        // checkpoint already covers and non-increasing sequence numbers
+        // (a duplicated tail appends the same frames twice; the second
+        // copy is covered by the first). Individual replay refusals are
+        // deterministic re-runs of the original refusals — they rebuild
+        // the dead-letter ledger rather than signal failure.
+        let mut replayed = 0u64;
+        let mut last_seq = start_seq;
+        if let Some(scan) = &scan {
+            for record in &scan.records {
+                if record.seq() <= last_seq {
+                    continue;
+                }
+                last_seq = record.seq();
+                let result = match record {
+                    JournalRecord::Open { .. } => continue,
+                    JournalRecord::Event { t, event, .. } => {
+                        session.ingest_event(event, *t).map(|_| ())
+                    }
+                    JournalRecord::Intervals {
+                        fluent,
+                        value,
+                        pairs,
+                        ..
+                    } => session.ingest_intervals(fluent, value, pairs).map(|_| ()),
+                };
+                replayed += 1;
+                if let Err(err) = result {
+                    rtec_obs::warn(
+                        "service.journal_replay_error",
+                        &[("session", name.into()), ("error", err.as_str().into())],
+                    );
+                }
+            }
+            crate::obs::metrics().journal_replayed.add(replayed);
+        }
+        // Reopen the journal for appends, continuing past the highest
+        // sequence physically in the file (not just the highest
+        // replayed) so later appends never reuse a number.
+        if let Some(dir) = &self.journal_dir {
+            let file_max = scan
+                .as_ref()
+                .and_then(|s| s.records.iter().map(JournalRecord::seq).max())
+                .unwrap_or(0);
+            let j = Journal::reopen(dir, name, self.journal_fsync, file_max.max(last_seq))?;
+            self.journals
+                .lock()
+                .insert(name.to_string(), Arc::new(Mutex::new(j)));
+        }
+        crate::obs::metrics().restores.inc();
         let shards = session.config().shards;
+        let processed_to = session.stats().processed_to;
         sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
         Ok(OkFrame::new()
             .field("session", name)
             .field("shards", shards as i64)
-            .field("processed_to", cp.stats.processed_to)
+            .field("processed_to", processed_to)
+            .field("replayed", counter(replayed as usize))
             .render())
     }
 
@@ -270,8 +445,21 @@ impl Registry {
         let session = self.session(req)?;
         let t = int_field(req, "t")?;
         let event = str_field(req, "event")?;
-        let outcome = session.lock().ingest_event(event, t)?;
-        match outcome {
+        let journal = self.journal_of(str_field(req, "session")?);
+        let mut guard = session.lock();
+        let outcome = guard.ingest_event(event, t);
+        // Journal under the session lock (journal order = apply order),
+        // commit before the ack: a journal failure surfaces instead of
+        // the acknowledgement, so every acked event is recoverable.
+        // Errored ingests are journaled too — their dead-letter entries
+        // (malformed, shed) must survive a replay.
+        if let Some(journal) = &journal {
+            let mut j = journal.lock();
+            j.append_event(t, event);
+            j.commit()?;
+        }
+        drop(guard);
+        match outcome? {
             Ingest::Accepted => Ok(OkFrame::new().render()),
             // Refusal is an ok-frame: the request was well-formed and
             // fully handled — the record went to the dead-letter ledger.
@@ -284,10 +472,15 @@ impl Registry {
 
     fn cmd_batch(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
+        let journal = self.journal_of(str_field(req, "session")?);
         let mut session = session.lock();
         let mut n_events = 0i64;
         let mut n_refused = 0i64;
         let mut n_intervals = 0i64;
+        // Each applied entry is staged in the journal right away (so an
+        // error partway through a batch never leaves applied entries
+        // unjournaled), but the whole batch commits with one write
+        // before the single batch ack.
         if let Some(events) = req.get("events") {
             let events = events
                 .as_array()
@@ -295,7 +488,11 @@ impl Registry {
             for entry in events {
                 let t = int_field(entry, "t")?;
                 let event = str_field(entry, "event")?;
-                match session.ingest_event(event, t)? {
+                let outcome = session.ingest_event(event, t);
+                if let Some(journal) = &journal {
+                    journal.lock().append_event(t, event);
+                }
+                match outcome? {
                     Ingest::Accepted => n_events += 1,
                     Ingest::Refused(_) => n_refused += 1,
                 }
@@ -309,9 +506,16 @@ impl Registry {
                 let fluent = str_field(entry, "fluent")?;
                 let value = str_field(entry, "value")?;
                 let pairs = parse_interval_pairs(entry.get("intervals"))?;
-                session.ingest_intervals(fluent, value, &pairs)?;
+                let outcome = session.ingest_intervals(fluent, value, &pairs);
+                if let Some(journal) = &journal {
+                    journal.lock().append_intervals(fluent, value, &pairs);
+                }
+                outcome?;
                 n_intervals += 1;
             }
+        }
+        if let Some(journal) = &journal {
+            journal.lock().commit()?;
         }
         let mut frame = OkFrame::new()
             .field("events", n_events)
@@ -325,15 +529,21 @@ impl Registry {
     fn cmd_tick(&self, req: &Value) -> Result<String, ServiceError> {
         let session = self.session(req)?;
         let to = int_field(req, "to")?;
+        let journal = self.journal_of(str_field(req, "session")?);
         let mut guard = session.lock();
         let report = guard.tick(to)?;
         let stats = report.engine;
         // Capture under the session lock (consistent image), write after
-        // releasing it (no I/O while holding the session).
-        let image = self
+        // releasing it (no I/O while holding the session). The journal
+        // sequence read under the same lock tells recovery exactly
+        // which journaled records the image already covers.
+        let mut image = self
             .checkpoint_dir
             .as_ref()
             .and_then(|_| SessionCheckpoint::capture(&guard));
+        if let (Some(image), Some(journal)) = (image.as_mut(), &journal) {
+            image.journal_seq = journal.lock().seq();
+        }
         let name = guard.name().to_string();
         drop(guard);
         let mut checkpointed = None;
@@ -341,7 +551,23 @@ impl Registry {
             checkpointed = Some(false);
             if let Some(image) = image {
                 match persist::save(dir, &image) {
-                    Ok(_) => checkpointed = Some(true),
+                    Ok(_) => {
+                        checkpointed = Some(true);
+                        // Rotate the journal only after the checkpoint
+                        // rename: a crash in between leaves covered
+                        // frames that recovery skips by sequence.
+                        if let Some(journal) = &journal {
+                            if let Err(err) = journal.lock().rotate(image.journal_seq) {
+                                rtec_obs::warn(
+                                    "service.journal_rotate_failed",
+                                    &[
+                                        ("session", name.as_str().into()),
+                                        ("error", err.as_str().into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
                     Err(err) => rtec_obs::warn(
                         "service.checkpoint_failed",
                         &[
@@ -658,6 +884,10 @@ impl Registry {
 
     fn cmd_close(&self, req: &Value) -> Result<String, ServiceError> {
         let name = str_field(req, "session")?;
+        // `keep_durable` releases the session without deleting its
+        // checkpoint and journal — the migration half of a handoff: a
+        // `restore` elsewhere rebuilds the exact state from them.
+        let keep_durable = opt_bool_field(req, "keep_durable")?;
         let session = self
             .sessions
             .lock()
@@ -666,9 +896,26 @@ impl Registry {
         let session = Arc::into_inner(session)
             .ok_or("session is busy on another connection; retry close")?
             .into_inner();
+        if let Some(journal) = self.journals.lock().remove(name) {
+            // Flush any staged frames so a handoff target sees every
+            // applied record; moot when the journal is deleted below.
+            if keep_durable {
+                if let Err(err) = journal.lock().commit() {
+                    rtec_obs::warn(
+                        "service.journal_flush_failed",
+                        &[("session", name.into()), ("error", err.as_str().into())],
+                    );
+                }
+            }
+        }
         let stats = session.close()?;
-        if let Some(dir) = &self.checkpoint_dir {
-            persist::remove(dir, name);
+        if !keep_durable {
+            if let Some(dir) = &self.checkpoint_dir {
+                persist::remove(dir, name);
+            }
+            if let Some(dir) = &self.journal_dir {
+                journal::remove(dir, name);
+            }
         }
         Ok(OkFrame::new()
             .field("session", name)
@@ -679,6 +926,9 @@ impl Registry {
     }
 
     fn cmd_shutdown(&self) -> Result<String, ServiceError> {
+        // Journal handles are dropped but the files stay: shutdown is a
+        // graceful drain, and the durable state remains restorable.
+        self.journals.lock().clear();
         let sessions: Vec<(String, Arc<Mutex<Session>>)> = self.sessions.lock().drain().collect();
         let closed = sessions.len() as i64;
         for (name, session) in sessions {

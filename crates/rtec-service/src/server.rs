@@ -115,6 +115,12 @@ pub struct ServerConfig {
     /// Default crashed-worker restart budget per session before
     /// quarantine. `None` keeps the [`crate::SessionConfig`] default.
     pub max_worker_restarts: Option<usize>,
+    /// Directory for per-session write-ahead journals (appended before
+    /// every ack; replayed on `restore` past the newest checkpoint).
+    /// `None` disables journaling.
+    pub journal_dir: Option<String>,
+    /// Journal fsync policy (`always` / `interval:<ms>` / `never`).
+    pub journal_fsync: crate::journal::FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +131,8 @@ impl Default for ServerConfig {
             metrics_addr: None,
             checkpoint_dir: None,
             max_worker_restarts: None,
+            journal_dir: None,
+            journal_fsync: crate::journal::FsyncPolicy::default(),
         }
     }
 }
@@ -152,10 +160,16 @@ impl Server {
         Ok(Server {
             listener,
             metrics_listener,
-            registry: Arc::new(Registry::with_options(
-                config.checkpoint_dir.clone().map(Into::into),
-                config.max_worker_restarts,
-            )),
+            registry: Arc::new(
+                Registry::with_options(
+                    config.checkpoint_dir.clone().map(Into::into),
+                    config.max_worker_restarts,
+                )
+                .with_journal(
+                    config.journal_dir.clone().map(Into::into),
+                    config.journal_fsync,
+                ),
+            ),
             threads: config.threads.max(1),
         })
     }
@@ -240,9 +254,11 @@ impl Server {
     }
 }
 
-/// Serves `GET /metrics` (and any other path — there is only one
-/// resource) as Prometheus text over minimal HTTP/1.1, one request per
-/// connection, until the registry starts shutting down.
+/// Serves `GET /metrics` (Prometheus text), `GET /healthz` (process
+/// liveness) and `GET /readyz` (traffic readiness) over minimal
+/// HTTP/1.1, one request per connection, until the registry starts
+/// shutting down. Unknown paths fall back to the metrics body for
+/// compatibility with pre-route scrapers.
 fn serve_metrics(listener: &TcpListener, registry: &Registry) {
     for stream in listener.incoming() {
         if registry.is_shutting_down() {
@@ -255,8 +271,9 @@ fn serve_metrics(listener: &TcpListener, registry: &Registry) {
 
 fn serve_one_scrape(stream: TcpStream, registry: &Registry) -> Result<(), String> {
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    // Consume the request line and headers (up to the blank line);
-    // the reply is the same whatever was asked.
+    // Capture the request line's path, then drain the headers (up to the
+    // blank line).
+    let mut path = String::new();
     let mut line = String::new();
     loop {
         line.clear();
@@ -264,15 +281,36 @@ fn serve_one_scrape(stream: TcpStream, registry: &Registry) -> Result<(), String
         if n == 0 || line.trim().is_empty() {
             break;
         }
+        if path.is_empty() {
+            // "GET /readyz HTTP/1.1" — the middle token is the path.
+            path = line
+                .split_whitespace()
+                .nth(1)
+                .unwrap_or_default()
+                .to_string();
+        }
     }
-    let body = registry.render_metrics();
+    let (status, content_type, body) = match path.as_str() {
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/readyz" => match registry.readiness() {
+            Ok(()) => ("200 OK", "text/plain", "ready\n".to_string()),
+            Err(reason) => (
+                "503 Service Unavailable",
+                "text/plain",
+                format!("{reason}\n"),
+            ),
+        },
+        _ => (
+            "200 OK",
+            rtec_obs::expo::CONTENT_TYPE,
+            registry.render_metrics(),
+        ),
+    };
     let mut writer = BufWriter::new(stream);
     write!(
         writer,
-        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        rtec_obs::expo::CONTENT_TYPE,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
-        body
     )
     .and_then(|()| writer.flush())
     .map_err(|e| e.to_string())
@@ -443,17 +481,62 @@ mod tests {
     }
 
     fn http_get(addr: &str) -> String {
+        let (headers, body) = http_request(addr, "/metrics");
+        assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+        assert!(headers.contains("text/plain; version=0.0.4"), "{headers}");
+        body
+    }
+
+    fn http_request(addr: &str, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
-            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
             .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let (headers, body) = response
             .split_once("\r\n\r\n")
             .expect("HTTP header/body split");
+        (headers.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn health_and_readiness_routes() {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let metrics_addr = server.metrics_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.serve());
+
+        let (headers, body) = http_request(&metrics_addr, "/healthz");
         assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
-        assert!(headers.contains("text/plain; version=0.0.4"), "{headers}");
-        body.to_string()
+        assert_eq!(body, "ok\n");
+
+        let (headers, body) = http_request(&metrics_addr, "/readyz");
+        assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+        assert_eq!(body, "ready\n");
+
+        // A healthy open session keeps readiness green.
+        let open = format!(
+            "{{\"cmd\":\"open\",\"session\":\"q\",\"description\":{}}}",
+            serde_json::to_string(&Value::from(DESC)).unwrap()
+        );
+        let v: Value = serde_json::from_str(&roundtrip(&addr, &open).unwrap()).unwrap();
+        assert_eq!(v["ok"], true, "{v:?}");
+        let (headers, _) = http_request(&metrics_addr, "/readyz");
+        assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+
+        // Unknown paths still serve metrics (scraper compatibility).
+        let (headers, body) = http_request(&metrics_addr, "/");
+        assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+        assert!(body.contains("rtec_service_sessions_open"), "{body}");
+
+        let _ = request_shutdown(&addr);
+        handle.join().unwrap().unwrap();
     }
 }

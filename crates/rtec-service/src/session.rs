@@ -729,7 +729,13 @@ impl Session {
         crate::obs::metrics().worker_restarts.inc();
         // Brief bounded backoff: give a transient cause (allocator
         // pressure, scheduler hiccups) room to clear before the retry.
-        std::thread::sleep(Duration::from_millis(2 * self.stats.worker_restarts.min(5)));
+        // The seeded jitter decorrelates respawn storms across sessions
+        // and shards without any RNG state: the same (session, shard,
+        // restart) triple always backs off by the same amount, so fault
+        // schedules stay reproducible under the testkit.
+        let base = 2 * self.stats.worker_restarts.min(5);
+        let jitter = respawn_jitter_ms(&self.name, shard, self.stats.worker_restarts);
+        std::thread::sleep(Duration::from_millis(base + jitter));
         let worker = match &self.shard_states[shard].checkpoint {
             Some(cp) => ShardWorker::respawn(
                 Arc::clone(&self.desc),
@@ -1212,6 +1218,26 @@ impl Session {
     }
 }
 
+/// Deterministic respawn-backoff jitter in milliseconds: an FNV-1a hash
+/// of the session name mixed with the shard and restart count, pushed
+/// through the SplitMix64 finalizer and reduced to `0..=3·restarts`
+/// (capped at 15 ms). A pure function of its inputs — no RNG state —
+/// so concurrent respawns across sessions and shards fan out instead
+/// of thundering in lockstep, while seeded chaos schedules stay
+/// byte-for-byte reproducible.
+fn respawn_jitter_ms(session: &str, shard: usize, restarts: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= restarts.rotate_left(32);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h % (3 * restarts.min(5) + 1)
+}
+
 fn worker_options(config: &SessionConfig) -> WorkerOptions {
     WorkerOptions {
         eval: config.eval,
@@ -1262,6 +1288,25 @@ mod tests {
             .collect();
         rows.sort();
         rows
+    }
+
+    #[test]
+    fn respawn_jitter_is_deterministic_and_bounded() {
+        for restarts in 0..10u64 {
+            for shard in 0..4usize {
+                let a = respawn_jitter_ms("sess", shard, restarts);
+                let b = respawn_jitter_ms("sess", shard, restarts);
+                assert_eq!(a, b, "same inputs must give the same jitter");
+                assert!(a <= 3 * restarts.min(5), "jitter {a} out of bounds");
+            }
+        }
+        // Distinct shards decorrelate: not every shard gets the same
+        // delay at the same restart count.
+        let delays: Vec<u64> = (0..8).map(|s| respawn_jitter_ms("sess", s, 5)).collect();
+        assert!(
+            delays.iter().any(|d| *d != delays[0]),
+            "jitter failed to spread across shards: {delays:?}"
+        );
     }
 
     #[test]
